@@ -1,0 +1,52 @@
+//! Criterion bench for Fig. 18: inter-process merge cost — CYPRESS's O(n)
+//! vertex-wise merge (sequential and parallel) vs the baselines' O(n²)
+//! alignment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cypress_baselines::{Scala2Config, Scala2Merged, Scala2Trace, ScalaConfig, ScalaMerged, ScalaTrace};
+use cypress_bench::trace_workload;
+use cypress_core::{compress_trace, merge_all, merge_all_parallel, CompressConfig};
+use cypress_workloads::Scale;
+
+fn bench_inter(c: &mut Criterion) {
+    for (name, procs) in [("cg", 16u32), ("lu", 16)] {
+        let t = trace_workload(name, procs, Scale::Quick);
+        let ctts: Vec<_> = t
+            .traces
+            .iter()
+            .map(|tr| compress_trace(&t.info.cst, tr, &CompressConfig::default()))
+            .collect();
+        let st: Vec<_> = t
+            .traces
+            .iter()
+            .map(|tr| ScalaTrace::compress(tr, &ScalaConfig::default()))
+            .collect();
+        let st2: Vec<_> = t
+            .traces
+            .iter()
+            .map(|tr| Scala2Trace::compress(tr, &Scala2Config::default()))
+            .collect();
+
+        let mut g = c.benchmark_group(format!("inter/{name}"));
+        g.bench_with_input(BenchmarkId::new("cypress_seq", procs), &ctts, |b, c| {
+            b.iter(|| merge_all(c))
+        });
+        g.bench_with_input(BenchmarkId::new("cypress_par", procs), &ctts, |b, c| {
+            b.iter(|| merge_all_parallel(c, 4))
+        });
+        g.bench_with_input(BenchmarkId::new("scalatrace", procs), &st, |b, s| {
+            b.iter(|| ScalaMerged::merge_all(s))
+        });
+        g.bench_with_input(BenchmarkId::new("scalatrace2", procs), &st2, |b, s| {
+            b.iter(|| Scala2Merged::merge_all(s))
+        });
+        g.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_inter
+}
+criterion_main!(benches);

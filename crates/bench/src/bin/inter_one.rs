@@ -1,0 +1,28 @@
+//! Measure inter-process merge cost for a single workload/process-count —
+//! used to collect individual paper-scale data points without running the
+//! whole Fig. 18 sweep.
+//!
+//! ```text
+//! inter_one <workload> <nprocs> [--paper]
+//! ```
+
+use cypress_bench::{inter_overhead, trace_workload};
+use cypress_workloads::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let name = args.first().map(String::as_str).unwrap_or("sp");
+    let nprocs: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(64);
+    let scale = if args.iter().any(|a| a == "--paper") {
+        Scale::Paper
+    } else {
+        Scale::Quick
+    };
+    let t = trace_workload(name, nprocs, scale);
+    let events: usize = t.traces.iter().map(|tr| tr.mpi_count()).sum();
+    let o = inter_overhead(&t);
+    println!(
+        "{name}@{nprocs} ({events} events): scalatrace {:.4}s  scalatrace2 {:.4}s  cypress {:.4}s",
+        o.scalatrace_s, o.scalatrace2_s, o.cypress_s
+    );
+}

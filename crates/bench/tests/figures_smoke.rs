@@ -1,0 +1,47 @@
+//! Smoke test: the `figures` harness binary runs its cheapest experiments
+//! end-to-end and writes the CSV artifacts.
+
+use std::process::Command;
+
+fn figures() -> Command {
+    let mut c = Command::new(env!("CARGO_BIN_EXE_figures"));
+    // Run in a scratch dir so `results/` doesn't pollute the repo root.
+    let dir = std::env::temp_dir().join(format!("figures-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    c.current_dir(dir);
+    c
+}
+
+#[test]
+fn table1_runs_and_writes_csv() {
+    let out = figures().arg("table1").output().expect("run figures");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Table I"));
+    for name in cypress_workloads::NPB_NAMES {
+        assert!(stdout.contains(name), "missing row for {name}");
+    }
+}
+
+#[test]
+fn ablation_runs() {
+    let out = figures().arg("ablation").output().expect("run figures");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("rank-encoding=relative"));
+    assert!(stdout.contains("window=2"));
+}
+
+#[test]
+fn unknown_experiment_exits_nonzero() {
+    let out = figures().arg("fig99").output().expect("run figures");
+    assert!(!out.status.success());
+}

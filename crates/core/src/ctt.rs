@@ -1,0 +1,544 @@
+//! The Compressed Trace Tree (CTT) — paper §IV.
+//!
+//! An ordered tree with the same shape as the CST whose vertices carry the
+//! runtime information gathered top-down during execution: iteration-count
+//! sequences for loop vertices, taken-visit indices for branch vertices, and
+//! merged communication records for leaves. Process ranks inside
+//! communication parameters are encoded *relatively* (`rank ± c`,
+//! paper §IV-B) so that SPMD-symmetric operations compare equal across
+//! processes during inter-process merging.
+
+use crate::intseq::IntSeq;
+use crate::timestats::TimeStats;
+use cypress_trace::codec::{Codec, DecodeError, DecodeResult, Decoder, Encoder};
+use cypress_trace::event::{MpiOp, MpiParams, ANY_SOURCE, NONE};
+
+/// A rank-valued parameter field, possibly encoded relative to the owning
+/// process's rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RankEnc {
+    /// Field not applicable.
+    None,
+    /// `MPI_ANY_SOURCE` wildcard.
+    Any,
+    /// Absolute rank (used for collective roots, which are typically the
+    /// same constant on every process).
+    Abs(i64),
+    /// Relative to the owning rank: actual = rank + delta (used for
+    /// point-to-point peers, which are typically `rank ± c` in stencils).
+    Rel(i64),
+}
+
+impl RankEnc {
+    fn encode_peer(v: i64, rank: i64) -> RankEnc {
+        match v {
+            NONE => RankEnc::None,
+            ANY_SOURCE => RankEnc::Any,
+            v => RankEnc::Rel(v - rank),
+        }
+    }
+
+    fn encode_root(v: i64) -> RankEnc {
+        match v {
+            NONE => RankEnc::None,
+            v => RankEnc::Abs(v),
+        }
+    }
+
+    fn resolve(&self, rank: i64) -> i64 {
+        match self {
+            RankEnc::None => NONE,
+            RankEnc::Any => ANY_SOURCE,
+            RankEnc::Abs(v) => *v,
+            RankEnc::Rel(d) => rank + d,
+        }
+    }
+}
+
+/// Rank-relative encoded communication parameters (the compared payload of a
+/// merged record).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct EncParams {
+    pub op: MpiOp,
+    pub dest: RankEnc,
+    pub src: RankEnc,
+    pub root: RankEnc,
+    pub count: i64,
+    pub rcount: i64,
+    pub tag: i64,
+    pub rtag: i64,
+    pub comm: i64,
+    pub req_gids: Vec<u32>,
+}
+
+impl EncParams {
+    /// Encode raw parameters relative to `rank`.
+    pub fn encode(rank: i64, op: MpiOp, p: &MpiParams) -> Self {
+        Self::encode_with(rank, op, p, true)
+    }
+
+    /// Encode with an explicit choice of peer encoding: `relative = false`
+    /// keeps absolute ranks (the ablation knob for §IV-B's relative-ranking
+    /// method).
+    pub fn encode_with(rank: i64, op: MpiOp, p: &MpiParams, relative: bool) -> Self {
+        let peer = |v: i64| {
+            if relative {
+                RankEnc::encode_peer(v, rank)
+            } else {
+                match v {
+                    NONE => RankEnc::None,
+                    ANY_SOURCE => RankEnc::Any,
+                    v => RankEnc::Abs(v),
+                }
+            }
+        };
+        EncParams {
+            op,
+            dest: peer(p.dest),
+            src: peer(p.src),
+            root: RankEnc::encode_root(p.root),
+            count: p.count,
+            rcount: p.rcount,
+            tag: p.tag,
+            rtag: p.rtag,
+            comm: p.comm,
+            req_gids: p.req_gids.clone(),
+        }
+    }
+
+    /// Allocation-free equality against raw parameters: would encoding
+    /// `(op, p)` for `rank` produce exactly `self`? This is the hot path of
+    /// the paper's compare-with-last-record merge — called once per event,
+    /// so it must not clone `req_gids`.
+    pub fn matches_raw(&self, rank: i64, op: MpiOp, p: &MpiParams, relative: bool) -> bool {
+        let peer = |v: i64| {
+            if relative {
+                RankEnc::encode_peer(v, rank)
+            } else {
+                match v {
+                    NONE => RankEnc::None,
+                    ANY_SOURCE => RankEnc::Any,
+                    v => RankEnc::Abs(v),
+                }
+            }
+        };
+        self.op == op
+            && self.count == p.count
+            && self.rcount == p.rcount
+            && self.tag == p.tag
+            && self.rtag == p.rtag
+            && self.comm == p.comm
+            && self.dest == peer(p.dest)
+            && self.src == peer(p.src)
+            && self.root == RankEnc::encode_root(p.root)
+            && self.req_gids == p.req_gids
+    }
+
+    /// Decode back to absolute parameters for process `rank`.
+    pub fn decode(&self, rank: i64) -> MpiParams {
+        MpiParams {
+            dest: self.dest.resolve(rank),
+            src: self.src.resolve(rank),
+            count: self.count,
+            rcount: self.rcount,
+            tag: self.tag,
+            rtag: self.rtag,
+            root: self.root.resolve(rank),
+            comm: self.comm,
+            req_gids: self.req_gids.clone(),
+        }
+    }
+}
+
+/// One merged communication record of a leaf vertex: `count` consecutive
+/// occurrences with identical parameters, plus aggregated timing (operation
+/// duration and preceding computation gap).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeafRecord {
+    pub params: EncParams,
+    pub count: u64,
+    /// Aggregated operation durations.
+    pub time: TimeStats,
+    /// Aggregated computation gap since the previous traced operation (used
+    /// by trace-driven replay as the sequential-computation input).
+    pub gap: TimeStats,
+}
+
+impl LeafRecord {
+    /// Records merge when their communication parameters (not timing) match.
+    pub fn matches(&self, params: &EncParams) -> bool {
+        self.params == *params
+    }
+
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.params.req_gids.capacity() * 4
+            + self.time.approx_bytes()
+            + self.gap.approx_bytes()
+    }
+}
+
+/// Per-vertex runtime data (the "linked list" of paper Fig. 10/13).
+#[derive(Debug, Clone, PartialEq)]
+pub enum VertexData {
+    Root,
+    /// Per-visit iteration counts.
+    Loop { counts: IntSeq },
+    /// Parent-visit indices at which this arm was taken.
+    Branch { taken: IntSeq },
+    /// Merged communication records, in first-occurrence order.
+    Leaf { records: Vec<LeafRecord> },
+}
+
+impl VertexData {
+    pub fn approx_bytes(&self) -> usize {
+        match self {
+            VertexData::Root => 0,
+            VertexData::Loop { counts } => counts.approx_bytes(),
+            VertexData::Branch { taken } => taken.approx_bytes(),
+            VertexData::Leaf { records } => {
+                records.iter().map(|r| r.approx_bytes()).sum::<usize>() + 24
+            }
+        }
+    }
+}
+
+/// One process's compressed trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ctt {
+    pub rank: u32,
+    pub nprocs: u32,
+    /// Total virtual application time (ns).
+    pub app_time: u64,
+    /// Indexed by CST GID.
+    pub data: Vec<VertexData>,
+}
+
+impl Ctt {
+    /// Approximate live memory footprint (Fig. 16's memory-overhead metric).
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .data
+                .iter()
+                .map(|d| d.approx_bytes() + std::mem::size_of::<VertexData>())
+                .sum::<usize>()
+    }
+
+    /// Total merged record count across leaves (the paper's `n`, the length
+    /// of the compressed per-process trace).
+    pub fn record_count(&self) -> usize {
+        self.data
+            .iter()
+            .map(|d| match d {
+                VertexData::Leaf { records } => records.len(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Total uncompressed MPI operation count represented.
+    pub fn op_count(&self) -> u64 {
+        self.data
+            .iter()
+            .map(|d| match d {
+                VertexData::Leaf { records } => records.iter().map(|r| r.count).sum(),
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+const TAG_NONE: u8 = 0;
+const TAG_ANY: u8 = 1;
+const TAG_ABS: u8 = 2;
+const TAG_REL: u8 = 3;
+
+impl Codec for RankEnc {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            RankEnc::None => enc.put_u8(TAG_NONE),
+            RankEnc::Any => enc.put_u8(TAG_ANY),
+            RankEnc::Abs(v) => {
+                enc.put_u8(TAG_ABS);
+                enc.put_ivar(*v);
+            }
+            RankEnc::Rel(d) => {
+                enc.put_u8(TAG_REL);
+                enc.put_ivar(*d);
+            }
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> DecodeResult<Self> {
+        Ok(match dec.get_u8()? {
+            TAG_NONE => RankEnc::None,
+            TAG_ANY => RankEnc::Any,
+            TAG_ABS => RankEnc::Abs(dec.get_ivar()?),
+            TAG_REL => RankEnc::Rel(dec.get_ivar()?),
+            t => return Err(DecodeError(format!("bad RankEnc tag {t}"))),
+        })
+    }
+}
+
+impl Codec for EncParams {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(self.op.code());
+        self.dest.encode(enc);
+        self.src.encode(enc);
+        self.root.encode(enc);
+        enc.put_ivar(self.count);
+        enc.put_ivar(self.rcount);
+        enc.put_ivar(self.tag);
+        enc.put_ivar(self.rtag);
+        enc.put_ivar(self.comm);
+        enc.put_uvar(self.req_gids.len() as u64);
+        for &g in &self.req_gids {
+            enc.put_uvar(g as u64);
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> DecodeResult<Self> {
+        let code = dec.get_u8()?;
+        let op =
+            MpiOp::from_code(code).ok_or_else(|| DecodeError(format!("bad op code {code}")))?;
+        let dest = RankEnc::decode(dec)?;
+        let src = RankEnc::decode(dec)?;
+        let root = RankEnc::decode(dec)?;
+        let count = dec.get_ivar()?;
+        let rcount = dec.get_ivar()?;
+        let tag = dec.get_ivar()?;
+        let rtag = dec.get_ivar()?;
+        let comm = dec.get_ivar()?;
+        let n = dec.get_uvar()? as usize;
+        if n > 1 << 24 {
+            return Err(DecodeError(format!("absurd req_gids length {n}")));
+        }
+        let mut req_gids = Vec::with_capacity(n);
+        for _ in 0..n {
+            req_gids.push(dec.get_uvar()? as u32);
+        }
+        Ok(EncParams {
+            op,
+            dest,
+            src,
+            root,
+            count,
+            rcount,
+            tag,
+            rtag,
+            comm,
+            req_gids,
+        })
+    }
+}
+
+impl Codec for LeafRecord {
+    fn encode(&self, enc: &mut Encoder) {
+        self.params.encode(enc);
+        enc.put_uvar(self.count);
+        self.time.encode(enc);
+        self.gap.encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> DecodeResult<Self> {
+        Ok(LeafRecord {
+            params: <EncParams as Codec>::decode(dec)?,
+            count: dec.get_uvar()?,
+            time: TimeStats::decode(dec)?,
+            gap: TimeStats::decode(dec)?,
+        })
+    }
+}
+
+const VD_ROOT: u8 = 0;
+const VD_LOOP: u8 = 1;
+const VD_BRANCH: u8 = 2;
+const VD_LEAF: u8 = 3;
+
+impl Codec for VertexData {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            VertexData::Root => enc.put_u8(VD_ROOT),
+            VertexData::Loop { counts } => {
+                enc.put_u8(VD_LOOP);
+                counts.encode(enc);
+            }
+            VertexData::Branch { taken } => {
+                enc.put_u8(VD_BRANCH);
+                taken.encode(enc);
+            }
+            VertexData::Leaf { records } => {
+                enc.put_u8(VD_LEAF);
+                enc.put_uvar(records.len() as u64);
+                for r in records {
+                    r.encode(enc);
+                }
+            }
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> DecodeResult<Self> {
+        Ok(match dec.get_u8()? {
+            VD_ROOT => VertexData::Root,
+            VD_LOOP => VertexData::Loop {
+                counts: IntSeq::decode(dec)?,
+            },
+            VD_BRANCH => VertexData::Branch {
+                taken: IntSeq::decode(dec)?,
+            },
+            VD_LEAF => {
+                let n = dec.get_uvar()? as usize;
+                if n > 1 << 26 {
+                    return Err(DecodeError(format!("absurd record count {n}")));
+                }
+                let mut records = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    records.push(LeafRecord::decode(dec)?);
+                }
+                VertexData::Leaf { records }
+            }
+            t => return Err(DecodeError(format!("bad VertexData tag {t}"))),
+        })
+    }
+}
+
+impl Codec for Ctt {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_uvar(self.rank as u64);
+        enc.put_uvar(self.nprocs as u64);
+        enc.put_uvar(self.app_time);
+        enc.put_uvar(self.data.len() as u64);
+        for d in &self.data {
+            d.encode(enc);
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> DecodeResult<Self> {
+        let rank = dec.get_uvar()? as u32;
+        let nprocs = dec.get_uvar()? as u32;
+        let app_time = dec.get_uvar()?;
+        let n = dec.get_uvar()? as usize;
+        if n > 1 << 26 {
+            return Err(DecodeError(format!("absurd vertex count {n}")));
+        }
+        let mut data = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            data.push(VertexData::decode(dec)?);
+        }
+        Ok(Ctt {
+            rank,
+            nprocs,
+            app_time,
+            data,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timestats::TimeMode;
+
+    #[test]
+    fn relative_encoding_makes_stencil_params_rank_invariant() {
+        let p0 = MpiParams::send(1, 64, 0); // rank 0 sends to 1
+        let p5 = MpiParams::send(6, 64, 0); // rank 5 sends to 6
+        let e0 = EncParams::encode(0, MpiOp::Send, &p0);
+        let e5 = EncParams::encode(5, MpiOp::Send, &p5);
+        assert_eq!(e0, e5);
+        assert_eq!(e0.dest, RankEnc::Rel(1));
+    }
+
+    #[test]
+    fn root_encoding_stays_absolute() {
+        let p = MpiParams::rooted(0, 8);
+        let e3 = EncParams::encode(3, MpiOp::Bcast, &p);
+        let e9 = EncParams::encode(9, MpiOp::Bcast, &p);
+        assert_eq!(e3, e9);
+        assert_eq!(e3.root, RankEnc::Abs(0));
+    }
+
+    #[test]
+    fn encode_decode_inverse_for_every_field() {
+        let p = MpiParams::sendrecv(7, 100, 1, 3, 200, 2);
+        let e = EncParams::encode(5, MpiOp::Sendrecv, &p);
+        assert_eq!(e.decode(5), p);
+    }
+
+    #[test]
+    fn wildcard_source_round_trips() {
+        let p = MpiParams::recv(ANY_SOURCE, 8, 0);
+        let e = EncParams::encode(2, MpiOp::Irecv, &p);
+        assert_eq!(e.src, RankEnc::Any);
+        assert_eq!(e.decode(2).src, ANY_SOURCE);
+    }
+
+    #[test]
+    fn ctt_codec_round_trip() {
+        let mut time = TimeStats::new(TimeMode::MeanStd);
+        time.add(120);
+        time.add(130);
+        let ctt = Ctt {
+            rank: 3,
+            nprocs: 8,
+            app_time: 999,
+            data: vec![
+                VertexData::Root,
+                VertexData::Loop {
+                    counts: IntSeq::from_slice(&[10]),
+                },
+                VertexData::Branch {
+                    taken: IntSeq::from_slice(&[0, 2, 4]),
+                },
+                VertexData::Leaf {
+                    records: vec![LeafRecord {
+                        params: EncParams::encode(3, MpiOp::Send, &MpiParams::send(4, 64, 0)),
+                        count: 5,
+                        time,
+                        gap: TimeStats::new(TimeMode::MeanStd),
+                    }],
+                },
+            ],
+        };
+        let back = Ctt::from_bytes(&ctt.to_bytes()).unwrap();
+        // Timing statistics are quantized by the codec; the encoding itself
+        // is canonical (re-encoding is byte-stable), and everything except
+        // timing round-trips exactly.
+        assert_eq!(back.to_bytes(), ctt.to_bytes());
+        assert_eq!(back.rank, ctt.rank);
+        assert_eq!(back.record_count(), ctt.record_count());
+        assert_eq!(back.op_count(), ctt.op_count());
+    }
+
+    #[test]
+    fn record_and_op_counts() {
+        let ctt = Ctt {
+            rank: 0,
+            nprocs: 1,
+            app_time: 0,
+            data: vec![
+                VertexData::Root,
+                VertexData::Leaf {
+                    records: vec![
+                        LeafRecord {
+                            params: EncParams::encode(0, MpiOp::Barrier, &MpiParams::collective(0)),
+                            count: 7,
+                            time: TimeStats::None,
+                            gap: TimeStats::None,
+                        },
+                        LeafRecord {
+                            params: EncParams::encode(0, MpiOp::Bcast, &MpiParams::rooted(0, 4)),
+                            count: 3,
+                            time: TimeStats::None,
+                            gap: TimeStats::None,
+                        },
+                    ],
+                },
+            ],
+        };
+        assert_eq!(ctt.record_count(), 2);
+        assert_eq!(ctt.op_count(), 10);
+        assert!(ctt.approx_bytes() > 0);
+    }
+}

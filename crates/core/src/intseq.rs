@@ -1,0 +1,380 @@
+//! Stride/run-length compressed integer sequences.
+//!
+//! The paper compresses loop iteration counts and branch outcomes with
+//! run-length notation (`a×n`) and striding tuples (`<first,last,stride>`,
+//! e.g. "iteration count goes 0..k-1 with stride 1"). [`IntSeq`] generalizes
+//! both: a sequence of *segments*, each an arithmetic progression
+//! `(start, stride, len)` optionally repeated `reps` times, so that a
+//! triangular inner-loop count sequence `0,1,2,…,k-1` is one segment, a
+//! constant sequence is one segment with stride 0, and a periodic pattern
+//! (inner counts repeating every outer iteration) folds into `reps`.
+//!
+//! Lossless: `decompress(compress(xs)) == xs` for every `Vec<i64>`
+//! (property-tested).
+
+use cypress_trace::codec::{Codec, DecodeError, DecodeResult, Decoder, Encoder};
+
+/// One arithmetic-progression segment, repeated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Seg {
+    pub start: i64,
+    pub stride: i64,
+    /// Number of terms in the progression (≥ 1).
+    pub len: u32,
+    /// How many times the whole progression repeats (≥ 1).
+    pub reps: u32,
+}
+
+impl Seg {
+    /// Total values this segment expands to.
+    pub fn total(&self) -> u64 {
+        self.len as u64 * self.reps as u64
+    }
+
+    /// Value at position `i` within a single repetition.
+    fn value_at(&self, i: u32) -> i64 {
+        self.start.wrapping_add(self.stride.wrapping_mul(i as i64))
+    }
+}
+
+/// A compressed sequence of `i64`s.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct IntSeq {
+    segs: Vec<Seg>,
+    /// Terms accumulated in the trailing, still-open progression.
+    /// (Invariant maintained by `push`: the last segment may still grow.)
+    total: u64,
+}
+
+impl IntSeq {
+    pub fn new() -> Self {
+        IntSeq::default()
+    }
+
+    /// Build from a slice.
+    pub fn from_slice(xs: &[i64]) -> Self {
+        let mut s = IntSeq::new();
+        for &x in xs {
+            s.push(x);
+        }
+        s
+    }
+
+    /// Number of values in the (logical) sequence.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Number of physical segments (the compressed size driver).
+    pub fn seg_count(&self) -> usize {
+        self.segs.len()
+    }
+
+    pub fn segments(&self) -> &[Seg] {
+        &self.segs
+    }
+
+    /// Append one value, extending the trailing segment when possible.
+    pub fn push(&mut self, v: i64) {
+        self.total += 1;
+        if let Some(last) = self.segs.last_mut() {
+            if last.reps == 1 {
+                // Open progression: try to extend.
+                if last.len == 1 {
+                    last.stride = v.wrapping_sub(last.start);
+                    last.len = 2;
+                    self.try_fold_reps();
+                    return;
+                }
+                let expected = last.value_at(last.len);
+                if v == expected {
+                    last.len += 1;
+                    self.try_fold_reps();
+                    return;
+                }
+            }
+            // Closed (repeated) segment, or open progression that `v` does
+            // not continue: start a new segment below. Periodic patterns
+            // re-accumulate in the new segment and fold into `reps` once it
+            // replicates its predecessor (try_fold_reps).
+        }
+        self.segs.push(Seg {
+            start: v,
+            stride: 0,
+            len: 1,
+            reps: 1,
+        });
+        self.try_fold_reps();
+    }
+
+    /// If the trailing segment exactly replicates its predecessor's
+    /// progression, fold it into `reps`.
+    fn try_fold_reps(&mut self) {
+        let n = self.segs.len();
+        if n < 2 {
+            return;
+        }
+        let (prev, last) = {
+            let (a, b) = self.segs.split_at(n - 1);
+            (a[n - 2], b[0])
+        };
+        if last.reps == 1
+            && last.len == prev.len
+            && last.start == prev.start
+            && (last.stride == prev.stride || prev.len == 1)
+        {
+            self.segs[n - 2].reps = prev.reps + 1;
+            self.segs.pop();
+        }
+    }
+
+    /// Expand to a `Vec` (tests / small sequences).
+    pub fn to_vec(&self) -> Vec<i64> {
+        let mut out = Vec::with_capacity(self.total as usize);
+        for s in &self.segs {
+            for _ in 0..s.reps {
+                for i in 0..s.len {
+                    out.push(s.value_at(i));
+                }
+            }
+        }
+        out
+    }
+
+    /// Sequential reader over the values.
+    pub fn reader(&self) -> IntSeqReader<'_> {
+        IntSeqReader {
+            seq: self,
+            seg: 0,
+            rep: 0,
+            idx: 0,
+        }
+    }
+
+    /// Approximate in-memory footprint in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.segs.capacity() * std::mem::size_of::<Seg>()
+    }
+}
+
+/// Sequential consumer of an [`IntSeq`] (supports peek, used by branch
+/// outcome matching during decompression).
+#[derive(Debug, Clone)]
+pub struct IntSeqReader<'a> {
+    seq: &'a IntSeq,
+    seg: usize,
+    rep: u32,
+    idx: u32,
+}
+
+#[allow(clippy::should_implement_trait)]
+impl IntSeqReader<'_> {
+    /// Look at the next value without consuming it.
+    pub fn peek(&self) -> Option<i64> {
+        let s = self.seq.segs.get(self.seg)?;
+        Some(s.value_at(self.idx))
+    }
+
+    /// Consume and return the next value.
+    pub fn next(&mut self) -> Option<i64> {
+        let s = self.seq.segs.get(self.seg)?;
+        let v = s.value_at(self.idx);
+        self.idx += 1;
+        if self.idx == s.len {
+            self.idx = 0;
+            self.rep += 1;
+            if self.rep == s.reps {
+                self.rep = 0;
+                self.seg += 1;
+            }
+        }
+        Some(v)
+    }
+
+    /// How many values remain.
+    pub fn remaining(&self) -> u64 {
+        let mut rem = 0u64;
+        for (i, s) in self.seq.segs.iter().enumerate().skip(self.seg) {
+            if i == self.seg {
+                let done = self.rep as u64 * s.len as u64 + self.idx as u64;
+                rem += s.total() - done;
+            } else {
+                rem += s.total();
+            }
+        }
+        rem
+    }
+}
+
+impl Codec for IntSeq {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_uvar(self.segs.len() as u64);
+        for s in &self.segs {
+            enc.put_ivar(s.start);
+            enc.put_ivar(s.stride);
+            enc.put_uvar(s.len as u64);
+            enc.put_uvar(s.reps as u64);
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> DecodeResult<Self> {
+        let n = dec.get_uvar()? as usize;
+        if n > 1 << 28 {
+            return Err(DecodeError(format!("absurd segment count {n}")));
+        }
+        let mut segs = Vec::with_capacity(n.min(1 << 16));
+        let mut total = 0u64;
+        for _ in 0..n {
+            let start = dec.get_ivar()?;
+            let stride = dec.get_ivar()?;
+            let len = dec.get_uvar()? as u32;
+            let reps = dec.get_uvar()? as u32;
+            if len == 0 || reps == 0 {
+                return Err(DecodeError("zero-length segment".into()));
+            }
+            total += len as u64 * reps as u64;
+            segs.push(Seg {
+                start,
+                stride,
+                len,
+                reps,
+            });
+        }
+        Ok(IntSeq { segs, total })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn round_trip(xs: &[i64]) {
+        let s = IntSeq::from_slice(xs);
+        assert_eq!(s.to_vec(), xs, "segments: {:?}", s.segments());
+        assert_eq!(s.len(), xs.len() as u64);
+    }
+
+    #[test]
+    fn constant_run_is_one_segment() {
+        let s = IntSeq::from_slice(&[7; 100]);
+        assert_eq!(s.seg_count(), 1);
+        assert_eq!(s.to_vec(), vec![7; 100]);
+    }
+
+    #[test]
+    fn arithmetic_progression_is_one_segment() {
+        let xs: Vec<i64> = (0..50).collect();
+        let s = IntSeq::from_slice(&xs);
+        assert_eq!(s.seg_count(), 1);
+        assert_eq!(s.segments()[0], Seg {
+            start: 0,
+            stride: 1,
+            len: 50,
+            reps: 1
+        });
+    }
+
+    #[test]
+    fn strided_progression_compresses() {
+        // The paper's <0,8,2> example: branch taken at 0,2,4,6,8.
+        let s = IntSeq::from_slice(&[0, 2, 4, 6, 8]);
+        assert_eq!(s.seg_count(), 1);
+        assert_eq!(s.segments()[0].stride, 2);
+    }
+
+    #[test]
+    fn alternating_pattern_folds_into_reps() {
+        // 1,0,1,0,... : pairs (1,0) repeated.
+        let xs: Vec<i64> = (0..40).map(|i| (i + 1) % 2).collect();
+        let s = IntSeq::from_slice(&xs);
+        round_trip(&xs);
+        assert!(s.seg_count() <= 3, "segments: {:?}", s.segments());
+    }
+
+    #[test]
+    fn periodic_ap_folds_into_reps() {
+        // 0,1,2,3 repeated 10 times (inner loop counts under an outer loop).
+        let mut xs = Vec::new();
+        for _ in 0..10 {
+            xs.extend(0..4i64);
+        }
+        let s = IntSeq::from_slice(&xs);
+        round_trip(&xs);
+        assert!(s.seg_count() <= 3, "segments: {:?}", s.segments());
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        round_trip(&[]);
+        round_trip(&[42]);
+        assert!(IntSeq::new().is_empty());
+    }
+
+    #[test]
+    fn reader_sequential_and_peek() {
+        let s = IntSeq::from_slice(&[5, 5, 5, 1, 2, 3]);
+        let mut r = s.reader();
+        assert_eq!(r.peek(), Some(5));
+        assert_eq!(r.remaining(), 6);
+        let got: Vec<i64> = std::iter::from_fn(|| r.next()).collect();
+        assert_eq!(got, vec![5, 5, 5, 1, 2, 3]);
+        assert_eq!(r.peek(), None);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn codec_round_trip() {
+        let s = IntSeq::from_slice(&[0, 2, 4, 9, 9, 9, -1]);
+        let b = s.to_bytes();
+        assert_eq!(IntSeq::from_bytes(&b).unwrap(), s);
+    }
+
+    #[test]
+    fn codec_rejects_zero_len_segment() {
+        let mut enc = Encoder::new();
+        enc.put_uvar(1);
+        enc.put_ivar(0);
+        enc.put_ivar(0);
+        enc.put_uvar(0); // len 0
+        enc.put_uvar(1);
+        assert!(IntSeq::from_bytes(&enc.finish()).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(xs in proptest::collection::vec(-20i64..20, 0..200)) {
+            round_trip(&xs);
+        }
+
+        #[test]
+        fn prop_round_trip_wide(xs in proptest::collection::vec(any::<i64>(), 0..60)) {
+            round_trip(&xs);
+        }
+
+        #[test]
+        fn prop_codec_round_trip(xs in proptest::collection::vec(-5i64..5, 0..100)) {
+            let s = IntSeq::from_slice(&xs);
+            let back = IntSeq::from_bytes(&s.to_bytes()).unwrap();
+            prop_assert_eq!(back.to_vec(), xs);
+        }
+
+        #[test]
+        fn prop_reader_matches_to_vec(xs in proptest::collection::vec(-8i64..8, 0..150)) {
+            let s = IntSeq::from_slice(&xs);
+            let mut r = s.reader();
+            let got: Vec<i64> = std::iter::from_fn(|| r.next()).collect();
+            prop_assert_eq!(got, s.to_vec());
+        }
+
+        #[test]
+        fn prop_compression_no_worse_than_linear(xs in proptest::collection::vec(-4i64..4, 1..120)) {
+            let s = IntSeq::from_slice(&xs);
+            prop_assert!(s.seg_count() <= xs.len());
+        }
+    }
+}

@@ -1,0 +1,679 @@
+//! Inter-process trace compression (paper §IV-B, Fig. 13).
+//!
+//! Because every per-process CTT shares the CST's shape, merging two
+//! compressed traces is a *vertex-by-vertex* walk — O(n) in the number of
+//! vertices/records — instead of the O(n²) sequence-alignment search
+//! dynamic-only tools need. Per vertex, processes whose recorded data is
+//! identical (after relative-rank encoding) collapse into one *rank group*;
+//! a process that never executed a call path simply contributes nothing at
+//! those vertices.
+//!
+//! Granularity follows the paper's Fig. 13: control vertices group ranks by
+//! their whole recorded sequence (`<p0,p1: k>` / `<p0: 0,k,1, p1: null>`),
+//! while communication vertices group ranks **per record slot** of the
+//! per-vertex linked list — so ranks that agree on their first record but
+//! diverge later still share the common slots.
+//!
+//! [`merge_all_parallel`] reduces the per-process CTTs over a binomial tree
+//! with crossbeam scoped threads — the O(n log P) schedule the paper
+//! describes for end-of-job merging inside `MPI_Finalize`.
+
+use crate::ctt::{Ctt, LeafRecord, VertexData};
+use crate::intseq::IntSeq;
+use cypress_trace::codec::{Codec, DecodeError, DecodeResult, Decoder, Encoder};
+
+/// A compressed set of ranks (stride-encoded: "ranks 1..size-2" is one
+/// segment).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RankSet(IntSeq);
+
+impl RankSet {
+    pub fn singleton(rank: u32) -> Self {
+        RankSet(IntSeq::from_slice(&[rank as i64]))
+    }
+
+    pub fn len(&self) -> u64 {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    pub fn contains(&self, rank: u32) -> bool {
+        let mut r = self.0.reader();
+        while let Some(v) = r.next() {
+            if v == rank as i64 {
+                return true;
+            }
+        }
+        false
+    }
+
+    pub fn ranks(&self) -> Vec<u32> {
+        self.0.to_vec().into_iter().map(|v| v as u32).collect()
+    }
+
+    /// Append all ranks of `other` (callers maintain sorted order by merging
+    /// lower-rank halves first).
+    pub fn extend(&mut self, other: &RankSet) {
+        let mut r = other.0.reader();
+        while let Some(v) = r.next() {
+            self.0.push(v);
+        }
+    }
+
+    pub fn approx_bytes(&self) -> usize {
+        self.0.approx_bytes()
+    }
+}
+
+impl Codec for RankSet {
+    fn encode(&self, enc: &mut Encoder) {
+        self.0.encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> DecodeResult<Self> {
+        Ok(RankSet(IntSeq::decode(dec)?))
+    }
+}
+
+/// Merged data of one CST vertex.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MergedVertex {
+    /// Root, or a vertex no rank ever reached.
+    Empty,
+    /// Loop/branch vertex: ranks grouped by their whole recorded sequence.
+    Control(Vec<(RankSet, VertexData)>),
+    /// Communication vertex: per record-slot rank groups.
+    Leaf(Vec<Vec<(RankSet, LeafRecord)>>),
+}
+
+impl MergedVertex {
+    fn group_count(&self) -> usize {
+        match self {
+            MergedVertex::Empty => 0,
+            MergedVertex::Control(g) => g.len(),
+            MergedVertex::Leaf(slots) => slots.iter().map(|s| s.len()).sum(),
+        }
+    }
+
+    fn approx_bytes(&self) -> usize {
+        match self {
+            MergedVertex::Empty => 0,
+            MergedVertex::Control(g) => g
+                .iter()
+                .map(|(rs, d)| rs.approx_bytes() + d.approx_bytes())
+                .sum(),
+            MergedVertex::Leaf(slots) => slots
+                .iter()
+                .flat_map(|s| s.iter())
+                .map(|(rs, r)| rs.approx_bytes() + r.approx_bytes())
+                .sum(),
+        }
+    }
+}
+
+/// The merged (inter-process compressed) trace of a whole job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergedCtt {
+    pub nprocs: u32,
+    /// Indexed by CST GID.
+    pub vertices: Vec<MergedVertex>,
+    /// Per-rank application times, stride-compressed in rank order.
+    pub app_times: IntSeq,
+}
+
+/// Control-data compatibility: identical sequences (timing is not part of
+/// control data).
+pub fn control_mergeable(a: &VertexData, b: &VertexData) -> bool {
+    match (a, b) {
+        (VertexData::Loop { counts: x }, VertexData::Loop { counts: y }) => x == y,
+        (VertexData::Branch { taken: x }, VertexData::Branch { taken: y }) => x == y,
+        _ => false,
+    }
+}
+
+/// Record compatibility: parameters and repeat count match ("all but the
+/// communication time", §IV-A).
+pub fn record_mergeable(a: &LeafRecord, b: &LeafRecord) -> bool {
+    a.params == b.params && a.count == b.count
+}
+
+impl MergedCtt {
+    /// Lift one per-process CTT into a (singleton-groups) merged form.
+    pub fn from_ctt(ctt: &Ctt) -> Self {
+        let rank = ctt.rank;
+        let vertices = ctt
+            .data
+            .iter()
+            .map(|vd| match vd {
+                VertexData::Root => MergedVertex::Empty,
+                // Empty data = the rank never reached this vertex: it
+                // contributes nothing there (paper: "if a process has not
+                // executed a certain call path, the path is ignored").
+                VertexData::Loop { counts } if counts.is_empty() => MergedVertex::Empty,
+                VertexData::Branch { taken } if taken.is_empty() => MergedVertex::Empty,
+                VertexData::Leaf { records } => {
+                    if records.is_empty() {
+                        MergedVertex::Empty
+                    } else {
+                        MergedVertex::Leaf(
+                            records
+                                .iter()
+                                .map(|r| vec![(RankSet::singleton(rank), r.clone())])
+                                .collect(),
+                        )
+                    }
+                }
+                other => MergedVertex::Control(vec![(RankSet::singleton(rank), other.clone())]),
+            })
+            .collect();
+        let mut app_times = IntSeq::new();
+        app_times.push(ctt.app_time as i64);
+        MergedCtt {
+            nprocs: ctt.nprocs,
+            vertices,
+            app_times,
+        }
+    }
+
+    /// Merge `other` into `self`, vertex by vertex. Ranks in `other` must be
+    /// greater than ranks in `self` (reduce contiguous halves) so rank sets
+    /// stay sorted and stride-compressible.
+    pub fn absorb(&mut self, other: MergedCtt) {
+        assert_eq!(self.vertices.len(), other.vertices.len());
+        for (mine, theirs) in self.vertices.iter_mut().zip(other.vertices) {
+            match theirs {
+                MergedVertex::Empty => {}
+                MergedVertex::Control(groups) => {
+                    let dst = match mine {
+                        MergedVertex::Control(g) => g,
+                        MergedVertex::Empty => {
+                            *mine = MergedVertex::Control(Vec::new());
+                            let MergedVertex::Control(g) = mine else {
+                                unreachable!()
+                            };
+                            g
+                        }
+                        MergedVertex::Leaf(_) => {
+                            unreachable!("CTTs share the CST shape: control vs leaf mismatch")
+                        }
+                    };
+                    for (ranks, data) in groups {
+                        match dst.iter_mut().find(|(_, d)| control_mergeable(d, &data)) {
+                            Some((rs, _)) => rs.extend(&ranks),
+                            None => dst.push((ranks, data)),
+                        }
+                    }
+                }
+                MergedVertex::Leaf(slots) => {
+                    let dst = match mine {
+                        MergedVertex::Leaf(s) => s,
+                        MergedVertex::Empty => {
+                            *mine = MergedVertex::Leaf(Vec::new());
+                            let MergedVertex::Leaf(s) = mine else {
+                                unreachable!()
+                            };
+                            s
+                        }
+                        MergedVertex::Control(_) => {
+                            unreachable!("CTTs share the CST shape: leaf vs control mismatch")
+                        }
+                    };
+                    if dst.len() < slots.len() {
+                        dst.resize_with(slots.len(), Vec::new);
+                    }
+                    for (si, groups) in slots.into_iter().enumerate() {
+                        for (ranks, rec) in groups {
+                            match dst[si]
+                                .iter_mut()
+                                .find(|(_, r)| record_mergeable(r, &rec))
+                            {
+                                Some((rs, r)) => {
+                                    rs.extend(&ranks);
+                                    r.time.merge(&rec.time);
+                                    r.gap.merge(&rec.gap);
+                                }
+                                None => dst[si].push((ranks, rec)),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let mut r = other.app_times.reader();
+        while let Some(v) = r.next() {
+            self.app_times.push(v);
+        }
+    }
+
+    /// Total group count across vertices (the merged trace's record
+    /// measure).
+    pub fn group_count(&self) -> usize {
+        self.vertices.iter().map(|v| v.group_count()).sum()
+    }
+
+    /// Extract one rank's view back out as a per-process CTT (inverse of the
+    /// merge, used for per-rank decompression and replay).
+    pub fn extract_rank(&self, rank: u32, cst: &cypress_cst::Cst) -> Ctt {
+        use cypress_cst::tree::VertexKind;
+        let data = self
+            .vertices
+            .iter()
+            .enumerate()
+            .map(|(i, mv)| {
+                match mv {
+                    MergedVertex::Control(groups) => {
+                        for (rs, d) in groups {
+                            if rs.contains(rank) {
+                                return d.clone();
+                            }
+                        }
+                    }
+                    MergedVertex::Leaf(slots) => {
+                        let mut records = Vec::new();
+                        for slot in slots {
+                            for (rs, r) in slot {
+                                if rs.contains(rank) {
+                                    records.push(r.clone());
+                                    break;
+                                }
+                            }
+                        }
+                        return VertexData::Leaf { records };
+                    }
+                    MergedVertex::Empty => {}
+                }
+                // The rank never reached this vertex: empty data of the
+                // right shape.
+                match &cst.vertex(i).kind {
+                    VertexKind::Root => VertexData::Root,
+                    VertexKind::Loop { .. } => VertexData::Loop {
+                        counts: IntSeq::new(),
+                    },
+                    VertexKind::Branch { .. } => VertexData::Branch {
+                        taken: IntSeq::new(),
+                    },
+                    VertexKind::Mpi { .. } | VertexKind::UserCall { .. } => VertexData::Leaf {
+                        records: Vec::new(),
+                    },
+                }
+            })
+            .collect();
+        let app_time = self
+            .app_times
+            .to_vec()
+            .get(rank as usize)
+            .copied()
+            .unwrap_or(0) as u64;
+        Ctt {
+            rank,
+            nprocs: self.nprocs,
+            app_time,
+            data,
+        }
+    }
+
+    pub fn approx_bytes(&self) -> usize {
+        self.vertices
+            .iter()
+            .map(|v| v.approx_bytes())
+            .sum::<usize>()
+            + self.app_times.approx_bytes()
+    }
+}
+
+/// Sequentially merge all per-process CTTs (must be in rank order).
+pub fn merge_all(ctts: &[Ctt]) -> MergedCtt {
+    assert!(!ctts.is_empty(), "merge_all needs at least one CTT");
+    let mut acc = MergedCtt::from_ctt(&ctts[0]);
+    for c in &ctts[1..] {
+        acc.absorb(MergedCtt::from_ctt(c));
+    }
+    acc
+}
+
+/// Merge with a binomial reduction tree across `threads` workers — the
+/// parallel O(n log P) schedule of §IV-B.
+pub fn merge_all_parallel(ctts: &[Ctt], threads: usize) -> MergedCtt {
+    assert!(!ctts.is_empty(), "merge_all_parallel needs at least one CTT");
+    let threads = threads.clamp(1, ctts.len());
+    if threads == 1 {
+        return merge_all(ctts);
+    }
+    let chunk = ctts.len().div_ceil(threads);
+    let mut partials: Vec<Option<MergedCtt>> = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = ctts
+            .chunks(chunk)
+            .map(|part| scope.spawn(move |_| merge_all(part)))
+            .collect();
+        partials = handles
+            .into_iter()
+            .map(|h| Some(h.join().expect("merge worker panicked")))
+            .collect();
+    })
+    .expect("crossbeam scope failed");
+    // Reduce the per-thread partials in rank order.
+    let mut iter = partials.into_iter().flatten();
+    let mut acc = iter.next().expect("at least one partial");
+    for p in iter {
+        acc.absorb(p);
+    }
+    acc
+}
+
+const MV_EMPTY: u8 = 0;
+const MV_CONTROL: u8 = 1;
+const MV_LEAF: u8 = 2;
+
+impl Codec for MergedCtt {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_uvar(self.nprocs as u64);
+        self.app_times.encode(enc);
+        enc.put_uvar(self.vertices.len() as u64);
+        for mv in &self.vertices {
+            match mv {
+                MergedVertex::Empty => enc.put_u8(MV_EMPTY),
+                MergedVertex::Control(groups) => {
+                    enc.put_u8(MV_CONTROL);
+                    enc.put_uvar(groups.len() as u64);
+                    for (rs, d) in groups {
+                        rs.encode(enc);
+                        d.encode(enc);
+                    }
+                }
+                MergedVertex::Leaf(slots) => {
+                    enc.put_u8(MV_LEAF);
+                    enc.put_uvar(slots.len() as u64);
+                    for slot in slots {
+                        enc.put_uvar(slot.len() as u64);
+                        for (rs, r) in slot {
+                            rs.encode(enc);
+                            r.encode(enc);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> DecodeResult<Self> {
+        let nprocs = dec.get_uvar()? as u32;
+        let app_times = IntSeq::decode(dec)?;
+        let nv = dec.get_uvar()? as usize;
+        if nv > 1 << 26 {
+            return Err(DecodeError(format!("absurd vertex count {nv}")));
+        }
+        let mut vertices = Vec::with_capacity(nv.min(1 << 16));
+        for _ in 0..nv {
+            vertices.push(match dec.get_u8()? {
+                MV_EMPTY => MergedVertex::Empty,
+                MV_CONTROL => {
+                    let ng = dec.get_uvar()? as usize;
+                    if ng > 1 << 24 {
+                        return Err(DecodeError(format!("absurd group count {ng}")));
+                    }
+                    let mut groups = Vec::with_capacity(ng.min(1 << 12));
+                    for _ in 0..ng {
+                        let rs = RankSet::decode(dec)?;
+                        let d = VertexData::decode(dec)?;
+                        groups.push((rs, d));
+                    }
+                    MergedVertex::Control(groups)
+                }
+                MV_LEAF => {
+                    let ns = dec.get_uvar()? as usize;
+                    if ns > 1 << 24 {
+                        return Err(DecodeError(format!("absurd slot count {ns}")));
+                    }
+                    let mut slots = Vec::with_capacity(ns.min(1 << 12));
+                    for _ in 0..ns {
+                        let ng = dec.get_uvar()? as usize;
+                        if ng > 1 << 24 {
+                            return Err(DecodeError(format!("absurd group count {ng}")));
+                        }
+                        let mut groups = Vec::with_capacity(ng.min(1 << 12));
+                        for _ in 0..ng {
+                            let rs = RankSet::decode(dec)?;
+                            let r = LeafRecord::decode(dec)?;
+                            groups.push((rs, r));
+                        }
+                        slots.push(groups);
+                    }
+                    MergedVertex::Leaf(slots)
+                }
+                t => return Err(DecodeError(format!("bad MergedVertex tag {t}"))),
+            });
+        }
+        Ok(MergedCtt {
+            nprocs,
+            vertices,
+            app_times,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compress::{compress_trace, CompressConfig};
+    use crate::decompress::decompress;
+    use cypress_cst::analyze_program;
+    use cypress_minilang::{check_program, parse};
+    use cypress_runtime::{trace_program, InterpConfig};
+
+    fn pipeline(src: &str, nprocs: u32) -> (cypress_cst::StaticInfo, Vec<Ctt>) {
+        let p = parse(src).unwrap();
+        check_program(&p).unwrap();
+        let info = analyze_program(&p);
+        let traces = trace_program(&p, &info, nprocs, &InterpConfig::default()).unwrap();
+        let ctts = traces
+            .iter()
+            .map(|t| compress_trace(&info.cst, t, &CompressConfig::default()))
+            .collect();
+        (info, ctts)
+    }
+
+    const JACOBI: &str = r#"fn main() {
+        let r = rank(); let s = size();
+        for k in 0..10 {
+            if r < s - 1 { send(r + 1, 1024, 0); }
+            if r > 0 { recv(r - 1, 1024, 0); }
+            if r > 0 { send(r - 1, 1024, 1); }
+            if r < s - 1 { recv(r + 1, 1024, 1); }
+        }
+    }"#;
+
+    #[test]
+    fn jacobi_merges_into_few_groups_fig13() {
+        let (_, ctts) = pipeline(JACOBI, 16);
+        let merged = merge_all(&ctts);
+        // Every vertex has at most 2 groups: the send/recv leaves merge
+        // across all participating ranks thanks to relative encoding, and
+        // the branch outcomes split only edge vs interior ranks.
+        for v in &merged.vertices {
+            assert!(v.group_count() <= 2, "groups: {}", v.group_count());
+        }
+        // The merged trace is far smaller than the sum of per-process CTTs.
+        let merged_sz = merged.encoded_size();
+        let sum_sz: usize = ctts.iter().map(|c| c.encoded_size()).sum();
+        assert!(merged_sz * 4 < sum_sz, "merged {merged_sz} vs sum {sum_sz}");
+    }
+
+    #[test]
+    fn merged_trace_size_nearly_constant_in_p() {
+        let (_, ctts16) = pipeline(JACOBI, 16);
+        let (_, ctts64) = pipeline(JACOBI, 64);
+        let s16 = merge_all(&ctts16).encoded_size();
+        let s64 = merge_all(&ctts64).encoded_size();
+        // Sub-linear: 4x the processes should cost well under 2x the bytes.
+        assert!((s64 as f64) < (s16 as f64) * 2.0, "s16={s16} s64={s64}");
+    }
+
+    #[test]
+    fn extract_rank_round_trips_through_merge() {
+        let (info, ctts) = pipeline(JACOBI, 8);
+        let merged = merge_all(&ctts);
+        for (rank, ctt) in ctts.iter().enumerate() {
+            let extracted = merged.extract_rank(rank as u32, &info.cst);
+            let a = decompress(&info.cst, ctt);
+            let b = decompress(&info.cst, &extracted);
+            // Identical op sequences (params included); timing becomes the
+            // group aggregate, so compare (gid, op, params).
+            let strip = |ops: &[crate::decompress::ReplayOp]| {
+                ops.iter()
+                    .map(|o| (o.gid, o.op, o.params.clone()))
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(strip(&a), strip(&b), "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn slotwise_grouping_shares_common_prefixes() {
+        // Ranks share their first record (send to rank+1 mod P with equal
+        // size) but diverge on the second (rank-dependent size). Slot-wise
+        // grouping keeps slot 0 fully shared.
+        let (_, ctts) = pipeline(
+            r#"fn main() {
+                send((rank() + 1) % size(), 64, 0);
+                recv(any_source(), 64, 0);
+                send((rank() + 1) % size(), 64 + rank() * 8, 1);
+                recv(any_source(), 64 + rank() * 8, 1);
+            }"#,
+            8,
+        );
+        let merged = merge_all(&ctts);
+        let leaf_slotcounts: Vec<Vec<usize>> = merged
+            .vertices
+            .iter()
+            .filter_map(|v| match v {
+                MergedVertex::Leaf(slots) => {
+                    Some(slots.iter().map(|s| s.len()).collect())
+                }
+                _ => None,
+            })
+            .collect();
+        // Four leaves; the equal-size ones have 1 group, the rank-dependent
+        // ones have 8 groups — but they are separate call sites here, so
+        // check totals: at least one leaf fully merged.
+        assert!(leaf_slotcounts.iter().any(|s| s == &vec![1]));
+        assert!(leaf_slotcounts.iter().any(|s| s[0] == 8));
+    }
+
+    #[test]
+    fn butterfly_groups_stay_logarithmic() {
+        // CG-style butterfly: per-stage partner deltas differ in sign across
+        // ranks; slot-wise grouping yields ≤2 groups per stage, not P.
+        let (_, ctts) = pipeline(
+            r#"fn main() {
+                let stage = 1;
+                while stage < size() {
+                    let partner = 0;
+                    if (rank() / stage) % 2 == 0 { partner = rank() + stage; }
+                    else { partner = rank() - stage; }
+                    let a = irecv(partner, 512, 5);
+                    send(partner, 512, 5);
+                    wait(a);
+                    stage = stage * 2;
+                }
+            }"#,
+            16,
+        );
+        let merged = merge_all(&ctts);
+        for v in &merged.vertices {
+            if let MergedVertex::Leaf(slots) = v {
+                for (si, slot) in slots.iter().enumerate() {
+                    assert!(
+                        slot.len() <= 2,
+                        "slot {si} has {} groups (want ≤2)",
+                        slot.len()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_merge_equals_sequential() {
+        let (_, ctts) = pipeline(JACOBI, 32);
+        let seq = merge_all(&ctts);
+        for threads in [2, 3, 8] {
+            let par = merge_all_parallel(&ctts, threads);
+            assert_eq!(par.nprocs, seq.nprocs);
+            assert_eq!(par.group_count(), seq.group_count());
+            for (vs, vp) in seq.vertices.iter().zip(&par.vertices) {
+                assert_eq!(vs.group_count(), vp.group_count());
+            }
+        }
+    }
+
+    #[test]
+    fn merged_codec_round_trip() {
+        let (_, ctts) = pipeline(JACOBI, 4);
+        let merged = merge_all(&ctts);
+        let back = MergedCtt::from_bytes(&merged.to_bytes()).unwrap();
+        assert_eq!(back.nprocs, merged.nprocs);
+        assert_eq!(back.group_count(), merged.group_count());
+        assert_eq!(back.app_times.to_vec(), merged.app_times.to_vec());
+        // Canonical encoding: decode → encode is byte-stable.
+        assert_eq!(back.to_bytes(), merged.to_bytes());
+    }
+
+    #[test]
+    fn rank_set_stride_compresses_contiguous_ranks() {
+        let mut rs = RankSet::singleton(1);
+        for r in 2..63u32 {
+            rs.extend(&RankSet::singleton(r));
+        }
+        assert_eq!(rs.len(), 62);
+        assert!(rs.contains(30));
+        assert!(!rs.contains(0));
+        // One arithmetic-progression segment regardless of P.
+        assert!(rs.approx_bytes() <= 256, "contiguous ranks must stay tiny");
+    }
+
+    #[test]
+    fn spmd_uniform_program_merges_to_one_group_per_vertex() {
+        let (_, ctts) = pipeline(
+            "fn main() { for i in 0..50 { allreduce(64); barrier(); } }",
+            12,
+        );
+        let merged = merge_all(&ctts);
+        for v in merged.vertices.iter().skip(1) {
+            assert_eq!(v.group_count(), 1);
+        }
+    }
+
+    #[test]
+    fn divergent_rank_forms_its_own_group() {
+        let (_, ctts) = pipeline(
+            r#"fn main() {
+                if rank() == 0 {
+                    for i in 0..5 { bcast(0, 8); }
+                } else {
+                    for i in 0..5 { bcast(0, 8); barrier(); }
+                }
+            }"#,
+            6,
+        );
+        let merged = merge_all(&ctts);
+        // The barrier leaf exists only for ranks 1..5.
+        let mut found = false;
+        for v in &merged.vertices {
+            if let MergedVertex::Leaf(slots) = v {
+                for slot in slots {
+                    for (rs, r) in slot {
+                        if r.params.op == cypress_trace::event::MpiOp::Barrier {
+                            assert_eq!(rs.ranks(), vec![1, 2, 3, 4, 5]);
+                            found = true;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(found, "barrier group missing");
+    }
+}

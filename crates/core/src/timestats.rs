@@ -1,0 +1,417 @@
+//! Communication-time recording (paper §IV-A).
+//!
+//! When repeated operations merge into one record, their durations are kept
+//! statistically. The paper supports two modes: average + standard deviation,
+//! and a histogram of the time distribution; both are implemented here.
+//! Timing never participates in record *equality* — only the communication
+//! parameters do.
+
+use cypress_trace::codec::{Codec, DecodeError, DecodeResult, Decoder, Encoder};
+
+/// Which time representation the compressor keeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TimeMode {
+    /// Mean and standard deviation (Welford online algorithm).
+    #[default]
+    MeanStd,
+    /// Power-of-two bucket histogram of durations.
+    Histogram,
+    /// Record no timing at all (smallest traces).
+    None,
+}
+
+/// Number of log2 buckets in histogram mode (bucket i holds durations in
+/// `[2^i, 2^(i+1))` ns; bucket 0 holds `[0, 2)`).
+pub const HIST_BUCKETS: usize = 40;
+
+/// Aggregated timing of a merged record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TimeStats {
+    MeanStd {
+        n: u64,
+        mean: f64,
+        /// Welford running sum of squared deviations.
+        m2: f64,
+        min: u64,
+        max: u64,
+    },
+    Histogram {
+        n: u64,
+        buckets: Vec<u32>,
+    },
+    None,
+}
+
+impl TimeStats {
+    pub fn new(mode: TimeMode) -> Self {
+        match mode {
+            TimeMode::MeanStd => TimeStats::MeanStd {
+                n: 0,
+                mean: 0.0,
+                m2: 0.0,
+                min: u64::MAX,
+                max: 0,
+            },
+            TimeMode::Histogram => TimeStats::Histogram {
+                n: 0,
+                buckets: vec![0; HIST_BUCKETS],
+            },
+            TimeMode::None => TimeStats::None,
+        }
+    }
+
+    /// Record one duration (ns).
+    pub fn add(&mut self, dur: u64) {
+        match self {
+            TimeStats::MeanStd {
+                n,
+                mean,
+                m2,
+                min,
+                max,
+            } => {
+                *n += 1;
+                let x = dur as f64;
+                let delta = x - *mean;
+                *mean += delta / *n as f64;
+                *m2 += delta * (x - *mean);
+                *min = (*min).min(dur);
+                *max = (*max).max(dur);
+            }
+            TimeStats::Histogram { n, buckets } => {
+                *n += 1;
+                let b = (64 - dur.leading_zeros()).min(HIST_BUCKETS as u32 - 1) as usize;
+                buckets[b] += 1;
+            }
+            TimeStats::None => {}
+        }
+    }
+
+    /// Merge another aggregate into this one (same mode required).
+    pub fn merge(&mut self, other: &TimeStats) {
+        match (self, other) {
+            (
+                TimeStats::MeanStd {
+                    n,
+                    mean,
+                    m2,
+                    min,
+                    max,
+                },
+                TimeStats::MeanStd {
+                    n: n2,
+                    mean: mean2,
+                    m2: m22,
+                    min: min2,
+                    max: max2,
+                },
+            ) => {
+                if *n2 == 0 {
+                    return;
+                }
+                if *n == 0 {
+                    *n = *n2;
+                    *mean = *mean2;
+                    *m2 = *m22;
+                    *min = *min2;
+                    *max = *max2;
+                    return;
+                }
+                // Chan et al. parallel-variance combination.
+                let na = *n as f64;
+                let nb = *n2 as f64;
+                let delta = *mean2 - *mean;
+                let tot = na + nb;
+                *mean += delta * nb / tot;
+                *m2 += *m22 + delta * delta * na * nb / tot;
+                *n += *n2;
+                *min = (*min).min(*min2);
+                *max = (*max).max(*max2);
+            }
+            (TimeStats::Histogram { n, buckets }, TimeStats::Histogram { n: n2, buckets: b2 }) => {
+                *n += *n2;
+                for (a, b) in buckets.iter_mut().zip(b2) {
+                    *a += *b;
+                }
+            }
+            (TimeStats::None, TimeStats::None) => {}
+            _ => panic!("merging TimeStats of different modes"),
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        match self {
+            TimeStats::MeanStd { n, .. } | TimeStats::Histogram { n, .. } => *n,
+            TimeStats::None => 0,
+        }
+    }
+
+    /// Mean duration (ns); histogram mode returns the bucket-midpoint mean.
+    pub fn mean(&self) -> f64 {
+        match self {
+            TimeStats::MeanStd { mean, .. } => *mean,
+            TimeStats::Histogram { n, buckets } => {
+                if *n == 0 {
+                    return 0.0;
+                }
+                let mut sum = 0.0;
+                for (i, &c) in buckets.iter().enumerate() {
+                    if c > 0 {
+                        // Midpoint of [2^(i-1), 2^i) except bucket 0.
+                        let mid = if i == 0 {
+                            1.0
+                        } else {
+                            (1u64 << (i - 1)) as f64 * 1.5
+                        };
+                        sum += mid * c as f64;
+                    }
+                }
+                sum / *n as f64
+            }
+            TimeStats::None => 0.0,
+        }
+    }
+
+    /// Sample standard deviation (0 for <2 samples or histogram/none modes'
+    /// approximation).
+    pub fn stddev(&self) -> f64 {
+        match self {
+            TimeStats::MeanStd { n, m2, .. } if *n >= 2 => (m2 / (*n as f64 - 1.0)).sqrt(),
+            _ => 0.0,
+        }
+    }
+
+    pub fn approx_bytes(&self) -> usize {
+        match self {
+            TimeStats::MeanStd { .. } => 40,
+            TimeStats::Histogram { buckets, .. } => 16 + buckets.len() * 4,
+            TimeStats::None => 0,
+        }
+    }
+}
+
+const TAG_MEANSTD: u8 = 0;
+const TAG_HIST: u8 = 1;
+const TAG_NONE: u8 = 2;
+
+impl Codec for TimeStats {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            TimeStats::MeanStd {
+                n,
+                mean,
+                m2,
+                min,
+                max,
+            } => {
+                // Compact quantized form: whole-nanosecond mean and standard
+                // deviation (timing is statistical by design, §IV-A, so
+                // sub-ns precision is noise). `m2` is reconstructed from the
+                // stored deviation on decode.
+                enc.put_u8(TAG_MEANSTD);
+                enc.put_uvar(*n);
+                enc.put_uvar(mean.round().max(0.0) as u64);
+                let std = if *n >= 2 {
+                    (m2 / (*n as f64 - 1.0)).sqrt()
+                } else {
+                    0.0
+                };
+                enc.put_uvar(std.round().max(0.0) as u64);
+                enc.put_uvar(if *min == u64::MAX { 0 } else { *min });
+                enc.put_uvar(*max);
+            }
+            TimeStats::Histogram { n, buckets } => {
+                enc.put_u8(TAG_HIST);
+                enc.put_uvar(*n);
+                // Sparse encoding: only non-zero buckets.
+                let nz = buckets.iter().filter(|&&c| c > 0).count();
+                enc.put_uvar(nz as u64);
+                for (i, &c) in buckets.iter().enumerate() {
+                    if c > 0 {
+                        enc.put_uvar(i as u64);
+                        enc.put_uvar(c as u64);
+                    }
+                }
+            }
+            TimeStats::None => enc.put_u8(TAG_NONE),
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> DecodeResult<Self> {
+        match dec.get_u8()? {
+            TAG_MEANSTD => {
+                let n = dec.get_uvar()?;
+                let mean = dec.get_uvar()? as f64;
+                let std = dec.get_uvar()? as f64;
+                let m2 = if n >= 2 {
+                    std * std * (n as f64 - 1.0)
+                } else {
+                    0.0
+                };
+                let min = dec.get_uvar()?;
+                let max = dec.get_uvar()?;
+                Ok(TimeStats::MeanStd {
+                    n,
+                    mean,
+                    m2,
+                    min: if n == 0 { u64::MAX } else { min },
+                    max,
+                })
+            }
+            TAG_HIST => {
+                let n = dec.get_uvar()?;
+                let nz = dec.get_uvar()? as usize;
+                let mut buckets = vec![0u32; HIST_BUCKETS];
+                for _ in 0..nz {
+                    let i = dec.get_uvar()? as usize;
+                    let c = dec.get_uvar()? as u32;
+                    if i >= HIST_BUCKETS {
+                        return Err(DecodeError(format!("bucket index {i} out of range")));
+                    }
+                    buckets[i] = c;
+                }
+                Ok(TimeStats::Histogram { n, buckets })
+            }
+            TAG_NONE => Ok(TimeStats::None),
+            t => Err(DecodeError(format!("bad TimeStats tag {t}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_and_stddev_basic() {
+        let mut s = TimeStats::new(TimeMode::MeanStd);
+        for d in [10u64, 20, 30] {
+            s.add(d);
+        }
+        assert_eq!(s.count(), 3);
+        assert!((s.mean() - 20.0).abs() < 1e-9);
+        assert!((s.stddev() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_matches_pooled_computation() {
+        let xs = [3u64, 7, 7, 12, 100, 41];
+        let mut a = TimeStats::new(TimeMode::MeanStd);
+        let mut b = TimeStats::new(TimeMode::MeanStd);
+        for &x in &xs[..3] {
+            a.add(x);
+        }
+        for &x in &xs[3..] {
+            b.add(x);
+        }
+        let mut all = TimeStats::new(TimeMode::MeanStd);
+        for &x in &xs {
+            all.add(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.stddev() - all.stddev()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = TimeStats::new(TimeMode::MeanStd);
+        a.add(5);
+        let b = TimeStats::new(TimeMode::MeanStd);
+        let before = a.clone();
+        a.merge(&b);
+        assert_eq!(a, before);
+        let mut c = TimeStats::new(TimeMode::MeanStd);
+        c.merge(&before);
+        assert_eq!(c.mean(), before.mean());
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let mut s = TimeStats::new(TimeMode::Histogram);
+        s.add(0);
+        s.add(1);
+        s.add(1024);
+        s.add(1500);
+        assert_eq!(s.count(), 4);
+        let TimeStats::Histogram { buckets, .. } = &s else {
+            panic!()
+        };
+        assert_eq!(buckets.iter().sum::<u32>(), 4);
+        assert_eq!(buckets[11], 2); // 1024 and 1500 share [1024, 2048)
+    }
+
+    #[test]
+    fn histogram_mean_is_plausible() {
+        let mut s = TimeStats::new(TimeMode::Histogram);
+        for _ in 0..100 {
+            s.add(1000);
+        }
+        let m = s.mean();
+        assert!(m > 500.0 && m < 2000.0, "mean {m}");
+    }
+
+    #[test]
+    fn none_mode_records_nothing() {
+        let mut s = TimeStats::new(TimeMode::None);
+        s.add(42);
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn codec_round_trips_all_modes() {
+        for mode in [TimeMode::MeanStd, TimeMode::Histogram, TimeMode::None] {
+            let mut s = TimeStats::new(mode);
+            for d in [5u64, 9, 9, 1000] {
+                s.add(d);
+            }
+            let back = TimeStats::from_bytes(&s.to_bytes()).unwrap();
+            // MeanStd quantizes to whole nanoseconds; compare statistics
+            // within 1 ns, everything else exactly.
+            assert_eq!(back.count(), s.count());
+            assert!((back.mean() - s.mean()).abs() <= 1.0);
+            assert!((back.stddev() - s.stddev()).abs() <= 1.0);
+            // The encoding is canonical: re-encoding is stable.
+            assert_eq!(back.to_bytes(), s.to_bytes());
+        }
+    }
+
+    #[test]
+    fn codec_empty_and_single_sample() {
+        for samples in [vec![], vec![77u64]] {
+            let mut s = TimeStats::new(TimeMode::MeanStd);
+            for d in &samples {
+                s.add(*d);
+            }
+            let back = TimeStats::from_bytes(&s.to_bytes()).unwrap();
+            assert_eq!(back.count(), samples.len() as u64);
+            assert_eq!(back.to_bytes(), s.to_bytes());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_welford_mean_matches_naive(xs in proptest::collection::vec(0u64..1_000_000, 1..100)) {
+            let mut s = TimeStats::new(TimeMode::MeanStd);
+            for &x in &xs { s.add(x); }
+            let naive = xs.iter().sum::<u64>() as f64 / xs.len() as f64;
+            prop_assert!((s.mean() - naive).abs() < 1e-6 * naive.max(1.0));
+        }
+
+        #[test]
+        fn prop_merge_associative_in_count(
+            xs in proptest::collection::vec(0u64..10_000, 0..40),
+            ys in proptest::collection::vec(0u64..10_000, 0..40),
+        ) {
+            let mut a = TimeStats::new(TimeMode::MeanStd);
+            for &x in &xs { a.add(x); }
+            let mut b = TimeStats::new(TimeMode::MeanStd);
+            for &y in &ys { b.add(y); }
+            a.merge(&b);
+            prop_assert_eq!(a.count(), (xs.len() + ys.len()) as u64);
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Direct AST-structural intra-procedural CST builder.
+//!
+//! Because MiniMPI is fully structured, the intra-procedural CST can be read
+//! straight off the AST. The production pipeline uses the CFG-based builder
+//! ([`crate::build_cfg`]) — faithful to the paper's Algorithm 1, which
+//! operates on the control-flow graph — and this builder serves as its
+//! *test oracle*: for any program, both must produce identical trees after
+//! pruning (see the equivalence property tests).
+
+use crate::tree::{mpi_op_of_builtin, Arm, Cst, VertexKind};
+use cypress_minilang::ast::{Block, Callee, Expr, ExprKind, Func, NodeId, Stmt, StmtKind};
+
+/// Build the intra-procedural CST of one function directly from its AST.
+pub fn build_intra_ast(f: &Func) -> Cst {
+    let mut t = Cst::with_root();
+    let root = t.root();
+    build_block(&f.body, root, &mut t);
+    t
+}
+
+fn build_block(b: &Block, parent: usize, t: &mut Cst) {
+    build_stmts(&b.stmts, parent, t);
+}
+
+/// Does control definitely leave the enclosing function at the end of this
+/// block (a `return`, or an `if` whose two arms both terminate)?
+fn terminates(b: &Block) -> bool {
+    for s in &b.stmts {
+        match &s.kind {
+            StmtKind::Return { .. } => return true,
+            StmtKind::If {
+                then_blk,
+                else_blk: Some(e),
+                ..
+            } if terminates(then_blk) && terminates(e) => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+fn build_stmts(stmts: &[Stmt], parent: usize, t: &mut Cst) {
+    for (i, s) in stmts.iter().enumerate() {
+        match &s.kind {
+            StmtKind::Let { init, .. } => add_expr_calls(init, s.id, parent, t),
+            StmtKind::Assign { value, .. } => add_expr_calls(value, s.id, parent, t),
+            StmtKind::Expr { expr } => add_expr_calls(expr, s.id, parent, t),
+            StmtKind::Return { value } => {
+                if let Some(v) = value {
+                    add_expr_calls(v, s.id, parent, t);
+                }
+                // Statements after a `return` are dead code; the CFG builder
+                // never reaches them, so the oracle skips them too.
+                return;
+            }
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                // The condition evaluates unconditionally, before either arm.
+                add_expr_calls(cond, s.id, parent, t);
+                let bt = t.add(parent, VertexKind::Branch {
+                    origin: s.id,
+                    arm: Arm::Then,
+                });
+                build_stmts(&then_blk.stmts, bt, t);
+                // One branch vertex per CFG path: the else arm always exists
+                // as a path even when the source has no `else` (pruned later
+                // if empty), matching the CFG builder.
+                let be = t.add(parent, VertexKind::Branch {
+                    origin: s.id,
+                    arm: Arm::Else,
+                });
+                if let Some(e) = else_blk {
+                    build_stmts(&e.stmts, be, t);
+                }
+                // When exactly one arm always returns, control only reaches
+                // the remainder of this block through the other arm — the CFG
+                // builder nests it there (no merge point before the exit),
+                // and so does the oracle.
+                let t_term = terminates(then_blk);
+                let e_term = else_blk.as_ref().map(terminates).unwrap_or(false);
+                let rest = &stmts[i + 1..];
+                match (t_term, e_term) {
+                    (true, true) => return,
+                    (true, false) => {
+                        build_stmts(rest, be, t);
+                        return;
+                    }
+                    (false, true) => {
+                        build_stmts(rest, bt, t);
+                        return;
+                    }
+                    (false, false) => {}
+                }
+            }
+            StmtKind::For {
+                start, end, step, body, ..
+            } => {
+                // Loop bounds evaluate once, before the loop.
+                add_expr_calls(start, s.id, parent, t);
+                add_expr_calls(end, s.id, parent, t);
+                if let Some(st) = step {
+                    add_expr_calls(st, s.id, parent, t);
+                }
+                let lv = t.add(parent, VertexKind::Loop {
+                    origin: s.id,
+                    pseudo: false,
+                });
+                build_stmts(&body.stmts, lv, t);
+            }
+            StmtKind::While { cond, body } => {
+                let lv = t.add(parent, VertexKind::Loop {
+                    origin: s.id,
+                    pseudo: false,
+                });
+                // The condition re-evaluates each iteration: its calls belong
+                // inside the loop (first children), like the CFG header block.
+                add_expr_calls(cond, s.id, lv, t);
+                build_stmts(&body.stmts, lv, t);
+            }
+        }
+    }
+}
+
+/// Append leaves for every MPI and user-function call in `e`, in evaluation
+/// order. Non-communication builtins (`rank`, `size`, `compute`, ...) do not
+/// become vertices.
+fn add_expr_calls(e: &Expr, stmt_id: NodeId, parent: usize, t: &mut Cst) {
+    let _ = stmt_id;
+    match &e.kind {
+        ExprKind::Int(_) | ExprKind::Bool(_) | ExprKind::Var(_) => {}
+        ExprKind::Unary(_, inner) => add_expr_calls(inner, stmt_id, parent, t),
+        ExprKind::Binary(_, l, r) => {
+            add_expr_calls(l, stmt_id, parent, t);
+            add_expr_calls(r, stmt_id, parent, t);
+        }
+        ExprKind::Call(c) => {
+            for a in &c.args {
+                add_expr_calls(a, stmt_id, parent, t);
+            }
+            match &c.callee {
+                Callee::Builtin(b) => {
+                    if let Some(op) = mpi_op_of_builtin(*b) {
+                        t.add(parent, VertexKind::Mpi { origin: e.id, op });
+                    }
+                }
+                Callee::User(name) => {
+                    t.add(parent, VertexKind::UserCall {
+                        origin: e.id,
+                        name: name.clone(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cypress_minilang::parse;
+
+    fn intra(src: &str) -> Cst {
+        let p = parse(src).unwrap();
+        build_intra_ast(p.main().unwrap())
+    }
+
+    #[test]
+    fn paper_figure6_shape() {
+        // Fig. 5/6 of the paper: main with a loop containing send/recv
+        // branches and a bar() call, then foo() and a guarded reduce.
+        let src = r#"
+            fn main() {
+                for i in 0..10 {
+                    if rank() % 2 == 0 {
+                        send(rank() + 1, 4, 0);
+                    } else {
+                        recv(rank() - 1, 4, 0);
+                    }
+                    bar();
+                }
+                foo();
+                if rank() % 2 == 0 {
+                    reduce(0, 4);
+                }
+            }
+        "#;
+        let t = intra(src);
+        // Pre-prune: user calls are placeholder leaves (Fig. 6) and the
+        // empty else arm of the trailing `if` is still present.
+        assert_eq!(
+            t.to_compact_string(),
+            "Root(Loop(BrT(Mpi:MPI_Send) BrE(Mpi:MPI_Recv) Call:bar) Call:foo BrT(Mpi:MPI_Reduce) BrE)"
+        );
+        // Intra-procedural pruning would drop the user-call placeholders —
+        // they are only consumed by the inter-procedural phase.
+        let (pruned, _) = t.prune_and_finalize();
+        assert_eq!(
+            pruned.to_compact_string(),
+            "Root(Loop(BrT(Mpi:MPI_Send) BrE(Mpi:MPI_Recv)) BrT(Mpi:MPI_Reduce))"
+        );
+    }
+
+    #[test]
+    fn nested_loop_fig10_shape() {
+        let src = r#"
+            fn main() {
+                for i in 0..10 {
+                    bcast(0, 8);
+                    for j in 0..i {
+                        let a = isend(rank() + 1, 8, 0);
+                        let b = irecv(rank() - 1, 8, 0);
+                        waitall(a, b);
+                    }
+                }
+            }
+        "#;
+        let (t, _) = intra(src).prune_and_finalize();
+        assert_eq!(
+            t.to_compact_string(),
+            "Root(Loop(Mpi:MPI_Bcast Loop(Mpi:MPI_Isend Mpi:MPI_Irecv Mpi:MPI_Waitall)))"
+        );
+    }
+
+    #[test]
+    fn condition_calls_precede_arms() {
+        let src = "fn main() { if check() > 0 { barrier(); } }";
+        let t = intra(src);
+        let root_children = &t.vertex(t.root()).children;
+        assert!(matches!(
+            t.vertex(root_children[0]).kind,
+            VertexKind::UserCall { .. }
+        ));
+    }
+
+    #[test]
+    fn while_condition_calls_inside_loop() {
+        let src = "fn main() { while probe() > 0 { barrier(); } }";
+        let t = intra(src);
+        let loop_idx = t.vertex(t.root()).children[0];
+        assert!(t.vertex(loop_idx).kind.is_loop());
+        let first_child = t.vertex(loop_idx).children[0];
+        assert!(t.vertex(first_child).kind.is_user_call());
+    }
+
+    #[test]
+    fn dead_code_after_return_excluded() {
+        let src = "fn main() { return; barrier(); }";
+        let t = intra(src);
+        assert_eq!(t.len(), 1); // root only
+    }
+
+    #[test]
+    fn compute_and_rank_do_not_create_leaves() {
+        let t = intra("fn main() { compute(rank() + size()); }");
+        assert_eq!(t.len(), 1);
+    }
+}

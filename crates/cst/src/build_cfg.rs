@@ -1,0 +1,284 @@
+//! Algorithm 1 — intra-procedural CST construction over the CFG.
+//!
+//! The paper builds each procedure's intermediate CST from its control-flow
+//! graph: loops are found with the dominator-based algorithm, every
+//! conditional path gets a branch vertex, and MPI/user-call invocations
+//! become leaves. This implementation walks the CFG regions structurally:
+//! loop headers (identified via back edges/dominators) open loop vertices
+//! whose body region is walked until the back edge; conditional blocks open
+//! one branch vertex per arm, each walked until the branch's immediate
+//! post-dominator (the merge point).
+//!
+//! The resulting tree is validated against the direct AST oracle
+//! ([`crate::build_ast`]) by unit and property tests: after pruning, the two
+//! builders agree on every program.
+
+use crate::tree::{mpi_op_of_builtin, Arm, Cst, VertexKind};
+use cypress_minilang::ast::{Callee, Func};
+use cypress_staticir::cfg::{lower_function, BlockId, Cfg, CondKind, Terminator};
+use cypress_staticir::dom::{natural_loops, Dominators, PostDominators};
+use std::collections::HashSet;
+
+/// Build the intra-procedural CST of one function via its CFG (Algorithm 1).
+pub fn build_intra_cfg(f: &Func) -> Cst {
+    let cfg = lower_function(f);
+    let dom = Dominators::compute(&cfg);
+    let loops = natural_loops(&cfg, &dom);
+    let pdom = PostDominators::compute(&cfg);
+    let loop_headers: HashSet<BlockId> = loops.iter().map(|l| l.header).collect();
+
+    let mut t = Cst::with_root();
+    let root = t.root();
+    let mut w = Walker {
+        cfg: &cfg,
+        pdom: &pdom,
+        loop_headers: &loop_headers,
+        tree: &mut t,
+    };
+    let mut stops = Vec::new();
+    w.walk(cfg.entry, &mut stops, root);
+    t
+}
+
+struct Walker<'a> {
+    cfg: &'a Cfg,
+    pdom: &'a PostDominators,
+    loop_headers: &'a HashSet<BlockId>,
+    tree: &'a mut Cst,
+}
+
+impl Walker<'_> {
+    /// Append vertices for the region starting at `b` under `parent`,
+    /// stopping (exclusively) whenever control reaches a block on the
+    /// `stops` stack — loop headers of enclosing loops (back edges) and
+    /// merge points of enclosing branches.
+    fn walk(&mut self, b: BlockId, stops: &mut Vec<BlockId>, parent: usize) {
+        let mut cur = b;
+        loop {
+            if stops.contains(&cur) {
+                return;
+            }
+            // Loop headers are handled before emitting their invocations so
+            // that `while`-condition calls land inside the loop vertex.
+            if self.loop_headers.contains(&cur) {
+                let Terminator::Cond {
+                    origin,
+                    kind: CondKind::Loop,
+                    then_bb,
+                    else_bb,
+                } = self.cfg.block(cur).term.clone()
+                else {
+                    unreachable!("loop header must end in a loop conditional");
+                };
+                let lv = self.tree.add(parent, VertexKind::Loop {
+                    origin,
+                    pseudo: false,
+                });
+                self.emit_invocations(cur, lv);
+                // Walk the body until control returns to the header.
+                stops.push(cur);
+                self.walk(then_bb, stops, lv);
+                stops.pop();
+                cur = else_bb; // continue after the loop
+                continue;
+            }
+
+            self.emit_invocations(cur, parent);
+            match self.cfg.block(cur).term.clone() {
+                Terminator::Return => return,
+                Terminator::Goto(nxt) => {
+                    cur = nxt;
+                }
+                Terminator::Cond {
+                    origin,
+                    kind: CondKind::If,
+                    then_bb,
+                    else_bb,
+                } => {
+                    let merge = self.pdom.ipdom(cur);
+                    if let Some(m) = merge {
+                        stops.push(m);
+                    }
+                    let bt = self.tree.add(parent, VertexKind::Branch {
+                        origin,
+                        arm: Arm::Then,
+                    });
+                    self.walk(then_bb, stops, bt);
+                    let be = self.tree.add(parent, VertexKind::Branch {
+                        origin,
+                        arm: Arm::Else,
+                    });
+                    self.walk(else_bb, stops, be);
+                    match merge {
+                        Some(m) => {
+                            stops.pop();
+                            cur = m;
+                        }
+                        // No merge before the function exit: every path
+                        // either returns or re-enters an enclosing stop, and
+                        // the arm walks above covered them.
+                        None => return,
+                    }
+                }
+                Terminator::Cond {
+                    kind: CondKind::Loop,
+                    ..
+                } => {
+                    unreachable!("loop conditional outside a detected loop header");
+                }
+            }
+        }
+    }
+
+    fn emit_invocations(&mut self, b: BlockId, parent: usize) {
+        for inv in &self.cfg.block(b).invocations {
+            match &inv.callee {
+                Callee::Builtin(bi) => {
+                    if let Some(op) = mpi_op_of_builtin(*bi) {
+                        self.tree.add(parent, VertexKind::Mpi {
+                            origin: inv.expr_id,
+                            op,
+                        });
+                    }
+                }
+                Callee::User(name) => {
+                    self.tree.add(parent, VertexKind::UserCall {
+                        origin: inv.expr_id,
+                        name: name.clone(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build_ast::build_intra_ast;
+    use cypress_minilang::parse;
+
+    /// Both builders must agree after pruning.
+    fn assert_equivalent(src: &str) {
+        let p = parse(src).unwrap();
+        for f in &p.funcs {
+            let (a, _) = build_intra_ast(f).prune_and_finalize();
+            let (b, _) = build_intra_cfg(f).prune_and_finalize();
+            assert_eq!(
+                a.to_compact_string(),
+                b.to_compact_string(),
+                "builders disagree for fn {} in:\n{src}",
+                f.name
+            );
+        }
+    }
+
+    #[test]
+    fn equivalence_simple_loop() {
+        assert_equivalent("fn main() { for i in 0..4 { barrier(); } }");
+    }
+
+    #[test]
+    fn equivalence_branches() {
+        assert_equivalent(
+            "fn main() { if rank() % 2 == 0 { send(1, 8, 0); } else { recv(0, 8, 0); } }",
+        );
+    }
+
+    #[test]
+    fn equivalence_jacobi() {
+        assert_equivalent(
+            r#"fn main() {
+                let r = rank(); let s = size();
+                for k in 0..10 {
+                    if r < s - 1 { send(r + 1, 64, 0); }
+                    if r > 0 { recv(r - 1, 64, 0); }
+                    if r > 0 { send(r - 1, 64, 1); }
+                    if r < s - 1 { recv(r + 1, 64, 1); }
+                }
+            }"#,
+        );
+    }
+
+    #[test]
+    fn equivalence_nested_loops_and_calls() {
+        assert_equivalent(
+            r#"fn bar() { for k in 0..3 { bcast(0, 8); } }
+               fn main() {
+                for i in 0..10 {
+                    if rank() % 2 == 0 { send(rank()+1, 4, 0); }
+                    else { recv(rank()-1, 4, 0); }
+                    bar();
+                }
+                if rank() % 2 == 0 { reduce(0, 4); }
+            }"#,
+        );
+    }
+
+    #[test]
+    fn equivalence_while_loop() {
+        assert_equivalent("fn main() { let i = 0; while i < 5 { barrier(); i = i + 1; } }");
+    }
+
+    #[test]
+    fn equivalence_else_if_chain() {
+        assert_equivalent(
+            r#"fn main() {
+                for i in 0..8 {
+                    if i % 3 == 0 { send(1, 8, 0); }
+                    else if i % 3 == 1 { recv(0, 8, 0); }
+                    else { barrier(); }
+                }
+            }"#,
+        );
+    }
+
+    #[test]
+    fn equivalence_deep_nesting() {
+        assert_equivalent(
+            r#"fn main() {
+                for a in 0..2 {
+                    for b in 0..2 {
+                        if a + b > 1 {
+                            for c in 0..b { allreduce(8); }
+                        } else {
+                            alltoall(16);
+                        }
+                    }
+                }
+            }"#,
+        );
+    }
+
+    #[test]
+    fn equivalence_return_in_branch() {
+        assert_equivalent(
+            "fn main() { if rank() == 0 { barrier(); return; } bcast(0, 8); }",
+        );
+    }
+
+    #[test]
+    fn equivalence_both_arms_return() {
+        assert_equivalent(
+            "fn main() { if rank() == 0 { barrier(); return; } else { bcast(0,8); return; } }",
+        );
+    }
+
+    #[test]
+    fn cfg_builder_jacobi_compact_shape() {
+        let p = parse(
+            r#"fn main() {
+                for k in 0..10 {
+                    if rank() < size() - 1 { send(rank() + 1, 64, 0); }
+                    if rank() > 0 { recv(rank() - 1, 64, 0); }
+                }
+            }"#,
+        )
+        .unwrap();
+        let (t, _) = build_intra_cfg(p.main().unwrap()).prune_and_finalize();
+        assert_eq!(
+            t.to_compact_string(),
+            "Root(Loop(BrT(Mpi:MPI_Send) BrT(Mpi:MPI_Recv)))"
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! The instrumentation site map — compile-time output consumed at runtime.
+//!
+//! The paper instruments the program with `PMPI_COMM_Structure(type, id)` /
+//! `..._Exit(id)` calls carrying the CST GID of each control structure. In
+//! this reproduction the "instrumented program" is the original AST plus this
+//! map: because inter-procedural inlining copies a function's subtree once
+//! per (transitive) call site, a single AST node can correspond to several
+//! CST vertices — one per *call path*. The interpreter therefore keeps a
+//! current [`PathId`] (an interned chain of call-site expression ids) and
+//! looks up `(path, ast-node)` here to learn which GID to emit, exactly as
+//! the inserted instrumentation calls would report.
+
+use crate::tree::{Arm, Gid};
+use cypress_minilang::ast::NodeId;
+use std::collections::HashMap;
+
+/// Interned call path (chain of call-site expression ids from `main`).
+/// `PathId(0)` is the empty path (code in `main` itself).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PathId(pub u32);
+
+pub const ROOT_PATH: PathId = PathId(0);
+
+/// What the runtime does when it executes a user-function call site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallAction {
+    /// Plain (non-recursive) call: descend into `path`.
+    Inline { path: PathId },
+    /// First entry into a recursive function: each invocation is one
+    /// iteration of the pseudo loop `pseudo` (emit `Enter`), and the
+    /// matching `Exit` fires when the *outermost* invocation returns.
+    /// `pseudo` is `None` when the pseudo loop was pruned (no MPI inside).
+    EnterRecursive { pseudo: Option<Gid>, path: PathId },
+    /// A recursive re-invocation (the callee is already on the inline
+    /// stack): emit another `Enter` of the pseudo loop — the next
+    /// iteration — and continue at `path` (the callee's body path).
+    BackCall { pseudo: Option<Gid>, path: PathId },
+}
+
+/// Compile-time map from `(call path, AST node)` to CST GIDs and call
+/// actions. Entries exist only for vertices that survived pruning; a missing
+/// entry means "emit nothing" (the structure contains no MPI).
+#[derive(Debug, Clone, Default)]
+pub struct SiteMap {
+    /// Number of distinct paths interned.
+    pub n_paths: u32,
+    /// For debugging: the call-site chain of each path.
+    pub path_sites: Vec<Vec<NodeId>>,
+    /// `for`/`while` statement (and pseudo-loop-free structures) → loop GID.
+    pub loops: HashMap<(PathId, NodeId), Gid>,
+    /// `(path, if-stmt, arm)` → branch GID.
+    pub branches: HashMap<(PathId, NodeId, Arm), Gid>,
+    /// `(path, call-expr)` → MPI leaf GID.
+    pub mpi: HashMap<(PathId, NodeId), Gid>,
+    /// `(path, call-expr)` → what to do for this user-function call.
+    pub actions: HashMap<(PathId, NodeId), CallAction>,
+}
+
+impl SiteMap {
+    pub fn loop_gid(&self, path: PathId, stmt: NodeId) -> Option<Gid> {
+        self.loops.get(&(path, stmt)).copied()
+    }
+
+    pub fn branch_gid(&self, path: PathId, stmt: NodeId, arm: Arm) -> Option<Gid> {
+        self.branches.get(&(path, stmt, arm)).copied()
+    }
+
+    pub fn mpi_gid(&self, path: PathId, call_expr: NodeId) -> Option<Gid> {
+        self.mpi.get(&(path, call_expr)).copied()
+    }
+
+    pub fn call_action(&self, path: PathId, call_expr: NodeId) -> Option<CallAction> {
+        self.actions.get(&(path, call_expr)).copied()
+    }
+
+    /// Total number of instrumentation entries (a proxy for the size of the
+    /// compile-time artifact).
+    pub fn entry_count(&self) -> usize {
+        self.loops.len() + self.branches.len() + self.mpi.len() + self.actions.len()
+    }
+}

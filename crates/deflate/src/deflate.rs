@@ -1,0 +1,293 @@
+//! DEFLATE compression (RFC 1951): LZ77 tokens entropy-coded with canonical
+//! Huffman codes. Emits a single final block per call, choosing between
+//! stored, fixed-Huffman and dynamic-Huffman encodings by estimated size.
+
+use crate::bitio::BitWriter;
+use crate::huffman::{canonical_codes, code_lengths};
+use crate::lz77::{tokenize, Token};
+use crate::tables::*;
+
+/// Compression effort: bounds the LZ77 hash-chain search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    Fast,
+    Default,
+    Best,
+}
+
+impl Level {
+    fn max_chain(self) -> usize {
+        match self {
+            Level::Fast => 8,
+            Level::Default => 64,
+            Level::Best => 512,
+        }
+    }
+}
+
+/// Compress `data` into a raw DEFLATE stream.
+pub fn deflate(data: &[u8], level: Level) -> Vec<u8> {
+    let tokens = tokenize(data, level.max_chain());
+
+    // Symbol frequencies (literal/length alphabet + end-of-block, distances).
+    let mut lit_freq = vec![0u64; 286];
+    let mut dist_freq = vec![0u64; 30];
+    for t in &tokens {
+        match *t {
+            Token::Literal(b) => lit_freq[b as usize] += 1,
+            Token::Match { len, dist } => {
+                let (lc, _) = length_code(len);
+                lit_freq[257 + lc] += 1;
+                let (dc, _) = dist_code(dist);
+                dist_freq[dc] += 1;
+            }
+        }
+    }
+    lit_freq[256] += 1; // end of block
+
+    let dyn_lit_lens = code_lengths(&lit_freq, 15);
+    let dyn_dist_lens = code_lengths(&dist_freq, 15);
+
+    let fixed_cost = block_cost(&tokens, &fixed_litlen_lens(), &fixed_dist_lens());
+    let dyn_cost = block_cost(&tokens, &dyn_lit_lens, &dyn_dist_lens)
+        + header_cost_estimate(&dyn_lit_lens, &dyn_dist_lens);
+    let stored_cost = 8 * (data.len() as u64 + 5) + 8;
+
+    let mut w = BitWriter::new();
+    if stored_cost <= fixed_cost && stored_cost <= dyn_cost {
+        write_stored(&mut w, data);
+    } else if fixed_cost <= dyn_cost {
+        w.write_bits(1, 1); // BFINAL
+        w.write_bits(1, 2); // BTYPE = fixed
+        write_tokens(&mut w, &tokens, &fixed_litlen_lens(), &fixed_dist_lens());
+    } else {
+        w.write_bits(1, 1); // BFINAL
+        w.write_bits(2, 2); // BTYPE = dynamic
+        write_dynamic_header(&mut w, &dyn_lit_lens, &dyn_dist_lens);
+        write_tokens(&mut w, &tokens, &dyn_lit_lens, &dyn_dist_lens);
+    }
+    w.finish()
+}
+
+fn write_stored(w: &mut BitWriter, data: &[u8]) {
+    // Stored blocks are limited to 65535 bytes each.
+    let mut chunks = data.chunks(65535).peekable();
+    if data.is_empty() {
+        w.write_bits(1, 1);
+        w.write_bits(0, 2);
+        w.align_byte();
+        w.write_bytes(&[0, 0, 0xFF, 0xFF]);
+        return;
+    }
+    while let Some(chunk) = chunks.next() {
+        let last = chunks.peek().is_none();
+        w.write_bits(last as u32, 1);
+        w.write_bits(0, 2); // BTYPE = stored
+        w.align_byte();
+        let len = chunk.len() as u16;
+        w.write_bytes(&len.to_le_bytes());
+        w.write_bytes(&(!len).to_le_bytes());
+        w.write_bytes(chunk);
+    }
+}
+
+/// Exact payload cost in bits of coding `tokens` with the given code lengths.
+fn block_cost(tokens: &[Token], lit_lens: &[u8], dist_lens: &[u8]) -> u64 {
+    let mut bits = 0u64;
+    for t in tokens {
+        match *t {
+            Token::Literal(b) => bits += lit_lens[b as usize] as u64,
+            Token::Match { len, dist } => {
+                let (lc, _) = length_code(len);
+                bits += lit_lens[257 + lc] as u64 + LEN_EXTRA[lc] as u64;
+                let (dc, _) = dist_code(dist);
+                bits += dist_lens[dc] as u64 + DIST_EXTRA[dc] as u64;
+            }
+        }
+    }
+    bits + lit_lens[256] as u64
+}
+
+fn header_cost_estimate(lit_lens: &[u8], dist_lens: &[u8]) -> u64 {
+    // 14 bits of counts + roughly 7 bits per transmitted code length.
+    14 + 7 * (lit_lens.len() as u64 + dist_lens.len() as u64) / 2
+}
+
+fn write_tokens(w: &mut BitWriter, tokens: &[Token], lit_lens: &[u8], dist_lens: &[u8]) {
+    let lit_codes = canonical_codes(lit_lens);
+    let dist_codes = canonical_codes(dist_lens);
+    for t in tokens {
+        match *t {
+            Token::Literal(b) => {
+                w.write_code(lit_codes[b as usize], lit_lens[b as usize] as u32);
+            }
+            Token::Match { len, dist } => {
+                let (lc, lextra) = length_code(len);
+                w.write_code(lit_codes[257 + lc], lit_lens[257 + lc] as u32);
+                if LEN_EXTRA[lc] > 0 {
+                    w.write_bits(lextra, LEN_EXTRA[lc] as u32);
+                }
+                let (dc, dextra) = dist_code(dist);
+                w.write_code(dist_codes[dc], dist_lens[dc] as u32);
+                if DIST_EXTRA[dc] > 0 {
+                    w.write_bits(dextra, DIST_EXTRA[dc] as u32);
+                }
+            }
+        }
+    }
+    w.write_code(lit_codes[256], lit_lens[256] as u32);
+}
+
+/// Encode the dynamic block header: HLIT/HDIST/HCLEN and the code lengths
+/// themselves, run-length coded with symbols 16/17/18 (RFC 1951 §3.2.7).
+fn write_dynamic_header(w: &mut BitWriter, lit_lens: &[u8], dist_lens: &[u8]) {
+    let hlit = {
+        let mut n = 286;
+        while n > 257 && lit_lens[n - 1] == 0 {
+            n -= 1;
+        }
+        n
+    };
+    let hdist = {
+        let mut n = 30;
+        while n > 1 && dist_lens[n - 1] == 0 {
+            n -= 1;
+        }
+        n
+    };
+
+    // RLE over the concatenated code lengths.
+    let mut all: Vec<u8> = Vec::with_capacity(hlit + hdist);
+    all.extend_from_slice(&lit_lens[..hlit]);
+    all.extend_from_slice(&dist_lens[..hdist]);
+    let rle = rle_code_lengths(&all);
+
+    let mut clc_freq = vec![0u64; 19];
+    for &(sym, _) in &rle {
+        clc_freq[sym as usize] += 1;
+    }
+    let clc_lens = code_lengths(&clc_freq, 7);
+    let clc_codes = canonical_codes(&clc_lens);
+
+    let hclen = {
+        let mut n = 19;
+        while n > 4 && clc_lens[CLC_ORDER[n - 1]] == 0 {
+            n -= 1;
+        }
+        n
+    };
+
+    w.write_bits((hlit - 257) as u32, 5);
+    w.write_bits((hdist - 1) as u32, 5);
+    w.write_bits((hclen - 4) as u32, 4);
+    for &o in CLC_ORDER.iter().take(hclen) {
+        w.write_bits(clc_lens[o] as u32, 3);
+    }
+    for &(sym, extra) in &rle {
+        w.write_code(clc_codes[sym as usize], clc_lens[sym as usize] as u32);
+        match sym {
+            16 => w.write_bits(extra, 2),
+            17 => w.write_bits(extra, 3),
+            18 => w.write_bits(extra, 7),
+            _ => {}
+        }
+    }
+}
+
+/// Run-length encode code lengths into (symbol, extra-bits) pairs.
+fn rle_code_lengths(lens: &[u8]) -> Vec<(u8, u32)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < lens.len() {
+        let v = lens[i];
+        let mut run = 1;
+        while i + run < lens.len() && lens[i + run] == v {
+            run += 1;
+        }
+        if v == 0 {
+            let mut rem = run;
+            while rem >= 11 {
+                let take = rem.min(138);
+                out.push((18, (take - 11) as u32));
+                rem -= take;
+            }
+            if rem >= 3 {
+                out.push((17, (rem - 3) as u32));
+                rem = 0;
+            }
+            for _ in 0..rem {
+                out.push((0, 0));
+            }
+        } else {
+            out.push((v, 0));
+            let mut rem = run - 1;
+            while rem >= 3 {
+                let take = rem.min(6);
+                out.push((16, (take - 3) as u32));
+                rem -= take;
+            }
+            for _ in 0..rem {
+                out.push((v, 0));
+            }
+        }
+        i += run;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inflate::inflate;
+
+    #[test]
+    fn rle_encodes_zero_runs() {
+        let lens = vec![0u8; 20];
+        let rle = rle_code_lengths(&lens);
+        assert_eq!(rle, vec![(18, 9)]); // 20 zeros = code 18 with extra 9
+    }
+
+    #[test]
+    fn rle_encodes_value_repeats() {
+        let lens = [5u8; 8];
+        let rle = rle_code_lengths(&lens);
+        // 5, then repeat(16) x 7 → one 16 of 6 and one literal 5.
+        assert_eq!(rle[0], (5, 0));
+        assert_eq!(rle[1], (16, 3)); // repeat 6
+        assert_eq!(rle[2], (5, 0));
+    }
+
+    #[test]
+    fn deflate_then_inflate_text() {
+        let data = b"It was the best of times, it was the worst of times, it was the age of wisdom, it was the age of foolishness".repeat(20);
+        for level in [Level::Fast, Level::Default, Level::Best] {
+            let c = deflate(&data, level);
+            assert!(c.len() < data.len() / 2, "should compress text well");
+            assert_eq!(inflate(&c).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn incompressible_data_falls_back_to_stored() {
+        // Pseudo-random bytes.
+        let mut x = 0x12345678u32;
+        let data: Vec<u8> = (0..5000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                (x & 0xFF) as u8
+            })
+            .collect();
+        let c = deflate(&data, Level::Default);
+        // Stored adds ~5 bytes per 64k chunk; never blow up.
+        assert!(c.len() <= data.len() + 64);
+        assert_eq!(inflate(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn empty_input() {
+        let c = deflate(&[], Level::Default);
+        assert_eq!(inflate(&c).unwrap(), Vec::<u8>::new());
+    }
+}

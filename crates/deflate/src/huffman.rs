@@ -1,0 +1,266 @@
+//! Canonical Huffman codes: length-limited construction (package-merge) and
+//! canonical decoding, per RFC 1951 §3.2.2.
+
+use crate::bitio::{BitError, BitReader};
+
+/// Compute length-limited Huffman code lengths for the given symbol
+/// frequencies via the package-merge algorithm. Symbols with zero frequency
+/// get length 0. `max_len` is 15 for literal/distance codes and 7 for the
+/// code-length code.
+pub fn code_lengths(freqs: &[u64], max_len: u32) -> Vec<u8> {
+    let n = freqs.len();
+    let active: Vec<usize> = (0..n).filter(|&i| freqs[i] > 0).collect();
+    let mut lens = vec![0u8; n];
+    match active.len() {
+        0 => return lens,
+        1 => {
+            // DEFLATE requires at least a 1-bit code for a lone symbol.
+            lens[active[0]] = 1;
+            return lens;
+        }
+        _ => {}
+    }
+    assert!(
+        (active.len() as u64) <= (1u64 << max_len),
+        "too many symbols for the length limit"
+    );
+
+    // Package-merge: items are (weight, coin) where a coin is a set of
+    // original symbols; each level produces packages of pairs.
+    #[derive(Clone)]
+    struct Coin {
+        weight: u64,
+        symbols: Vec<usize>,
+    }
+    let base: Vec<Coin> = {
+        let mut v: Vec<Coin> = active
+            .iter()
+            .map(|&i| Coin {
+                weight: freqs[i],
+                symbols: vec![i],
+            })
+            .collect();
+        v.sort_by_key(|c| c.weight);
+        v
+    };
+    let mut prev: Vec<Coin> = Vec::new();
+    for _level in 0..max_len {
+        // Merge base coins with packages from the previous level.
+        let mut merged: Vec<Coin> = Vec::with_capacity(base.len() + prev.len() / 2);
+        let mut packages = Vec::with_capacity(prev.len() / 2);
+        let mut it = prev.chunks_exact(2);
+        for pair in &mut it {
+            let mut syms = pair[0].symbols.clone();
+            syms.extend_from_slice(&pair[1].symbols);
+            packages.push(Coin {
+                weight: pair[0].weight + pair[1].weight,
+                symbols: syms,
+            });
+        }
+        let (mut a, mut b) = (base.iter().peekable(), packages.into_iter().peekable());
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(x), Some(y)) => {
+                    if x.weight <= y.weight {
+                        merged.push((*a.next().expect("peeked")).clone());
+                    } else {
+                        merged.push(b.next().expect("peeked"));
+                    }
+                }
+                (Some(_), None) => merged.push((*a.next().expect("peeked")).clone()),
+                (None, Some(_)) => merged.push(b.next().expect("peeked")),
+                (None, None) => break,
+            }
+        }
+        prev = merged;
+    }
+    // Take the first 2·(m−1) coins; each appearance of a symbol adds one to
+    // its code length.
+    let take = 2 * (active.len() - 1);
+    for coin in prev.iter().take(take) {
+        for &s in &coin.symbols {
+            lens[s] += 1;
+        }
+    }
+    lens
+}
+
+/// Assign canonical codes from code lengths (RFC 1951 §3.2.2). Returns codes
+/// aligned with `lens` (symbols with length 0 get code 0).
+pub fn canonical_codes(lens: &[u8]) -> Vec<u32> {
+    let max = lens.iter().copied().max().unwrap_or(0) as usize;
+    let mut bl_count = vec![0u32; max + 1];
+    for &l in lens {
+        if l > 0 {
+            bl_count[l as usize] += 1;
+        }
+    }
+    let mut next_code = vec![0u32; max + 2];
+    let mut code = 0u32;
+    for bits in 1..=max {
+        code = (code + bl_count[bits - 1]) << 1;
+        next_code[bits] = code;
+    }
+    lens.iter()
+        .map(|&l| {
+            if l == 0 {
+                0
+            } else {
+                let c = next_code[l as usize];
+                next_code[l as usize] += 1;
+                c
+            }
+        })
+        .collect()
+}
+
+/// Canonical Huffman decoder.
+pub struct Decoder {
+    /// count[l] = number of codes of length l.
+    counts: Vec<u32>,
+    /// Symbols sorted by (length, symbol) — canonical order.
+    symbols: Vec<u16>,
+}
+
+impl Decoder {
+    /// Build from code lengths. Returns `None` for an over-subscribed or
+    /// incomplete (but non-trivial) code.
+    pub fn new(lens: &[u8]) -> Option<Decoder> {
+        let max = lens.iter().copied().max().unwrap_or(0) as usize;
+        let mut counts = vec![0u32; max + 1];
+        for &l in lens {
+            if l > 0 {
+                counts[l as usize] += 1;
+            }
+        }
+        // Kraft check.
+        let mut left = 1i64;
+        for &c in counts.iter().skip(1) {
+            left <<= 1;
+            left -= c as i64;
+            if left < 0 {
+                return None; // over-subscribed
+            }
+        }
+        let mut symbols = Vec::new();
+        for bits in 1..=max {
+            for (sym, &l) in lens.iter().enumerate() {
+                if l as usize == bits {
+                    symbols.push(sym as u16);
+                }
+            }
+        }
+        Some(Decoder { counts, symbols })
+    }
+
+    /// Decode one symbol from the bit reader.
+    pub fn decode(&self, r: &mut BitReader<'_>) -> Result<u16, BitError> {
+        let mut code = 0i64;
+        let mut first = 0i64;
+        let mut index = 0i64;
+        for len in 1..self.counts.len() {
+            code |= r.read_bit()? as i64;
+            let count = self.counts[len] as i64;
+            if code - first < count {
+                return Ok(self.symbols[(index + (code - first)) as usize]);
+            }
+            index += count;
+            first = (first + count) << 1;
+            code <<= 1;
+        }
+        Err(BitError("invalid Huffman code".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitio::BitWriter;
+    use proptest::prelude::*;
+
+    #[test]
+    fn lengths_respect_limit_and_kraft() {
+        let freqs: Vec<u64> = (1..=40).map(|i| i * i).collect();
+        for limit in [7u32, 15] {
+            let lens = code_lengths(&freqs, limit);
+            assert!(lens.iter().all(|&l| l as u32 <= limit));
+            let kraft: f64 = lens
+                .iter()
+                .filter(|&&l| l > 0)
+                .map(|&l| 2f64.powi(-(l as i32)))
+                .sum();
+            assert!(kraft <= 1.0 + 1e-12, "kraft {kraft}");
+        }
+    }
+
+    #[test]
+    fn frequent_symbols_get_short_codes() {
+        let lens = code_lengths(&[1000, 1, 1, 1], 15);
+        assert!(lens[0] < lens[1]);
+    }
+
+    #[test]
+    fn single_symbol_gets_one_bit() {
+        let lens = code_lengths(&[0, 42, 0], 15);
+        assert_eq!(lens, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn canonical_assignment_rfc_example() {
+        // RFC 1951 example: lengths (3,3,3,3,3,2,4,4) → codes.
+        let lens = [3u8, 3, 3, 3, 3, 2, 4, 4];
+        let codes = canonical_codes(&lens);
+        assert_eq!(codes, vec![0b010, 0b011, 0b100, 0b101, 0b110, 0b00, 0b1110, 0b1111]);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let freqs: Vec<u64> = vec![50, 20, 10, 5, 5, 5, 3, 1, 1];
+        let lens = code_lengths(&freqs, 15);
+        let codes = canonical_codes(&lens);
+        let dec = Decoder::new(&lens).unwrap();
+        let msg: Vec<u16> = vec![0, 1, 2, 8, 3, 0, 0, 5, 7, 2];
+        let mut w = BitWriter::new();
+        for &s in &msg {
+            w.write_code(codes[s as usize], lens[s as usize] as u32);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &s in &msg {
+            assert_eq!(dec.decode(&mut r).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn oversubscribed_lengths_rejected() {
+        assert!(Decoder::new(&[1, 1, 1]).is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip_random_freqs(
+            freqs in proptest::collection::vec(0u64..1000, 2..60),
+            msg_idx in proptest::collection::vec(any::<u16>(), 1..200),
+        ) {
+            let active: Vec<usize> = (0..freqs.len()).filter(|&i| freqs[i] > 0).collect();
+            prop_assume!(active.len() >= 2);
+            let lens = code_lengths(&freqs, 15);
+            let codes = canonical_codes(&lens);
+            let dec = Decoder::new(&lens).unwrap();
+            let msg: Vec<u16> = msg_idx
+                .iter()
+                .map(|&i| active[i as usize % active.len()] as u16)
+                .collect();
+            let mut w = BitWriter::new();
+            for &s in &msg {
+                prop_assert!(lens[s as usize] > 0);
+                w.write_code(codes[s as usize], lens[s as usize] as u32);
+            }
+            let bytes = w.finish();
+            let mut r = BitReader::new(&bytes);
+            for &s in &msg {
+                prop_assert_eq!(dec.decode(&mut r).unwrap(), s);
+            }
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! DEFLATE decompression (RFC 1951): stored, fixed- and dynamic-Huffman
+//! blocks.
+
+use crate::bitio::{BitError, BitReader};
+use crate::huffman::Decoder;
+use crate::tables::*;
+
+/// Decompress a raw DEFLATE stream.
+pub fn inflate(data: &[u8]) -> Result<Vec<u8>, BitError> {
+    let mut r = BitReader::new(data);
+    let mut out = Vec::new();
+    loop {
+        let bfinal = r.read_bit()?;
+        let btype = r.read_bits(2)?;
+        match btype {
+            0 => {
+                r.align_byte();
+                let len_bytes = r.read_bytes(2)?;
+                let nlen_bytes = r.read_bytes(2)?;
+                let len = u16::from_le_bytes([len_bytes[0], len_bytes[1]]);
+                let nlen = u16::from_le_bytes([nlen_bytes[0], nlen_bytes[1]]);
+                if len != !nlen {
+                    return Err(BitError("stored block LEN/NLEN mismatch".into()));
+                }
+                out.extend(r.read_bytes(len as usize)?);
+            }
+            1 => {
+                let lit = Decoder::new(&fixed_litlen_lens())
+                    .expect("fixed litlen code is well-formed");
+                let dist = Decoder::new(&fixed_dist_lens())
+                    .expect("fixed distance code is well-formed");
+                inflate_block(&mut r, &lit, &dist, &mut out)?;
+            }
+            2 => {
+                let (lit, dist) = read_dynamic_header(&mut r)?;
+                inflate_block(&mut r, &lit, &dist, &mut out)?;
+            }
+            _ => return Err(BitError("reserved block type 3".into())),
+        }
+        if bfinal == 1 {
+            return Ok(out);
+        }
+    }
+}
+
+fn read_dynamic_header(r: &mut BitReader<'_>) -> Result<(Decoder, Decoder), BitError> {
+    let hlit = r.read_bits(5)? as usize + 257;
+    let hdist = r.read_bits(5)? as usize + 1;
+    let hclen = r.read_bits(4)? as usize + 4;
+    if hlit > 286 || hdist > 30 {
+        return Err(BitError(format!("bad HLIT/HDIST {hlit}/{hdist}")));
+    }
+    let mut clc_lens = [0u8; 19];
+    for &o in CLC_ORDER.iter().take(hclen) {
+        clc_lens[o] = r.read_bits(3)? as u8;
+    }
+    let clc = Decoder::new(&clc_lens).ok_or_else(|| BitError("bad code-length code".into()))?;
+
+    let mut lens = Vec::with_capacity(hlit + hdist);
+    while lens.len() < hlit + hdist {
+        let sym = clc.decode(r)?;
+        match sym {
+            0..=15 => lens.push(sym as u8),
+            16 => {
+                let prev = *lens
+                    .last()
+                    .ok_or_else(|| BitError("repeat with no previous length".into()))?;
+                let n = 3 + r.read_bits(2)?;
+                for _ in 0..n {
+                    lens.push(prev);
+                }
+            }
+            17 => {
+                let n = 3 + r.read_bits(3)? as usize;
+                lens.resize(lens.len() + n, 0);
+            }
+            18 => {
+                let n = 11 + r.read_bits(7)? as usize;
+                lens.resize(lens.len() + n, 0);
+            }
+            _ => return Err(BitError(format!("bad code-length symbol {sym}"))),
+        }
+    }
+    if lens.len() != hlit + hdist {
+        return Err(BitError("code lengths overflow HLIT+HDIST".into()));
+    }
+    let lit = Decoder::new(&lens[..hlit])
+        .ok_or_else(|| BitError("bad literal/length code".into()))?;
+    let dist = Decoder::new(&lens[hlit..])
+        .ok_or_else(|| BitError("bad distance code".into()))?;
+    Ok((lit, dist))
+}
+
+fn inflate_block(
+    r: &mut BitReader<'_>,
+    lit: &Decoder,
+    dist: &Decoder,
+    out: &mut Vec<u8>,
+) -> Result<(), BitError> {
+    loop {
+        let sym = lit.decode(r)?;
+        match sym {
+            0..=255 => out.push(sym as u8),
+            256 => return Ok(()),
+            257..=285 => {
+                let li = sym as usize - 257;
+                let len = LEN_BASE[li] as usize + r.read_bits(LEN_EXTRA[li] as u32)? as usize;
+                let dsym = dist.decode(r)? as usize;
+                if dsym >= 30 {
+                    return Err(BitError(format!("bad distance symbol {dsym}")));
+                }
+                let d = DIST_BASE[dsym] as usize + r.read_bits(DIST_EXTRA[dsym] as u32)? as usize;
+                if d > out.len() {
+                    return Err(BitError("back-reference before start of output".into()));
+                }
+                let start = out.len() - d;
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+            _ => return Err(BitError(format!("bad literal/length symbol {sym}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deflate::{deflate, Level};
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(inflate(&[0xFF, 0xFF, 0xFF]).is_err());
+        assert!(inflate(&[]).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_stored_nlen() {
+        // BFINAL=1, BTYPE=0, then LEN=1 NLEN=1 (mismatch).
+        let bytes = [0b001u8, 1, 0, 1, 0, 42];
+        assert!(inflate(&bytes).is_err());
+    }
+
+    #[test]
+    fn known_fixed_block() {
+        // Compress "hello" and verify round trip via the fixed path.
+        let data = b"hello";
+        let c = deflate(data, Level::Fast);
+        assert_eq!(inflate(&c).unwrap(), data);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_round_trip_random(data in proptest::collection::vec(any::<u8>(), 0..8000)) {
+            let c = deflate(&data, Level::Default);
+            prop_assert_eq!(inflate(&c).unwrap(), data);
+        }
+
+        #[test]
+        fn prop_round_trip_structured(
+            word in proptest::collection::vec(any::<u8>(), 1..20),
+            reps in 1usize..400,
+        ) {
+            let data: Vec<u8> = word.iter().cycle().take(word.len() * reps).copied().collect();
+            let c = deflate(&data, Level::Best);
+            prop_assert_eq!(inflate(&c).unwrap(), data.clone());
+            if data.len() > 500 {
+                prop_assert!(c.len() < data.len());
+            }
+        }
+
+        #[test]
+        fn prop_round_trip_all_levels(data in proptest::collection::vec(0u8..16, 0..4000)) {
+            for level in [Level::Fast, Level::Default, Level::Best] {
+                let c = deflate(&data, level);
+                prop_assert_eq!(inflate(&c).unwrap(), data.clone());
+            }
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! LZ77 matching with hash chains (32 KiB window, matches 3..=258), the
+//! front end of DEFLATE compression.
+
+pub const WINDOW_SIZE: usize = 32 * 1024;
+pub const MIN_MATCH: usize = 3;
+pub const MAX_MATCH: usize = 258;
+
+/// One LZ77 token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Token {
+    Literal(u8),
+    /// Back-reference: `dist` bytes back, `len` bytes long.
+    Match { len: u16, dist: u16 },
+}
+
+const HASH_BITS: u32 = 15;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+
+fn hash3(data: &[u8], i: usize) -> usize {
+    let v = (data[i] as u32) | ((data[i + 1] as u32) << 8) | ((data[i + 2] as u32) << 16);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Greedy hash-chain tokenizer with one-step lazy matching (as in zlib's
+/// default strategy, simplified).
+pub fn tokenize(data: &[u8], max_chain: usize) -> Vec<Token> {
+    let n = data.len();
+    let mut tokens = Vec::with_capacity(n / 2 + 16);
+    if n < MIN_MATCH {
+        tokens.extend(data.iter().map(|&b| Token::Literal(b)));
+        return tokens;
+    }
+    // head[h] = most recent position with hash h; prev[i % W] = previous
+    // position in the chain.
+    let mut head = vec![usize::MAX; HASH_SIZE];
+    let mut prev = vec![usize::MAX; WINDOW_SIZE];
+    let mut i = 0usize;
+
+    let insert = |head: &mut [usize], prev: &mut [usize], data: &[u8], i: usize| {
+        if i + MIN_MATCH <= data.len() {
+            let h = hash3(data, i);
+            prev[i % WINDOW_SIZE] = head[h];
+            head[h] = i;
+        }
+    };
+
+    let best_match = |head: &[usize], prev: &[usize], data: &[u8], i: usize| -> (usize, usize) {
+        if i + MIN_MATCH > data.len() {
+            return (0, 0);
+        }
+        let h = hash3(data, i);
+        let mut cand = head[h];
+        let max_len = MAX_MATCH.min(data.len() - i);
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        let mut chains = 0usize;
+        while cand != usize::MAX && chains < max_chain {
+            chains += 1;
+            let dist = i - cand;
+            if dist == 0 || dist > WINDOW_SIZE {
+                break;
+            }
+            let mut l = 0usize;
+            while l < max_len && data[cand + l] == data[i + l] {
+                l += 1;
+            }
+            if l > best_len {
+                best_len = l;
+                best_dist = dist;
+                if l >= max_len {
+                    break;
+                }
+            }
+            cand = prev[cand % WINDOW_SIZE];
+            // Chains referencing positions outside the window are stale.
+            if cand != usize::MAX && cand + WINDOW_SIZE < i {
+                break;
+            }
+        }
+        (best_len, best_dist)
+    };
+
+    while i < n {
+        let (len, dist) = best_match(&head, &prev, data, i);
+        if len >= MIN_MATCH {
+            // One-step lazy evaluation: prefer a longer match at i+1.
+            let (len2, _) = if i + 1 < n {
+                best_match(&head, &prev, data, i + 1)
+            } else {
+                (0, 0)
+            };
+            if len2 > len + 1 {
+                insert(&mut head, &mut prev, data, i);
+                tokens.push(Token::Literal(data[i]));
+                i += 1;
+                continue;
+            }
+            tokens.push(Token::Match {
+                len: len as u16,
+                dist: dist as u16,
+            });
+            for k in 0..len {
+                insert(&mut head, &mut prev, data, i + k);
+            }
+            i += len;
+        } else {
+            insert(&mut head, &mut prev, data, i);
+            tokens.push(Token::Literal(data[i]));
+            i += 1;
+        }
+    }
+    tokens
+}
+
+/// Expand tokens back into bytes (the LZ77 half of inflate; also the test
+/// oracle for `tokenize`).
+pub fn expand(tokens: &[Token]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for t in tokens {
+        match *t {
+            Token::Literal(b) => out.push(b),
+            Token::Match { len, dist } => {
+                let start = out.len() - dist as usize;
+                for k in 0..len as usize {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn repetitive_input_produces_matches() {
+        let data = b"abcabcabcabcabcabc";
+        let toks = tokenize(data, 64);
+        assert!(toks.iter().any(|t| matches!(t, Token::Match { .. })));
+        assert_eq!(expand(&toks), data);
+    }
+
+    #[test]
+    fn short_input_is_literals() {
+        let toks = tokenize(b"ab", 64);
+        assert_eq!(toks, vec![Token::Literal(b'a'), Token::Literal(b'b')]);
+    }
+
+    #[test]
+    fn run_of_same_byte_overlapping_match() {
+        let data = vec![7u8; 1000];
+        let toks = tokenize(&data, 64);
+        assert!(toks.len() < 20, "run should compress well, got {}", toks.len());
+        assert_eq!(expand(&toks), data);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(tokenize(&[], 64).is_empty());
+    }
+
+    #[test]
+    fn long_input_crossing_window() {
+        // > 32 KiB with structure.
+        let mut data = Vec::new();
+        for i in 0..40_000u32 {
+            data.push((i % 251) as u8);
+        }
+        let toks = tokenize(&data, 32);
+        assert_eq!(expand(&toks), data);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_expand_inverts_tokenize(data in proptest::collection::vec(any::<u8>(), 0..5000)) {
+            let toks = tokenize(&data, 16);
+            prop_assert_eq!(expand(&toks), data);
+        }
+
+        #[test]
+        fn prop_low_entropy_round_trip(data in proptest::collection::vec(0u8..4, 0..5000)) {
+            let toks = tokenize(&data, 16);
+            prop_assert_eq!(expand(&toks), data.clone());
+            // Low-entropy inputs must actually compress.
+            if data.len() > 200 {
+                prop_assert!(toks.len() < data.len());
+            }
+        }
+    }
+}

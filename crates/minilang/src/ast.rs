@@ -1,0 +1,393 @@
+//! Abstract syntax tree for MiniMPI.
+//!
+//! Every statement and expression carries a [`NodeId`] unique within its
+//! program. The CST builder (crate `cypress-cst`) uses these ids to map
+//! control structures and MPI call sites to CST vertices, and the runtime
+//! interpreter uses the same ids to emit matching structure events — this is
+//! the moral equivalent of the `PMPI_COMM_Structure(type, id)` instrumentation
+//! the paper inserts at compile time.
+
+use crate::token::Pos;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of an AST node, unique within one [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The static types of MiniMPI values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Type {
+    Int,
+    Bool,
+    /// An asynchronous-communication request handle (`isend`/`irecv` result).
+    Req,
+    Unit,
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Type::Int => "int",
+            Type::Bool => "bool",
+            Type::Req => "req",
+            Type::Unit => "unit",
+        };
+        f.write_str(s)
+    }
+}
+
+/// MPI and intrinsic builtins callable from MiniMPI source.
+///
+/// The source-level names are the lower-case forms (`send`, `irecv`, ...);
+/// see [`Builtin::from_name`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Builtin {
+    /// `rank()` — this process's rank in the world communicator.
+    Rank,
+    /// `size()` — number of processes.
+    Size,
+    /// `any_source()` — the wildcard source value (`MPI_ANY_SOURCE`).
+    AnySource,
+    /// `compute(cost)` — synthetic sequential computation of `cost` units.
+    Compute,
+    Send,
+    Recv,
+    Isend,
+    Irecv,
+    Wait,
+    Waitall,
+    /// Partial completion (`MPI_Waitany`-style, §IV-A): completes exactly
+    /// one of the given requests — deterministically the first one in this
+    /// implementation — identified in the trace by its posting GID.
+    Waitany,
+    Barrier,
+    Bcast,
+    Reduce,
+    Allreduce,
+    Alltoall,
+    Allgather,
+    Sendrecv,
+}
+
+impl Builtin {
+    /// Resolve a source identifier to a builtin, if it names one.
+    pub fn from_name(name: &str) -> Option<Builtin> {
+        Some(match name {
+            "rank" => Builtin::Rank,
+            "size" => Builtin::Size,
+            "any_source" => Builtin::AnySource,
+            "compute" => Builtin::Compute,
+            "send" => Builtin::Send,
+            "recv" => Builtin::Recv,
+            "isend" => Builtin::Isend,
+            "irecv" => Builtin::Irecv,
+            "wait" => Builtin::Wait,
+            "waitall" => Builtin::Waitall,
+            "waitany" => Builtin::Waitany,
+            "barrier" => Builtin::Barrier,
+            "bcast" => Builtin::Bcast,
+            "reduce" => Builtin::Reduce,
+            "allreduce" => Builtin::Allreduce,
+            "alltoall" => Builtin::Alltoall,
+            "allgather" => Builtin::Allgather,
+            "sendrecv" => Builtin::Sendrecv,
+            _ => return None,
+        })
+    }
+
+    /// The canonical source name of the builtin.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Builtin::Rank => "rank",
+            Builtin::Size => "size",
+            Builtin::AnySource => "any_source",
+            Builtin::Compute => "compute",
+            Builtin::Send => "send",
+            Builtin::Recv => "recv",
+            Builtin::Isend => "isend",
+            Builtin::Irecv => "irecv",
+            Builtin::Wait => "wait",
+            Builtin::Waitall => "waitall",
+            Builtin::Waitany => "waitany",
+            Builtin::Barrier => "barrier",
+            Builtin::Bcast => "bcast",
+            Builtin::Reduce => "reduce",
+            Builtin::Allreduce => "allreduce",
+            Builtin::Alltoall => "alltoall",
+            Builtin::Allgather => "allgather",
+            Builtin::Sendrecv => "sendrecv",
+        }
+    }
+
+    /// Whether this builtin produces an MPI communication event
+    /// (i.e. becomes a leaf in the CST).
+    pub fn is_mpi_op(&self) -> bool {
+        !matches!(
+            self,
+            Builtin::Rank | Builtin::Size | Builtin::AnySource | Builtin::Compute
+        )
+    }
+
+    /// Parameter types; `None` in the slice means "variadic tail of Req".
+    pub fn signature(&self) -> (&'static [Type], Type) {
+        use Type::*;
+        match self {
+            Builtin::Rank | Builtin::Size | Builtin::AnySource => (&[], Int),
+            Builtin::Compute => (&[Int], Unit),
+            Builtin::Send | Builtin::Recv => (&[Int, Int, Int], Unit),
+            Builtin::Isend | Builtin::Irecv => (&[Int, Int, Int], Req),
+            Builtin::Wait => (&[Req], Unit),
+            // `waitall`/`waitany` are variadic over Req; validated specially
+            // in resolve.
+            Builtin::Waitall | Builtin::Waitany => (&[Req], Unit),
+            Builtin::Barrier => (&[], Unit),
+            Builtin::Bcast | Builtin::Reduce => (&[Int, Int], Unit),
+            Builtin::Allreduce | Builtin::Alltoall | Builtin::Allgather => (&[Int], Unit),
+            Builtin::Sendrecv => (&[Int, Int, Int, Int, Int, Int], Unit),
+        }
+    }
+}
+
+/// Binary operators, by precedence class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+impl BinOp {
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    Neg,
+    Not,
+}
+
+/// Who a call targets.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Callee {
+    /// A user-defined function, by name.
+    User(String),
+    /// A builtin / MPI operation.
+    Builtin(Builtin),
+}
+
+impl fmt::Display for Callee {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Callee::User(s) => f.write_str(s),
+            Callee::Builtin(b) => f.write_str(b.name()),
+        }
+    }
+}
+
+/// A call expression (user function or builtin).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Call {
+    pub callee: Callee,
+    pub args: Vec<Expr>,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    pub id: NodeId,
+    pub pos: Pos,
+    pub kind: ExprKind,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    Int(i64),
+    Bool(bool),
+    Var(String),
+    Unary(UnOp, Box<Expr>),
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    Call(Call),
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    pub id: NodeId,
+    pub pos: Pos,
+    pub kind: StmtKind,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// `let name = init;`
+    Let { name: String, init: Expr },
+    /// `name = value;`
+    Assign { name: String, value: Expr },
+    /// `if cond { .. } else { .. }` — `else` optional.
+    If {
+        cond: Expr,
+        then_blk: Block,
+        else_blk: Option<Block>,
+    },
+    /// `for var in start..end [step s] { .. }` — half-open range.
+    For {
+        var: String,
+        start: Expr,
+        end: Expr,
+        step: Option<Expr>,
+        body: Block,
+    },
+    /// `while cond { .. }`
+    While { cond: Expr, body: Block },
+    /// `return;` / `return expr;`
+    Return { value: Option<Expr> },
+    /// An expression evaluated for effect (must be a call).
+    Expr { expr: Expr },
+}
+
+/// A `{ ... }` block of statements.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Block {
+    pub stmts: Vec<Stmt>,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Func {
+    pub id: NodeId,
+    pub pos: Pos,
+    pub name: String,
+    pub params: Vec<String>,
+    pub body: Block,
+}
+
+/// A whole MiniMPI program.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    pub funcs: Vec<Func>,
+    /// Number of NodeIds allocated; ids are dense in `0..node_count`.
+    pub node_count: u32,
+}
+
+impl Program {
+    /// Look up a function index by name.
+    pub fn func_index(&self, name: &str) -> Option<usize> {
+        self.funcs.iter().position(|f| f.name == name)
+    }
+
+    /// Get a function by name.
+    pub fn func(&self, name: &str) -> Option<&Func> {
+        self.funcs.iter().find(|f| f.name == name)
+    }
+
+    /// The entry function, `main`.
+    pub fn main(&self) -> Option<&Func> {
+        self.func("main")
+    }
+
+    /// Build a map from function name to index.
+    pub fn func_map(&self) -> HashMap<&str, usize> {
+        self.funcs
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.name.as_str(), i))
+            .collect()
+    }
+}
+
+/// Visitor helpers used by several passes.
+impl Block {
+    /// Visit all statements recursively in source (pre-)order.
+    pub fn visit_stmts<'a>(&'a self, f: &mut impl FnMut(&'a Stmt)) {
+        for s in &self.stmts {
+            f(s);
+            match &s.kind {
+                StmtKind::If {
+                    then_blk, else_blk, ..
+                } => {
+                    then_blk.visit_stmts(f);
+                    if let Some(e) = else_blk {
+                        e.visit_stmts(f);
+                    }
+                }
+                StmtKind::For { body, .. } | StmtKind::While { body, .. } => {
+                    body.visit_stmts(f);
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_round_trips_names() {
+        for b in [
+            Builtin::Rank,
+            Builtin::Size,
+            Builtin::AnySource,
+            Builtin::Compute,
+            Builtin::Send,
+            Builtin::Recv,
+            Builtin::Isend,
+            Builtin::Irecv,
+            Builtin::Wait,
+            Builtin::Waitall,
+            Builtin::Barrier,
+            Builtin::Bcast,
+            Builtin::Reduce,
+            Builtin::Allreduce,
+            Builtin::Alltoall,
+            Builtin::Allgather,
+            Builtin::Sendrecv,
+        ] {
+            assert_eq!(Builtin::from_name(b.name()), Some(b));
+        }
+        assert_eq!(Builtin::from_name("frobnicate"), None);
+    }
+
+    #[test]
+    fn mpi_op_classification() {
+        assert!(Builtin::Send.is_mpi_op());
+        assert!(Builtin::Waitall.is_mpi_op());
+        assert!(!Builtin::Rank.is_mpi_op());
+        assert!(!Builtin::Compute.is_mpi_op());
+    }
+}

@@ -1,0 +1,63 @@
+//! Error types shared by the MiniMPI front end.
+
+use crate::token::Pos;
+use std::fmt;
+
+/// A front-end error (lexing, parsing, or semantic analysis).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LangError {
+    pub phase: Phase,
+    pub pos: Option<Pos>,
+    pub msg: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    Lex,
+    Parse,
+    Resolve,
+}
+
+impl LangError {
+    pub fn lex(pos: Pos, msg: impl Into<String>) -> Self {
+        LangError {
+            phase: Phase::Lex,
+            pos: Some(pos),
+            msg: msg.into(),
+        }
+    }
+
+    pub fn parse(pos: Pos, msg: impl Into<String>) -> Self {
+        LangError {
+            phase: Phase::Parse,
+            pos: Some(pos),
+            msg: msg.into(),
+        }
+    }
+
+    pub fn resolve(pos: Option<Pos>, msg: impl Into<String>) -> Self {
+        LangError {
+            phase: Phase::Resolve,
+            pos,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let phase = match self.phase {
+            Phase::Lex => "lex",
+            Phase::Parse => "parse",
+            Phase::Resolve => "resolve",
+        };
+        match self.pos {
+            Some(p) => write!(f, "{phase} error at {p}: {}", self.msg),
+            None => write!(f, "{phase} error: {}", self.msg),
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+pub type Result<T> = std::result::Result<T, LangError>;

@@ -1,0 +1,339 @@
+//! Hand-written lexer for MiniMPI.
+
+use crate::error::{LangError, Result};
+use crate::token::{Pos, Tok, Token};
+
+/// Converts MiniMPI source text into a token stream.
+///
+/// Supports `//` line comments and `/* ... */` block comments (non-nesting).
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    idx: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    pub fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            idx: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn pos(&self) -> Pos {
+        Pos::new(self.line, self.col)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.idx).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.idx + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.idx += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) -> Result<()> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.pos();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            Some(b'*') if self.peek2() == Some(b'/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {
+                                self.bump();
+                            }
+                            None => {
+                                return Err(LangError::lex(start, "unterminated block comment"))
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn lex_number(&mut self) -> Result<Token> {
+        let pos = self.pos();
+        let mut v: i64 = 0;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                v = v
+                    .checked_mul(10)
+                    .and_then(|v| v.checked_add((c - b'0') as i64))
+                    .ok_or_else(|| LangError::lex(pos, "integer literal overflows i64"))?;
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(Token::new(Tok::Int(v), pos))
+    }
+
+    fn lex_ident(&mut self) -> Token {
+        let pos = self.pos();
+        let start = self.idx;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let s = std::str::from_utf8(&self.src[start..self.idx]).expect("ascii ident");
+        let tok = match s {
+            "fn" => Tok::Fn,
+            "let" => Tok::Let,
+            "if" => Tok::If,
+            "else" => Tok::Else,
+            "for" => Tok::For,
+            "in" => Tok::In,
+            "while" => Tok::While,
+            "return" => Tok::Return,
+            "true" => Tok::True,
+            "false" => Tok::False,
+            "step" => Tok::Step,
+            _ => Tok::Ident(s.to_owned()),
+        };
+        Token::new(tok, pos)
+    }
+
+    /// Produce the next token, or `Eof` at end of input.
+    pub fn next_token(&mut self) -> Result<Token> {
+        self.skip_trivia()?;
+        let pos = self.pos();
+        let c = match self.peek() {
+            None => return Ok(Token::new(Tok::Eof, pos)),
+            Some(c) => c,
+        };
+        if c.is_ascii_digit() {
+            return self.lex_number();
+        }
+        if c.is_ascii_alphabetic() || c == b'_' {
+            return Ok(self.lex_ident());
+        }
+        macro_rules! two {
+            ($second:expr, $yes:expr, $no:expr) => {{
+                self.bump();
+                if self.peek() == Some($second) {
+                    self.bump();
+                    Tok::from($yes)
+                } else {
+                    Tok::from($no)
+                }
+            }};
+        }
+        let tok = match c {
+            b'(' => {
+                self.bump();
+                Tok::LParen
+            }
+            b')' => {
+                self.bump();
+                Tok::RParen
+            }
+            b'{' => {
+                self.bump();
+                Tok::LBrace
+            }
+            b'}' => {
+                self.bump();
+                Tok::RBrace
+            }
+            b',' => {
+                self.bump();
+                Tok::Comma
+            }
+            b';' => {
+                self.bump();
+                Tok::Semi
+            }
+            b'+' => {
+                self.bump();
+                Tok::Plus
+            }
+            b'-' => {
+                self.bump();
+                Tok::Minus
+            }
+            b'*' => {
+                self.bump();
+                Tok::Star
+            }
+            b'/' => {
+                self.bump();
+                Tok::Slash
+            }
+            b'%' => {
+                self.bump();
+                Tok::Percent
+            }
+            b'.' => {
+                self.bump();
+                if self.peek() == Some(b'.') {
+                    self.bump();
+                    Tok::DotDot
+                } else {
+                    return Err(LangError::lex(pos, "expected '..'"));
+                }
+            }
+            b'=' => two!(b'=', Tok::EqEq, Tok::Assign),
+            b'!' => two!(b'=', Tok::NotEq, Tok::Not),
+            b'<' => two!(b'=', Tok::Le, Tok::Lt),
+            b'>' => two!(b'=', Tok::Ge, Tok::Gt),
+            b'&' => {
+                self.bump();
+                if self.peek() == Some(b'&') {
+                    self.bump();
+                    Tok::AndAnd
+                } else {
+                    return Err(LangError::lex(pos, "expected '&&'"));
+                }
+            }
+            b'|' => {
+                self.bump();
+                if self.peek() == Some(b'|') {
+                    self.bump();
+                    Tok::OrOr
+                } else {
+                    return Err(LangError::lex(pos, "expected '||'"));
+                }
+            }
+            other => {
+                return Err(LangError::lex(
+                    pos,
+                    format!("unexpected character {:?}", other as char),
+                ))
+            }
+        };
+        Ok(Token::new(tok, pos))
+    }
+
+    /// Lex the whole input into a vector ending with `Eof`.
+    pub fn tokenize(mut self) -> Result<Vec<Token>> {
+        let mut out = Vec::new();
+        loop {
+            let t = self.next_token()?;
+            let done = t.tok == Tok::Eof;
+            out.push(t);
+            if done {
+                return Ok(out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.tok)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        assert_eq!(
+            toks("fn main for in while"),
+            vec![Tok::Fn, Tok::Ident("main".into()), Tok::For, Tok::In, Tok::While, Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(toks("0 42 123456789"), vec![
+            Tok::Int(0),
+            Tok::Int(42),
+            Tok::Int(123456789),
+            Tok::Eof
+        ]);
+    }
+
+    #[test]
+    fn rejects_overflowing_number() {
+        assert!(Lexer::new("99999999999999999999999").tokenize().is_err());
+    }
+
+    #[test]
+    fn lexes_operators() {
+        assert_eq!(toks("== != <= >= < > && || ! = .."), vec![
+            Tok::EqEq,
+            Tok::NotEq,
+            Tok::Le,
+            Tok::Ge,
+            Tok::Lt,
+            Tok::Gt,
+            Tok::AndAnd,
+            Tok::OrOr,
+            Tok::Not,
+            Tok::Assign,
+            Tok::DotDot,
+            Tok::Eof
+        ]);
+    }
+
+    #[test]
+    fn skips_comments() {
+        assert_eq!(
+            toks("1 // comment\n 2 /* block\n comment */ 3"),
+            vec![Tok::Int(1), Tok::Int(2), Tok::Int(3), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_block_comment_errors() {
+        assert!(Lexer::new("/* nope").tokenize().is_err());
+    }
+
+    #[test]
+    fn tracks_positions() {
+        let ts = Lexer::new("a\n  b").tokenize().unwrap();
+        assert_eq!(ts[0].pos, Pos::new(1, 1));
+        assert_eq!(ts[1].pos, Pos::new(2, 3));
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        assert!(Lexer::new("a $ b").tokenize().is_err());
+        assert!(Lexer::new("a & b").tokenize().is_err());
+        assert!(Lexer::new("a | b").tokenize().is_err());
+    }
+}

@@ -1,0 +1,622 @@
+//! Recursive-descent parser for MiniMPI.
+//!
+//! Grammar (EBNF):
+//! ```text
+//! program   := func*
+//! func      := "fn" IDENT "(" (IDENT ("," IDENT)*)? ")" block
+//! block     := "{" stmt* "}"
+//! stmt      := "let" IDENT "=" expr ";"
+//!            | "if" expr block ("else" (block | if-stmt))?
+//!            | "for" IDENT "in" expr ".." expr ("step" expr)? block
+//!            | "while" expr block
+//!            | "return" expr? ";"
+//!            | IDENT "=" expr ";"          (assignment)
+//!            | expr ";"                    (call statement)
+//! expr      := or
+//! or        := and ("||" and)*
+//! and       := cmp ("&&" cmp)*
+//! cmp       := add (("=="|"!="|"<"|"<="|">"|">=") add)?
+//! add       := mul (("+"|"-") mul)*
+//! mul       := unary (("*"|"/"|"%") unary)*
+//! unary     := ("-"|"!") unary | primary
+//! primary   := INT | "true" | "false" | IDENT ("(" args ")")? | "(" expr ")"
+//! ```
+
+use crate::ast::*;
+use crate::error::{LangError, Result};
+use crate::lexer::Lexer;
+use crate::token::{Pos, Tok, Token};
+
+/// Parse a full MiniMPI program from source text.
+pub fn parse_program(src: &str) -> Result<Program> {
+    let tokens = Lexer::new(src).tokenize()?;
+    Parser::new(tokens).program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    idx: usize,
+    next_id: u32,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser {
+            tokens,
+            idx: 0,
+            next_id: 0,
+        }
+    }
+
+    fn fresh(&mut self) -> NodeId {
+        let id = NodeId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.idx].tok
+    }
+
+    fn pos(&self) -> Pos {
+        self.tokens[self.idx].pos
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.idx].clone();
+        if self.idx + 1 < self.tokens.len() {
+            self.idx += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, want: &Tok) -> Result<Token> {
+        if self.peek() == want {
+            Ok(self.bump())
+        } else {
+            Err(LangError::parse(
+                self.pos(),
+                format!("expected `{want}`, found `{}`", self.peek()),
+            ))
+        }
+    }
+
+    fn eat_ident(&mut self) -> Result<(String, Pos)> {
+        let pos = self.pos();
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok((s, pos))
+            }
+            other => Err(LangError::parse(
+                pos,
+                format!("expected identifier, found `{other}`"),
+            )),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program> {
+        let mut funcs = Vec::new();
+        while *self.peek() != Tok::Eof {
+            funcs.push(self.func()?);
+        }
+        Ok(Program {
+            funcs,
+            node_count: self.next_id,
+        })
+    }
+
+    fn func(&mut self) -> Result<Func> {
+        let pos = self.pos();
+        self.eat(&Tok::Fn)?;
+        let id = self.fresh();
+        let (name, _) = self.eat_ident()?;
+        self.eat(&Tok::LParen)?;
+        let mut params = Vec::new();
+        if *self.peek() != Tok::RParen {
+            loop {
+                let (p, _) = self.eat_ident()?;
+                params.push(p);
+                if *self.peek() == Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.eat(&Tok::RParen)?;
+        let body = self.block()?;
+        Ok(Func {
+            id,
+            pos,
+            name,
+            params,
+            body,
+        })
+    }
+
+    fn block(&mut self) -> Result<Block> {
+        self.eat(&Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while *self.peek() != Tok::RBrace {
+            if *self.peek() == Tok::Eof {
+                return Err(LangError::parse(self.pos(), "unterminated block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.eat(&Tok::RBrace)?;
+        Ok(Block { stmts })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt> {
+        let pos = self.pos();
+        match self.peek().clone() {
+            Tok::Let => {
+                self.bump();
+                let id = self.fresh();
+                let (name, _) = self.eat_ident()?;
+                self.eat(&Tok::Assign)?;
+                let init = self.expr()?;
+                self.eat(&Tok::Semi)?;
+                Ok(Stmt {
+                    id,
+                    pos,
+                    kind: StmtKind::Let { name, init },
+                })
+            }
+            Tok::If => self.if_stmt(),
+            Tok::For => {
+                self.bump();
+                let id = self.fresh();
+                let (var, _) = self.eat_ident()?;
+                self.eat(&Tok::In)?;
+                let start = self.expr()?;
+                self.eat(&Tok::DotDot)?;
+                let end = self.expr()?;
+                let step = if *self.peek() == Tok::Step {
+                    self.bump();
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                let body = self.block()?;
+                Ok(Stmt {
+                    id,
+                    pos,
+                    kind: StmtKind::For {
+                        var,
+                        start,
+                        end,
+                        step,
+                        body,
+                    },
+                })
+            }
+            Tok::While => {
+                self.bump();
+                let id = self.fresh();
+                let cond = self.expr()?;
+                let body = self.block()?;
+                Ok(Stmt {
+                    id,
+                    pos,
+                    kind: StmtKind::While { cond, body },
+                })
+            }
+            Tok::Return => {
+                self.bump();
+                let id = self.fresh();
+                let value = if *self.peek() == Tok::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.eat(&Tok::Semi)?;
+                Ok(Stmt {
+                    id,
+                    pos,
+                    kind: StmtKind::Return { value },
+                })
+            }
+            Tok::Ident(name) => {
+                // Either assignment `x = e;` or a call statement `f(..);`
+                if self.tokens[self.idx + 1].tok == Tok::Assign {
+                    let id = self.fresh();
+                    self.bump(); // ident
+                    self.bump(); // '='
+                    let value = self.expr()?;
+                    self.eat(&Tok::Semi)?;
+                    Ok(Stmt {
+                        id,
+                        pos,
+                        kind: StmtKind::Assign { name, value },
+                    })
+                } else {
+                    let id = self.fresh();
+                    let expr = self.expr()?;
+                    if !matches!(expr.kind, ExprKind::Call(_)) {
+                        return Err(LangError::parse(
+                            pos,
+                            "only call expressions may be used as statements",
+                        ));
+                    }
+                    self.eat(&Tok::Semi)?;
+                    Ok(Stmt {
+                        id,
+                        pos,
+                        kind: StmtKind::Expr { expr },
+                    })
+                }
+            }
+            other => Err(LangError::parse(
+                pos,
+                format!("expected statement, found `{other}`"),
+            )),
+        }
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt> {
+        let pos = self.pos();
+        self.eat(&Tok::If)?;
+        let id = self.fresh();
+        let cond = self.expr()?;
+        let then_blk = self.block()?;
+        let else_blk = if *self.peek() == Tok::Else {
+            self.bump();
+            if *self.peek() == Tok::If {
+                // `else if` desugars to an else-block containing one if-stmt.
+                let inner = self.if_stmt()?;
+                Some(Block { stmts: vec![inner] })
+            } else {
+                Some(self.block()?)
+            }
+        } else {
+            None
+        };
+        Ok(Stmt {
+            id,
+            pos,
+            kind: StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            },
+        })
+    }
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.and_expr()?;
+        while *self.peek() == Tok::OrOr {
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.and_expr()?;
+            lhs = Expr {
+                id: self.fresh(),
+                pos,
+                kind: ExprKind::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs)),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.cmp_expr()?;
+        while *self.peek() == Tok::AndAnd {
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.cmp_expr()?;
+            lhs = Expr {
+                id: self.fresh(),
+                pos,
+                kind: ExprKind::Binary(BinOp::And, Box::new(lhs), Box::new(rhs)),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Tok::EqEq => BinOp::Eq,
+            Tok::NotEq => BinOp::Ne,
+            Tok::Lt => BinOp::Lt,
+            Tok::Le => BinOp::Le,
+            Tok::Gt => BinOp::Gt,
+            Tok::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        let pos = self.pos();
+        self.bump();
+        let rhs = self.add_expr()?;
+        Ok(Expr {
+            id: self.fresh(),
+            pos,
+            kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+        })
+    }
+
+    fn add_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr {
+                id: self.fresh(),
+                pos,
+                kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+            };
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Rem,
+                _ => return Ok(lhs),
+            };
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr {
+                id: self.fresh(),
+                pos,
+                kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+            };
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr> {
+        let pos = self.pos();
+        match self.peek() {
+            Tok::Minus => {
+                self.bump();
+                let inner = self.unary_expr()?;
+                Ok(Expr {
+                    id: self.fresh(),
+                    pos,
+                    kind: ExprKind::Unary(UnOp::Neg, Box::new(inner)),
+                })
+            }
+            Tok::Not => {
+                self.bump();
+                let inner = self.unary_expr()?;
+                Ok(Expr {
+                    id: self.fresh(),
+                    pos,
+                    kind: ExprKind::Unary(UnOp::Not, Box::new(inner)),
+                })
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        let pos = self.pos();
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr {
+                    id: self.fresh(),
+                    pos,
+                    kind: ExprKind::Int(v),
+                })
+            }
+            Tok::True => {
+                self.bump();
+                Ok(Expr {
+                    id: self.fresh(),
+                    pos,
+                    kind: ExprKind::Bool(true),
+                })
+            }
+            Tok::False => {
+                self.bump();
+                Ok(Expr {
+                    id: self.fresh(),
+                    pos,
+                    kind: ExprKind::Bool(false),
+                })
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.eat(&Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                if *self.peek() == Tok::LParen {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if *self.peek() != Tok::RParen {
+                        loop {
+                            args.push(self.expr()?);
+                            if *self.peek() == Tok::Comma {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.eat(&Tok::RParen)?;
+                    let callee = match Builtin::from_name(&name) {
+                        Some(b) => Callee::Builtin(b),
+                        None => Callee::User(name),
+                    };
+                    Ok(Expr {
+                        id: self.fresh(),
+                        pos,
+                        kind: ExprKind::Call(Call { callee, args }),
+                    })
+                } else {
+                    Ok(Expr {
+                        id: self.fresh(),
+                        pos,
+                        kind: ExprKind::Var(name),
+                    })
+                }
+            }
+            other => Err(LangError::parse(
+                pos,
+                format!("expected expression, found `{other}`"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_jacobi_like_program() {
+        let src = r#"
+            fn main() {
+                let r = rank();
+                let s = size();
+                for k in 0..10 {
+                    if r < s - 1 { send(r + 1, 1024, 0); }
+                    if r > 0 { recv(r - 1, 1024, 0); }
+                    if r > 0 { send(r - 1, 1024, 1); }
+                    if r < s - 1 { recv(r + 1, 1024, 1); }
+                    compute(100);
+                }
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.funcs.len(), 1);
+        assert_eq!(p.funcs[0].name, "main");
+        assert_eq!(p.funcs[0].body.stmts.len(), 3);
+    }
+
+    #[test]
+    fn parses_else_if_chain() {
+        let src = "fn main() { if rank() == 0 { barrier(); } else if rank() == 1 { barrier(); } else { barrier(); } }";
+        let p = parse_program(src).unwrap();
+        let StmtKind::If { else_blk, .. } = &p.funcs[0].body.stmts[0].kind else {
+            panic!("expected if");
+        };
+        let inner = else_blk.as_ref().unwrap();
+        assert!(matches!(inner.stmts[0].kind, StmtKind::If { .. }));
+    }
+
+    #[test]
+    fn parses_for_with_step() {
+        let src = "fn main() { for i in 0..10 step 2 { barrier(); } }";
+        let p = parse_program(src).unwrap();
+        let StmtKind::For { step, .. } = &p.funcs[0].body.stmts[0].kind else {
+            panic!("expected for");
+        };
+        assert!(step.is_some());
+    }
+
+    #[test]
+    fn precedence_binds_mul_tighter_than_add() {
+        let src = "fn main() { let x = 1 + 2 * 3; }";
+        let p = parse_program(src).unwrap();
+        let StmtKind::Let { init, .. } = &p.funcs[0].body.stmts[0].kind else {
+            panic!();
+        };
+        let ExprKind::Binary(BinOp::Add, _, rhs) = &init.kind else {
+            panic!("expected add at top");
+        };
+        assert!(matches!(rhs.kind, ExprKind::Binary(BinOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn rejects_non_call_expression_statement() {
+        assert!(parse_program("fn main() { 1 + 2; }").is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated_block() {
+        assert!(parse_program("fn main() { barrier();").is_err());
+    }
+
+    #[test]
+    fn node_ids_are_dense_and_unique() {
+        let src = "fn main() { for i in 0..3 { if i % 2 == 0 { send(1, 8, 0); } } }";
+        let p = parse_program(src).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        p.funcs[0].body.visit_stmts(&mut |s| {
+            assert!(seen.insert(s.id), "duplicate id {:?}", s.id);
+            assert!(s.id.0 < p.node_count);
+        });
+    }
+
+    #[test]
+    fn error_positions_point_at_offender() {
+        let err = parse_program("fn main() {\n    let x = ;\n}").unwrap_err();
+        let pos = err.pos.expect("parse errors carry positions");
+        assert_eq!(pos.line, 2);
+        assert!(err.to_string().contains("expected expression"));
+    }
+
+    #[test]
+    fn deeply_nested_expressions_parse() {
+        let mut expr = String::from("1");
+        for _ in 0..200 {
+            expr = format!("({expr} + 1)");
+        }
+        let src = format!("fn main() {{ compute({expr}); }}");
+        assert!(parse_program(&src).is_ok());
+    }
+
+    #[test]
+    fn chained_comparisons_rejected() {
+        // `a < b < c` is not in the grammar (cmp is non-associative).
+        assert!(parse_program("fn main() { if 1 < 2 < 3 { barrier(); } }").is_err());
+    }
+
+    #[test]
+    fn waitany_parses_as_builtin() {
+        let p = parse_program(
+            "fn main() { let a = isend(0, 8, 0); let b = isend(0, 8, 0); waitany(a, b); wait(b); }",
+        )
+        .unwrap();
+        let mut found = false;
+        p.funcs[0].body.visit_stmts(&mut |s| {
+            if let StmtKind::Expr { expr } = &s.kind {
+                if let ExprKind::Call(c) = &expr.kind {
+                    if c.callee == Callee::Builtin(Builtin::Waitany) {
+                        found = true;
+                    }
+                }
+            }
+        });
+        assert!(found);
+    }
+
+    #[test]
+    fn builtin_vs_user_callee() {
+        let src = "fn helper() { barrier(); } fn main() { helper(); send(0, 1, 2); }";
+        let p = parse_program(src).unwrap();
+        let calls: Vec<_> = p.funcs[1]
+            .body
+            .stmts
+            .iter()
+            .map(|s| match &s.kind {
+                StmtKind::Expr { expr } => match &expr.kind {
+                    ExprKind::Call(c) => c.callee.clone(),
+                    _ => panic!(),
+                },
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(calls[0], Callee::User("helper".into()));
+        assert_eq!(calls[1], Callee::Builtin(Builtin::Send));
+    }
+}

@@ -1,0 +1,304 @@
+//! Pretty printer for MiniMPI ASTs.
+//!
+//! The printer emits valid MiniMPI source: `parse(print(ast))` yields an AST
+//! equal to the original modulo node ids and positions. This is exercised by
+//! the round-trip property test in `tests/roundtrip.rs`.
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Render a whole program as source text.
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    for (i, f) in p.funcs.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        print_func(&mut out, f);
+    }
+    out
+}
+
+fn print_func(out: &mut String, f: &Func) {
+    write!(out, "fn {}(", f.name).unwrap();
+    for (i, p) in f.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(p);
+    }
+    out.push_str(") ");
+    print_block(out, &f.body, 0);
+    out.push('\n');
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn print_block(out: &mut String, b: &Block, level: usize) {
+    out.push_str("{\n");
+    for s in &b.stmts {
+        indent(out, level + 1);
+        print_stmt(out, s, level + 1);
+        out.push('\n');
+    }
+    indent(out, level);
+    out.push('}');
+}
+
+fn print_stmt(out: &mut String, s: &Stmt, level: usize) {
+    match &s.kind {
+        StmtKind::Let { name, init } => {
+            write!(out, "let {name} = ").unwrap();
+            print_expr(out, init);
+            out.push(';');
+        }
+        StmtKind::Assign { name, value } => {
+            write!(out, "{name} = ").unwrap();
+            print_expr(out, value);
+            out.push(';');
+        }
+        StmtKind::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => {
+            out.push_str("if ");
+            print_expr(out, cond);
+            out.push(' ');
+            print_block(out, then_blk, level);
+            if let Some(e) = else_blk {
+                out.push_str(" else ");
+                print_block(out, e, level);
+            }
+        }
+        StmtKind::For {
+            var,
+            start,
+            end,
+            step,
+            body,
+        } => {
+            write!(out, "for {var} in ").unwrap();
+            print_expr(out, start);
+            out.push_str("..");
+            print_expr(out, end);
+            if let Some(st) = step {
+                out.push_str(" step ");
+                print_expr(out, st);
+            }
+            out.push(' ');
+            print_block(out, body, level);
+        }
+        StmtKind::While { cond, body } => {
+            out.push_str("while ");
+            print_expr(out, cond);
+            out.push(' ');
+            print_block(out, body, level);
+        }
+        StmtKind::Return { value } => {
+            out.push_str("return");
+            if let Some(v) = value {
+                out.push(' ');
+                print_expr(out, v);
+            }
+            out.push(';');
+        }
+        StmtKind::Expr { expr } => {
+            print_expr(out, expr);
+            out.push(';');
+        }
+    }
+}
+
+/// Render an expression, fully parenthesised (so precedence never matters).
+pub fn print_expr(out: &mut String, e: &Expr) {
+    match &e.kind {
+        ExprKind::Int(v) => {
+            // Negative literals are re-printed as unary negation of the
+            // magnitude so the lexer (which has no negative literals)
+            // accepts them.
+            if *v < 0 {
+                write!(out, "(-{})", v.unsigned_abs()).unwrap();
+            } else {
+                write!(out, "{v}").unwrap();
+            }
+        }
+        ExprKind::Bool(b) => {
+            write!(out, "{b}").unwrap();
+        }
+        ExprKind::Var(n) => out.push_str(n),
+        ExprKind::Unary(op, inner) => {
+            out.push('(');
+            out.push_str(match op {
+                UnOp::Neg => "-",
+                UnOp::Not => "!",
+            });
+            print_expr(out, inner);
+            out.push(')');
+        }
+        ExprKind::Binary(op, l, r) => {
+            out.push('(');
+            print_expr(out, l);
+            write!(out, " {} ", op.symbol()).unwrap();
+            print_expr(out, r);
+            out.push(')');
+        }
+        ExprKind::Call(c) => {
+            write!(out, "{}(", c.callee).unwrap();
+            for (i, a) in c.args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                print_expr(out, a);
+            }
+            out.push(')');
+        }
+    }
+}
+
+/// Structural equality that ignores node ids and positions — used to compare
+/// a re-parsed program with the original.
+pub fn structurally_equal(a: &Program, b: &Program) -> bool {
+    a.funcs.len() == b.funcs.len()
+        && a.funcs
+            .iter()
+            .zip(&b.funcs)
+            .all(|(fa, fb)| fa.name == fb.name && fa.params == fb.params && blk_eq(&fa.body, &fb.body))
+}
+
+fn blk_eq(a: &Block, b: &Block) -> bool {
+    a.stmts.len() == b.stmts.len() && a.stmts.iter().zip(&b.stmts).all(|(x, y)| stmt_eq(x, y))
+}
+
+fn stmt_eq(a: &Stmt, b: &Stmt) -> bool {
+    use StmtKind::*;
+    match (&a.kind, &b.kind) {
+        (Let { name: n1, init: e1 }, Let { name: n2, init: e2 }) => n1 == n2 && expr_eq(e1, e2),
+        (Assign { name: n1, value: e1 }, Assign { name: n2, value: e2 }) => {
+            n1 == n2 && expr_eq(e1, e2)
+        }
+        (
+            If {
+                cond: c1,
+                then_blk: t1,
+                else_blk: e1,
+            },
+            If {
+                cond: c2,
+                then_blk: t2,
+                else_blk: e2,
+            },
+        ) => {
+            expr_eq(c1, c2)
+                && blk_eq(t1, t2)
+                && match (e1, e2) {
+                    (None, None) => true,
+                    (Some(x), Some(y)) => blk_eq(x, y),
+                    _ => false,
+                }
+        }
+        (
+            For {
+                var: v1,
+                start: s1,
+                end: en1,
+                step: st1,
+                body: b1,
+            },
+            For {
+                var: v2,
+                start: s2,
+                end: en2,
+                step: st2,
+                body: b2,
+            },
+        ) => {
+            v1 == v2
+                && expr_eq(s1, s2)
+                && expr_eq(en1, en2)
+                && match (st1, st2) {
+                    (None, None) => true,
+                    (Some(x), Some(y)) => expr_eq(x, y),
+                    _ => false,
+                }
+                && blk_eq(b1, b2)
+        }
+        (While { cond: c1, body: b1 }, While { cond: c2, body: b2 }) => {
+            expr_eq(c1, c2) && blk_eq(b1, b2)
+        }
+        (Return { value: v1 }, Return { value: v2 }) => match (v1, v2) {
+            (None, None) => true,
+            (Some(x), Some(y)) => expr_eq(x, y),
+            _ => false,
+        },
+        (Expr { expr: e1 }, Expr { expr: e2 }) => expr_eq(e1, e2),
+        _ => false,
+    }
+}
+
+fn expr_eq(a: &Expr, b: &Expr) -> bool {
+    use ExprKind::*;
+    match (&a.kind, &b.kind) {
+        (Int(x), Int(y)) => x == y,
+        // A negative literal prints as unary negation, so accept that
+        // asymmetry in either direction.
+        (Int(x), Unary(UnOp::Neg, inner)) | (Unary(UnOp::Neg, inner), Int(x)) if *x < 0 => {
+            matches!(inner.kind, Int(m) if m == x.unsigned_abs() as i64)
+        }
+        (Bool(x), Bool(y)) => x == y,
+        (Var(x), Var(y)) => x == y,
+        (Unary(o1, i1), Unary(o2, i2)) => o1 == o2 && expr_eq(i1, i2),
+        (Binary(o1, l1, r1), Binary(o2, l2, r2)) => o1 == o2 && expr_eq(l1, l2) && expr_eq(r1, r2),
+        (Call(c1), Call(c2)) => {
+            c1.callee == c2.callee
+                && c1.args.len() == c2.args.len()
+                && c1.args.iter().zip(&c2.args).all(|(x, y)| expr_eq(x, y))
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn print_parse_round_trip() {
+        let src = r#"
+            fn work(n) {
+                for i in 0..n step 2 {
+                    if i % 2 == 0 && n > 3 { send(rank() + 1, 64, i); }
+                    else { recv(rank() - 1, 64, i); }
+                }
+                return;
+            }
+            fn main() {
+                let r = irecv(any_source(), 8, 0);
+                work(size());
+                wait(r);
+                while rank() < 0 { barrier(); }
+            }
+        "#;
+        let p1 = parse_program(src).unwrap();
+        let printed = print_program(&p1);
+        let p2 = parse_program(&printed).unwrap();
+        assert!(structurally_equal(&p1, &p2), "printed:\n{printed}");
+    }
+
+    #[test]
+    fn prints_negative_literal_parseably() {
+        let mut out = String::new();
+        let e = Expr {
+            id: NodeId(0),
+            pos: crate::token::Pos::new(1, 1),
+            kind: ExprKind::Int(-5),
+        };
+        print_expr(&mut out, &e);
+        assert_eq!(out, "(-5)");
+    }
+}

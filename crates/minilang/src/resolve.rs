@@ -1,0 +1,503 @@
+//! Name resolution and type checking for MiniMPI.
+//!
+//! Validates a parsed [`Program`]:
+//! - `main` exists and takes no parameters,
+//! - every called user function exists, with matching arity,
+//! - variables are defined before use (lexical scoping, `let` shadows),
+//! - expressions are well typed (`if`/`while` conditions are `bool`,
+//!   `for` bounds are `int`, builtin signatures respected),
+//! - request handles (`req`) flow only from `isend`/`irecv` into
+//!   `wait`/`waitall` (no arithmetic on requests, no `req` parameters),
+//! - all `return` statements of a function agree on value-ness.
+
+use crate::ast::*;
+use crate::error::{LangError, Result};
+use std::collections::HashMap;
+
+/// Summary of a checked program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Resolved {
+    /// Return type of each function, indexed like `Program::funcs`.
+    pub ret_types: Vec<Type>,
+}
+
+/// Type check `prog`, returning per-function return types.
+pub fn check_program(prog: &Program) -> Result<Resolved> {
+    let mut by_name: HashMap<&str, usize> = HashMap::new();
+    for (i, f) in prog.funcs.iter().enumerate() {
+        if by_name.insert(f.name.as_str(), i).is_some() {
+            return Err(LangError::resolve(
+                Some(f.pos),
+                format!("duplicate function `{}`", f.name),
+            ));
+        }
+    }
+    let main = prog.main().ok_or_else(|| {
+        LangError::resolve(None, "program has no `main` function".to_string())
+    })?;
+    if !main.params.is_empty() {
+        return Err(LangError::resolve(
+            Some(main.pos),
+            "`main` must take no parameters",
+        ));
+    }
+
+    // Infer return types syntactically: a function whose body contains any
+    // `return <expr>` returns int; otherwise unit. Mixing is checked below.
+    let mut ret_types = vec![Type::Unit; prog.funcs.len()];
+    for (i, f) in prog.funcs.iter().enumerate() {
+        let mut with_value = false;
+        let mut without_value = false;
+        f.body.visit_stmts(&mut |s| {
+            if let StmtKind::Return { value } = &s.kind {
+                if value.is_some() {
+                    with_value = true;
+                } else {
+                    without_value = true;
+                }
+            }
+        });
+        if with_value && without_value {
+            return Err(LangError::resolve(
+                Some(f.pos),
+                format!(
+                    "function `{}` mixes `return;` and `return <expr>;`",
+                    f.name
+                ),
+            ));
+        }
+        ret_types[i] = if with_value { Type::Int } else { Type::Unit };
+    }
+
+    // `return` is only allowed as the *last* top-level statement of a
+    // function body. Early returns interact badly with structural CST
+    // construction (they force tail duplication in CFG region walking), and
+    // everything the paper's workloads express is writable with `if`/`else`
+    // instead, so the language forbids them outright.
+    for f in &prog.funcs {
+        let last_id = f.body.stmts.last().map(|s| s.id);
+        let mut bad: Option<crate::token::Pos> = None;
+        f.body.visit_stmts(&mut |s| {
+            if matches!(s.kind, StmtKind::Return { .. }) && Some(s.id) != last_id && bad.is_none()
+            {
+                bad = Some(s.pos);
+            }
+        });
+        if let Some(pos) = bad {
+            return Err(LangError::resolve(
+                Some(pos),
+                format!(
+                    "`return` must be the last statement of function `{}`",
+                    f.name
+                ),
+            ));
+        }
+    }
+
+    for f in &prog.funcs {
+        let mut ck = Checker {
+            prog,
+            by_name: &by_name,
+            ret_types: &ret_types,
+            scopes: vec![HashMap::new()],
+            func: f,
+        };
+        for p in &f.params {
+            ck.declare(p, Type::Int);
+        }
+        ck.check_block(&f.body)?;
+    }
+
+    Ok(Resolved { ret_types })
+}
+
+/// Reject MPI-op builtins and user-function calls anywhere in `e`.
+fn forbid_comm_calls(e: &Expr) -> Result<()> {
+    match &e.kind {
+        ExprKind::Int(_) | ExprKind::Bool(_) | ExprKind::Var(_) => Ok(()),
+        ExprKind::Unary(_, i) => forbid_comm_calls(i),
+        ExprKind::Binary(_, l, r) => {
+            forbid_comm_calls(l)?;
+            forbid_comm_calls(r)
+        }
+        ExprKind::Call(c) => {
+            match &c.callee {
+                Callee::User(name) => {
+                    return Err(LangError::resolve(
+                        Some(e.pos),
+                        format!("call to `{name}` not allowed in a `while` condition"),
+                    ))
+                }
+                Callee::Builtin(b) if b.is_mpi_op() => {
+                    return Err(LangError::resolve(
+                        Some(e.pos),
+                        format!("MPI operation `{}` not allowed in a `while` condition", b.name()),
+                    ))
+                }
+                Callee::Builtin(_) => {}
+            }
+            for a in &c.args {
+                forbid_comm_calls(a)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+struct Checker<'a> {
+    prog: &'a Program,
+    by_name: &'a HashMap<&'a str, usize>,
+    ret_types: &'a [Type],
+    scopes: Vec<HashMap<String, Type>>,
+    func: &'a Func,
+}
+
+impl<'a> Checker<'a> {
+    fn declare(&mut self, name: &str, ty: Type) {
+        self.scopes
+            .last_mut()
+            .expect("scope stack never empty")
+            .insert(name.to_owned(), ty);
+    }
+
+    fn lookup(&self, name: &str) -> Option<Type> {
+        self.scopes.iter().rev().find_map(|s| s.get(name).copied())
+    }
+
+    fn check_block(&mut self, b: &Block) -> Result<()> {
+        self.scopes.push(HashMap::new());
+        for s in &b.stmts {
+            self.check_stmt(s)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn check_stmt(&mut self, s: &Stmt) -> Result<()> {
+        match &s.kind {
+            StmtKind::Let { name, init } => {
+                let ty = self.check_expr(init)?;
+                if ty == Type::Unit {
+                    return Err(LangError::resolve(
+                        Some(s.pos),
+                        format!("cannot bind `{name}` to a unit-valued expression"),
+                    ));
+                }
+                self.declare(name, ty);
+                Ok(())
+            }
+            StmtKind::Assign { name, value } => {
+                let var_ty = self.lookup(name).ok_or_else(|| {
+                    LangError::resolve(Some(s.pos), format!("assignment to undefined `{name}`"))
+                })?;
+                let val_ty = self.check_expr(value)?;
+                if var_ty != val_ty {
+                    return Err(LangError::resolve(
+                        Some(s.pos),
+                        format!("assigning {val_ty} to `{name}: {var_ty}`"),
+                    ));
+                }
+                Ok(())
+            }
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                self.expect(cond, Type::Bool)?;
+                self.check_block(then_blk)?;
+                if let Some(e) = else_blk {
+                    self.check_block(e)?;
+                }
+                Ok(())
+            }
+            StmtKind::For {
+                var,
+                start,
+                end,
+                step,
+                body,
+            } => {
+                self.expect(start, Type::Int)?;
+                self.expect(end, Type::Int)?;
+                if let Some(st) = step {
+                    self.expect(st, Type::Int)?;
+                }
+                self.scopes.push(HashMap::new());
+                self.declare(var, Type::Int);
+                for st in &body.stmts {
+                    self.check_stmt(st)?;
+                }
+                self.scopes.pop();
+                Ok(())
+            }
+            StmtKind::While { cond, body } => {
+                self.expect(cond, Type::Bool)?;
+                // A `while` condition re-evaluates once more than the body
+                // runs; MPI operations (or user calls, which may contain
+                // them) there would break the CST's sequence-preservation
+                // guarantee, so they are rejected. Pure builtins like
+                // `rank()` remain allowed.
+                forbid_comm_calls(cond)?;
+                self.check_block(body)
+            }
+            StmtKind::Return { value } => {
+                let want = self.ret_types[self
+                    .by_name
+                    .get(self.func.name.as_str())
+                    .copied()
+                    .expect("current function is registered")];
+                match (value, want) {
+                    (Some(e), Type::Int) => self.expect(e, Type::Int),
+                    (None, Type::Unit) => Ok(()),
+                    // Unreachable given the syntactic inference, but keep a
+                    // defensive error for future inference changes.
+                    _ => Err(LangError::resolve(Some(s.pos), "return type mismatch")),
+                }
+            }
+            StmtKind::Expr { expr } => {
+                self.check_expr(expr)?;
+                Ok(())
+            }
+        }
+    }
+
+    fn expect(&mut self, e: &Expr, want: Type) -> Result<()> {
+        let got = self.check_expr(e)?;
+        if got != want {
+            return Err(LangError::resolve(
+                Some(e.pos),
+                format!("expected {want}, found {got}"),
+            ));
+        }
+        Ok(())
+    }
+
+    fn check_expr(&mut self, e: &Expr) -> Result<Type> {
+        match &e.kind {
+            ExprKind::Int(_) => Ok(Type::Int),
+            ExprKind::Bool(_) => Ok(Type::Bool),
+            ExprKind::Var(name) => self.lookup(name).ok_or_else(|| {
+                LangError::resolve(Some(e.pos), format!("undefined variable `{name}`"))
+            }),
+            ExprKind::Unary(op, inner) => match op {
+                UnOp::Neg => {
+                    self.expect(inner, Type::Int)?;
+                    Ok(Type::Int)
+                }
+                UnOp::Not => {
+                    self.expect(inner, Type::Bool)?;
+                    Ok(Type::Bool)
+                }
+            },
+            ExprKind::Binary(op, l, r) => match op {
+                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem => {
+                    self.expect(l, Type::Int)?;
+                    self.expect(r, Type::Int)?;
+                    Ok(Type::Int)
+                }
+                BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                    self.expect(l, Type::Int)?;
+                    self.expect(r, Type::Int)?;
+                    Ok(Type::Bool)
+                }
+                BinOp::And | BinOp::Or => {
+                    self.expect(l, Type::Bool)?;
+                    self.expect(r, Type::Bool)?;
+                    Ok(Type::Bool)
+                }
+            },
+            ExprKind::Call(call) => self.check_call(e, call),
+        }
+    }
+
+    fn check_call(&mut self, e: &Expr, call: &Call) -> Result<Type> {
+        match &call.callee {
+            Callee::User(name) => {
+                let idx = *self.by_name.get(name.as_str()).ok_or_else(|| {
+                    LangError::resolve(Some(e.pos), format!("call to undefined function `{name}`"))
+                })?;
+                let f = &self.prog.funcs[idx];
+                if f.params.len() != call.args.len() {
+                    return Err(LangError::resolve(
+                        Some(e.pos),
+                        format!(
+                            "`{name}` expects {} argument(s), got {}",
+                            f.params.len(),
+                            call.args.len()
+                        ),
+                    ));
+                }
+                for a in &call.args {
+                    self.expect(a, Type::Int)?;
+                }
+                Ok(self.ret_types[idx])
+            }
+            Callee::Builtin(b @ (Builtin::Waitall | Builtin::Waitany)) => {
+                if call.args.is_empty() {
+                    return Err(LangError::resolve(
+                        Some(e.pos),
+                        format!("`{}` needs at least one request", b.name()),
+                    ));
+                }
+                for a in &call.args {
+                    self.expect(a, Type::Req)?;
+                }
+                Ok(Type::Unit)
+            }
+            Callee::Builtin(b) => {
+                let (params, ret) = b.signature();
+                if params.len() != call.args.len() {
+                    return Err(LangError::resolve(
+                        Some(e.pos),
+                        format!(
+                            "`{}` expects {} argument(s), got {}",
+                            b.name(),
+                            params.len(),
+                            call.args.len()
+                        ),
+                    ));
+                }
+                for (a, &want) in call.args.iter().zip(params) {
+                    self.expect(a, want)?;
+                }
+                Ok(ret)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn check(src: &str) -> Result<Resolved> {
+        check_program(&parse_program(src).unwrap())
+    }
+
+    #[test]
+    fn accepts_well_typed_program() {
+        check(
+            "fn work(n) { for i in 0..n { send(rank() + 1, 8, 0); } }
+             fn main() { work(3); let r = irecv(any_source(), 8, 0); wait(r); }",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_missing_main() {
+        assert!(check("fn helper() { barrier(); }").is_err());
+    }
+
+    #[test]
+    fn rejects_main_with_params() {
+        assert!(check("fn main(x) { barrier(); }").is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_function() {
+        assert!(check("fn main() { } fn main() { }").is_err());
+    }
+
+    #[test]
+    fn rejects_undefined_variable() {
+        assert!(check("fn main() { let x = y + 1; }").is_err());
+    }
+
+    #[test]
+    fn rejects_bool_condition_mismatch() {
+        assert!(check("fn main() { if 1 + 2 { barrier(); } }").is_err());
+        assert!(check("fn main() { while 3 { barrier(); } }").is_err());
+    }
+
+    #[test]
+    fn rejects_arithmetic_on_requests() {
+        assert!(check("fn main() { let r = isend(0, 8, 0); let x = r + 1; }").is_err());
+    }
+
+    #[test]
+    fn rejects_wait_on_int() {
+        assert!(check("fn main() { wait(3); }").is_err());
+    }
+
+    #[test]
+    fn waitall_is_variadic_over_requests() {
+        check(
+            "fn main() { let a = isend(0, 8, 0); let b = irecv(0, 8, 0); waitall(a, b); }",
+        )
+        .unwrap();
+        assert!(check("fn main() { waitall(); }").is_err());
+        assert!(check("fn main() { let a = isend(0,8,0); waitall(a, 3); }").is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_arity_builtin() {
+        assert!(check("fn main() { send(1, 2); }").is_err());
+        assert!(check("fn main() { barrier(1); }").is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_arity_user_call() {
+        assert!(check("fn f(a, b) { } fn main() { f(1); }").is_err());
+    }
+
+    #[test]
+    fn rejects_call_to_undefined_function() {
+        assert!(check("fn main() { nope(); }").is_err());
+    }
+
+    #[test]
+    fn infers_int_return() {
+        let r = check("fn half(n) { return n / 2; } fn main() { let x = half(8); compute(x); }")
+            .unwrap();
+        assert_eq!(r.ret_types, vec![Type::Int, Type::Unit]);
+    }
+
+    #[test]
+    fn rejects_mixed_returns() {
+        assert!(
+            check("fn f(n) { if n > 0 { return 1; } return; } fn main() { f(1); }").is_err()
+        );
+    }
+
+    #[test]
+    fn rejects_early_return() {
+        assert!(check("fn main() { return; barrier(); }").is_err());
+        assert!(check("fn f(n) { if n > 0 { return; } barrier(); } fn main() { f(1); }").is_err());
+        assert!(check("fn f(n) { for i in 0..n { return; } } fn main() { f(1); }").is_err());
+    }
+
+    #[test]
+    fn rejects_comm_in_while_condition() {
+        assert!(check("fn p() { barrier(); return 1; } fn main() { while p() > 0 { } }").is_err());
+        // (also rejected because `while barrier()` would not type check, but
+        // the dedicated error fires first for int-returning wrappers)
+        assert!(
+            check("fn q() { return 1; } fn main() { while q() > 0 { barrier(); } }").is_err()
+        );
+        check("fn main() { let i = 0; while i < size() { barrier(); i = i + 1; } }").unwrap();
+    }
+
+    #[test]
+    fn accepts_tail_return() {
+        check("fn f(n) { let r = 0; if n > 0 { r = 1; } return r; } fn main() { compute(f(2)); }")
+            .unwrap();
+    }
+
+    #[test]
+    fn rejects_binding_unit() {
+        assert!(check("fn main() { let x = barrier(); }").is_err());
+    }
+
+    #[test]
+    fn let_shadows_in_inner_scope() {
+        check("fn main() { let x = 1; if x > 0 { let x = true; if x { barrier(); } } compute(x); }")
+            .unwrap();
+    }
+
+    #[test]
+    fn assignment_type_must_match() {
+        assert!(check("fn main() { let x = 1; x = true; }").is_err());
+    }
+}

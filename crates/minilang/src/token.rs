@@ -1,0 +1,134 @@
+//! Token definitions for the MiniMPI language.
+//!
+//! MiniMPI is a small C-like SPMD language: it expresses exactly the program
+//! features the CYPRESS static analysis consumes (loops, branches, function
+//! calls, MPI invocations) plus enough integer/boolean expression power for
+//! rank-dependent control flow (`if rank % 2 == 0 { ... }`).
+
+use std::fmt;
+
+/// A source position (1-based line and column), carried on every token and
+/// propagated into AST nodes for diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Pos {
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Pos {
+    pub const fn new(line: u32, col: u32) -> Self {
+        Pos { line, col }
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// The kinds of tokens produced by the lexer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    // Literals and identifiers
+    Int(i64),
+    Ident(String),
+
+    // Keywords
+    Fn,
+    Let,
+    If,
+    Else,
+    For,
+    In,
+    While,
+    Return,
+    True,
+    False,
+    Step,
+
+    // Punctuation
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Comma,
+    Semi,
+    DotDot,
+    Assign,
+
+    // Operators
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    EqEq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    AndAnd,
+    OrOr,
+    Not,
+
+    /// End of input sentinel.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Fn => write!(f, "fn"),
+            Tok::Let => write!(f, "let"),
+            Tok::If => write!(f, "if"),
+            Tok::Else => write!(f, "else"),
+            Tok::For => write!(f, "for"),
+            Tok::In => write!(f, "in"),
+            Tok::While => write!(f, "while"),
+            Tok::Return => write!(f, "return"),
+            Tok::True => write!(f, "true"),
+            Tok::False => write!(f, "false"),
+            Tok::Step => write!(f, "step"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::LBrace => write!(f, "{{"),
+            Tok::RBrace => write!(f, "}}"),
+            Tok::Comma => write!(f, ","),
+            Tok::Semi => write!(f, ";"),
+            Tok::DotDot => write!(f, ".."),
+            Tok::Assign => write!(f, "="),
+            Tok::Plus => write!(f, "+"),
+            Tok::Minus => write!(f, "-"),
+            Tok::Star => write!(f, "*"),
+            Tok::Slash => write!(f, "/"),
+            Tok::Percent => write!(f, "%"),
+            Tok::EqEq => write!(f, "=="),
+            Tok::NotEq => write!(f, "!="),
+            Tok::Lt => write!(f, "<"),
+            Tok::Le => write!(f, "<="),
+            Tok::Gt => write!(f, ">"),
+            Tok::Ge => write!(f, ">="),
+            Tok::AndAnd => write!(f, "&&"),
+            Tok::OrOr => write!(f, "||"),
+            Tok::Not => write!(f, "!"),
+            Tok::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token paired with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub tok: Tok,
+    pub pos: Pos,
+}
+
+impl Token {
+    pub fn new(tok: Tok, pos: Pos) -> Self {
+        Token { tok, pos }
+    }
+}

@@ -1,0 +1,733 @@
+//! Per-rank interpreter for instrumented MiniMPI programs.
+//!
+//! Plays the role of the paper's "customized MPI communication library":
+//! it executes one process's view of the SPMD program, emitting structure
+//! enter/exit events (the `PMPI_COMM_Structure` calls) and MPI records into
+//! an [`EventSink`]. Ranks interpret independently — MiniMPI control flow
+//! never depends on message payloads — so tracing `P` processes is `P`
+//! independent runs; message *matching* happens later in `cypress-simmpi`.
+//!
+//! Request handles are mapped to the GID of their posting operation
+//! (paper §IV-A, Fig. 12): `wait`/`waitall` records carry the posting GIDs
+//! in `params.req_gids`, which lets decompression re-pair them.
+
+use cypress_cst::sitemap::{CallAction, PathId, ROOT_PATH};
+use cypress_cst::tree::Arm;
+use cypress_cst::StaticInfo;
+use cypress_minilang::ast::*;
+use cypress_trace::event::{Event, MpiOp, MpiParams, MpiRecord, ANY_SOURCE, NONE};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Runtime failure (arithmetic fault, budget exhaustion, internal error).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuntimeError(pub String);
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "runtime error: {}", self.0)
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+pub type RunResult<T> = Result<T, RuntimeError>;
+
+pub use cypress_trace::event::EventSink;
+
+/// Interpreter configuration.
+#[derive(Debug, Clone)]
+pub struct InterpConfig {
+    /// Hard budget on executed statements+expressions, to bound runaway
+    /// `while` loops (important for randomly generated programs).
+    pub max_steps: u64,
+    /// Virtual nanoseconds per `compute(1)` unit.
+    pub ns_per_compute_unit: u64,
+    /// Fixed per-operation software overhead (ns) in the local time model.
+    pub op_overhead_ns: u64,
+    /// Additional ns per payload byte in the local time model.
+    pub ns_per_byte_x1000: u64,
+}
+
+impl Default for InterpConfig {
+    fn default() -> Self {
+        InterpConfig {
+            max_steps: 200_000_000,
+            ns_per_compute_unit: 1,
+            op_overhead_ns: 1_000,
+            // 0.4 ns/byte ≈ 2.5 GB/s effective local copy bandwidth.
+            ns_per_byte_x1000: 400,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Value {
+    Int(i64),
+    Bool(bool),
+    Req(u64),
+}
+
+impl Value {
+    fn as_int(&self) -> RunResult<i64> {
+        match self {
+            Value::Int(v) => Ok(*v),
+            other => Err(RuntimeError(format!("expected int, got {other:?}"))),
+        }
+    }
+
+    fn as_bool(&self) -> RunResult<bool> {
+        match self {
+            Value::Bool(v) => Ok(*v),
+            other => Err(RuntimeError(format!("expected bool, got {other:?}"))),
+        }
+    }
+
+    fn as_req(&self) -> RunResult<u64> {
+        match self {
+            Value::Req(v) => Ok(*v),
+            other => Err(RuntimeError(format!("expected request, got {other:?}"))),
+        }
+    }
+}
+
+struct Frame {
+    scopes: Vec<HashMap<String, Value>>,
+    path: PathId,
+}
+
+/// One rank's interpreter.
+pub struct Interp<'a, S: EventSink> {
+    prog: &'a Program,
+    info: &'a StaticInfo,
+    sink: &'a mut S,
+    rank: i64,
+    nprocs: i64,
+    cfg: InterpConfig,
+    frames: Vec<Frame>,
+    clock: u64,
+    steps: u64,
+    next_req: u64,
+    /// Live request id → GID of the posting operation.
+    req_gids: HashMap<u64, u32>,
+    /// Recursion depth per pseudo-loop GID (for Exit-at-outermost).
+    rec_depth: HashMap<u32, u32>,
+    /// Monotone counter mixed into synthetic op durations.
+    op_seq: u64,
+}
+
+impl<'a, S: EventSink> Interp<'a, S> {
+    pub fn new(
+        prog: &'a Program,
+        info: &'a StaticInfo,
+        rank: u32,
+        nprocs: u32,
+        cfg: InterpConfig,
+        sink: &'a mut S,
+    ) -> Self {
+        Interp {
+            prog,
+            info,
+            sink,
+            rank: rank as i64,
+            nprocs: nprocs as i64,
+            cfg,
+            frames: Vec::new(),
+            clock: 0,
+            steps: 0,
+            next_req: 1,
+            req_gids: HashMap::new(),
+            rec_depth: HashMap::new(),
+            op_seq: 0,
+        }
+    }
+
+    /// Run `main` to completion; returns total virtual time (ns).
+    pub fn run(&mut self) -> RunResult<u64> {
+        let main = self
+            .prog
+            .main()
+            .ok_or_else(|| RuntimeError("no main function".into()))?;
+        self.frames.push(Frame {
+            scopes: vec![HashMap::new()],
+            path: ROOT_PATH,
+        });
+        self.exec_block(&main.body)?;
+        self.frames.pop();
+        if !self.req_gids.is_empty() {
+            return Err(RuntimeError(format!(
+                "{} request(s) never completed (missing wait)",
+                self.req_gids.len()
+            )));
+        }
+        Ok(self.clock)
+    }
+
+    fn tick(&mut self) -> RunResult<()> {
+        self.steps += 1;
+        if self.steps > self.cfg.max_steps {
+            return Err(RuntimeError(format!(
+                "step budget of {} exhausted (runaway loop?)",
+                self.cfg.max_steps
+            )));
+        }
+        Ok(())
+    }
+
+    fn frame(&mut self) -> &mut Frame {
+        self.frames.last_mut().expect("frame stack never empty")
+    }
+
+    fn path(&self) -> PathId {
+        self.frames.last().expect("frame stack never empty").path
+    }
+
+    fn lookup(&self, name: &str) -> RunResult<Value> {
+        let f = self.frames.last().expect("frame stack never empty");
+        for scope in f.scopes.iter().rev() {
+            if let Some(v) = scope.get(name) {
+                return Ok(*v);
+            }
+        }
+        Err(RuntimeError(format!("undefined variable `{name}`")))
+    }
+
+    fn assign(&mut self, name: &str, v: Value) -> RunResult<()> {
+        let f = self.frames.last_mut().expect("frame stack never empty");
+        for scope in f.scopes.iter_mut().rev() {
+            if let Some(slot) = scope.get_mut(name) {
+                *slot = v;
+                return Ok(());
+            }
+        }
+        Err(RuntimeError(format!("assignment to undefined `{name}`")))
+    }
+
+    fn declare(&mut self, name: &str, v: Value) {
+        self.frame()
+            .scopes
+            .last_mut()
+            .expect("scope stack never empty")
+            .insert(name.to_owned(), v);
+    }
+
+    /// Execute a block; `Ok(Some(v))` signals a `return`.
+    fn exec_block(&mut self, b: &Block) -> RunResult<Option<Value>> {
+        self.frame().scopes.push(HashMap::new());
+        let r = self.exec_stmts(&b.stmts);
+        self.frame().scopes.pop();
+        r
+    }
+
+    fn exec_stmts(&mut self, stmts: &[Stmt]) -> RunResult<Option<Value>> {
+        for s in stmts {
+            if let Some(v) = self.exec_stmt(s)? {
+                return Ok(Some(v));
+            }
+        }
+        Ok(None)
+    }
+
+    fn exec_stmt(&mut self, s: &Stmt) -> RunResult<Option<Value>> {
+        self.tick()?;
+        match &s.kind {
+            StmtKind::Let { name, init } => {
+                let v = self.eval(init)?;
+                self.declare(name, v);
+                Ok(None)
+            }
+            StmtKind::Assign { name, value } => {
+                let v = self.eval(value)?;
+                self.assign(name, v)?;
+                Ok(None)
+            }
+            StmtKind::Expr { expr } => {
+                self.eval(expr)?;
+                Ok(None)
+            }
+            StmtKind::Return { value } => {
+                let v = match value {
+                    Some(e) => self.eval(e)?,
+                    None => Value::Int(0),
+                };
+                Ok(Some(v))
+            }
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                let taken = self.eval(cond)?.as_bool()?;
+                let path = self.path();
+                let (blk, arm) = if taken {
+                    (Some(then_blk), Arm::Then)
+                } else {
+                    (else_blk.as_ref(), Arm::Else)
+                };
+                let gid = self.info.sitemap.branch_gid(path, s.id, arm);
+                if let Some(g) = gid {
+                    self.sink.event(Event::Enter { gid: g.0 });
+                }
+                let r = match blk {
+                    Some(b) => self.exec_block(b)?,
+                    None => None,
+                };
+                if let Some(g) = gid {
+                    self.sink.event(Event::Exit { gid: g.0 });
+                }
+                Ok(r)
+            }
+            StmtKind::For {
+                var,
+                start,
+                end,
+                step,
+                body,
+            } => {
+                let start = self.eval(start)?.as_int()?;
+                let end = self.eval(end)?.as_int()?;
+                let step = match step {
+                    Some(e) => self.eval(e)?.as_int()?,
+                    None => 1,
+                };
+                if step == 0 {
+                    return Err(RuntimeError("`for` loop with step 0".into()));
+                }
+                let gid = self.info.sitemap.loop_gid(self.path(), s.id);
+                let mut i = start;
+                let mut ret = None;
+                while (step > 0 && i < end) || (step < 0 && i > end) {
+                    self.tick()?;
+                    if let Some(g) = gid {
+                        self.sink.event(Event::Enter { gid: g.0 });
+                    }
+                    self.frame().scopes.push(HashMap::new());
+                    self.declare(var, Value::Int(i));
+                    let r = self.exec_stmts(&body.stmts);
+                    self.frame().scopes.pop();
+                    if let Some(v) = r? {
+                        ret = Some(v);
+                        break;
+                    }
+                    i += step;
+                }
+                if let Some(g) = gid {
+                    self.sink.event(Event::Exit { gid: g.0 });
+                }
+                Ok(ret)
+            }
+            StmtKind::While { cond, body } => {
+                let gid = self.info.sitemap.loop_gid(self.path(), s.id);
+                let mut ret = None;
+                while self.eval(cond)?.as_bool()? {
+                    self.tick()?;
+                    if let Some(g) = gid {
+                        self.sink.event(Event::Enter { gid: g.0 });
+                    }
+                    if let Some(v) = self.exec_block(body)? {
+                        ret = Some(v);
+                        break;
+                    }
+                }
+                if let Some(g) = gid {
+                    self.sink.event(Event::Exit { gid: g.0 });
+                }
+                Ok(ret)
+            }
+        }
+    }
+
+    fn eval(&mut self, e: &Expr) -> RunResult<Value> {
+        self.tick()?;
+        match &e.kind {
+            ExprKind::Int(v) => Ok(Value::Int(*v)),
+            ExprKind::Bool(v) => Ok(Value::Bool(*v)),
+            ExprKind::Var(n) => self.lookup(n),
+            ExprKind::Unary(op, inner) => {
+                let v = self.eval(inner)?;
+                match op {
+                    UnOp::Neg => Ok(Value::Int(
+                        v.as_int()?
+                            .checked_neg()
+                            .ok_or_else(|| RuntimeError("negation overflow".into()))?,
+                    )),
+                    UnOp::Not => Ok(Value::Bool(!v.as_bool()?)),
+                }
+            }
+            ExprKind::Binary(op, l, r) => self.eval_binary(*op, l, r),
+            ExprKind::Call(c) => self.eval_call(e, c),
+        }
+    }
+
+    fn eval_binary(&mut self, op: BinOp, l: &Expr, r: &Expr) -> RunResult<Value> {
+        // Short-circuit logical operators.
+        if op == BinOp::And {
+            return Ok(Value::Bool(
+                self.eval(l)?.as_bool()? && self.eval(r)?.as_bool()?,
+            ));
+        }
+        if op == BinOp::Or {
+            return Ok(Value::Bool(
+                self.eval(l)?.as_bool()? || self.eval(r)?.as_bool()?,
+            ));
+        }
+        let a = self.eval(l)?.as_int()?;
+        let b = self.eval(r)?.as_int()?;
+        let arith = |v: Option<i64>| {
+            v.map(Value::Int)
+                .ok_or_else(|| RuntimeError("integer overflow".into()))
+        };
+        match op {
+            BinOp::Add => arith(a.checked_add(b)),
+            BinOp::Sub => arith(a.checked_sub(b)),
+            BinOp::Mul => arith(a.checked_mul(b)),
+            BinOp::Div => {
+                if b == 0 {
+                    Err(RuntimeError("division by zero".into()))
+                } else {
+                    arith(a.checked_div(b))
+                }
+            }
+            BinOp::Rem => {
+                if b == 0 {
+                    Err(RuntimeError("remainder by zero".into()))
+                } else {
+                    arith(a.checked_rem(b))
+                }
+            }
+            BinOp::Eq => Ok(Value::Bool(a == b)),
+            BinOp::Ne => Ok(Value::Bool(a != b)),
+            BinOp::Lt => Ok(Value::Bool(a < b)),
+            BinOp::Le => Ok(Value::Bool(a <= b)),
+            BinOp::Gt => Ok(Value::Bool(a > b)),
+            BinOp::Ge => Ok(Value::Bool(a >= b)),
+            BinOp::And | BinOp::Or => unreachable!("handled above"),
+        }
+    }
+
+    fn eval_call(&mut self, e: &Expr, c: &Call) -> RunResult<Value> {
+        match &c.callee {
+            Callee::User(name) => {
+                let args: Vec<Value> = c
+                    .args
+                    .iter()
+                    .map(|a| self.eval(a))
+                    .collect::<RunResult<_>>()?;
+                self.call_user(name, e.id, args)
+            }
+            Callee::Builtin(b) => self.eval_builtin(e, *b, c),
+        }
+    }
+
+    fn call_user(&mut self, name: &str, call_expr: NodeId, args: Vec<Value>) -> RunResult<Value> {
+        let fidx = self
+            .prog
+            .func_index(name)
+            .ok_or_else(|| RuntimeError(format!("call to undefined `{name}`")))?;
+        let func = &self.prog.funcs[fidx];
+        if func.params.len() != args.len() {
+            return Err(RuntimeError(format!("arity mismatch calling `{name}`")));
+        }
+        // The interpreter recurses natively per MiniMPI frame (~a dozen
+        // native frames each); the driver gives it a 64 MiB stack, which
+        // comfortably fits this guard even in debug builds.
+        if self.frames.len() > 2_000 {
+            return Err(RuntimeError("call stack overflow".into()));
+        }
+
+        let cur_path = self.path();
+        let action = self.info.sitemap.call_action(cur_path, call_expr);
+        let (new_path, enter_pseudo, exit_pseudo) = match action {
+            None => (cur_path, None, None),
+            Some(CallAction::Inline { path }) => (path, None, None),
+            Some(CallAction::EnterRecursive { pseudo, path }) => {
+                // Each invocation of a recursive function is one iteration of
+                // its pseudo loop; the Exit fires when the *outermost*
+                // invocation returns (tracked via rec_depth).
+                (path, pseudo, pseudo)
+            }
+            Some(CallAction::BackCall { pseudo, path }) => (path, pseudo, None),
+        };
+        if let Some(g) = enter_pseudo {
+            let d = self.rec_depth.entry(g.0).or_insert(0);
+            *d += 1;
+            self.sink.event(Event::Enter { gid: g.0 });
+        }
+
+        let mut scope = HashMap::new();
+        for (p, v) in func.params.iter().zip(args) {
+            scope.insert(p.clone(), v);
+        }
+        self.frames.push(Frame {
+            scopes: vec![scope],
+            path: new_path,
+        });
+        let ret = self.exec_block(&func.body);
+        self.frames.pop();
+        let ret = ret?;
+
+        if let Some(g) = enter_pseudo {
+            let d = self
+                .rec_depth
+                .get_mut(&g.0)
+                .expect("depth incremented on entry");
+            *d -= 1;
+            let depth_now = *d;
+            if depth_now == 0 {
+                self.rec_depth.remove(&g.0);
+            }
+            // Only the outermost EnterRecursive emits the Exit; BackCall
+            // invocations (exit_pseudo == None) never do.
+            if exit_pseudo.is_some() && depth_now == 0 {
+                self.sink.event(Event::Exit { gid: g.0 });
+            }
+        }
+        Ok(ret.unwrap_or(Value::Int(0)))
+    }
+
+    /// Synthetic duration for an MPI operation: overhead + size term + a
+    /// small deterministic jitter so merged records have non-trivial time
+    /// statistics.
+    fn op_duration(&mut self, bytes: i64) -> u64 {
+        self.op_seq += 1;
+        let jitter = {
+            // xorshift of (rank, op_seq) — deterministic across runs.
+            let mut x = (self.rank as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15)
+                ^ self.op_seq.wrapping_mul(0xbf58476d1ce4e5b9);
+            x ^= x >> 31;
+            x = x.wrapping_mul(0x94d049bb133111eb);
+            x ^= x >> 29;
+            x % (self.cfg.op_overhead_ns / 4 + 1)
+        };
+        self.cfg.op_overhead_ns
+            + (bytes.max(0) as u64 * self.cfg.ns_per_byte_x1000) / 1000
+            + jitter
+    }
+
+    fn record(&mut self, gid: u32, op: MpiOp, params: MpiParams) {
+        let bytes = params.count.max(0) + params.rcount.max(0);
+        let dur = self.op_duration(bytes);
+        let rec = MpiRecord {
+            gid,
+            op,
+            params,
+            t_start: self.clock,
+            dur,
+        };
+        self.clock += dur;
+        self.sink.event(Event::Mpi(rec));
+    }
+
+    fn eval_builtin(&mut self, e: &Expr, b: Builtin, c: &Call) -> RunResult<Value> {
+        // Evaluate arguments first (left to right), as the checker promises.
+        let mut args: Vec<Value> = Vec::with_capacity(c.args.len());
+        for a in &c.args {
+            args.push(self.eval(a)?);
+        }
+        let int = |i: usize| -> RunResult<i64> { args[i].as_int() };
+        let gid = self
+            .info
+            .sitemap
+            .mpi_gid(self.path(), e.id)
+            .map(|g| g.0)
+            .unwrap_or(0);
+
+        match b {
+            Builtin::Rank => Ok(Value::Int(self.rank)),
+            Builtin::Size => Ok(Value::Int(self.nprocs)),
+            Builtin::AnySource => Ok(Value::Int(ANY_SOURCE)),
+            Builtin::Compute => {
+                let units = int(0)?.max(0) as u64;
+                let base = units * self.cfg.ns_per_compute_unit;
+                // Real computation phases vary run to run (cache effects, OS
+                // noise); add a deterministic ±6% wobble so merged records
+                // carry non-trivial gap statistics (and trace-driven
+                // prediction shows realistic error, as in Fig. 21).
+                self.op_seq += 1;
+                let mut x = (self.rank as u64 + 17).wrapping_mul(0x9e3779b97f4a7c15)
+                    ^ self.op_seq.wrapping_mul(0xd6e8feb86659fd93);
+                x ^= x >> 32;
+                let wobble_pct = (x % 13) as i64 - 6; // -6..=6
+                let adj = (base as i128 * wobble_pct as i128 / 100) as i64;
+                self.clock = self.clock.saturating_add((base as i64 + adj).max(0) as u64);
+                Ok(Value::Int(0))
+            }
+            Builtin::Send => {
+                let (dest, count, tag) = (int(0)?, int(1)?, int(2)?);
+                self.check_peer(dest, "send destination")?;
+                self.record(gid, MpiOp::Send, MpiParams::send(dest, count, tag));
+                Ok(Value::Int(0))
+            }
+            Builtin::Recv => {
+                let (src, count, tag) = (int(0)?, int(1)?, int(2)?);
+                self.check_src(src)?;
+                self.record(gid, MpiOp::Recv, MpiParams::recv(src, count, tag));
+                Ok(Value::Int(0))
+            }
+            Builtin::Isend => {
+                let (dest, count, tag) = (int(0)?, int(1)?, int(2)?);
+                self.check_peer(dest, "isend destination")?;
+                let req = self.next_req;
+                self.next_req += 1;
+                self.req_gids.insert(req, gid);
+                self.record(gid, MpiOp::Isend, MpiParams::send(dest, count, tag));
+                Ok(Value::Req(req))
+            }
+            Builtin::Irecv => {
+                let (src, count, tag) = (int(0)?, int(1)?, int(2)?);
+                self.check_src(src)?;
+                let req = self.next_req;
+                self.next_req += 1;
+                self.req_gids.insert(req, gid);
+                self.record(gid, MpiOp::Irecv, MpiParams::recv(src, count, tag));
+                Ok(Value::Req(req))
+            }
+            Builtin::Wait => {
+                let req = args[0].as_req()?;
+                let post_gid = self
+                    .req_gids
+                    .remove(&req)
+                    .ok_or_else(|| RuntimeError("wait on unknown/completed request".into()))?;
+                self.record(gid, MpiOp::Wait, MpiParams::completion(vec![post_gid]));
+                Ok(Value::Int(0))
+            }
+            Builtin::Waitall => {
+                let mut gids = Vec::with_capacity(args.len());
+                for a in &args {
+                    let req = a.as_req()?;
+                    let post_gid = self.req_gids.remove(&req).ok_or_else(|| {
+                        RuntimeError("waitall on unknown/completed request".into())
+                    })?;
+                    gids.push(post_gid);
+                }
+                self.record(gid, MpiOp::Waitall, MpiParams::completion(gids));
+                Ok(Value::Int(0))
+            }
+            Builtin::Waitany => {
+                // Partial completion (§IV-A): exactly one of the listed
+                // requests completes. Which one is non-deterministic in real
+                // MPI; this runtime deterministically completes the first
+                // still-outstanding request in argument order, and the trace
+                // records the completed request's posting GID so replay can
+                // re-pair it.
+                let mut completed = None;
+                for a in &args {
+                    let req = a.as_req()?;
+                    if let Some(post_gid) = self.req_gids.remove(&req) {
+                        completed = Some(post_gid);
+                        break;
+                    }
+                }
+                let post_gid = completed.ok_or_else(|| {
+                    RuntimeError("waitany with no outstanding request".into())
+                })?;
+                self.record(gid, MpiOp::Waitany, MpiParams::completion(vec![post_gid]));
+                Ok(Value::Int(0))
+            }
+            Builtin::Barrier => {
+                self.record(gid, MpiOp::Barrier, MpiParams::collective(0));
+                Ok(Value::Int(0))
+            }
+            Builtin::Bcast => {
+                let (root, count) = (int(0)?, int(1)?);
+                self.check_peer(root, "bcast root")?;
+                self.record(gid, MpiOp::Bcast, MpiParams::rooted(root, count));
+                Ok(Value::Int(0))
+            }
+            Builtin::Reduce => {
+                let (root, count) = (int(0)?, int(1)?);
+                self.check_peer(root, "reduce root")?;
+                self.record(gid, MpiOp::Reduce, MpiParams::rooted(root, count));
+                Ok(Value::Int(0))
+            }
+            Builtin::Allreduce => {
+                self.record(gid, MpiOp::Allreduce, MpiParams::collective(int(0)?));
+                Ok(Value::Int(0))
+            }
+            Builtin::Alltoall => {
+                self.record(gid, MpiOp::Alltoall, MpiParams::collective(int(0)?));
+                Ok(Value::Int(0))
+            }
+            Builtin::Allgather => {
+                self.record(gid, MpiOp::Allgather, MpiParams::collective(int(0)?));
+                Ok(Value::Int(0))
+            }
+            Builtin::Sendrecv => {
+                let (dest, count, tag) = (int(0)?, int(1)?, int(2)?);
+                let (src, rcount, rtag) = (int(3)?, int(4)?, int(5)?);
+                self.check_peer(dest, "sendrecv destination")?;
+                self.check_src(src)?;
+                self.record(
+                    gid,
+                    MpiOp::Sendrecv,
+                    MpiParams::sendrecv(dest, count, tag, src, rcount, rtag),
+                );
+                Ok(Value::Int(0))
+            }
+        }
+    }
+
+    fn check_peer(&self, r: i64, what: &str) -> RunResult<()> {
+        if r < 0 || r >= self.nprocs {
+            return Err(RuntimeError(format!(
+                "{what} {r} out of range 0..{} on rank {}",
+                self.nprocs, self.rank
+            )));
+        }
+        Ok(())
+    }
+
+    fn check_src(&self, r: i64) -> RunResult<()> {
+        if r == ANY_SOURCE {
+            return Ok(());
+        }
+        self.check_peer(r, "receive source")
+    }
+
+    /// Virtual time accumulated so far.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+}
+
+/// Convenience: does this event sequence carry a given MPI op?
+pub fn has_op(events: &[Event], op: MpiOp) -> bool {
+    events
+        .iter()
+        .any(|e| matches!(e, Event::Mpi(r) if r.op == op))
+}
+
+/// Check an event stream's structural sanity: every `Exit` matches the most
+/// recent unmatched `Enter`-ed structure *or* closes an enclosing loop whose
+/// iterations re-`Enter` (the protocol of §IV-A). Used by tests.
+pub fn well_nested(events: &[Event]) -> bool {
+    let mut stack: Vec<u32> = Vec::new();
+    for e in events {
+        match e {
+            Event::Enter { gid } => {
+                // Loop iterations re-enter the same gid: collapse.
+                if stack.last() != Some(gid) {
+                    stack.push(*gid);
+                }
+            }
+            Event::Exit { gid } => {
+                // Pop until we close `gid`.
+                loop {
+                    match stack.pop() {
+                        Some(g) if g == *gid => break,
+                        Some(_) => continue,
+                        None => return false,
+                    }
+                }
+            }
+            Event::Mpi(_) => {}
+        }
+    }
+    true
+}
+
+#[allow(unused)]
+fn _static_assert_none_is_distinct() {
+    // ANY_SOURCE and NONE must stay distinct for `check_src`.
+    const _: () = assert!(ANY_SOURCE != NONE);
+}

@@ -1,0 +1,553 @@
+//! Trace-driven discrete simulation engine.
+//!
+//! Replays per-rank operation sequences under the LogGP model: point-to-point
+//! messages are matched across ranks (posted receives match in post order;
+//! per-⟨src,tag⟩ message queues are FIFO, preserving MPI non-overtaking
+//! semantics; `MPI_ANY_SOURCE` receives match the earliest-ready available
+//! message), rendezvous sends block on the matching receive being posted,
+//! non-blocking operations complete at their checking function, and
+//! collectives synchronize all ranks. Ranks advance round-robin until all
+//! finish; global lack of progress is reported as a deadlock listing the
+//! blocked operations.
+
+use crate::model::LogGp;
+use cypress_trace::event::{MpiOp, MpiParams, ANY_SOURCE};
+use cypress_trace::raw::RawTrace;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+/// One operation to simulate: optional preceding computation, then the op.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOp {
+    /// Identifier of the call site (CST GID where available); links
+    /// non-blocking posts to their completion op via `params.req_gids`.
+    pub gid: u32,
+    pub op: MpiOp,
+    pub params: MpiParams,
+    /// Sequential computation time before this operation (ns).
+    pub pre_gap: u64,
+}
+
+/// Build per-rank op sequences from raw traces: compute gaps are the
+/// timestamp deltas the tracer observed (the "measured" input of Fig. 21).
+pub fn from_raw_traces(traces: &[RawTrace]) -> Vec<Vec<SimOp>> {
+    traces
+        .iter()
+        .map(|t| {
+            let mut prev_end = 0u64;
+            t.mpi_records()
+                .map(|r| {
+                    let gap = r.t_start.saturating_sub(prev_end);
+                    prev_end = r.t_start + r.dur;
+                    SimOp {
+                        gid: r.gid,
+                        op: r.op,
+                        params: r.params.clone(),
+                        pre_gap: gap,
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Simulation failure: communication mismatch or deadlock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimError(pub String);
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "simulation error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Results of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Per-rank finish time (ns).
+    pub finish: Vec<u64>,
+    /// Predicted job time = max finish.
+    pub total: u64,
+    /// Per-rank time spent inside communication (transfer + blocking).
+    pub comm_time: Vec<u64>,
+    /// Resolved sources of wildcard receives, in per-rank match order.
+    pub wildcard_sources: Vec<Vec<u32>>,
+}
+
+impl SimResult {
+    /// Fraction of aggregate rank time spent communicating.
+    pub fn comm_fraction(&self) -> f64 {
+        let total: u64 = self.finish.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.comm_time.iter().sum::<u64>() as f64 / total as f64
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Message {
+    src: u32,
+    tag: i64,
+    bytes: i64,
+    /// Time the sender made the payload available (after its overhead).
+    ready: u64,
+    eager: bool,
+    /// Post time of the matched receive (rendezvous senders block on this).
+    recv_post: Option<u64>,
+    consumed: bool,
+}
+
+#[derive(Debug, Clone)]
+struct PostedRecv {
+    src: i64,
+    tag: i64,
+    post_time: u64,
+    /// Index of the matched message in the owner's inbox.
+    matched: Option<usize>,
+    wildcard: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Outstanding {
+    Recv { posted_idx: usize },
+    SendEager,
+    /// Rendezvous isend: (destination, index in destination's inbox).
+    SendRdv { dst: u32, msg_idx: usize },
+}
+
+struct RankState {
+    idx: usize,
+    time: u64,
+    comm: u64,
+    /// Messages addressed to this rank.
+    inbox: Vec<Message>,
+    posted: Vec<PostedRecv>,
+    outstanding: VecDeque<(u32, Outstanding)>,
+    coll_count: u64,
+    wildcard_sources: Vec<u32>,
+    /// Per-op retry state: message already delivered / recv already posted
+    /// for the op currently at `idx`.
+    cur_msg: Option<usize>,
+    cur_recv: Option<usize>,
+    done: bool,
+}
+
+impl RankState {
+    /// Match unmatched posted receives (in post order) against unconsumed
+    /// inbox messages. Greedy and deterministic: a specific-source receive
+    /// takes the earliest message in (src, tag) FIFO order; a wildcard takes
+    /// the available message with the earliest ready time (ties: lowest src).
+    fn match_all(&mut self) {
+        for pi in 0..self.posted.len() {
+            if self.posted[pi].matched.is_some() {
+                continue;
+            }
+            let (want_src, want_tag, wildcard) = {
+                let p = &self.posted[pi];
+                (p.src, p.tag, p.wildcard)
+            };
+            let mut best: Option<usize> = None;
+            for (mi, m) in self.inbox.iter().enumerate() {
+                if m.consumed {
+                    continue;
+                }
+                if m.tag != want_tag {
+                    continue;
+                }
+                if wildcard {
+                    match best {
+                        None => best = Some(mi),
+                        Some(b) => {
+                            let bb = &self.inbox[b];
+                            if (m.ready, m.src) < (bb.ready, bb.src) {
+                                best = Some(mi);
+                            }
+                        }
+                    }
+                } else if m.src as i64 == want_src {
+                    best = Some(mi);
+                    break; // FIFO per (src, tag): first unconsumed wins
+                }
+            }
+            if let Some(mi) = best {
+                self.inbox[mi].consumed = true;
+                self.inbox[mi].recv_post = Some(self.posted[pi].post_time);
+                self.posted[pi].matched = Some(mi);
+                if wildcard {
+                    let src = self.inbox[mi].src;
+                    self.wildcard_sources.push(src);
+                }
+            }
+        }
+    }
+
+    /// Arrival-completion time of the message matched to `posted_idx`, or
+    /// `None` if unmatched.
+    fn recv_arrival(&self, posted_idx: usize, model: &LogGp) -> Option<u64> {
+        let p = &self.posted[posted_idx];
+        let mi = p.matched?;
+        let m = &self.inbox[mi];
+        let start = if m.eager {
+            m.ready
+        } else {
+            m.ready.max(p.post_time)
+        };
+        Some(start + model.wire_time(m.bytes))
+    }
+}
+
+#[derive(Default)]
+struct CollInstance {
+    arrivals: HashMap<u32, u64>,
+    op: Option<MpiOp>,
+    bytes: i64,
+    complete: Option<u64>,
+}
+
+/// Simulate the given per-rank op sequences under `model`.
+pub fn simulate(ops: &[Vec<SimOp>], model: &LogGp) -> Result<SimResult, SimError> {
+    let p = ops.len();
+    assert!(p > 0, "simulate needs at least one rank");
+    let mut ranks: Vec<RankState> = (0..p)
+        .map(|_| RankState {
+            idx: 0,
+            time: 0,
+            comm: 0,
+            inbox: Vec::new(),
+            posted: Vec::new(),
+            outstanding: VecDeque::new(),
+            coll_count: 0,
+            wildcard_sources: Vec::new(),
+            cur_msg: None,
+            cur_recv: None,
+            done: false,
+        })
+        .collect();
+    let mut collectives: Vec<CollInstance> = Vec::new();
+
+    loop {
+        let mut progressed = false;
+        let mut all_done = true;
+        for r in 0..p {
+            while step_rank(r, ops, &mut ranks, &mut collectives, model)? {
+                progressed = true;
+            }
+            if !ranks[r].done {
+                all_done = false;
+            }
+        }
+        if all_done {
+            break;
+        }
+        if !progressed {
+            let blocked: Vec<String> = (0..p)
+                .filter(|&r| !ranks[r].done)
+                .map(|r| {
+                    let o = &ops[r][ranks[r].idx.min(ops[r].len() - 1)];
+                    format!("rank {r} at op {} ({})", ranks[r].idx, o.op)
+                })
+                .collect();
+            return Err(SimError(format!("deadlock: {}", blocked.join("; "))));
+        }
+    }
+
+    let finish: Vec<u64> = ranks.iter().map(|s| s.time).collect();
+    let total = finish.iter().copied().max().unwrap_or(0);
+    Ok(SimResult {
+        total,
+        comm_time: ranks.iter().map(|s| s.comm).collect(),
+        wildcard_sources: ranks
+            .iter_mut()
+            .map(|s| std::mem::take(&mut s.wildcard_sources))
+            .collect(),
+        finish,
+    })
+}
+
+/// Complete the current op of rank `r`: advance clocks and op index.
+fn complete(st: &mut RankState, ready: u64, t: u64) {
+    st.comm += t.saturating_sub(ready);
+    st.time = t;
+    st.idx += 1;
+    st.cur_msg = None;
+    st.cur_recv = None;
+}
+
+/// Try to advance rank `r` by one op; returns whether it advanced.
+fn step_rank(
+    r: usize,
+    ops: &[Vec<SimOp>],
+    ranks: &mut [RankState],
+    collectives: &mut Vec<CollInstance>,
+    model: &LogGp,
+) -> Result<bool, SimError> {
+    if ranks[r].done {
+        return Ok(false);
+    }
+    if ranks[r].idx >= ops[r].len() {
+        if !ranks[r].outstanding.is_empty() {
+            return Err(SimError(format!(
+                "rank {r} finished with {} outstanding request(s)",
+                ranks[r].outstanding.len()
+            )));
+        }
+        ranks[r].done = true;
+        return Ok(true);
+    }
+    let op = &ops[r][ranks[r].idx];
+    let ready = ranks[r].time + op.pre_gap;
+    let p = ranks.len() as u32;
+
+    match op.op {
+        MpiOp::Send | MpiOp::Isend => {
+            let dst = op.params.dest;
+            if dst < 0 || dst as usize >= ranks.len() {
+                return Err(SimError(format!("rank {r}: send to invalid rank {dst}")));
+            }
+            let dst = dst as usize;
+            let bytes = op.params.count;
+            let eager = model.is_eager(bytes);
+            // Deliver exactly once, even across blocked retries.
+            let msg_idx = match ranks[r].cur_msg {
+                Some(mi) => mi,
+                None => {
+                    let msg = Message {
+                        src: r as u32,
+                        tag: op.params.tag,
+                        bytes,
+                        ready: ready + model.overhead_ns,
+                        eager,
+                        recv_post: None,
+                        consumed: false,
+                    };
+                    ranks[dst].inbox.push(msg);
+                    let mi = ranks[dst].inbox.len() - 1;
+                    ranks[dst].match_all();
+                    ranks[r].cur_msg = Some(mi);
+                    mi
+                }
+            };
+            match op.op {
+                MpiOp::Send if !eager => match ranks[dst].inbox[msg_idx].recv_post {
+                    Some(post) => {
+                        let t = ready.max(post) + model.overhead_ns + model.ser_time(bytes);
+                        complete(&mut ranks[r], ready, t);
+                        Ok(true)
+                    }
+                    None => Ok(false),
+                },
+                MpiOp::Send => {
+                    let t = ready + model.overhead_ns + model.ser_time(bytes);
+                    complete(&mut ranks[r], ready, t);
+                    Ok(true)
+                }
+                _ => {
+                    // Isend: post and continue.
+                    let out = if eager {
+                        Outstanding::SendEager
+                    } else {
+                        Outstanding::SendRdv {
+                            dst: dst as u32,
+                            msg_idx,
+                        }
+                    };
+                    ranks[r].outstanding.push_back((op.gid, out));
+                    let t = ready + model.overhead_ns;
+                    complete(&mut ranks[r], ready, t);
+                    Ok(true)
+                }
+            }
+        }
+        MpiOp::Recv | MpiOp::Irecv => {
+            let posted_idx = match ranks[r].cur_recv {
+                Some(pi) => pi,
+                None => {
+                    let pr = PostedRecv {
+                        src: op.params.src,
+                        tag: op.params.tag,
+                        post_time: ready + model.overhead_ns,
+                        matched: None,
+                        wildcard: op.params.src == ANY_SOURCE,
+                    };
+                    ranks[r].posted.push(pr);
+                    let pi = ranks[r].posted.len() - 1;
+                    ranks[r].match_all();
+                    ranks[r].cur_recv = Some(pi);
+                    pi
+                }
+            };
+            if op.op == MpiOp::Irecv {
+                ranks[r]
+                    .outstanding
+                    .push_back((op.gid, Outstanding::Recv { posted_idx }));
+                let t = ready + model.overhead_ns;
+                complete(&mut ranks[r], ready, t);
+                return Ok(true);
+            }
+            ranks[r].match_all();
+            match ranks[r].recv_arrival(posted_idx, model) {
+                Some(arr) => {
+                    let t = arr.max(ready) + model.overhead_ns;
+                    complete(&mut ranks[r], ready, t);
+                    Ok(true)
+                }
+                None => Ok(false),
+            }
+        }
+        MpiOp::Wait | MpiOp::Waitall | MpiOp::Waitany => {
+            ranks[r].match_all();
+            // All listed requests must be completable before any is removed.
+            // Repeated gids in one waitall take queue entries in FIFO order.
+            let mut completion = ready;
+            let mut taken: HashMap<u32, usize> = HashMap::new();
+            let mut needed: Vec<Outstanding> = Vec::with_capacity(op.params.req_gids.len());
+            for &g in &op.params.req_gids {
+                let nth = taken.entry(g).or_insert(0);
+                match ranks[r]
+                    .outstanding
+                    .iter()
+                    .filter(|(k, _)| *k == g)
+                    .nth(*nth)
+                    .map(|(_, o)| *o)
+                {
+                    Some(o) => {
+                        needed.push(o);
+                        *nth += 1;
+                    }
+                    None => {
+                        return Err(SimError(format!(
+                            "rank {r}: wait on unknown request gid {g}"
+                        )))
+                    }
+                }
+            }
+            for o in &needed {
+                match o {
+                    Outstanding::SendEager => {}
+                    Outstanding::SendRdv { dst, msg_idx } => {
+                        match ranks[*dst as usize].inbox[*msg_idx].recv_post {
+                            Some(post) => completion = completion.max(post),
+                            None => return Ok(false),
+                        }
+                    }
+                    Outstanding::Recv { posted_idx } => {
+                        match ranks[r].recv_arrival(*posted_idx, model) {
+                            Some(t) => completion = completion.max(t),
+                            None => return Ok(false),
+                        }
+                    }
+                }
+            }
+            // Commit: remove the requests now.
+            for &g in &op.params.req_gids {
+                remove_outstanding(&mut ranks[r].outstanding, g);
+            }
+            let t = completion.max(ready) + model.overhead_ns;
+            complete(&mut ranks[r], ready, t);
+            Ok(true)
+        }
+        MpiOp::Barrier
+        | MpiOp::Bcast
+        | MpiOp::Reduce
+        | MpiOp::Allreduce
+        | MpiOp::Alltoall
+        | MpiOp::Allgather => {
+            let inst = ranks[r].coll_count as usize;
+            if collectives.len() <= inst {
+                collectives.resize_with(inst + 1, CollInstance::default);
+            }
+            let c = &mut collectives[inst];
+            match c.op {
+                None => {
+                    c.op = Some(op.op);
+                    c.bytes = op.params.count.max(0);
+                }
+                Some(existing) if existing != op.op => {
+                    return Err(SimError(format!(
+                        "collective mismatch at instance {inst}: rank {r} calls {} \
+                         but another rank called {existing}",
+                        op.op
+                    )));
+                }
+                _ => {}
+            }
+            c.arrivals.entry(r as u32).or_insert(ready);
+            if c.arrivals.len() < ranks.len() {
+                return Ok(false);
+            }
+            let start = *c.arrivals.values().max().expect("non-empty");
+            let cost = match op.op {
+                MpiOp::Barrier => model.barrier(p),
+                MpiOp::Bcast | MpiOp::Reduce => model.tree_collective(p, c.bytes),
+                MpiOp::Allreduce => model.allreduce(p, c.bytes),
+                MpiOp::Alltoall => model.alltoall(p, c.bytes),
+                MpiOp::Allgather => model.allgather(p, c.bytes),
+                _ => unreachable!("matched collective ops above"),
+            };
+            let t = *c.complete.get_or_insert(start + cost);
+            complete(&mut ranks[r], ready, t);
+            ranks[r].coll_count += 1;
+            Ok(true)
+        }
+        MpiOp::Sendrecv => {
+            let dst = op.params.dest;
+            if dst < 0 || dst as usize >= ranks.len() {
+                return Err(SimError(format!(
+                    "rank {r}: sendrecv to invalid rank {dst}"
+                )));
+            }
+            let dst = dst as usize;
+            if ranks[r].cur_msg.is_none() {
+                let msg = Message {
+                    src: r as u32,
+                    tag: op.params.tag,
+                    bytes: op.params.count,
+                    ready: ready + model.overhead_ns,
+                    eager: true,
+                    recv_post: None,
+                    consumed: false,
+                };
+                ranks[dst].inbox.push(msg);
+                let mi = ranks[dst].inbox.len() - 1;
+                ranks[dst].match_all();
+                ranks[r].cur_msg = Some(mi);
+            }
+            let posted_idx = match ranks[r].cur_recv {
+                Some(pi) => pi,
+                None => {
+                    let pr = PostedRecv {
+                        src: op.params.src,
+                        tag: op.params.rtag,
+                        post_time: ready + model.overhead_ns,
+                        matched: None,
+                        wildcard: op.params.src == ANY_SOURCE,
+                    };
+                    ranks[r].posted.push(pr);
+                    let pi = ranks[r].posted.len() - 1;
+                    ranks[r].match_all();
+                    ranks[r].cur_recv = Some(pi);
+                    pi
+                }
+            };
+            ranks[r].match_all();
+            match ranks[r].recv_arrival(posted_idx, model) {
+                Some(arr) => {
+                    let local = ready + model.overhead_ns + model.ser_time(op.params.count);
+                    let t = arr.max(local) + model.overhead_ns;
+                    complete(&mut ranks[r], ready, t);
+                    Ok(true)
+                }
+                None => Ok(false),
+            }
+        }
+    }
+}
+
+/// Remove the first outstanding entry with gid `g`.
+fn remove_outstanding(q: &mut VecDeque<(u32, Outstanding)>, g: u32) -> Option<Outstanding> {
+    let pos = q.iter().position(|(k, _)| *k == g)?;
+    q.remove(pos).map(|(_, o)| o)
+}

@@ -1,0 +1,126 @@
+//! The LogGP communication model (Alexandrov et al. \[22\]) and the
+//! decomposition of collectives into point-to-point rounds (Zhang et al.
+//! \[23\]), as used by the SIM-MPI simulator the paper integrates with (§V).
+
+/// LogGP parameters (all times in nanoseconds, G in ns per byte ×1000 to
+/// stay integral).
+#[derive(Debug, Clone)]
+pub struct LogGp {
+    /// Wire latency L.
+    pub latency_ns: u64,
+    /// Per-message CPU overhead o (send or receive side).
+    pub overhead_ns: u64,
+    /// Gap per byte G, scaled by 1000 (400 = 0.4 ns/byte ≈ 2.5 GB/s).
+    pub gap_per_byte_x1000: u64,
+    /// Messages larger than this use the rendezvous protocol (the sender
+    /// blocks until the receive is posted).
+    pub eager_threshold: i64,
+}
+
+impl Default for LogGp {
+    fn default() -> Self {
+        // QDR InfiniBand-flavoured numbers (Explorer-100 era).
+        LogGp {
+            latency_ns: 1_500,
+            overhead_ns: 500,
+            gap_per_byte_x1000: 400,
+            eager_threshold: 8 * 1024,
+        }
+    }
+}
+
+impl LogGp {
+    /// Serialization time of `bytes` on the wire: (k-1)·G ≈ k·G.
+    pub fn ser_time(&self, bytes: i64) -> u64 {
+        (bytes.max(0) as u64 * self.gap_per_byte_x1000) / 1000
+    }
+
+    /// End-to-end transfer time of one point-to-point message, excluding
+    /// sender/receiver overheads: L + (k-1)·G.
+    pub fn wire_time(&self, bytes: i64) -> u64 {
+        self.latency_ns + self.ser_time(bytes)
+    }
+
+    /// Whether a message of `bytes` is sent eagerly.
+    pub fn is_eager(&self, bytes: i64) -> bool {
+        bytes <= self.eager_threshold
+    }
+
+    /// Rounds of a binomial tree over `p` processes: ⌈log₂ p⌉.
+    pub fn tree_rounds(p: u32) -> u64 {
+        if p <= 1 {
+            0
+        } else {
+            (32 - (p - 1).leading_zeros()) as u64
+        }
+    }
+
+    /// Cost of a rooted tree collective (bcast / reduce): log₂(p) rounds of
+    /// (o + L + k·G).
+    pub fn tree_collective(&self, p: u32, bytes: i64) -> u64 {
+        Self::tree_rounds(p) * (self.overhead_ns + self.wire_time(bytes))
+    }
+
+    /// Allreduce = reduce + bcast.
+    pub fn allreduce(&self, p: u32, bytes: i64) -> u64 {
+        2 * self.tree_collective(p, bytes)
+    }
+
+    /// Barrier: dissemination, log₂(p) rounds of (o + L).
+    pub fn barrier(&self, p: u32) -> u64 {
+        Self::tree_rounds(p) * (self.overhead_ns + self.latency_ns)
+    }
+
+    /// All-to-all: (p-1) pairwise exchanges of `bytes` each.
+    pub fn alltoall(&self, p: u32, bytes: i64) -> u64 {
+        (p.max(1) as u64 - 1) * (self.overhead_ns + self.wire_time(bytes))
+    }
+
+    /// Allgather: ring of (p-1) steps.
+    pub fn allgather(&self, p: u32, bytes: i64) -> u64 {
+        (p.max(1) as u64 - 1) * (self.overhead_ns + self.wire_time(bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_time_monotone_in_size() {
+        let m = LogGp::default();
+        assert!(m.wire_time(0) < m.wire_time(1024));
+        assert!(m.wire_time(1024) < m.wire_time(1024 * 1024));
+    }
+
+    #[test]
+    fn tree_rounds_log2() {
+        assert_eq!(LogGp::tree_rounds(1), 0);
+        assert_eq!(LogGp::tree_rounds(2), 1);
+        assert_eq!(LogGp::tree_rounds(4), 2);
+        assert_eq!(LogGp::tree_rounds(5), 3);
+        assert_eq!(LogGp::tree_rounds(8), 3);
+        assert_eq!(LogGp::tree_rounds(512), 9);
+    }
+
+    #[test]
+    fn collective_costs_grow_with_p() {
+        let m = LogGp::default();
+        assert!(m.tree_collective(64, 1024) > m.tree_collective(8, 1024));
+        assert!(m.alltoall(64, 1024) > m.alltoall(8, 1024));
+        assert!(m.barrier(64) > m.barrier(2));
+    }
+
+    #[test]
+    fn allreduce_twice_tree() {
+        let m = LogGp::default();
+        assert_eq!(m.allreduce(16, 256), 2 * m.tree_collective(16, 256));
+    }
+
+    #[test]
+    fn eager_threshold_respected() {
+        let m = LogGp::default();
+        assert!(m.is_eager(100));
+        assert!(!m.is_eager(100_000));
+    }
+}

@@ -1,0 +1,280 @@
+//! Program call graph (PCG) construction and recursion detection.
+//!
+//! The inter-procedural phase of CYPRESS (paper §III-B, Algorithm 2) combines
+//! per-procedure CSTs bottom-up over the program call graph. This module
+//! builds that graph from the AST, computes a post-order over it, and finds
+//! strongly connected components (Tarjan) so recursive functions — which the
+//! paper converts to pseudo-loops — can be identified.
+
+use cypress_minilang::ast::{Callee, ExprKind, Program, Stmt, StmtKind};
+use std::collections::HashSet;
+
+/// The program call graph: node = function index into `Program::funcs`.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    /// `callees[f]` = functions called (directly) by `f`, deduplicated,
+    /// in first-call order.
+    pub callees: Vec<Vec<usize>>,
+    /// `recursive[f]` = `f` participates in a call cycle (including self).
+    pub recursive: Vec<bool>,
+}
+
+impl CallGraph {
+    /// Build the PCG for `prog`. Calls to undefined functions are ignored
+    /// (the resolver rejects them before this pass runs).
+    pub fn build(prog: &Program) -> Self {
+        let by_name = prog.func_map();
+        let mut callees: Vec<Vec<usize>> = vec![Vec::new(); prog.funcs.len()];
+        for (i, f) in prog.funcs.iter().enumerate() {
+            let mut seen = HashSet::new();
+            f.body.visit_stmts(&mut |s: &Stmt| {
+                collect_user_calls(s, &by_name, &mut |idx| {
+                    if seen.insert(idx) {
+                        callees[i].push(idx);
+                    }
+                });
+            });
+        }
+        let recursive = find_recursive(&callees);
+        CallGraph { callees, recursive }
+    }
+
+    /// Post-order over the PCG from `main` (callees before callers), the
+    /// order Algorithm 2 iterates to minimise inlining rounds. Functions
+    /// unreachable from `main` are appended afterwards in index order.
+    pub fn post_order_from_main(&self, prog: &Program) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut visited = vec![false; self.callees.len()];
+        if let Some(main) = prog.func_index("main") {
+            self.post_order(main, &mut visited, &mut out);
+        }
+        for i in 0..self.callees.len() {
+            if !visited[i] {
+                self.post_order(i, &mut visited, &mut out);
+            }
+        }
+        out
+    }
+
+    fn post_order(&self, f: usize, visited: &mut [bool], out: &mut Vec<usize>) {
+        if visited[f] {
+            return;
+        }
+        visited[f] = true;
+        for &c in &self.callees[f] {
+            self.post_order(c, visited, out);
+        }
+        out.push(f);
+    }
+}
+
+fn collect_user_calls(
+    s: &Stmt,
+    by_name: &std::collections::HashMap<&str, usize>,
+    f: &mut impl FnMut(usize),
+) {
+    let mut walk_expr = |e: &cypress_minilang::ast::Expr| {
+        let mut stack = vec![e];
+        while let Some(e) = stack.pop() {
+            match &e.kind {
+                ExprKind::Unary(_, i) => stack.push(i),
+                ExprKind::Binary(_, l, r) => {
+                    stack.push(l);
+                    stack.push(r);
+                }
+                ExprKind::Call(c) => {
+                    if let Callee::User(name) = &c.callee {
+                        if let Some(&idx) = by_name.get(name.as_str()) {
+                            f(idx);
+                        }
+                    }
+                    for a in &c.args {
+                        stack.push(a);
+                    }
+                }
+                _ => {}
+            }
+        }
+    };
+    match &s.kind {
+        StmtKind::Let { init, .. } => walk_expr(init),
+        StmtKind::Assign { value, .. } => walk_expr(value),
+        StmtKind::If { cond, .. } => walk_expr(cond),
+        StmtKind::For {
+            start, end, step, ..
+        } => {
+            walk_expr(start);
+            walk_expr(end);
+            if let Some(st) = step {
+                walk_expr(st);
+            }
+        }
+        StmtKind::While { cond, .. } => walk_expr(cond),
+        StmtKind::Return { value } => {
+            if let Some(v) = value {
+                walk_expr(v);
+            }
+        }
+        StmtKind::Expr { expr } => walk_expr(expr),
+    }
+}
+
+/// Tarjan SCC; a function is recursive if its SCC has size > 1 or it calls
+/// itself directly.
+fn find_recursive(callees: &[Vec<usize>]) -> Vec<bool> {
+    let n = callees.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut recursive = vec![false; n];
+
+    // Iterative Tarjan to avoid stack overflow on deep call chains.
+    enum Frame {
+        Enter(usize),
+        Continue(usize, usize), // (node, next child position)
+    }
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        let mut frames = vec![Frame::Enter(start)];
+        while let Some(frame) = frames.pop() {
+            match frame {
+                Frame::Enter(v) => {
+                    index[v] = next_index;
+                    low[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                    frames.push(Frame::Continue(v, 0));
+                }
+                Frame::Continue(v, mut ci) => {
+                    let mut descended = false;
+                    while ci < callees[v].len() {
+                        let w = callees[v][ci];
+                        ci += 1;
+                        if index[w] == usize::MAX {
+                            frames.push(Frame::Continue(v, ci));
+                            frames.push(Frame::Enter(w));
+                            descended = true;
+                            break;
+                        } else if on_stack[w] {
+                            low[v] = low[v].min(index[w]);
+                        }
+                    }
+                    if descended {
+                        continue;
+                    }
+                    if low[v] == index[v] {
+                        // Root of an SCC: pop it.
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("scc stack non-empty");
+                            on_stack[w] = false;
+                            comp.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        if comp.len() > 1 {
+                            for w in comp {
+                                recursive[w] = true;
+                            }
+                        } else {
+                            let w = comp[0];
+                            if callees[w].contains(&w) {
+                                recursive[w] = true;
+                            }
+                        }
+                    }
+                    // Propagate lowlink to the parent Continue frame.
+                    if let Some(Frame::Continue(p, _)) = frames.last() {
+                        let p = *p;
+                        low[p] = low[p].min(low[v]);
+                    }
+                }
+            }
+        }
+    }
+    recursive
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cypress_minilang::parse;
+
+    fn graph(src: &str) -> (Program, CallGraph) {
+        let p = parse(src).unwrap();
+        let g = CallGraph::build(&p);
+        (p, g)
+    }
+
+    #[test]
+    fn simple_chain() {
+        let (p, g) = graph(
+            "fn leaf() { barrier(); }
+             fn mid() { leaf(); }
+             fn main() { mid(); }",
+        );
+        let main = p.func_index("main").unwrap();
+        let mid = p.func_index("mid").unwrap();
+        let leaf = p.func_index("leaf").unwrap();
+        assert_eq!(g.callees[main], vec![mid]);
+        assert_eq!(g.callees[mid], vec![leaf]);
+        assert!(g.callees[leaf].is_empty());
+        assert_eq!(g.recursive, vec![false, false, false]);
+    }
+
+    #[test]
+    fn post_order_puts_callees_first() {
+        let (p, g) = graph(
+            "fn a() { barrier(); }
+             fn b() { a(); }
+             fn main() { b(); a(); }",
+        );
+        let order = g.post_order_from_main(&p);
+        let pos = |name: &str| order.iter().position(|&i| p.funcs[i].name == name).unwrap();
+        assert!(pos("a") < pos("b"));
+        assert!(pos("b") < pos("main"));
+    }
+
+    #[test]
+    fn direct_recursion_detected() {
+        let (p, g) = graph("fn f(n) { if n > 0 { f(n - 1); } } fn main() { f(3); }");
+        assert!(g.recursive[p.func_index("f").unwrap()]);
+        assert!(!g.recursive[p.func_index("main").unwrap()]);
+    }
+
+    #[test]
+    fn mutual_recursion_detected() {
+        let (p, g) = graph(
+            "fn even(n) { if n > 0 { odd(n - 1); } }
+             fn odd(n) { if n > 0 { even(n - 1); } }
+             fn main() { even(4); }",
+        );
+        assert!(g.recursive[p.func_index("even").unwrap()]);
+        assert!(g.recursive[p.func_index("odd").unwrap()]);
+    }
+
+    #[test]
+    fn calls_inside_expressions_counted() {
+        let (p, g) = graph(
+            "fn f() { return 1; }
+             fn main() { let x = f() + f(); compute(x); }",
+        );
+        assert_eq!(g.callees[p.func_index("main").unwrap()], vec![p.func_index("f").unwrap()]);
+    }
+
+    #[test]
+    fn functions_unreachable_from_main_still_ordered() {
+        let (p, g) = graph(
+            "fn orphan() { barrier(); }
+             fn main() { barrier(); }",
+        );
+        let order = g.post_order_from_main(&p);
+        assert_eq!(order.len(), p.funcs.len());
+    }
+}

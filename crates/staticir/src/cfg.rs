@@ -1,0 +1,426 @@
+//! Control-flow graph lowering for MiniMPI functions.
+//!
+//! The CYPRESS static module (paper §III-A) operates "over the control flow
+//! graph", identifying loops with a classic dominator-based algorithm. This
+//! module lowers a structured MiniMPI function into a basic-block CFG —
+//! conditionals become diamond shapes, `for`/`while` loops become
+//! header/body/latch/exit shapes with an explicit back edge — so that the
+//! loop/branch discovery downstream is performed on graph structure, exactly
+//! as an LLVM-IR pass would, rather than read off the AST.
+//!
+//! Every conditional terminator and every call site carries the originating
+//! AST [`NodeId`], which later lets the CST builder attach vertices to
+//! source constructs (and lets tests cross-validate the CFG-derived CST
+//! against a direct AST oracle).
+
+use cypress_minilang::ast::{Block, Callee, Expr, ExprKind, Func, NodeId, Stmt, StmtKind};
+use std::fmt;
+
+/// Identifier of a basic block within one [`Cfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// A call occurrence inside a basic block, in evaluation order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Invocation {
+    /// The `Expr` node id of the call expression itself.
+    pub expr_id: NodeId,
+    /// The enclosing statement's node id.
+    pub stmt_id: NodeId,
+    /// Callee (user function or builtin).
+    pub callee: Callee,
+}
+
+/// What kind of source construct a conditional terminator encodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CondKind {
+    /// An `if`/`else` branch.
+    If,
+    /// A `for` or `while` loop header test.
+    Loop,
+}
+
+/// Block terminators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Goto(BlockId),
+    /// Two-way conditional jump. `origin` is the AST id of the `if`, `for`,
+    /// or `while` statement that produced the test.
+    Cond {
+        origin: NodeId,
+        kind: CondKind,
+        then_bb: BlockId,
+        else_bb: BlockId,
+    },
+    /// Function return (explicit or fall-off-the-end).
+    Return,
+}
+
+/// A basic block: straight-line call occurrences plus one terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    pub invocations: Vec<Invocation>,
+    pub term: Terminator,
+}
+
+/// A per-function control-flow graph.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Name of the source function.
+    pub func: String,
+    pub blocks: Vec<BasicBlock>,
+    pub entry: BlockId,
+}
+
+impl Cfg {
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.0 as usize]
+    }
+
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Successor block ids of `id`.
+    pub fn successors(&self, id: BlockId) -> Vec<BlockId> {
+        match &self.block(id).term {
+            Terminator::Goto(t) => vec![*t],
+            Terminator::Cond {
+                then_bb, else_bb, ..
+            } => vec![*then_bb, *else_bb],
+            Terminator::Return => vec![],
+        }
+    }
+
+    /// Predecessor lists for all blocks.
+    pub fn predecessors(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (i, _) in self.blocks.iter().enumerate() {
+            let id = BlockId(i as u32);
+            for s in self.successors(id) {
+                preds[s.0 as usize].push(id);
+            }
+        }
+        preds
+    }
+
+    /// Reverse post-order starting from the entry block. Unreachable blocks
+    /// are excluded.
+    pub fn reverse_post_order(&self) -> Vec<BlockId> {
+        let mut visited = vec![false; self.blocks.len()];
+        let mut post = Vec::with_capacity(self.blocks.len());
+        // Iterative DFS with explicit "exit" markers to produce post-order.
+        let mut stack = vec![(self.entry, false)];
+        while let Some((id, expanded)) = stack.pop() {
+            if expanded {
+                post.push(id);
+                continue;
+            }
+            if visited[id.0 as usize] {
+                continue;
+            }
+            visited[id.0 as usize] = true;
+            stack.push((id, true));
+            // Push successors in reverse so then-branch is visited first.
+            for s in self.successors(id).into_iter().rev() {
+                if !visited[s.0 as usize] {
+                    stack.push((s, false));
+                }
+            }
+        }
+        post.reverse();
+        post
+    }
+
+    /// Render the CFG in a compact text form (for tests and debugging).
+    pub fn dump(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        writeln!(out, "cfg {} entry={}", self.func, self.entry).unwrap();
+        for (i, b) in self.blocks.iter().enumerate() {
+            write!(out, "  bb{i}:").unwrap();
+            for inv in &b.invocations {
+                write!(out, " {}", inv.callee).unwrap();
+            }
+            match &b.term {
+                Terminator::Goto(t) => writeln!(out, " -> {t}").unwrap(),
+                Terminator::Cond {
+                    kind,
+                    then_bb,
+                    else_bb,
+                    ..
+                } => writeln!(
+                    out,
+                    " {}({then_bb}, {else_bb})",
+                    if *kind == CondKind::Loop { "loop" } else { "if" }
+                )
+                .unwrap(),
+                Terminator::Return => writeln!(out, " ret").unwrap(),
+            }
+        }
+        out
+    }
+}
+
+/// Collect call occurrences in an expression, in evaluation order
+/// (arguments before the call itself, left-to-right).
+pub fn collect_calls(e: &Expr, stmt_id: NodeId, out: &mut Vec<Invocation>) {
+    match &e.kind {
+        ExprKind::Int(_) | ExprKind::Bool(_) | ExprKind::Var(_) => {}
+        ExprKind::Unary(_, inner) => collect_calls(inner, stmt_id, out),
+        ExprKind::Binary(_, l, r) => {
+            collect_calls(l, stmt_id, out);
+            collect_calls(r, stmt_id, out);
+        }
+        ExprKind::Call(c) => {
+            for a in &c.args {
+                collect_calls(a, stmt_id, out);
+            }
+            out.push(Invocation {
+                expr_id: e.id,
+                stmt_id,
+                callee: c.callee.clone(),
+            });
+        }
+    }
+}
+
+/// Lower one function to a CFG.
+pub fn lower_function(f: &Func) -> Cfg {
+    let mut b = Builder {
+        blocks: Vec::new(),
+        func: f.name.clone(),
+    };
+    let entry = b.new_block();
+    let last = b.lower_block(&f.body, entry);
+    b.blocks[last.0 as usize].term = Terminator::Return;
+    Cfg {
+        func: b.func,
+        blocks: b.blocks,
+        entry,
+    }
+}
+
+struct Builder {
+    blocks: Vec<BasicBlock>,
+    func: String,
+}
+
+impl Builder {
+    fn new_block(&mut self) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(BasicBlock {
+            invocations: Vec::new(),
+            // Placeholder; overwritten when the block is sealed.
+            term: Terminator::Return,
+        });
+        id
+    }
+
+    fn push_calls_from_expr(&mut self, cur: BlockId, e: &Expr, stmt_id: NodeId) {
+        let mut calls = Vec::new();
+        collect_calls(e, stmt_id, &mut calls);
+        self.blocks[cur.0 as usize].invocations.extend(calls);
+    }
+
+    /// Lower `blk` starting in `cur`; returns the block where control
+    /// continues afterwards.
+    fn lower_block(&mut self, blk: &Block, mut cur: BlockId) -> BlockId {
+        for s in &blk.stmts {
+            cur = self.lower_stmt(s, cur);
+        }
+        cur
+    }
+
+    fn lower_stmt(&mut self, s: &Stmt, cur: BlockId) -> BlockId {
+        match &s.kind {
+            StmtKind::Let { init, .. } => {
+                self.push_calls_from_expr(cur, init, s.id);
+                cur
+            }
+            StmtKind::Assign { value, .. } => {
+                self.push_calls_from_expr(cur, value, s.id);
+                cur
+            }
+            StmtKind::Expr { expr } => {
+                self.push_calls_from_expr(cur, expr, s.id);
+                cur
+            }
+            StmtKind::Return { value } => {
+                if let Some(v) = value {
+                    self.push_calls_from_expr(cur, v, s.id);
+                }
+                self.blocks[cur.0 as usize].term = Terminator::Return;
+                // Anything after a return is unreachable but still lowered
+                // into a fresh (unreachable) block so ids stay valid.
+                self.new_block()
+            }
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                self.push_calls_from_expr(cur, cond, s.id);
+                let then_bb = self.new_block();
+                let else_bb = self.new_block();
+                let merge = self.new_block();
+                self.blocks[cur.0 as usize].term = Terminator::Cond {
+                    origin: s.id,
+                    kind: CondKind::If,
+                    then_bb,
+                    else_bb,
+                };
+                let then_end = self.lower_block(then_blk, then_bb);
+                self.blocks[then_end.0 as usize].term = Terminator::Goto(merge);
+                let else_end = match else_blk {
+                    Some(e) => self.lower_block(e, else_bb),
+                    None => else_bb,
+                };
+                self.blocks[else_end.0 as usize].term = Terminator::Goto(merge);
+                merge
+            }
+            StmtKind::For {
+                start, end, step, body, ..
+            } => {
+                // init (in cur) -> header -> {body -> latch -> header | exit}
+                self.push_calls_from_expr(cur, start, s.id);
+                self.push_calls_from_expr(cur, end, s.id);
+                if let Some(st) = step {
+                    self.push_calls_from_expr(cur, st, s.id);
+                }
+                let header = self.new_block();
+                let body_bb = self.new_block();
+                let exit = self.new_block();
+                self.blocks[cur.0 as usize].term = Terminator::Goto(header);
+                self.blocks[header.0 as usize].term = Terminator::Cond {
+                    origin: s.id,
+                    kind: CondKind::Loop,
+                    then_bb: body_bb,
+                    else_bb: exit,
+                };
+                let body_end = self.lower_block(body, body_bb);
+                // The latch (increment) lives at the end of the body block.
+                self.blocks[body_end.0 as usize].term = Terminator::Goto(header);
+                exit
+            }
+            StmtKind::While { cond, body } => {
+                let header = self.new_block();
+                let body_bb = self.new_block();
+                let exit = self.new_block();
+                self.blocks[cur.0 as usize].term = Terminator::Goto(header);
+                self.push_calls_from_expr(header, cond, s.id);
+                self.blocks[header.0 as usize].term = Terminator::Cond {
+                    origin: s.id,
+                    kind: CondKind::Loop,
+                    then_bb: body_bb,
+                    else_bb: exit,
+                };
+                let body_end = self.lower_block(body, body_bb);
+                self.blocks[body_end.0 as usize].term = Terminator::Goto(header);
+                exit
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cypress_minilang::parse;
+
+    fn cfg_of(src: &str) -> Cfg {
+        let p = parse(src).unwrap();
+        lower_function(p.main().unwrap())
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let c = cfg_of("fn main() { barrier(); send(0, 1, 2); }");
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.block(c.entry).invocations.len(), 2);
+        assert_eq!(c.block(c.entry).term, Terminator::Return);
+    }
+
+    #[test]
+    fn if_produces_diamond() {
+        let c = cfg_of("fn main() { if rank() == 0 { barrier(); } else { bcast(0, 8); } }");
+        // entry, then, else, merge
+        assert_eq!(c.len(), 4);
+        let Terminator::Cond { kind, .. } = &c.block(c.entry).term else {
+            panic!("expected cond terminator");
+        };
+        assert_eq!(*kind, CondKind::If);
+    }
+
+    #[test]
+    fn loop_has_back_edge() {
+        let c = cfg_of("fn main() { for i in 0..4 { barrier(); } }");
+        // entry, header, body, exit
+        assert_eq!(c.len(), 4);
+        let preds = c.predecessors();
+        // header (bb1) has two predecessors: entry and body.
+        assert_eq!(preds[1].len(), 2);
+    }
+
+    #[test]
+    fn while_loop_condition_calls_live_in_header() {
+        let c = cfg_of("fn main() { while rank() < 4 { barrier(); } }");
+        // Header is bb1; the rank() call occurs there (re-evaluated each trip).
+        assert_eq!(c.block(BlockId(1)).invocations.len(), 1);
+    }
+
+    #[test]
+    fn calls_collected_in_evaluation_order() {
+        let c = cfg_of("fn f() { return 1; } fn main() { compute(f() + f()); }".trim());
+        // main is the second function; re-lower explicitly.
+        let p = parse("fn f() { return 1; } fn main() { compute(f() + f()); }").unwrap();
+        let c2 = lower_function(p.main().unwrap());
+        let names: Vec<String> = c2.block(c2.entry).invocations.iter().map(|i| i.callee.to_string()).collect();
+        assert_eq!(names, vec!["f", "f", "compute"]);
+        drop(c);
+    }
+
+    #[test]
+    fn code_after_return_is_unreachable_block() {
+        let c = cfg_of("fn main() { return; barrier(); }");
+        let rpo = c.reverse_post_order();
+        // Only the entry block is reachable.
+        assert_eq!(rpo, vec![c.entry]);
+        // But the unreachable block exists and holds the barrier call.
+        assert!(c.blocks.iter().skip(1).any(|b| !b.invocations.is_empty()));
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_reachable() {
+        let c = cfg_of(
+            "fn main() { for i in 0..3 { if i % 2 == 0 { barrier(); } } bcast(0, 4); }",
+        );
+        let rpo = c.reverse_post_order();
+        assert_eq!(rpo[0], c.entry);
+        assert_eq!(rpo.len(), c.len()); // everything reachable here
+    }
+
+    #[test]
+    fn nested_loops_shape() {
+        let c = cfg_of("fn main() { for i in 0..3 { for j in 0..i { barrier(); } } }");
+        // entry, hdr_i, body_i, exit_i, hdr_j, body_j, exit_j = 7 blocks
+        assert_eq!(c.len(), 7);
+        let loops: usize = c
+            .blocks
+            .iter()
+            .filter(|b| matches!(b.term, Terminator::Cond { kind: CondKind::Loop, .. }))
+            .count();
+        assert_eq!(loops, 2);
+    }
+}

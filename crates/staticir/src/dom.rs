@@ -1,0 +1,392 @@
+//! Dominator analysis and natural-loop discovery.
+//!
+//! Implements the iterative dominator algorithm of Cooper, Harvey & Kennedy
+//! ("A Simple, Fast Dominance Algorithm") over the reverse post-order of the
+//! CFG, then finds back edges `t -> h` where `h` dominates `t` and collects
+//! natural loop bodies — the "classic dominator-based algorithm" the paper
+//! cites (Muchnick \[20\]) for its loop identification.
+
+use crate::cfg::{BlockId, Cfg};
+use std::collections::HashMap;
+
+/// Immediate-dominator tree for one CFG.
+#[derive(Debug, Clone)]
+pub struct Dominators {
+    /// `idom[b]` is the immediate dominator of block `b`; the entry block is
+    /// its own idom. Unreachable blocks have `None`.
+    idom: Vec<Option<BlockId>>,
+    entry: BlockId,
+}
+
+impl Dominators {
+    /// Compute dominators for `cfg`.
+    pub fn compute(cfg: &Cfg) -> Self {
+        let rpo = cfg.reverse_post_order();
+        let mut order = vec![usize::MAX; cfg.len()];
+        for (i, b) in rpo.iter().enumerate() {
+            order[b.0 as usize] = i;
+        }
+        let preds = cfg.predecessors();
+        let mut idom: Vec<Option<BlockId>> = vec![None; cfg.len()];
+        idom[cfg.entry.0 as usize] = Some(cfg.entry);
+
+        let intersect = |idom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId| -> BlockId {
+            while a != b {
+                while order[a.0 as usize] > order[b.0 as usize] {
+                    a = idom[a.0 as usize].expect("processed block has idom");
+                }
+                while order[b.0 as usize] > order[a.0 as usize] {
+                    b = idom[b.0 as usize].expect("processed block has idom");
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &preds[b.0 as usize] {
+                    if idom[p.0 as usize].is_none() {
+                        continue; // unprocessed or unreachable
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, cur, p),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.0 as usize] != Some(ni) {
+                        idom[b.0 as usize] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        Dominators {
+            idom,
+            entry: cfg.entry,
+        }
+    }
+
+    /// Immediate dominator of `b` (entry maps to itself).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom[b.0 as usize]
+    }
+
+    /// Does `a` dominate `b`? (Reflexive.)
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            if cur == self.entry {
+                return false;
+            }
+            match self.idom[cur.0 as usize] {
+                Some(next) if next != cur => cur = next,
+                _ => return false,
+            }
+        }
+    }
+
+    /// Whether `b` is reachable from the entry.
+    pub fn reachable(&self, b: BlockId) -> bool {
+        self.idom[b.0 as usize].is_some()
+    }
+}
+
+/// Post-dominator analysis, computed as dominators of the reversed CFG with
+/// a virtual exit node joined to every `Return` block. Used by the CST
+/// builder to find the merge point (immediate post-dominator) of a branch.
+#[derive(Debug, Clone)]
+pub struct PostDominators {
+    /// `ipdom[b]`: immediate post-dominator of `b`, where `None` means the
+    /// virtual exit (i.e. the two arms never re-converge before returning)
+    /// or an unreachable block.
+    ipdom: Vec<Option<BlockId>>,
+}
+
+impl PostDominators {
+    pub fn compute(cfg: &Cfg) -> Self {
+        let n = cfg.len();
+        let exit = n; // virtual exit node index
+        // Successors in the reversed graph = predecessors in the original,
+        // with Return blocks additionally preceded by the virtual exit.
+        let mut succ_rev: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+        for i in 0..n {
+            let id = BlockId(i as u32);
+            for s in cfg.successors(id) {
+                succ_rev[s.0 as usize].push(i); // reversed edge s -> i
+            }
+        }
+        for (i, b) in cfg.blocks.iter().enumerate() {
+            if matches!(b.term, crate::cfg::Terminator::Return) {
+                succ_rev[exit].push(i);
+            }
+        }
+        let idom = idom_generic(n + 1, exit, &succ_rev);
+        let ipdom = (0..n)
+            .map(|i| match idom[i] {
+                Some(d) if d != exit && d != i => Some(BlockId(d as u32)),
+                _ => None,
+            })
+            .collect();
+        PostDominators { ipdom }
+    }
+
+    /// Immediate post-dominator of `b`; `None` if it is the virtual exit.
+    pub fn ipdom(&self, b: BlockId) -> Option<BlockId> {
+        self.ipdom[b.0 as usize]
+    }
+}
+
+/// Cooper–Harvey–Kennedy iterative dominators over an arbitrary graph given
+/// as successor lists. Returns, for each node, its immediate dominator
+/// (entry maps to itself; unreachable nodes map to `None`).
+pub fn idom_generic(n: usize, entry: usize, succ: &[Vec<usize>]) -> Vec<Option<usize>> {
+    // Build predecessor lists and an RPO from `entry`.
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (u, ss) in succ.iter().enumerate() {
+        for &v in ss {
+            preds[v].push(u);
+        }
+    }
+    let mut visited = vec![false; n];
+    let mut post = Vec::with_capacity(n);
+    let mut stack = vec![(entry, false)];
+    while let Some((u, expanded)) = stack.pop() {
+        if expanded {
+            post.push(u);
+            continue;
+        }
+        if visited[u] {
+            continue;
+        }
+        visited[u] = true;
+        stack.push((u, true));
+        for &s in succ[u].iter().rev() {
+            if !visited[s] {
+                stack.push((s, false));
+            }
+        }
+    }
+    post.reverse();
+    let rpo = post;
+    let mut order = vec![usize::MAX; n];
+    for (i, &u) in rpo.iter().enumerate() {
+        order[u] = i;
+    }
+    let mut idom: Vec<Option<usize>> = vec![None; n];
+    idom[entry] = Some(entry);
+    let intersect = |idom: &[Option<usize>], mut a: usize, mut b: usize| -> usize {
+        while a != b {
+            while order[a] > order[b] {
+                a = idom[a].expect("processed node has idom");
+            }
+            while order[b] > order[a] {
+                b = idom[b].expect("processed node has idom");
+            }
+        }
+        a
+    };
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &u in rpo.iter().skip(1) {
+            let mut new_idom: Option<usize> = None;
+            for &p in &preds[u] {
+                if idom[p].is_none() {
+                    continue;
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(&idom, cur, p),
+                });
+            }
+            if let Some(ni) = new_idom {
+                if idom[u] != Some(ni) {
+                    idom[u] = Some(ni);
+                    changed = true;
+                }
+            }
+        }
+    }
+    idom
+}
+
+/// A natural loop: header plus the set of blocks in its body.
+#[derive(Debug, Clone)]
+pub struct NaturalLoop {
+    pub header: BlockId,
+    /// All blocks in the loop, including the header.
+    pub body: Vec<BlockId>,
+}
+
+/// Find all natural loops of `cfg` via back edges.
+///
+/// Multiple back edges to the same header are merged into a single loop
+/// (standard practice; our structured lowering produces one back edge per
+/// loop anyway).
+pub fn natural_loops(cfg: &Cfg, dom: &Dominators) -> Vec<NaturalLoop> {
+    let mut by_header: HashMap<BlockId, Vec<bool>> = HashMap::new();
+    for i in 0..cfg.len() {
+        let t = BlockId(i as u32);
+        if !dom.reachable(t) {
+            continue;
+        }
+        for h in cfg.successors(t) {
+            if dom.dominates(h, t) {
+                // back edge t -> h; flood predecessors from t up to h
+                let body = by_header
+                    .entry(h)
+                    .or_insert_with(|| vec![false; cfg.len()]);
+                body[h.0 as usize] = true;
+                let preds = cfg.predecessors();
+                let mut stack = vec![t];
+                while let Some(b) = stack.pop() {
+                    if body[b.0 as usize] {
+                        continue;
+                    }
+                    body[b.0 as usize] = true;
+                    for &p in &preds[b.0 as usize] {
+                        stack.push(p);
+                    }
+                }
+            }
+        }
+    }
+    let mut loops: Vec<NaturalLoop> = by_header
+        .into_iter()
+        .map(|(header, mask)| NaturalLoop {
+            header,
+            body: mask
+                .iter()
+                .enumerate()
+                .filter(|(_, &in_loop)| in_loop)
+                .map(|(i, _)| BlockId(i as u32))
+                .collect(),
+        })
+        .collect();
+    loops.sort_by_key(|l| l.header);
+    loops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::lower_function;
+    use cypress_minilang::parse;
+
+    fn analyze(src: &str) -> (Cfg, Dominators, Vec<NaturalLoop>) {
+        let p = parse(src).unwrap();
+        let cfg = lower_function(p.main().unwrap());
+        let dom = Dominators::compute(&cfg);
+        let loops = natural_loops(&cfg, &dom);
+        (cfg, dom, loops)
+    }
+
+    #[test]
+    fn entry_dominates_everything_reachable() {
+        let (cfg, dom, _) =
+            analyze("fn main() { for i in 0..3 { if i % 2 == 0 { barrier(); } } }");
+        for b in cfg.reverse_post_order() {
+            assert!(dom.dominates(cfg.entry, b));
+        }
+    }
+
+    #[test]
+    fn single_loop_found() {
+        let (_, _, loops) = analyze("fn main() { for i in 0..3 { barrier(); } }");
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].header, BlockId(1));
+        // header + body
+        assert!(loops[0].body.len() >= 2);
+    }
+
+    #[test]
+    fn nested_loops_found_with_containment() {
+        let (_, _, loops) =
+            analyze("fn main() { for i in 0..3 { for j in 0..i { barrier(); } } }");
+        assert_eq!(loops.len(), 2);
+        let outer = loops.iter().max_by_key(|l| l.body.len()).unwrap();
+        let inner = loops.iter().min_by_key(|l| l.body.len()).unwrap();
+        for b in &inner.body {
+            assert!(outer.body.contains(b), "inner body within outer body");
+        }
+    }
+
+    #[test]
+    fn if_diamond_has_no_loop() {
+        let (_, _, loops) = analyze("fn main() { if rank() == 0 { barrier(); } }");
+        assert!(loops.is_empty());
+    }
+
+    #[test]
+    fn merge_point_dominated_by_branch_head_not_arms() {
+        let (cfg, dom, _) =
+            analyze("fn main() { if rank() == 0 { barrier(); } else { bcast(0, 4); } send(0,1,2); }");
+        // entry=bb0, then=bb1, else=bb2, merge=bb3
+        assert!(dom.dominates(BlockId(0), BlockId(3)));
+        assert!(!dom.dominates(BlockId(1), BlockId(3)));
+        assert!(!dom.dominates(BlockId(2), BlockId(3)));
+        drop(cfg);
+    }
+
+    #[test]
+    fn while_loop_header_detected() {
+        let (_, _, loops) = analyze("fn main() { while rank() < 3 { barrier(); } }");
+        assert_eq!(loops.len(), 1);
+    }
+
+    #[test]
+    fn unreachable_blocks_have_no_idom() {
+        let (cfg, dom, _) = analyze("fn main() { return; barrier(); }");
+        let unreachable: Vec<_> = (0..cfg.len())
+            .map(|i| BlockId(i as u32))
+            .filter(|&b| b != cfg.entry)
+            .collect();
+        for b in unreachable {
+            assert!(!dom.reachable(b));
+        }
+    }
+
+    #[test]
+    fn ipdom_of_branch_is_merge_block() {
+        let (cfg, _, _) =
+            analyze("fn main() { if rank() == 0 { barrier(); } else { bcast(0, 4); } send(0,1,2); }");
+        let pd = PostDominators::compute(&cfg);
+        // entry=bb0 branches; merge=bb3 holds the send.
+        assert_eq!(pd.ipdom(BlockId(0)), Some(BlockId(3)));
+    }
+
+    #[test]
+    fn ipdom_none_when_both_arms_return() {
+        let (cfg, _, _) = analyze(
+            "fn main() { if rank() == 0 { return; } else { return; } }",
+        );
+        let pd = PostDominators::compute(&cfg);
+        // The branch block's arms never reconverge: merge is the virtual exit.
+        assert_eq!(pd.ipdom(cfg.entry), None);
+    }
+
+    #[test]
+    fn loop_header_postdominated_by_exit_block() {
+        let (cfg, _, loops) = analyze("fn main() { for i in 0..3 { barrier(); } send(0,1,2); }");
+        let pd = PostDominators::compute(&cfg);
+        let header = loops[0].header;
+        // The loop exit block post-dominates the header.
+        let m = pd.ipdom(header).unwrap();
+        assert!(cfg.successors(header).contains(&m));
+    }
+
+    #[test]
+    fn triple_nesting() {
+        let (_, _, loops) = analyze(
+            "fn main() { for i in 0..2 { for j in 0..2 { for k in 0..2 { barrier(); } } } }",
+        );
+        assert_eq!(loops.len(), 3);
+    }
+}

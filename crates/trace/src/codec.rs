@@ -1,0 +1,319 @@
+//! Compact varint binary codec.
+//!
+//! The sanctioned offline crate set has `serde` but no serde *format* crate,
+//! so trace artifacts are serialized with a small hand-rolled codec: LEB128
+//! varints for unsigned integers, zigzag+LEB128 for signed, raw little-endian
+//! bits for `f64`. All trace-size numbers reported by the benchmark harness
+//! are sizes of these encodings.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Encoding error-free writer over a growable buffer.
+#[derive(Default)]
+pub struct Encoder {
+    buf: BytesMut,
+}
+
+impl Encoder {
+    pub fn new() -> Self {
+        Encoder {
+            buf: BytesMut::new(),
+        }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        Encoder {
+            buf: BytesMut::with_capacity(cap),
+        }
+    }
+
+    /// Current encoded length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    /// LEB128 unsigned varint.
+    pub fn put_uvar(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.put_u8(byte);
+                return;
+            }
+            self.buf.put_u8(byte | 0x80);
+        }
+    }
+
+    /// Zigzag-encoded signed varint.
+    pub fn put_ivar(&mut self, v: i64) {
+        self.put_uvar(zigzag(v));
+    }
+
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.put_u64_le(v.to_bits());
+    }
+
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.put_uvar(b.len() as u64);
+        self.buf.put_slice(b);
+    }
+
+    pub fn put_str(&mut self, s: &str) {
+        self.put_bytes(s.as_bytes());
+    }
+}
+
+/// Zigzag map i64 -> u64 (small magnitudes become small codes).
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Decode error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError(pub String);
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+pub type DecodeResult<T> = Result<T, DecodeError>;
+
+/// Reader over an encoded byte slice.
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Decoder<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_done(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn get_u8(&mut self) -> DecodeResult<u8> {
+        if self.buf.is_empty() {
+            return Err(DecodeError("unexpected end of input (u8)".into()));
+        }
+        let v = self.buf[0];
+        self.buf.advance(1);
+        Ok(v)
+    }
+
+    pub fn get_uvar(&mut self) -> DecodeResult<u64> {
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let b = self.get_u8()?;
+            if shift >= 64 {
+                return Err(DecodeError("varint too long".into()));
+            }
+            // The 10th byte may only contribute one bit.
+            if shift == 63 && (b & 0x7e) != 0 {
+                return Err(DecodeError("varint overflows u64".into()));
+            }
+            v |= ((b & 0x7f) as u64) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    pub fn get_ivar(&mut self) -> DecodeResult<i64> {
+        Ok(unzigzag(self.get_uvar()?))
+    }
+
+    pub fn get_f64(&mut self) -> DecodeResult<f64> {
+        if self.buf.len() < 8 {
+            return Err(DecodeError("unexpected end of input (f64)".into()));
+        }
+        let v = self.buf.get_u64_le();
+        Ok(f64::from_bits(v))
+    }
+
+    pub fn get_bytes(&mut self) -> DecodeResult<Vec<u8>> {
+        let n = self.get_uvar()? as usize;
+        if self.buf.len() < n {
+            return Err(DecodeError(format!(
+                "byte string of length {n} exceeds remaining {}",
+                self.buf.len()
+            )));
+        }
+        let out = self.buf[..n].to_vec();
+        self.buf.advance(n);
+        Ok(out)
+    }
+
+    pub fn get_str(&mut self) -> DecodeResult<String> {
+        String::from_utf8(self.get_bytes()?)
+            .map_err(|e| DecodeError(format!("invalid utf-8 string: {e}")))
+    }
+}
+
+/// Types that serialize with this codec.
+pub trait Codec: Sized {
+    fn encode(&self, enc: &mut Encoder);
+    fn decode(dec: &mut Decoder<'_>) -> DecodeResult<Self>;
+
+    /// Encoded size in bytes.
+    fn encoded_size(&self) -> usize {
+        let mut enc = Encoder::new();
+        self.encode(&mut enc);
+        enc.len()
+    }
+
+    /// Encode into a standalone buffer.
+    fn to_bytes(&self) -> Bytes {
+        let mut enc = Encoder::new();
+        self.encode(&mut enc);
+        enc.finish()
+    }
+
+    /// Decode from a standalone buffer, requiring full consumption.
+    fn from_bytes(buf: &[u8]) -> DecodeResult<Self> {
+        let mut dec = Decoder::new(buf);
+        let v = Self::decode(&mut dec)?;
+        if !dec.is_done() {
+            return Err(DecodeError(format!(
+                "{} trailing bytes after decode",
+                dec.remaining()
+            )));
+        }
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn uvar_round_trip_boundaries() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            let mut e = Encoder::new();
+            e.put_uvar(v);
+            let b = e.finish();
+            let mut d = Decoder::new(&b);
+            assert_eq!(d.get_uvar().unwrap(), v);
+            assert!(d.is_done());
+        }
+    }
+
+    #[test]
+    fn ivar_round_trip_boundaries() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            let mut e = Encoder::new();
+            e.put_ivar(v);
+            let b = e.finish();
+            let mut d = Decoder::new(&b);
+            assert_eq!(d.get_ivar().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn zigzag_small_magnitudes_stay_small() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut e = Encoder::new();
+        e.put_uvar(300);
+        let b = e.finish();
+        let mut d = Decoder::new(&b[..1]);
+        assert!(d.get_uvar().is_err());
+    }
+
+    #[test]
+    fn overlong_varint_rejected() {
+        let b = [0xffu8; 11];
+        let mut d = Decoder::new(&b);
+        assert!(d.get_uvar().is_err());
+    }
+
+    #[test]
+    fn string_and_bytes_round_trip() {
+        let mut e = Encoder::new();
+        e.put_str("héllo");
+        e.put_bytes(&[1, 2, 3]);
+        let b = e.finish();
+        let mut d = Decoder::new(&b);
+        assert_eq!(d.get_str().unwrap(), "héllo");
+        assert_eq!(d.get_bytes().unwrap(), vec![1, 2, 3]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_uvar_round_trip(v in any::<u64>()) {
+            let mut e = Encoder::new();
+            e.put_uvar(v);
+            let b = e.finish();
+            let mut d = Decoder::new(&b);
+            prop_assert_eq!(d.get_uvar().unwrap(), v);
+            prop_assert!(d.is_done());
+        }
+
+        #[test]
+        fn prop_ivar_round_trip(v in any::<i64>()) {
+            let mut e = Encoder::new();
+            e.put_ivar(v);
+            let b = e.finish();
+            let mut d = Decoder::new(&b);
+            prop_assert_eq!(d.get_ivar().unwrap(), v);
+        }
+
+        #[test]
+        fn prop_f64_round_trip(v in any::<f64>()) {
+            let mut e = Encoder::new();
+            e.put_f64(v);
+            let b = e.finish();
+            let mut d = Decoder::new(&b);
+            let got = d.get_f64().unwrap();
+            prop_assert_eq!(got.to_bits(), v.to_bits());
+        }
+
+        #[test]
+        fn prop_mixed_sequence(vals in proptest::collection::vec(any::<i64>(), 0..50)) {
+            let mut e = Encoder::new();
+            e.put_uvar(vals.len() as u64);
+            for &v in &vals { e.put_ivar(v); }
+            let b = e.finish();
+            let mut d = Decoder::new(&b);
+            let n = d.get_uvar().unwrap() as usize;
+            let got: Vec<i64> = (0..n).map(|_| d.get_ivar().unwrap()).collect();
+            prop_assert_eq!(got, vals);
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Communication-volume matrices (paper Figs. 17 & 20).
+//!
+//! A `P×P` matrix where cell `(src, dst)` holds the point-to-point bytes sent
+//! from rank `src` to rank `dst`. The paper renders these as grayscale
+//! heatmaps to characterise MG/SP (Fig. 17) and LESlie3d (Fig. 20); the
+//! harness here emits CSV plus a coarse ASCII heatmap.
+
+use crate::event::{MpiOp, ANY_SOURCE};
+use crate::raw::RawTrace;
+
+/// A dense P×P communication-volume matrix (bytes from row=sender to
+/// col=receiver).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommMatrix {
+    pub nprocs: usize,
+    data: Vec<u64>,
+}
+
+impl CommMatrix {
+    pub fn new(nprocs: usize) -> Self {
+        CommMatrix {
+            nprocs,
+            data: vec![0; nprocs * nprocs],
+        }
+    }
+
+    pub fn get(&self, src: usize, dst: usize) -> u64 {
+        self.data[src * self.nprocs + dst]
+    }
+
+    pub fn add(&mut self, src: usize, dst: usize, bytes: u64) {
+        self.data[src * self.nprocs + dst] += bytes;
+    }
+
+    /// Total bytes in the matrix.
+    pub fn total(&self) -> u64 {
+        self.data.iter().sum()
+    }
+
+    /// Largest single cell.
+    pub fn max(&self) -> u64 {
+        self.data.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Peers that `rank` sends to (nonzero columns of its row).
+    pub fn peers_of(&self, rank: usize) -> Vec<usize> {
+        (0..self.nprocs)
+            .filter(|&d| self.get(rank, d) > 0)
+            .collect()
+    }
+
+    /// Distinct nonzero message volumes present in the matrix, sorted.
+    pub fn distinct_volumes(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.data.iter().copied().filter(|&x| x > 0).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Build from per-rank raw traces by accumulating send-like volumes.
+    ///
+    /// Collectives are not included: the paper's matrices visualise
+    /// point-to-point structure. Wildcard receives contribute nothing here
+    /// (volume is attributed at the sender).
+    pub fn from_traces(traces: &[RawTrace]) -> Self {
+        let nprocs = traces.len();
+        let mut m = CommMatrix::new(nprocs);
+        for t in traces {
+            let src = t.rank as usize;
+            for r in t.mpi_records() {
+                if r.op.is_send_like() && r.params.dest >= 0 {
+                    let dst = r.params.dest as usize;
+                    if dst < nprocs {
+                        m.add(src, dst, r.params.count.max(0) as u64);
+                    }
+                }
+            }
+        }
+        m
+    }
+
+    /// CSV rendering (header row + one row per sender).
+    pub fn to_csv(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        out.push_str("sender");
+        for d in 0..self.nprocs {
+            write!(out, ",to_{d}").unwrap();
+        }
+        out.push('\n');
+        for s in 0..self.nprocs {
+            write!(out, "{s}").unwrap();
+            for d in 0..self.nprocs {
+                write!(out, ",{}", self.get(s, d)).unwrap();
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Coarse ASCII heatmap: one character per cell, ' ' for zero and
+    /// '.:-=+*#%@' for increasing volume relative to the maximum.
+    pub fn to_ascii(&self) -> String {
+        const RAMP: &[u8] = b".:-=+*#%@";
+        let max = self.max();
+        let mut out = String::with_capacity(self.nprocs * (self.nprocs + 1));
+        for s in 0..self.nprocs {
+            for d in 0..self.nprocs {
+                let v = self.get(s, d);
+                if v == 0 {
+                    out.push(' ');
+                } else {
+                    let idx = ((v as f64 / max as f64) * (RAMP.len() - 1) as f64).round() as usize;
+                    out.push(RAMP[idx.min(RAMP.len() - 1)] as char);
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Count wildcard receives in a set of traces (used by tests and stats).
+pub fn wildcard_recv_count(traces: &[RawTrace]) -> usize {
+    traces
+        .iter()
+        .flat_map(|t| t.mpi_records())
+        .filter(|r| r.op.is_recv_like() && r.params.src == ANY_SOURCE)
+        .count()
+}
+
+/// Aggregate per-op event counts across traces (quick profile, à la mpiP).
+pub fn op_histogram(traces: &[RawTrace]) -> Vec<(MpiOp, usize)> {
+    let mut counts = std::collections::BTreeMap::new();
+    for t in traces {
+        for r in t.mpi_records() {
+            *counts.entry(r.op).or_insert(0usize) += 1;
+        }
+    }
+    counts.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, MpiParams, MpiRecord};
+
+    fn send_event(dest: i64, count: i64) -> Event {
+        Event::Mpi(MpiRecord {
+            gid: 0,
+            op: MpiOp::Send,
+            params: MpiParams::send(dest, count, 0),
+            t_start: 0,
+            dur: 0,
+        })
+    }
+
+    #[test]
+    fn accumulates_send_volumes() {
+        let mut t0 = RawTrace::new(0, 2);
+        t0.events.push(send_event(1, 100));
+        t0.events.push(send_event(1, 50));
+        let t1 = RawTrace::new(1, 2);
+        let m = CommMatrix::from_traces(&[t0, t1]);
+        assert_eq!(m.get(0, 1), 150);
+        assert_eq!(m.get(1, 0), 0);
+        assert_eq!(m.total(), 150);
+    }
+
+    #[test]
+    fn collectives_do_not_contribute() {
+        let mut t0 = RawTrace::new(0, 2);
+        t0.events.push(Event::Mpi(MpiRecord {
+            gid: 0,
+            op: MpiOp::Bcast,
+            params: MpiParams::rooted(0, 999),
+            t_start: 0,
+            dur: 0,
+        }));
+        let m = CommMatrix::from_traces(&[t0, RawTrace::new(1, 2)]);
+        assert_eq!(m.total(), 0);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut t0 = RawTrace::new(0, 2);
+        t0.events.push(send_event(1, 7));
+        let m = CommMatrix::from_traces(&[t0, RawTrace::new(1, 2)]);
+        let csv = m.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "sender,to_0,to_1");
+        assert_eq!(lines[1], "0,0,7");
+    }
+
+    #[test]
+    fn ascii_heatmap_dimensions() {
+        let m = CommMatrix::new(4);
+        let art = m.to_ascii();
+        assert_eq!(art.lines().count(), 4);
+        assert!(art.lines().all(|l| l.len() == 4));
+    }
+
+    #[test]
+    fn distinct_volumes_and_peers() {
+        let mut t0 = RawTrace::new(0, 3);
+        t0.events.push(send_event(1, 43_000));
+        t0.events.push(send_event(2, 83_000));
+        t0.events.push(send_event(1, 43_000));
+        let m = CommMatrix::from_traces(&[t0, RawTrace::new(1, 3), RawTrace::new(2, 3)]);
+        assert_eq!(m.peers_of(0), vec![1, 2]);
+        assert_eq!(m.distinct_volumes(), vec![83_000, 86_000]);
+    }
+}

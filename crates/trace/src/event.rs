@@ -1,0 +1,365 @@
+//! The communication event model.
+//!
+//! A per-process raw trace is a sequence of [`Event`]s: structure markers
+//! (the runtime equivalent of the paper's `PMPI_COMM_Structure` /
+//! `PMPI_COMM_Structure_Exit` instrumentation calls) interleaved with MPI
+//! operation records. Dynamic compressors consume this stream; CYPRESS
+//! additionally uses the structure markers to fill its Compressed Trace Tree
+//! top-down.
+
+use std::fmt;
+
+/// `MPI_ANY_SOURCE`: a receive that matches any sender.
+pub const ANY_SOURCE: i64 = -2;
+
+/// "Not applicable" marker for unused parameter fields.
+pub const NONE: i64 = -1;
+
+/// MPI operations traced by the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MpiOp {
+    Send,
+    Recv,
+    Isend,
+    Irecv,
+    Wait,
+    Waitall,
+    /// Partial completion: one request of a set completed (`MPI_Waitany`).
+    Waitany,
+    Barrier,
+    Bcast,
+    Reduce,
+    Allreduce,
+    Alltoall,
+    Allgather,
+    Sendrecv,
+}
+
+impl MpiOp {
+    /// Stable numeric code (used by the binary codec).
+    pub fn code(self) -> u8 {
+        match self {
+            MpiOp::Send => 0,
+            MpiOp::Recv => 1,
+            MpiOp::Isend => 2,
+            MpiOp::Irecv => 3,
+            MpiOp::Wait => 4,
+            MpiOp::Waitall => 5,
+            MpiOp::Barrier => 6,
+            MpiOp::Bcast => 7,
+            MpiOp::Reduce => 8,
+            MpiOp::Allreduce => 9,
+            MpiOp::Alltoall => 10,
+            MpiOp::Allgather => 11,
+            MpiOp::Sendrecv => 12,
+            MpiOp::Waitany => 13,
+        }
+    }
+
+    /// Inverse of [`MpiOp::code`].
+    pub fn from_code(c: u8) -> Option<MpiOp> {
+        Some(match c {
+            0 => MpiOp::Send,
+            1 => MpiOp::Recv,
+            2 => MpiOp::Isend,
+            3 => MpiOp::Irecv,
+            4 => MpiOp::Wait,
+            5 => MpiOp::Waitall,
+            6 => MpiOp::Barrier,
+            7 => MpiOp::Bcast,
+            8 => MpiOp::Reduce,
+            9 => MpiOp::Allreduce,
+            10 => MpiOp::Alltoall,
+            11 => MpiOp::Allgather,
+            12 => MpiOp::Sendrecv,
+            13 => MpiOp::Waitany,
+            _ => return None,
+        })
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            MpiOp::Send => "MPI_Send",
+            MpiOp::Recv => "MPI_Recv",
+            MpiOp::Isend => "MPI_Isend",
+            MpiOp::Irecv => "MPI_Irecv",
+            MpiOp::Wait => "MPI_Wait",
+            MpiOp::Waitall => "MPI_Waitall",
+            MpiOp::Barrier => "MPI_Barrier",
+            MpiOp::Bcast => "MPI_Bcast",
+            MpiOp::Reduce => "MPI_Reduce",
+            MpiOp::Allreduce => "MPI_Allreduce",
+            MpiOp::Alltoall => "MPI_Alltoall",
+            MpiOp::Allgather => "MPI_Allgather",
+            MpiOp::Sendrecv => "MPI_Sendrecv",
+            MpiOp::Waitany => "MPI_Waitany",
+        }
+    }
+
+    /// Operations that transmit to a destination.
+    pub fn is_send_like(self) -> bool {
+        matches!(self, MpiOp::Send | MpiOp::Isend | MpiOp::Sendrecv)
+    }
+
+    /// Operations that receive from a source.
+    pub fn is_recv_like(self) -> bool {
+        matches!(self, MpiOp::Recv | MpiOp::Irecv | MpiOp::Sendrecv)
+    }
+
+    /// Collective operations (involve all ranks of the communicator).
+    pub fn is_collective(self) -> bool {
+        matches!(
+            self,
+            MpiOp::Barrier
+                | MpiOp::Bcast
+                | MpiOp::Reduce
+                | MpiOp::Allreduce
+                | MpiOp::Alltoall
+                | MpiOp::Allgather
+        )
+    }
+
+    /// Non-blocking posting operations that yield a request handle.
+    pub fn is_nonblocking_post(self) -> bool {
+        matches!(self, MpiOp::Isend | MpiOp::Irecv)
+    }
+
+    /// Completion (checking) operations for non-blocking requests.
+    pub fn is_completion(self) -> bool {
+        matches!(self, MpiOp::Wait | MpiOp::Waitall | MpiOp::Waitany)
+    }
+
+    pub const ALL: [MpiOp; 14] = [
+        MpiOp::Send,
+        MpiOp::Recv,
+        MpiOp::Isend,
+        MpiOp::Irecv,
+        MpiOp::Wait,
+        MpiOp::Waitall,
+        MpiOp::Barrier,
+        MpiOp::Bcast,
+        MpiOp::Reduce,
+        MpiOp::Allreduce,
+        MpiOp::Alltoall,
+        MpiOp::Allgather,
+        MpiOp::Sendrecv,
+        MpiOp::Waitany,
+    ];
+}
+
+impl fmt::Display for MpiOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Communication parameters of one MPI event — everything the compressor
+/// compares when merging repeated operations (the paper's "communication
+/// type, size, direction, tag, context"; time is kept separately because
+/// merged records aggregate it statistically).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct MpiParams {
+    /// Destination rank for send-like ops, [`NONE`] otherwise.
+    pub dest: i64,
+    /// Source rank for recv-like ops ([`ANY_SOURCE`] for wildcards),
+    /// [`NONE`] otherwise.
+    pub src: i64,
+    /// Payload bytes sent (or collective payload).
+    pub count: i64,
+    /// Payload bytes received (sendrecv only; [`NONE`] otherwise).
+    pub rcount: i64,
+    /// Message tag (send side), [`NONE`] for collectives.
+    pub tag: i64,
+    /// Receive-side tag (sendrecv only).
+    pub rtag: i64,
+    /// Root rank for rooted collectives, [`NONE`] otherwise.
+    pub root: i64,
+    /// Communicator id (0 = world).
+    pub comm: i64,
+    /// For `Wait`/`Waitall`: CST GIDs of the posting operations, in posting
+    /// order — the paper's request-handle → GID mapping (§IV-A, Fig. 12).
+    pub req_gids: Vec<u32>,
+}
+
+impl MpiParams {
+    /// Parameters for a point-to-point send.
+    pub fn send(dest: i64, count: i64, tag: i64) -> Self {
+        MpiParams {
+            dest,
+            src: NONE,
+            count,
+            rcount: NONE,
+            tag,
+            rtag: NONE,
+            root: NONE,
+            comm: 0,
+            req_gids: Vec::new(),
+        }
+    }
+
+    /// Parameters for a point-to-point receive.
+    pub fn recv(src: i64, count: i64, tag: i64) -> Self {
+        MpiParams {
+            dest: NONE,
+            src,
+            count,
+            rcount: NONE,
+            tag,
+            rtag: NONE,
+            root: NONE,
+            comm: 0,
+            req_gids: Vec::new(),
+        }
+    }
+
+    /// Parameters for a rooted collective (`bcast`, `reduce`).
+    pub fn rooted(root: i64, count: i64) -> Self {
+        MpiParams {
+            dest: NONE,
+            src: NONE,
+            count,
+            rcount: NONE,
+            tag: NONE,
+            rtag: NONE,
+            root,
+            comm: 0,
+            req_gids: Vec::new(),
+        }
+    }
+
+    /// Parameters for an unrooted collective.
+    pub fn collective(count: i64) -> Self {
+        MpiParams {
+            dest: NONE,
+            src: NONE,
+            count,
+            rcount: NONE,
+            tag: NONE,
+            rtag: NONE,
+            root: NONE,
+            comm: 0,
+            req_gids: Vec::new(),
+        }
+    }
+
+    /// Parameters for a completion op over the given posted-op GIDs.
+    pub fn completion(req_gids: Vec<u32>) -> Self {
+        MpiParams {
+            dest: NONE,
+            src: NONE,
+            count: NONE,
+            rcount: NONE,
+            tag: NONE,
+            rtag: NONE,
+            root: NONE,
+            comm: 0,
+            req_gids,
+        }
+    }
+
+    /// Parameters for `sendrecv`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sendrecv(dest: i64, count: i64, tag: i64, src: i64, rcount: i64, rtag: i64) -> Self {
+        MpiParams {
+            dest,
+            src,
+            count,
+            rcount,
+            tag,
+            rtag,
+            root: NONE,
+            comm: 0,
+            req_gids: Vec::new(),
+        }
+    }
+}
+
+/// One recorded MPI operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MpiRecord {
+    /// CST leaf GID of the call site (0 when produced without static info,
+    /// e.g. for the dynamic-only baselines).
+    pub gid: u32,
+    pub op: MpiOp,
+    pub params: MpiParams,
+    /// Virtual start timestamp, nanoseconds.
+    pub t_start: u64,
+    /// Virtual duration, nanoseconds.
+    pub dur: u64,
+}
+
+/// A raw trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// Entering a control structure instance: one per loop *iteration*, one
+    /// per taken branch arm (maps to `PMPI_COMM_Structure`).
+    Enter { gid: u32 },
+    /// Leaving a control structure (maps to `PMPI_COMM_Structure_Exit`).
+    /// For loops this fires once when the loop finishes, even after zero
+    /// iterations.
+    Exit { gid: u32 },
+    /// An MPI operation.
+    Mpi(MpiRecord),
+}
+
+impl Event {
+    pub fn as_mpi(&self) -> Option<&MpiRecord> {
+        match self {
+            Event::Mpi(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// A consumer of interpreter events. The tracing driver collects them into a
+/// [`crate::RawTrace`]; CYPRESS's online intra-process compressor implements
+/// this directly so compression happens on-the-fly during execution.
+pub trait EventSink {
+    fn event(&mut self, ev: Event);
+}
+
+impl EventSink for Vec<Event> {
+    fn event(&mut self, ev: Event) {
+        self.push(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_codes_round_trip() {
+        for op in MpiOp::ALL {
+            assert_eq!(MpiOp::from_code(op.code()), Some(op));
+        }
+        assert_eq!(MpiOp::from_code(200), None);
+    }
+
+    #[test]
+    fn op_classification() {
+        assert!(MpiOp::Send.is_send_like());
+        assert!(MpiOp::Sendrecv.is_send_like() && MpiOp::Sendrecv.is_recv_like());
+        assert!(MpiOp::Bcast.is_collective());
+        assert!(MpiOp::Isend.is_nonblocking_post());
+        assert!(MpiOp::Waitall.is_completion());
+        assert!(!MpiOp::Recv.is_collective());
+    }
+
+    #[test]
+    fn params_constructors_fill_unused_with_none() {
+        let p = MpiParams::send(3, 1024, 7);
+        assert_eq!(p.dest, 3);
+        assert_eq!(p.src, NONE);
+        assert_eq!(p.root, NONE);
+        let q = MpiParams::rooted(0, 64);
+        assert_eq!(q.root, 0);
+        assert_eq!(q.dest, NONE);
+    }
+
+    #[test]
+    fn identical_params_compare_equal() {
+        assert_eq!(MpiParams::send(1, 8, 0), MpiParams::send(1, 8, 0));
+        assert_ne!(MpiParams::send(1, 8, 0), MpiParams::send(2, 8, 0));
+    }
+}

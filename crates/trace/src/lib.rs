@@ -1,0 +1,20 @@
+//! # cypress-trace — event model, raw traces, codec, comm matrices
+//!
+//! Shared vocabulary of the whole system: MPI event records and structure
+//! markers ([`event`]), per-process raw traces with a compact varint binary
+//! encoding ([`raw`], [`codec`]), and communication-volume matrices used by
+//! the paper's pattern-analysis figures ([`commmatrix`]).
+
+pub mod codec;
+pub mod commmatrix;
+pub mod event;
+pub mod profile;
+pub mod raw;
+pub mod textfmt;
+
+pub use codec::{Codec, DecodeError, DecodeResult, Decoder, Encoder};
+pub use commmatrix::CommMatrix;
+pub use event::{Event, EventSink, MpiOp, MpiParams, MpiRecord, ANY_SOURCE, NONE};
+pub use profile::{OpStats, Profile};
+pub use raw::{encode_mpi_events, raw_mpi_size, RawTrace};
+pub use textfmt::{format_record, format_trace};

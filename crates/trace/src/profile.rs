@@ -1,0 +1,235 @@
+//! mpiP-style statistical communication profiles.
+//!
+//! The paper's related work contrasts trace compression against statistical
+//! profilers (mpiP \[28\]), which keep aggregate numbers instead of event
+//! sequences. This module computes those aggregates from traces — and,
+//! because CYPRESS decompression is sequence-preserving, the same profile
+//! can be recovered from a compressed trace, subsuming what a profiler
+//! would have collected.
+
+use crate::event::MpiOp;
+use crate::raw::RawTrace;
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+/// Aggregate statistics for one operation type.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OpStats {
+    pub calls: u64,
+    pub total_bytes: u64,
+    pub total_time_ns: u64,
+    pub min_time_ns: u64,
+    pub max_time_ns: u64,
+}
+
+impl OpStats {
+    fn add(&mut self, bytes: i64, dur: u64) {
+        if self.calls == 0 {
+            self.min_time_ns = dur;
+        }
+        self.calls += 1;
+        self.total_bytes += bytes.max(0) as u64;
+        self.total_time_ns += dur;
+        self.min_time_ns = self.min_time_ns.min(dur);
+        self.max_time_ns = self.max_time_ns.max(dur);
+    }
+
+    pub fn mean_time_ns(&self) -> f64 {
+        if self.calls == 0 {
+            0.0
+        } else {
+            self.total_time_ns as f64 / self.calls as f64
+        }
+    }
+}
+
+/// A whole-job statistical profile.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Profile {
+    /// Per-op aggregates over all ranks.
+    pub by_op: BTreeMap<MpiOp, OpStats>,
+    /// Per-rank MPI time (ns).
+    pub rank_mpi_time: Vec<u64>,
+    /// Per-rank application time (ns).
+    pub rank_app_time: Vec<u64>,
+    /// Message-size histogram: power-of-two buckets, bucket i (≥1) counts
+    /// messages with `2^(i-1) ≤ bytes < 2^i`; bucket 0 counts empty
+    /// messages.
+    pub size_buckets: Vec<u64>,
+}
+
+impl Profile {
+    /// Build a profile from per-rank traces.
+    pub fn from_traces(traces: &[RawTrace]) -> Profile {
+        let mut p = Profile {
+            rank_mpi_time: vec![0; traces.len()],
+            rank_app_time: vec![0; traces.len()],
+            size_buckets: vec![0; 40],
+            ..Profile::default()
+        };
+        for t in traces {
+            let r = t.rank as usize;
+            if r < p.rank_app_time.len() {
+                p.rank_app_time[r] = t.app_time;
+            }
+            for rec in t.mpi_records() {
+                p.by_op
+                    .entry(rec.op)
+                    .or_default()
+                    .add(rec.params.count, rec.dur);
+                if r < p.rank_mpi_time.len() {
+                    p.rank_mpi_time[r] += rec.dur;
+                }
+                let bytes = rec.params.count.max(0) as u64;
+                let b = if bytes == 0 {
+                    0
+                } else {
+                    (64 - bytes.leading_zeros()) as usize
+                };
+                p.size_buckets[b.min(39)] += 1;
+            }
+        }
+        p
+    }
+
+    /// Total MPI calls.
+    pub fn total_calls(&self) -> u64 {
+        self.by_op.values().map(|s| s.calls).sum()
+    }
+
+    /// Aggregate MPI time fraction of aggregate app time.
+    pub fn mpi_fraction(&self) -> f64 {
+        let app: u64 = self.rank_app_time.iter().sum();
+        if app == 0 {
+            return 0.0;
+        }
+        self.rank_mpi_time.iter().sum::<u64>() as f64 / app as f64
+    }
+
+    /// Load-imbalance ratio: max rank MPI time / mean rank MPI time.
+    pub fn imbalance(&self) -> f64 {
+        if self.rank_mpi_time.is_empty() {
+            return 1.0;
+        }
+        let max = *self.rank_mpi_time.iter().max().expect("non-empty") as f64;
+        let mean = self.rank_mpi_time.iter().sum::<u64>() as f64
+            / self.rank_mpi_time.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+
+    /// Render an mpiP-flavoured text report.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        writeln!(out, "MPI operation profile ({} ranks)", self.rank_app_time.len()).unwrap();
+        writeln!(
+            out,
+            "{:<14} {:>10} {:>14} {:>12} {:>10}",
+            "op", "calls", "bytes", "time(ms)", "mean(us)"
+        )
+        .unwrap();
+        for (op, s) in &self.by_op {
+            writeln!(
+                out,
+                "{:<14} {:>10} {:>14} {:>12.3} {:>10.2}",
+                op.name(),
+                s.calls,
+                s.total_bytes,
+                s.total_time_ns as f64 / 1e6,
+                s.mean_time_ns() / 1e3
+            )
+            .unwrap();
+        }
+        writeln!(
+            out,
+            "\nMPI time: {:.2}% of app time; imbalance (max/mean): {:.2}",
+            self.mpi_fraction() * 100.0,
+            self.imbalance()
+        )
+        .unwrap();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, MpiParams, MpiRecord};
+
+    fn trace_with(rank: u32, recs: Vec<(MpiOp, i64, u64)>) -> RawTrace {
+        let mut t = RawTrace::new(rank, 2);
+        t.app_time = 1_000_000;
+        let mut clock = 0;
+        for (op, bytes, dur) in recs {
+            t.events.push(Event::Mpi(MpiRecord {
+                gid: 1,
+                op,
+                params: MpiParams::send(0, bytes, 0),
+                t_start: clock,
+                dur,
+            }));
+            clock += dur;
+        }
+        t
+    }
+
+    #[test]
+    fn aggregates_per_op() {
+        let traces = vec![
+            trace_with(0, vec![(MpiOp::Send, 100, 10), (MpiOp::Send, 200, 30)]),
+            trace_with(1, vec![(MpiOp::Recv, 100, 20)]),
+        ];
+        let p = Profile::from_traces(&traces);
+        assert_eq!(p.total_calls(), 3);
+        let s = &p.by_op[&MpiOp::Send];
+        assert_eq!(s.calls, 2);
+        assert_eq!(s.total_bytes, 300);
+        assert_eq!(s.min_time_ns, 10);
+        assert_eq!(s.max_time_ns, 30);
+        assert!((s.mean_time_ns() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mpi_fraction_and_imbalance() {
+        let traces = vec![
+            trace_with(0, vec![(MpiOp::Send, 8, 100_000)]),
+            trace_with(1, vec![(MpiOp::Recv, 8, 300_000)]),
+        ];
+        let p = Profile::from_traces(&traces);
+        assert!((p.mpi_fraction() - 0.2).abs() < 1e-9); // 400k of 2M
+        assert!((p.imbalance() - 1.5).abs() < 1e-9); // 300k / 200k
+    }
+
+    #[test]
+    fn size_buckets_power_of_two() {
+        let traces = vec![trace_with(0, vec![
+            (MpiOp::Send, 0, 1),
+            (MpiOp::Send, 1, 1),
+            (MpiOp::Send, 1024, 1),
+            (MpiOp::Send, 1025, 1),
+        ])];
+        let p = Profile::from_traces(&traces);
+        assert_eq!(p.size_buckets[0], 1); // empty
+        assert_eq!(p.size_buckets[1], 1); // 1 byte
+        assert_eq!(p.size_buckets[11], 2); // 1024 and 1025 share [1024, 2048)
+    }
+
+    #[test]
+    fn report_contains_rows() {
+        let traces = vec![trace_with(0, vec![(MpiOp::Barrier, 0, 5)])];
+        let r = Profile::from_traces(&traces).report();
+        assert!(r.contains("MPI_Barrier"));
+        assert!(r.contains("imbalance"));
+    }
+
+    #[test]
+    fn empty_profile_is_sane() {
+        let p = Profile::from_traces(&[]);
+        assert_eq!(p.total_calls(), 0);
+        assert_eq!(p.mpi_fraction(), 0.0);
+        assert_eq!(p.imbalance(), 1.0);
+    }
+}

@@ -1,0 +1,279 @@
+//! Raw (uncompressed) per-process traces and their on-disk encoding.
+//!
+//! The raw encoding is what conventional collection tools would write per
+//! event (operation, parameters, timestamp); its size is the baseline that
+//! Fig. 15's "Gzip" series compresses, and the reference against which
+//! compression ratios are computed.
+
+use crate::codec::{Codec, DecodeError, DecodeResult, Decoder, Encoder};
+use crate::event::{Event, MpiOp, MpiParams, MpiRecord};
+
+/// The full raw trace of one process.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RawTrace {
+    pub rank: u32,
+    /// World size when the trace was taken.
+    pub nprocs: u32,
+    pub events: Vec<Event>,
+    /// Total virtual application time (ns) — used to express compression
+    /// overhead as a percentage of runtime, as in Fig. 16.
+    pub app_time: u64,
+}
+
+impl RawTrace {
+    pub fn new(rank: u32, nprocs: u32) -> Self {
+        RawTrace {
+            rank,
+            nprocs,
+            events: Vec::new(),
+            app_time: 0,
+        }
+    }
+
+    /// Only the MPI records (what dynamic-only tools like ScalaTrace see).
+    pub fn mpi_records(&self) -> impl Iterator<Item = &MpiRecord> {
+        self.events.iter().filter_map(|e| e.as_mpi())
+    }
+
+    /// Number of MPI operations.
+    pub fn mpi_count(&self) -> usize {
+        self.mpi_records().count()
+    }
+
+    /// Strip structure events — the view a purely dynamic tool records.
+    pub fn mpi_only(&self) -> Vec<MpiRecord> {
+        self.mpi_records().cloned().collect()
+    }
+}
+
+impl Codec for MpiParams {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_ivar(self.dest);
+        enc.put_ivar(self.src);
+        enc.put_ivar(self.count);
+        enc.put_ivar(self.rcount);
+        enc.put_ivar(self.tag);
+        enc.put_ivar(self.rtag);
+        enc.put_ivar(self.root);
+        enc.put_ivar(self.comm);
+        enc.put_uvar(self.req_gids.len() as u64);
+        for &g in &self.req_gids {
+            enc.put_uvar(g as u64);
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> DecodeResult<Self> {
+        let dest = dec.get_ivar()?;
+        let src = dec.get_ivar()?;
+        let count = dec.get_ivar()?;
+        let rcount = dec.get_ivar()?;
+        let tag = dec.get_ivar()?;
+        let rtag = dec.get_ivar()?;
+        let root = dec.get_ivar()?;
+        let comm = dec.get_ivar()?;
+        let n = dec.get_uvar()? as usize;
+        if n > 1 << 24 {
+            return Err(DecodeError(format!("absurd req_gids length {n}")));
+        }
+        let mut req_gids = Vec::with_capacity(n);
+        for _ in 0..n {
+            req_gids.push(dec.get_uvar()? as u32);
+        }
+        Ok(MpiParams {
+            dest,
+            src,
+            count,
+            rcount,
+            tag,
+            rtag,
+            root,
+            comm,
+            req_gids,
+        })
+    }
+}
+
+impl Codec for MpiRecord {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_uvar(self.gid as u64);
+        enc.put_u8(self.op.code());
+        self.params.encode(enc);
+        enc.put_uvar(self.t_start);
+        enc.put_uvar(self.dur);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> DecodeResult<Self> {
+        let gid = dec.get_uvar()? as u32;
+        let code = dec.get_u8()?;
+        let op = MpiOp::from_code(code)
+            .ok_or_else(|| DecodeError(format!("bad MpiOp code {code}")))?;
+        let params = MpiParams::decode(dec)?;
+        let t_start = dec.get_uvar()?;
+        let dur = dec.get_uvar()?;
+        Ok(MpiRecord {
+            gid,
+            op,
+            params,
+            t_start,
+            dur,
+        })
+    }
+}
+
+const TAG_ENTER: u8 = 0;
+const TAG_EXIT: u8 = 1;
+const TAG_MPI: u8 = 2;
+
+impl Codec for Event {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            Event::Enter { gid } => {
+                enc.put_u8(TAG_ENTER);
+                enc.put_uvar(*gid as u64);
+            }
+            Event::Exit { gid } => {
+                enc.put_u8(TAG_EXIT);
+                enc.put_uvar(*gid as u64);
+            }
+            Event::Mpi(r) => {
+                enc.put_u8(TAG_MPI);
+                r.encode(enc);
+            }
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> DecodeResult<Self> {
+        match dec.get_u8()? {
+            TAG_ENTER => Ok(Event::Enter {
+                gid: dec.get_uvar()? as u32,
+            }),
+            TAG_EXIT => Ok(Event::Exit {
+                gid: dec.get_uvar()? as u32,
+            }),
+            TAG_MPI => Ok(Event::Mpi(MpiRecord::decode(dec)?)),
+            t => Err(DecodeError(format!("bad event tag {t}"))),
+        }
+    }
+}
+
+impl Codec for RawTrace {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_uvar(self.rank as u64);
+        enc.put_uvar(self.nprocs as u64);
+        enc.put_uvar(self.app_time);
+        enc.put_uvar(self.events.len() as u64);
+        for e in &self.events {
+            e.encode(enc);
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> DecodeResult<Self> {
+        let rank = dec.get_uvar()? as u32;
+        let nprocs = dec.get_uvar()? as u32;
+        let app_time = dec.get_uvar()?;
+        let n = dec.get_uvar()? as usize;
+        let mut events = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            events.push(Event::decode(dec)?);
+        }
+        Ok(RawTrace {
+            rank,
+            nprocs,
+            events,
+            app_time,
+        })
+    }
+}
+
+/// Raw size (bytes) that a conventional per-event tracer would write for the
+/// MPI events of one process — the input size for the Gzip baseline. This
+/// excludes the structure markers, which exist only for CYPRESS.
+pub fn raw_mpi_size(trace: &RawTrace) -> usize {
+    let mut enc = Encoder::new();
+    for r in trace.mpi_records() {
+        r.encode(&mut enc);
+    }
+    enc.len()
+}
+
+/// Encode the MPI-only view of a trace as bytes (e.g. to feed Gzip).
+pub fn encode_mpi_events(trace: &RawTrace) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.put_uvar(trace.rank as u64);
+    enc.put_uvar(trace.nprocs as u64);
+    let n = trace.mpi_count();
+    enc.put_uvar(n as u64);
+    for r in trace.mpi_records() {
+        r.encode(&mut enc);
+    }
+    enc.finish().to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{MpiOp, MpiParams};
+
+    fn sample_trace() -> RawTrace {
+        let mut t = RawTrace::new(3, 8);
+        t.app_time = 123_456;
+        t.events.push(Event::Enter { gid: 1 });
+        t.events.push(Event::Mpi(MpiRecord {
+            gid: 2,
+            op: MpiOp::Send,
+            params: MpiParams::send(4, 1024, 9),
+            t_start: 100,
+            dur: 35,
+        }));
+        t.events.push(Event::Mpi(MpiRecord {
+            gid: 3,
+            op: MpiOp::Waitall,
+            params: MpiParams::completion(vec![2, 5]),
+            t_start: 150,
+            dur: 3,
+        }));
+        t.events.push(Event::Exit { gid: 1 });
+        t
+    }
+
+    #[test]
+    fn trace_round_trips() {
+        let t = sample_trace();
+        let b = t.to_bytes();
+        let back = RawTrace::from_bytes(&b).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn mpi_only_strips_structure_events() {
+        let t = sample_trace();
+        assert_eq!(t.events.len(), 4);
+        assert_eq!(t.mpi_count(), 2);
+        assert!(t.mpi_only().iter().all(|r| r.op != MpiOp::Barrier));
+    }
+
+    #[test]
+    fn corrupted_tag_rejected() {
+        let t = sample_trace();
+        let mut b = t.to_bytes().to_vec();
+        // Find and corrupt the first event tag byte. Events start after
+        // rank/nprocs/app_time/len varints = 1+1+3+1 = 6 bytes here.
+        b[6] = 77;
+        assert!(RawTrace::from_bytes(&b).is_err());
+    }
+
+    #[test]
+    fn raw_size_counts_only_mpi() {
+        let t = sample_trace();
+        let full = t.encoded_size();
+        let mpi = raw_mpi_size(&t);
+        assert!(mpi < full);
+        assert!(mpi > 0);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let t = RawTrace::new(0, 1);
+        assert_eq!(RawTrace::from_bytes(&t.to_bytes()).unwrap(), t);
+    }
+}

@@ -1,0 +1,129 @@
+//! Human-readable trace rendering (debugging aid and golden-test format).
+//!
+//! One line per event:
+//! ```text
+//! [      1000] +g3                      — structure enter
+//! [      1500] -g3                      — structure exit
+//! [      2000] g5 MPI_Send dest=4 bytes=1024 tag=0 (+35ns)
+//! ```
+
+use crate::event::{Event, MpiRecord, NONE};
+use crate::raw::RawTrace;
+use std::fmt::Write;
+
+/// Render one MPI record without a timestamp prefix.
+pub fn format_record(r: &MpiRecord) -> String {
+    let p = &r.params;
+    let mut out = format!("g{} {}", r.gid, r.op.name());
+    if p.dest != NONE {
+        write!(out, " dest={}", p.dest).unwrap();
+    }
+    if p.src != NONE {
+        write!(out, " src={}", p.src).unwrap();
+    }
+    if p.count >= 0 {
+        write!(out, " bytes={}", p.count).unwrap();
+    }
+    if p.rcount >= 0 {
+        write!(out, " rbytes={}", p.rcount).unwrap();
+    }
+    if p.tag != NONE {
+        write!(out, " tag={}", p.tag).unwrap();
+    }
+    if p.rtag != NONE {
+        write!(out, " rtag={}", p.rtag).unwrap();
+    }
+    if p.root != NONE {
+        write!(out, " root={}", p.root).unwrap();
+    }
+    if !p.req_gids.is_empty() {
+        write!(out, " reqs={:?}", p.req_gids).unwrap();
+    }
+    write!(out, " (+{}ns)", r.dur).unwrap();
+    out
+}
+
+/// Render a whole raw trace, one event per line.
+pub fn format_trace(t: &RawTrace) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "# rank {}/{} — {} events, app_time {} ns",
+        t.rank,
+        t.nprocs,
+        t.events.len(),
+        t.app_time
+    )
+    .unwrap();
+    for ev in &t.events {
+        match ev {
+            Event::Enter { gid } => writeln!(out, "[          ] +g{gid}").unwrap(),
+            Event::Exit { gid } => writeln!(out, "[          ] -g{gid}").unwrap(),
+            Event::Mpi(r) => {
+                writeln!(out, "[{:>10}] {}", r.t_start, format_record(r)).unwrap()
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{MpiOp, MpiParams};
+
+    #[test]
+    fn record_rendering_contains_all_fields() {
+        let r = MpiRecord {
+            gid: 7,
+            op: MpiOp::Sendrecv,
+            params: MpiParams::sendrecv(3, 100, 1, 2, 200, 4),
+            t_start: 0,
+            dur: 55,
+        };
+        let s = format_record(&r);
+        assert!(s.contains("g7 MPI_Sendrecv"));
+        assert!(s.contains("dest=3"));
+        assert!(s.contains("src=2"));
+        assert!(s.contains("bytes=100"));
+        assert!(s.contains("rbytes=200"));
+        assert!(s.contains("tag=1"));
+        assert!(s.contains("rtag=4"));
+        assert!(s.contains("(+55ns)"));
+    }
+
+    #[test]
+    fn collective_omits_peer_fields() {
+        let r = MpiRecord {
+            gid: 1,
+            op: MpiOp::Barrier,
+            params: MpiParams::collective(0),
+            t_start: 10,
+            dur: 5,
+        };
+        let s = format_record(&r);
+        assert!(!s.contains("dest="));
+        assert!(!s.contains("src="));
+        assert!(!s.contains("tag="));
+    }
+
+    #[test]
+    fn trace_rendering_has_header_and_lines() {
+        let mut t = RawTrace::new(2, 4);
+        t.events.push(Event::Enter { gid: 1 });
+        t.events.push(Event::Mpi(MpiRecord {
+            gid: 2,
+            op: MpiOp::Bcast,
+            params: MpiParams::rooted(0, 64),
+            t_start: 500,
+            dur: 20,
+        }));
+        t.events.push(Event::Exit { gid: 1 });
+        let s = format_trace(&t);
+        assert!(s.starts_with("# rank 2/4"));
+        assert_eq!(s.lines().count(), 4);
+        assert!(s.contains("+g1"));
+        assert!(s.contains("-g1"));
+        assert!(s.contains("root=0"));
+    }
+}

@@ -1,0 +1,42 @@
+//! The paper's running example: 1-D Jacobi iteration (Fig. 3).
+
+use crate::{Scale, Workload};
+
+/// Jacobi iteration over a 1-D domain decomposition: each step exchanges
+/// halo rows with both neighbours.
+pub fn jacobi(nprocs: u32, scale: Scale) -> Workload {
+    let steps = scale.steps(100);
+    let n = 4096; // row of N doubles
+    let source = format!(
+        r#"
+// Jacobi iteration (paper Fig. 3): 1-D halo exchange.
+fn main() {{
+    let r = rank();
+    let s = size();
+    for k in 0..{steps} {{
+        if r < s - 1 {{ send(r + 1, {bytes}, 0); }}
+        if r > 0 {{ recv(r - 1, {bytes}, 0); }}
+        if r > 0 {{ send(r - 1, {bytes}, 1); }}
+        if r < s - 1 {{ recv(r + 1, {bytes}, 1); }}
+        compute({compute});
+    }}
+}}
+"#,
+        bytes = n * 8,
+        compute = 200_000,
+    );
+    Workload::new("jacobi", source, nprocs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jacobi_compiles_and_traces() {
+        let w = jacobi(4, Scale::Quick);
+        let traces = w.trace().unwrap();
+        assert_eq!(traces.len(), 4);
+        assert!(traces[1].mpi_count() > traces[0].mpi_count());
+    }
+}

@@ -1,0 +1,99 @@
+//! LESlie3d — the real-world CFD application of the paper's case study
+//! (§VII-D): a 3-D finite-volume stencil with a 2×4×(P/8) decomposition.
+//!
+//! The skeleton reproduces the properties Fig. 20 shows: communication
+//! locality (rank 0 talks only to ranks 1, 2, and 8 at P=32 — the x, y and
+//! z face neighbours under strides 1, 2 and 8) and exactly two message
+//! sizes, 43 KB for x/y faces and 83 KB for z faces. The computation-time
+//! budget is fixed per job, so the communication-time share grows with P
+//! (the speedup-saturation effect of Fig. 21).
+
+use crate::{Scale, Workload};
+
+/// Build the LESlie3d skeleton. `nprocs` must be a multiple of 8 (the 2×4
+/// x/y plane) and at least 16.
+pub fn leslie3d(nprocs: u32, scale: Scale) -> Workload {
+    assert!(
+        nprocs >= 16 && nprocs.is_multiple_of(8),
+        "leslie3d needs a multiple of 8 processes ≥ 16, got {nprocs}"
+    );
+    let steps = scale.steps(150);
+    // 193³ grid worth of work divided across ranks: fixed total, so per-rank
+    // compute shrinks with P while per-face messages stay constant.
+    let total_work: u64 = 400_000_000;
+    let compute = total_work / nprocs as u64;
+    let source = format!(
+        r#"
+// LESlie3d skeleton: 6-face halo exchange on a 2 x 4 x (P/8) grid.
+// x faces: stride 1 (43 KB); y faces: stride 2 (43 KB); z: stride 8 (83 KB).
+fn face(peer, bytes, tag) {{
+    let a = isend(peer, bytes, tag);
+    let b = irecv(peer, bytes, tag);
+    waitall(a, b);
+}}
+fn main() {{
+    let r = rank();
+    let x = r % 2;
+    let y = (r / 2) % 4;
+    let z = r / 8;
+    let nz = size() / 8;
+    let xy_bytes = 43 * 1024;
+    let z_bytes = 83 * 1024;
+    for tstep in 0..{steps} {{
+        if x < 1 {{ face(r + 1, xy_bytes, 0) ; }}
+        if x > 0 {{ face(r - 1, xy_bytes, 0); }}
+        if y < 3 {{ face(r + 2, xy_bytes, 1); }}
+        if y > 0 {{ face(r - 2, xy_bytes, 1); }}
+        if z < nz - 1 {{ face(r + 8, z_bytes, 2); }}
+        if z > 0 {{ face(r - 8, z_bytes, 2); }}
+        compute({compute});
+        // Timestep CFL reduction.
+        allreduce(8);
+    }}
+}}
+"#
+    );
+    Workload::new("leslie3d", source, nprocs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cypress_trace::commmatrix::CommMatrix;
+
+    #[test]
+    fn rank0_talks_to_1_2_8_only() {
+        let traces = leslie3d(32, Scale::Quick).trace().unwrap();
+        let m = CommMatrix::from_traces(&traces);
+        assert_eq!(m.peers_of(0), vec![1, 2, 8]);
+    }
+
+    #[test]
+    fn exactly_two_message_sizes() {
+        let traces = leslie3d(16, Scale::Quick).trace().unwrap();
+        let mut sizes: Vec<i64> = traces
+            .iter()
+            .flat_map(|t| t.mpi_only())
+            .filter(|r| r.op.is_send_like())
+            .map(|r| r.params.count)
+            .collect();
+        sizes.sort_unstable();
+        sizes.dedup();
+        assert_eq!(sizes, vec![43 * 1024, 83 * 1024]);
+    }
+
+    #[test]
+    fn per_rank_compute_shrinks_with_p() {
+        let w16 = leslie3d(16, Scale::Quick);
+        let w32 = leslie3d(32, Scale::Quick);
+        // The generated source embeds total_work / P.
+        assert!(w16.source.contains("25000000"));
+        assert!(w32.source.contains("12500000"));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 8")]
+    fn rejects_bad_process_count() {
+        leslie3d(12, Scale::Quick);
+    }
+}

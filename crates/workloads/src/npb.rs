@@ -1,0 +1,452 @@
+//! NAS Parallel Benchmark communication skeletons (NPB 3.3 shapes, §VII-A).
+//!
+//! Each generator emits the MiniMPI program whose *communication structure*
+//! mirrors the corresponding NPB code: the topology (square grids for BT/SP,
+//! butterflies for CG, wavefront pipelines for LU, level-dependent tori for
+//! MG), the loop nesting, and — where the paper calls it out — the
+//! irregularities that stress compressors (SP's per-rank/per-iteration
+//! varying sizes and tags; MG's rank-dependent active sets).
+
+use crate::{Scale, Workload};
+
+fn isqrt(p: u32) -> u32 {
+    let mut q = 1;
+    while (q + 1) * (q + 1) <= p {
+        q += 1;
+    }
+    q
+}
+
+fn assert_square(name: &str, p: u32) -> u32 {
+    let q = isqrt(p);
+    assert_eq!(q * q, p, "{name} needs a square process count, got {p}");
+    q
+}
+
+fn assert_pow2(name: &str, p: u32) {
+    assert!(p.is_power_of_two(), "{name} needs a power-of-two process count, got {p}");
+}
+
+/// BT — block-tridiagonal ADI solver on a √P×√P grid: three sweep phases
+/// per step, each exchanging cell faces with cyclic row/column/diagonal
+/// neighbours; residual reductions before and after the time-stepping loop.
+pub fn bt(nprocs: u32, scale: Scale) -> Workload {
+    let q = assert_square("bt", nprocs);
+    let steps = scale.steps(200);
+    // CLASS-D-shaped cell faces: (408/q+1)^2 * 5 solution doubles.
+    let source = format!(
+        r#"
+// NPB BT skeleton: multi-partition ADI sweeps on a {q}x{q} grid.
+fn phase(peer_fwd, peer_bwd, bytes, tag) {{
+    let a = isend(peer_fwd, bytes, tag);
+    let b = irecv(peer_bwd, bytes, tag);
+    waitall(a, b);
+    let c = isend(peer_bwd, bytes, tag + 1);
+    let d = irecv(peer_fwd, bytes, tag + 1);
+    waitall(c, d);
+}}
+fn main() {{
+    let q = {q};
+    let row = rank() / q;
+    let col = rank() % q;
+    let cells = 408 / q + 1;
+    let bytes = cells * cells * 40;
+    allreduce(40);
+    for k in 0..{steps} {{
+        // x sweep: cyclic east/west along the row.
+        phase(row * q + (col + 1) % q, row * q + (col + q - 1) % q, bytes, 0);
+        compute({compute});
+        // y sweep: cyclic north/south along the column.
+        phase(((row + 1) % q) * q + col, ((row + q - 1) % q) * q + col, bytes, 2);
+        compute({compute});
+        // z sweep: diagonal shift.
+        phase(((row + 1) % q) * q + (col + 1) % q,
+              ((row + q - 1) % q) * q + (col + q - 1) % q, bytes, 4);
+        compute({compute});
+    }}
+    allreduce(40);
+}}
+"#,
+        compute = 150_000,
+    );
+    Workload::new("bt", source, nprocs)
+}
+
+/// SP — scalar-pentadiagonal solver, same grid as BT but with the
+/// non-uniform behaviour the paper highlights: message sizes and tags vary
+/// per iteration *and* per process row, defeating parameter merging.
+pub fn sp(nprocs: u32, scale: Scale) -> Workload {
+    let q = assert_square("sp", nprocs);
+    let steps = scale.steps(400);
+    let source = format!(
+        r#"
+// NPB SP skeleton: ADI sweeps with per-iteration and per-row varying
+// message sizes and tags (the paper's hard case for CYPRESS).
+fn phase(peer_fwd, peer_bwd, bytes, tag) {{
+    let a = isend(peer_fwd, bytes, tag);
+    let b = irecv(peer_bwd, bytes, tag);
+    waitall(a, b);
+}}
+fn main() {{
+    let q = {q};
+    let row = rank() / q;
+    let col = rank() % q;
+    let cells = 408 / q + 1;
+    let base = cells * cells * 24;
+    allreduce(40);
+    for k in 0..{steps} {{
+        // Sizes drift with iteration phase and process row; tags cycle.
+        let bytes = base + (k % 3) * 64 + row * 16;
+        let tag = k % 16;
+        phase(row * q + (col + 1) % q, row * q + (col + q - 1) % q, bytes, tag);
+        compute({compute});
+        phase(((row + 1) % q) * q + col, ((row + q - 1) % q) * q + col,
+              bytes + col * 8, tag + 16);
+        compute({compute});
+        phase(((row + 1) % q) * q + (col + 1) % q,
+              ((row + q - 1) % q) * q + (col + q - 1) % q, bytes + 32, tag + 32);
+        compute({compute});
+    }}
+    allreduce(40);
+}}
+"#,
+        compute = 120_000,
+    );
+    Workload::new("sp", source, nprocs)
+}
+
+/// CG — conjugate gradient: butterfly exchange patterns (partner = rank XOR
+/// 2^j, expressed arithmetically) for the row reductions, repeated for every
+/// CG iteration.
+pub fn cg(nprocs: u32, scale: Scale) -> Workload {
+    assert_pow2("cg", nprocs);
+    let steps = scale.steps(75);
+    let source = format!(
+        r#"
+// NPB CG skeleton: butterfly sum-reductions + transpose exchange. As in the
+// real code, the partner is computed arithmetically (rank XOR stage,
+// expressed with integer ops), not with per-stage branching.
+fn butterfly(bytes) {{
+    let stage = 1;
+    while stage < size() {{
+        let bit = rank() % (2 * stage) / stage;
+        let partner = rank() + stage - 2 * bit * stage;
+        let a = irecv(partner, bytes, 5);
+        send(partner, bytes, 5);
+        wait(a);
+        stage = stage * 2;
+    }}
+}}
+fn main() {{
+    let bytes = 1200000 / size();
+    allreduce(8);
+    for it in 0..{steps} {{
+        butterfly(bytes);
+        compute({compute});
+        // dot-product reductions (rho, alpha) each iteration
+        allreduce(8);
+        allreduce(8);
+    }}
+    allreduce(8);
+}}
+"#,
+        compute = 180_000,
+    );
+    Workload::new("cg", source, nprocs)
+}
+
+/// DT — data traffic: a feeder binary tree moving large payloads toward
+/// rank 0; runs once (no time-stepping loop), so traces stay tiny.
+pub fn dt(nprocs: u32, scale: Scale) -> Workload {
+    assert!(nprocs >= 2, "dt needs at least 2 processes");
+    let _ = scale; // DT has no iteration structure to scale.
+    let source = r#"
+// NPB DT skeleton: binary-tree data flow into the sink at rank 0.
+fn main() {
+    let r = rank();
+    let s = size();
+    let left = 2 * r + 1;
+    let right = 2 * r + 2;
+    let bytes = 524288;
+    if left < s { recv(left, bytes, 0); }
+    if right < s { recv(right, bytes, 0); }
+    compute(500000);
+    if r > 0 { send((r - 1) / 2, bytes, 0); }
+    barrier();
+}
+"#
+    .to_string();
+    Workload::new("dt", source, nprocs)
+}
+
+/// EP — embarrassingly parallel: long local computation, then three small
+/// terminal reductions.
+pub fn ep(nprocs: u32, scale: Scale) -> Workload {
+    let _ = nprocs;
+    let compute = match scale {
+        Scale::Quick => 1_000_000u64,
+        Scale::Paper => 50_000_000,
+    };
+    let source = format!(
+        r#"
+// NPB EP skeleton: all compute, three closing reductions (sx, sy, counts).
+fn main() {{
+    compute({compute});
+    allreduce(8);
+    allreduce(8);
+    allreduce(80);
+}}
+"#
+    );
+    Workload::new("ep", source, nprocs)
+}
+
+/// FT — 3-D FFT: one all-to-all transpose plus a checksum reduction per
+/// iteration.
+pub fn ft(nprocs: u32, scale: Scale) -> Workload {
+    assert_pow2("ft", nprocs);
+    let steps = scale.steps(25);
+    let source = format!(
+        r#"
+// NPB FT skeleton: iterative transpose (alltoall) + checksum.
+fn main() {{
+    let per_dest = 67108864 / (size() * size()) * 16 + 1024;
+    alltoall(per_dest);
+    for it in 0..{steps} {{
+        compute({compute});
+        alltoall(per_dest);
+        allreduce(16);
+    }}
+}}
+"#,
+        compute = 400_000,
+    );
+    Workload::new("ft", source, nprocs)
+}
+
+/// LU — SSOR with 2-D pipelined wavefronts: per time step, a lower and an
+/// upper sweep each propagate `nz` planes of small messages through the
+/// process grid — the benchmark with by far the most MPI events.
+pub fn lu(nprocs: u32, scale: Scale) -> Workload {
+    assert_pow2("lu", nprocs);
+    let steps = scale.steps(150);
+    let nz = match scale {
+        Scale::Quick => 8,
+        Scale::Paper => 64,
+    };
+    let source = format!(
+        r#"
+// NPB LU skeleton: pipelined wavefront sweeps on a px x py grid.
+fn main() {{
+    // Factor the power-of-two size into px >= py.
+    let px = 1;
+    let py = 1;
+    let rem = size();
+    while rem > 1 {{
+        px = px * 2;
+        rem = rem / 2;
+        if rem > 1 {{
+            py = py * 2;
+            rem = rem / 2;
+        }}
+    }}
+    let x = rank() % px;
+    let y = rank() / px;
+    let bytes = 2040;
+    for k in 0..{steps} {{
+        // Lower-triangular sweep: north/west -> south/east.
+        for plane in 0..{nz} {{
+            if x > 0 {{ recv(rank() - 1, bytes, 1); }}
+            if y > 0 {{ recv(rank() - px, bytes, 2); }}
+            compute(3000);
+            if x < px - 1 {{ send(rank() + 1, bytes, 1); }}
+            if y < py - 1 {{ send(rank() + px, bytes, 2); }}
+        }}
+        // Upper-triangular sweep: south/east -> north/west.
+        for plane in 0..{nz} {{
+            if x < px - 1 {{ recv(rank() + 1, bytes, 3); }}
+            if y < py - 1 {{ recv(rank() + px, bytes, 4); }}
+            compute(3000);
+            if x > 0 {{ send(rank() - 1, bytes, 3); }}
+            if y > 0 {{ send(rank() - px, bytes, 4); }}
+        }}
+        // Halo refresh between steps.
+        let a = isend((rank() + 1) % size(), bytes * 4, 5);
+        let b = irecv((rank() + size() - 1) % size(), bytes * 4, 5);
+        waitall(a, b);
+    }}
+    allreduce(40);
+}}
+"#
+    );
+    Workload::new("lu", source, nprocs)
+}
+
+/// MG — V-cycle multigrid: at level l only ranks divisible by 2^l stay
+/// active and exchange with neighbours 2^l apart, so different ranks see
+/// different communication (the irregularity of Fig. 17a); message sizes
+/// shrink with depth on restriction and grow back on prolongation.
+pub fn mg(nprocs: u32, scale: Scale) -> Workload {
+    assert_pow2("mg", nprocs);
+    let cycles = scale.steps(50);
+    let source = format!(
+        r#"
+// NPB MG skeleton: V-cycles over a stride-doubling torus.
+fn exchange(stride, bytes) {{
+    // Sub-ring among active ranks (rank % stride == 0).
+    let next = (rank() + stride) % size();
+    let prev = (rank() + size() - stride) % size();
+    let a = irecv(prev, bytes, 9);
+    let b = isend(next, bytes, 9);
+    waitall(a, b);
+}}
+fn main() {{
+    let levels = 0;
+    let t = size();
+    while t > 1 {{
+        levels = levels + 1;
+        t = t / 2;
+    }}
+    for cycle in 0..{cycles} {{
+        // Descend: restrict. The smoothing sweep count varies with the
+        // cycle (2..=5), which a loop-aware CST absorbs as a stride tuple
+        // but defeats bottom-up sequence folding.
+        let stride = 1;
+        let bytes = 262144;
+        for l in 0..levels {{
+            if rank() % stride == 0 {{
+                for sweep in 0..2 + cycle % 4 {{
+                    exchange(stride, bytes);
+                }}
+            }}
+            stride = stride * 2;
+            bytes = bytes / 4 + 256;
+        }}
+        compute({compute});
+        // Ascend: prolongate.
+        for l in 0..levels {{
+            stride = stride / 2;
+            bytes = (bytes - 256) * 4;
+            if rank() % stride == 0 {{
+                exchange(stride, bytes);
+            }}
+        }}
+        allreduce(8);
+    }}
+    allreduce(8);
+}}
+"#,
+        compute = 250_000,
+    );
+    Workload::new("mg", source, nprocs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cypress_trace::commmatrix::CommMatrix;
+
+    #[test]
+    fn bt_requires_square() {
+        let w = bt(9, Scale::Quick);
+        assert!(w.trace().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn bt_rejects_non_square() {
+        bt(10, Scale::Quick);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn cg_rejects_non_pow2() {
+        cg(12, Scale::Quick);
+    }
+
+    #[test]
+    fn sp_messages_vary_but_bt_do_not() {
+        let tb = bt(9, Scale::Quick).trace().unwrap();
+        let ts = sp(9, Scale::Quick).trace().unwrap();
+        let sizes = |traces: &[cypress_trace::RawTrace]| {
+            let mut v: Vec<i64> = traces[4]
+                .mpi_records()
+                .filter(|r| r.op.is_send_like())
+                .map(|r| r.params.count)
+                .collect();
+            v.sort_unstable();
+            v.dedup();
+            v.len()
+        };
+        assert_eq!(sizes(&tb), 1, "BT sends one size");
+        assert!(sizes(&ts) > 3, "SP sends many sizes");
+    }
+
+    #[test]
+    fn lu_has_most_events() {
+        let lu_total: usize = lu(8, Scale::Quick)
+            .trace()
+            .unwrap()
+            .iter()
+            .map(|t| t.mpi_count())
+            .sum();
+        for other in ["cg", "ft", "ep", "dt", "mg"] {
+            let w = crate::by_name(other, 8, Scale::Quick).unwrap();
+            let total: usize = w.trace().unwrap().iter().map(|t| t.mpi_count()).sum();
+            assert!(
+                lu_total > total,
+                "LU ({lu_total}) should out-event {other} ({total})"
+            );
+        }
+    }
+
+    #[test]
+    fn mg_ranks_have_heterogeneous_patterns() {
+        let traces = mg(16, Scale::Quick).trace().unwrap();
+        // Rank 0 participates at every level; an odd rank only at level 0.
+        assert!(traces[0].mpi_count() > traces[1].mpi_count());
+        let m = CommMatrix::from_traces(&traces);
+        assert!(m.peers_of(0).len() > m.peers_of(1).len());
+    }
+
+    #[test]
+    fn dt_moves_data_toward_rank0() {
+        let traces = dt(8, Scale::Quick).trace().unwrap();
+        let m = CommMatrix::from_traces(&traces);
+        // Rank 0 receives from its children and sends nothing.
+        assert!(m.peers_of(0).is_empty());
+        assert!(m.get(1, 0) > 0);
+        assert!(m.get(2, 0) > 0);
+    }
+
+    #[test]
+    fn ep_has_minimal_communication() {
+        let traces = ep(8, Scale::Quick).trace().unwrap();
+        for t in &traces {
+            assert_eq!(t.mpi_count(), 3);
+        }
+    }
+
+    #[test]
+    fn ft_is_all_to_all_only() {
+        let traces = ft(8, Scale::Quick).trace().unwrap();
+        assert!(traces[0]
+            .mpi_records()
+            .all(|r| r.op.is_collective()));
+    }
+
+    #[test]
+    fn bt_is_communication_symmetric() {
+        let traces = bt(9, Scale::Quick).trace().unwrap();
+        let counts: Vec<usize> = traces.iter().map(|t| t.mpi_count()).collect();
+        assert!(counts.iter().all(|&c| c == counts[0]), "{counts:?}");
+    }
+
+    #[test]
+    fn cg_butterfly_partner_count_is_log2() {
+        let traces = cg(8, Scale::Quick).trace().unwrap();
+        let m = CommMatrix::from_traces(&traces);
+        // Each rank exchanges with log2(8)=3 butterfly partners.
+        assert_eq!(m.peers_of(0).len(), 3);
+    }
+}

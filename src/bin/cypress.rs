@@ -1,0 +1,285 @@
+//! `cypress` — command-line driver for the trace-compression pipeline.
+//!
+//! ```text
+//! cypress cst <prog.mpi>                      print the communication structure tree
+//! cypress trace <prog.mpi> -n P -o DIR        write per-rank raw traces
+//! cypress compress <prog.mpi> -n P -o FILE    trace + compress + merge to FILE
+//! cypress decompress FILE --cst CST [-r R]    replay rank R (default 0) from a merged trace
+//! cypress stats <prog.mpi> -n P               op histogram + communication matrix
+//! cypress simulate <prog.mpi> -n P            measured vs predicted LogGP times
+//! ```
+//!
+//! Program files contain MiniMPI source (see `cypress-minilang`).
+
+use cypress::core::{compress_trace, decompress, merge_all_parallel, CompressConfig, MergedCtt};
+use cypress::cst::{analyze_program, Cst, StaticInfo};
+use cypress::minilang::{check_program, parse, Program};
+use cypress::runtime::{trace_program_parallel, InterpConfig};
+use cypress::simmpi::{from_raw_traces, simulate, LogGp, SimOp};
+use cypress::trace::codec::Codec;
+use cypress::trace::commmatrix::CommMatrix;
+use cypress::trace::raw::{raw_mpi_size, RawTrace};
+use std::fs;
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        usage();
+        exit(2);
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "cst" => cmd_cst(rest),
+        "trace" => cmd_trace(rest),
+        "dump" => cmd_dump(rest),
+        "compress" => cmd_compress(rest),
+        "decompress" => cmd_decompress(rest),
+        "stats" => cmd_stats(rest),
+        "simulate" => cmd_simulate(rest),
+        "-h" | "--help" | "help" => {
+            usage();
+            Ok(())
+        }
+        other => {
+            eprintln!("unknown command `{other}`");
+            usage();
+            exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        exit(1);
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "cypress — hybrid static-dynamic MPI trace compression
+
+USAGE:
+  cypress cst <prog.mpi>
+  cypress trace <prog.mpi> -n <procs> -o <dir>
+  cypress dump <prog.mpi> -n <procs> [-r <rank>]
+  cypress compress <prog.mpi> -n <procs> -o <file>
+  cypress decompress <file> --cst <cst.txt> [-r <rank>]
+  cypress stats <prog.mpi> -n <procs>
+  cypress simulate <prog.mpi> -n <procs>"
+    );
+}
+
+type CliResult = Result<(), String>;
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn nprocs_of(args: &[String]) -> Result<u32, String> {
+    flag(args, "-n")
+        .ok_or_else(|| "missing -n <procs>".to_string())?
+        .parse()
+        .map_err(|e| format!("bad -n value: {e}"))
+}
+
+fn load_program(args: &[String]) -> Result<(Program, StaticInfo), String> {
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with('-'))
+        .ok_or("missing program file")?;
+    let src = fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let prog = parse(&src).map_err(|e| format!("{path}: {e}"))?;
+    check_program(&prog).map_err(|e| format!("{path}: {e}"))?;
+    let info = analyze_program(&prog);
+    Ok((prog, info))
+}
+
+fn run_traces(args: &[String]) -> Result<(Program, StaticInfo, Vec<RawTrace>), String> {
+    let (prog, info) = load_program(args)?;
+    let n = nprocs_of(args)?;
+    let threads = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(4);
+    let traces = trace_program_parallel(&prog, &info, n, &InterpConfig::default(), threads)
+        .map_err(|e| e.to_string())?;
+    Ok((prog, info, traces))
+}
+
+fn cmd_cst(args: &[String]) -> CliResult {
+    let (_, info) = load_program(args)?;
+    println!("{}", info.cst.to_compact_string());
+    println!();
+    print!("{}", info.cst.to_text());
+    eprintln!(
+        "\n{} vertices ({} MPI leaves), {} instrumentation entries",
+        info.cst.len(),
+        info.cst.mpi_leaf_count(),
+        info.sitemap.entry_count()
+    );
+    Ok(())
+}
+
+fn cmd_trace(args: &[String]) -> CliResult {
+    let (_, _, traces) = run_traces(args)?;
+    let dir = flag(args, "-o").ok_or("missing -o <dir>")?;
+    fs::create_dir_all(&dir).map_err(|e| format!("mkdir {dir}: {e}"))?;
+    let mut total = 0usize;
+    for t in &traces {
+        let path = format!("{dir}/rank{:05}.trace", t.rank);
+        let bytes = t.to_bytes();
+        total += bytes.len();
+        fs::write(&path, &bytes).map_err(|e| format!("write {path}: {e}"))?;
+    }
+    println!(
+        "wrote {} raw traces to {dir}/ ({} bytes total)",
+        traces.len(),
+        total
+    );
+    Ok(())
+}
+
+fn cmd_dump(args: &[String]) -> CliResult {
+    let (_, _, traces) = run_traces(args)?;
+    let rank: usize = flag(args, "-r").map_or(Ok(0), |s| {
+        s.parse().map_err(|e| format!("bad -r value: {e}"))
+    })?;
+    let t = traces
+        .get(rank)
+        .ok_or_else(|| format!("rank {rank} out of range"))?;
+    print!("{}", cypress::trace::format_trace(t));
+    Ok(())
+}
+
+fn cmd_compress(args: &[String]) -> CliResult {
+    let (_, info, traces) = run_traces(args)?;
+    let out = flag(args, "-o").ok_or("missing -o <file>")?;
+    let raw: usize = traces.iter().map(raw_mpi_size).sum();
+    let cfg = CompressConfig::default();
+    let ctts: Vec<_> = traces
+        .iter()
+        .map(|t| compress_trace(&info.cst, t, &cfg))
+        .collect();
+    let merged = merge_all_parallel(&ctts, 8);
+    let bytes = merged.to_bytes();
+    fs::write(&out, &bytes).map_err(|e| format!("write {out}: {e}"))?;
+    let cst_path = format!("{out}.cst");
+    fs::write(&cst_path, info.cst.to_text()).map_err(|e| format!("write {cst_path}: {e}"))?;
+    println!(
+        "raw {} B -> merged {} B (+{} B CST) — {:.1}x",
+        raw,
+        bytes.len(),
+        info.cst.to_text().len(),
+        raw as f64 / (bytes.len() + info.cst.to_text().len()) as f64
+    );
+    println!("wrote {out} and {cst_path}");
+    Ok(())
+}
+
+fn cmd_decompress(args: &[String]) -> CliResult {
+    let file = args
+        .iter()
+        .find(|a| !a.starts_with('-'))
+        .ok_or("missing merged trace file")?;
+    let cst_path = flag(args, "--cst").ok_or("missing --cst <cst.txt>")?;
+    let rank: u32 = flag(args, "-r").map_or(Ok(0), |s| {
+        s.parse().map_err(|e| format!("bad -r value: {e}"))
+    })?;
+    let bytes = fs::read(file).map_err(|e| format!("read {file}: {e}"))?;
+    let merged = MergedCtt::from_bytes(&bytes).map_err(|e| e.to_string())?;
+    let cst_text = fs::read_to_string(&cst_path).map_err(|e| format!("read {cst_path}: {e}"))?;
+    let cst = Cst::from_text(&cst_text)?;
+    let ctt = merged.extract_rank(rank, &cst);
+    let ops = decompress(&cst, &ctt);
+    println!("# rank {rank}: {} operations", ops.len());
+    for o in &ops {
+        let p = &o.params;
+        let mut fields = Vec::new();
+        if p.dest >= 0 {
+            fields.push(format!("dest={}", p.dest));
+        }
+        if p.src != cypress::trace::event::NONE {
+            fields.push(format!("src={}", p.src));
+        }
+        if p.count >= 0 {
+            fields.push(format!("bytes={}", p.count));
+        }
+        if p.tag >= 0 {
+            fields.push(format!("tag={}", p.tag));
+        }
+        if p.root >= 0 {
+            fields.push(format!("root={}", p.root));
+        }
+        if !p.req_gids.is_empty() {
+            fields.push(format!("reqs={:?}", p.req_gids));
+        }
+        println!(
+            "g{:<4} {:<14} {}  ~{}ns",
+            o.gid,
+            o.op.name(),
+            fields.join(" "),
+            o.mean_dur
+        );
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> CliResult {
+    let (_, _, traces) = run_traces(args)?;
+    print!("{}", cypress::trace::Profile::from_traces(&traces).report());
+    let m = CommMatrix::from_traces(&traces);
+    println!(
+        "\npoint-to-point volume: {} bytes across {} edges",
+        m.total(),
+        (0..traces.len())
+            .map(|r| m.peers_of(r).len())
+            .sum::<usize>()
+    );
+    if traces.len() <= 64 {
+        println!("\nheatmap (row = sender):");
+        print!("{}", m.to_ascii());
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> CliResult {
+    let (_, info, traces) = run_traces(args)?;
+    let model = LogGp::default();
+    let measured = simulate(&from_raw_traces(&traces), &model).map_err(|e| e.to_string())?;
+    let cfg = CompressConfig::default();
+    let predicted_ops: Vec<Vec<SimOp>> = traces
+        .iter()
+        .map(|t| {
+            let ctt = compress_trace(&info.cst, t, &cfg);
+            decompress(&info.cst, &ctt)
+                .into_iter()
+                .map(|o| SimOp {
+                    gid: o.gid,
+                    op: o.op,
+                    params: o.params,
+                    pre_gap: o.mean_gap,
+                })
+                .collect()
+        })
+        .collect();
+    let predicted = simulate(&predicted_ops, &model).map_err(|e| e.to_string())?;
+    println!(
+        "measured (raw traces):        {:.3} ms",
+        measured.total as f64 / 1e6
+    );
+    println!(
+        "predicted (compressed):       {:.3} ms",
+        predicted.total as f64 / 1e6
+    );
+    println!(
+        "prediction error:             {:.2}%",
+        (predicted.total as f64 - measured.total as f64).abs() / measured.total.max(1) as f64
+            * 100.0
+    );
+    println!(
+        "communication time share:     {:.2}%",
+        measured.comm_fraction() * 100.0
+    );
+    Ok(())
+}

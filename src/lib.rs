@@ -1,0 +1,16 @@
+//! # cypress — hybrid static-dynamic top-down MPI trace compression
+//!
+//! Umbrella crate re-exporting the whole CYPRESS reproduction (SC'14,
+//! Zhai et al.). See `README.md` for the architecture and `DESIGN.md` for
+//! the per-experiment index.
+
+pub use cypress_baselines as baselines;
+pub use cypress_core as core;
+pub use cypress_cst as cst;
+pub use cypress_deflate as deflate;
+pub use cypress_minilang as minilang;
+pub use cypress_runtime as runtime;
+pub use cypress_simmpi as simmpi;
+pub use cypress_staticir as staticir;
+pub use cypress_trace as trace;
+pub use cypress_workloads as workloads;

@@ -1,0 +1,122 @@
+//! End-to-end tests of the `cypress` command-line binary.
+
+use std::fs;
+use std::process::Command;
+
+fn cypress() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cypress"))
+}
+
+fn write_program(dir: &std::path::Path) -> std::path::PathBuf {
+    let path = dir.join("ring.mpi");
+    fs::write(
+        &path,
+        r#"
+        fn main() {
+            for k in 0..30 {
+                let a = isend((rank() + 1) % size(), 2048, 0);
+                let b = irecv((rank() + size() - 1) % size(), 2048, 0);
+                waitall(a, b);
+                compute(5000);
+            }
+            allreduce(8);
+        }
+        "#,
+    )
+    .expect("write program");
+    path
+}
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("cypress-cli-test-{name}-{}", std::process::id()));
+    fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+#[test]
+fn cst_command_prints_tree() {
+    let dir = tmpdir("cst");
+    let prog = write_program(&dir);
+    let out = cypress().arg("cst").arg(&prog).output().expect("run");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Root(Loop("));
+    assert!(stdout.contains("MPI_Isend"));
+    assert!(stdout.contains("MPI_Allreduce"));
+}
+
+#[test]
+fn compress_then_decompress_round_trip() {
+    let dir = tmpdir("compress");
+    let prog = write_program(&dir);
+    let merged = dir.join("ring.ctt");
+    let out = cypress()
+        .args(["compress"])
+        .arg(&prog)
+        .args(["-n", "8", "-o"])
+        .arg(&merged)
+        .output()
+        .expect("run compress");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(merged.exists());
+    let cst = dir.join("ring.ctt.cst");
+    assert!(cst.exists());
+
+    let out = cypress()
+        .arg("decompress")
+        .arg(&merged)
+        .arg("--cst")
+        .arg(&cst)
+        .args(["-r", "5"])
+        .output()
+        .expect("run decompress");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // 30 iterations × 3 ops + 1 allreduce = 91 operations for rank 5.
+    assert!(stdout.contains("# rank 5: 91 operations"), "{stdout}");
+    assert!(stdout.contains("MPI_Waitall"));
+}
+
+#[test]
+fn simulate_reports_prediction() {
+    let dir = tmpdir("simulate");
+    let prog = write_program(&dir);
+    let out = cypress()
+        .arg("simulate")
+        .arg(&prog)
+        .args(["-n", "4"])
+        .output()
+        .expect("run simulate");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("measured"));
+    assert!(stdout.contains("prediction error"));
+}
+
+#[test]
+fn dump_prints_events() {
+    let dir = tmpdir("dump");
+    let prog = write_program(&dir);
+    let out = cypress()
+        .arg("dump")
+        .arg(&prog)
+        .args(["-n", "2", "-r", "1"])
+        .output()
+        .expect("run dump");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("# rank 1/2"));
+    assert!(stdout.contains("MPI_Isend"));
+}
+
+#[test]
+fn bad_input_fails_cleanly() {
+    let dir = tmpdir("bad");
+    let path = dir.join("broken.mpi");
+    fs::write(&path, "fn main() { send(0, 1 }").unwrap();
+    let out = cypress().arg("cst").arg(&path).output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+    let out = cypress().arg("nonsense").output().expect("run");
+    assert!(!out.status.success());
+}

@@ -1,0 +1,151 @@
+//! Integration of the tracing pipeline with the LogGP simulator: every
+//! workload must replay deadlock-free, and prediction through compressed
+//! traces must track the raw-trace simulation.
+
+use cypress::core::{compress_trace, decompress, CompressConfig};
+use cypress::simmpi::{from_raw_traces, simulate, LogGp, SimOp};
+use cypress::workloads::{by_name, quick_procs, Scale, NPB_NAMES};
+
+#[test]
+fn every_workload_simulates_without_deadlock() {
+    for name in NPB_NAMES.iter().chain(["jacobi", "leslie3d"].iter()) {
+        let w = by_name(name, quick_procs(name), Scale::Quick).unwrap();
+        let traces = w.trace().unwrap();
+        let r = simulate(&from_raw_traces(&traces), &LogGp::default())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(r.total > 0, "{name}: zero simulated time");
+        assert!(
+            r.finish.iter().all(|&f| f > 0),
+            "{name}: some rank never ran"
+        );
+    }
+}
+
+#[test]
+fn decompressed_traces_simulate_close_to_raw() {
+    for name in ["jacobi", "bt", "lu", "leslie3d"] {
+        let w = by_name(name, quick_procs(name), Scale::Quick).unwrap();
+        let (_, info) = w.compile();
+        let traces = w.trace().unwrap();
+        let model = LogGp::default();
+        let measured = simulate(&from_raw_traces(&traces), &model).unwrap();
+        let cfg = CompressConfig::default();
+        let predicted_ops: Vec<Vec<SimOp>> = traces
+            .iter()
+            .map(|t| {
+                let ctt = compress_trace(&info.cst, t, &cfg);
+                decompress(&info.cst, &ctt)
+                    .into_iter()
+                    .map(|o| SimOp {
+                        gid: o.gid,
+                        op: o.op,
+                        params: o.params,
+                        pre_gap: o.mean_gap,
+                    })
+                    .collect()
+            })
+            .collect();
+        let predicted = simulate(&predicted_ops, &model)
+            .unwrap_or_else(|e| panic!("{name}: predicted replay failed: {e}"));
+        let err = (predicted.total as f64 - measured.total as f64).abs()
+            / measured.total.max(1) as f64;
+        assert!(err < 0.2, "{name}: prediction error {err:.3}");
+    }
+}
+
+#[test]
+fn wildcard_resolution_is_deterministic() {
+    let w = by_name("cg", 8, Scale::Quick).unwrap();
+    let traces = w.trace().unwrap();
+    let a = simulate(&from_raw_traces(&traces), &LogGp::default()).unwrap();
+    let b = simulate(&from_raw_traces(&traces), &LogGp::default()).unwrap();
+    assert_eq!(a.wildcard_sources, b.wildcard_sources);
+    assert_eq!(a.finish, b.finish);
+}
+
+#[test]
+fn network_parameters_shift_the_prediction_sensibly() {
+    let w = by_name("leslie3d", 16, Scale::Quick).unwrap();
+    let traces = w.trace().unwrap();
+    let ops = from_raw_traces(&traces);
+    let fast = simulate(&ops, &LogGp::default()).unwrap();
+    let slow_net = LogGp {
+        latency_ns: 50_000,
+        gap_per_byte_x1000: 4_000,
+        ..LogGp::default()
+    };
+    let slow = simulate(&ops, &slow_net).unwrap();
+    assert!(
+        slow.total > fast.total,
+        "a 10x slower network must predict a slower run"
+    );
+    assert!(slow.comm_fraction() > fast.comm_fraction());
+}
+
+#[test]
+fn simulated_time_dominates_compute_lower_bound() {
+    // Total simulated time can never be below any rank's pure compute sum.
+    for name in ["jacobi", "bt", "mg"] {
+        let w = by_name(name, quick_procs(name), Scale::Quick).unwrap();
+        let traces = w.trace().unwrap();
+        let ops = from_raw_traces(&traces);
+        let r = simulate(&ops, &LogGp::default()).unwrap();
+        for (rank, seq) in ops.iter().enumerate() {
+            let compute: u64 = seq.iter().map(|o| o.pre_gap).sum();
+            assert!(
+                r.finish[rank] >= compute,
+                "{name}: rank {rank} finished before its own compute"
+            );
+        }
+    }
+}
+
+#[test]
+fn adding_compute_increases_predicted_time() {
+    use cypress::minilang::{check_program, parse};
+    use cypress::runtime::{trace_program, InterpConfig};
+    let make = |work: u64| {
+        let src = format!(
+            "fn main() {{ for i in 0..10 {{ compute({work}); allreduce(64); }} }}"
+        );
+        let p = parse(&src).unwrap();
+        check_program(&p).unwrap();
+        let info = cypress::cst::analyze_program(&p);
+        let traces = trace_program(&p, &info, 4, &InterpConfig::default()).unwrap();
+        simulate(&from_raw_traces(&traces), &LogGp::default())
+            .unwrap()
+            .total
+    };
+    assert!(make(100_000) > make(1_000));
+}
+
+#[test]
+fn ring_pipelines_scale_sublinearly_with_rank_count() {
+    // A non-blocking ring exchange has no serial dependency chain across
+    // steps, so doubling ranks must not double the simulated time.
+    use cypress::minilang::{check_program, parse};
+    use cypress::runtime::{trace_program, InterpConfig};
+    let sim = |nprocs: u32| {
+        let src = r#"fn main() {
+            for i in 0..10 {
+                let a = isend((rank() + 1) % size(), 1024, 0);
+                let b = irecv((rank() + size() - 1) % size(), 1024, 0);
+                waitall(a, b);
+                compute(20000);
+            }
+        }"#;
+        let p = parse(src).unwrap();
+        check_program(&p).unwrap();
+        let info = cypress::cst::analyze_program(&p);
+        let traces = trace_program(&p, &info, nprocs, &InterpConfig::default()).unwrap();
+        simulate(&from_raw_traces(&traces), &LogGp::default())
+            .unwrap()
+            .total
+    };
+    let t8 = sim(8);
+    let t32 = sim(32);
+    assert!(
+        (t32 as f64) < (t8 as f64) * 1.5,
+        "ring time should be ~flat in P: {t8} -> {t32}"
+    );
+}
