@@ -19,9 +19,9 @@
 use cypress_core::ctt::EncParams;
 use cypress_core::merge::RankSet;
 use cypress_trace::codec::{Codec, DecodeError, DecodeResult, Decoder, Encoder};
-use cypress_trace::event::MpiRecord;
 #[cfg(test)]
 use cypress_trace::event::MpiOp;
+use cypress_trace::event::MpiRecord;
 use cypress_trace::raw::RawTrace;
 
 /// One event key: operation + relative-encoded parameters (time excluded).
@@ -41,18 +41,14 @@ impl Elem {
     pub fn expanded_len(&self) -> u64 {
         match self {
             Elem::Ev { count, .. } => *count,
-            Elem::Rsd { body, count } => {
-                body.iter().map(|e| e.expanded_len()).sum::<u64>() * count
-            }
+            Elem::Rsd { body, count } => body.iter().map(|e| e.expanded_len()).sum::<u64>() * count,
         }
     }
 
     fn approx_bytes(&self) -> usize {
         match self {
             Elem::Ev { key, .. } => 48 + key.req_gids.capacity() * 4,
-            Elem::Rsd { body, .. } => {
-                16 + body.iter().map(|e| e.approx_bytes()).sum::<usize>()
-            }
+            Elem::Rsd { body, .. } => 16 + body.iter().map(|e| e.approx_bytes()).sum::<usize>(),
         }
     }
 }
@@ -494,7 +490,11 @@ mod tests {
             .map(|i| rec(MpiOp::Send, MpiParams::send(1, 8 + i, 0)))
             .collect();
         let t = compress_seq(0, &recs);
-        assert_eq!(t.len(), 64, "dynamic-only folding cannot compress varied params");
+        assert_eq!(
+            t.len(),
+            64,
+            "dynamic-only folding cannot compress varied params"
+        );
     }
 
     #[test]
@@ -530,10 +530,8 @@ mod tests {
         with_extra.insert(2, rec(MpiOp::Barrier, MpiParams::collective(0)));
         let t0 = compress_seq(0, &with_extra);
         let t1 = compress_seq(1, &common);
-        let merged = ScalaMerged::merge(
-            &ScalaMerged::from_trace(&t0),
-            &ScalaMerged::from_trace(&t1),
-        );
+        let merged =
+            ScalaMerged::merge(&ScalaMerged::from_trace(&t0), &ScalaMerged::from_trace(&t1));
         // 5 shared elements + 1 rank-0-only barrier.
         assert_eq!(merged.len(), 6);
         let shared = merged.elems.iter().filter(|e| e.ranks.len() == 2).count();
@@ -546,10 +544,8 @@ mod tests {
         let r3 = [rec(MpiOp::Send, MpiParams::send(4, 8, 0))];
         let t0 = compress_seq(0, &r0);
         let t3 = compress_seq(3, &r3);
-        let merged = ScalaMerged::merge(
-            &ScalaMerged::from_trace(&t0),
-            &ScalaMerged::from_trace(&t3),
-        );
+        let merged =
+            ScalaMerged::merge(&ScalaMerged::from_trace(&t0), &ScalaMerged::from_trace(&t3));
         assert_eq!(merged.len(), 1);
     }
 }

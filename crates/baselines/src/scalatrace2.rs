@@ -384,7 +384,10 @@ mod tests {
         RawTrace {
             rank,
             nprocs: 8,
-            events: recs.into_iter().map(cypress_trace::event::Event::Mpi).collect(),
+            events: recs
+                .into_iter()
+                .map(cypress_trace::event::Event::Mpi)
+                .collect(),
             app_time: 0,
         }
     }
@@ -472,11 +475,7 @@ mod tests {
         let merged = Scala2Merged::merge_all(&traces);
         assert_eq!(merged.len(), 1);
         assert!(merged.elems[0].groups.len() > 1);
-        let total: u64 = merged.elems[0]
-            .groups
-            .iter()
-            .map(|(rs, _)| rs.len())
-            .sum();
+        let total: u64 = merged.elems[0].groups.iter().map(|(rs, _)| rs.len()).sum();
         assert_eq!(total, 6);
     }
 

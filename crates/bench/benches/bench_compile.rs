@@ -1,36 +1,23 @@
-//! Criterion bench for Table I: static-analysis (CST construction) cost on
-//! top of plain compilation, per NPB program.
+//! Bench for Table I: static-analysis (CST construction) cost on top of
+//! plain compilation, per NPB program.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cypress_bench::harness;
 use cypress_cst::analyze_program;
 use cypress_minilang::{check_program, parse};
 use cypress_workloads::{by_name, quick_procs, Scale, NPB_NAMES};
 
-fn bench_compile(c: &mut Criterion) {
-    let mut g = c.benchmark_group("compile");
+fn main() {
     for name in NPB_NAMES {
         let w = by_name(name, quick_procs(name), Scale::Quick).expect("known workload");
-        g.bench_with_input(BenchmarkId::new("parse_check", name), &w.source, |b, src| {
-            b.iter(|| {
-                let p = parse(src).unwrap();
-                check_program(&p).unwrap();
-                p
-            })
+        harness::run(&format!("compile/{name}/parse_check"), || {
+            let p = parse(&w.source).unwrap();
+            check_program(&p).unwrap();
+            p
         });
-        g.bench_with_input(BenchmarkId::new("with_cst", name), &w.source, |b, src| {
-            b.iter(|| {
-                let p = parse(src).unwrap();
-                check_program(&p).unwrap();
-                analyze_program(&p)
-            })
+        harness::run(&format!("compile/{name}/with_cst"), || {
+            let p = parse(&w.source).unwrap();
+            check_program(&p).unwrap();
+            analyze_program(&p)
         });
     }
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_compile
-}
-criterion_main!(benches);

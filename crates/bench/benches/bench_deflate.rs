@@ -1,34 +1,20 @@
-//! Criterion bench for the gzip substrate: DEFLATE throughput on trace-like
-//! data (feeds the "+Gzip" series of Fig. 15/19).
+//! Bench for the gzip substrate: DEFLATE throughput on trace-like data
+//! (feeds the "+Gzip" series of Fig. 15/19).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use cypress_bench::trace_workload;
+use cypress_bench::{harness, trace_workload};
 use cypress_deflate::{deflate, gzip_compress, gzip_decompress, Level};
 use cypress_trace::raw::encode_mpi_events;
 use cypress_workloads::Scale;
 
-fn bench_deflate(c: &mut Criterion) {
+fn main() {
     let t = trace_workload("lu", 8, Scale::Quick);
     let blob = encode_mpi_events(&t.traces[3]);
-    let mut g = c.benchmark_group("deflate");
-    g.throughput(Throughput::Bytes(blob.len() as u64));
+    println!("input blob: {} bytes", blob.len());
     for level in [Level::Fast, Level::Default, Level::Best] {
-        g.bench_with_input(
-            BenchmarkId::new("compress", format!("{level:?}")),
-            &blob,
-            |b, d| b.iter(|| deflate(d, level)),
-        );
+        harness::run(&format!("deflate/compress/{level:?}"), || {
+            deflate(&blob, level)
+        });
     }
     let z = gzip_compress(&blob, Level::Default);
-    g.bench_with_input(BenchmarkId::new("gzip_round_trip", blob.len()), &z, |b, z| {
-        b.iter(|| gzip_decompress(z).unwrap())
-    });
-    g.finish();
+    harness::run("deflate/gzip_decompress", || gzip_decompress(&z).unwrap());
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_deflate
-}
-criterion_main!(benches);

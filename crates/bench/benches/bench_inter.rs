@@ -1,14 +1,14 @@
-//! Criterion bench for Fig. 18: inter-process merge cost — CYPRESS's O(n)
-//! vertex-wise merge (sequential and parallel) vs the baselines' O(n²)
-//! alignment.
+//! Bench for Fig. 18: inter-process merge cost — CYPRESS's O(n) vertex-wise
+//! merge (sequential and parallel) vs the baselines' O(n²) alignment.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use cypress_baselines::{Scala2Config, Scala2Merged, Scala2Trace, ScalaConfig, ScalaMerged, ScalaTrace};
-use cypress_bench::trace_workload;
+use cypress_baselines::{
+    Scala2Config, Scala2Merged, Scala2Trace, ScalaConfig, ScalaMerged, ScalaTrace,
+};
+use cypress_bench::{harness, trace_workload};
 use cypress_core::{compress_trace, merge_all, merge_all_parallel, CompressConfig};
 use cypress_workloads::Scale;
 
-fn bench_inter(c: &mut Criterion) {
+fn main() {
     for (name, procs) in [("cg", 16u32), ("lu", 16)] {
         let t = trace_workload(name, procs, Scale::Quick);
         let ctts: Vec<_> = t
@@ -27,26 +27,17 @@ fn bench_inter(c: &mut Criterion) {
             .map(|tr| Scala2Trace::compress(tr, &Scala2Config::default()))
             .collect();
 
-        let mut g = c.benchmark_group(format!("inter/{name}"));
-        g.bench_with_input(BenchmarkId::new("cypress_seq", procs), &ctts, |b, c| {
-            b.iter(|| merge_all(c))
+        harness::run(&format!("inter/{name}/{procs}p/cypress_seq"), || {
+            merge_all(&ctts)
         });
-        g.bench_with_input(BenchmarkId::new("cypress_par", procs), &ctts, |b, c| {
-            b.iter(|| merge_all_parallel(c, 4))
+        harness::run(&format!("inter/{name}/{procs}p/cypress_par"), || {
+            merge_all_parallel(&ctts, 4)
         });
-        g.bench_with_input(BenchmarkId::new("scalatrace", procs), &st, |b, s| {
-            b.iter(|| ScalaMerged::merge_all(s))
+        harness::run(&format!("inter/{name}/{procs}p/scalatrace"), || {
+            ScalaMerged::merge_all(&st)
         });
-        g.bench_with_input(BenchmarkId::new("scalatrace2", procs), &st2, |b, s| {
-            b.iter(|| Scala2Merged::merge_all(s))
+        harness::run(&format!("inter/{name}/{procs}p/scalatrace2"), || {
+            Scala2Merged::merge_all(&st2)
         });
-        g.finish();
     }
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_inter
-}
-criterion_main!(benches);

@@ -1,35 +1,24 @@
-//! Criterion bench for Fig. 16: intra-process compression throughput of
-//! CYPRESS vs ScalaTrace vs ScalaTrace-2 on representative workloads.
+//! Bench for Fig. 16: intra-process compression throughput of CYPRESS vs
+//! ScalaTrace vs ScalaTrace-2 on representative workloads.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use cypress_baselines::{Scala2Config, Scala2Trace, ScalaConfig, ScalaTrace};
-use cypress_bench::trace_workload;
+use cypress_bench::{harness, trace_workload};
 use cypress_core::{compress_trace, CompressConfig};
 use cypress_workloads::Scale;
 
-fn bench_intra(c: &mut Criterion) {
+fn main() {
     for name in ["lu", "mg", "sp"] {
         let t = trace_workload(name, cypress_workloads::quick_procs(name), Scale::Quick);
         let trace = &t.traces[t.traces.len() / 2];
-        let events = trace.mpi_count() as u64;
-        let mut g = c.benchmark_group(format!("intra/{name}"));
-        g.throughput(Throughput::Elements(events));
-        g.bench_with_input(BenchmarkId::new("cypress", events), trace, |b, tr| {
-            b.iter(|| compress_trace(&t.info.cst, tr, &CompressConfig::default()))
+        let events = trace.mpi_count();
+        harness::run(&format!("intra/{name}/{events}ev/cypress"), || {
+            compress_trace(&t.info.cst, trace, &CompressConfig::default())
         });
-        g.bench_with_input(BenchmarkId::new("scalatrace", events), trace, |b, tr| {
-            b.iter(|| ScalaTrace::compress(tr, &ScalaConfig::default()))
+        harness::run(&format!("intra/{name}/{events}ev/scalatrace"), || {
+            ScalaTrace::compress(trace, &ScalaConfig::default())
         });
-        g.bench_with_input(BenchmarkId::new("scalatrace2", events), trace, |b, tr| {
-            b.iter(|| Scala2Trace::compress(tr, &Scala2Config::default()))
+        harness::run(&format!("intra/{name}/{events}ev/scalatrace2"), || {
+            Scala2Trace::compress(trace, &Scala2Config::default())
         });
-        g.finish();
     }
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_intra
-}
-criterion_main!(benches);

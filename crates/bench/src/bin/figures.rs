@@ -1,14 +1,16 @@
 //! Regenerate every table and figure of the paper's evaluation (§VII).
 //!
 //! ```text
-//! figures [fig15|fig16|fig17|fig18|table1|fig19|fig20|fig21|all] [--paper]
+//! figures [fig15|fig16|fig17|fig18|table1|fig19|fig20|fig21|all] [--paper] [--metrics]
 //! ```
 //!
 //! Default (quick) mode runs the workloads at reduced process counts and
 //! iteration scales so the full set finishes in minutes on a laptop;
 //! `--paper` switches to the paper's process counts (64–512) and CLASS-D
 //! shaped iteration structure — expect a long run. Output goes to stdout and
-//! to `results/<experiment>.csv`.
+//! to `results/<experiment>.csv`. With `--metrics`, pipeline instrumentation
+//! is enabled and a metrics report is printed and saved to
+//! `results/metrics.jsonl` at exit.
 
 use cypress_bench::*;
 use cypress_trace::commmatrix::CommMatrix;
@@ -24,6 +26,10 @@ struct Cfg {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let paper = args.iter().any(|a| a == "--paper");
+    let metrics = args.iter().any(|a| a == "--metrics");
+    if metrics {
+        cypress_obs::set_enabled(true);
+    }
     let what = args
         .iter()
         .find(|a| !a.starts_with("--"))
@@ -60,10 +66,17 @@ fn main() {
         other => {
             eprintln!("unknown experiment `{other}`");
             eprintln!(
-                "usage: figures [fig15|fig16|fig17|fig18|table1|fig19|fig20|fig21|ablation|all] [--paper]"
+                "usage: figures [fig15|fig16|fig17|fig18|table1|fig19|fig20|fig21|ablation|all] [--paper] [--metrics]"
             );
             std::process::exit(2);
         }
+    }
+
+    if metrics {
+        let report = cypress_obs::report();
+        println!("\n== metrics ==\n{}", report.to_text());
+        fs::write("results/metrics.jsonl", report.to_jsonl()).expect("write metrics.jsonl");
+        println!("  -> results/metrics.jsonl");
     }
 }
 
@@ -95,7 +108,14 @@ fn fig15(cfg: &Cfg) {
         println!("[{name}]");
         println!(
             "{:>7} {:>12} {:>12} {:>12} {:>12} {:>14} {:>12} {:>14}",
-            "procs", "raw", "gzip", "scalatrace", "scalatrace2", "st2+gzip", "cypress", "cypress+gzip"
+            "procs",
+            "raw",
+            "gzip",
+            "scalatrace",
+            "scalatrace2",
+            "st2+gzip",
+            "cypress",
+            "cypress+gzip"
         );
         for p in procs_for(name, cfg) {
             let t = trace_workload(name, p, cfg.scale);
@@ -174,8 +194,7 @@ fn fig17(cfg: &Cfg) {
         let m = CommMatrix::from_traces(&t.traces);
         println!("[{name} @ {p}] total {} bytes, heatmap:", m.total());
         print!("{}", m.to_ascii());
-        fs::write(format!("results/fig17_{name}_matrix.csv"), m.to_csv())
-            .expect("write matrix");
+        fs::write(format!("results/fig17_{name}_matrix.csv"), m.to_csv()).expect("write matrix");
         println!("  -> results/fig17_{name}_matrix.csv");
     }
 }
@@ -278,8 +297,7 @@ fn fig20(cfg: &Cfg) {
             m.distinct_volumes().len()
         );
         print!("{}", m.to_ascii());
-        fs::write(format!("results/fig20_leslie3d_{p}.csv"), m.to_csv())
-            .expect("write matrix");
+        fs::write(format!("results/fig20_leslie3d_{p}.csv"), m.to_csv()).expect("write matrix");
         println!("  -> results/fig20_leslie3d_{p}.csv");
     }
 }
@@ -325,8 +343,8 @@ fn ablation(cfg: &Cfg) {
         let prog = parse(src).expect("ablation source parses");
         check_program(&prog).expect("ablation source checks");
         let info = cypress_cst::analyze_program(&prog);
-        let traces = trace_program(&prog, &info, 1, &InterpConfig::default())
-            .expect("ablation trace");
+        let traces =
+            trace_program(&prog, &info, 1, &InterpConfig::default()).expect("ablation trace");
         for window in [1usize, 2, 8] {
             let c = CompressConfig {
                 window,
@@ -352,7 +370,10 @@ fn ablation(cfg: &Cfg) {
     let par = merge_all_parallel(&ctts, 8);
     let par_s = t0.elapsed().as_secs_f64();
     assert_eq!(seq.group_count(), par.group_count());
-    println!("merge lu@{}: sequential {seq_s:.5}s, parallel(8) {par_s:.5}s", t.workload.nprocs);
+    println!(
+        "merge lu@{}: sequential {seq_s:.5}s, parallel(8) {par_s:.5}s",
+        t.workload.nprocs
+    );
     writeln!(csv, "merge,sequential_s,{seq_s:.6}").unwrap();
     writeln!(csv, "merge,parallel8_s,{par_s:.6}").unwrap();
 

@@ -1,0 +1,84 @@
+//! Minimal benchmark harness (the offline build has no criterion).
+//!
+//! Each `[[bench]]` target is a plain binary with `harness = false` that
+//! calls [`run`] per case. The harness warms up, picks an iteration count
+//! targeting a fixed measurement window, takes several samples, and prints
+//! one aligned line per case:
+//!
+//! ```text
+//! intra/lu/cypress             5xit  123.4us/iter  (min 120.1us, max 130.0us)
+//! ```
+//!
+//! `CYPRESS_BENCH_FAST=1` shrinks the window for smoke runs (CI runs the
+//! benches only for compile checks; numbers come from dedicated runs).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+const SAMPLES: usize = 5;
+
+fn target_window_ns() -> u64 {
+    if std::env::var("CYPRESS_BENCH_FAST").is_ok() {
+        20_000_000 // 20 ms
+    } else {
+        200_000_000 // 200 ms
+    }
+}
+
+/// One measured case.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    pub name: String,
+    pub iters: u64,
+    pub mean_ns: f64,
+    pub min_ns: f64,
+    pub max_ns: f64,
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// Measure `f`, print one report line, and return the stats. The closure's
+/// return value is passed through [`black_box`] so the work is not elided.
+pub fn run<T>(name: &str, mut f: impl FnMut() -> T) -> BenchResult {
+    // Warmup + calibration: run once, then scale to the target window.
+    let t0 = Instant::now();
+    black_box(f());
+    let once_ns = t0.elapsed().as_nanos().max(1) as u64;
+    let window = target_window_ns();
+    let iters = (window / once_ns / SAMPLES as u64).clamp(1, 1_000_000);
+
+    let mut samples_ns = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        samples_ns.push(t0.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    let mean_ns = samples_ns.iter().sum::<f64>() / SAMPLES as f64;
+    let min_ns = samples_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max_ns = samples_ns.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "{name:<44} {iters:>7}xit  {:>10}/iter  (min {}, max {})",
+        fmt_ns(mean_ns),
+        fmt_ns(min_ns),
+        fmt_ns(max_ns),
+    );
+    BenchResult {
+        name: name.to_owned(),
+        iters,
+        mean_ns,
+        min_ns,
+        max_ns,
+    }
+}

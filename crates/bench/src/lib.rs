@@ -1,5 +1,5 @@
 //! # cypress-bench — measurement pipeline shared by the `figures` binary and
-//! the criterion benches.
+//! the benches.
 //!
 //! Every experiment of the paper's §VII maps to one function here; see
 //! `DESIGN.md` for the experiment index and `EXPERIMENTS.md` for recorded
@@ -7,8 +7,14 @@
 //! *virtual application time* of the simulated run — absolute percentages
 //! therefore depend on the virtual-time calibration, but the cross-method
 //! comparisons (the paper's claims) do not.
+//!
+//! All overhead timings go through `cypress-obs` stopwatches and size
+//! histograms under the `bench` scope, so the Fig. 16/18 CSV columns and
+//! the `--metrics` report are two views of one measurement path.
 
-use cypress_baselines::{Scala2Config, Scala2Merged, Scala2Trace, ScalaConfig, ScalaMerged, ScalaTrace};
+use cypress_baselines::{
+    Scala2Config, Scala2Merged, Scala2Trace, ScalaConfig, ScalaMerged, ScalaTrace,
+};
 use cypress_core::{
     compress_trace, decompress, merge_all, merge_all_parallel, CompressConfig, Ctt,
 };
@@ -18,7 +24,20 @@ use cypress_simmpi::{from_raw_traces, simulate, LogGp, SimOp, SimResult};
 use cypress_trace::codec::Codec;
 use cypress_trace::raw::{encode_mpi_events, RawTrace};
 use cypress_workloads::{by_name, Scale, Workload};
-use std::time::Instant;
+
+pub mod harness;
+
+/// Byte-size histogram bounds (1 KiB … 2 GiB) for memory-footprint metrics.
+pub const SIZE_BOUNDS: [u64; 8] = [
+    1 << 10,
+    1 << 13,
+    1 << 16,
+    1 << 19,
+    1 << 22,
+    1 << 25,
+    1 << 28,
+    1 << 31,
+];
 
 /// Traced workload bundle.
 pub struct Traced {
@@ -29,8 +48,7 @@ pub struct Traced {
 
 /// Trace a named workload at a process count.
 pub fn trace_workload(name: &str, nprocs: u32, scale: Scale) -> Traced {
-    let w = by_name(name, nprocs, scale)
-        .unwrap_or_else(|| panic!("unknown workload {name}"));
+    let w = by_name(name, nprocs, scale).unwrap_or_else(|| panic!("unknown workload {name}"));
     let (_, info) = w.compile();
     let traces = w
         .trace_parallel(num_threads())
@@ -98,9 +116,9 @@ pub fn trace_sizes(t: &Traced) -> TraceSizes {
     let cst_bytes = t.info.cst.to_text().len();
     let merged_bytes = merged.to_bytes();
     let cypress = cst_bytes + merged_bytes.len();
-    let cypress_gzip = cst_bytes.min(
-        gzip_compress(t.info.cst.to_text().as_bytes(), Level::Default).len(),
-    ) + gzip_compress(&merged_bytes, Level::Default).len();
+    let cypress_gzip = cst_bytes
+        .min(gzip_compress(t.info.cst.to_text().as_bytes(), Level::Default).len())
+        + gzip_compress(&merged_bytes, Level::Default).len();
 
     TraceSizes {
         nprocs: t.workload.nprocs,
@@ -129,7 +147,14 @@ pub struct IntraOverhead {
 }
 
 /// Measure intra-process compression cost for every rank of a traced run.
+///
+/// Timing goes through always-on `cypress-obs` stopwatches and memory
+/// through size histograms (`bench` scope): the returned Fig. 16 columns
+/// and the `--metrics` report come from the same recordings.
 pub fn intra_overhead(t: &Traced) -> IntraOverhead {
+    let m = cypress_obs::scope("bench");
+    let mem_st_hist = m.histogram("intra_mem_scalatrace_bytes", &SIZE_BOUNDS);
+    let mem_cy_hist = m.histogram("intra_mem_cypress_bytes", &SIZE_BOUNDS);
     let mut ts_st = 0.0;
     let mut ts_st2 = 0.0;
     let mut ts_cy = 0.0;
@@ -138,22 +163,26 @@ pub fn intra_overhead(t: &Traced) -> IntraOverhead {
     for tr in &t.traces {
         let app = (tr.app_time.max(1)) as f64;
 
-        let t0 = Instant::now();
+        let sw = m.timer("intra_scalatrace");
         let mut c = cypress_baselines::ScalaCompressor::new(tr.rank, ScalaConfig::default());
         for r in tr.mpi_records() {
             c.push(r);
         }
-        mem_st += c.approx_bytes();
-        ts_st += t0.elapsed().as_nanos() as f64 / app;
+        let st_bytes = c.approx_bytes();
+        ts_st += sw.stop_ns() as f64 / app;
+        mem_st_hist.record(st_bytes as u64);
+        mem_st += st_bytes;
 
-        let t0 = Instant::now();
+        let sw = m.timer("intra_scalatrace2");
         let _ = Scala2Trace::compress(tr, &Scala2Config::default());
-        ts_st2 += t0.elapsed().as_nanos() as f64 / app;
+        ts_st2 += sw.stop_ns() as f64 / app;
 
-        let t0 = Instant::now();
+        let sw = m.timer("intra_cypress");
         let ctt = compress_trace(&t.info.cst, tr, &CompressConfig::default());
-        ts_cy += t0.elapsed().as_nanos() as f64 / app;
-        mem_cy += ctt.approx_bytes();
+        ts_cy += sw.stop_ns() as f64 / app;
+        let cy_bytes = ctt.approx_bytes();
+        mem_cy_hist.record(cy_bytes as u64);
+        mem_cy += cy_bytes;
     }
     let n = t.traces.len() as f64;
     IntraOverhead {
@@ -176,32 +205,33 @@ pub struct InterOverhead {
 }
 
 pub fn inter_overhead(t: &Traced) -> InterOverhead {
+    let m = cypress_obs::scope("bench");
     let st: Vec<ScalaTrace> = t
         .traces
         .iter()
         .map(|tr| ScalaTrace::compress(tr, &ScalaConfig::default()))
         .collect();
-    let t0 = Instant::now();
+    let sw = m.timer("inter_scalatrace");
     let _ = ScalaMerged::merge_all(&st);
-    let scalatrace_s = t0.elapsed().as_secs_f64();
+    let scalatrace_s = sw.stop_secs();
 
     let st2: Vec<Scala2Trace> = t
         .traces
         .iter()
         .map(|tr| Scala2Trace::compress(tr, &Scala2Config::default()))
         .collect();
-    let t0 = Instant::now();
+    let sw = m.timer("inter_scalatrace2");
     let _ = Scala2Merged::merge_all(&st2);
-    let scalatrace2_s = t0.elapsed().as_secs_f64();
+    let scalatrace2_s = sw.stop_secs();
 
     let ctts: Vec<Ctt> = t
         .traces
         .iter()
         .map(|tr| compress_trace(&t.info.cst, tr, &CompressConfig::default()))
         .collect();
-    let t0 = Instant::now();
+    let sw = m.timer("inter_cypress");
     let _ = merge_all_parallel(&ctts, num_threads());
-    let cypress_s = t0.elapsed().as_secs_f64();
+    let cypress_s = sw.stop_secs();
 
     InterOverhead {
         nprocs: t.workload.nprocs,
@@ -230,21 +260,22 @@ impl CompileOverhead {
 pub fn compile_overhead(name: &str, reps: u32) -> CompileOverhead {
     let w = by_name(name, cypress_workloads::quick_procs(name), Scale::Quick)
         .unwrap_or_else(|| panic!("unknown workload {name}"));
-    let t0 = Instant::now();
+    let m = cypress_obs::scope("bench");
+    let sw = m.timer("compile_base");
     for _ in 0..reps {
         let p = cypress_minilang::parse(&w.source).expect("workload parses");
         cypress_minilang::check_program(&p).expect("workload checks");
         std::hint::black_box(&p);
     }
-    let base_s = t0.elapsed().as_secs_f64() / reps as f64;
-    let t0 = Instant::now();
+    let base_s = sw.stop_secs() / reps as f64;
+    let sw = m.timer("compile_with_cst");
     for _ in 0..reps {
         let p = cypress_minilang::parse(&w.source).expect("workload parses");
         cypress_minilang::check_program(&p).expect("workload checks");
         let info = cypress_cst::analyze_program(&p);
         std::hint::black_box(&info);
     }
-    let with_cst_s = t0.elapsed().as_secs_f64() / reps as f64;
+    let with_cst_s = sw.stop_secs() / reps as f64;
     CompileOverhead { base_s, with_cst_s }
 }
 
@@ -318,7 +349,10 @@ mod tests {
         let s = trace_sizes(&t);
         assert!(s.raw > 0);
         assert!(s.gzip < s.raw, "gzip must beat raw");
-        assert!(s.cypress < s.gzip, "cypress must beat per-rank gzip on jacobi");
+        assert!(
+            s.cypress < s.gzip,
+            "cypress must beat per-rank gzip on jacobi"
+        );
         assert!(s.cypress_gzip <= s.cypress);
     }
 
@@ -339,7 +373,11 @@ mod tests {
             o_long.time_frac_cypress,
             o_long.time_frac_scalatrace
         );
-        assert!(o_long.mem_cypress < 64 * 1024, "CTT ballooned: {}", o_long.mem_cypress);
+        assert!(
+            o_long.mem_cypress < 64 * 1024,
+            "CTT ballooned: {}",
+            o_long.mem_cypress
+        );
         let events_ratio = long.traces[0].mpi_count() as f64 / t.traces[0].mpi_count() as f64;
         let mem_ratio = o_long.mem_cypress as f64 / o.mem_cypress.max(1) as f64;
         assert!(events_ratio > 10.0, "paper scale should be much longer");

@@ -26,8 +26,45 @@ use crate::ctt::{Ctt, EncParams, LeafRecord, VertexData};
 use crate::intseq::IntSeq;
 use crate::timestats::{TimeMode, TimeStats};
 use cypress_cst::tree::{Cst, VertexKind};
+use cypress_obs::{Counter, Gauge, Histogram};
 use cypress_trace::event::{Event, EventSink, MpiOp, MpiRecord, ANY_SOURCE};
 use cypress_trace::raw::RawTrace;
+use std::sync::OnceLock;
+
+/// Compressor-wide instrumentation handles (scope `compressor`), aggregated
+/// across all ranks/compressor instances in the process.
+struct CompressorMetrics {
+    /// Incoming leaf events folded into an existing record.
+    fold_hits: Counter,
+    /// Incoming leaf events that opened a new record.
+    fold_misses: Counter,
+    /// Wildcard (`MPI_ANY_SOURCE`) non-blocking receives cached for deferral.
+    wildcard_cached: Counter,
+    /// Cached wildcard receives flushed by a matching completion op.
+    wildcard_flushed: Counter,
+    /// Stride segments held by loop/branch IntSeqs at finish().
+    intseq_segments: Counter,
+    /// High-water live footprint of a single compressor at finish().
+    ctt_live_bytes: Gauge,
+    /// Wall time of whole-trace offline compression calls.
+    compress_ns: Histogram,
+}
+
+fn obs() -> &'static CompressorMetrics {
+    static M: OnceLock<CompressorMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let s = cypress_obs::scope("compressor");
+        CompressorMetrics {
+            fold_hits: s.counter("leaf_fold_hits"),
+            fold_misses: s.counter("leaf_fold_misses"),
+            wildcard_cached: s.counter("wildcard_cached"),
+            wildcard_flushed: s.counter("wildcard_flushed"),
+            intseq_segments: s.counter("intseq_segments"),
+            ctt_live_bytes: s.gauge("ctt_live_bytes"),
+            compress_ns: s.histogram("compress_ns", &cypress_obs::TIME_BOUNDS_NS),
+        }
+    })
+}
 
 /// Compression knobs.
 #[derive(Debug, Clone)]
@@ -150,7 +187,10 @@ impl<'a> IntraCompressor<'a> {
         match &self.cst.vertex(v).kind {
             VertexKind::Loop { .. } => {
                 self.visits[v] += 1;
-                self.open.push(Open { vertex: v, iters: 1 });
+                self.open.push(Open {
+                    vertex: v,
+                    iters: 1,
+                });
             }
             VertexKind::Branch { .. } => {
                 let parent = self.cst.vertex(v).parent.expect("branches have parents");
@@ -159,7 +199,10 @@ impl<'a> IntraCompressor<'a> {
                     taken.push(parent_idx as i64);
                 }
                 self.visits[v] += 1;
-                self.open.push(Open { vertex: v, iters: 0 });
+                self.open.push(Open {
+                    vertex: v,
+                    iters: 0,
+                });
             }
             other => {
                 debug_assert!(false, "Enter on non-structure vertex {other:?}");
@@ -218,6 +261,9 @@ impl<'a> IntraCompressor<'a> {
                 dur: rec.dur,
                 gap,
             });
+            if cypress_obs::enabled() {
+                obs().wildcard_cached.inc();
+            }
             return;
         }
         if rec.op.is_completion() {
@@ -235,6 +281,9 @@ impl<'a> IntraCompressor<'a> {
                         r.count += 1;
                         r.time.add(rec.dur);
                         r.gap.add(gap);
+                        if cypress_obs::enabled() {
+                            obs().fold_hits.inc();
+                        }
                         return;
                     }
                 }
@@ -255,6 +304,9 @@ impl<'a> IntraCompressor<'a> {
         for p in std::mem::take(&mut self.pending_wild) {
             if completed_gids.contains(&(p.vertex as u32)) {
                 self.append(p.vertex, p.params, p.dur, p.gap);
+                if cypress_obs::enabled() {
+                    obs().wildcard_flushed.inc();
+                }
             } else {
                 remaining.push(p);
             }
@@ -274,7 +326,13 @@ impl<'a> IntraCompressor<'a> {
             r.count += 1;
             r.time.add(dur);
             r.gap.add(gap);
+            if cypress_obs::enabled() {
+                obs().fold_hits.inc();
+            }
             return;
+        }
+        if cypress_obs::enabled() {
+            obs().fold_misses.inc();
         }
         let mut time = TimeStats::new(time_mode);
         time.add(dur);
@@ -296,6 +354,20 @@ impl<'a> IntraCompressor<'a> {
         }
         while let Some(o) = self.open.pop() {
             self.close(o);
+        }
+        if cypress_obs::enabled() {
+            let m = obs();
+            m.ctt_live_bytes.set_max(self.approx_bytes() as i64);
+            let segs: usize = self
+                .data
+                .iter()
+                .map(|d| match d {
+                    VertexData::Loop { counts } => counts.seg_count(),
+                    VertexData::Branch { taken } => taken.seg_count(),
+                    _ => 0,
+                })
+                .sum();
+            m.intseq_segments.add(segs as u64);
         }
         Ctt {
             rank: self.rank as u32,
@@ -325,6 +397,7 @@ impl EventSink for IntraCompressor<'_> {
 /// Compress a recorded raw trace (offline convenience used by benches; the
 /// work performed is identical to the online path).
 pub fn compress_trace(cst: &Cst, trace: &RawTrace, cfg: &CompressConfig) -> Ctt {
+    let _span = obs().compress_ns.start_span();
     let mut c = IntraCompressor::new(cst, trace.rank, trace.nprocs, cfg.clone());
     for ev in &trace.events {
         c.push(ev);
@@ -353,10 +426,7 @@ mod tests {
 
     #[test]
     fn identical_iterations_merge_to_one_record() {
-        let (_, traces, ctts) = compress_src(
-            "fn main() { for i in 0..1000 { bcast(0, 64); } }",
-            1,
-        );
+        let (_, traces, ctts) = compress_src("fn main() { for i in 0..1000 { bcast(0, 64); } }", 1);
         assert_eq!(traces[0].mpi_count(), 1000);
         assert_eq!(ctts[0].record_count(), 1);
         assert_eq!(ctts[0].op_count(), 1000);
@@ -392,7 +462,11 @@ mod tests {
         // Outer: one visit of 10; inner: counts 0..9 as one stride segment.
         assert_eq!(loops[0].to_vec(), vec![10]);
         assert_eq!(loops[1].to_vec(), (0..10).collect::<Vec<i64>>());
-        assert_eq!(loops[1].seg_count(), 1, "triangular counts compress to one stride tuple");
+        assert_eq!(
+            loops[1].seg_count(),
+            1,
+            "triangular counts compress to one stride tuple"
+        );
     }
 
     #[test]
@@ -423,10 +497,8 @@ mod tests {
 
     #[test]
     fn varying_message_size_prevents_merge() {
-        let (_, _, ctts) = compress_src(
-            "fn main() { for i in 0..6 { bcast(0, 8 * (i + 1)); } }",
-            1,
-        );
+        let (_, _, ctts) =
+            compress_src("fn main() { for i in 0..6 { bcast(0, 8 * (i + 1)); } }", 1);
         // Six different sizes → six records.
         assert_eq!(ctts[0].record_count(), 6);
     }
@@ -520,14 +592,22 @@ mod tests {
         check_program(&p2).unwrap();
         let info2 = analyze_program(&p2);
         let traces2 = trace_program(&p2, &info2, 1, &InterpConfig::default()).unwrap();
-        let w1 = compress_trace(&info2.cst, &traces2[0], &CompressConfig {
-            window: 1,
-            ..Default::default()
-        });
-        let w2 = compress_trace(&info2.cst, &traces2[0], &CompressConfig {
-            window: 2,
-            ..Default::default()
-        });
+        let w1 = compress_trace(
+            &info2.cst,
+            &traces2[0],
+            &CompressConfig {
+                window: 1,
+                ..Default::default()
+            },
+        );
+        let w2 = compress_trace(
+            &info2.cst,
+            &traces2[0],
+            &CompressConfig {
+                window: 2,
+                ..Default::default()
+            },
+        );
         assert_eq!(w1.record_count(), 20, "window 1 cannot fold A,B,A,B,...");
         assert_eq!(w2.record_count(), 2, "window 2 folds the alternation");
         // And the two-call-site variant compresses perfectly with window 1.
@@ -557,8 +637,8 @@ mod tests {
                 run_rank_with_sink(&p, &info, rank, 4, &InterpConfig::default(), &mut online)
                     .unwrap();
             let online_ctt = online.finish(app_time);
-            let trace = cypress_runtime::trace_rank(&p, &info, rank, 4, &InterpConfig::default())
-                .unwrap();
+            let trace =
+                cypress_runtime::trace_rank(&p, &info, rank, 4, &InterpConfig::default()).unwrap();
             let offline_ctt = compress_trace(&info.cst, &trace, &CompressConfig::default());
             assert_eq!(online_ctt, offline_ctt, "rank {rank}");
         }
@@ -571,6 +651,10 @@ mod tests {
             2,
         );
         // 10k iterations compress to O(1) records; memory far below raw.
-        assert!(ctts[0].approx_bytes() < 4096, "got {}", ctts[0].approx_bytes());
+        assert!(
+            ctts[0].approx_bytes() < 4096,
+            "got {}",
+            ctts[0].approx_bytes()
+        );
     }
 }

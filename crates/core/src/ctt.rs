@@ -183,11 +183,17 @@ impl LeafRecord {
 pub enum VertexData {
     Root,
     /// Per-visit iteration counts.
-    Loop { counts: IntSeq },
+    Loop {
+        counts: IntSeq,
+    },
     /// Parent-visit indices at which this arm was taken.
-    Branch { taken: IntSeq },
+    Branch {
+        taken: IntSeq,
+    },
     /// Merged communication records, in first-occurrence order.
-    Leaf { records: Vec<LeafRecord> },
+    Leaf {
+        records: Vec<LeafRecord>,
+    },
 }
 
 impl VertexData {

@@ -212,8 +212,10 @@ mod tests {
             .mpi_records()
             .map(|r| (r.gid, r.op, r.params.clone()))
             .collect();
-        let got_tuples: Vec<(u32, MpiOp, MpiParams)> =
-            got.iter().map(|o| (o.gid, o.op, o.params.clone())).collect();
+        let got_tuples: Vec<(u32, MpiOp, MpiParams)> = got
+            .iter()
+            .map(|o| (o.gid, o.op, o.params.clone()))
+            .collect();
         assert_eq!(got_tuples, want, "round trip failed for rank {}", t.rank);
     }
 

@@ -251,7 +251,7 @@ impl Codec for IntSeq {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use cypress_obs::rng::Rng;
 
     fn round_trip(xs: &[i64]) {
         let s = IntSeq::from_slice(xs);
@@ -271,12 +271,15 @@ mod tests {
         let xs: Vec<i64> = (0..50).collect();
         let s = IntSeq::from_slice(&xs);
         assert_eq!(s.seg_count(), 1);
-        assert_eq!(s.segments()[0], Seg {
-            start: 0,
-            stride: 1,
-            len: 50,
-            reps: 1
-        });
+        assert_eq!(
+            s.segments()[0],
+            Seg {
+                start: 0,
+                stride: 1,
+                len: 50,
+                reps: 1
+            }
+        );
     }
 
     #[test]
@@ -345,36 +348,62 @@ mod tests {
         assert!(IntSeq::from_bytes(&enc.finish()).is_err());
     }
 
-    proptest! {
-        #[test]
-        fn prop_round_trip(xs in proptest::collection::vec(-20i64..20, 0..200)) {
+    fn random_vec(rng: &mut Rng, lo: i64, hi: i64, max_len: usize) -> Vec<i64> {
+        let n = rng.range_usize(0..max_len);
+        (0..n).map(|_| rng.range_i64(lo..hi)).collect()
+    }
+
+    #[test]
+    fn round_trip_random_narrow() {
+        let mut rng = Rng::new(0x5e91);
+        for _ in 0..256 {
+            round_trip(&random_vec(&mut rng, -20, 20, 200));
+        }
+    }
+
+    #[test]
+    fn round_trip_random_wide() {
+        let mut rng = Rng::new(0x51de);
+        for _ in 0..256 {
+            let n = rng.range_usize(0..60);
+            let xs: Vec<i64> = (0..n).map(|_| rng.next_u64() as i64).collect();
             round_trip(&xs);
         }
+    }
 
-        #[test]
-        fn prop_round_trip_wide(xs in proptest::collection::vec(any::<i64>(), 0..60)) {
-            round_trip(&xs);
-        }
-
-        #[test]
-        fn prop_codec_round_trip(xs in proptest::collection::vec(-5i64..5, 0..100)) {
+    #[test]
+    fn codec_round_trip_random() {
+        let mut rng = Rng::new(0xc0dec);
+        for _ in 0..256 {
+            let xs = random_vec(&mut rng, -5, 5, 100);
             let s = IntSeq::from_slice(&xs);
             let back = IntSeq::from_bytes(&s.to_bytes()).unwrap();
-            prop_assert_eq!(back.to_vec(), xs);
+            assert_eq!(back.to_vec(), xs);
         }
+    }
 
-        #[test]
-        fn prop_reader_matches_to_vec(xs in proptest::collection::vec(-8i64..8, 0..150)) {
+    #[test]
+    fn reader_matches_to_vec_random() {
+        let mut rng = Rng::new(0x4ead);
+        for _ in 0..256 {
+            let xs = random_vec(&mut rng, -8, 8, 150);
             let s = IntSeq::from_slice(&xs);
             let mut r = s.reader();
             let got: Vec<i64> = std::iter::from_fn(|| r.next()).collect();
-            prop_assert_eq!(got, s.to_vec());
+            assert_eq!(got, s.to_vec());
         }
+    }
 
-        #[test]
-        fn prop_compression_no_worse_than_linear(xs in proptest::collection::vec(-4i64..4, 1..120)) {
+    #[test]
+    fn compression_no_worse_than_linear_random() {
+        let mut rng = Rng::new(0x11ea);
+        for _ in 0..256 {
+            let mut xs = random_vec(&mut rng, -4, 4, 120);
+            if xs.is_empty() {
+                xs.push(0);
+            }
             let s = IntSeq::from_slice(&xs);
-            prop_assert!(s.seg_count() <= xs.len());
+            assert!(s.seg_count() <= xs.len());
         }
     }
 }

@@ -15,12 +15,48 @@
 //! diverge later still share the common slots.
 //!
 //! [`merge_all_parallel`] reduces the per-process CTTs over a binomial tree
-//! with crossbeam scoped threads — the O(n log P) schedule the paper
+//! with std scoped threads — the O(n log P) schedule the paper
 //! describes for end-of-job merging inside `MPI_Finalize`.
 
 use crate::ctt::{Ctt, LeafRecord, VertexData};
 use crate::intseq::IntSeq;
+use cypress_obs::{obs_log, Counter, Gauge, Histogram, Level};
 use cypress_trace::codec::{Codec, DecodeError, DecodeResult, Decoder, Encoder};
+use std::sync::OnceLock;
+
+/// Merge instrumentation handles (scope `merge`).
+struct MergeMetrics {
+    /// Pairwise `absorb` operations performed.
+    pair_merges: Counter,
+    /// New rank groups opened because no existing group was compatible.
+    groups_formed: Counter,
+    /// Final group count of the last full merge.
+    merged_groups: Gauge,
+    /// Levels of the (binomial) parallel reduction tree.
+    parallel_levels: Gauge,
+    /// Chunks handed to worker threads by `merge_all_parallel`.
+    parallel_chunks: Counter,
+    /// Wall time per pairwise absorb.
+    pair_merge_ns: Histogram,
+    /// Wall time per whole-job merge.
+    merge_ns: Histogram,
+}
+
+fn obs() -> &'static MergeMetrics {
+    static M: OnceLock<MergeMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let s = cypress_obs::scope("merge");
+        MergeMetrics {
+            pair_merges: s.counter("pair_merges"),
+            groups_formed: s.counter("groups_formed"),
+            merged_groups: s.gauge("merged_groups"),
+            parallel_levels: s.gauge("parallel_levels"),
+            parallel_chunks: s.counter("parallel_chunks"),
+            pair_merge_ns: s.histogram("pair_merge_ns", &cypress_obs::TIME_BOUNDS_NS),
+            merge_ns: s.histogram("merge_ns", &cypress_obs::TIME_BOUNDS_NS),
+        }
+    })
+}
 
 /// A compressed set of ranks (stride-encoded: "ranks 1..size-2" is one
 /// segment).
@@ -183,6 +219,10 @@ impl MergedCtt {
     /// stay sorted and stride-compressible.
     pub fn absorb(&mut self, other: MergedCtt) {
         assert_eq!(self.vertices.len(), other.vertices.len());
+        let _span = obs().pair_merge_ns.start_span();
+        if cypress_obs::enabled() {
+            obs().pair_merges.inc();
+        }
         for (mine, theirs) in self.vertices.iter_mut().zip(other.vertices) {
             match theirs {
                 MergedVertex::Empty => {}
@@ -203,7 +243,12 @@ impl MergedCtt {
                     for (ranks, data) in groups {
                         match dst.iter_mut().find(|(_, d)| control_mergeable(d, &data)) {
                             Some((rs, _)) => rs.extend(&ranks),
-                            None => dst.push((ranks, data)),
+                            None => {
+                                if cypress_obs::enabled() {
+                                    obs().groups_formed.inc();
+                                }
+                                dst.push((ranks, data));
+                            }
                         }
                     }
                 }
@@ -226,16 +271,18 @@ impl MergedCtt {
                     }
                     for (si, groups) in slots.into_iter().enumerate() {
                         for (ranks, rec) in groups {
-                            match dst[si]
-                                .iter_mut()
-                                .find(|(_, r)| record_mergeable(r, &rec))
-                            {
+                            match dst[si].iter_mut().find(|(_, r)| record_mergeable(r, &rec)) {
                                 Some((rs, r)) => {
                                     rs.extend(&ranks);
                                     r.time.merge(&rec.time);
                                     r.gap.merge(&rec.gap);
                                 }
-                                None => dst[si].push((ranks, rec)),
+                                None => {
+                                    if cypress_obs::enabled() {
+                                        obs().groups_formed.inc();
+                                    }
+                                    dst[si].push((ranks, rec));
+                                }
                             }
                         }
                     }
@@ -327,39 +374,63 @@ impl MergedCtt {
 /// Sequentially merge all per-process CTTs (must be in rank order).
 pub fn merge_all(ctts: &[Ctt]) -> MergedCtt {
     assert!(!ctts.is_empty(), "merge_all needs at least one CTT");
+    let _span = obs().merge_ns.start_span();
     let mut acc = MergedCtt::from_ctt(&ctts[0]);
     for c in &ctts[1..] {
         acc.absorb(MergedCtt::from_ctt(c));
     }
+    if cypress_obs::enabled() {
+        obs().merged_groups.set_max(acc.group_count() as i64);
+    }
+    obs_log!(
+        Level::Info,
+        "merge",
+        "merged {} ctts into {} groups",
+        ctts.len(),
+        acc.group_count()
+    );
     acc
 }
 
 /// Merge with a binomial reduction tree across `threads` workers — the
 /// parallel O(n log P) schedule of §IV-B.
 pub fn merge_all_parallel(ctts: &[Ctt], threads: usize) -> MergedCtt {
-    assert!(!ctts.is_empty(), "merge_all_parallel needs at least one CTT");
+    assert!(
+        !ctts.is_empty(),
+        "merge_all_parallel needs at least one CTT"
+    );
     let threads = threads.clamp(1, ctts.len());
     if threads == 1 {
         return merge_all(ctts);
     }
     let chunk = ctts.len().div_ceil(threads);
+    let nchunks = ctts.len().div_ceil(chunk);
+    if cypress_obs::enabled() {
+        let m = obs();
+        m.parallel_chunks.add(nchunks as u64);
+        // Depth of the binomial reduction over the per-thread partials.
+        m.parallel_levels
+            .set_max(nchunks.next_power_of_two().trailing_zeros() as i64);
+    }
     let mut partials: Vec<Option<MergedCtt>> = Vec::new();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = ctts
             .chunks(chunk)
-            .map(|part| scope.spawn(move |_| merge_all(part)))
+            .map(|part| scope.spawn(move || merge_all(part)))
             .collect();
         partials = handles
             .into_iter()
             .map(|h| Some(h.join().expect("merge worker panicked")))
             .collect();
-    })
-    .expect("crossbeam scope failed");
+    });
     // Reduce the per-thread partials in rank order.
     let mut iter = partials.into_iter().flatten();
     let mut acc = iter.next().expect("at least one partial");
     for p in iter {
         acc.absorb(p);
+    }
+    if cypress_obs::enabled() {
+        obs().merged_groups.set_max(acc.group_count() as i64);
     }
     acc
 }
@@ -550,9 +621,7 @@ mod tests {
             .vertices
             .iter()
             .filter_map(|v| match v {
-                MergedVertex::Leaf(slots) => {
-                    Some(slots.iter().map(|s| s.len()).collect())
-                }
+                MergedVertex::Leaf(slots) => Some(slots.iter().map(|s| s.len()).collect()),
                 _ => None,
             })
             .collect();

@@ -281,7 +281,7 @@ impl Codec for TimeStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use cypress_obs::rng::Rng;
 
     #[test]
     fn mean_and_stddev_basic() {
@@ -392,26 +392,39 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn prop_welford_mean_matches_naive(xs in proptest::collection::vec(0u64..1_000_000, 1..100)) {
+    #[test]
+    fn welford_mean_matches_naive_random() {
+        let mut rng = Rng::new(0x3e1f);
+        for _ in 0..256 {
+            let n = rng.range_usize(1..100);
+            let xs: Vec<u64> = (0..n).map(|_| rng.range_u64(0..1_000_000)).collect();
             let mut s = TimeStats::new(TimeMode::MeanStd);
-            for &x in &xs { s.add(x); }
+            for &x in &xs {
+                s.add(x);
+            }
             let naive = xs.iter().sum::<u64>() as f64 / xs.len() as f64;
-            prop_assert!((s.mean() - naive).abs() < 1e-6 * naive.max(1.0));
+            assert!((s.mean() - naive).abs() < 1e-6 * naive.max(1.0));
         }
+    }
 
-        #[test]
-        fn prop_merge_associative_in_count(
-            xs in proptest::collection::vec(0u64..10_000, 0..40),
-            ys in proptest::collection::vec(0u64..10_000, 0..40),
-        ) {
+    #[test]
+    fn merge_associative_in_count_random() {
+        let mut rng = Rng::new(0xa550);
+        for _ in 0..256 {
+            let nx = rng.range_usize(0..40);
+            let ny = rng.range_usize(0..40);
+            let xs: Vec<u64> = (0..nx).map(|_| rng.range_u64(0..10_000)).collect();
+            let ys: Vec<u64> = (0..ny).map(|_| rng.range_u64(0..10_000)).collect();
             let mut a = TimeStats::new(TimeMode::MeanStd);
-            for &x in &xs { a.add(x); }
+            for &x in &xs {
+                a.add(x);
+            }
             let mut b = TimeStats::new(TimeMode::MeanStd);
-            for &y in &ys { b.add(y); }
+            for &y in &ys {
+                b.add(y);
+            }
             a.merge(&b);
-            prop_assert_eq!(a.count(), (xs.len() + ys.len()) as u64);
+            assert_eq!(a.count(), (xs.len() + ys.len()) as u64);
         }
     }
 }

@@ -60,18 +60,24 @@ fn build_stmts(stmts: &[Stmt], parent: usize, t: &mut Cst) {
             } => {
                 // The condition evaluates unconditionally, before either arm.
                 add_expr_calls(cond, s.id, parent, t);
-                let bt = t.add(parent, VertexKind::Branch {
-                    origin: s.id,
-                    arm: Arm::Then,
-                });
+                let bt = t.add(
+                    parent,
+                    VertexKind::Branch {
+                        origin: s.id,
+                        arm: Arm::Then,
+                    },
+                );
                 build_stmts(&then_blk.stmts, bt, t);
                 // One branch vertex per CFG path: the else arm always exists
                 // as a path even when the source has no `else` (pruned later
                 // if empty), matching the CFG builder.
-                let be = t.add(parent, VertexKind::Branch {
-                    origin: s.id,
-                    arm: Arm::Else,
-                });
+                let be = t.add(
+                    parent,
+                    VertexKind::Branch {
+                        origin: s.id,
+                        arm: Arm::Else,
+                    },
+                );
                 if let Some(e) = else_blk {
                     build_stmts(&e.stmts, be, t);
                 }
@@ -96,7 +102,11 @@ fn build_stmts(stmts: &[Stmt], parent: usize, t: &mut Cst) {
                 }
             }
             StmtKind::For {
-                start, end, step, body, ..
+                start,
+                end,
+                step,
+                body,
+                ..
             } => {
                 // Loop bounds evaluate once, before the loop.
                 add_expr_calls(start, s.id, parent, t);
@@ -104,17 +114,23 @@ fn build_stmts(stmts: &[Stmt], parent: usize, t: &mut Cst) {
                 if let Some(st) = step {
                     add_expr_calls(st, s.id, parent, t);
                 }
-                let lv = t.add(parent, VertexKind::Loop {
-                    origin: s.id,
-                    pseudo: false,
-                });
+                let lv = t.add(
+                    parent,
+                    VertexKind::Loop {
+                        origin: s.id,
+                        pseudo: false,
+                    },
+                );
                 build_stmts(&body.stmts, lv, t);
             }
             StmtKind::While { cond, body } => {
-                let lv = t.add(parent, VertexKind::Loop {
-                    origin: s.id,
-                    pseudo: false,
-                });
+                let lv = t.add(
+                    parent,
+                    VertexKind::Loop {
+                        origin: s.id,
+                        pseudo: false,
+                    },
+                );
                 // The condition re-evaluates each iteration: its calls belong
                 // inside the loop (first children), like the CFG header block.
                 add_expr_calls(cond, s.id, lv, t);
@@ -147,10 +163,13 @@ fn add_expr_calls(e: &Expr, stmt_id: NodeId, parent: usize, t: &mut Cst) {
                     }
                 }
                 Callee::User(name) => {
-                    t.add(parent, VertexKind::UserCall {
-                        origin: e.id,
-                        name: name.clone(),
-                    });
+                    t.add(
+                        parent,
+                        VertexKind::UserCall {
+                            origin: e.id,
+                            name: name.clone(),
+                        },
+                    );
                 }
             }
         }

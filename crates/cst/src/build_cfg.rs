@@ -70,10 +70,13 @@ impl Walker<'_> {
                 else {
                     unreachable!("loop header must end in a loop conditional");
                 };
-                let lv = self.tree.add(parent, VertexKind::Loop {
-                    origin,
-                    pseudo: false,
-                });
+                let lv = self.tree.add(
+                    parent,
+                    VertexKind::Loop {
+                        origin,
+                        pseudo: false,
+                    },
+                );
                 self.emit_invocations(cur, lv);
                 // Walk the body until control returns to the header.
                 stops.push(cur);
@@ -99,15 +102,21 @@ impl Walker<'_> {
                     if let Some(m) = merge {
                         stops.push(m);
                     }
-                    let bt = self.tree.add(parent, VertexKind::Branch {
-                        origin,
-                        arm: Arm::Then,
-                    });
+                    let bt = self.tree.add(
+                        parent,
+                        VertexKind::Branch {
+                            origin,
+                            arm: Arm::Then,
+                        },
+                    );
                     self.walk(then_bb, stops, bt);
-                    let be = self.tree.add(parent, VertexKind::Branch {
-                        origin,
-                        arm: Arm::Else,
-                    });
+                    let be = self.tree.add(
+                        parent,
+                        VertexKind::Branch {
+                            origin,
+                            arm: Arm::Else,
+                        },
+                    );
                     self.walk(else_bb, stops, be);
                     match merge {
                         Some(m) => {
@@ -135,17 +144,23 @@ impl Walker<'_> {
             match &inv.callee {
                 Callee::Builtin(bi) => {
                     if let Some(op) = mpi_op_of_builtin(*bi) {
-                        self.tree.add(parent, VertexKind::Mpi {
-                            origin: inv.expr_id,
-                            op,
-                        });
+                        self.tree.add(
+                            parent,
+                            VertexKind::Mpi {
+                                origin: inv.expr_id,
+                                op,
+                            },
+                        );
                     }
                 }
                 Callee::User(name) => {
-                    self.tree.add(parent, VertexKind::UserCall {
-                        origin: inv.expr_id,
-                        name: name.clone(),
-                    });
+                    self.tree.add(
+                        parent,
+                        VertexKind::UserCall {
+                            origin: inv.expr_id,
+                            name: name.clone(),
+                        },
+                    );
                 }
             }
         }
@@ -252,9 +267,7 @@ mod tests {
 
     #[test]
     fn equivalence_return_in_branch() {
-        assert_equivalent(
-            "fn main() { if rank() == 0 { barrier(); return; } bcast(0, 8); }",
-        );
+        assert_equivalent("fn main() { if rank() == 0 { barrier(); return; } bcast(0, 8); }");
     }
 
     #[test]

@@ -68,9 +68,7 @@ pub fn analyze_program_with(prog: &Program, builder: IntraBuilder) -> StaticInfo
         active: HashMap::new(),
         stack: Vec::new(),
     };
-    let main_idx = prog
-        .func_index("main")
-        .expect("checked programs have main");
+    let main_idx = prog.func_index("main").expect("checked programs have main");
     inl.raw.path_sites.push(Vec::new()); // ROOT_PATH
     let root = inl.tree.root();
     inl.inline_func(main_idx, ROOT_PATH, root);
@@ -193,16 +191,22 @@ impl Inliner<'_> {
                     // Re-entering a function on the inline stack: cut the
                     // recursion. No vertex is created — at runtime this call
                     // is the next iteration of the callee's pseudo loop.
-                    self.raw.actions.insert((path, origin), RawAction::BackCall {
-                        pseudo,
-                        path: body_path,
-                    });
+                    self.raw.actions.insert(
+                        (path, origin),
+                        RawAction::BackCall {
+                            pseudo,
+                            path: body_path,
+                        },
+                    );
                 } else if self.cg.recursive[callee] {
                     let new_path = self.fresh_path(path, origin);
-                    let pseudo = self.tree.add(parent, VertexKind::Loop {
-                        origin: self.prog.funcs[callee].id,
-                        pseudo: true,
-                    });
+                    let pseudo = self.tree.add(
+                        parent,
+                        VertexKind::Loop {
+                            origin: self.prog.funcs[callee].id,
+                            pseudo: true,
+                        },
+                    );
                     self.raw.actions.insert(
                         (path, origin),
                         RawAction::EnterRecursive {
@@ -337,7 +341,15 @@ mod tests {
             .sitemap
             .actions
             .values()
-            .filter(|a| matches!(a, CallAction::EnterRecursive { pseudo: Some(_), .. }))
+            .filter(|a| {
+                matches!(
+                    a,
+                    CallAction::EnterRecursive {
+                        pseudo: Some(_),
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(enters, 1);
     }
@@ -399,7 +411,10 @@ mod tests {
             covered[g.0 as usize] = true;
         }
         for a in info.sitemap.actions.values() {
-            if let CallAction::EnterRecursive { pseudo: Some(g), .. } = a {
+            if let CallAction::EnterRecursive {
+                pseudo: Some(g), ..
+            } = a
+            {
                 covered[g.0 as usize] = true;
             }
         }
@@ -439,9 +454,7 @@ mod tests {
 
     #[test]
     fn pruned_branch_has_no_sitemap_entry() {
-        let info = analyze(
-            "fn main() { if rank() == 0 { barrier(); } else { compute(5); } }",
-        );
+        let info = analyze("fn main() { if rank() == 0 { barrier(); } else { compute(5); } }");
         // Only the then-arm survives.
         let arms: Vec<_> = info.sitemap.branches.keys().collect();
         assert_eq!(arms.len(), 1);

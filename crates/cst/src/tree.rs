@@ -320,7 +320,11 @@ impl Cst {
         let mut tree = Cst::default();
         for line in lines.take(n) {
             let mut it = line.split_whitespace();
-            let _idx: usize = it.next().ok_or("missing idx")?.parse().map_err(|_| "bad idx")?;
+            let _idx: usize = it
+                .next()
+                .ok_or("missing idx")?
+                .parse()
+                .map_err(|_| "bad idx")?;
             let parent: i64 = it
                 .next()
                 .ok_or("missing parent")?
@@ -377,7 +381,11 @@ impl Cst {
             tree.vertices.push(Vertex {
                 kind,
                 children: Vec::new(),
-                parent: if parent < 0 { None } else { Some(parent as usize) },
+                parent: if parent < 0 {
+                    None
+                } else {
+                    Some(parent as usize)
+                },
             });
             if parent >= 0 {
                 tree.vertices[parent as usize].children.push(idx);
@@ -421,30 +429,48 @@ mod tests {
     fn sample() -> Cst {
         // Root(Loop(BrT(Send) BrE(Recv)) Reduce)
         let mut t = Cst::with_root();
-        let l = t.add(t.root(), VertexKind::Loop {
-            origin: NodeId(1),
-            pseudo: false,
-        });
-        let bt = t.add(l, VertexKind::Branch {
-            origin: NodeId(2),
-            arm: Arm::Then,
-        });
-        t.add(bt, VertexKind::Mpi {
-            origin: NodeId(3),
-            op: MpiOp::Send,
-        });
-        let be = t.add(l, VertexKind::Branch {
-            origin: NodeId(2),
-            arm: Arm::Else,
-        });
-        t.add(be, VertexKind::Mpi {
-            origin: NodeId(4),
-            op: MpiOp::Recv,
-        });
-        t.add(t.root(), VertexKind::Mpi {
-            origin: NodeId(5),
-            op: MpiOp::Reduce,
-        });
+        let l = t.add(
+            t.root(),
+            VertexKind::Loop {
+                origin: NodeId(1),
+                pseudo: false,
+            },
+        );
+        let bt = t.add(
+            l,
+            VertexKind::Branch {
+                origin: NodeId(2),
+                arm: Arm::Then,
+            },
+        );
+        t.add(
+            bt,
+            VertexKind::Mpi {
+                origin: NodeId(3),
+                op: MpiOp::Send,
+            },
+        );
+        let be = t.add(
+            l,
+            VertexKind::Branch {
+                origin: NodeId(2),
+                arm: Arm::Else,
+            },
+        );
+        t.add(
+            be,
+            VertexKind::Mpi {
+                origin: NodeId(4),
+                op: MpiOp::Recv,
+            },
+        );
+        t.add(
+            t.root(),
+            VertexKind::Mpi {
+                origin: NodeId(5),
+                op: MpiOp::Reduce,
+            },
+        );
         t
     }
 
@@ -468,18 +494,27 @@ mod tests {
     fn pruning_removes_empty_structures() {
         let mut t = sample();
         // Add a loop with no MPI descendants and a dangling user call.
-        let dead_loop = t.add(t.root(), VertexKind::Loop {
-            origin: NodeId(9),
-            pseudo: false,
-        });
-        t.add(dead_loop, VertexKind::Branch {
-            origin: NodeId(10),
-            arm: Arm::Then,
-        });
-        t.add(t.root(), VertexKind::UserCall {
-            origin: NodeId(11),
-            name: "f".into(),
-        });
+        let dead_loop = t.add(
+            t.root(),
+            VertexKind::Loop {
+                origin: NodeId(9),
+                pseudo: false,
+            },
+        );
+        t.add(
+            dead_loop,
+            VertexKind::Branch {
+                origin: NodeId(10),
+                arm: Arm::Then,
+            },
+        );
+        t.add(
+            t.root(),
+            VertexKind::UserCall {
+                origin: NodeId(11),
+                name: "f".into(),
+            },
+        );
         let (pruned, map) = t.prune_and_finalize();
         assert!(pruned.is_preorder());
         assert_eq!(pruned.mpi_leaf_count(), 3);
@@ -496,18 +531,27 @@ mod tests {
     #[test]
     fn pruning_keeps_deep_mpi() {
         let mut t = Cst::with_root();
-        let l1 = t.add(t.root(), VertexKind::Loop {
-            origin: NodeId(1),
-            pseudo: false,
-        });
-        let l2 = t.add(l1, VertexKind::Loop {
-            origin: NodeId(2),
-            pseudo: false,
-        });
-        t.add(l2, VertexKind::Mpi {
-            origin: NodeId(3),
-            op: MpiOp::Barrier,
-        });
+        let l1 = t.add(
+            t.root(),
+            VertexKind::Loop {
+                origin: NodeId(1),
+                pseudo: false,
+            },
+        );
+        let l2 = t.add(
+            l1,
+            VertexKind::Loop {
+                origin: NodeId(2),
+                pseudo: false,
+            },
+        );
+        t.add(
+            l2,
+            VertexKind::Mpi {
+                origin: NodeId(3),
+                op: MpiOp::Barrier,
+            },
+        );
         let (pruned, _) = t.prune_and_finalize();
         assert_eq!(pruned.len(), 4);
     }
@@ -515,14 +559,20 @@ mod tests {
     #[test]
     fn prune_of_all_dead_yields_root_only() {
         let mut t = Cst::with_root();
-        let l = t.add(t.root(), VertexKind::Loop {
-            origin: NodeId(1),
-            pseudo: false,
-        });
-        t.add(l, VertexKind::UserCall {
-            origin: NodeId(2),
-            name: "g".into(),
-        });
+        let l = t.add(
+            t.root(),
+            VertexKind::Loop {
+                origin: NodeId(1),
+                pseudo: false,
+            },
+        );
+        t.add(
+            l,
+            VertexKind::UserCall {
+                origin: NodeId(2),
+                name: "g".into(),
+            },
+        );
         let (pruned, _) = t.prune_and_finalize();
         assert_eq!(pruned.len(), 1);
         assert!(matches!(pruned.vertex(0).kind, VertexKind::Root));

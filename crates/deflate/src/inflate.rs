@@ -25,10 +25,10 @@ pub fn inflate(data: &[u8]) -> Result<Vec<u8>, BitError> {
                 out.extend(r.read_bytes(len as usize)?);
             }
             1 => {
-                let lit = Decoder::new(&fixed_litlen_lens())
-                    .expect("fixed litlen code is well-formed");
-                let dist = Decoder::new(&fixed_dist_lens())
-                    .expect("fixed distance code is well-formed");
+                let lit =
+                    Decoder::new(&fixed_litlen_lens()).expect("fixed litlen code is well-formed");
+                let dist =
+                    Decoder::new(&fixed_dist_lens()).expect("fixed distance code is well-formed");
                 inflate_block(&mut r, &lit, &dist, &mut out)?;
             }
             2 => {
@@ -84,10 +84,9 @@ fn read_dynamic_header(r: &mut BitReader<'_>) -> Result<(Decoder, Decoder), BitE
     if lens.len() != hlit + hdist {
         return Err(BitError("code lengths overflow HLIT+HDIST".into()));
     }
-    let lit = Decoder::new(&lens[..hlit])
-        .ok_or_else(|| BitError("bad literal/length code".into()))?;
-    let dist = Decoder::new(&lens[hlit..])
-        .ok_or_else(|| BitError("bad distance code".into()))?;
+    let lit =
+        Decoder::new(&lens[..hlit]).ok_or_else(|| BitError("bad literal/length code".into()))?;
+    let dist = Decoder::new(&lens[hlit..]).ok_or_else(|| BitError("bad distance code".into()))?;
     Ok((lit, dist))
 }
 
@@ -128,7 +127,7 @@ fn inflate_block(
 mod tests {
     use super::*;
     use crate::deflate::{deflate, Level};
-    use proptest::prelude::*;
+    use cypress_obs::rng::Rng;
 
     #[test]
     fn rejects_garbage() {
@@ -151,33 +150,49 @@ mod tests {
         assert_eq!(inflate(&c).unwrap(), data);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-
-        #[test]
-        fn prop_round_trip_random(data in proptest::collection::vec(any::<u8>(), 0..8000)) {
+    #[test]
+    fn round_trip_random() {
+        let mut rng = Rng::new(0x1f1a);
+        for _ in 0..64 {
+            let n = rng.range_usize(0..8000);
+            let mut data = vec![0u8; n];
+            rng.fill_bytes(&mut data);
             let c = deflate(&data, Level::Default);
-            prop_assert_eq!(inflate(&c).unwrap(), data);
+            assert_eq!(inflate(&c).unwrap(), data);
         }
+    }
 
-        #[test]
-        fn prop_round_trip_structured(
-            word in proptest::collection::vec(any::<u8>(), 1..20),
-            reps in 1usize..400,
-        ) {
-            let data: Vec<u8> = word.iter().cycle().take(word.len() * reps).copied().collect();
+    #[test]
+    fn round_trip_structured() {
+        let mut rng = Rng::new(0x57ec);
+        for _ in 0..64 {
+            let wlen = rng.range_usize(1..20);
+            let mut word = vec![0u8; wlen];
+            rng.fill_bytes(&mut word);
+            let reps = rng.range_usize(1..400);
+            let data: Vec<u8> = word
+                .iter()
+                .cycle()
+                .take(word.len() * reps)
+                .copied()
+                .collect();
             let c = deflate(&data, Level::Best);
-            prop_assert_eq!(inflate(&c).unwrap(), data.clone());
+            assert_eq!(inflate(&c).unwrap(), data.clone());
             if data.len() > 500 {
-                prop_assert!(c.len() < data.len());
+                assert!(c.len() < data.len());
             }
         }
+    }
 
-        #[test]
-        fn prop_round_trip_all_levels(data in proptest::collection::vec(0u8..16, 0..4000)) {
+    #[test]
+    fn round_trip_all_levels() {
+        let mut rng = Rng::new(0xa11e);
+        for _ in 0..24 {
+            let n = rng.range_usize(0..4000);
+            let data: Vec<u8> = (0..n).map(|_| rng.range_u64(0..16) as u8).collect();
             for level in [Level::Fast, Level::Default, Level::Best] {
                 let c = deflate(&data, level);
-                prop_assert_eq!(inflate(&c).unwrap(), data.clone());
+                assert_eq!(inflate(&c).unwrap(), data.clone());
             }
         }
     }

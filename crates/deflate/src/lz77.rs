@@ -10,7 +10,10 @@ pub const MAX_MATCH: usize = 258;
 pub enum Token {
     Literal(u8),
     /// Back-reference: `dist` bytes back, `len` bytes long.
-    Match { len: u16, dist: u16 },
+    Match {
+        len: u16,
+        dist: u16,
+    },
 }
 
 const HASH_BITS: u32 = 15;
@@ -134,7 +137,7 @@ pub fn expand(tokens: &[Token]) -> Vec<u8> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use cypress_obs::rng::Rng;
 
     #[test]
     fn repetitive_input_produces_matches() {
@@ -154,7 +157,11 @@ mod tests {
     fn run_of_same_byte_overlapping_match() {
         let data = vec![7u8; 1000];
         let toks = tokenize(&data, 64);
-        assert!(toks.len() < 20, "run should compress well, got {}", toks.len());
+        assert!(
+            toks.len() < 20,
+            "run should compress well, got {}",
+            toks.len()
+        );
         assert_eq!(expand(&toks), data);
     }
 
@@ -174,20 +181,29 @@ mod tests {
         assert_eq!(expand(&toks), data);
     }
 
-    proptest! {
-        #[test]
-        fn prop_expand_inverts_tokenize(data in proptest::collection::vec(any::<u8>(), 0..5000)) {
+    #[test]
+    fn expand_inverts_tokenize_random() {
+        let mut rng = Rng::new(0x1277);
+        for _ in 0..128 {
+            let n = rng.range_usize(0..5000);
+            let mut data = vec![0u8; n];
+            rng.fill_bytes(&mut data);
             let toks = tokenize(&data, 16);
-            prop_assert_eq!(expand(&toks), data);
+            assert_eq!(expand(&toks), data);
         }
+    }
 
-        #[test]
-        fn prop_low_entropy_round_trip(data in proptest::collection::vec(0u8..4, 0..5000)) {
+    #[test]
+    fn low_entropy_round_trip_random() {
+        let mut rng = Rng::new(0x10e0);
+        for _ in 0..128 {
+            let n = rng.range_usize(0..5000);
+            let data: Vec<u8> = (0..n).map(|_| rng.range_u64(0..4) as u8).collect();
             let toks = tokenize(&data, 16);
-            prop_assert_eq!(expand(&toks), data.clone());
+            assert_eq!(expand(&toks), data.clone());
             // Low-entropy inputs must actually compress.
             if data.len() > 200 {
-                prop_assert!(toks.len() < data.len());
+                assert!(toks.len() < data.len());
             }
         }
     }

@@ -273,18 +273,23 @@ mod tests {
     fn lexes_keywords_and_idents() {
         assert_eq!(
             toks("fn main for in while"),
-            vec![Tok::Fn, Tok::Ident("main".into()), Tok::For, Tok::In, Tok::While, Tok::Eof]
+            vec![
+                Tok::Fn,
+                Tok::Ident("main".into()),
+                Tok::For,
+                Tok::In,
+                Tok::While,
+                Tok::Eof
+            ]
         );
     }
 
     #[test]
     fn lexes_numbers() {
-        assert_eq!(toks("0 42 123456789"), vec![
-            Tok::Int(0),
-            Tok::Int(42),
-            Tok::Int(123456789),
-            Tok::Eof
-        ]);
+        assert_eq!(
+            toks("0 42 123456789"),
+            vec![Tok::Int(0), Tok::Int(42), Tok::Int(123456789), Tok::Eof]
+        );
     }
 
     #[test]
@@ -294,20 +299,23 @@ mod tests {
 
     #[test]
     fn lexes_operators() {
-        assert_eq!(toks("== != <= >= < > && || ! = .."), vec![
-            Tok::EqEq,
-            Tok::NotEq,
-            Tok::Le,
-            Tok::Ge,
-            Tok::Lt,
-            Tok::Gt,
-            Tok::AndAnd,
-            Tok::OrOr,
-            Tok::Not,
-            Tok::Assign,
-            Tok::DotDot,
-            Tok::Eof
-        ]);
+        assert_eq!(
+            toks("== != <= >= < > && || ! = .."),
+            vec![
+                Tok::EqEq,
+                Tok::NotEq,
+                Tok::Le,
+                Tok::Ge,
+                Tok::Lt,
+                Tok::Gt,
+                Tok::AndAnd,
+                Tok::OrOr,
+                Tok::Not,
+                Tok::Assign,
+                Tok::DotDot,
+                Tok::Eof
+            ]
+        );
     }
 
     #[test]

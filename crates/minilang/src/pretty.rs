@@ -164,10 +164,9 @@ pub fn print_expr(out: &mut String, e: &Expr) {
 /// a re-parsed program with the original.
 pub fn structurally_equal(a: &Program, b: &Program) -> bool {
     a.funcs.len() == b.funcs.len()
-        && a.funcs
-            .iter()
-            .zip(&b.funcs)
-            .all(|(fa, fb)| fa.name == fb.name && fa.params == fb.params && blk_eq(&fa.body, &fb.body))
+        && a.funcs.iter().zip(&b.funcs).all(|(fa, fb)| {
+            fa.name == fb.name && fa.params == fb.params && blk_eq(&fa.body, &fb.body)
+        })
 }
 
 fn blk_eq(a: &Block, b: &Block) -> bool {
@@ -178,9 +177,16 @@ fn stmt_eq(a: &Stmt, b: &Stmt) -> bool {
     use StmtKind::*;
     match (&a.kind, &b.kind) {
         (Let { name: n1, init: e1 }, Let { name: n2, init: e2 }) => n1 == n2 && expr_eq(e1, e2),
-        (Assign { name: n1, value: e1 }, Assign { name: n2, value: e2 }) => {
-            n1 == n2 && expr_eq(e1, e2)
-        }
+        (
+            Assign {
+                name: n1,
+                value: e1,
+            },
+            Assign {
+                name: n2,
+                value: e2,
+            },
+        ) => n1 == n2 && expr_eq(e1, e2),
         (
             If {
                 cond: c1,

@@ -32,9 +32,9 @@ pub fn check_program(prog: &Program) -> Result<Resolved> {
             ));
         }
     }
-    let main = prog.main().ok_or_else(|| {
-        LangError::resolve(None, "program has no `main` function".to_string())
-    })?;
+    let main = prog
+        .main()
+        .ok_or_else(|| LangError::resolve(None, "program has no `main` function".to_string()))?;
     if !main.params.is_empty() {
         return Err(LangError::resolve(
             Some(main.pos),
@@ -60,10 +60,7 @@ pub fn check_program(prog: &Program) -> Result<Resolved> {
         if with_value && without_value {
             return Err(LangError::resolve(
                 Some(f.pos),
-                format!(
-                    "function `{}` mixes `return;` and `return <expr>;`",
-                    f.name
-                ),
+                format!("function `{}` mixes `return;` and `return <expr>;`", f.name),
             ));
         }
         ret_types[i] = if with_value { Type::Int } else { Type::Unit };
@@ -78,8 +75,7 @@ pub fn check_program(prog: &Program) -> Result<Resolved> {
         let last_id = f.body.stmts.last().map(|s| s.id);
         let mut bad: Option<crate::token::Pos> = None;
         f.body.visit_stmts(&mut |s| {
-            if matches!(s.kind, StmtKind::Return { .. }) && Some(s.id) != last_id && bad.is_none()
-            {
+            if matches!(s.kind, StmtKind::Return { .. }) && Some(s.id) != last_id && bad.is_none() {
                 bad = Some(s.pos);
             }
         });
@@ -131,7 +127,10 @@ fn forbid_comm_calls(e: &Expr) -> Result<()> {
                 Callee::Builtin(b) if b.is_mpi_op() => {
                     return Err(LangError::resolve(
                         Some(e.pos),
-                        format!("MPI operation `{}` not allowed in a `while` condition", b.name()),
+                        format!(
+                            "MPI operation `{}` not allowed in a `while` condition",
+                            b.name()
+                        ),
                     ))
                 }
                 Callee::Builtin(_) => {}
@@ -423,10 +422,8 @@ mod tests {
 
     #[test]
     fn waitall_is_variadic_over_requests() {
-        check(
-            "fn main() { let a = isend(0, 8, 0); let b = irecv(0, 8, 0); waitall(a, b); }",
-        )
-        .unwrap();
+        check("fn main() { let a = isend(0, 8, 0); let b = irecv(0, 8, 0); waitall(a, b); }")
+            .unwrap();
         assert!(check("fn main() { waitall(); }").is_err());
         assert!(check("fn main() { let a = isend(0,8,0); waitall(a, 3); }").is_err());
     }
@@ -456,9 +453,7 @@ mod tests {
 
     #[test]
     fn rejects_mixed_returns() {
-        assert!(
-            check("fn f(n) { if n > 0 { return 1; } return; } fn main() { f(1); }").is_err()
-        );
+        assert!(check("fn f(n) { if n > 0 { return 1; } return; } fn main() { f(1); }").is_err());
     }
 
     #[test]
@@ -473,9 +468,7 @@ mod tests {
         assert!(check("fn p() { barrier(); return 1; } fn main() { while p() > 0 { } }").is_err());
         // (also rejected because `while barrier()` would not type check, but
         // the dedicated error fires first for int-returning wrappers)
-        assert!(
-            check("fn q() { return 1; } fn main() { while q() > 0 { barrier(); } }").is_err()
-        );
+        assert!(check("fn q() { return 1; } fn main() { while q() > 0 { barrier(); } }").is_err());
         check("fn main() { let i = 0; while i < size() { barrier(); i = i + 1; } }").unwrap();
     }
 
@@ -492,8 +485,10 @@ mod tests {
 
     #[test]
     fn let_shadows_in_inner_scope() {
-        check("fn main() { let x = 1; if x > 0 { let x = true; if x { barrier(); } } compute(x); }")
-            .unwrap();
+        check(
+            "fn main() { let x = 1; if x > 0 { let x = true; if x { barrier(); } } compute(x); }",
+        )
+        .unwrap();
     }
 
     #[test]

@@ -1,0 +1,143 @@
+//! Env-controlled structured logging.
+//!
+//! `CYPRESS_LOG=error|warn|info|debug|trace` (or `off`, the default) sets
+//! the level once at first use. Records go to stderr as one line of
+//! `key=value` pairs with a process-relative timestamp:
+//!
+//! ```text
+//! [  0.014s INFO  merge] pair merged ranks=8 vertices=120
+//! ```
+//!
+//! Use via the [`crate::log_emit`] function or the [`crate::obs_log!`]
+//! macro; both check [`log_enabled`] first so a disabled level costs one
+//! relaxed load and no formatting.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Log severity, ordered so that a smaller numeric value is more severe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    Error = 1,
+    Warn = 2,
+    Info = 3,
+    Debug = 4,
+    Trace = 5,
+}
+
+impl Level {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+            Level::Trace => "TRACE",
+        }
+    }
+}
+
+const LEVEL_UNSET: u8 = u8::MAX;
+const LEVEL_OFF: u8 = 0;
+
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(LEVEL_UNSET);
+
+fn parse_level(s: &str) -> u8 {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "error" => Level::Error as u8,
+        "warn" | "warning" => Level::Warn as u8,
+        "info" => Level::Info as u8,
+        "debug" => Level::Debug as u8,
+        "trace" => Level::Trace as u8,
+        _ => LEVEL_OFF,
+    }
+}
+
+fn max_level() -> u8 {
+    let v = MAX_LEVEL.load(Ordering::Relaxed);
+    if v != LEVEL_UNSET {
+        return v;
+    }
+    let parsed = std::env::var("CYPRESS_LOG")
+        .map(|s| parse_level(&s))
+        .unwrap_or(LEVEL_OFF);
+    MAX_LEVEL.store(parsed, Ordering::Relaxed);
+    parsed
+}
+
+/// Override the level programmatically (takes precedence over
+/// `CYPRESS_LOG`; used by tests and by `--metrics -v` style flags).
+pub fn set_log_level(level: Option<Level>) {
+    MAX_LEVEL.store(level.map_or(LEVEL_OFF, |l| l as u8), Ordering::Relaxed);
+}
+
+/// Current maximum level, `None` if logging is off.
+pub fn log_level() -> Option<Level> {
+    match max_level() {
+        x if x == Level::Error as u8 => Some(Level::Error),
+        x if x == Level::Warn as u8 => Some(Level::Warn),
+        x if x == Level::Info as u8 => Some(Level::Info),
+        x if x == Level::Debug as u8 => Some(Level::Debug),
+        x if x == Level::Trace as u8 => Some(Level::Trace),
+        _ => None,
+    }
+}
+
+/// Would a record at `level` be emitted? Check before formatting.
+#[inline]
+pub fn log_enabled(level: Level) -> bool {
+    level as u8 <= max_level()
+}
+
+fn process_start() -> Instant {
+    static START: OnceLock<Instant> = OnceLock::new();
+    *START.get_or_init(Instant::now)
+}
+
+/// Emit one structured record to stderr. Call through [`log_enabled`] (or
+/// the [`crate::obs_log!`] macro) so disabled levels pay no formatting.
+pub fn log_emit(level: Level, subsystem: &str, message: &std::fmt::Arguments<'_>) {
+    if !log_enabled(level) {
+        return;
+    }
+    let t = process_start().elapsed().as_secs_f64();
+    eprintln!("[{t:>8.3}s {:<5} {subsystem}] {message}", level.as_str());
+}
+
+/// Structured log macro: `obs_log!(Level::Info, "merge", "pair merged ranks={n}")`.
+#[macro_export]
+macro_rules! obs_log {
+    ($level:expr, $subsystem:expr, $($arg:tt)*) => {
+        if $crate::log_enabled($level) {
+            $crate::log_emit($level, $subsystem, &format_args!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parsing_and_ordering() {
+        let _guard = crate::test_mutex().lock().unwrap();
+        set_log_level(Some(Level::Info));
+        assert!(log_enabled(Level::Error));
+        assert!(log_enabled(Level::Info));
+        assert!(!log_enabled(Level::Debug));
+        assert_eq!(log_level(), Some(Level::Info));
+        set_log_level(None);
+        assert!(!log_enabled(Level::Error));
+        assert_eq!(log_level(), None);
+    }
+
+    #[test]
+    fn parse_accepts_known_names_only() {
+        assert_eq!(parse_level("TRACE"), Level::Trace as u8);
+        assert_eq!(parse_level(" warn "), Level::Warn as u8);
+        assert_eq!(parse_level("bogus"), LEVEL_OFF);
+        assert_eq!(parse_level(""), LEVEL_OFF);
+    }
+}

@@ -1,0 +1,312 @@
+//! Metric primitives and the global registry.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are `Arc`-shared atomics:
+//! registration takes the registry mutex once, recording never does. All
+//! record paths check [`crate::enabled`] first so disabled instrumentation
+//! costs one relaxed load.
+
+use crate::span::{Span, Stopwatch};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Default histogram bucket upper bounds for span durations, in
+/// nanoseconds: 1 µs … 10 s, one decade per bucket (plus the implicit
+/// overflow bucket).
+pub const TIME_BOUNDS_NS: [u64; 8] = [
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+    10_000_000_000,
+];
+
+/// Monotone event counter.
+#[derive(Clone, Debug)]
+pub struct Counter(pub(crate) Arc<AtomicU64>);
+
+impl Counter {
+    #[inline(always)]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[inline(always)]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Point-in-time value; `set_max` turns it into a high-water mark.
+#[derive(Clone, Debug)]
+pub struct Gauge(pub(crate) Arc<AtomicI64>);
+
+impl Gauge {
+    #[inline(always)]
+    pub fn set(&self, v: i64) {
+        if crate::enabled() {
+            self.0.store(v, Ordering::Relaxed);
+        }
+    }
+
+    #[inline(always)]
+    pub fn add(&self, delta: i64) {
+        if crate::enabled() {
+            self.0.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Raise the gauge to `v` if larger (high-water mark).
+    #[inline(always)]
+    pub fn set_max(&self, v: i64) {
+        if crate::enabled() {
+            self.0.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct HistInner {
+    /// Inclusive upper bounds, strictly increasing; an implicit +inf bucket
+    /// follows.
+    pub(crate) bounds: Vec<u64>,
+    /// `bounds.len() + 1` buckets; the last is the overflow bucket.
+    pub(crate) buckets: Vec<AtomicU64>,
+    pub(crate) count: AtomicU64,
+    pub(crate) sum: AtomicU64,
+    pub(crate) min: AtomicU64,
+    pub(crate) max: AtomicU64,
+}
+
+/// Fixed-bucket histogram (`observe` ≤ bound goes in that bucket).
+#[derive(Clone, Debug)]
+pub struct Histogram(pub(crate) Arc<HistInner>);
+
+impl Histogram {
+    #[inline(always)]
+    pub fn observe(&self, v: u64) {
+        if crate::enabled() {
+            self.record(v);
+        }
+    }
+
+    /// Record unconditionally — the benchmark harness measures through this
+    /// path, so the measurement exists whether or not `--metrics` is on.
+    pub fn record(&self, v: u64) {
+        let h = &*self.0;
+        let idx = h
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(h.bounds.len());
+        h.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        h.count.fetch_add(1, Ordering::Relaxed);
+        h.sum.fetch_add(v, Ordering::Relaxed);
+        h.min.fetch_min(v, Ordering::Relaxed);
+        h.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean observed value, 0 if empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Per-bucket counts (overflow bucket last).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    pub fn bounds(&self) -> &[u64] {
+        &self.0.bounds
+    }
+
+    /// Start a gated RAII span recording into this histogram. Unlike
+    /// [`Scope::span`] this takes no registry lock, so it is safe on hot
+    /// paths when the handle is pre-registered.
+    #[inline]
+    pub fn start_span(&self) -> Span {
+        Span::start(self.clone())
+    }
+
+    /// Start an unconditional stopwatch recording into this histogram.
+    #[inline]
+    pub fn start_timer(&self) -> Stopwatch {
+        Stopwatch::start(self.clone())
+    }
+}
+
+#[derive(Clone, Debug)]
+pub(crate) enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+pub(crate) type Registry = BTreeMap<(String, String), Metric>;
+
+pub(crate) fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// A named subsystem view of the registry; cheap to copy around.
+#[derive(Clone, Copy, Debug)]
+pub struct Scope {
+    subsystem: &'static str,
+}
+
+/// Get (or create) the scope for one pipeline subsystem — `"interp"`,
+/// `"compressor"`, `"merge"`, `"codec"`, `"deflate"`, `"simmpi"`, `"bench"`.
+pub fn scope(subsystem: &'static str) -> Scope {
+    Scope { subsystem }
+}
+
+impl Scope {
+    pub fn name(&self) -> &'static str {
+        self.subsystem
+    }
+
+    fn key(&self, name: &str) -> (String, String) {
+        (self.subsystem.to_owned(), name.to_owned())
+    }
+
+    /// Get or register a counter. Registration locks the registry; do it at
+    /// construction time, not per event.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut reg = registry().lock().expect("obs registry poisoned");
+        match reg
+            .entry(self.key(name))
+            .or_insert_with(|| Metric::Counter(Counter(Arc::new(AtomicU64::new(0)))))
+        {
+            Metric::Counter(c) => c.clone(),
+            other => panic!(
+                "metric {}/{name} already registered as {other:?}, not a counter",
+                self.subsystem
+            ),
+        }
+    }
+
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut reg = registry().lock().expect("obs registry poisoned");
+        match reg
+            .entry(self.key(name))
+            .or_insert_with(|| Metric::Gauge(Gauge(Arc::new(AtomicI64::new(0)))))
+        {
+            Metric::Gauge(g) => g.clone(),
+            other => panic!(
+                "metric {}/{name} already registered as {other:?}, not a gauge",
+                self.subsystem
+            ),
+        }
+    }
+
+    /// Get or register a histogram with the given inclusive upper bounds
+    /// (strictly increasing; an overflow bucket is added). Bounds of an
+    /// already-registered histogram win.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let mut reg = registry().lock().expect("obs registry poisoned");
+        match reg.entry(self.key(name)).or_insert_with(|| {
+            Metric::Histogram(Histogram(Arc::new(HistInner {
+                bounds: bounds.to_vec(),
+                buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                min: AtomicU64::new(u64::MAX),
+                max: AtomicU64::new(0),
+            })))
+        }) {
+            Metric::Histogram(h) => h.clone(),
+            other => panic!(
+                "metric {}/{name} already registered as {other:?}, not a histogram",
+                self.subsystem
+            ),
+        }
+    }
+
+    /// RAII span timer recording into the `<name>_ns` histogram when
+    /// metrics are enabled; free when disabled (no clock read).
+    pub fn span(&self, name: &str) -> Span {
+        Span::start(self.histogram(&format!("{name}_ns"), &TIME_BOUNDS_NS))
+    }
+
+    /// Always-on stopwatch over the same `<name>_ns` histogram — the
+    /// benchmark harness's measurement path (Fig. 16/18 derive from it).
+    pub fn timer(&self, name: &str) -> Stopwatch {
+        Stopwatch::start(self.histogram(&format!("{name}_ns"), &TIME_BOUNDS_NS))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_disabled_records_nothing() {
+        let _guard = crate::test_mutex().lock().unwrap();
+        crate::set_enabled(false);
+        let c = scope("t-metrics").counter("disabled");
+        c.inc();
+        c.add(10);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn gauge_set_max_is_high_water() {
+        let _guard = crate::test_mutex().lock().unwrap();
+        crate::set_enabled(true);
+        let g = scope("t-metrics").gauge("hw");
+        g.set(0);
+        g.set_max(5);
+        g.set_max(3);
+        g.set_max(9);
+        assert_eq!(g.get(), 9);
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn same_name_returns_same_handle() {
+        let _guard = crate::test_mutex().lock().unwrap();
+        crate::set_enabled(true);
+        let a = scope("t-metrics").counter("shared");
+        let b = scope("t-metrics").counter("shared");
+        let before = a.get();
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), before + 2);
+        crate::set_enabled(false);
+    }
+}

@@ -1,0 +1,96 @@
+//! Integration tests exercising the registry from multiple threads and the
+//! exact bucket semantics of fixed-bound histograms.
+
+use std::thread;
+
+#[test]
+fn concurrent_counter_increments_from_scoped_threads() {
+    let _guard = cypress_obs::test_mutex().lock().unwrap();
+    cypress_obs::reset();
+    cypress_obs::set_enabled(true);
+    let s = cypress_obs::scope("conc");
+    let c = s.counter("hits");
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 10_000;
+    thread::scope(|scope| {
+        for _ in 0..THREADS {
+            // Each worker re-resolves the handle through the registry, so
+            // this also checks that get-or-register returns the same atomic.
+            scope.spawn(|| {
+                let c = cypress_obs::scope("conc").counter("hits");
+                for _ in 0..PER_THREAD {
+                    c.inc();
+                }
+            });
+        }
+    });
+    assert_eq!(c.get(), THREADS as u64 * PER_THREAD);
+    cypress_obs::set_enabled(false);
+    cypress_obs::reset();
+}
+
+#[test]
+fn concurrent_gauge_set_max_keeps_global_maximum() {
+    let _guard = cypress_obs::test_mutex().lock().unwrap();
+    cypress_obs::reset();
+    cypress_obs::set_enabled(true);
+    let g = cypress_obs::scope("conc").gauge("high_water");
+    thread::scope(|scope| {
+        for t in 0..8i64 {
+            let g = g.clone();
+            scope.spawn(move || {
+                for v in 0..1000 {
+                    g.set_max(t * 1000 + v);
+                }
+            });
+        }
+    });
+    assert_eq!(g.get(), 7 * 1000 + 999);
+    cypress_obs::set_enabled(false);
+    cypress_obs::reset();
+}
+
+#[test]
+fn histogram_bucket_boundaries_are_inclusive_upper_bounds() {
+    let _guard = cypress_obs::test_mutex().lock().unwrap();
+    cypress_obs::reset();
+    cypress_obs::set_enabled(true);
+    let h = cypress_obs::scope("conc").histogram("bounds", &[10, 100, 1000]);
+    // On-boundary values land in their own bucket (inclusive upper bound),
+    // bound+1 lands in the next, and anything past the last bound overflows.
+    h.observe(0);
+    h.observe(10); // bucket 0 (<= 10)
+    h.observe(11); // bucket 1
+    h.observe(100); // bucket 1 (<= 100)
+    h.observe(101); // bucket 2
+    h.observe(1000); // bucket 2 (<= 1000)
+    h.observe(1001); // overflow
+    h.observe(u64::MAX); // overflow
+    assert_eq!(h.bucket_counts(), vec![2, 2, 2, 2]);
+    assert_eq!(h.count(), 8);
+    cypress_obs::set_enabled(false);
+    cypress_obs::reset();
+}
+
+#[test]
+fn concurrent_histogram_observes_sum_consistently() {
+    let _guard = cypress_obs::test_mutex().lock().unwrap();
+    cypress_obs::reset();
+    cypress_obs::set_enabled(true);
+    let h = cypress_obs::scope("conc").histogram("par", &[8, 64, 512]);
+    thread::scope(|scope| {
+        for _ in 0..4 {
+            let h = h.clone();
+            scope.spawn(move || {
+                for v in 0..1024u64 {
+                    h.observe(v);
+                }
+            });
+        }
+    });
+    assert_eq!(h.count(), 4 * 1024);
+    assert_eq!(h.sum(), 4 * (1023 * 1024 / 2));
+    assert_eq!(h.bucket_counts().iter().sum::<u64>(), h.count());
+    cypress_obs::set_enabled(false);
+    cypress_obs::reset();
+}

@@ -3,6 +3,7 @@
 use crate::interp::{EventSink, Interp, InterpConfig, RunResult, RuntimeError};
 use cypress_cst::StaticInfo;
 use cypress_minilang::ast::Program;
+use cypress_obs::{obs_log, Level};
 use cypress_trace::event::Event;
 use cypress_trace::raw::RawTrace;
 
@@ -13,7 +14,9 @@ pub fn trace_program(
     nprocs: u32,
     cfg: &InterpConfig,
 ) -> RunResult<Vec<RawTrace>> {
-    (0..nprocs).map(|r| trace_rank(prog, info, r, nprocs, cfg)).collect()
+    (0..nprocs)
+        .map(|r| trace_rank(prog, info, r, nprocs, cfg))
+        .collect()
 }
 
 /// Trace a single rank.
@@ -29,14 +32,12 @@ pub fn trace_rank(
     nprocs: u32,
     cfg: &InterpConfig,
 ) -> RunResult<RawTrace> {
-    crossbeam::thread::scope(|scope| {
-        let handle = scope
-            .builder()
+    std::thread::scope(|scope| {
+        let handle = std::thread::Builder::new()
             .stack_size(64 * 1024 * 1024)
-            .spawn(|_| {
+            .spawn_scoped(scope, || {
                 let mut events: Vec<Event> = Vec::new();
-                let mut interp =
-                    Interp::new(prog, info, rank, nprocs, cfg.clone(), &mut events);
+                let mut interp = Interp::new(prog, info, rank, nprocs, cfg.clone(), &mut events);
                 let app_time = interp.run()?;
                 Ok(RawTrace {
                     rank,
@@ -50,11 +51,10 @@ pub fn trace_rank(
             .join()
             .map_err(|_| RuntimeError("interpreter thread panicked".into()))?
     })
-    .map_err(|_| RuntimeError("interpreter scope failed".into()))?
 }
 
 /// Trace a program with ranks interpreted in parallel across worker threads
-/// (crossbeam scoped threads; ranks are independent, so this is a pure
+/// (std scoped threads; ranks are independent, so this is a pure
 /// data-parallel map).
 pub fn trace_program_parallel(
     prog: &Program,
@@ -64,19 +64,26 @@ pub fn trace_program_parallel(
     threads: usize,
 ) -> RunResult<Vec<RawTrace>> {
     let threads = threads.max(1).min(nprocs.max(1) as usize);
+    obs_log!(
+        Level::Info,
+        "interp",
+        "tracing {nprocs} ranks on {threads} thread(s)"
+    );
     let mut slots: Vec<Option<RunResult<RawTrace>>> = (0..nprocs).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
-        for (tid, chunk) in slots.chunks_mut(nprocs.max(1) as usize / threads + 1).enumerate() {
+    std::thread::scope(|scope| {
+        for (tid, chunk) in slots
+            .chunks_mut(nprocs.max(1) as usize / threads + 1)
+            .enumerate()
+        {
             let base = tid * (nprocs.max(1) as usize / threads + 1);
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (i, slot) in chunk.iter_mut().enumerate() {
                     let rank = (base + i) as u32;
                     *slot = Some(trace_rank(prog, info, rank, nprocs, cfg));
                 }
             });
         }
-    })
-    .map_err(|_| RuntimeError("tracing worker panicked".into()))?;
+    });
     slots
         .into_iter()
         .map(|s| s.expect("every rank slot filled"))

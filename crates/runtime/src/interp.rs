@@ -15,9 +15,30 @@ use cypress_cst::sitemap::{CallAction, PathId, ROOT_PATH};
 use cypress_cst::tree::Arm;
 use cypress_cst::StaticInfo;
 use cypress_minilang::ast::*;
+use cypress_obs::{Counter, Gauge};
 use cypress_trace::event::{Event, MpiOp, MpiParams, MpiRecord, ANY_SOURCE, NONE};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::OnceLock;
+
+/// Interpreter instrumentation handles (scope `interp`), shared by all ranks.
+struct InterpMetrics {
+    /// Structure enter/exit + MPI events handed to the sink.
+    events_emitted: Counter,
+    /// High-water mark of the live request-handle → GID table.
+    req_table_high_water: Gauge,
+}
+
+fn obs() -> &'static InterpMetrics {
+    static M: OnceLock<InterpMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let s = cypress_obs::scope("interp");
+        InterpMetrics {
+            events_emitted: s.counter("events_emitted"),
+            req_table_high_water: s.gauge("req_table_high_water"),
+        }
+    })
+}
 
 /// Runtime failure (arithmetic fault, budget exhaustion, internal error).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -266,14 +287,14 @@ impl<'a, S: EventSink> Interp<'a, S> {
                 };
                 let gid = self.info.sitemap.branch_gid(path, s.id, arm);
                 if let Some(g) = gid {
-                    self.sink.event(Event::Enter { gid: g.0 });
+                    self.emit(Event::Enter { gid: g.0 });
                 }
                 let r = match blk {
                     Some(b) => self.exec_block(b)?,
                     None => None,
                 };
                 if let Some(g) = gid {
-                    self.sink.event(Event::Exit { gid: g.0 });
+                    self.emit(Event::Exit { gid: g.0 });
                 }
                 Ok(r)
             }
@@ -299,7 +320,7 @@ impl<'a, S: EventSink> Interp<'a, S> {
                 while (step > 0 && i < end) || (step < 0 && i > end) {
                     self.tick()?;
                     if let Some(g) = gid {
-                        self.sink.event(Event::Enter { gid: g.0 });
+                        self.emit(Event::Enter { gid: g.0 });
                     }
                     self.frame().scopes.push(HashMap::new());
                     self.declare(var, Value::Int(i));
@@ -312,7 +333,7 @@ impl<'a, S: EventSink> Interp<'a, S> {
                     i += step;
                 }
                 if let Some(g) = gid {
-                    self.sink.event(Event::Exit { gid: g.0 });
+                    self.emit(Event::Exit { gid: g.0 });
                 }
                 Ok(ret)
             }
@@ -322,7 +343,7 @@ impl<'a, S: EventSink> Interp<'a, S> {
                 while self.eval(cond)?.as_bool()? {
                     self.tick()?;
                     if let Some(g) = gid {
-                        self.sink.event(Event::Enter { gid: g.0 });
+                        self.emit(Event::Enter { gid: g.0 });
                     }
                     if let Some(v) = self.exec_block(body)? {
                         ret = Some(v);
@@ -330,7 +351,7 @@ impl<'a, S: EventSink> Interp<'a, S> {
                     }
                 }
                 if let Some(g) = gid {
-                    self.sink.event(Event::Exit { gid: g.0 });
+                    self.emit(Event::Exit { gid: g.0 });
                 }
                 Ok(ret)
             }
@@ -451,7 +472,7 @@ impl<'a, S: EventSink> Interp<'a, S> {
         if let Some(g) = enter_pseudo {
             let d = self.rec_depth.entry(g.0).or_insert(0);
             *d += 1;
-            self.sink.event(Event::Enter { gid: g.0 });
+            self.emit(Event::Enter { gid: g.0 });
         }
 
         let mut scope = HashMap::new();
@@ -479,7 +500,7 @@ impl<'a, S: EventSink> Interp<'a, S> {
             // Only the outermost EnterRecursive emits the Exit; BackCall
             // invocations (exit_pseudo == None) never do.
             if exit_pseudo.is_some() && depth_now == 0 {
-                self.sink.event(Event::Exit { gid: g.0 });
+                self.emit(Event::Exit { gid: g.0 });
             }
         }
         Ok(ret.unwrap_or(Value::Int(0)))
@@ -499,9 +520,24 @@ impl<'a, S: EventSink> Interp<'a, S> {
             x ^= x >> 29;
             x % (self.cfg.op_overhead_ns / 4 + 1)
         };
-        self.cfg.op_overhead_ns
-            + (bytes.max(0) as u64 * self.cfg.ns_per_byte_x1000) / 1000
-            + jitter
+        self.cfg.op_overhead_ns + (bytes.max(0) as u64 * self.cfg.ns_per_byte_x1000) / 1000 + jitter
+    }
+
+    /// Single funnel for all sink events, so the interpreter can account for
+    /// its own emission volume (`interp/events_emitted`).
+    fn emit(&mut self, ev: Event) {
+        if cypress_obs::enabled() {
+            obs().events_emitted.inc();
+        }
+        self.sink.event(ev);
+    }
+
+    fn note_req_high_water(&self) {
+        if cypress_obs::enabled() {
+            obs()
+                .req_table_high_water
+                .set_max(self.req_gids.len() as i64);
+        }
     }
 
     fn record(&mut self, gid: u32, op: MpiOp, params: MpiParams) {
@@ -515,7 +551,7 @@ impl<'a, S: EventSink> Interp<'a, S> {
             dur,
         };
         self.clock += dur;
-        self.sink.event(Event::Mpi(rec));
+        self.emit(Event::Mpi(rec));
     }
 
     fn eval_builtin(&mut self, e: &Expr, b: Builtin, c: &Call) -> RunResult<Value> {
@@ -570,6 +606,7 @@ impl<'a, S: EventSink> Interp<'a, S> {
                 let req = self.next_req;
                 self.next_req += 1;
                 self.req_gids.insert(req, gid);
+                self.note_req_high_water();
                 self.record(gid, MpiOp::Isend, MpiParams::send(dest, count, tag));
                 Ok(Value::Req(req))
             }
@@ -579,6 +616,7 @@ impl<'a, S: EventSink> Interp<'a, S> {
                 let req = self.next_req;
                 self.next_req += 1;
                 self.req_gids.insert(req, gid);
+                self.note_req_high_water();
                 self.record(gid, MpiOp::Irecv, MpiParams::recv(src, count, tag));
                 Ok(Value::Req(req))
             }
@@ -618,9 +656,8 @@ impl<'a, S: EventSink> Interp<'a, S> {
                         break;
                     }
                 }
-                let post_gid = completed.ok_or_else(|| {
-                    RuntimeError("waitany with no outstanding request".into())
-                })?;
+                let post_gid = completed
+                    .ok_or_else(|| RuntimeError("waitany with no outstanding request".into()))?;
                 self.record(gid, MpiOp::Waitany, MpiParams::completion(vec![post_gid]));
                 Ok(Value::Int(0))
             }

@@ -11,10 +11,40 @@
 //! blocked operations.
 
 use crate::model::LogGp;
+use cypress_obs::{obs_log, Counter, Histogram, Level};
 use cypress_trace::event::{MpiOp, MpiParams, ANY_SOURCE};
 use cypress_trace::raw::RawTrace;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::sync::OnceLock;
+
+/// Simulator instrumentation handles (scope `simmpi`).
+struct SimMetrics {
+    /// Operations completed across all ranks.
+    ops_simulated: Counter,
+    /// Round-robin passes where a rank stayed blocked (retried next round).
+    blocked_rank_rounds: Counter,
+    /// Posted-receive arrival polls that found no matching message yet.
+    unmatched_recv_polls: Counter,
+    /// Simulations aborted with a deadlock report.
+    deadlocks_detected: Counter,
+    /// Wall time per whole-job simulation.
+    simulate_ns: Histogram,
+}
+
+fn obs() -> &'static SimMetrics {
+    static M: OnceLock<SimMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let s = cypress_obs::scope("simmpi");
+        SimMetrics {
+            ops_simulated: s.counter("ops_simulated"),
+            blocked_rank_rounds: s.counter("blocked_rank_rounds"),
+            unmatched_recv_polls: s.counter("unmatched_recv_polls"),
+            deadlocks_detected: s.counter("deadlocks_detected"),
+            simulate_ns: s.histogram("simulate_ns", &cypress_obs::TIME_BOUNDS_NS),
+        }
+    })
+}
 
 /// One operation to simulate: optional preceding computation, then the op.
 #[derive(Debug, Clone, PartialEq)]
@@ -112,10 +142,15 @@ struct PostedRecv {
 
 #[derive(Debug, Clone, Copy)]
 enum Outstanding {
-    Recv { posted_idx: usize },
+    Recv {
+        posted_idx: usize,
+    },
     SendEager,
     /// Rendezvous isend: (destination, index in destination's inbox).
-    SendRdv { dst: u32, msg_idx: usize },
+    SendRdv {
+        dst: u32,
+        msg_idx: usize,
+    },
 }
 
 struct RankState {
@@ -188,7 +223,12 @@ impl RankState {
     /// `None` if unmatched.
     fn recv_arrival(&self, posted_idx: usize, model: &LogGp) -> Option<u64> {
         let p = &self.posted[posted_idx];
-        let mi = p.matched?;
+        let Some(mi) = p.matched else {
+            if cypress_obs::enabled() {
+                obs().unmatched_recv_polls.inc();
+            }
+            return None;
+        };
         let m = &self.inbox[mi];
         let start = if m.eager {
             m.ready
@@ -211,6 +251,7 @@ struct CollInstance {
 pub fn simulate(ops: &[Vec<SimOp>], model: &LogGp) -> Result<SimResult, SimError> {
     let p = ops.len();
     assert!(p > 0, "simulate needs at least one rank");
+    let _span = obs().simulate_ns.start_span();
     let mut ranks: Vec<RankState> = (0..p)
         .map(|_| RankState {
             idx: 0,
@@ -237,6 +278,9 @@ pub fn simulate(ops: &[Vec<SimOp>], model: &LogGp) -> Result<SimResult, SimError
             }
             if !ranks[r].done {
                 all_done = false;
+                if cypress_obs::enabled() {
+                    obs().blocked_rank_rounds.inc();
+                }
             }
         }
         if all_done {
@@ -250,12 +294,26 @@ pub fn simulate(ops: &[Vec<SimOp>], model: &LogGp) -> Result<SimResult, SimError
                     format!("rank {r} at op {} ({})", ranks[r].idx, o.op)
                 })
                 .collect();
+            if cypress_obs::enabled() {
+                obs().deadlocks_detected.inc();
+            }
+            obs_log!(
+                Level::Warn,
+                "simmpi",
+                "deadlock after no rank progressed: {} blocked",
+                blocked.len()
+            );
             return Err(SimError(format!("deadlock: {}", blocked.join("; "))));
         }
     }
 
     let finish: Vec<u64> = ranks.iter().map(|s| s.time).collect();
     let total = finish.iter().copied().max().unwrap_or(0);
+    obs_log!(
+        Level::Info,
+        "simmpi",
+        "simulated {p} ranks to completion: {total} ns"
+    );
     Ok(SimResult {
         total,
         comm_time: ranks.iter().map(|s| s.comm).collect(),
@@ -269,6 +327,9 @@ pub fn simulate(ops: &[Vec<SimOp>], model: &LogGp) -> Result<SimResult, SimError
 
 /// Complete the current op of rank `r`: advance clocks and op index.
 fn complete(st: &mut RankState, ready: u64, t: u64) {
+    if cypress_obs::enabled() {
+        obs().ops_simulated.inc();
+    }
     st.comm += t.saturating_sub(ready);
     st.time = t;
     st.idx += 1;

@@ -223,11 +223,7 @@ mod tests {
 
     #[test]
     fn comm_fraction_between_zero_and_one() {
-        let r = sim_src(
-            "fn main() { compute(100000); allreduce(64); }",
-            4,
-        )
-        .unwrap();
+        let r = sim_src("fn main() { compute(100000); allreduce(64); }", 4).unwrap();
         let f = r.comm_fraction();
         assert!(f > 0.0 && f < 1.0, "fraction {f}");
     }
@@ -267,8 +263,7 @@ mod tests {
             })
             .collect();
         let predicted = simulate(&predicted_ops, &LogGp::default()).unwrap();
-        let err = (predicted.total as f64 - measured.total as f64).abs()
-            / measured.total as f64;
+        let err = (predicted.total as f64 - measured.total as f64).abs() / measured.total as f64;
         assert!(err < 0.15, "prediction error {err:.3} too large");
     }
 }

@@ -265,7 +265,10 @@ mod tests {
             "fn f() { return 1; }
              fn main() { let x = f() + f(); compute(x); }",
         );
-        assert_eq!(g.callees[p.func_index("main").unwrap()], vec![p.func_index("f").unwrap()]);
+        assert_eq!(
+            g.callees[p.func_index("main").unwrap()],
+            vec![p.func_index("f").unwrap()]
+        );
     }
 
     #[test]

@@ -163,7 +163,11 @@ impl Cfg {
                 } => writeln!(
                     out,
                     " {}({then_bb}, {else_bb})",
-                    if *kind == CondKind::Loop { "loop" } else { "if" }
+                    if *kind == CondKind::Loop {
+                        "loop"
+                    } else {
+                        "if"
+                    }
                 )
                 .unwrap(),
                 Terminator::Return => writeln!(out, " ret").unwrap(),
@@ -291,7 +295,11 @@ impl Builder {
                 merge
             }
             StmtKind::For {
-                start, end, step, body, ..
+                start,
+                end,
+                step,
+                body,
+                ..
             } => {
                 // init (in cur) -> header -> {body -> latch -> header | exit}
                 self.push_calls_from_expr(cur, start, s.id);
@@ -386,7 +394,12 @@ mod tests {
         // main is the second function; re-lower explicitly.
         let p = parse("fn f() { return 1; } fn main() { compute(f() + f()); }").unwrap();
         let c2 = lower_function(p.main().unwrap());
-        let names: Vec<String> = c2.block(c2.entry).invocations.iter().map(|i| i.callee.to_string()).collect();
+        let names: Vec<String> = c2
+            .block(c2.entry)
+            .invocations
+            .iter()
+            .map(|i| i.callee.to_string())
+            .collect();
         assert_eq!(names, vec!["f", "f", "compute"]);
         drop(c);
     }
@@ -403,9 +416,7 @@ mod tests {
 
     #[test]
     fn rpo_starts_at_entry_and_covers_reachable() {
-        let c = cfg_of(
-            "fn main() { for i in 0..3 { if i % 2 == 0 { barrier(); } } bcast(0, 4); }",
-        );
+        let c = cfg_of("fn main() { for i in 0..3 { if i % 2 == 0 { barrier(); } } bcast(0, 4); }");
         let rpo = c.reverse_post_order();
         assert_eq!(rpo[0], c.entry);
         assert_eq!(rpo.len(), c.len()); // everything reachable here
@@ -419,7 +430,15 @@ mod tests {
         let loops: usize = c
             .blocks
             .iter()
-            .filter(|b| matches!(b.term, Terminator::Cond { kind: CondKind::Loop, .. }))
+            .filter(|b| {
+                matches!(
+                    b.term,
+                    Terminator::Cond {
+                        kind: CondKind::Loop,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(loops, 2);
     }

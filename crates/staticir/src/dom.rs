@@ -113,8 +113,8 @@ impl PostDominators {
     pub fn compute(cfg: &Cfg) -> Self {
         let n = cfg.len();
         let exit = n; // virtual exit node index
-        // Successors in the reversed graph = predecessors in the original,
-        // with Return blocks additionally preceded by the virtual exit.
+                      // Successors in the reversed graph = predecessors in the original,
+                      // with Return blocks additionally preceded by the virtual exit.
         let mut succ_rev: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
         for i in 0..n {
             let id = BlockId(i as u32);
@@ -240,9 +240,7 @@ pub fn natural_loops(cfg: &Cfg, dom: &Dominators) -> Vec<NaturalLoop> {
         for h in cfg.successors(t) {
             if dom.dominates(h, t) {
                 // back edge t -> h; flood predecessors from t up to h
-                let body = by_header
-                    .entry(h)
-                    .or_insert_with(|| vec![false; cfg.len()]);
+                let body = by_header.entry(h).or_insert_with(|| vec![false; cfg.len()]);
                 body[h.0 as usize] = true;
                 let preds = cfg.predecessors();
                 let mut stack = vec![t];
@@ -290,8 +288,7 @@ mod tests {
 
     #[test]
     fn entry_dominates_everything_reachable() {
-        let (cfg, dom, _) =
-            analyze("fn main() { for i in 0..3 { if i % 2 == 0 { barrier(); } } }");
+        let (cfg, dom, _) = analyze("fn main() { for i in 0..3 { if i % 2 == 0 { barrier(); } } }");
         for b in cfg.reverse_post_order() {
             assert!(dom.dominates(cfg.entry, b));
         }
@@ -308,8 +305,7 @@ mod tests {
 
     #[test]
     fn nested_loops_found_with_containment() {
-        let (_, _, loops) =
-            analyze("fn main() { for i in 0..3 { for j in 0..i { barrier(); } } }");
+        let (_, _, loops) = analyze("fn main() { for i in 0..3 { for j in 0..i { barrier(); } } }");
         assert_eq!(loops.len(), 2);
         let outer = loops.iter().max_by_key(|l| l.body.len()).unwrap();
         let inner = loops.iter().min_by_key(|l| l.body.len()).unwrap();
@@ -326,8 +322,9 @@ mod tests {
 
     #[test]
     fn merge_point_dominated_by_branch_head_not_arms() {
-        let (cfg, dom, _) =
-            analyze("fn main() { if rank() == 0 { barrier(); } else { bcast(0, 4); } send(0,1,2); }");
+        let (cfg, dom, _) = analyze(
+            "fn main() { if rank() == 0 { barrier(); } else { bcast(0, 4); } send(0,1,2); }",
+        );
         // entry=bb0, then=bb1, else=bb2, merge=bb3
         assert!(dom.dominates(BlockId(0), BlockId(3)));
         assert!(!dom.dominates(BlockId(1), BlockId(3)));
@@ -355,8 +352,9 @@ mod tests {
 
     #[test]
     fn ipdom_of_branch_is_merge_block() {
-        let (cfg, _, _) =
-            analyze("fn main() { if rank() == 0 { barrier(); } else { bcast(0, 4); } send(0,1,2); }");
+        let (cfg, _, _) = analyze(
+            "fn main() { if rank() == 0 { barrier(); } else { bcast(0, 4); } send(0,1,2); }",
+        );
         let pd = PostDominators::compute(&cfg);
         // entry=bb0 branches; merge=bb3 holds the send.
         assert_eq!(pd.ipdom(BlockId(0)), Some(BlockId(3)));
@@ -364,9 +362,7 @@ mod tests {
 
     #[test]
     fn ipdom_none_when_both_arms_return() {
-        let (cfg, _, _) = analyze(
-            "fn main() { if rank() == 0 { return; } else { return; } }",
-        );
+        let (cfg, _, _) = analyze("fn main() { if rank() == 0 { return; } else { return; } }");
         let pd = PostDominators::compute(&cfg);
         // The branch block's arms never reconverge: merge is the virtual exit.
         assert_eq!(pd.ipdom(cfg.entry), None);

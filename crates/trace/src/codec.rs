@@ -1,29 +1,38 @@
 //! Compact varint binary codec.
 //!
-//! The sanctioned offline crate set has `serde` but no serde *format* crate,
-//! so trace artifacts are serialized with a small hand-rolled codec: LEB128
+//! The build environment is fully offline (no serde, no format crates), so
+//! trace artifacts are serialized with a small hand-rolled codec: LEB128
 //! varints for unsigned integers, zigzag+LEB128 for signed, raw little-endian
 //! bits for `f64`. All trace-size numbers reported by the benchmark harness
-//! are sizes of these encodings.
+//! are sizes of these encodings. Whole-artifact traffic through
+//! [`Codec::to_bytes`] / [`Codec::from_bytes`] is counted under the
+//! `codec` observability scope.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::sync::OnceLock;
+
+/// Byte counters for whole-artifact encode/decode traffic, registered once.
+fn codec_counters() -> &'static (cypress_obs::Counter, cypress_obs::Counter) {
+    static COUNTERS: OnceLock<(cypress_obs::Counter, cypress_obs::Counter)> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let m = cypress_obs::scope("codec");
+        (m.counter("bytes_encoded"), m.counter("bytes_decoded"))
+    })
+}
 
 /// Encoding error-free writer over a growable buffer.
 #[derive(Default)]
 pub struct Encoder {
-    buf: BytesMut,
+    buf: Vec<u8>,
 }
 
 impl Encoder {
     pub fn new() -> Self {
-        Encoder {
-            buf: BytesMut::new(),
-        }
+        Encoder { buf: Vec::new() }
     }
 
     pub fn with_capacity(cap: usize) -> Self {
         Encoder {
-            buf: BytesMut::with_capacity(cap),
+            buf: Vec::with_capacity(cap),
         }
     }
 
@@ -36,12 +45,12 @@ impl Encoder {
         self.buf.is_empty()
     }
 
-    pub fn finish(self) -> Bytes {
-        self.buf.freeze()
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
     }
 
     pub fn put_u8(&mut self, v: u8) {
-        self.buf.put_u8(v);
+        self.buf.push(v);
     }
 
     /// LEB128 unsigned varint.
@@ -50,10 +59,10 @@ impl Encoder {
             let byte = (v & 0x7f) as u8;
             v >>= 7;
             if v == 0 {
-                self.buf.put_u8(byte);
+                self.buf.push(byte);
                 return;
             }
-            self.buf.put_u8(byte | 0x80);
+            self.buf.push(byte | 0x80);
         }
     }
 
@@ -63,12 +72,12 @@ impl Encoder {
     }
 
     pub fn put_f64(&mut self, v: f64) {
-        self.buf.put_u64_le(v.to_bits());
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
     }
 
     pub fn put_bytes(&mut self, b: &[u8]) {
         self.put_uvar(b.len() as u64);
-        self.buf.put_slice(b);
+        self.buf.extend_from_slice(b);
     }
 
     pub fn put_str(&mut self, s: &str) {
@@ -123,7 +132,7 @@ impl<'a> Decoder<'a> {
             return Err(DecodeError("unexpected end of input (u8)".into()));
         }
         let v = self.buf[0];
-        self.buf.advance(1);
+        self.buf = &self.buf[1..];
         Ok(v)
     }
 
@@ -155,8 +164,10 @@ impl<'a> Decoder<'a> {
         if self.buf.len() < 8 {
             return Err(DecodeError("unexpected end of input (f64)".into()));
         }
-        let v = self.buf.get_u64_le();
-        Ok(f64::from_bits(v))
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self.buf[..8]);
+        self.buf = &self.buf[8..];
+        Ok(f64::from_bits(u64::from_le_bytes(raw)))
     }
 
     pub fn get_bytes(&mut self) -> DecodeResult<Vec<u8>> {
@@ -168,7 +179,7 @@ impl<'a> Decoder<'a> {
             )));
         }
         let out = self.buf[..n].to_vec();
-        self.buf.advance(n);
+        self.buf = &self.buf[n..];
         Ok(out)
     }
 
@@ -191,14 +202,21 @@ pub trait Codec: Sized {
     }
 
     /// Encode into a standalone buffer.
-    fn to_bytes(&self) -> Bytes {
+    fn to_bytes(&self) -> Vec<u8> {
         let mut enc = Encoder::new();
         self.encode(&mut enc);
-        enc.finish()
+        let out = enc.finish();
+        if cypress_obs::enabled() {
+            codec_counters().0.add(out.len() as u64);
+        }
+        out
     }
 
     /// Decode from a standalone buffer, requiring full consumption.
     fn from_bytes(buf: &[u8]) -> DecodeResult<Self> {
+        if cypress_obs::enabled() {
+            codec_counters().1.add(buf.len() as u64);
+        }
         let mut dec = Decoder::new(buf);
         let v = Self::decode(&mut dec)?;
         if !dec.is_done() {
@@ -214,7 +232,7 @@ pub trait Codec: Sized {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use cypress_obs::rng::Rng;
 
     #[test]
     fn uvar_round_trip_boundaries() {
@@ -274,46 +292,67 @@ mod tests {
         assert_eq!(d.get_bytes().unwrap(), vec![1, 2, 3]);
     }
 
-    proptest! {
-        #[test]
-        fn prop_uvar_round_trip(v in any::<u64>()) {
+    #[test]
+    fn uvar_round_trip_random() {
+        let mut rng = Rng::new(0x5eed_c0de);
+        for _ in 0..4000 {
+            // Bias toward varied magnitudes by masking to a random width.
+            let width = rng.range_u64(1..65) as u32;
+            let v = rng.next_u64() >> (64 - width);
             let mut e = Encoder::new();
             e.put_uvar(v);
             let b = e.finish();
             let mut d = Decoder::new(&b);
-            prop_assert_eq!(d.get_uvar().unwrap(), v);
-            prop_assert!(d.is_done());
+            assert_eq!(d.get_uvar().unwrap(), v);
+            assert!(d.is_done());
         }
+    }
 
-        #[test]
-        fn prop_ivar_round_trip(v in any::<i64>()) {
+    #[test]
+    fn ivar_round_trip_random() {
+        let mut rng = Rng::new(0x1234_5678);
+        for _ in 0..4000 {
+            let width = rng.range_u64(1..65) as u32;
+            let v = (rng.next_u64() >> (64 - width)) as i64;
+            let v = if rng.chance(0.5) { v.wrapping_neg() } else { v };
             let mut e = Encoder::new();
             e.put_ivar(v);
             let b = e.finish();
             let mut d = Decoder::new(&b);
-            prop_assert_eq!(d.get_ivar().unwrap(), v);
+            assert_eq!(d.get_ivar().unwrap(), v);
         }
+    }
 
-        #[test]
-        fn prop_f64_round_trip(v in any::<f64>()) {
+    #[test]
+    fn f64_round_trip_random_bits() {
+        let mut rng = Rng::new(0xf64f_64f6);
+        for _ in 0..2000 {
+            let v = f64::from_bits(rng.next_u64());
             let mut e = Encoder::new();
             e.put_f64(v);
             let b = e.finish();
             let mut d = Decoder::new(&b);
             let got = d.get_f64().unwrap();
-            prop_assert_eq!(got.to_bits(), v.to_bits());
+            assert_eq!(got.to_bits(), v.to_bits());
         }
+    }
 
-        #[test]
-        fn prop_mixed_sequence(vals in proptest::collection::vec(any::<i64>(), 0..50)) {
+    #[test]
+    fn mixed_sequence_round_trip_random() {
+        let mut rng = Rng::new(0xabcd);
+        for _ in 0..256 {
+            let n = rng.range_usize(0..50);
+            let vals: Vec<i64> = (0..n).map(|_| rng.next_u64() as i64).collect();
             let mut e = Encoder::new();
             e.put_uvar(vals.len() as u64);
-            for &v in &vals { e.put_ivar(v); }
+            for &v in &vals {
+                e.put_ivar(v);
+            }
             let b = e.finish();
             let mut d = Decoder::new(&b);
-            let n = d.get_uvar().unwrap() as usize;
-            let got: Vec<i64> = (0..n).map(|_| d.get_ivar().unwrap()).collect();
-            prop_assert_eq!(got, vals);
+            let m = d.get_uvar().unwrap() as usize;
+            let got: Vec<i64> = (0..m).map(|_| d.get_ivar().unwrap()).collect();
+            assert_eq!(got, vals);
         }
     }
 }

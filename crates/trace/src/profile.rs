@@ -112,8 +112,7 @@ impl Profile {
             return 1.0;
         }
         let max = *self.rank_mpi_time.iter().max().expect("non-empty") as f64;
-        let mean = self.rank_mpi_time.iter().sum::<u64>() as f64
-            / self.rank_mpi_time.len() as f64;
+        let mean = self.rank_mpi_time.iter().sum::<u64>() as f64 / self.rank_mpi_time.len() as f64;
         if mean == 0.0 {
             1.0
         } else {
@@ -124,7 +123,12 @@ impl Profile {
     /// Render an mpiP-flavoured text report.
     pub fn report(&self) -> String {
         let mut out = String::new();
-        writeln!(out, "MPI operation profile ({} ranks)", self.rank_app_time.len()).unwrap();
+        writeln!(
+            out,
+            "MPI operation profile ({} ranks)",
+            self.rank_app_time.len()
+        )
+        .unwrap();
         writeln!(
             out,
             "{:<14} {:>10} {:>14} {:>12} {:>10}",
@@ -205,12 +209,15 @@ mod tests {
 
     #[test]
     fn size_buckets_power_of_two() {
-        let traces = vec![trace_with(0, vec![
-            (MpiOp::Send, 0, 1),
-            (MpiOp::Send, 1, 1),
-            (MpiOp::Send, 1024, 1),
-            (MpiOp::Send, 1025, 1),
-        ])];
+        let traces = vec![trace_with(
+            0,
+            vec![
+                (MpiOp::Send, 0, 1),
+                (MpiOp::Send, 1, 1),
+                (MpiOp::Send, 1024, 1),
+                (MpiOp::Send, 1025, 1),
+            ],
+        )];
         let p = Profile::from_traces(&traces);
         assert_eq!(p.size_buckets[0], 1); // empty
         assert_eq!(p.size_buckets[1], 1); // 1 byte

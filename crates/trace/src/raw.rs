@@ -105,8 +105,8 @@ impl Codec for MpiRecord {
     fn decode(dec: &mut Decoder<'_>) -> DecodeResult<Self> {
         let gid = dec.get_uvar()? as u32;
         let code = dec.get_u8()?;
-        let op = MpiOp::from_code(code)
-            .ok_or_else(|| DecodeError(format!("bad MpiOp code {code}")))?;
+        let op =
+            MpiOp::from_code(code).ok_or_else(|| DecodeError(format!("bad MpiOp code {code}")))?;
         let params = MpiParams::decode(dec)?;
         let t_start = dec.get_uvar()?;
         let dur = dec.get_uvar()?;

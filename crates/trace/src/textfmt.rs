@@ -59,9 +59,7 @@ pub fn format_trace(t: &RawTrace) -> String {
         match ev {
             Event::Enter { gid } => writeln!(out, "[          ] +g{gid}").unwrap(),
             Event::Exit { gid } => writeln!(out, "[          ] -g{gid}").unwrap(),
-            Event::Mpi(r) => {
-                writeln!(out, "[{:>10}] {}", r.t_start, format_record(r)).unwrap()
-            }
+            Event::Mpi(r) => writeln!(out, "[{:>10}] {}", r.t_start, format_record(r)).unwrap(),
         }
     }
     out

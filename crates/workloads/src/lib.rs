@@ -60,8 +60,7 @@ impl Workload {
     pub fn compile(&self) -> (Program, StaticInfo) {
         let prog = parse(&self.source)
             .unwrap_or_else(|e| panic!("workload {}: parse error: {e}", self.name));
-        check_program(&prog)
-            .unwrap_or_else(|e| panic!("workload {}: check error: {e}", self.name));
+        check_program(&prog).unwrap_or_else(|e| panic!("workload {}: check error: {e}", self.name));
         let info = analyze_program(&prog);
         (prog, info)
     }

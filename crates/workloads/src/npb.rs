@@ -24,7 +24,10 @@ fn assert_square(name: &str, p: u32) -> u32 {
 }
 
 fn assert_pow2(name: &str, p: u32) {
-    assert!(p.is_power_of_two(), "{name} needs a power-of-two process count, got {p}");
+    assert!(
+        p.is_power_of_two(),
+        "{name} needs a power-of-two process count, got {p}"
+    );
 }
 
 /// BT — block-tridiagonal ADI solver on a √P×√P grid: three sweep phases
@@ -430,9 +433,7 @@ mod tests {
     #[test]
     fn ft_is_all_to_all_only() {
         let traces = ft(8, Scale::Quick).trace().unwrap();
-        assert!(traces[0]
-            .mpi_records()
-            .all(|r| r.op.is_collective()));
+        assert!(traces[0].mpi_records().all(|r| r.op.is_collective()));
     }
 
     #[test]

@@ -4,7 +4,9 @@
 //! Run with: `cargo run --release --example compare_compressors [workload] [nprocs]`
 //! (defaults: `lu 16`; try `sp 16` for CYPRESS's hard case).
 
-use cypress::baselines::{Scala2Config, Scala2Merged, Scala2Trace, ScalaConfig, ScalaMerged, ScalaTrace};
+use cypress::baselines::{
+    Scala2Config, Scala2Merged, Scala2Trace, ScalaConfig, ScalaMerged, ScalaTrace,
+};
 use cypress::core::{compress_trace, decompress, merge_all, CompressConfig};
 use cypress::deflate::{gzip_compress, Level};
 use cypress::trace::codec::Codec;
@@ -14,13 +16,10 @@ use cypress::workloads::{by_name, Scale};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let name = args.first().map(String::as_str).unwrap_or("lu");
-    let nprocs: u32 = args
-        .get(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(16);
+    let nprocs: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(16);
 
-    let w = by_name(name, nprocs, Scale::Quick)
-        .unwrap_or_else(|| panic!("unknown workload {name}"));
+    let w =
+        by_name(name, nprocs, Scale::Quick).unwrap_or_else(|| panic!("unknown workload {name}"));
     let (_, info) = w.compile();
     let traces = w.trace_parallel(8).expect("trace");
     let events: usize = traces.iter().map(|t| t.mpi_count()).sum();
@@ -77,7 +76,10 @@ fn main() {
             raw as f64 / bytes.max(1) as f64
         );
     };
-    println!("{:<22} {:>14} {:>10}  sequence fidelity", "method", "size", "ratio");
+    println!(
+        "{:<22} {:>14} {:>10}  sequence fidelity",
+        "method", "size", "ratio"
+    );
     row("raw", raw, "exact");
     row("gzip (per rank)", gz, "exact");
     row("ScalaTrace", st_size, "exact");

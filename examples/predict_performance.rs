@@ -44,9 +44,8 @@ fn main() {
             .collect();
         let predicted = simulate(&predicted_ops, &model).expect("predicted sim");
 
-        let err = (predicted.total as f64 - measured.total as f64).abs()
-            / measured.total as f64
-            * 100.0;
+        let err =
+            (predicted.total as f64 - measured.total as f64).abs() / measured.total as f64 * 100.0;
         println!(
             "{:>7} {:>13.3} {:>13.3} {:>7.2}% {:>7.2}%",
             nprocs,

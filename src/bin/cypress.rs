@@ -23,7 +23,14 @@ use std::fs;
 use std::process::exit;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let metrics = if let Some(i) = args.iter().position(|a| a == "--metrics") {
+        args.remove(i);
+        cypress::obs::set_enabled(true);
+        true
+    } else {
+        false
+    };
     let Some(cmd) = args.first() else {
         usage();
         exit(2);
@@ -47,9 +54,28 @@ fn main() {
             exit(2);
         }
     };
+    if metrics {
+        emit_metrics();
+    }
     if let Err(e) = result {
         eprintln!("error: {e}");
         exit(1);
+    }
+}
+
+/// Dump the pipeline-wide metrics report: human table to stdout, JSON lines
+/// to `results/metrics.jsonl` (best-effort — failure to write is non-fatal).
+fn emit_metrics() {
+    let report = cypress::obs::report();
+    println!("\n== metrics ==\n{}", report.to_text());
+    let path = "results/metrics.jsonl";
+    let ok = fs::create_dir_all("results")
+        .and_then(|()| fs::write(path, report.to_jsonl()))
+        .is_ok();
+    if ok {
+        eprintln!("metrics written to {path}");
+    } else {
+        eprintln!("warning: could not write {path}");
     }
 }
 
@@ -64,7 +90,12 @@ USAGE:
   cypress compress <prog.mpi> -n <procs> -o <file>
   cypress decompress <file> --cst <cst.txt> [-r <rank>]
   cypress stats <prog.mpi> -n <procs>
-  cypress simulate <prog.mpi> -n <procs>"
+  cypress simulate <prog.mpi> -n <procs>
+
+OPTIONS:
+  --metrics    collect pipeline metrics; print a report and write
+               results/metrics.jsonl on exit
+  CYPRESS_LOG=error|warn|info|debug|trace   structured logging to stderr"
     );
 }
 

@@ -38,7 +38,11 @@ fn cst_command_prints_tree() {
     let dir = tmpdir("cst");
     let prog = write_program(&dir);
     let out = cypress().arg("cst").arg(&prog).output().expect("run");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("Root(Loop("));
     assert!(stdout.contains("MPI_Isend"));
@@ -57,7 +61,11 @@ fn compress_then_decompress_round_trip() {
         .arg(&merged)
         .output()
         .expect("run compress");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(merged.exists());
     let cst = dir.join("ring.ctt.cst");
     assert!(cst.exists());
@@ -70,7 +78,11 @@ fn compress_then_decompress_round_trip() {
         .args(["-r", "5"])
         .output()
         .expect("run decompress");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     // 30 iterations × 3 ops + 1 allreduce = 91 operations for rank 5.
     assert!(stdout.contains("# rank 5: 91 operations"), "{stdout}");
@@ -87,7 +99,11 @@ fn simulate_reports_prediction() {
         .args(["-n", "4"])
         .output()
         .expect("run simulate");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("measured"));
     assert!(stdout.contains("prediction error"));
@@ -107,6 +123,44 @@ fn dump_prints_events() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.starts_with("# rank 1/2"));
     assert!(stdout.contains("MPI_Isend"));
+}
+
+#[test]
+fn metrics_flag_emits_report_and_jsonl() {
+    let dir = tmpdir("metrics");
+    let prog = write_program(&dir);
+    let merged = dir.join("ring.ctt");
+    let out = cypress()
+        .current_dir(&dir)
+        .args(["--metrics", "compress"])
+        .arg(&prog)
+        .args(["-n", "4", "-o"])
+        .arg(&merged)
+        .output()
+        .expect("run compress --metrics");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("== metrics =="), "{stdout}");
+    // Every pipeline layer exercised by `compress` must be represented.
+    for scope in ["interp", "compressor", "merge", "codec"] {
+        assert!(
+            stdout.contains(scope),
+            "missing scope {scope} in:\n{stdout}"
+        );
+    }
+    assert!(stdout.contains("events_emitted"));
+    assert!(stdout.contains("leaf_fold_hits"));
+    // The JSONL sidecar exists and every line is a flat JSON object.
+    let jsonl = fs::read_to_string(dir.join("results/metrics.jsonl")).expect("metrics.jsonl");
+    assert!(!jsonl.trim().is_empty());
+    for line in jsonl.lines() {
+        assert!(line.starts_with("{\"subsystem\":"), "bad line: {line}");
+        assert!(line.ends_with('}'), "bad line: {line}");
+    }
 }
 
 #[test]

@@ -14,7 +14,12 @@ fn all_methods_account_for_every_operation() {
         for t in &traces {
             let n = t.mpi_count() as u64;
             let cy = compress_trace(&info.cst, t, &CompressConfig::default());
-            assert_eq!(cy.op_count(), n, "{name}: CYPRESS lost ops on rank {}", t.rank);
+            assert_eq!(
+                cy.op_count(),
+                n,
+                "{name}: CYPRESS lost ops on rank {}",
+                t.rank
+            );
             let st = ScalaTrace::compress(t, &ScalaConfig::default());
             assert_eq!(
                 st.expand().len() as u64,
@@ -148,7 +153,11 @@ fn waitany_partial_completion_round_trips() {
     let ctt = compress_trace(&info.cst, t0, &CompressConfig::default());
     let replay = cypress::core::decompress(&info.cst, &ctt);
     assert_eq!(replay.len(), t0.mpi_count());
-    assert_eq!(ctt.record_count(), 4, "20 identical iterations fold to one record per leaf");
+    assert_eq!(
+        ctt.record_count(),
+        4,
+        "20 identical iterations fold to one record per leaf"
+    );
 
     // And the trace replays in the simulator without deadlock.
     simulate(&from_raw_traces(&traces), &LogGp::default()).unwrap();

@@ -185,12 +185,7 @@ fn merge_is_associative_over_contiguous_partitions() {
         .collect();
     let reference = merge_all(&ctts);
 
-    let partitions: [&[usize]; 4] = [
-        &[1, 15],
-        &[4, 4, 4, 4],
-        &[7, 2, 7],
-        &[2, 3, 5, 6],
-    ];
+    let partitions: [&[usize]; 4] = [&[1, 15], &[4, 4, 4, 4], &[7, 2, 7], &[2, 3, 5, 6]];
     for cuts in partitions {
         assert_eq!(cuts.iter().sum::<usize>(), 16);
         let mut parts = Vec::new();
@@ -207,7 +202,11 @@ fn merge_is_associative_over_contiguous_partitions() {
         for rank in 0..16u32 {
             let a = decompress(&info.cst, &acc.extract_rank(rank, &info.cst));
             let b = decompress(&info.cst, &reference.extract_rank(rank, &info.cst));
-            assert_eq!(strip_replay(&a), strip_replay(&b), "cuts {cuts:?} rank {rank}");
+            assert_eq!(
+                strip_replay(&a),
+                strip_replay(&b),
+                "cuts {cuts:?} rank {rank}"
+            );
         }
     }
 }

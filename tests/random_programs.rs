@@ -12,16 +12,14 @@
 use cypress::core::{compress_trace, decompress, CompressConfig};
 use cypress::cst::{analyze_program_with, IntraBuilder};
 use cypress::minilang::{check_program, parse};
+use cypress::obs::rng::Rng;
 use cypress::runtime::{trace_program, InterpConfig};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::fmt::Write;
 
 /// Generate a random well-formed MiniMPI program.
 fn gen_program(seed: u64) -> String {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let n_helpers = rng.gen_range(0..3usize);
+    let mut rng = Rng::new(seed);
+    let n_helpers = rng.range_usize(0..3);
     let mut out = String::new();
     let helper_names: Vec<String> = (0..n_helpers).map(|i| format!("helper{i}")).collect();
     for name in &helper_names {
@@ -44,56 +42,64 @@ fn indent(out: &mut String, depth: usize) {
 /// Emit 1..=4 statements. `vars` are in-scope int variables; `helpers` are
 /// callable function names; `depth` bounds structural nesting.
 fn gen_block(
-    rng: &mut StdRng,
+    rng: &mut Rng,
     out: &mut String,
     vars: &[&str],
     helpers: &[String],
     depth: usize,
     ind: usize,
 ) {
-    let n = rng.gen_range(1..=4usize);
+    let n = rng.range_usize(1..5);
     for _ in 0..n {
         gen_stmt(rng, out, vars, helpers, depth, ind);
     }
 }
 
-fn gen_int_expr(rng: &mut StdRng, vars: &[&str]) -> String {
-    match rng.gen_range(0..5u32) {
-        0 => format!("{}", rng.gen_range(0..64i64)),
+fn gen_int_expr(rng: &mut Rng, vars: &[&str]) -> String {
+    match rng.range_u64(0..5) {
+        0 => format!("{}", rng.range_i64(0..64)),
         1 => "rank()".to_string(),
         2 => "size()".to_string(),
-        3 if !vars.is_empty() => vars[rng.gen_range(0..vars.len())].to_string(),
+        3 if !vars.is_empty() => vars[rng.range_usize(0..vars.len())].to_string(),
         _ => format!(
             "({} + {})",
-            rng.gen_range(0..16i64),
-            if vars.is_empty() || rng.gen_bool(0.5) {
+            rng.range_i64(0..16),
+            if vars.is_empty() || rng.chance(0.5) {
                 "rank()".to_string()
             } else {
-                vars[rng.gen_range(0..vars.len())].to_string()
+                vars[rng.range_usize(0..vars.len())].to_string()
             }
         ),
     }
 }
 
-fn gen_cond(rng: &mut StdRng, vars: &[&str]) -> String {
+fn gen_cond(rng: &mut Rng, vars: &[&str]) -> String {
     let lhs = gen_int_expr(rng, vars);
-    let op = ["==", "!=", "<", "<=", ">", ">="][rng.gen_range(0..6)];
-    match rng.gen_range(0..3u32) {
-        0 => format!("rank() % {} {op} {}", rng.gen_range(2..5i64), rng.gen_range(0..3i64)),
+    let op = ["==", "!=", "<", "<=", ">", ">="][rng.range_usize(0..6)];
+    match rng.range_u64(0..3) {
+        0 => format!(
+            "rank() % {} {op} {}",
+            rng.range_i64(2..5),
+            rng.range_i64(0..3)
+        ),
         1 => format!("{lhs} {op} size()"),
-        _ => format!("{lhs} % {} {op} {}", rng.gen_range(2..6i64), rng.gen_range(0..4i64)),
+        _ => format!(
+            "{lhs} % {} {op} {}",
+            rng.range_i64(2..6),
+            rng.range_i64(0..4)
+        ),
     }
 }
 
-fn gen_mpi(rng: &mut StdRng, out: &mut String, vars: &[&str], ind: usize) {
+fn gen_mpi(rng: &mut Rng, out: &mut String, vars: &[&str], ind: usize) {
     indent(out, ind);
-    let bytes = [8i64, 64, 1024, 43 * 1024][rng.gen_range(0..4)];
-    let tag = rng.gen_range(0..4i64);
-    match rng.gen_range(0..7u32) {
+    let bytes = [8i64, 64, 1024, 43 * 1024][rng.range_usize(0..4)];
+    let tag = rng.range_i64(0..4);
+    match rng.range_u64(0..7) {
         // Paired send/recv around the ring: always matches (every rank
         // sends to +k and receives from -k with the same tag).
         0 => {
-            let k = rng.gen_range(1..4i64);
+            let k = rng.range_i64(1..4);
             writeln!(out, "send((rank() + {k}) % size(), {bytes}, {tag});").unwrap();
             indent(out, ind);
             writeln!(
@@ -103,10 +109,14 @@ fn gen_mpi(rng: &mut StdRng, out: &mut String, vars: &[&str], ind: usize) {
             .unwrap();
         }
         1 => {
-            let k = rng.gen_range(1..4i64);
-            writeln!(out, "let rq_a = isend((rank() + {k}) % size(), {bytes}, {tag});").unwrap();
+            let k = rng.range_i64(1..4);
+            writeln!(
+                out,
+                "let rq_a = isend((rank() + {k}) % size(), {bytes}, {tag});"
+            )
+            .unwrap();
             indent(out, ind);
-            if rng.gen_bool(0.5) {
+            if rng.chance(0.5) {
                 writeln!(
                     out,
                     "let rq_b = irecv((rank() + size() - {k}) % size(), {bytes}, {tag});"
@@ -123,7 +133,7 @@ fn gen_mpi(rng: &mut StdRng, out: &mut String, vars: &[&str], ind: usize) {
         4 => writeln!(out, "reduce(0, {bytes});").unwrap(),
         5 => writeln!(out, "allreduce({bytes});").unwrap(),
         _ => {
-            let k = rng.gen_range(1..3i64);
+            let k = rng.range_i64(1..3);
             writeln!(
                 out,
                 "sendrecv((rank() + {k}) % size(), {bytes}, {tag}, (rank() + size() - {k}) % size(), {bytes}, {tag});"
@@ -135,23 +145,23 @@ fn gen_mpi(rng: &mut StdRng, out: &mut String, vars: &[&str], ind: usize) {
 }
 
 fn gen_stmt(
-    rng: &mut StdRng,
+    rng: &mut Rng,
     out: &mut String,
     vars: &[&str],
     helpers: &[String],
     depth: usize,
     ind: usize,
 ) {
-    let choice = rng.gen_range(0..10u32);
+    let choice = rng.range_u64(0..10);
     match choice {
         0..=3 => gen_mpi(rng, out, vars, ind),
         4 | 5 if depth > 0 => {
             // A for loop; bound may be rank-dependent.
             let var = format!("i{depth}{ind}");
-            let hi = match rng.gen_range(0..3u32) {
-                0 => format!("{}", rng.gen_range(1..7i64)),
+            let hi = match rng.range_u64(0..3) {
+                0 => format!("{}", rng.range_i64(1..7)),
                 1 => "rank() + 1".to_string(),
-                _ => format!("{} + rank() % 3", rng.gen_range(1..4i64)),
+                _ => format!("{} + rank() % 3", rng.range_i64(1..4)),
             };
             indent(out, ind);
             writeln!(out, "for {var} in 0..{hi} {{").unwrap();
@@ -166,7 +176,7 @@ fn gen_stmt(
             writeln!(out, "if {} {{", gen_cond(rng, vars)).unwrap();
             gen_block(rng, out, vars, helpers, depth - 1, ind + 1);
             indent(out, ind);
-            if rng.gen_bool(0.5) {
+            if rng.chance(0.5) {
                 writeln!(out, "}} else {{").unwrap();
                 gen_block(rng, out, vars, helpers, depth - 1, ind + 1);
                 indent(out, ind);
@@ -175,12 +185,12 @@ fn gen_stmt(
         }
         8 if !helpers.is_empty() => {
             indent(out, ind);
-            let h = &helpers[rng.gen_range(0..helpers.len())];
+            let h = &helpers[rng.range_usize(0..helpers.len())];
             writeln!(out, "{h}({});", gen_int_expr(rng, vars)).unwrap();
         }
         _ => {
             indent(out, ind);
-            writeln!(out, "compute({});", rng.gen_range(1..5000i64)).unwrap();
+            writeln!(out, "compute({});", rng.range_i64(1..5000)).unwrap();
         }
     }
 }
@@ -192,8 +202,9 @@ fn check_seed(seed: u64) {
 
     // Pretty-printer round trip: print(parse(src)) re-parses to the same AST.
     let printed = cypress::minilang::print_program(&prog);
-    let reparsed = parse(&printed)
-        .unwrap_or_else(|e| panic!("seed {seed}: printed source does not re-parse: {e}\n{printed}"));
+    let reparsed = parse(&printed).unwrap_or_else(|e| {
+        panic!("seed {seed}: printed source does not re-parse: {e}\n{printed}")
+    });
     assert!(
         cypress::minilang::structurally_equal(&prog, &reparsed),
         "seed {seed}: pretty-print round trip diverged"
@@ -235,19 +246,20 @@ fn check_seed(seed: u64) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(80))]
-
-    #[test]
-    fn random_programs_round_trip(seed in any::<u64>()) {
-        check_seed(seed);
+#[test]
+fn random_programs_round_trip() {
+    // 80 wide-range seeds derived from one master stream (the replacement
+    // for the proptest `any::<u64>()` sweep; fully deterministic).
+    let mut master = Rng::new(0x9e3779b97f4a7c15);
+    for _ in 0..80 {
+        check_seed(master.next_u64());
     }
 }
 
 #[test]
 fn specific_seeds_round_trip() {
-    // Fixed seeds keep a deterministic floor of coverage even if the
-    // proptest RNG changes between runs.
+    // Fixed small seeds keep a deterministic floor of coverage independent
+    // of the master-stream constants above.
     for seed in 0..64u64 {
         check_seed(seed);
     }

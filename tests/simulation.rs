@@ -47,8 +47,8 @@ fn decompressed_traces_simulate_close_to_raw() {
             .collect();
         let predicted = simulate(&predicted_ops, &model)
             .unwrap_or_else(|e| panic!("{name}: predicted replay failed: {e}"));
-        let err = (predicted.total as f64 - measured.total as f64).abs()
-            / measured.total.max(1) as f64;
+        let err =
+            (predicted.total as f64 - measured.total as f64).abs() / measured.total.max(1) as f64;
         assert!(err < 0.2, "{name}: prediction error {err:.3}");
     }
 }
@@ -105,9 +105,7 @@ fn adding_compute_increases_predicted_time() {
     use cypress::minilang::{check_program, parse};
     use cypress::runtime::{trace_program, InterpConfig};
     let make = |work: u64| {
-        let src = format!(
-            "fn main() {{ for i in 0..10 {{ compute({work}); allreduce(64); }} }}"
-        );
+        let src = format!("fn main() {{ for i in 0..10 {{ compute({work}); allreduce(64); }} }}");
         let p = parse(&src).unwrap();
         check_program(&p).unwrap();
         let info = cypress::cst::analyze_program(&p);
