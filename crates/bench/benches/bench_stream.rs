@@ -1,0 +1,163 @@
+//! Streaming vs batch compression: throughput, resident footprint, and the
+//! equivalence check, emitted as `results/BENCH_stream.json`.
+//!
+//! The streaming path runs each rank's interpreter with a `CompressSession`
+//! sink on the work-stealing pool — events land in the CTT as they happen
+//! and the raw trace never materializes. The batch path records raw traces
+//! first (`trace_program_parallel`), then compresses offline. Both merge
+//! with the same thread count, so the merged encodings must be
+//! byte-identical (`identical_merged_bytes` in the JSON — CI fails the run
+//! if any workload reports `false`).
+//!
+//! JSON schema (`bench_stream/v1`), one object per workload under
+//! `workloads`:
+//!
+//! ```json
+//! { "schema": "bench_stream/v1",
+//!   "workloads": [ { "name": "...", "nprocs": 8,
+//!     "events": 123, "events_per_sec": 1.0e6,
+//!     "peak_resident_ctt_bytes": 4096, "raw_trace_bytes": 99999,
+//!     "stream_ns": 1.0, "batch_ns": 1.0, "stream_vs_batch": 1.05,
+//!     "identical_merged_bytes": true } ] }
+//! ```
+
+use cypress_bench::harness;
+use cypress_core::{
+    compress_trace, merge_all_parallel, CompressConfig, CompressSession, SessionConfig,
+};
+use cypress_runtime::{run_rank_with_sink, run_ranks, trace_program_parallel, InterpConfig};
+use cypress_trace::codec::Codec;
+use cypress_workloads::{by_name, quick_procs, Scale};
+
+const MERGE_THREADS: usize = 4;
+
+struct Row {
+    name: String,
+    nprocs: u32,
+    events: u64,
+    events_per_sec: f64,
+    peak_resident_ctt_bytes: usize,
+    raw_trace_bytes: usize,
+    stream_ns: f64,
+    batch_ns: f64,
+    identical_merged_bytes: bool,
+}
+
+fn workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+fn bench_workload(name: &str) -> Row {
+    let nprocs = quick_procs(name);
+    let w = by_name(name, nprocs, Scale::Quick).unwrap();
+    let (prog, info) = w.compile();
+    let icfg = InterpConfig::default();
+    let ccfg = CompressConfig::default();
+
+    // Streaming: interpreter → session sink, raw trace never materializes.
+    let stream_once = || {
+        let per_rank = run_ranks(nprocs, workers(), |rank| {
+            let mut s = CompressSession::new(
+                &info.cst,
+                rank,
+                nprocs,
+                ccfg.clone(),
+                SessionConfig::default(),
+            );
+            let app_time = run_rank_with_sink(&prog, &info, rank, nprocs, &icfg, &mut s)
+                .expect("workload rank failed");
+            s.finish(app_time)
+        });
+        let (ctts, stats): (Vec<_>, Vec<_>) = per_rank.into_iter().unzip();
+        (merge_all_parallel(&ctts, MERGE_THREADS), stats)
+    };
+
+    // Batch: record everything, then compress offline.
+    let batch_once = || {
+        let traces = trace_program_parallel(&prog, &info, nprocs, &icfg, workers())
+            .expect("workload failed");
+        let raw_bytes: usize = traces.iter().map(|t| t.to_bytes().len()).sum();
+        let ctts: Vec<_> = traces
+            .iter()
+            .map(|t| compress_trace(&info.cst, t, &ccfg))
+            .collect();
+        (merge_all_parallel(&ctts, MERGE_THREADS), raw_bytes)
+    };
+
+    let (stream_merged, stats) = stream_once();
+    let (batch_merged, raw_trace_bytes) = batch_once();
+    let identical = stream_merged.to_bytes() == batch_merged.to_bytes();
+
+    let events: u64 = stats.iter().map(|s| s.events).sum();
+    let peak = stats.iter().map(|s| s.peak_ctt_bytes).max().unwrap_or(0);
+
+    let stream = harness::run(&format!("stream/{name}/{nprocs}p/online"), stream_once);
+    let batch = harness::run(&format!("stream/{name}/{nprocs}p/batch"), batch_once);
+
+    Row {
+        name: name.to_owned(),
+        nprocs,
+        events,
+        events_per_sec: events as f64 / (stream.mean_ns / 1e9),
+        peak_resident_ctt_bytes: peak,
+        raw_trace_bytes,
+        stream_ns: stream.mean_ns,
+        batch_ns: batch.mean_ns,
+        identical_merged_bytes: identical,
+    }
+}
+
+fn main() {
+    let names: &[&str] = if std::env::var("CYPRESS_BENCH_FAST").is_ok() {
+        &["jacobi", "cg", "mg"]
+    } else {
+        &[
+            "jacobi", "bt", "cg", "dt", "ep", "ft", "lu", "mg", "sp", "leslie3d",
+        ]
+    };
+    let rows: Vec<Row> = names.iter().map(|n| bench_workload(n)).collect();
+
+    let mut json = String::from("{\"schema\":\"bench_stream/v1\",\"workloads\":[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"name\":\"{}\",\"nprocs\":{},\"events\":{},\"events_per_sec\":{:.1},\
+             \"peak_resident_ctt_bytes\":{},\"raw_trace_bytes\":{},\
+             \"stream_ns\":{:.1},\"batch_ns\":{:.1},\"stream_vs_batch\":{:.4},\
+             \"identical_merged_bytes\":{}}}",
+            r.name,
+            r.nprocs,
+            r.events,
+            r.events_per_sec,
+            r.peak_resident_ctt_bytes,
+            r.raw_trace_bytes,
+            r.stream_ns,
+            r.batch_ns,
+            r.stream_ns / r.batch_ns.max(1.0),
+            r.identical_merged_bytes,
+        ));
+    }
+    json.push_str("]}\n");
+
+    // cargo runs bench binaries with cwd = the package dir, so anchor the
+    // output at the workspace root (overridable for ad-hoc runs).
+    let results = std::env::var("CYPRESS_RESULTS_DIR")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../results").to_owned());
+    let path = std::path::Path::new(&results).join("BENCH_stream.json");
+    cypress_obs::write_atomic(&path, json.as_bytes()).expect("write BENCH_stream.json");
+    println!("wrote {}", path.display());
+
+    let broken: Vec<_> = rows
+        .iter()
+        .filter(|r| !r.identical_merged_bytes)
+        .map(|r| r.name.as_str())
+        .collect();
+    assert!(
+        broken.is_empty(),
+        "streaming and batch merged encodings diverged for: {broken:?}"
+    );
+}

@@ -75,8 +75,10 @@ fn main() {
     if metrics {
         let report = cypress_obs::report();
         println!("\n== metrics ==\n{}", report.to_text());
-        fs::write("results/metrics.jsonl", report.to_jsonl()).expect("write metrics.jsonl");
-        println!("  -> results/metrics.jsonl");
+        let path = std::path::Path::new("results/metrics.jsonl");
+        cypress_obs::append_atomic(path, report.to_jsonl().as_bytes())
+            .expect("write metrics.jsonl");
+        println!("  -> {}", path.display());
     }
 }
 

@@ -34,6 +34,7 @@ pub mod ctt;
 pub mod decompress;
 pub mod intseq;
 pub mod merge;
+pub mod session;
 pub mod timestats;
 
 pub use compress::{compress_trace, CompressConfig, IntraCompressor};
@@ -41,4 +42,5 @@ pub use ctt::{Ctt, EncParams, LeafRecord, RankEnc, VertexData};
 pub use decompress::{decompress, replay_to_records, ReplayOp};
 pub use intseq::{IntSeq, IntSeqReader, Seg};
 pub use merge::{merge_all, merge_all_parallel, MergedCtt, MergedVertex, RankSet};
+pub use session::{CompressSession, SessionConfig, SessionStats};
 pub use timestats::{TimeMode, TimeStats, HIST_BUCKETS};

@@ -35,12 +35,14 @@
 //! cypress_obs::set_enabled(false);
 //! ```
 
+pub mod fsio;
 pub mod log;
 pub mod metrics;
 pub mod report;
 pub mod rng;
 pub mod span;
 
+pub use fsio::{append_atomic, write_atomic};
 pub use log::{log_emit, log_enabled, log_level, set_log_level, Level};
 pub use metrics::{scope, Counter, Gauge, Histogram, Scope, TIME_BOUNDS_NS};
 pub use report::{report, MetricKind, MetricSnapshot, Report};

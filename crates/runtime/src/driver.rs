@@ -53,9 +53,10 @@ pub fn trace_rank(
     })
 }
 
-/// Trace a program with ranks interpreted in parallel across worker threads
-/// (std scoped threads; ranks are independent, so this is a pure
-/// data-parallel map).
+/// Trace a program with ranks interpreted in parallel on a fixed
+/// work-stealing worker pool (see [`crate::sched`]). Ranks are independent,
+/// so this is a pure data-parallel map; the pool's workers carry large
+/// stacks, so interpreters run directly on them with no per-rank thread.
 pub fn trace_program_parallel(
     prog: &Program,
     info: &StaticInfo,
@@ -67,27 +68,21 @@ pub fn trace_program_parallel(
     obs_log!(
         Level::Info,
         "interp",
-        "tracing {nprocs} ranks on {threads} thread(s)"
+        "tracing {nprocs} ranks on {threads} worker(s)"
     );
-    let mut slots: Vec<Option<RunResult<RawTrace>>> = (0..nprocs).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        for (tid, chunk) in slots
-            .chunks_mut(nprocs.max(1) as usize / threads + 1)
-            .enumerate()
-        {
-            let base = tid * (nprocs.max(1) as usize / threads + 1);
-            scope.spawn(move || {
-                for (i, slot) in chunk.iter_mut().enumerate() {
-                    let rank = (base + i) as u32;
-                    *slot = Some(trace_rank(prog, info, rank, nprocs, cfg));
-                }
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|s| s.expect("every rank slot filled"))
-        .collect()
+    crate::sched::run_ranks(nprocs, threads, |rank| {
+        let mut events: Vec<Event> = Vec::new();
+        let mut interp = Interp::new(prog, info, rank, nprocs, cfg.clone(), &mut events);
+        let app_time = interp.run()?;
+        Ok(RawTrace {
+            rank,
+            nprocs,
+            events,
+            app_time,
+        })
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Run one rank against a caller-provided sink (e.g. an online compressor);

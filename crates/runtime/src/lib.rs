@@ -13,6 +13,8 @@
 
 pub mod driver;
 pub mod interp;
+pub mod sched;
 
 pub use driver::{run_rank_with_sink, trace_program, trace_program_parallel, trace_rank};
 pub use interp::{has_op, well_nested, EventSink, Interp, InterpConfig, RunResult, RuntimeError};
+pub use sched::{run_ranks, WORKER_STACK_BYTES};

@@ -1,0 +1,437 @@
+//! Versioned on-disk trace container.
+//!
+//! Merged traces used to live as bare `MergedCtt` codec bytes next to a
+//! loose `.cst` text file — no magic, no version, no integrity check, and no
+//! way to carry per-rank artifacts. This module defines a single
+//! self-describing file that persists a whole compression job so it can be
+//! reloaded without re-simulation (what Recorder calls its "compact on-disk
+//! container"):
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "CYTC"
+//! 4       1     format version (currently 1)
+//! 5       …     body (cypress varint codec):
+//!               uvar nprocs
+//!               uvar section_count
+//!               section × section_count:
+//!                 u8   kind        (Meta | CstText | MergedCtt | RankCtt)
+//!                 uvar rank + 1    (0 = not rank-scoped)
+//!                 uvar payload_len, payload bytes
+//!                 uvar crc32(payload)   (gzip polynomial, cypress-deflate)
+//! ```
+//!
+//! Each section is independently framed and CRC-protected, so a reader can
+//! skip kinds it does not understand and detect torn or corrupted writes
+//! per-section. Writers go through [`Container::write_file`], which is
+//! atomic (temp + rename).
+
+use crate::codec::{DecodeError, Decoder, Encoder};
+use cypress_deflate::crc32;
+use std::fmt;
+use std::path::Path;
+use std::sync::OnceLock;
+
+/// File magic: CYpress Trace Container.
+pub const CONTAINER_MAGIC: [u8; 4] = *b"CYTC";
+
+/// Current format version.
+pub const CONTAINER_VERSION: u8 = 1;
+
+/// Container instrumentation handles (scope `container`).
+struct ContainerMetrics {
+    bytes_written: cypress_obs::Counter,
+    bytes_read: cypress_obs::Counter,
+    crc_failures: cypress_obs::Counter,
+}
+
+fn obs() -> &'static ContainerMetrics {
+    static M: OnceLock<ContainerMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let s = cypress_obs::scope("container");
+        ContainerMetrics {
+            bytes_written: s.counter("bytes_written"),
+            bytes_read: s.counter("bytes_read"),
+            crc_failures: s.counter("crc_failures"),
+        }
+    })
+}
+
+/// What a section's payload contains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SectionKind {
+    /// Tool metadata (free-form codec payload; see the umbrella crate).
+    Meta,
+    /// The CST in its canonical text format.
+    CstText,
+    /// A whole-job `MergedCtt` in codec bytes.
+    MergedCtt,
+    /// One rank's `Ctt` in codec bytes (rank-scoped).
+    RankCtt,
+}
+
+impl SectionKind {
+    pub fn code(self) -> u8 {
+        match self {
+            SectionKind::Meta => 0,
+            SectionKind::CstText => 1,
+            SectionKind::MergedCtt => 2,
+            SectionKind::RankCtt => 3,
+        }
+    }
+
+    pub fn from_code(c: u8) -> Option<SectionKind> {
+        Some(match c {
+            0 => SectionKind::Meta,
+            1 => SectionKind::CstText,
+            2 => SectionKind::MergedCtt,
+            3 => SectionKind::RankCtt,
+            _ => return None,
+        })
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            SectionKind::Meta => "meta",
+            SectionKind::CstText => "cst-text",
+            SectionKind::MergedCtt => "merged-ctt",
+            SectionKind::RankCtt => "rank-ctt",
+        }
+    }
+}
+
+/// One framed, CRC-protected payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Section {
+    pub kind: SectionKind,
+    /// Present for rank-scoped kinds (`RankCtt`).
+    pub rank: Option<u32>,
+    pub payload: Vec<u8>,
+}
+
+/// Container I/O and integrity errors.
+#[derive(Debug)]
+pub enum ContainerError {
+    Io(std::io::Error),
+    /// The file does not start with [`CONTAINER_MAGIC`].
+    BadMagic,
+    /// The file's version is newer than this reader understands.
+    UnsupportedVersion(u8),
+    /// Malformed body (framing, varints, bad kind codes).
+    Corrupt(DecodeError),
+    /// A section's payload does not match its stored CRC.
+    CrcMismatch {
+        index: usize,
+        stored: u32,
+        computed: u32,
+    },
+    /// A required section is absent.
+    MissingSection(&'static str),
+}
+
+impl fmt::Display for ContainerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContainerError::Io(e) => write!(f, "container io error: {e}"),
+            ContainerError::BadMagic => write!(f, "not a cypress container (bad magic)"),
+            ContainerError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "container version {v} not supported (max {CONTAINER_VERSION})"
+                )
+            }
+            ContainerError::Corrupt(e) => write!(f, "corrupt container: {e}"),
+            ContainerError::CrcMismatch {
+                index,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "section {index} crc mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            ContainerError::MissingSection(kind) => {
+                write!(f, "container has no {kind} section")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ContainerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ContainerError::Io(e) => Some(e),
+            ContainerError::Corrupt(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ContainerError {
+    fn from(e: std::io::Error) -> Self {
+        ContainerError::Io(e)
+    }
+}
+
+impl From<DecodeError> for ContainerError {
+    fn from(e: DecodeError) -> Self {
+        ContainerError::Corrupt(e)
+    }
+}
+
+/// A whole container: world size plus framed sections in file order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Container {
+    pub nprocs: u32,
+    pub sections: Vec<Section>,
+}
+
+impl Container {
+    pub fn new(nprocs: u32) -> Self {
+        Container {
+            nprocs,
+            sections: Vec::new(),
+        }
+    }
+
+    /// Append a section.
+    pub fn push(&mut self, kind: SectionKind, rank: Option<u32>, payload: Vec<u8>) {
+        self.sections.push(Section {
+            kind,
+            rank,
+            payload,
+        });
+    }
+
+    /// First section of `kind`, if any.
+    pub fn find(&self, kind: SectionKind) -> Option<&Section> {
+        self.sections.iter().find(|s| s.kind == kind)
+    }
+
+    /// All rank-scoped CTT sections, in file order.
+    pub fn rank_sections(&self) -> impl Iterator<Item = &Section> {
+        self.sections
+            .iter()
+            .filter(|s| s.kind == SectionKind::RankCtt)
+    }
+
+    /// Serialize: magic, version byte, then the varint-framed body.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut enc = Encoder::with_capacity(
+            8 + self
+                .sections
+                .iter()
+                .map(|s| s.payload.len() + 16)
+                .sum::<usize>(),
+        );
+        enc.put_uvar(self.nprocs as u64);
+        enc.put_uvar(self.sections.len() as u64);
+        for s in &self.sections {
+            enc.put_u8(s.kind.code());
+            enc.put_uvar(s.rank.map(|r| r as u64 + 1).unwrap_or(0));
+            enc.put_bytes(&s.payload);
+            enc.put_uvar(crc32(&s.payload) as u64);
+        }
+        let mut out = Vec::with_capacity(5 + enc.len());
+        out.extend_from_slice(&CONTAINER_MAGIC);
+        out.push(CONTAINER_VERSION);
+        out.extend_from_slice(&enc.finish());
+        out
+    }
+
+    /// Parse and verify a container image (magic, version, framing, and
+    /// every section CRC).
+    pub fn from_bytes(buf: &[u8]) -> Result<Self, ContainerError> {
+        if buf.len() < 5 || buf[..4] != CONTAINER_MAGIC {
+            return Err(ContainerError::BadMagic);
+        }
+        let version = buf[4];
+        if version == 0 || version > CONTAINER_VERSION {
+            return Err(ContainerError::UnsupportedVersion(version));
+        }
+        let mut dec = Decoder::new(&buf[5..]);
+        let nprocs = dec.get_uvar()? as u32;
+        let nsections = dec.get_uvar()? as usize;
+        if nsections > 1 << 24 {
+            return Err(ContainerError::Corrupt(DecodeError(format!(
+                "absurd section count {nsections}"
+            ))));
+        }
+        let mut sections = Vec::with_capacity(nsections.min(1 << 12));
+        for index in 0..nsections {
+            let code = dec.get_u8()?;
+            let kind = SectionKind::from_code(code).ok_or_else(|| {
+                ContainerError::Corrupt(DecodeError(format!("bad section kind {code}")))
+            })?;
+            let rank_plus1 = dec.get_uvar()?;
+            let rank = if rank_plus1 == 0 {
+                None
+            } else {
+                Some((rank_plus1 - 1) as u32)
+            };
+            let payload = dec.get_bytes()?;
+            let stored = dec.get_uvar()? as u32;
+            let computed = crc32(&payload);
+            if stored != computed {
+                if cypress_obs::enabled() {
+                    obs().crc_failures.inc();
+                }
+                return Err(ContainerError::CrcMismatch {
+                    index,
+                    stored,
+                    computed,
+                });
+            }
+            sections.push(Section {
+                kind,
+                rank,
+                payload,
+            });
+        }
+        if !dec.is_done() {
+            return Err(ContainerError::Corrupt(DecodeError(format!(
+                "{} trailing bytes after container body",
+                dec.remaining()
+            ))));
+        }
+        Ok(Container { nprocs, sections })
+    }
+
+    /// Write atomically (temp sibling + rename).
+    pub fn write_file(&self, path: impl AsRef<Path>) -> Result<(), ContainerError> {
+        let bytes = self.to_bytes();
+        cypress_obs::write_atomic(path.as_ref(), &bytes)?;
+        if cypress_obs::enabled() {
+            obs().bytes_written.add(bytes.len() as u64);
+        }
+        Ok(())
+    }
+
+    /// Read and verify a container file.
+    pub fn read_file(path: impl AsRef<Path>) -> Result<Self, ContainerError> {
+        let bytes = std::fs::read(path.as_ref())?;
+        if cypress_obs::enabled() {
+            obs().bytes_read.add(bytes.len() as u64);
+        }
+        Self::from_bytes(&bytes)
+    }
+
+    /// Total payload bytes across sections (excludes framing).
+    pub fn payload_bytes(&self) -> usize {
+        self.sections.iter().map(|s| s.payload.len()).sum()
+    }
+}
+
+/// Does this byte prefix look like a container file?
+pub fn is_container(prefix: &[u8]) -> bool {
+    prefix.len() >= 4 && prefix[..4] == CONTAINER_MAGIC
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Container {
+        let mut c = Container::new(8);
+        c.push(SectionKind::Meta, None, b"meta-payload".to_vec());
+        c.push(SectionKind::CstText, None, b"Root()".to_vec());
+        c.push(SectionKind::MergedCtt, None, vec![1, 2, 3, 4, 5]);
+        c.push(SectionKind::RankCtt, Some(0), vec![9, 9]);
+        c.push(SectionKind::RankCtt, Some(7), vec![7; 100]);
+        c
+    }
+
+    #[test]
+    fn round_trip() {
+        let c = sample();
+        let back = Container::from_bytes(&c.to_bytes()).unwrap();
+        assert_eq!(back, c);
+        assert_eq!(back.nprocs, 8);
+        assert_eq!(back.rank_sections().count(), 2);
+        assert_eq!(
+            back.find(SectionKind::CstText).unwrap().payload,
+            b"Root()".to_vec()
+        );
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] = b'X';
+        assert!(matches!(
+            Container::from_bytes(&bytes),
+            Err(ContainerError::BadMagic)
+        ));
+        assert!(!is_container(&bytes));
+        assert!(matches!(
+            Container::from_bytes(b"CY"),
+            Err(ContainerError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[4] = CONTAINER_VERSION + 1;
+        assert!(matches!(
+            Container::from_bytes(&bytes),
+            Err(ContainerError::UnsupportedVersion(_))
+        ));
+    }
+
+    #[test]
+    fn payload_corruption_fails_crc() {
+        let c = sample();
+        let clean = c.to_bytes();
+        // Flip one byte inside the merged-ctt payload (find it by value).
+        let pos = clean
+            .windows(5)
+            .position(|w| w == [1, 2, 3, 4, 5])
+            .expect("payload present");
+        let mut bytes = clean.clone();
+        bytes[pos + 2] ^= 0xff;
+        assert!(matches!(
+            Container::from_bytes(&bytes),
+            Err(ContainerError::CrcMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_is_corrupt_not_panic() {
+        let bytes = sample().to_bytes();
+        for cut in [5, 8, bytes.len() - 1] {
+            let err = Container::from_bytes(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, ContainerError::Corrupt(_)),
+                "cut {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes.push(0);
+        assert!(matches!(
+            Container::from_bytes(&bytes),
+            Err(ContainerError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn file_round_trip_is_atomic_write() {
+        let dir = std::env::temp_dir().join(format!("cypress-container-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("job.cytc");
+        let c = sample();
+        c.write_file(&path).unwrap();
+        let back = Container::read_file(&path).unwrap();
+        assert_eq!(back, c);
+        // No temp litter.
+        let names: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["job.cytc".to_owned()]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

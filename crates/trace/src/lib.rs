@@ -2,11 +2,14 @@
 //!
 //! Shared vocabulary of the whole system: MPI event records and structure
 //! markers ([`event`]), per-process raw traces with a compact varint binary
-//! encoding ([`raw`], [`codec`]), and communication-volume matrices used by
-//! the paper's pattern-analysis figures ([`commmatrix`]).
+//! encoding ([`raw`], [`codec`]), communication-volume matrices used by
+//! the paper's pattern-analysis figures ([`commmatrix`]), and the versioned
+//! CRC-checked on-disk container that persists whole compression jobs
+//! ([`container`]).
 
 pub mod codec;
 pub mod commmatrix;
+pub mod container;
 pub mod event;
 pub mod profile;
 pub mod raw;
@@ -14,6 +17,10 @@ pub mod textfmt;
 
 pub use codec::{Codec, DecodeError, DecodeResult, Decoder, Encoder};
 pub use commmatrix::CommMatrix;
+pub use container::{
+    is_container, Container, ContainerError, Section, SectionKind, CONTAINER_MAGIC,
+    CONTAINER_VERSION,
+};
 pub use event::{Event, EventSink, MpiOp, MpiParams, MpiRecord, ANY_SOURCE, NONE};
 pub use profile::{OpStats, Profile};
 pub use raw::{encode_mpi_events, raw_mpi_size, RawTrace};

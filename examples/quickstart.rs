@@ -1,16 +1,12 @@
 //! Quickstart: the whole CYPRESS pipeline on the paper's Jacobi example
-//! (Fig. 3) — static analysis, instrumented tracing, on-the-fly
-//! compression, inter-process merging, and sequence-preserving
-//! decompression.
+//! (Fig. 3) through the `Pipeline` facade — static analysis, streaming
+//! compression on a work-stealing pool, inter-process merging, container
+//! persistence, and sequence-preserving decompression.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use cypress::core::{compress_trace, decompress, merge_all, CompressConfig};
-use cypress::cst::analyze_program;
-use cypress::minilang::{check_program, parse};
-use cypress::runtime::{trace_program, InterpConfig};
 use cypress::trace::codec::Codec;
-use cypress::trace::raw::raw_mpi_size;
+use cypress::Pipeline;
 
 const JACOBI: &str = r#"
     // Simplified MPI program for Jacobi iteration (paper Fig. 3).
@@ -28,59 +24,66 @@ const JACOBI: &str = r#"
 "#;
 
 fn main() {
-    // 1. Static analysis: build the whole-program Communication Structure
-    //    Tree (CFG → dominators → loops → Algorithm 1 → Algorithm 2).
-    let prog = parse(JACOBI).expect("parse");
-    check_program(&prog).expect("type check");
-    let info = analyze_program(&prog);
-    println!("CST: {}", info.cst.to_compact_string());
+    // 1. One builder runs the whole pipeline: parse → CST construction
+    //    (CFG → dominators → loops → Algorithm 1 → Algorithm 2) → 16 SPMD
+    //    ranks interpreted on a work-stealing pool, each feeding a streaming
+    //    compression session — the raw trace never materializes.
+    let nprocs = 16;
+    let mut job = Pipeline::new(JACOBI)
+        .ranks(nprocs)
+        .run()
+        .expect("pipeline run");
+
+    println!("CST: {}", job.info.cst.to_compact_string());
     println!(
         "     {} vertices, {} MPI leaves, {} instrumentation entries\n",
-        info.cst.len(),
-        info.cst.mpi_leaf_count(),
-        info.sitemap.entry_count()
+        job.info.cst.len(),
+        job.info.cst.mpi_leaf_count(),
+        job.info.sitemap.entry_count()
     );
 
-    // 2. Trace 16 SPMD ranks through the instrumented interpreter.
-    let nprocs = 16;
-    let traces = trace_program(&prog, &info, nprocs, &InterpConfig::default()).expect("trace");
-    let total_events: usize = traces.iter().map(|t| t.mpi_count()).sum();
-    let raw_bytes: usize = traces.iter().map(raw_mpi_size).sum();
-    println!("traced {nprocs} ranks: {total_events} MPI events, {raw_bytes} raw bytes");
-
-    // 3. Intra-process compression: fill each rank's CTT top-down.
-    let cfg = CompressConfig::default();
-    let ctts: Vec<_> = traces
-        .iter()
-        .map(|t| compress_trace(&info.cst, t, &cfg))
-        .collect();
+    // 2. Streaming sessions report what a PMPI tracer would: event counts
+    //    and the (flat) peak resident CTT footprint per rank.
+    let events: u64 = job.stats.iter().map(|s| s.events).sum();
+    println!(
+        "streamed {events} events across {nprocs} ranks; peak resident CTT {} B/rank",
+        job.peak_ctt_bytes()
+    );
     println!(
         "per-rank compressed records: {:?}",
-        ctts.iter().map(|c| c.record_count()).collect::<Vec<_>>()
-    );
-
-    // 4. Inter-process merge: O(n) per pair thanks to the shared tree shape.
-    let merged = merge_all(&ctts);
-    println!(
-        "merged CTT: {} rank groups, {} bytes (vs {} raw — {:.0}x)",
-        merged.group_count(),
-        merged.encoded_size(),
-        raw_bytes,
-        raw_bytes as f64 / merged.encoded_size() as f64
-    );
-
-    // 5. Decompression preserves the exact per-rank sequence.
-    for (rank, (t, ctt)) in traces.iter().zip(&ctts).enumerate() {
-        let replay = decompress(&info.cst, ctt);
-        let original: Vec<_> = t
-            .mpi_records()
-            .map(|r| (r.gid, r.op, r.params.clone()))
-            .collect();
-        let replayed: Vec<_> = replay
+        job.ctts
             .iter()
-            .map(|o| (o.gid, o.op, o.params.clone()))
-            .collect();
-        assert_eq!(original, replayed, "rank {rank} sequence mismatch");
+            .map(|c| c.record_count())
+            .collect::<Vec<_>>()
+    );
+
+    // 3. Inter-process merge: O(n) per pair thanks to the shared tree shape.
+    let merged_bytes = job.merge().encoded_size();
+    println!(
+        "merged CTT: {} rank groups, {merged_bytes} bytes",
+        job.merge().group_count()
+    );
+
+    // 4. Persist as a versioned, CRC-checked container and reload it — no
+    //    re-simulation needed on the read side.
+    let path = std::env::temp_dir().join("cypress-quickstart.cytc");
+    job.write_container(&path, false).expect("write container");
+    let loaded = cypress::read_container(&path).expect("read container");
+
+    // 5. Decompression (from the reloaded file!) preserves each rank's
+    //    exact sequence.
+    for rank in 0..nprocs {
+        let from_disk = loaded.decompress(rank).expect("decompress loaded");
+        let in_memory = job.decompress(rank).expect("decompress job");
+        assert_eq!(
+            from_disk.len(),
+            in_memory.len(),
+            "rank {rank} sequence mismatch"
+        );
+        for (a, b) in from_disk.iter().zip(&in_memory) {
+            assert_eq!((a.gid, a.op), (b.gid, b.op), "rank {rank} op mismatch");
+        }
     }
-    println!("\nsequence preservation verified for all {nprocs} ranks ✓");
+    let _ = std::fs::remove_file(&path);
+    println!("\ncontainer round trip + sequence preservation verified for all {nprocs} ranks ✓");
 }

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Repo gate: formatting, lints, and the full test suite.
+# Repo gate: formatting, lints, the full test suite, example builds, and a
+# quick streaming-benchmark smoke run with schema validation.
 # Usage: scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -7,10 +8,30 @@ cd "$(dirname "$0")/.."
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
 
-echo "== cargo clippy (deny warnings) =="
-cargo clippy --workspace --all-targets -- -D warnings
+echo "== cargo clippy (deny warnings + deprecated) =="
+# -D deprecated keeps the repo's own code off the cypress::compat shims;
+# the shim module itself and its tests opt out locally.
+cargo clippy --workspace --all-targets -- -D warnings -D deprecated
 
 echo "== cargo test =="
 cargo test --workspace -q
+
+echo "== examples build =="
+cargo build -q --examples
+
+echo "== bench_stream smoke (fast mode) =="
+CYPRESS_BENCH_FAST=1 cargo bench -q --bench bench_stream -p cypress-bench
+
+echo "== BENCH_stream.json schema =="
+json=results/BENCH_stream.json
+test -s "$json" || { echo "missing $json"; exit 1; }
+for key in '"schema":"bench_stream/v1"' '"workloads":' '"events_per_sec":' \
+           '"peak_resident_ctt_bytes":' '"stream_vs_batch":' '"identical_merged_bytes":'; do
+  grep -qF "$key" "$json" || { echo "missing $key in $json"; exit 1; }
+done
+if grep -qF '"identical_merged_bytes":false' "$json"; then
+  echo "streaming/batch divergence recorded in $json"
+  exit 1
+fi
 
 echo "all checks passed"

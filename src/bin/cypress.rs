@@ -4,12 +4,18 @@
 //! cypress cst <prog.mpi>                      print the communication structure tree
 //! cypress trace <prog.mpi> -n P -o DIR        write per-rank raw traces
 //! cypress compress <prog.mpi> -n P -o FILE    trace + compress + merge to FILE
-//! cypress decompress FILE --cst CST [-r R]    replay rank R (default 0) from a merged trace
+//!   --stream                                  compress online into a .cytc container
+//!   --per-rank                                also store each rank's CTT section
+//! cypress decompress FILE [-r R]              replay rank R (default 0); containers
+//!   [--cst CST]                               are self-describing, legacy dumps need --cst
+//! cypress inspect FILE                        container header, sections, CRCs
 //! cypress stats <prog.mpi> -n P               op histogram + communication matrix
 //! cypress simulate <prog.mpi> -n P            measured vs predicted LogGP times
 //! ```
 //!
-//! Program files contain MiniMPI source (see `cypress-minilang`).
+//! Program files contain MiniMPI source (see `cypress-minilang`). All
+//! commands report failures through [`cypress::Error`] — no panics on bad
+//! input files.
 
 use cypress::core::{compress_trace, decompress, merge_all_parallel, CompressConfig, MergedCtt};
 use cypress::cst::{analyze_program, Cst, StaticInfo};
@@ -19,7 +25,10 @@ use cypress::simmpi::{from_raw_traces, simulate, LogGp, SimOp};
 use cypress::trace::codec::Codec;
 use cypress::trace::commmatrix::CommMatrix;
 use cypress::trace::raw::{raw_mpi_size, RawTrace};
+use cypress::trace::{is_container, Container, SectionKind};
+use cypress::{read_container, Error, Pipeline};
 use std::fs;
+use std::path::Path;
 use std::process::exit;
 
 fn main() {
@@ -42,6 +51,7 @@ fn main() {
         "dump" => cmd_dump(rest),
         "compress" => cmd_compress(rest),
         "decompress" => cmd_decompress(rest),
+        "inspect" => cmd_inspect(rest),
         "stats" => cmd_stats(rest),
         "simulate" => cmd_simulate(rest),
         "-h" | "--help" | "help" => {
@@ -64,18 +74,17 @@ fn main() {
 }
 
 /// Dump the pipeline-wide metrics report: human table to stdout, JSON lines
-/// to `results/metrics.jsonl` (best-effort — failure to write is non-fatal).
+/// appended to `results/metrics.jsonl` (best-effort — failure to write is
+/// non-fatal). The append is atomic (temp + rename), so concurrent runs
+/// never leave a torn file, and `results/` is created on demand.
 fn emit_metrics() {
     let report = cypress::obs::report();
     println!("\n== metrics ==\n{}", report.to_text());
-    let path = "results/metrics.jsonl";
-    let ok = fs::create_dir_all("results")
-        .and_then(|()| fs::write(path, report.to_jsonl()))
-        .is_ok();
-    if ok {
-        eprintln!("metrics written to {path}");
+    let path = Path::new("results/metrics.jsonl");
+    if cypress::obs::append_atomic(path, report.to_jsonl().as_bytes()).is_ok() {
+        eprintln!("metrics appended to {}", path.display());
     } else {
-        eprintln!("warning: could not write {path}");
+        eprintln!("warning: could not write {}", path.display());
     }
 }
 
@@ -87,19 +96,23 @@ USAGE:
   cypress cst <prog.mpi>
   cypress trace <prog.mpi> -n <procs> -o <dir>
   cypress dump <prog.mpi> -n <procs> [-r <rank>]
-  cypress compress <prog.mpi> -n <procs> -o <file>
-  cypress decompress <file> --cst <cst.txt> [-r <rank>]
+  cypress compress <prog.mpi> -n <procs> -o <file> [--stream] [--per-rank]
+  cypress decompress <file> [-r <rank>] [--cst <cst.txt>]
+  cypress inspect <file>
   cypress stats <prog.mpi> -n <procs>
   cypress simulate <prog.mpi> -n <procs>
 
 OPTIONS:
-  --metrics    collect pipeline metrics; print a report and write
+  --stream     compress online (streaming sessions) into a versioned
+               .cytc container instead of a bare merged dump
+  --per-rank   with --stream: add one CRC-framed CTT section per rank
+  --metrics    collect pipeline metrics; print a report and append
                results/metrics.jsonl on exit
   CYPRESS_LOG=error|warn|info|debug|trace   structured logging to stderr"
     );
 }
 
-type CliResult = Result<(), String>;
+type CliResult = cypress::Result<()>;
 
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -108,33 +121,54 @@ fn flag(args: &[String], name: &str) -> Option<String> {
         .cloned()
 }
 
-fn nprocs_of(args: &[String]) -> Result<u32, String> {
-    flag(args, "-n")
-        .ok_or_else(|| "missing -n <procs>".to_string())?
-        .parse()
-        .map_err(|e| format!("bad -n value: {e}"))
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
 }
 
-fn load_program(args: &[String]) -> Result<(Program, StaticInfo), String> {
-    let path = args
-        .iter()
+fn nprocs_of(args: &[String]) -> cypress::Result<u32> {
+    flag(args, "-n")
+        .ok_or_else(|| Error::Invalid("missing -n <procs>".into()))?
+        .parse()
+        .map_err(|e| Error::Invalid(format!("bad -n value: {e}")))
+}
+
+fn rank_of(args: &[String]) -> cypress::Result<u32> {
+    match flag(args, "-r") {
+        None => Ok(0),
+        Some(s) => s
+            .parse()
+            .map_err(|e| Error::Invalid(format!("bad -r value: {e}"))),
+    }
+}
+
+fn file_arg(args: &[String], what: &str) -> cypress::Result<String> {
+    args.iter()
         .find(|a| !a.starts_with('-'))
-        .ok_or("missing program file")?;
-    let src = fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
-    let prog = parse(&src).map_err(|e| format!("{path}: {e}"))?;
-    check_program(&prog).map_err(|e| format!("{path}: {e}"))?;
+        .cloned()
+        .ok_or_else(|| Error::Invalid(format!("missing {what}")))
+}
+
+fn read_source(args: &[String]) -> cypress::Result<(String, String)> {
+    let path = file_arg(args, "program file")?;
+    let src = fs::read_to_string(&path).map_err(|e| Error::Invalid(format!("read {path}: {e}")))?;
+    Ok((path, src))
+}
+
+fn load_program(args: &[String]) -> cypress::Result<(Program, StaticInfo)> {
+    let (_, src) = read_source(args)?;
+    let prog = parse(&src)?;
+    check_program(&prog)?;
     let info = analyze_program(&prog);
     Ok((prog, info))
 }
 
-fn run_traces(args: &[String]) -> Result<(Program, StaticInfo, Vec<RawTrace>), String> {
+fn run_traces(args: &[String]) -> cypress::Result<(Program, StaticInfo, Vec<RawTrace>)> {
     let (prog, info) = load_program(args)?;
     let n = nprocs_of(args)?;
     let threads = std::thread::available_parallelism()
         .map(|t| t.get())
         .unwrap_or(4);
-    let traces = trace_program_parallel(&prog, &info, n, &InterpConfig::default(), threads)
-        .map_err(|e| e.to_string())?;
+    let traces = trace_program_parallel(&prog, &info, n, &InterpConfig::default(), threads)?;
     Ok((prog, info, traces))
 }
 
@@ -154,14 +188,14 @@ fn cmd_cst(args: &[String]) -> CliResult {
 
 fn cmd_trace(args: &[String]) -> CliResult {
     let (_, _, traces) = run_traces(args)?;
-    let dir = flag(args, "-o").ok_or("missing -o <dir>")?;
-    fs::create_dir_all(&dir).map_err(|e| format!("mkdir {dir}: {e}"))?;
+    let dir = flag(args, "-o").ok_or_else(|| Error::Invalid("missing -o <dir>".into()))?;
+    fs::create_dir_all(&dir)?;
     let mut total = 0usize;
     for t in &traces {
         let path = format!("{dir}/rank{:05}.trace", t.rank);
         let bytes = t.to_bytes();
         total += bytes.len();
-        fs::write(&path, &bytes).map_err(|e| format!("write {path}: {e}"))?;
+        fs::write(&path, &bytes)?;
     }
     println!(
         "wrote {} raw traces to {dir}/ ({} bytes total)",
@@ -173,19 +207,21 @@ fn cmd_trace(args: &[String]) -> CliResult {
 
 fn cmd_dump(args: &[String]) -> CliResult {
     let (_, _, traces) = run_traces(args)?;
-    let rank: usize = flag(args, "-r").map_or(Ok(0), |s| {
-        s.parse().map_err(|e| format!("bad -r value: {e}"))
-    })?;
+    let rank = rank_of(args)? as usize;
     let t = traces
         .get(rank)
-        .ok_or_else(|| format!("rank {rank} out of range"))?;
+        .ok_or_else(|| Error::Invalid(format!("rank {rank} out of range")))?;
     print!("{}", cypress::trace::format_trace(t));
     Ok(())
 }
 
 fn cmd_compress(args: &[String]) -> CliResult {
+    let out = flag(args, "-o").ok_or_else(|| Error::Invalid("missing -o <file>".into()))?;
+    if has_flag(args, "--stream") {
+        return cmd_compress_stream(args, &out);
+    }
+    // Legacy batch path: bare merged-CTT dump + CST text sidecar.
     let (_, info, traces) = run_traces(args)?;
-    let out = flag(args, "-o").ok_or("missing -o <file>")?;
     let raw: usize = traces.iter().map(raw_mpi_size).sum();
     let cfg = CompressConfig::default();
     let ctts: Vec<_> = traces
@@ -194,9 +230,9 @@ fn cmd_compress(args: &[String]) -> CliResult {
         .collect();
     let merged = merge_all_parallel(&ctts, 8);
     let bytes = merged.to_bytes();
-    fs::write(&out, &bytes).map_err(|e| format!("write {out}: {e}"))?;
+    fs::write(&out, &bytes)?;
     let cst_path = format!("{out}.cst");
-    fs::write(&cst_path, info.cst.to_text()).map_err(|e| format!("write {cst_path}: {e}"))?;
+    fs::write(&cst_path, info.cst.to_text())?;
     println!(
         "raw {} B -> merged {} B (+{} B CST) — {:.1}x",
         raw,
@@ -208,21 +244,46 @@ fn cmd_compress(args: &[String]) -> CliResult {
     Ok(())
 }
 
+/// Streaming compression: every rank feeds a session online (the raw trace
+/// never materializes) and the result persists as a versioned container.
+fn cmd_compress_stream(args: &[String], out: &str) -> CliResult {
+    let (_, src) = read_source(args)?;
+    let n = nprocs_of(args)?;
+    let mut job = Pipeline::new(src).ranks(n).run()?;
+    let events: u64 = job.stats.iter().map(|s| s.events).sum();
+    let peak = job.peak_ctt_bytes();
+    job.write_container(out, has_flag(args, "--per-rank"))?;
+    let written = fs::metadata(out).map(|m| m.len()).unwrap_or(0);
+    println!("streamed {events} events across {n} ranks; peak resident CTT {peak} B/rank");
+    println!(
+        "wrote {out} ({written} B container: cst + merged{} )",
+        if has_flag(args, "--per-rank") {
+            format!(" + {n} rank sections")
+        } else {
+            String::new()
+        }
+    );
+    Ok(())
+}
+
 fn cmd_decompress(args: &[String]) -> CliResult {
-    let file = args
-        .iter()
-        .find(|a| !a.starts_with('-'))
-        .ok_or("missing merged trace file")?;
-    let cst_path = flag(args, "--cst").ok_or("missing --cst <cst.txt>")?;
-    let rank: u32 = flag(args, "-r").map_or(Ok(0), |s| {
-        s.parse().map_err(|e| format!("bad -r value: {e}"))
-    })?;
-    let bytes = fs::read(file).map_err(|e| format!("read {file}: {e}"))?;
-    let merged = MergedCtt::from_bytes(&bytes).map_err(|e| e.to_string())?;
-    let cst_text = fs::read_to_string(&cst_path).map_err(|e| format!("read {cst_path}: {e}"))?;
-    let cst = Cst::from_text(&cst_text)?;
-    let ctt = merged.extract_rank(rank, &cst);
-    let ops = decompress(&cst, &ctt);
+    let file = file_arg(args, "compressed trace file")?;
+    let rank = rank_of(args)?;
+    let bytes = fs::read(&file)?;
+    let ops = if is_container(&bytes) {
+        // Self-describing container: CST travels inside.
+        read_container(&file)?.decompress(rank)?
+    } else {
+        // Legacy bare merged dump: CST text comes from --cst.
+        let cst_path = flag(args, "--cst").ok_or_else(|| {
+            Error::Invalid("missing --cst <cst.txt> (not a container file)".into())
+        })?;
+        let merged = MergedCtt::from_bytes(&bytes)?;
+        let cst_text = fs::read_to_string(&cst_path)?;
+        let cst = Cst::from_text(&cst_text)?;
+        let ctt = merged.extract_rank(rank, &cst);
+        decompress(&cst, &ctt)
+    };
     println!("# rank {rank}: {} operations", ops.len());
     for o in &ops {
         let p = &o.params;
@@ -256,6 +317,45 @@ fn cmd_decompress(args: &[String]) -> CliResult {
     Ok(())
 }
 
+/// Print a container's header and section table without decompressing.
+fn cmd_inspect(args: &[String]) -> CliResult {
+    let file = file_arg(args, "container file")?;
+    let c = Container::read_file(&file)?;
+    println!("{file}: cypress container v1, {} ranks", c.nprocs);
+    if let Some(meta) = c.find(SectionKind::Meta) {
+        // Meta payload: tool, version, nprocs (see cypress::pipeline).
+        let mut dec = cypress::trace::Decoder::new(&meta.payload);
+        if let (Ok(tool), Ok(version)) = (dec.get_str(), dec.get_str()) {
+            println!("written by {tool} {version}");
+        }
+    }
+    println!(
+        "{} sections, {} payload bytes:",
+        c.sections.len(),
+        c.payload_bytes()
+    );
+    for (i, s) in c.sections.iter().enumerate() {
+        let scope = match s.rank {
+            Some(r) => format!(" rank {r}"),
+            None => String::new(),
+        };
+        println!(
+            "  [{i}] {:<10}{scope:<9} {:>8} B  crc ok",
+            s.kind.name(),
+            s.payload.len()
+        );
+    }
+    if let Some(s) = c.find(SectionKind::MergedCtt) {
+        let merged = MergedCtt::from_bytes(&s.payload)?;
+        println!(
+            "merged CTT: {} vertices, {} rank groups",
+            merged.vertices.len(),
+            merged.group_count()
+        );
+    }
+    Ok(())
+}
+
 fn cmd_stats(args: &[String]) -> CliResult {
     let (_, _, traces) = run_traces(args)?;
     print!("{}", cypress::trace::Profile::from_traces(&traces).report());
@@ -277,7 +377,8 @@ fn cmd_stats(args: &[String]) -> CliResult {
 fn cmd_simulate(args: &[String]) -> CliResult {
     let (_, info, traces) = run_traces(args)?;
     let model = LogGp::default();
-    let measured = simulate(&from_raw_traces(&traces), &model).map_err(|e| e.to_string())?;
+    let measured =
+        simulate(&from_raw_traces(&traces), &model).map_err(|e| Error::Invalid(e.to_string()))?;
     let cfg = CompressConfig::default();
     let predicted_ops: Vec<Vec<SimOp>> = traces
         .iter()
@@ -294,7 +395,7 @@ fn cmd_simulate(args: &[String]) -> CliResult {
                 .collect()
         })
         .collect();
-    let predicted = simulate(&predicted_ops, &model).map_err(|e| e.to_string())?;
+    let predicted = simulate(&predicted_ops, &model).map_err(|e| Error::Invalid(e.to_string()))?;
     println!(
         "measured (raw traces):        {:.3} ms",
         measured.total as f64 / 1e6

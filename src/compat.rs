@@ -1,0 +1,73 @@
+//! Deprecated pre-`Pipeline` entry points.
+//!
+//! Before the [`Pipeline`](crate::Pipeline) facade, callers drove the stack
+//! through these free functions (still the spelling inside the subcrates,
+//! which keep them undeprecated for internal use). At the umbrella level
+//! they are shims: same signatures, same behavior, marked `#[deprecated]`
+//! so downstream code migrates at its own pace while `scripts/check.sh`
+//! keeps *this* repo's own code off them. See the migration table in
+//! `README.md`.
+
+use cypress_core::{CompressConfig, Ctt, MergedCtt};
+use cypress_cst::StaticInfo;
+use cypress_minilang::Program;
+use cypress_runtime::{InterpConfig, RunResult};
+use cypress_trace::RawTrace;
+
+/// Trace every rank serially and collect raw traces.
+#[deprecated(
+    since = "0.1.0",
+    note = "use cypress::Pipeline::new(src).ranks(n).streaming(false).run()"
+)]
+pub fn trace_program(
+    prog: &Program,
+    info: &StaticInfo,
+    nprocs: u32,
+    cfg: &InterpConfig,
+) -> RunResult<Vec<RawTrace>> {
+    cypress_runtime::trace_program(prog, info, nprocs, cfg)
+}
+
+/// Compress one recorded raw trace offline.
+#[deprecated(
+    since = "0.1.0",
+    note = "use cypress::Pipeline (streaming sessions compress online; job.ctts holds the result)"
+)]
+pub fn compress_trace(cst: &cypress_cst::Cst, trace: &RawTrace, cfg: &CompressConfig) -> Ctt {
+    cypress_core::compress_trace(cst, trace, cfg)
+}
+
+/// Merge per-rank CTTs with an explicit thread count.
+#[deprecated(since = "0.1.0", note = "use cypress::CompressedJob::merge()")]
+pub fn merge_all_parallel(ctts: &[Ctt], threads: usize) -> MergedCtt {
+    cypress_core::merge_all_parallel(ctts, threads)
+}
+
+#[cfg(test)]
+#[allow(deprecated)]
+mod tests {
+    use cypress_cst::analyze_program;
+    use cypress_minilang::{check_program, parse};
+
+    /// The shims must stay behavior-identical to the Pipeline they wrap.
+    #[test]
+    fn shims_match_pipeline_output() {
+        let src = "fn main() { for i in 0..32 { allreduce(16); } }";
+        let prog = parse(src).unwrap();
+        check_program(&prog).unwrap();
+        let info = analyze_program(&prog);
+
+        let traces =
+            super::trace_program(&prog, &info, 4, &cypress_runtime::InterpConfig::default())
+                .unwrap();
+        let ctts: Vec<_> = traces
+            .iter()
+            .map(|t| super::compress_trace(&info.cst, t, &Default::default()))
+            .collect();
+        let merged = super::merge_all_parallel(&ctts, 2);
+
+        let mut job = crate::Pipeline::new(src).ranks(4).threads(2).run().unwrap();
+        assert_eq!(job.ctts, ctts);
+        assert_eq!(job.merge(), &merged);
+    }
+}

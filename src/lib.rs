@@ -1,8 +1,33 @@
 //! # cypress — hybrid static-dynamic top-down MPI trace compression
 //!
-//! Umbrella crate re-exporting the whole CYPRESS reproduction (SC'14,
-//! Zhai et al.). See `README.md` for the architecture and `DESIGN.md` for
-//! the per-experiment index.
+//! Umbrella crate for the CYPRESS reproduction (SC'14, Zhai et al.). The
+//! front door is [`Pipeline`]: parse → static analysis → per-rank execution
+//! with online streaming compression on a work-stealing pool → merge →
+//! container persistence, all behind one builder:
+//!
+//! ```
+//! use cypress::Pipeline;
+//!
+//! let mut job = Pipeline::new("fn main() { for i in 0..50 { allreduce(64); } }")
+//!     .ranks(8)
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(job.merge().group_count(), 2);
+//! assert_eq!(job.decompress(0).unwrap().len(), 50);
+//! ```
+//!
+//! The individual layers stay available as re-exported subcrates for code
+//! that needs one piece (e.g. just the CST builder). Errors from every
+//! layer unify into [`Error`]. The pre-`Pipeline` free functions live on as
+//! deprecated shims in [`compat`]. See `README.md` for the architecture and
+//! `DESIGN.md` for the per-experiment index.
+
+pub mod compat;
+pub mod error;
+pub mod pipeline;
+
+pub use error::{Error, Result};
+pub use pipeline::{read_container, CompressedJob, LoadedJob, MetaInfo, Pipeline};
 
 pub use cypress_baselines as baselines;
 pub use cypress_core as core;

@@ -1,0 +1,397 @@
+//! The `Pipeline` facade — one builder for the whole CYPRESS flow.
+//!
+//! The original API surface made callers wire four crates by hand: parse
+//! with `minilang`, analyze with `cst`, trace every rank with `runtime`,
+//! then compress, merge, and persist with `core` — five imports and a page
+//! of plumbing for the common "compress this program" case. [`Pipeline`]
+//! folds that into one builder:
+//!
+//! ```
+//! use cypress::Pipeline;
+//!
+//! let mut job = Pipeline::new("fn main() { for i in 0..64 { allreduce(32); } }")
+//!     .ranks(8)
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(job.nprocs, 8);
+//! assert_eq!(job.ctts[0].record_count(), 1);   // 64 iterations fold to 1 record
+//! assert_eq!(job.merge().group_count(), 2);    // all 8 ranks share one group
+//! assert_eq!(job.decompress(3).unwrap().len(), 64);
+//! ```
+//!
+//! By default the pipeline runs **streaming**: each rank's interpreter feeds
+//! a [`CompressSession`] event-by-event on a work-stealing worker pool, so
+//! the raw trace never materializes — the paper's online PMPI deployment.
+//! `.streaming(false)` selects the classic record-then-compress batch path;
+//! both produce byte-identical CTTs (pinned by `tests/streaming.rs`).
+
+use crate::error::{Error, Result};
+use cypress_core::{
+    compress_trace, decompress, merge_all_parallel, CompressConfig, CompressSession, Ctt,
+    MergedCtt, ReplayOp, SessionConfig, SessionStats,
+};
+use cypress_cst::{analyze_program, Cst, StaticInfo};
+use cypress_minilang::{check_program, parse};
+use cypress_runtime::{run_rank_with_sink, run_ranks, trace_program_parallel, InterpConfig};
+use cypress_trace::{Codec, Container, ContainerError, Decoder, Encoder, SectionKind};
+use std::path::Path;
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+/// Builder for a full compression run over a MiniMPI program.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    source: String,
+    nprocs: u32,
+    compress: CompressConfig,
+    interp: InterpConfig,
+    session: SessionConfig,
+    threads: usize,
+    streaming: bool,
+}
+
+impl Pipeline {
+    /// Start a pipeline over MiniMPI source text. Defaults: 4 ranks,
+    /// streaming compression, default compress/interp/session configs, one
+    /// worker per available core.
+    pub fn new(source: impl Into<String>) -> Self {
+        Pipeline {
+            source: source.into(),
+            nprocs: 4,
+            compress: CompressConfig::default(),
+            interp: InterpConfig::default(),
+            session: SessionConfig::default(),
+            threads: default_threads(),
+            streaming: true,
+        }
+    }
+
+    /// Number of simulated MPI ranks.
+    pub fn ranks(mut self, nprocs: u32) -> Self {
+        self.nprocs = nprocs;
+        self
+    }
+
+    /// Compression knobs (window, time mode, relative ranks).
+    pub fn config(mut self, cfg: CompressConfig) -> Self {
+        self.compress = cfg;
+        self
+    }
+
+    /// Interpreter knobs (step budget, virtual time model).
+    pub fn interp_config(mut self, cfg: InterpConfig) -> Self {
+        self.interp = cfg;
+        self
+    }
+
+    /// Streaming-session knobs (checkpoint cadence, soft byte budget).
+    pub fn session_config(mut self, cfg: SessionConfig) -> Self {
+        self.session = cfg;
+        self
+    }
+
+    /// Worker-pool width for rank execution and merging.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// `true` (default): compress online while each rank executes.
+    /// `false`: record raw traces first, then compress — same CTT bytes,
+    /// linearly growing memory.
+    pub fn streaming(mut self, on: bool) -> Self {
+        self.streaming = on;
+        self
+    }
+
+    /// Parse, analyze, execute every rank, and compress. Rank execution runs
+    /// on a work-stealing pool of `threads` workers.
+    pub fn run(self) -> Result<CompressedJob> {
+        if self.nprocs == 0 {
+            return Err(Error::Invalid("pipeline needs at least 1 rank".into()));
+        }
+        let prog = parse(&self.source)?;
+        check_program(&prog)?;
+        let info = analyze_program(&prog);
+
+        let (ctts, stats) = if self.streaming {
+            let per_rank = run_ranks(self.nprocs, self.threads, |rank| {
+                let mut session = CompressSession::new(
+                    &info.cst,
+                    rank,
+                    self.nprocs,
+                    self.compress.clone(),
+                    self.session.clone(),
+                );
+                let app_time = run_rank_with_sink(
+                    &prog,
+                    &info,
+                    rank,
+                    self.nprocs,
+                    &self.interp,
+                    &mut session,
+                )?;
+                Ok(session.finish(app_time))
+            });
+            let mut ctts = Vec::with_capacity(per_rank.len());
+            let mut stats = Vec::with_capacity(per_rank.len());
+            for r in per_rank {
+                let (ctt, st) = r.map_err(Error::Runtime)?;
+                ctts.push(ctt);
+                stats.push(st);
+            }
+            (ctts, stats)
+        } else {
+            let traces =
+                trace_program_parallel(&prog, &info, self.nprocs, &self.interp, self.threads)?;
+            let ctts = traces
+                .iter()
+                .map(|t| compress_trace(&info.cst, t, &self.compress))
+                .collect();
+            (ctts, Vec::new())
+        };
+
+        Ok(CompressedJob {
+            info,
+            nprocs: self.nprocs,
+            ctts,
+            stats,
+            merged: None,
+            threads: self.threads,
+        })
+    }
+}
+
+/// The output of [`Pipeline::run`]: static analysis plus every rank's CTT,
+/// with merging, decompression, and persistence as methods.
+pub struct CompressedJob {
+    /// Static analysis (CST, site map) of the program.
+    pub info: StaticInfo,
+    pub nprocs: u32,
+    /// Per-rank compressed trace trees, indexed by rank.
+    pub ctts: Vec<Ctt>,
+    /// Per-rank session accounting (empty on the batch path).
+    pub stats: Vec<SessionStats>,
+    /// Cached merge result; populated by [`CompressedJob::merge`].
+    pub merged: Option<MergedCtt>,
+    threads: usize,
+}
+
+impl CompressedJob {
+    /// Merge all rank CTTs (parallel, cached). Subsequent calls return the
+    /// cached tree.
+    pub fn merge(&mut self) -> &MergedCtt {
+        if self.merged.is_none() {
+            self.merged = Some(merge_all_parallel(&self.ctts, self.threads));
+        }
+        self.merged.as_ref().expect("just populated")
+    }
+
+    /// Replay one rank's exact MPI operation sequence.
+    pub fn decompress(&self, rank: u32) -> Result<Vec<ReplayOp>> {
+        let ctt = self
+            .ctts
+            .get(rank as usize)
+            .ok_or_else(|| Error::Invalid(format!("rank {rank} out of 0..{}", self.nprocs)))?;
+        Ok(decompress(&self.info.cst, ctt))
+    }
+
+    /// Peak live CTT bytes across ranks (streaming path only; 0 otherwise).
+    pub fn peak_ctt_bytes(&self) -> usize {
+        self.stats
+            .iter()
+            .map(|s| s.peak_ctt_bytes)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Persist the job as a versioned container: tool metadata, CST text,
+    /// the merged CTT, and (when `per_rank` is set) every rank's CTT as its
+    /// own CRC-framed section. Merges first if not already merged.
+    pub fn write_container(&mut self, path: impl AsRef<Path>, per_rank: bool) -> Result<()> {
+        self.merge();
+        let mut c = Container::new(self.nprocs);
+        c.push(SectionKind::Meta, None, meta_payload(self.nprocs));
+        c.push(
+            SectionKind::CstText,
+            None,
+            self.info.cst.to_text().into_bytes(),
+        );
+        c.push(
+            SectionKind::MergedCtt,
+            None,
+            self.merged.as_ref().expect("merged above").to_bytes(),
+        );
+        if per_rank {
+            for ctt in &self.ctts {
+                c.push(SectionKind::RankCtt, Some(ctt.rank), ctt.to_bytes());
+            }
+        }
+        c.write_file(path)?;
+        Ok(())
+    }
+}
+
+/// Tool metadata stored in a container's `Meta` section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetaInfo {
+    pub tool: String,
+    pub version: String,
+    pub nprocs: u32,
+}
+
+fn meta_payload(nprocs: u32) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.put_str("cypress");
+    enc.put_str(env!("CARGO_PKG_VERSION"));
+    enc.put_uvar(nprocs as u64);
+    enc.finish()
+}
+
+fn parse_meta(payload: &[u8]) -> Result<MetaInfo> {
+    let mut dec = Decoder::new(payload);
+    Ok(MetaInfo {
+        tool: dec.get_str()?,
+        version: dec.get_str()?,
+        nprocs: dec.get_uvar()? as u32,
+    })
+}
+
+/// A compression job reloaded from a container file — everything needed to
+/// inspect or decompress without re-running the simulation.
+pub struct LoadedJob {
+    pub nprocs: u32,
+    pub meta: Option<MetaInfo>,
+    pub cst: Cst,
+    pub merged: Option<MergedCtt>,
+    /// Rank-scoped CTT sections, in file order.
+    pub rank_ctts: Vec<Ctt>,
+}
+
+impl LoadedJob {
+    /// Replay one rank's sequence, preferring its dedicated section and
+    /// falling back to extraction from the merged tree.
+    pub fn decompress(&self, rank: u32) -> Result<Vec<ReplayOp>> {
+        if rank >= self.nprocs {
+            return Err(Error::Invalid(format!(
+                "rank {rank} out of 0..{}",
+                self.nprocs
+            )));
+        }
+        if let Some(ctt) = self.rank_ctts.iter().find(|c| c.rank == rank) {
+            return Ok(decompress(&self.cst, ctt));
+        }
+        if let Some(merged) = &self.merged {
+            return Ok(decompress(&self.cst, &merged.extract_rank(rank, &self.cst)));
+        }
+        Err(Error::Container(ContainerError::MissingSection(
+            "merged-ctt or rank-ctt",
+        )))
+    }
+}
+
+/// Load and verify a container file written by
+/// [`CompressedJob::write_container`].
+pub fn read_container(path: impl AsRef<Path>) -> Result<LoadedJob> {
+    let c = Container::read_file(path)?;
+    let cst_text = c
+        .find(SectionKind::CstText)
+        .ok_or(Error::Container(ContainerError::MissingSection("cst-text")))?;
+    let cst_text = String::from_utf8(cst_text.payload.clone())
+        .map_err(|e| Error::Invalid(format!("cst section is not utf-8: {e}")))?;
+    let cst = Cst::from_text(&cst_text)?;
+
+    let meta = match c.find(SectionKind::Meta) {
+        Some(s) => Some(parse_meta(&s.payload)?),
+        None => None,
+    };
+    let merged = match c.find(SectionKind::MergedCtt) {
+        Some(s) => Some(MergedCtt::from_bytes(&s.payload)?),
+        None => None,
+    };
+    let rank_ctts = c
+        .rank_sections()
+        .map(|s| Ctt::from_bytes(&s.payload))
+        .collect::<std::result::Result<Vec<_>, _>>()?;
+
+    Ok(LoadedJob {
+        nprocs: c.nprocs,
+        meta,
+        cst,
+        merged,
+        rank_ctts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const STENCIL: &str = r#"fn main() {
+        for it in 0..40 {
+            let up = isend((rank() + 1) % size(), 512, 1);
+            let dn = irecv((rank() + size() - 1) % size(), 512, 1);
+            waitall(up, dn);
+            if it % 10 == 0 { allreduce(8); }
+        }
+        barrier();
+    }"#;
+
+    #[test]
+    fn streaming_and_batch_produce_identical_ctts() {
+        let a = Pipeline::new(STENCIL).ranks(6).threads(3).run().unwrap();
+        let b = Pipeline::new(STENCIL)
+            .ranks(6)
+            .threads(3)
+            .streaming(false)
+            .run()
+            .unwrap();
+        assert_eq!(a.ctts, b.ctts);
+        assert_eq!(a.stats.len(), 6);
+        assert!(b.stats.is_empty());
+        assert!(a.peak_ctt_bytes() > 0);
+    }
+
+    #[test]
+    fn container_round_trip_preserves_replay() {
+        let dir = std::env::temp_dir().join(format!("cypress-pipe-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("job.cytc");
+
+        let mut job = Pipeline::new(STENCIL).ranks(4).run().unwrap();
+        job.write_container(&path, true).unwrap();
+
+        let loaded = read_container(&path).unwrap();
+        assert_eq!(loaded.nprocs, 4);
+        assert_eq!(loaded.meta.as_ref().unwrap().tool, "cypress");
+        assert_eq!(loaded.rank_ctts.len(), 4);
+        for rank in 0..4 {
+            assert_eq!(
+                loaded.decompress(rank).unwrap(),
+                job.decompress(rank).unwrap(),
+                "rank {rank}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn zero_ranks_is_an_error_not_a_panic() {
+        assert!(matches!(
+            Pipeline::new(STENCIL).ranks(0).run(),
+            Err(Error::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn parse_errors_surface_as_lang() {
+        assert!(matches!(
+            Pipeline::new("fn main( {").run(),
+            Err(Error::Lang(_))
+        ));
+    }
+}

@@ -90,6 +90,94 @@ fn compress_then_decompress_round_trip() {
 }
 
 #[test]
+fn stream_compress_inspect_decompress_round_trip() {
+    let dir = tmpdir("stream");
+    let prog = write_program(&dir);
+    let container = dir.join("ring.cytc");
+    let out = cypress()
+        .args(["compress"])
+        .arg(&prog)
+        .args(["-n", "8", "--stream", "--per-rank", "-o"])
+        .arg(&container)
+        .output()
+        .expect("run compress --stream");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("streamed"), "{stdout}");
+    assert!(stdout.contains("peak resident CTT"), "{stdout}");
+    // No CST sidecar: the container is self-describing.
+    assert!(!dir.join("ring.cytc.cst").exists());
+    let header = fs::read(&container).expect("container");
+    assert_eq!(&header[..4], b"CYTC");
+
+    let out = cypress()
+        .arg("inspect")
+        .arg(&container)
+        .output()
+        .expect("run inspect");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("cypress container v1, 8 ranks"), "{stdout}");
+    for kind in ["meta", "cst-text", "merged-ctt", "rank-ctt"] {
+        assert!(stdout.contains(kind), "missing {kind} in:\n{stdout}");
+    }
+    assert!(stdout.contains("rank groups"), "{stdout}");
+
+    // Decompress straight from the container — no --cst needed.
+    let out = cypress()
+        .arg("decompress")
+        .arg(&container)
+        .args(["-r", "5"])
+        .output()
+        .expect("run decompress");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("# rank 5: 91 operations"), "{stdout}");
+}
+
+#[test]
+fn corrupt_container_is_rejected_cleanly() {
+    let dir = tmpdir("corrupt");
+    let prog = write_program(&dir);
+    let container = dir.join("ring.cytc");
+    let out = cypress()
+        .args(["compress"])
+        .arg(&prog)
+        .args(["-n", "4", "--stream", "-o"])
+        .arg(&container)
+        .output()
+        .expect("run compress --stream");
+    assert!(out.status.success());
+    let mut bytes = fs::read(&container).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    fs::write(&container, &bytes).unwrap();
+    let out = cypress()
+        .arg("inspect")
+        .arg(&container)
+        .output()
+        .expect("run inspect on corrupt file");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("crc mismatch") || stderr.contains("corrupt"),
+        "{stderr}"
+    );
+}
+
+#[test]
 fn simulate_reports_prediction() {
     let dir = tmpdir("simulate");
     let prog = write_program(&dir);

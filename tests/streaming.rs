@@ -1,0 +1,207 @@
+//! Streaming-session acceptance tests: the online path must be
+//! *byte-identical* to the batch path, and the on-disk container must round
+//! trip every workload's exact event sequence without re-simulation.
+
+use cypress::core::{merge_all, merge_all_parallel, CompressConfig};
+use cypress::trace::codec::Codec;
+use cypress::trace::event::{MpiOp, MpiParams};
+use cypress::workloads::{by_name, quick_procs, Scale, NPB_NAMES};
+use cypress::Pipeline;
+
+type OpSeq = Vec<(u32, MpiOp, MpiParams)>;
+
+fn strip_raw(t: &cypress::trace::RawTrace) -> OpSeq {
+    t.mpi_records()
+        .map(|r| (r.gid, r.op, r.params.clone()))
+        .collect()
+}
+
+fn strip_replay(ops: &[cypress::core::ReplayOp]) -> OpSeq {
+    ops.iter()
+        .map(|o| (o.gid, o.op, o.params.clone()))
+        .collect()
+}
+
+fn all_workload_names() -> impl Iterator<Item = &'static str> {
+    NPB_NAMES.iter().copied().chain(["jacobi", "leslie3d"])
+}
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("cypress-streaming-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+/// The headline acceptance criterion: for every workload, the streaming
+/// pipeline's merged CTT *encoding* is byte-for-byte the batch pipeline's.
+/// Both paths merge with the same thread count, so even the floating-point
+/// time statistics fold in the same order.
+#[test]
+fn streaming_merged_bytes_equal_batch_on_all_workloads() {
+    for name in all_workload_names() {
+        let w = by_name(name, quick_procs(name), Scale::Quick).unwrap();
+        let mut stream = Pipeline::new(w.source.clone())
+            .ranks(w.nprocs)
+            .threads(4)
+            .run()
+            .unwrap_or_else(|e| panic!("{name}: streaming run failed: {e}"));
+        let mut batch = Pipeline::new(w.source.clone())
+            .ranks(w.nprocs)
+            .threads(4)
+            .streaming(false)
+            .run()
+            .unwrap_or_else(|e| panic!("{name}: batch run failed: {e}"));
+
+        assert_eq!(stream.ctts, batch.ctts, "{name}: per-rank CTTs diverged");
+        for (a, b) in stream.ctts.iter().zip(&batch.ctts) {
+            assert_eq!(
+                a.to_bytes(),
+                b.to_bytes(),
+                "{name}: rank {} CTT encodings diverged",
+                a.rank
+            );
+        }
+        assert_eq!(
+            stream.merge().to_bytes(),
+            batch.merge().to_bytes(),
+            "{name}: merged CTT encodings diverged"
+        );
+        // The streaming path actually streamed: per-rank session stats exist
+        // and the resident footprint was sampled.
+        assert_eq!(stream.stats.len(), w.nprocs as usize, "{name}");
+        assert!(stream.peak_ctt_bytes() > 0, "{name}");
+    }
+}
+
+/// Container acceptance criterion: write → read → decompress reproduces the
+/// original per-rank event sequence for every workload.
+#[test]
+fn container_round_trips_all_workloads() {
+    let dir = tmpdir("roundtrip");
+    for name in all_workload_names() {
+        let w = by_name(name, quick_procs(name), Scale::Quick).unwrap();
+        let traces = w.trace().unwrap();
+        let path = dir.join(format!("{name}.cytc"));
+
+        let mut job = Pipeline::new(w.source.clone())
+            .ranks(w.nprocs)
+            .run()
+            .unwrap();
+        job.write_container(&path, false).unwrap();
+
+        let loaded = cypress::read_container(&path)
+            .unwrap_or_else(|e| panic!("{name}: read_container failed: {e}"));
+        assert_eq!(loaded.nprocs, w.nprocs, "{name}");
+        for t in &traces {
+            let replay = loaded
+                .decompress(t.rank)
+                .unwrap_or_else(|e| panic!("{name}: decompress rank {} failed: {e}", t.rank));
+            assert_eq!(
+                strip_replay(&replay),
+                strip_raw(t),
+                "{name}: rank {} sequence not preserved through the container",
+                t.rank
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Per-rank sections take the dedicated-section path in `LoadedJob` and must
+/// agree with merged-tree extraction.
+#[test]
+fn per_rank_sections_agree_with_merged_extraction() {
+    let dir = tmpdir("per-rank");
+    let w = by_name("cg", 8, Scale::Quick).unwrap();
+    let path = dir.join("cg.cytc");
+    let mut job = Pipeline::new(w.source.clone()).ranks(8).run().unwrap();
+    job.write_container(&path, true).unwrap();
+
+    let loaded = cypress::read_container(&path).unwrap();
+    assert_eq!(loaded.rank_ctts.len(), 8);
+    for rank in 0..8u32 {
+        // Dedicated section…
+        let via_section = loaded.decompress(rank).unwrap();
+        // …vs extraction from the merged tree only.
+        let merged_only = cypress::LoadedJob {
+            nprocs: loaded.nprocs,
+            meta: None,
+            cst: loaded.cst.clone(),
+            merged: loaded.merged.clone(),
+            rank_ctts: Vec::new(),
+        };
+        let via_merged = merged_only.decompress(rank).unwrap();
+        assert_eq!(strip_replay(&via_section), strip_replay(&via_merged));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `merge_all_parallel` must be insensitive to awkward (prime, tiny,
+/// larger-than-rank-count) thread counts at rank counts 3, 5, and 17.
+#[test]
+fn parallel_merge_handles_odd_rank_counts() {
+    for nranks in [3u32, 5, 17] {
+        let src = format!(
+            "fn main() {{
+                for i in 0..20 {{
+                    let a = isend((rank() + 1) % {nranks}, 128, 0);
+                    let b = irecv((rank() + {nranks} - 1) % {nranks}, 128, 0);
+                    waitall(a, b);
+                }}
+                allreduce(4);
+            }}"
+        );
+        let job = Pipeline::new(src).ranks(nranks).run().unwrap();
+        let reference = merge_all(&job.ctts);
+        for threads in [1usize, 2, 3, 5, 32] {
+            let par = merge_all_parallel(&job.ctts, threads);
+            assert_eq!(
+                par.group_count(),
+                reference.group_count(),
+                "nranks={nranks} threads={threads}"
+            );
+            assert_eq!(
+                par.to_bytes(),
+                reference.to_bytes(),
+                "nranks={nranks} threads={threads}: encodings diverged"
+            );
+        }
+    }
+}
+
+/// Session accounting sanity on a real workload: the event counts match the
+/// recorded trace, and the resident footprint stays far below the raw trace.
+#[test]
+fn session_stats_match_trace_reality() {
+    let w = by_name("mg", 8, Scale::Quick).unwrap();
+    let traces = w.trace().unwrap();
+    let job = Pipeline::new(w.source.clone()).ranks(8).run().unwrap();
+    for (st, t) in job.stats.iter().zip(&traces) {
+        assert_eq!(st.events as usize, t.events.len(), "rank {}", t.rank);
+        assert_eq!(st.mpi_events as usize, t.mpi_count(), "rank {}", t.rank);
+        assert!(st.final_ctt_bytes <= st.peak_ctt_bytes);
+    }
+}
+
+/// The batch path through the deprecated shims and the new facade agree —
+/// the shims really are thin.
+#[test]
+#[allow(deprecated)]
+fn compat_shims_reproduce_pipeline_results() {
+    let w = by_name("ft", 8, Scale::Quick).unwrap();
+    let (prog, info) = w.compile();
+    let traces = cypress::compat::trace_program(&prog, &info, 8, &Default::default()).unwrap();
+    let ctts: Vec<_> = traces
+        .iter()
+        .map(|t| cypress::compat::compress_trace(&info.cst, t, &CompressConfig::default()))
+        .collect();
+    let merged = cypress::compat::merge_all_parallel(&ctts, 3);
+
+    let mut job = Pipeline::new(w.source.clone())
+        .ranks(8)
+        .threads(3)
+        .run()
+        .unwrap();
+    assert_eq!(job.ctts, ctts);
+    assert_eq!(job.merge().to_bytes(), merged.to_bytes());
+}
