@@ -1,0 +1,207 @@
+//! Compressed-domain vs decompress-then-analyze query cost, emitted as
+//! `results/BENCH_query.json`.
+//!
+//! Two measurements:
+//!
+//! * `workloads` — the bundled benchmark skeletons: full query suite
+//!   (volume matrix, per-op profile, per-rank totals, GID hot spots)
+//!   evaluated symbolically on the CTTs vs the reference that decompresses
+//!   every rank first. Every row asserts result equality.
+//! * `scaling` — one stencil program with the outer loop trip count swept
+//!   over decades at fixed rank count. The CTT is the same size at every
+//!   point (the loop folds to the same records, only the iteration-count
+//!   sequence changes), so compressed-domain query time stays flat while
+//!   the decompress-then-analyze time grows with the event count — the
+//!   O(|CTT|) vs O(events) gap this engine exists for.
+//!
+//! JSON schema (`bench_query/v1`):
+//!
+//! ```json
+//! { "schema": "bench_query/v1",
+//!   "workloads": [ { "name": "...", "nprocs": 8, "events": 123,
+//!     "ctt_records": 45, "query_ns": 1.0, "decompress_analyze_ns": 9.0,
+//!     "speedup": 9.0, "equal": true } ],
+//!   "scaling": [ { "iters": 1000, "nprocs": 4, "events": 123,
+//!     "ctt_records": 45, "query_ns": 1.0, "decompress_analyze_ns": 9.0,
+//!     "speedup": 9.0 } ] }
+//! ```
+
+use cypress_bench::harness;
+use cypress_core::{compress_trace, CompressConfig, Ctt};
+use cypress_cst::{analyze_program, Cst, StaticInfo};
+use cypress_minilang::{check_program, parse, Program};
+use cypress_query::{query_by_decompression, query_ctts, QueryOptions, QueryResult};
+use cypress_runtime::{trace_program_parallel, InterpConfig};
+use cypress_workloads::{by_name, quick_procs, Scale};
+
+fn workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+fn compress_all(prog: &Program, info: &StaticInfo, nprocs: u32) -> Vec<Ctt> {
+    let traces = trace_program_parallel(prog, info, nprocs, &InterpConfig::default(), workers())
+        .expect("bench program runs");
+    let cfg = CompressConfig::default();
+    traces
+        .iter()
+        .map(|t| compress_trace(&info.cst, t, &cfg))
+        .collect()
+}
+
+fn results_equal(a: &QueryResult, b: &QueryResult) -> bool {
+    a.matrix == b.matrix
+        && a.profile == b.profile
+        && a.totals == b.totals
+        && a.hotspots == b.hotspots
+        && a.loop_trips == b.loop_trips
+}
+
+struct Row {
+    label: String,
+    nprocs: u32,
+    events: u64,
+    ctt_records: u64,
+    query_ns: f64,
+    reference_ns: f64,
+    equal: bool,
+}
+
+fn measure(label: &str, cst: &Cst, ctts: &[Ctt]) -> Row {
+    let opts = QueryOptions::default();
+    let q = query_ctts(cst, ctts, &opts).expect("query succeeds");
+    let r = query_by_decompression(cst, ctts).expect("reference succeeds");
+    let equal = results_equal(&q, &r);
+
+    let nprocs = ctts.first().map(|c| c.nprocs).unwrap_or(0);
+    let events: u64 = ctts.iter().map(|c| c.op_count()).sum();
+    let ctt_records: u64 = ctts.iter().map(|c| c.record_count() as u64).sum();
+
+    let query = harness::run(&format!("query/{label}/compressed"), || {
+        query_ctts(cst, ctts, &opts).expect("query succeeds")
+    });
+    let reference = harness::run(&format!("query/{label}/decompress"), || {
+        query_by_decompression(cst, ctts).expect("reference succeeds")
+    });
+
+    Row {
+        label: label.to_owned(),
+        nprocs,
+        events,
+        ctt_records,
+        query_ns: query.mean_ns,
+        reference_ns: reference.mean_ns,
+        equal,
+    }
+}
+
+fn bench_workload(name: &str) -> Row {
+    let nprocs = quick_procs(name);
+    let w = by_name(name, nprocs, Scale::Quick).unwrap();
+    let (prog, info) = w.compile();
+    let ctts = compress_all(&prog, &info, nprocs);
+    measure(&format!("{name}/{nprocs}p"), &info.cst, &ctts)
+}
+
+/// Loop-heavy stencil whose event count scales with `iters` while its CTT
+/// stays the same size.
+fn scaling_src(iters: u32) -> String {
+    format!(
+        r#"fn main() {{
+    let r = rank();
+    let s = size();
+    for it in 0..{iters} {{
+        if r > 0 {{ send(r - 1, 8192, 0); }}
+        if r < s - 1 {{ recv(r + 1, 8192, 0); }}
+        if r < s - 1 {{ send(r + 1, 8192, 1); }}
+        if r > 0 {{ recv(r - 1, 8192, 1); }}
+        allreduce(64);
+    }}
+}}"#
+    )
+}
+
+fn bench_scaling(iters: u32) -> Row {
+    let nprocs = 4;
+    let src = scaling_src(iters);
+    let prog = parse(&src).unwrap();
+    check_program(&prog).unwrap();
+    let info = analyze_program(&prog);
+    let ctts = compress_all(&prog, &info, nprocs);
+    measure(&format!("scale/{iters}it"), &info.cst, &ctts)
+}
+
+fn row_json(r: &Row, key: &str, key_val: &str) -> String {
+    format!(
+        "{{{key}:{key_val},\"nprocs\":{},\"events\":{},\"ctt_records\":{},\
+         \"query_ns\":{:.1},\"decompress_analyze_ns\":{:.1},\"speedup\":{:.3},\"equal\":{}}}",
+        r.nprocs,
+        r.events,
+        r.ctt_records,
+        r.query_ns,
+        r.reference_ns,
+        r.reference_ns / r.query_ns.max(1.0),
+        r.equal,
+    )
+}
+
+fn main() {
+    let fast = std::env::var("CYPRESS_BENCH_FAST").is_ok();
+    let names: &[&str] = if fast {
+        &["jacobi", "cg"]
+    } else {
+        &["jacobi", "cg", "mg", "lu", "leslie3d"]
+    };
+    let iter_sweep: &[u32] = if fast {
+        &[10, 100, 1000]
+    } else {
+        &[10, 100, 1000, 10000]
+    };
+
+    let workload_rows: Vec<Row> = names.iter().map(|n| bench_workload(n)).collect();
+    let scaling_rows: Vec<Row> = iter_sweep.iter().map(|&i| bench_scaling(i)).collect();
+
+    let mut json = String::from("{\"schema\":\"bench_query/v1\",\"workloads\":[");
+    for (i, r) in workload_rows.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let name = r.label.split('/').next().unwrap_or(&r.label);
+        json.push_str(&row_json(r, "\"name\"", &format!("\"{name}\"")));
+    }
+    json.push_str("],\"scaling\":[");
+    for (i, (r, iters)) in scaling_rows.iter().zip(iter_sweep).enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&row_json(r, "\"iters\"", &iters.to_string()));
+    }
+    json.push_str("]}\n");
+
+    let results = std::env::var("CYPRESS_RESULTS_DIR")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../results").to_owned());
+    let path = std::path::Path::new(&results).join("BENCH_query.json");
+    cypress_obs::write_atomic(&path, json.as_bytes()).expect("write BENCH_query.json");
+    println!("wrote {}", path.display());
+
+    let unequal: Vec<&str> = workload_rows
+        .iter()
+        .chain(&scaling_rows)
+        .filter(|r| !r.equal)
+        .map(|r| r.label.as_str())
+        .collect();
+    assert!(
+        unequal.is_empty(),
+        "compressed-domain and decompressed query results diverged for: {unequal:?}"
+    );
+    // The headline gap: on the largest loop sweep the compressed-domain
+    // query must be at least 5× faster than decompress-then-analyze.
+    let largest = scaling_rows.last().expect("sweep is non-empty");
+    let speedup = largest.reference_ns / largest.query_ns.max(1.0);
+    assert!(
+        speedup >= 5.0,
+        "expected ≥5× speedup on {} (got {speedup:.2}×)",
+        largest.label
+    );
+}

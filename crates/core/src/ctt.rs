@@ -45,7 +45,9 @@ impl RankEnc {
         }
     }
 
-    fn resolve(&self, rank: i64) -> i64 {
+    /// Decode back to an absolute rank value for process `rank` ([`NONE`]
+    /// for inapplicable fields, [`ANY_SOURCE`] for wildcards).
+    pub fn resolve(&self, rank: i64) -> i64 {
         match self {
             RankEnc::None => NONE,
             RankEnc::Any => ANY_SOURCE,

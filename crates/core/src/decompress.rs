@@ -34,6 +34,17 @@ pub struct ReplayOp {
 
 /// Decompress one process's CTT back into its operation sequence.
 pub fn decompress(cst: &Cst, ctt: &Ctt) -> Vec<ReplayOp> {
+    let mut out = Vec::new();
+    decompress_into(cst, ctt, |op| out.push(op));
+    out
+}
+
+/// Streaming decompression: replay the CTT's operation sequence into `sink`
+/// without materializing a `Vec`. This is the partial-expansion primitive of
+/// the compressed-domain query engine — analyses that cannot be evaluated
+/// symbolically fold each operation as it is produced, so the expansion
+/// stays allocation-free even for O(events)-sized replays.
+pub fn decompress_into(cst: &Cst, ctt: &Ctt, sink: impl FnMut(ReplayOp)) {
     assert_eq!(
         cst.len(),
         ctt.data.len(),
@@ -68,11 +79,10 @@ pub fn decompress(cst: &Cst, ctt: &Ctt) -> Vec<ReplayOp> {
             })
             .collect(),
         visits: vec![0; cst.len()],
-        out: Vec::new(),
+        sink,
     };
     d.visits[0] = 1;
     d.visit_children(0);
-    d.out
 }
 
 /// Convert a replayed op sequence into `MpiRecord`s with reconstructed
@@ -101,7 +111,7 @@ struct LeafCursor {
     used: u64,
 }
 
-struct Decomp<'a> {
+struct Decomp<'a, F> {
     cst: &'a Cst,
     ctt: &'a Ctt,
     rank: i64,
@@ -109,10 +119,10 @@ struct Decomp<'a> {
     branches: Vec<Option<IntSeqReader<'a>>>,
     leaves: Vec<Option<LeafCursor>>,
     visits: Vec<u64>,
-    out: Vec<ReplayOp>,
+    sink: F,
 }
 
-impl Decomp<'_> {
+impl<F: FnMut(ReplayOp)> Decomp<'_, F> {
     fn visit_children(&mut self, v: usize) {
         let children = self.cst.vertex(v).children.clone();
         for c in children {
@@ -173,7 +183,7 @@ impl Decomp<'_> {
                 }
                 let r = &records[cur.rec];
                 cur.used += 1;
-                self.out.push(ReplayOp {
+                (self.sink)(ReplayOp {
                     gid: v as u32,
                     op: r.params.op,
                     params: r.params.decode(self.rank),

@@ -159,6 +159,24 @@ impl IntSeq {
     pub fn approx_bytes(&self) -> usize {
         std::mem::size_of::<Self>() + self.segs.capacity() * std::mem::size_of::<Seg>()
     }
+
+    /// Sum of all values, computed in O(segments) with the closed form for
+    /// arithmetic progressions — the symbolic-evaluation primitive of the
+    /// compressed-domain query engine (total loop trip counts come from here
+    /// without expanding the sequence). Wraps on overflow, matching
+    /// [`Seg::value_at`]'s wrapping semantics.
+    pub fn sum(&self) -> i64 {
+        let mut total = 0i64;
+        for s in &self.segs {
+            let n = s.len as i64;
+            let one = s
+                .start
+                .wrapping_mul(n)
+                .wrapping_add(s.stride.wrapping_mul(n.wrapping_mul(n - 1) / 2));
+            total = total.wrapping_add(one.wrapping_mul(s.reps as i64));
+        }
+        total
+    }
 }
 
 /// Sequential consumer of an [`IntSeq`] (supports peek, used by branch

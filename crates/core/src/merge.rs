@@ -90,6 +90,12 @@ impl RankSet {
         self.0.to_vec().into_iter().map(|v| v as u32).collect()
     }
 
+    /// Allocation-free iteration over the member ranks, in stored order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        let mut r = self.0.reader();
+        std::iter::from_fn(move || r.next().map(|v| v as u32))
+    }
+
     /// Append all ranks of `other` (callers maintain sorted order by merging
     /// lower-rank halves first).
     pub fn extend(&mut self, other: &RankSet) {

@@ -25,6 +25,7 @@ use crate::compress::{CompressConfig, IntraCompressor};
 use crate::ctt::Ctt;
 use cypress_cst::Cst;
 use cypress_obs::{Counter, Gauge};
+use cypress_trace::codec::{Codec, Encoder};
 use cypress_trace::event::{Event, EventSink};
 use std::sync::OnceLock;
 
@@ -90,6 +91,10 @@ pub struct SessionStats {
     pub events: u64,
     /// MPI records among them.
     pub mpi_events: u64,
+    /// Serialized size of the raw MPI records streamed through the session
+    /// — the "uncompressed trace" numerator of the container's compression
+    /// ratio, accounted online so it never requires keeping the raw trace.
+    pub raw_mpi_bytes: u64,
     /// Size checkpoints taken.
     pub checkpoints: u64,
     /// Checkpoints that found the CTT above the soft budget.
@@ -119,6 +124,7 @@ pub struct CompressSession<'a> {
     inner: IntraCompressor<'a>,
     cfg: SessionConfig,
     stats: SessionStats,
+    raw_scratch: Encoder,
 }
 
 impl<'a> CompressSession<'a> {
@@ -136,6 +142,7 @@ impl<'a> CompressSession<'a> {
             inner: IntraCompressor::new(cst, rank, nprocs, compress),
             cfg,
             stats: SessionStats::default(),
+            raw_scratch: Encoder::new(),
         }
     }
 
@@ -143,8 +150,11 @@ impl<'a> CompressSession<'a> {
     pub fn push(&mut self, ev: &Event) {
         self.inner.push(ev);
         self.stats.events += 1;
-        if matches!(ev, Event::Mpi(_)) {
+        if let Event::Mpi(rec) = ev {
             self.stats.mpi_events += 1;
+            self.raw_scratch.clear();
+            rec.encode(&mut self.raw_scratch);
+            self.stats.raw_mpi_bytes += self.raw_scratch.len() as u64;
         }
         if self
             .stats

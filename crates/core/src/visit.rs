@@ -1,0 +1,195 @@
+//! Structure-preserving traversal of compressed trace trees.
+//!
+//! The compressed-domain query engine (`cypress-query`) and any other
+//! CTT-shaped analysis share one access pattern: walk every vertex's recorded
+//! data exactly once, knowing which ranks the data applies to. This module
+//! provides that walk as a fold so analyses run in O(|CTT|) — proportional to
+//! the number of stored segments/records, never the number of original
+//! events.
+//!
+//! [`fold_ctt`] visits a single process's tree (every callback scoped to that
+//! one rank); [`fold_merged`] visits an inter-process [`MergedCtt`], handing
+//! each group's [`RankSet`] to the callback so per-rank quantities can be
+//! expanded symbolically (e.g. resolving `rank ± c` relative encodings per
+//! member rank) without materializing per-rank trees.
+
+use crate::ctt::{Ctt, LeafRecord, VertexData};
+use crate::intseq::IntSeq;
+use crate::merge::{MergedCtt, MergedVertex, RankSet};
+
+/// The set of ranks a folded datum applies to: a single process's rank when
+/// folding a per-rank [`Ctt`], or a merged group's [`RankSet`].
+#[derive(Clone, Copy)]
+pub enum RankScope<'a> {
+    One(u32),
+    Set(&'a RankSet),
+}
+
+impl RankScope<'_> {
+    /// Number of ranks in scope.
+    pub fn len(&self) -> u64 {
+        match self {
+            RankScope::One(_) => 1,
+            RankScope::Set(rs) => rs.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterate the member ranks without allocating.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        let (one, set) = match self {
+            RankScope::One(r) => (Some(*r), None),
+            RankScope::Set(rs) => (None, Some(rs.iter())),
+        };
+        one.into_iter().chain(set.into_iter().flatten())
+    }
+}
+
+/// Callbacks for one pass over a compressed trace tree. Control-vertex hooks
+/// default to no-ops so record-only analyses (volume, profiles) stay terse;
+/// hot-spot provenance implements `on_loop` to recover trip counts.
+pub trait CttFold {
+    /// A loop vertex's per-visit iteration-count sequence.
+    fn on_loop(&mut self, _gid: u32, _ranks: RankScope, _counts: &IntSeq) {}
+    /// A branch vertex's taken-visit-index sequence.
+    fn on_branch(&mut self, _gid: u32, _ranks: RankScope, _taken: &IntSeq) {}
+    /// One merged leaf record. `slot` is the record's first-occurrence index
+    /// within its leaf; `rec.count` is the total occurrence count for *each*
+    /// rank in scope (merging requires equal counts, so the group total is
+    /// `rec.count * ranks.len()`).
+    fn on_record(&mut self, gid: u32, slot: usize, ranks: RankScope, rec: &LeafRecord);
+}
+
+/// Fold one process's CTT. Every callback receives `RankScope::One(ctt.rank)`.
+pub fn fold_ctt<F: CttFold>(ctt: &Ctt, f: &mut F) {
+    let scope = RankScope::One(ctt.rank);
+    for (gid, vd) in ctt.data.iter().enumerate() {
+        let gid = gid as u32;
+        match vd {
+            VertexData::Root => {}
+            VertexData::Loop { counts } => f.on_loop(gid, scope, counts),
+            VertexData::Branch { taken } => f.on_branch(gid, scope, taken),
+            VertexData::Leaf { records } => {
+                for (slot, rec) in records.iter().enumerate() {
+                    f.on_record(gid, slot, scope, rec);
+                }
+            }
+        }
+    }
+}
+
+/// Fold a merged CTT. Each callback receives its group's [`RankSet`]; the
+/// walk is O(total groups), independent of `nprocs * events`.
+pub fn fold_merged<F: CttFold>(m: &MergedCtt, f: &mut F) {
+    for (gid, mv) in m.vertices.iter().enumerate() {
+        let gid = gid as u32;
+        match mv {
+            MergedVertex::Empty => {}
+            MergedVertex::Control(groups) => {
+                for (rs, vd) in groups {
+                    match vd {
+                        VertexData::Loop { counts } => f.on_loop(gid, RankScope::Set(rs), counts),
+                        VertexData::Branch { taken } => f.on_branch(gid, RankScope::Set(rs), taken),
+                        _ => {}
+                    }
+                }
+            }
+            MergedVertex::Leaf(slots) => {
+                for (slot, groups) in slots.iter().enumerate() {
+                    for (rs, rec) in groups {
+                        f.on_record(gid, slot, RankScope::Set(rs), rec);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compress::{compress_trace, CompressConfig};
+    use crate::merge::merge_all;
+    use cypress_cst::analyze_program;
+    use cypress_minilang::{check_program, parse};
+    use cypress_runtime::{trace_program, InterpConfig};
+
+    struct CountFold {
+        loops: usize,
+        records: usize,
+        total_occurrences: u64,
+    }
+
+    impl CttFold for CountFold {
+        fn on_loop(&mut self, _gid: u32, _ranks: RankScope, _counts: &IntSeq) {
+            self.loops += 1;
+        }
+        fn on_record(&mut self, _gid: u32, _slot: usize, ranks: RankScope, rec: &LeafRecord) {
+            self.records += 1;
+            self.total_occurrences += rec.count * ranks.len();
+        }
+    }
+
+    fn compile_and_trace(src: &str, nprocs: u32) -> (cypress_cst::Cst, Vec<Ctt>) {
+        let p = parse(src).unwrap();
+        check_program(&p).unwrap();
+        let info = analyze_program(&p);
+        let traces = trace_program(&p, &info, nprocs, &InterpConfig::default()).unwrap();
+        let ctts = traces
+            .iter()
+            .map(|t| compress_trace(&info.cst, t, &CompressConfig::default()))
+            .collect();
+        (info.cst, ctts)
+    }
+
+    #[test]
+    fn fold_ctt_and_merged_agree_on_occurrence_totals() {
+        let (_cst, ctts) = compile_and_trace(
+            r#"fn main() {
+                for i in 0..20 {
+                    if rank() > 0 { send(rank() - 1, 64, 0); }
+                    if rank() < size() - 1 { recv(rank() + 1, 64, 0); }
+                }
+            }"#,
+            4,
+        );
+        let mut per_rank = CountFold {
+            loops: 0,
+            records: 0,
+            total_occurrences: 0,
+        };
+        for ctt in &ctts {
+            fold_ctt(ctt, &mut per_rank);
+        }
+        let merged = merge_all(&ctts);
+        let mut m = CountFold {
+            loops: 0,
+            records: 0,
+            total_occurrences: 0,
+        };
+        fold_merged(&merged, &mut m);
+        // SPMD symmetry: merging collapses groups, so the merged fold sees
+        // fewer (or equal) callbacks but the same total occurrence count.
+        assert!(m.records <= per_rank.records);
+        assert_eq!(m.total_occurrences, per_rank.total_occurrences);
+        let events: u64 = ctts.iter().map(|c| c.op_count()).sum();
+        assert_eq!(m.total_occurrences, events);
+    }
+
+    #[test]
+    fn rank_scope_iteration() {
+        let one = RankScope::One(7);
+        assert_eq!(one.iter().collect::<Vec<_>>(), vec![7]);
+        assert_eq!(one.len(), 1);
+        let mut rs = RankSet::singleton(1);
+        rs.extend(&RankSet::singleton(2));
+        rs.extend(&RankSet::singleton(3));
+        let set = RankScope::Set(&rs);
+        assert_eq!(set.iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(set.len(), 3);
+        assert!(!set.is_empty());
+    }
+}

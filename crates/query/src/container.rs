@@ -1,0 +1,59 @@
+//! Container-backed query entry points: analyze a `.cytc` file in place.
+//!
+//! This is the payoff of the compressed-domain engine — a container is no
+//! longer an archive you must decompress to use, but a directly servable
+//! analysis artifact. Per-rank CTT sections are preferred when the file
+//! carries a complete set (per-rank timing is exact); otherwise the query
+//! runs on the merged tree, whose group-aggregated timing is what the
+//! format stores.
+
+use crate::engine::{query_ctts, query_merged};
+use crate::{QueryError, QueryOptions, QueryResult};
+use cypress_core::Ctt;
+use cypress_cst::Cst;
+use cypress_trace::{Codec, Container, ContainerError, SectionKind};
+use std::path::Path;
+
+/// Query an already-parsed container.
+pub fn query_container(c: &Container, opts: &QueryOptions) -> Result<QueryResult, QueryError> {
+    let cst_section = c.find(SectionKind::CstText).ok_or(QueryError::Container(
+        ContainerError::MissingSection("cst-text"),
+    ))?;
+    let cst_text = std::str::from_utf8(&cst_section.payload)
+        .map_err(|e| QueryError::BadCst(format!("cst section is not utf-8: {e}")))?;
+    let cst = Cst::from_text(cst_text).map_err(QueryError::BadCst)?;
+
+    let rank_ctts: Vec<Ctt> = c
+        .rank_sections()
+        .map(|s| Ctt::from_bytes(&s.payload))
+        .collect::<Result<_, _>>()?;
+    // A complete per-rank set (one CTT per rank 0..nprocs) gives exact
+    // per-rank timing; anything less falls through to the merged tree.
+    let complete = rank_ctts.len() as u32 == c.nprocs
+        && (0..c.nprocs).all(|r| rank_ctts.iter().any(|ctt| ctt.rank == r));
+    if complete && c.nprocs > 0 {
+        return query_ctts(&cst, &rank_ctts, opts);
+    }
+    if let Some(s) = c.find(SectionKind::MergedCtt) {
+        let merged = cypress_core::MergedCtt::from_bytes(&s.payload)?;
+        return query_merged(&cst, &merged, opts);
+    }
+    Err(QueryError::Container(ContainerError::MissingSection(
+        "merged-ctt or complete rank-ctt set",
+    )))
+}
+
+/// Parse a container image and query it.
+pub fn query_container_bytes(bytes: &[u8], opts: &QueryOptions) -> Result<QueryResult, QueryError> {
+    let c = Container::from_bytes(bytes)?;
+    query_container(&c, opts)
+}
+
+/// Read, verify, and query a `.cytc` file.
+pub fn query_container_path(
+    path: impl AsRef<Path>,
+    opts: &QueryOptions,
+) -> Result<QueryResult, QueryError> {
+    let c = Container::read_file(path)?;
+    query_container(&c, opts)
+}

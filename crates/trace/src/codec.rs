@@ -49,6 +49,13 @@ impl Encoder {
         self.buf
     }
 
+    /// Reset to empty, keeping the allocation — lets hot paths reuse one
+    /// scratch encoder (e.g. per-event raw-size accounting in sessions)
+    /// instead of allocating per call.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
     pub fn put_u8(&mut self, v: u8) {
         self.buf.push(v);
     }

@@ -5,7 +5,7 @@
 //! heatmaps to characterise MG/SP (Fig. 17) and LESlie3d (Fig. 20); the
 //! harness here emits CSV plus a coarse ASCII heatmap.
 
-use crate::event::{MpiOp, ANY_SOURCE};
+use crate::event::{MpiOp, MpiRecord, ANY_SOURCE};
 use crate::raw::RawTrace;
 
 /// A dense P×P communication-volume matrix (bytes from row=sender to
@@ -57,24 +57,46 @@ impl CommMatrix {
         v
     }
 
+    /// Accumulate `times` repetitions of a send of `count` elements from
+    /// `src` to `dest`, applying the matrix's attribution rules: negative
+    /// destinations (wildcards / inapplicable fields) and out-of-range peers
+    /// contribute nothing, and negative counts clamp to zero. This is the
+    /// single accumulation path shared by raw traces, decompressed replays,
+    /// and the compressed-domain query engine (which passes `times > 1` for
+    /// merged records).
+    pub fn add_send(&mut self, src: usize, dest: i64, count: i64, times: u64) {
+        if dest >= 0 {
+            let dst = dest as usize;
+            if src < self.nprocs && dst < self.nprocs {
+                self.add(src, dst, count.max(0) as u64 * times);
+            }
+        }
+    }
+
+    /// Accumulate one raw record emitted by rank `src` (send-like ops only).
+    pub fn add_record(&mut self, src: usize, r: &MpiRecord) {
+        if r.op.is_send_like() {
+            self.add_send(src, r.params.dest, r.params.count, 1);
+        }
+    }
+
+    /// Accumulate an event stream from rank `src` — the iterator-based entry
+    /// point shared by owned traces and streamed partial expansions.
+    pub fn add_rank_events<'a>(&mut self, src: usize, recs: impl Iterator<Item = &'a MpiRecord>) {
+        for r in recs {
+            self.add_record(src, r);
+        }
+    }
+
     /// Build from per-rank raw traces by accumulating send-like volumes.
     ///
     /// Collectives are not included: the paper's matrices visualise
     /// point-to-point structure. Wildcard receives contribute nothing here
     /// (volume is attributed at the sender).
     pub fn from_traces(traces: &[RawTrace]) -> Self {
-        let nprocs = traces.len();
-        let mut m = CommMatrix::new(nprocs);
+        let mut m = CommMatrix::new(traces.len());
         for t in traces {
-            let src = t.rank as usize;
-            for r in t.mpi_records() {
-                if r.op.is_send_like() && r.params.dest >= 0 {
-                    let dst = r.params.dest as usize;
-                    if dst < nprocs {
-                        m.add(src, dst, r.params.count.max(0) as u64);
-                    }
-                }
-            }
+            m.add_rank_events(t.rank as usize, t.mpi_records());
         }
         m
     }

@@ -22,6 +22,6 @@ pub use container::{
     CONTAINER_VERSION,
 };
 pub use event::{Event, EventSink, MpiOp, MpiParams, MpiRecord, ANY_SOURCE, NONE};
-pub use profile::{OpStats, Profile};
+pub use profile::{size_bucket, OpStats, Profile};
 pub use raw::{encode_mpi_events, raw_mpi_size, RawTrace};
 pub use textfmt::{format_record, format_trace};

@@ -7,7 +7,7 @@
 //! can be recovered from a compressed trace, subsuming what a profiler
 //! would have collected.
 
-use crate::event::MpiOp;
+use crate::event::{MpiOp, MpiRecord};
 use crate::raw::RawTrace;
 use std::collections::BTreeMap;
 use std::fmt::Write;
@@ -23,13 +23,20 @@ pub struct OpStats {
 }
 
 impl OpStats {
-    fn add(&mut self, bytes: i64, dur: u64) {
+    /// Accumulate `times` calls that each moved `bytes` and lasted `dur` —
+    /// exactly equivalent to `times` individual `add` calls, in O(1). This
+    /// is how the compressed-domain query engine folds a merged leaf record
+    /// (count × identical parameters, mean duration) without expansion.
+    pub fn add_repeated(&mut self, bytes: i64, dur: u64, times: u64) {
+        if times == 0 {
+            return;
+        }
         if self.calls == 0 {
             self.min_time_ns = dur;
         }
-        self.calls += 1;
-        self.total_bytes += bytes.max(0) as u64;
-        self.total_time_ns += dur;
+        self.calls += times;
+        self.total_bytes += bytes.max(0) as u64 * times;
+        self.total_time_ns += dur * times;
         self.min_time_ns = self.min_time_ns.min(dur);
         self.max_time_ns = self.max_time_ns.max(dur);
     }
@@ -58,36 +65,72 @@ pub struct Profile {
     pub size_buckets: Vec<u64>,
 }
 
+/// Power-of-two message-size bucket index: 0 for empty messages, otherwise
+/// `i` such that `2^(i-1) ≤ bytes < 2^i`, saturating at 39.
+pub fn size_bucket(bytes: u64) -> usize {
+    if bytes == 0 {
+        0
+    } else {
+        ((64 - bytes.leading_zeros()) as usize).min(39)
+    }
+}
+
 impl Profile {
-    /// Build a profile from per-rank traces.
-    pub fn from_traces(traces: &[RawTrace]) -> Profile {
-        let mut p = Profile {
-            rank_mpi_time: vec![0; traces.len()],
-            rank_app_time: vec![0; traces.len()],
+    /// An empty profile dimensioned for `nprocs` ranks, ready for
+    /// accumulation via [`Profile::add_record`] / [`Profile::add_repeated`].
+    pub fn new(nprocs: usize) -> Profile {
+        Profile {
+            rank_mpi_time: vec![0; nprocs],
+            rank_app_time: vec![0; nprocs],
             size_buckets: vec![0; 40],
             ..Profile::default()
-        };
+        }
+    }
+
+    /// Record a rank's total application time.
+    pub fn set_app_time(&mut self, rank: usize, app_time: u64) {
+        if rank < self.rank_app_time.len() {
+            self.rank_app_time[rank] = app_time;
+        }
+    }
+
+    /// Accumulate `times` identical calls on `rank` — the O(1) bulk path
+    /// used when folding merged leaf records; equivalent to `times`
+    /// single-record additions.
+    pub fn add_repeated(&mut self, rank: usize, op: MpiOp, bytes: i64, dur: u64, times: u64) {
+        if times == 0 {
+            return;
+        }
+        self.by_op
+            .entry(op)
+            .or_default()
+            .add_repeated(bytes, dur, times);
+        if rank < self.rank_mpi_time.len() {
+            self.rank_mpi_time[rank] += dur * times;
+        }
+        self.size_buckets[size_bucket(bytes.max(0) as u64)] += times;
+    }
+
+    /// Accumulate one raw record emitted by `rank`.
+    pub fn add_record(&mut self, rank: usize, rec: &MpiRecord) {
+        self.add_repeated(rank, rec.op, rec.params.count, rec.dur, 1);
+    }
+
+    /// Accumulate an event stream from `rank` — the iterator-based entry
+    /// point shared by owned traces, decompressed replays, and streamed
+    /// partial expansions.
+    pub fn add_rank_events<'a>(&mut self, rank: usize, recs: impl Iterator<Item = &'a MpiRecord>) {
+        for rec in recs {
+            self.add_record(rank, rec);
+        }
+    }
+
+    /// Build a profile from per-rank traces.
+    pub fn from_traces(traces: &[RawTrace]) -> Profile {
+        let mut p = Profile::new(traces.len());
         for t in traces {
-            let r = t.rank as usize;
-            if r < p.rank_app_time.len() {
-                p.rank_app_time[r] = t.app_time;
-            }
-            for rec in t.mpi_records() {
-                p.by_op
-                    .entry(rec.op)
-                    .or_default()
-                    .add(rec.params.count, rec.dur);
-                if r < p.rank_mpi_time.len() {
-                    p.rank_mpi_time[r] += rec.dur;
-                }
-                let bytes = rec.params.count.max(0) as u64;
-                let b = if bytes == 0 {
-                    0
-                } else {
-                    (64 - bytes.leading_zeros()) as usize
-                };
-                p.size_buckets[b.min(39)] += 1;
-            }
+            p.set_app_time(t.rank as usize, t.app_time);
+            p.add_rank_events(t.rank as usize, t.mpi_records());
         }
         p
     }

@@ -34,4 +34,45 @@ if grep -qF '"identical_merged_bytes":false' "$json"; then
   exit 1
 fi
 
+echo "== bench_query smoke (fast mode) =="
+CYPRESS_BENCH_FAST=1 cargo bench -q --bench bench_query -p cypress-bench
+
+echo "== BENCH_query.json schema =="
+json=results/BENCH_query.json
+test -s "$json" || { echo "missing $json"; exit 1; }
+for key in '"schema":"bench_query/v1"' '"workloads":' '"scaling":' \
+           '"ctt_records":' '"query_ns":' '"decompress_analyze_ns":' '"speedup":'; do
+  grep -qF "$key" "$json" || { echo "missing $key in $json"; exit 1; }
+done
+if grep -qF '"equal":false' "$json"; then
+  echo "compressed-domain/decompressed divergence recorded in $json"
+  exit 1
+fi
+
+echo "== cypress query/inspect smoke =="
+smoke=$(mktemp -d)
+trap 'rm -rf "$smoke"' EXIT
+cat > "$smoke/stencil.mpi" <<'EOF'
+fn main() {
+    let r = rank();
+    let s = size();
+    for k in 0..20 {
+        if r < s - 1 { send(r + 1, 4096, 0); }
+        if r > 0 { recv(r - 1, 4096, 0); }
+        allreduce(64);
+    }
+}
+EOF
+cargo run -q --bin cypress -- compress "$smoke/stencil.mpi" -n 6 -o "$smoke/stencil.cytc" \
+  --stream --per-rank
+inspect_out=$(cargo run -q --bin cypress -- inspect "$smoke/stencil.cytc")
+echo "$inspect_out" | grep -q "compression ratio" || { echo "inspect missing ratio"; exit 1; }
+echo "$inspect_out" | grep -q "MPI events" || { echo "inspect missing event count"; exit 1; }
+query_out=$(cargo run -q --bin cypress -- query "$smoke/stencil.cytc")
+echo "$query_out" | grep -q "evaluated via symbolic" || { echo "query not symbolic"; exit 1; }
+echo "$query_out" | grep -q "Hot spots by GID" || { echo "query missing hot spots"; exit 1; }
+expand_out=$(cargo run -q --bin cypress -- query "$smoke/stencil.cytc" --strategy expand)
+echo "$expand_out" | grep -q "evaluated via partial-expansion" \
+  || { echo "forced expansion failed"; exit 1; }
+
 echo "all checks passed"

@@ -8,7 +8,10 @@
 //!   --per-rank                                also store each rank's CTT section
 //! cypress decompress FILE [-r R]              replay rank R (default 0); containers
 //!   [--cst CST]                               are self-describing, legacy dumps need --cst
-//! cypress inspect FILE                        container header, sections, CRCs
+//! cypress inspect FILE                        container header, sections, CRCs,
+//!                                             per-section sizes + compression ratio
+//! cypress query FILE                          compressed-domain analysis of a .cytc
+//!   [--hotspots N] [--strategy auto|symbolic|expand]
 //! cypress stats <prog.mpi> -n P               op histogram + communication matrix
 //! cypress simulate <prog.mpi> -n P            measured vs predicted LogGP times
 //! ```
@@ -20,6 +23,7 @@
 use cypress::core::{compress_trace, decompress, merge_all_parallel, CompressConfig, MergedCtt};
 use cypress::cst::{analyze_program, Cst, StaticInfo};
 use cypress::minilang::{check_program, parse, Program};
+use cypress::query::{query_container_path, QueryOptions, Strategy};
 use cypress::runtime::{trace_program_parallel, InterpConfig};
 use cypress::simmpi::{from_raw_traces, simulate, LogGp, SimOp};
 use cypress::trace::codec::Codec;
@@ -52,6 +56,7 @@ fn main() {
         "compress" => cmd_compress(rest),
         "decompress" => cmd_decompress(rest),
         "inspect" => cmd_inspect(rest),
+        "query" => cmd_query(rest),
         "stats" => cmd_stats(rest),
         "simulate" => cmd_simulate(rest),
         "-h" | "--help" | "help" => {
@@ -99,6 +104,7 @@ USAGE:
   cypress compress <prog.mpi> -n <procs> -o <file> [--stream] [--per-rank]
   cypress decompress <file> [-r <rank>] [--cst <cst.txt>]
   cypress inspect <file>
+  cypress query <file> [--hotspots <n>] [--strategy auto|symbolic|expand]
   cypress stats <prog.mpi> -n <procs>
   cypress simulate <prog.mpi> -n <procs>
 
@@ -106,6 +112,9 @@ OPTIONS:
   --stream     compress online (streaming sessions) into a versioned
                .cytc container instead of a bare merged dump
   --per-rank   with --stream: add one CRC-framed CTT section per rank
+  --hotspots   number of GID hot spots to print (default 10)
+  --strategy   query evaluation: auto (default), symbolic (always fold the
+               CTT in O(|CTT|)), expand (always stream-decompress)
   --metrics    collect pipeline metrics; print a report and append
                results/metrics.jsonl on exit
   CYPRESS_LOG=error|warn|info|debug|trace   structured logging to stderr"
@@ -317,30 +326,42 @@ fn cmd_decompress(args: &[String]) -> CliResult {
     Ok(())
 }
 
-/// Print a container's header and section table without decompressing.
+/// Print a container's header and section table without decompressing:
+/// per-section compressed sizes with their share of the payload, plus the
+/// overall compression ratio when the header records the raw trace size.
 fn cmd_inspect(args: &[String]) -> CliResult {
     let file = file_arg(args, "container file")?;
+    let file_bytes = fs::metadata(&file).map(|m| m.len()).unwrap_or(0);
     let c = Container::read_file(&file)?;
     println!("{file}: cypress container v1, {} ranks", c.nprocs);
+    let mut raw_bytes = 0u64;
     if let Some(meta) = c.find(SectionKind::Meta) {
-        // Meta payload: tool, version, nprocs (see cypress::pipeline).
+        // Meta payload: tool, version, nprocs, then (newer containers)
+        // traced event count and raw MPI byte size (see cypress::pipeline).
         let mut dec = cypress::trace::Decoder::new(&meta.payload);
-        if let (Ok(tool), Ok(version)) = (dec.get_str(), dec.get_str()) {
+        if let (Ok(tool), Ok(version), Ok(_nprocs)) = (dec.get_str(), dec.get_str(), dec.get_uvar())
+        {
             println!("written by {tool} {version}");
+            if let (Ok(events), Ok(raw)) = (dec.get_uvar(), dec.get_uvar()) {
+                raw_bytes = raw;
+                println!("traced {events} MPI events, raw record size {raw} B");
+            }
         }
     }
-    println!(
-        "{} sections, {} payload bytes:",
-        c.sections.len(),
-        c.payload_bytes()
-    );
+    let payload = c.payload_bytes();
+    println!("{} sections, {payload} payload bytes:", c.sections.len());
     for (i, s) in c.sections.iter().enumerate() {
         let scope = match s.rank {
             Some(r) => format!(" rank {r}"),
             None => String::new(),
         };
+        let share = if payload == 0 {
+            0.0
+        } else {
+            s.payload.len() as f64 / payload as f64 * 100.0
+        };
         println!(
-            "  [{i}] {:<10}{scope:<9} {:>8} B  crc ok",
+            "  [{i}] {:<10}{scope:<9} {:>8} B {share:>5.1}%  crc ok",
             s.kind.name(),
             s.payload.len()
         );
@@ -352,6 +373,51 @@ fn cmd_inspect(args: &[String]) -> CliResult {
             merged.vertices.len(),
             merged.group_count()
         );
+    }
+    if raw_bytes > 0 && file_bytes > 0 {
+        println!(
+            "compression ratio: {:.1}x (raw {} B / container {} B)",
+            raw_bytes as f64 / file_bytes as f64,
+            raw_bytes,
+            file_bytes
+        );
+    }
+    Ok(())
+}
+
+/// Analyze a container directly in the compressed domain — no decompression.
+fn cmd_query(args: &[String]) -> CliResult {
+    let file = file_arg(args, "container file")?;
+    let limit: usize = match flag(args, "--hotspots") {
+        None => 10,
+        Some(s) => s
+            .parse()
+            .map_err(|e| Error::Invalid(format!("bad --hotspots value: {e}")))?,
+    };
+    let strategy = match flag(args, "--strategy").as_deref() {
+        None | Some("auto") => Strategy::Auto,
+        Some("symbolic") => Strategy::Symbolic,
+        Some("expand") => Strategy::PartialExpansion,
+        Some(other) => {
+            return Err(Error::Invalid(format!(
+                "unknown strategy `{other}` (expected auto, symbolic, or expand)"
+            )))
+        }
+    };
+    let opts = QueryOptions {
+        strategy,
+        hotspot_limit: limit,
+    };
+    let q = query_container_path(&file, &opts).map_err(Error::from)?;
+    println!(
+        "{file}: {} ranks, evaluated via {}\n",
+        q.nprocs,
+        q.strategy.name()
+    );
+    print!("{}", q.render(limit));
+    if q.nprocs <= 64 && q.total_volume() > 0 {
+        println!("\nvolume heatmap (row = sender):");
+        print!("{}", q.matrix.to_ascii());
     }
     Ok(())
 }

@@ -94,6 +94,19 @@ impl From<String> for Error {
     }
 }
 
+/// Compressed-domain query failures map onto the layer they came from.
+impl From<cypress_query::QueryError> for Error {
+    fn from(e: cypress_query::QueryError) -> Self {
+        match e {
+            cypress_query::QueryError::Container(c) => Error::Container(c),
+            cypress_query::QueryError::Decode(d) => Error::Decode(d),
+            cypress_query::QueryError::BadCst(msg) | cypress_query::QueryError::Invalid(msg) => {
+                Error::Invalid(msg)
+            }
+        }
+    }
+}
+
 /// Convenience alias used across the umbrella crate and the CLI.
 pub type Result<T> = std::result::Result<T, Error>;
 

@@ -35,6 +35,7 @@ pub use cypress_cst as cst;
 pub use cypress_deflate as deflate;
 pub use cypress_minilang as minilang;
 pub use cypress_obs as obs;
+pub use cypress_query as query;
 pub use cypress_runtime as runtime;
 pub use cypress_simmpi as simmpi;
 pub use cypress_staticir as staticir;

@@ -32,6 +32,7 @@ use cypress_core::{
 };
 use cypress_cst::{analyze_program, Cst, StaticInfo};
 use cypress_minilang::{check_program, parse};
+use cypress_query::{query_ctts, query_merged, QueryOptions, QueryResult};
 use cypress_runtime::{run_rank_with_sink, run_ranks, trace_program_parallel, InterpConfig};
 use cypress_trace::{Codec, Container, ContainerError, Decoder, Encoder, SectionKind};
 use std::path::Path;
@@ -200,6 +201,34 @@ impl CompressedJob {
         Ok(decompress(&self.info.cst, ctt))
     }
 
+    /// Run the full compressed-domain query suite (volume matrix, per-op
+    /// profile, per-rank totals, GID hot spots) directly on the per-rank
+    /// CTTs — no decompression, O(|CTT|) for non-recursive programs.
+    pub fn query(&self) -> Result<QueryResult> {
+        self.query_with(&QueryOptions::default())
+    }
+
+    /// [`CompressedJob::query`] with explicit strategy/reporting knobs.
+    pub fn query_with(&self, opts: &QueryOptions) -> Result<QueryResult> {
+        Ok(query_ctts(&self.info.cst, &self.ctts, opts)?)
+    }
+
+    /// Total MPI events this job traced (from session accounting when
+    /// streaming, otherwise from the stored record counts — identical).
+    pub fn total_events(&self) -> u64 {
+        if self.stats.is_empty() {
+            self.ctts.iter().map(|c| c.op_count()).sum()
+        } else {
+            self.stats.iter().map(|s| s.mpi_events).sum()
+        }
+    }
+
+    /// Serialized size of the raw MPI records this job would have written
+    /// without compression (streaming path only; 0 on the batch path).
+    pub fn raw_mpi_bytes(&self) -> u64 {
+        self.stats.iter().map(|s| s.raw_mpi_bytes).sum()
+    }
+
     /// Peak live CTT bytes across ranks (streaming path only; 0 otherwise).
     pub fn peak_ctt_bytes(&self) -> usize {
         self.stats
@@ -215,7 +244,11 @@ impl CompressedJob {
     pub fn write_container(&mut self, path: impl AsRef<Path>, per_rank: bool) -> Result<()> {
         self.merge();
         let mut c = Container::new(self.nprocs);
-        c.push(SectionKind::Meta, None, meta_payload(self.nprocs));
+        c.push(
+            SectionKind::Meta,
+            None,
+            meta_payload(self.nprocs, self.total_events(), self.raw_mpi_bytes()),
+        );
         c.push(
             SectionKind::CstText,
             None,
@@ -242,22 +275,50 @@ pub struct MetaInfo {
     pub tool: String,
     pub version: String,
     pub nprocs: u32,
+    /// Total MPI events the job traced (0 in containers written before the
+    /// field existed).
+    pub events: u64,
+    /// Serialized size of the raw MPI records before compression (0 when
+    /// unknown: batch-path jobs and older containers).
+    pub raw_bytes: u64,
 }
 
-fn meta_payload(nprocs: u32) -> Vec<u8> {
+impl MetaInfo {
+    /// Raw-over-compressed compression ratio against a given compressed
+    /// size, when the raw size is known.
+    pub fn compression_ratio(&self, compressed_bytes: usize) -> Option<f64> {
+        if self.raw_bytes == 0 || compressed_bytes == 0 {
+            None
+        } else {
+            Some(self.raw_bytes as f64 / compressed_bytes as f64)
+        }
+    }
+}
+
+fn meta_payload(nprocs: u32, events: u64, raw_bytes: u64) -> Vec<u8> {
     let mut enc = Encoder::new();
     enc.put_str("cypress");
     enc.put_str(env!("CARGO_PKG_VERSION"));
     enc.put_uvar(nprocs as u64);
+    enc.put_uvar(events);
+    enc.put_uvar(raw_bytes);
     enc.finish()
 }
 
 fn parse_meta(payload: &[u8]) -> Result<MetaInfo> {
     let mut dec = Decoder::new(payload);
+    let tool = dec.get_str()?;
+    let version = dec.get_str()?;
+    let nprocs = dec.get_uvar()? as u32;
+    // Trailing fields added after v0 containers shipped: absent means 0.
+    let events = if dec.is_done() { 0 } else { dec.get_uvar()? };
+    let raw_bytes = if dec.is_done() { 0 } else { dec.get_uvar()? };
     Ok(MetaInfo {
-        tool: dec.get_str()?,
-        version: dec.get_str()?,
-        nprocs: dec.get_uvar()? as u32,
+        tool,
+        version,
+        nprocs,
+        events,
+        raw_bytes,
     })
 }
 
@@ -273,6 +334,29 @@ pub struct LoadedJob {
 }
 
 impl LoadedJob {
+    /// Run the compressed-domain query suite on the loaded job. A complete
+    /// per-rank CTT set is preferred (exact per-rank timing); otherwise the
+    /// query runs on the merged tree.
+    pub fn query(&self) -> Result<QueryResult> {
+        self.query_with(&QueryOptions::default())
+    }
+
+    /// [`LoadedJob::query`] with explicit strategy/reporting knobs.
+    pub fn query_with(&self, opts: &QueryOptions) -> Result<QueryResult> {
+        let complete = self.rank_ctts.len() as u32 == self.nprocs
+            && self.nprocs > 0
+            && (0..self.nprocs).all(|r| self.rank_ctts.iter().any(|c| c.rank == r));
+        if complete {
+            return Ok(query_ctts(&self.cst, &self.rank_ctts, opts)?);
+        }
+        if let Some(merged) = &self.merged {
+            return Ok(query_merged(&self.cst, merged, opts)?);
+        }
+        Err(Error::Container(ContainerError::MissingSection(
+            "merged-ctt or complete rank-ctt set",
+        )))
+    }
+
     /// Replay one rank's sequence, preferring its dedicated section and
     /// falling back to extraction from the merged tree.
     pub fn decompress(&self, rank: u32) -> Result<Vec<ReplayOp>> {

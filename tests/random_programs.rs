@@ -4,15 +4,19 @@
 //! A seeded generator builds arbitrary (but well-formed, terminating,
 //! valid-peer) SPMD programs with nested loops, rank-dependent branches,
 //! user functions, non-blocking pairs, and collectives. For each program we
-//! check the two headline invariants:
+//! check the three headline invariants:
 //!
-//! 1. the CFG-based CST (Algorithm 1/2) equals the direct-AST oracle, and
-//! 2. `decompress(compress(trace))` reproduces each rank's exact sequence.
+//! 1. the CFG-based CST (Algorithm 1/2) equals the direct-AST oracle,
+//! 2. `decompress(compress(trace))` reproduces each rank's exact sequence, and
+//! 3. compressed-domain queries (volume matrix, profile, totals, hot spots)
+//!    equal the decompress-then-analyze reference, at both even and odd
+//!    world sizes and with wildcard receives in the mix.
 
 use cypress::core::{compress_trace, decompress, CompressConfig};
 use cypress::cst::{analyze_program_with, IntraBuilder};
 use cypress::minilang::{check_program, parse};
 use cypress::obs::rng::Rng;
+use cypress::query::{query_by_decompression, query_ctts, QueryOptions};
 use cypress::runtime::{trace_program, InterpConfig};
 use std::fmt::Write;
 
@@ -227,13 +231,18 @@ fn check_seed(seed: u64) {
     assert_eq!(parsed, b.cst, "seed {seed}: CST text round trip");
 
     // Invariant 2: per-rank sequence preservation through compression.
-    let nprocs = 4;
+    // Alternate between even and odd world sizes so relative-rank and
+    // modulo peer encodings are exercised off the power-of-two happy path.
+    let nprocs = 4 + (seed % 2) as u32;
     let traces = trace_program(&prog, &b, nprocs, &InterpConfig::default())
         .unwrap_or_else(|e| panic!("seed {seed}: trace error {e}\n{src}"));
     let cfg = CompressConfig::default();
-    for t in &traces {
-        let ctt = compress_trace(&b.cst, t, &cfg);
-        let replay = decompress(&b.cst, &ctt);
+    let ctts: Vec<_> = traces
+        .iter()
+        .map(|t| compress_trace(&b.cst, t, &cfg))
+        .collect();
+    for (t, ctt) in traces.iter().zip(&ctts) {
+        let replay = decompress(&b.cst, ctt);
         let want: Vec<_> = t
             .mpi_records()
             .map(|r| (r.gid, r.op, r.params.clone()))
@@ -244,6 +253,36 @@ fn check_seed(seed: u64) {
             .collect();
         assert_eq!(got, want, "seed {seed}: rank {} diverged\n{src}", t.rank);
     }
+
+    // Invariant 3: compressed-domain queries equal decompress-then-analyze.
+    // The generator emits wildcard receives (`irecv(any_source(), ..)`), so
+    // this also covers the symbolic treatment of MPI_ANY_SOURCE.
+    let q = query_ctts(&b.cst, &ctts, &QueryOptions::default())
+        .unwrap_or_else(|e| panic!("seed {seed}: query error {e}\n{src}"));
+    let r = query_by_decompression(&b.cst, &ctts)
+        .unwrap_or_else(|e| panic!("seed {seed}: reference query error {e}\n{src}"));
+    assert_eq!(
+        q.matrix, r.matrix,
+        "seed {seed}: comm matrix diverged\n{src}"
+    );
+    assert_eq!(q.profile, r.profile, "seed {seed}: profile diverged\n{src}");
+    assert_eq!(
+        q.totals, r.totals,
+        "seed {seed}: rank totals diverged\n{src}"
+    );
+    assert_eq!(
+        q.hotspots, r.hotspots,
+        "seed {seed}: hot spots diverged\n{src}"
+    );
+    assert_eq!(
+        q.loop_trips, r.loop_trips,
+        "seed {seed}: loop trips diverged\n{src}"
+    );
+    assert_eq!(
+        q.hotspot_volume(),
+        q.total_volume(),
+        "seed {seed}: hot-spot bytes do not sum to matrix volume\n{src}"
+    );
 }
 
 #[test]
