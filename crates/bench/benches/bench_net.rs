@@ -1,0 +1,189 @@
+//! Networked collection vs the local pipeline, sweeping client counts,
+//! emitted as `results/BENCH_net.json`.
+//!
+//! Each sweep point runs the same stencil program two ways: the **local**
+//! path (work-stealing pool, sessions, `merge_all_parallel`) and the
+//! **loopback** path (a collector on an ephemeral TCP port, one submitting
+//! client thread per rank streaming events over the framed wire protocol,
+//! incremental binomial merge server-side). The merged encodings must be
+//! byte-identical (`identical_merged_bytes` — the run fails otherwise), so
+//! the sweep isolates pure networking + framing overhead.
+//!
+//! JSON schema (`bench_net/v1`), one object per client count under
+//! `sweeps`:
+//!
+//! ```json
+//! { "schema": "bench_net/v1",
+//!   "sweeps": [ { "clients": 4, "events": 123, "merged_bytes": 456,
+//!     "net_ns": 1.0, "local_ns": 1.0, "net_vs_local": 1.2,
+//!     "events_per_sec": 1.0e6, "identical_merged_bytes": true } ] }
+//! ```
+
+use cypress_bench::harness;
+use cypress_core::{merge_all_parallel, CompressConfig, CompressSession, SessionConfig};
+use cypress_cst::analyze_program;
+use cypress_minilang::{check_program, parse, Program};
+use cypress_net::{submit_stream, Addr, ClientConfig, Collector, CollectorConfig};
+use cypress_runtime::{run_rank_with_sink, run_ranks, InterpConfig};
+use cypress_trace::codec::Codec;
+use std::time::Duration;
+
+const MERGE_THREADS: usize = 4;
+
+const STENCIL: &str = r#"fn main() {
+    for it in 0..60 {
+        let up = isend((rank() + 1) % size(), 1024, 1);
+        let dn = irecv((rank() + size() - 1) % size(), 1024, 1);
+        waitall(up, dn);
+        if it % 6 == 0 { allreduce(64); }
+    }
+    barrier();
+}"#;
+
+struct Row {
+    clients: u32,
+    events: u64,
+    merged_bytes: usize,
+    net_ns: f64,
+    local_ns: f64,
+    identical_merged_bytes: bool,
+}
+
+fn workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+fn local_once(
+    prog: &Program,
+    info: &cypress_cst::StaticInfo,
+    nprocs: u32,
+) -> (cypress_core::MergedCtt, u64) {
+    let per_rank = run_ranks(nprocs, workers(), |rank| {
+        let mut s = CompressSession::new(
+            &info.cst,
+            rank,
+            nprocs,
+            CompressConfig::default(),
+            SessionConfig::default(),
+        );
+        let app_time =
+            run_rank_with_sink(prog, info, rank, nprocs, &InterpConfig::default(), &mut s)
+                .expect("rank failed");
+        s.finish(app_time)
+    });
+    let (ctts, stats): (Vec<_>, Vec<_>) = per_rank.into_iter().unzip();
+    let events = stats.iter().map(|s| s.mpi_events).sum();
+    (merge_all_parallel(&ctts, MERGE_THREADS), events)
+}
+
+fn net_once(
+    prog: &Program,
+    info: &cypress_cst::StaticInfo,
+    nprocs: u32,
+) -> cypress_core::MergedCtt {
+    let cst_text = info.cst.to_text();
+    let collector = Collector::bind(&Addr::parse("127.0.0.1:0").unwrap()).unwrap();
+    let addr = collector.local_addr().unwrap();
+    let cfg = CollectorConfig {
+        keep_rank_ctts: false,
+        deadline: Some(Duration::from_secs(120)),
+        ..CollectorConfig::default()
+    };
+    let server = std::thread::spawn(move || collector.run(&cfg).unwrap());
+    std::thread::scope(|s| {
+        for rank in 0..nprocs {
+            let (addr, cst_text) = (&addr, &cst_text);
+            s.spawn(move || {
+                submit_stream(
+                    addr,
+                    &ClientConfig::default(),
+                    rank,
+                    nprocs,
+                    cst_text,
+                    |sink| {
+                        run_rank_with_sink(prog, info, rank, nprocs, &InterpConfig::default(), {
+                            &mut &mut *sink
+                        })
+                        .map_err(|e| e.to_string())
+                    },
+                )
+                .unwrap();
+            });
+        }
+    });
+    server.join().unwrap().merged
+}
+
+fn bench_point(nprocs: u32) -> Row {
+    let prog = parse(STENCIL).unwrap();
+    check_program(&prog).unwrap();
+    let info = analyze_program(&prog);
+
+    let (local_merged, events) = local_once(&prog, &info, nprocs);
+    let net_merged = net_once(&prog, &info, nprocs);
+    let identical = local_merged.to_bytes() == net_merged.to_bytes();
+
+    let local = harness::run(&format!("net/{nprocs}clients/local"), || {
+        local_once(&prog, &info, nprocs)
+    });
+    let net = harness::run(&format!("net/{nprocs}clients/loopback"), || {
+        net_once(&prog, &info, nprocs)
+    });
+
+    Row {
+        clients: nprocs,
+        events,
+        merged_bytes: local_merged.to_bytes().len(),
+        net_ns: net.mean_ns,
+        local_ns: local.mean_ns,
+        identical_merged_bytes: identical,
+    }
+}
+
+fn main() {
+    let counts: &[u32] = if std::env::var("CYPRESS_BENCH_FAST").is_ok() {
+        &[2, 4]
+    } else {
+        &[2, 4, 8, 16, 32]
+    };
+    let rows: Vec<Row> = counts.iter().map(|&n| bench_point(n)).collect();
+
+    let mut json = String::from("{\"schema\":\"bench_net/v1\",\"sweeps\":[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"clients\":{},\"events\":{},\"merged_bytes\":{},\
+             \"net_ns\":{:.1},\"local_ns\":{:.1},\"net_vs_local\":{:.4},\
+             \"events_per_sec\":{:.1},\"identical_merged_bytes\":{}}}",
+            r.clients,
+            r.events,
+            r.merged_bytes,
+            r.net_ns,
+            r.local_ns,
+            r.net_ns / r.local_ns.max(1.0),
+            r.events as f64 / (r.net_ns / 1e9),
+            r.identical_merged_bytes,
+        ));
+    }
+    json.push_str("]}\n");
+
+    let results = std::env::var("CYPRESS_RESULTS_DIR")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../results").to_owned());
+    let path = std::path::Path::new(&results).join("BENCH_net.json");
+    cypress_obs::write_atomic(&path, json.as_bytes()).expect("write BENCH_net.json");
+    println!("wrote {}", path.display());
+
+    let broken: Vec<u32> = rows
+        .iter()
+        .filter(|r| !r.identical_merged_bytes)
+        .map(|r| r.clients)
+        .collect();
+    assert!(
+        broken.is_empty(),
+        "networked and local merged encodings diverged at client counts: {broken:?}"
+    );
+}

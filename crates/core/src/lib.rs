@@ -42,7 +42,7 @@ pub use compress::{compress_trace, CompressConfig, IntraCompressor};
 pub use ctt::{Ctt, EncParams, LeafRecord, RankEnc, VertexData};
 pub use decompress::{decompress, decompress_into, replay_to_records, ReplayOp};
 pub use intseq::{IntSeq, IntSeqReader, Seg};
-pub use merge::{merge_all, merge_all_parallel, MergedCtt, MergedVertex, RankSet};
+pub use merge::{merge_all, merge_all_parallel, BinomialMerger, MergedCtt, MergedVertex, RankSet};
 pub use session::{CompressSession, SessionConfig, SessionStats};
 pub use timestats::{TimeMode, TimeStats, HIST_BUCKETS};
 pub use visit::{fold_ctt, fold_merged, CttFold, RankScope};

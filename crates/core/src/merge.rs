@@ -40,6 +40,10 @@ struct MergeMetrics {
     pair_merge_ns: Histogram,
     /// Wall time per whole-job merge.
     merge_ns: Histogram,
+    /// High-water depth of the incremental binomial buddy tree.
+    binomial_depth: Gauge,
+    /// Partial blocks currently resident in a [`BinomialMerger`].
+    binomial_blocks: Gauge,
 }
 
 fn obs() -> &'static MergeMetrics {
@@ -54,6 +58,8 @@ fn obs() -> &'static MergeMetrics {
             parallel_chunks: s.counter("parallel_chunks"),
             pair_merge_ns: s.histogram("pair_merge_ns", &cypress_obs::TIME_BOUNDS_NS),
             merge_ns: s.histogram("merge_ns", &cypress_obs::TIME_BOUNDS_NS),
+            binomial_depth: s.gauge("binomial_depth"),
+            binomial_blocks: s.gauge("binomial_blocks"),
         }
     })
 }
@@ -400,6 +406,14 @@ pub fn merge_all(ctts: &[Ctt]) -> MergedCtt {
 
 /// Merge with a binomial reduction tree across `threads` workers — the
 /// parallel O(n log P) schedule of §IV-B.
+///
+/// `threads` is advisory and clamped to `1..=ctts.len()`: `0` (an
+/// uninitialised pool size) degrades to sequential, and more threads than
+/// CTTs would only spawn idle workers. Because [`TimeStats`] aggregation is
+/// exactly associative, the result is **byte-identical** to [`merge_all`]
+/// for every thread count.
+///
+/// [`TimeStats`]: crate::timestats::TimeStats
 pub fn merge_all_parallel(ctts: &[Ctt], threads: usize) -> MergedCtt {
     assert!(
         !ctts.is_empty(),
@@ -439,6 +453,162 @@ pub fn merge_all_parallel(ctts: &[Ctt], threads: usize) -> MergedCtt {
         obs().merged_groups.set_max(acc.group_count() as i64);
     }
     acc
+}
+
+/// Incremental binomial reduction over per-rank CTTs arriving in **any
+/// order** — the event-driven form of the paper's `MPI_Finalize` merge
+/// schedule, used by the network collector to reduce rank CTTs as they
+/// complete instead of barriering for the full set.
+///
+/// Blocks of merged ranks live on the fixed *buddy tree* over rank indices:
+/// a block covering `[start, start+len)` (with `len` a power of two and
+/// `start % len == 0`) merges with its sibling `[start+len, start+2·len)`
+/// the moment both are complete. At most `⌈log2 P⌉ + 1` partial merges are
+/// resident at any time, and each rank's CTT participates in at most
+/// `log2 P` pairwise merges — O(n log P) total work.
+///
+/// The association tree is determined by rank indices alone (never by
+/// arrival order), and [`TimeStats`] aggregation is exactly associative, so
+/// [`BinomialMerger::finish`] is byte-identical to [`merge_all`] over the
+/// same CTTs in rank order — the invariant `tests/net_collect.rs` pins for
+/// out-of-order network submission.
+///
+/// [`TimeStats`]: crate::timestats::TimeStats
+pub struct BinomialMerger {
+    nprocs: u32,
+    /// Completed buddy blocks, keyed by start rank → (len, partial merge).
+    blocks: std::collections::BTreeMap<u32, (u32, MergedCtt)>,
+    /// Bitset of ranks already accepted.
+    seen: Vec<u64>,
+    received: u32,
+}
+
+impl BinomialMerger {
+    pub fn new(nprocs: u32) -> Self {
+        assert!(nprocs > 0, "BinomialMerger needs at least one rank");
+        BinomialMerger {
+            nprocs,
+            blocks: std::collections::BTreeMap::new(),
+            seen: vec![0u64; (nprocs as usize).div_ceil(64)],
+            received: 0,
+        }
+    }
+
+    /// Offer one rank's finished CTT. Returns `false` (and changes nothing)
+    /// if this rank was already merged — a retried client re-submitting a
+    /// rank the collector completed earlier is a no-op, not corruption.
+    pub fn add(&mut self, ctt: &Ctt) -> bool {
+        assert_eq!(
+            ctt.nprocs, self.nprocs,
+            "CTT job size {} does not match merger size {}",
+            ctt.nprocs, self.nprocs
+        );
+        assert!(
+            ctt.rank < self.nprocs,
+            "rank {} out of range for {} procs",
+            ctt.rank,
+            self.nprocs
+        );
+        let (w, bit) = (ctt.rank as usize / 64, 1u64 << (ctt.rank % 64));
+        if self.seen[w] & bit != 0 {
+            return false;
+        }
+        self.seen[w] |= bit;
+        self.received += 1;
+
+        let mut start = ctt.rank;
+        let mut len: u32 = 1;
+        let mut cur = MergedCtt::from_ctt(ctt);
+        // Climb the buddy tree: blocks are always power-of-two sized and
+        // len-aligned, so `start % (2·len)` is 0 (we are the lower sibling)
+        // or `len` (we are the upper sibling).
+        loop {
+            if start.is_multiple_of(2 * len) {
+                let buddy = start + len;
+                if self.blocks.get(&buddy).is_some_and(|(l, _)| *l == len) {
+                    let (_, upper) = self.blocks.remove(&buddy).unwrap();
+                    cur.absorb(upper);
+                    len *= 2;
+                    continue;
+                }
+            } else {
+                let buddy = start - len;
+                if self.blocks.get(&buddy).is_some_and(|(l, _)| *l == len) {
+                    let (_, mut lower) = self.blocks.remove(&buddy).unwrap();
+                    lower.absorb(cur);
+                    cur = lower;
+                    start = buddy;
+                    len *= 2;
+                    continue;
+                }
+            }
+            break;
+        }
+        self.blocks.insert(start, (len, cur));
+        if cypress_obs::enabled() {
+            let m = obs();
+            m.binomial_depth.set_max(len.trailing_zeros() as i64);
+            m.binomial_blocks.set_max(self.blocks.len() as i64);
+        }
+        true
+    }
+
+    /// Ranks accepted so far.
+    pub fn received(&self) -> u32 {
+        self.received
+    }
+
+    /// Whether every rank `0..nprocs` has been merged.
+    pub fn is_complete(&self) -> bool {
+        self.received == self.nprocs
+    }
+
+    /// Whether this rank's CTT was already accepted.
+    pub fn has_rank(&self, rank: u32) -> bool {
+        rank < self.nprocs && self.seen[rank as usize / 64] & (1u64 << (rank % 64)) != 0
+    }
+
+    /// Partial blocks currently resident (≤ ⌈log2 P⌉ + 1 once complete).
+    pub fn pending_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Ranks not yet submitted, in ascending order.
+    pub fn missing_ranks(&self) -> Vec<u32> {
+        (0..self.nprocs)
+            .filter(|r| self.seen[*r as usize / 64] & (1u64 << (r % 64)) == 0)
+            .collect()
+    }
+
+    /// Fold the remaining blocks (ascending start rank; non-power-of-two
+    /// job sizes leave a short tail) into the final merged trace.
+    ///
+    /// Panics unless [`is_complete`](Self::is_complete) — callers decide how
+    /// to handle missing ranks (the collector reports them by number).
+    pub fn finish(self) -> MergedCtt {
+        assert!(
+            self.is_complete(),
+            "binomial merge incomplete: missing ranks {:?}",
+            self.missing_ranks()
+        );
+        let _span = obs().merge_ns.start_span();
+        let mut iter = self.blocks.into_values();
+        let (_, mut acc) = iter.next().expect("complete merger has blocks");
+        for (_, part) in iter {
+            acc.absorb(part);
+        }
+        if cypress_obs::enabled() {
+            obs().merged_groups.set_max(acc.group_count() as i64);
+        }
+        obs_log!(
+            Level::Info,
+            "merge",
+            "binomial merge of {} ranks complete ({} groups)",
+            self.nprocs,
+            acc.group_count()
+        );
+        acc
+    }
 }
 
 const MV_EMPTY: u8 = 0;
@@ -683,6 +853,116 @@ mod tests {
                 assert_eq!(vs.group_count(), vp.group_count());
             }
         }
+    }
+
+    #[test]
+    fn parallel_merge_byte_identical_for_any_thread_count() {
+        // 19 ranks: non-power-of-two, so chunk boundaries differ per thread
+        // count. Exact TimeStats make every association byte-identical.
+        let (_, ctts) = pipeline(JACOBI, 19);
+        let seq = merge_all(&ctts).to_bytes();
+        for threads in [0, 1, 2, 3, 5, 8, 19, 64] {
+            let par = merge_all_parallel(&ctts, threads).to_bytes();
+            assert_eq!(par, seq, "threads={threads} diverged from sequential");
+        }
+    }
+
+    #[test]
+    fn parallel_merge_clamps_zero_threads() {
+        let (_, ctts) = pipeline(JACOBI, 4);
+        // threads == 0 (e.g. an unconfigured pool) degrades to sequential.
+        let m = merge_all_parallel(&ctts, 0);
+        assert_eq!(m.to_bytes(), merge_all(&ctts).to_bytes());
+    }
+
+    #[test]
+    fn parallel_merge_clamps_excess_threads() {
+        let (_, ctts) = pipeline(JACOBI, 3);
+        // More workers than CTTs must not spawn empty chunks or panic.
+        let m = merge_all_parallel(&ctts, 1000);
+        assert_eq!(m.to_bytes(), merge_all(&ctts).to_bytes());
+    }
+
+    #[test]
+    fn parallel_merge_single_rank_input() {
+        let (_, ctts) = pipeline("fn main() { barrier(); }", 1);
+        for threads in [0, 1, 7] {
+            let m = merge_all_parallel(&ctts[..1], threads);
+            assert_eq!(m.nprocs, 1);
+            assert_eq!(m.to_bytes(), merge_all(&ctts[..1]).to_bytes());
+        }
+    }
+
+    #[test]
+    fn binomial_merger_matches_merge_all_in_rank_order() {
+        for nprocs in [1u32, 2, 3, 5, 8, 13, 16] {
+            let (_, ctts) = pipeline(JACOBI, nprocs);
+            let mut bm = BinomialMerger::new(nprocs);
+            for c in &ctts {
+                assert!(bm.add(c));
+            }
+            assert!(bm.is_complete());
+            assert_eq!(bm.finish().to_bytes(), merge_all(&ctts).to_bytes());
+        }
+    }
+
+    #[test]
+    fn binomial_merger_is_arrival_order_independent() {
+        let (_, ctts) = pipeline(JACOBI, 13);
+        let want = merge_all(&ctts).to_bytes();
+        let mut rng = cypress_obs::rng::Rng::new(0xcafe);
+        for _ in 0..16 {
+            // Fisher–Yates shuffle of submission order.
+            let mut order: Vec<usize> = (0..ctts.len()).collect();
+            for i in (1..order.len()).rev() {
+                order.swap(i, rng.range_usize(0..i + 1));
+            }
+            let mut bm = BinomialMerger::new(13);
+            for &i in &order {
+                bm.add(&ctts[i]);
+            }
+            assert_eq!(bm.finish().to_bytes(), want, "order {order:?}");
+        }
+    }
+
+    #[test]
+    fn binomial_merger_bounds_resident_blocks() {
+        let (_, ctts) = pipeline(JACOBI, 32);
+        let mut bm = BinomialMerger::new(32);
+        let mut peak = 0;
+        for c in &ctts {
+            bm.add(c);
+            peak = peak.max(bm.pending_blocks());
+        }
+        // In rank order the buddy tree keeps at most log2(P)+1 partials.
+        assert!(peak <= 6, "peak resident blocks {peak}");
+        assert_eq!(bm.pending_blocks(), 1);
+    }
+
+    #[test]
+    fn binomial_merger_ignores_duplicate_ranks() {
+        let (_, ctts) = pipeline(JACOBI, 6);
+        let mut bm = BinomialMerger::new(6);
+        assert!(bm.add(&ctts[2]));
+        // A retried client re-submitting the same rank is discarded.
+        assert!(!bm.add(&ctts[2]));
+        assert_eq!(bm.received(), 1);
+        assert_eq!(bm.missing_ranks(), vec![0, 1, 3, 4, 5]);
+        for c in &ctts {
+            bm.add(c);
+        }
+        assert!(bm.is_complete());
+        assert_eq!(bm.finish().to_bytes(), merge_all(&ctts).to_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "missing ranks")]
+    fn binomial_merger_finish_requires_all_ranks() {
+        let (_, ctts) = pipeline(JACOBI, 4);
+        let mut bm = BinomialMerger::new(4);
+        bm.add(&ctts[0]);
+        bm.add(&ctts[3]);
+        let _ = bm.finish();
     }
 
     #[test]

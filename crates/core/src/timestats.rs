@@ -5,13 +5,23 @@
 //! and a histogram of the time distribution; both are implemented here.
 //! Timing never participates in record *equality* — only the communication
 //! parameters do.
+//!
+//! Mean/stddev aggregates are kept as **exact integer moment sums**
+//! (`n`, `Σx`, `Σx²` in 128-bit arithmetic) rather than floating-point
+//! Welford state. Integer addition is associative and commutative, so
+//! [`TimeStats::merge`] yields bit-identical results no matter how a set of
+//! partial aggregates is parenthesised — the property the distributed
+//! binomial merge (ranks arriving over the network in any order) and
+//! `merge_all_parallel` (machine-dependent chunking) both rely on for
+//! canonical, byte-stable merged encodings. Mean and deviation are derived
+//! on demand.
 
 use cypress_trace::codec::{Codec, DecodeError, DecodeResult, Decoder, Encoder};
 
 /// Which time representation the compressor keeps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum TimeMode {
-    /// Mean and standard deviation (Welford online algorithm).
+    /// Mean and standard deviation (exact moment sums).
     #[default]
     MeanStd,
     /// Power-of-two bucket histogram of durations.
@@ -29,9 +39,11 @@ pub const HIST_BUCKETS: usize = 40;
 pub enum TimeStats {
     MeanStd {
         n: u64,
-        mean: f64,
-        /// Welford running sum of squared deviations.
-        m2: f64,
+        /// Exact Σx over all recorded durations (wrapping at 2^128, which is
+        /// unreachable for ns-scale virtual times).
+        sum: u128,
+        /// Exact Σx².
+        sumsq: u128,
         min: u64,
         max: u64,
     },
@@ -47,8 +59,8 @@ impl TimeStats {
         match mode {
             TimeMode::MeanStd => TimeStats::MeanStd {
                 n: 0,
-                mean: 0.0,
-                m2: 0.0,
+                sum: 0,
+                sumsq: 0,
                 min: u64::MAX,
                 max: 0,
             },
@@ -65,16 +77,15 @@ impl TimeStats {
         match self {
             TimeStats::MeanStd {
                 n,
-                mean,
-                m2,
+                sum,
+                sumsq,
                 min,
                 max,
             } => {
                 *n += 1;
-                let x = dur as f64;
-                let delta = x - *mean;
-                *mean += delta / *n as f64;
-                *m2 += delta * (x - *mean);
+                let x = dur as u128;
+                *sum = sum.wrapping_add(x);
+                *sumsq = sumsq.wrapping_add(x * x);
                 *min = (*min).min(dur);
                 *max = (*max).max(dur);
             }
@@ -87,44 +98,29 @@ impl TimeStats {
         }
     }
 
-    /// Merge another aggregate into this one (same mode required).
+    /// Merge another aggregate into this one (same mode required). Integer
+    /// moment sums make this exactly associative and commutative.
     pub fn merge(&mut self, other: &TimeStats) {
         match (self, other) {
             (
                 TimeStats::MeanStd {
                     n,
-                    mean,
-                    m2,
+                    sum,
+                    sumsq,
                     min,
                     max,
                 },
                 TimeStats::MeanStd {
                     n: n2,
-                    mean: mean2,
-                    m2: m22,
+                    sum: sum2,
+                    sumsq: sumsq2,
                     min: min2,
                     max: max2,
                 },
             ) => {
-                if *n2 == 0 {
-                    return;
-                }
-                if *n == 0 {
-                    *n = *n2;
-                    *mean = *mean2;
-                    *m2 = *m22;
-                    *min = *min2;
-                    *max = *max2;
-                    return;
-                }
-                // Chan et al. parallel-variance combination.
-                let na = *n as f64;
-                let nb = *n2 as f64;
-                let delta = *mean2 - *mean;
-                let tot = na + nb;
-                *mean += delta * nb / tot;
-                *m2 += *m22 + delta * delta * na * nb / tot;
                 *n += *n2;
+                *sum = sum.wrapping_add(*sum2);
+                *sumsq = sumsq.wrapping_add(*sumsq2);
                 *min = (*min).min(*min2);
                 *max = (*max).max(*max2);
             }
@@ -149,7 +145,13 @@ impl TimeStats {
     /// Mean duration (ns); histogram mode returns the bucket-midpoint mean.
     pub fn mean(&self) -> f64 {
         match self {
-            TimeStats::MeanStd { mean, .. } => *mean,
+            TimeStats::MeanStd { n, sum, .. } => {
+                if *n == 0 {
+                    0.0
+                } else {
+                    *sum as f64 / *n as f64
+                }
+            }
             TimeStats::Histogram { n, buckets } => {
                 if *n == 0 {
                     return 0.0;
@@ -176,47 +178,59 @@ impl TimeStats {
     /// approximation).
     pub fn stddev(&self) -> f64 {
         match self {
-            TimeStats::MeanStd { n, m2, .. } if *n >= 2 => (m2 / (*n as f64 - 1.0)).sqrt(),
+            TimeStats::MeanStd { n, sum, sumsq, .. } if *n >= 2 => {
+                let nf = *n as f64;
+                let s = *sum as f64;
+                let var = ((*sumsq as f64 - s * s / nf) / (nf - 1.0)).max(0.0);
+                var.sqrt()
+            }
             _ => 0.0,
         }
     }
 
     pub fn approx_bytes(&self) -> usize {
         match self {
-            TimeStats::MeanStd { .. } => 40,
+            TimeStats::MeanStd { .. } => 56,
             TimeStats::Histogram { buckets, .. } => 16 + buckets.len() * 4,
             TimeStats::None => 0,
         }
     }
 }
 
-const TAG_MEANSTD: u8 = 0;
+/// Legacy quantized mean/std encoding (read-only compatibility).
+const TAG_MEANSTD_V1: u8 = 0;
 const TAG_HIST: u8 = 1;
 const TAG_NONE: u8 = 2;
+/// Exact integer-moment encoding (current writer).
+const TAG_MEANSTD: u8 = 3;
+
+fn put_u128(enc: &mut Encoder, v: u128) {
+    enc.put_uvar((v >> 64) as u64);
+    enc.put_uvar(v as u64);
+}
+
+fn get_u128(dec: &mut Decoder<'_>) -> DecodeResult<u128> {
+    let hi = dec.get_uvar()? as u128;
+    let lo = dec.get_uvar()? as u128;
+    Ok((hi << 64) | lo)
+}
 
 impl Codec for TimeStats {
     fn encode(&self, enc: &mut Encoder) {
         match self {
             TimeStats::MeanStd {
                 n,
-                mean,
-                m2,
+                sum,
+                sumsq,
                 min,
                 max,
             } => {
-                // Compact quantized form: whole-nanosecond mean and standard
-                // deviation (timing is statistical by design, §IV-A, so
-                // sub-ns precision is noise). `m2` is reconstructed from the
-                // stored deviation on decode.
+                // Exact moments: re-encoding a decoded aggregate is
+                // byte-stable, and merge order can never perturb the bytes.
                 enc.put_u8(TAG_MEANSTD);
                 enc.put_uvar(*n);
-                enc.put_uvar(mean.round().max(0.0) as u64);
-                let std = if *n >= 2 {
-                    (m2 / (*n as f64 - 1.0)).sqrt()
-                } else {
-                    0.0
-                };
-                enc.put_uvar(std.round().max(0.0) as u64);
+                put_u128(enc, *sum);
+                put_u128(enc, *sumsq);
                 enc.put_uvar(if *min == u64::MAX { 0 } else { *min });
                 enc.put_uvar(*max);
             }
@@ -241,19 +255,39 @@ impl Codec for TimeStats {
         match dec.get_u8()? {
             TAG_MEANSTD => {
                 let n = dec.get_uvar()?;
-                let mean = dec.get_uvar()? as f64;
-                let std = dec.get_uvar()? as f64;
-                let m2 = if n >= 2 {
-                    std * std * (n as f64 - 1.0)
-                } else {
-                    0.0
-                };
+                let sum = get_u128(dec)?;
+                let sumsq = get_u128(dec)?;
                 let min = dec.get_uvar()?;
                 let max = dec.get_uvar()?;
                 Ok(TimeStats::MeanStd {
                     n,
-                    mean,
-                    m2,
+                    sum,
+                    sumsq,
+                    min: if n == 0 { u64::MAX } else { min },
+                    max,
+                })
+            }
+            TAG_MEANSTD_V1 => {
+                // Containers written before the exact-moment encoding stored
+                // whole-ns mean and deviation; reconstruct approximate
+                // moments so old files stay readable (statistics are within
+                // the quantization error they already carried).
+                let n = dec.get_uvar()?;
+                let mean = dec.get_uvar()? as f64;
+                let std = dec.get_uvar()? as f64;
+                let min = dec.get_uvar()?;
+                let max = dec.get_uvar()?;
+                let sum = (mean * n as f64).round() as u128;
+                let sumsq = if n >= 2 {
+                    let nf = n as f64;
+                    (std * std * (nf - 1.0) + mean * mean * nf).round() as u128
+                } else {
+                    (mean * mean * n as f64).round() as u128
+                };
+                Ok(TimeStats::MeanStd {
+                    n,
+                    sum,
+                    sumsq,
                     min: if n == 0 { u64::MAX } else { min },
                     max,
                 })
@@ -310,9 +344,8 @@ mod tests {
             all.add(x);
         }
         a.merge(&b);
-        assert_eq!(a.count(), all.count());
-        assert!((a.mean() - all.mean()).abs() < 1e-9);
-        assert!((a.stddev() - all.stddev()).abs() < 1e-9);
+        // Integer moments: the merged aggregate IS the pooled aggregate.
+        assert_eq!(a, all);
     }
 
     #[test]
@@ -320,12 +353,45 @@ mod tests {
         let mut a = TimeStats::new(TimeMode::MeanStd);
         a.add(5);
         let b = TimeStats::new(TimeMode::MeanStd);
-        let before = a.clone();
-        a.merge(&b);
-        assert_eq!(a, before);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged, a);
         let mut c = TimeStats::new(TimeMode::MeanStd);
-        c.merge(&before);
-        assert_eq!(c.mean(), before.mean());
+        c.merge(&a);
+        assert_eq!(c, a);
+    }
+
+    /// The property the distributed binomial merge depends on: any
+    /// parenthesisation of any permutation-preserving partition of the same
+    /// samples produces bit-identical aggregates and bytes.
+    #[test]
+    fn merge_is_exactly_associative_random() {
+        let mut rng = Rng::new(0x0b10_ba55);
+        for _ in 0..200 {
+            let n = rng.range_usize(1..60);
+            let xs: Vec<u64> = (0..n).map(|_| rng.range_u64(0..1_000_000_000)).collect();
+            // Split into three parts, merge as (a+b)+c and a+(b+c).
+            let i = rng.range_usize(0..n + 1);
+            let j = rng.range_usize(i..n + 1);
+            let agg = |slice: &[u64]| {
+                let mut s = TimeStats::new(TimeMode::MeanStd);
+                for &x in slice {
+                    s.add(x);
+                }
+                s
+            };
+            let (a, b, c) = (agg(&xs[..i]), agg(&xs[i..j]), agg(&xs[j..]));
+            let mut left = a.clone();
+            left.merge(&b);
+            left.merge(&c);
+            let mut bc = b.clone();
+            bc.merge(&c);
+            let mut right = a.clone();
+            right.merge(&bc);
+            assert_eq!(left, right);
+            assert_eq!(left.to_bytes(), right.to_bytes());
+            assert_eq!(left, agg(&xs));
+        }
     }
 
     #[test]
@@ -369,12 +435,9 @@ mod tests {
                 s.add(d);
             }
             let back = TimeStats::from_bytes(&s.to_bytes()).unwrap();
-            // MeanStd quantizes to whole nanoseconds; compare statistics
-            // within 1 ns, everything else exactly.
-            assert_eq!(back.count(), s.count());
-            assert!((back.mean() - s.mean()).abs() <= 1.0);
-            assert!((back.stddev() - s.stddev()).abs() <= 1.0);
-            // The encoding is canonical: re-encoding is stable.
+            // Exact moments round trip losslessly, and the encoding is
+            // canonical: re-encoding is byte-stable.
+            assert_eq!(back, s);
             assert_eq!(back.to_bytes(), s.to_bytes());
         }
     }
@@ -388,12 +451,35 @@ mod tests {
             }
             let back = TimeStats::from_bytes(&s.to_bytes()).unwrap();
             assert_eq!(back.count(), samples.len() as u64);
+            assert_eq!(back, s);
             assert_eq!(back.to_bytes(), s.to_bytes());
         }
     }
 
+    /// Pre-exact-moment containers carried whole-ns mean/std (tag 0); they
+    /// must still decode to statistics within their own quantization error.
     #[test]
-    fn welford_mean_matches_naive_random() {
+    fn legacy_quantized_encoding_still_decodes() {
+        let mut enc = Encoder::new();
+        enc.put_u8(TAG_MEANSTD_V1);
+        enc.put_uvar(4); // n
+        enc.put_uvar(100); // mean ns
+        enc.put_uvar(10); // std ns
+        enc.put_uvar(88); // min
+        enc.put_uvar(115); // max
+        let bytes = enc.finish();
+        let s = TimeStats::from_bytes(&bytes).unwrap();
+        assert_eq!(s.count(), 4);
+        assert!((s.mean() - 100.0).abs() <= 1.0, "mean {}", s.mean());
+        assert!((s.stddev() - 10.0).abs() <= 1.0, "std {}", s.stddev());
+        let TimeStats::MeanStd { min, max, .. } = s else {
+            panic!()
+        };
+        assert_eq!((min, max), (88, 115));
+    }
+
+    #[test]
+    fn mean_matches_naive_random() {
         let mut rng = Rng::new(0x3e1f);
         for _ in 0..256 {
             let n = rng.range_usize(1..100);

@@ -1,0 +1,321 @@
+//! The submitting side: connect/send retry with exponential backoff,
+//! per-request timeouts, and a drain-on-finish handshake.
+//!
+//! Streaming submission is **replayable by construction**: the caller
+//! passes a producer closure that regenerates the rank's event stream into
+//! an [`EventSink`], and every retry re-runs it from the start. That keeps
+//! the client memory-bounded (nothing is buffered beyond one chunk) while
+//! still surviving a mid-stream disconnect — the collector discards the
+//! partial session, and the retried attempt re-streams everything. Event
+//! sources in this repo (the deterministic interpreter, recorded raw
+//! traces) replay exactly, so a retry submits identical bytes.
+
+use crate::proto::{read_frame, write_frame, Frame, SubmitMode, PROTO_VERSION};
+use crate::transport::{Addr, Stream};
+use crate::NetError;
+use cypress_core::Ctt;
+use cypress_trace::codec::Codec;
+use cypress_trace::event::{Event, EventSink};
+use std::time::Duration;
+
+/// Client knobs.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Total connect+submit attempts before giving up.
+    pub attempts: u32,
+    /// Backoff before the second attempt; doubles per retry.
+    pub backoff: Duration,
+    /// Backoff ceiling.
+    pub backoff_max: Duration,
+    /// Per-request (read/write/connect) timeout.
+    pub io_timeout: Duration,
+    /// Events per `Events` frame in streaming mode.
+    pub chunk_events: usize,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            attempts: 5,
+            backoff: Duration::from_millis(50),
+            backoff_max: Duration::from_secs(2),
+            io_timeout: Duration::from_secs(10),
+            chunk_events: 512,
+        }
+    }
+}
+
+/// What a successful submission did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubmitOutcome {
+    /// The collector already had this rank (nothing was sent) — a retried
+    /// client discovering its previous attempt actually landed.
+    pub already_done: bool,
+    /// Events streamed in the successful attempt (0 in ctt mode or when
+    /// `already_done`).
+    pub events_sent: u64,
+    /// Attempts used, including the successful one.
+    pub attempts: u32,
+    /// Ranks the collector had merged when it acknowledged this one.
+    pub ranks_done: u32,
+}
+
+/// Buffers events into `Events` frames. A send failure is latched: later
+/// events are dropped cheaply, and the producer finishes its (wasted)
+/// replay so the attempt can report the error and retry.
+struct ChunkSink<'a> {
+    stream: &'a mut Stream,
+    buf: Vec<Event>,
+    chunk: usize,
+    sent: u64,
+    err: Option<NetError>,
+}
+
+impl ChunkSink<'_> {
+    fn flush(&mut self) {
+        if self.err.is_some() || self.buf.is_empty() {
+            return;
+        }
+        let events = std::mem::take(&mut self.buf);
+        let n = events.len() as u64;
+        match write_frame(self.stream, &Frame::Events { events }) {
+            Ok(()) => self.sent += n,
+            Err(e) => self.err = Some(e),
+        }
+    }
+}
+
+impl EventSink for ChunkSink<'_> {
+    fn event(&mut self, ev: Event) {
+        if self.err.is_some() {
+            return;
+        }
+        self.buf.push(ev);
+        if self.buf.len() >= self.chunk {
+            self.flush();
+        }
+    }
+}
+
+fn hello_exchange(
+    stream: &mut Stream,
+    rank: u32,
+    nprocs: u32,
+    mode: SubmitMode,
+    cst_text: &str,
+) -> Result<bool, NetError> {
+    write_frame(
+        stream,
+        &Frame::Hello {
+            version: PROTO_VERSION,
+            rank,
+            nprocs,
+            mode,
+            cst_text: cst_text.to_string(),
+        },
+    )?;
+    match read_frame(stream)? {
+        Frame::HelloAck { already_done, .. } => Ok(already_done),
+        Frame::Error { code, message } => Err(NetError::Remote { code, message }),
+        f => Err(NetError::Protocol(format!(
+            "expected HelloAck, got {}",
+            f.name()
+        ))),
+    }
+}
+
+fn read_fin_ack(stream: &mut Stream) -> Result<u32, NetError> {
+    match read_frame(stream)? {
+        Frame::FinAck { ranks_done } => Ok(ranks_done),
+        Frame::Error { code, message } => Err(NetError::Remote { code, message }),
+        f => Err(NetError::Protocol(format!(
+            "expected FinAck, got {}",
+            f.name()
+        ))),
+    }
+}
+
+/// One retry loop shared by both submit modes: run `attempt` until it
+/// succeeds, the error is non-retryable, or attempts are exhausted.
+fn with_retry<T>(
+    cfg: &ClientConfig,
+    mut attempt: impl FnMut(u32) -> Result<T, NetError>,
+) -> Result<T, NetError> {
+    let attempts = cfg.attempts.max(1);
+    let mut backoff = cfg.backoff;
+    let mut last = String::new();
+    for i in 1..=attempts {
+        match attempt(i) {
+            Ok(v) => return Ok(v),
+            Err(e) if e.is_retryable() && i < attempts => {
+                last = e.to_string();
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(cfg.backoff_max);
+            }
+            Err(e) if e.is_retryable() => {
+                return Err(NetError::RetriesExhausted {
+                    attempts,
+                    last: e.to_string(),
+                })
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    // Unreachable: the loop always returns; keep the compiler satisfied.
+    Err(NetError::RetriesExhausted { attempts, last })
+}
+
+/// Stream one rank's events to a collector, retrying whole attempts with
+/// exponential backoff on transport failures.
+///
+/// `produce` must replay the rank's full event stream into the sink and
+/// return the rank's application time (ns); it runs once per attempt.
+/// Returning `Err` aborts without retry (a deterministic producer that
+/// failed once will fail again).
+pub fn submit_stream(
+    addr: &Addr,
+    cfg: &ClientConfig,
+    rank: u32,
+    nprocs: u32,
+    cst_text: &str,
+    mut produce: impl FnMut(&mut dyn EventSink) -> Result<u64, String>,
+) -> Result<SubmitOutcome, NetError> {
+    with_retry(cfg, |attempt| {
+        let mut stream = Stream::connect(addr, cfg.io_timeout)?;
+        stream.set_io_timeout(cfg.io_timeout)?;
+        if hello_exchange(&mut stream, rank, nprocs, SubmitMode::Stream, cst_text)? {
+            stream.shutdown();
+            return Ok(SubmitOutcome {
+                already_done: true,
+                events_sent: 0,
+                attempts: attempt,
+                ranks_done: 0,
+            });
+        }
+        let mut sink = ChunkSink {
+            stream: &mut stream,
+            buf: Vec::new(),
+            chunk: cfg.chunk_events.max(1),
+            sent: 0,
+            err: None,
+        };
+        let app_time = produce(&mut sink).map_err(NetError::Source)?;
+        sink.flush();
+        let (sent, err) = (sink.sent, sink.err.take());
+        if let Some(e) = err {
+            return Err(e);
+        }
+        write_frame(
+            &mut stream,
+            &Frame::Finish {
+                app_time,
+                event_count: sent,
+            },
+        )?;
+        let ranks_done = read_fin_ack(&mut stream)?;
+        stream.shutdown();
+        Ok(SubmitOutcome {
+            already_done: false,
+            events_sent: sent,
+            attempts: attempt,
+            ranks_done,
+        })
+    })
+}
+
+/// Submit a locally-compressed CTT (the paper's merge-at-finalize artifact)
+/// instead of raw events. Same retry/backoff/drain behavior.
+pub fn submit_ctt(
+    addr: &Addr,
+    cfg: &ClientConfig,
+    ctt: &Ctt,
+    cst_text: &str,
+) -> Result<SubmitOutcome, NetError> {
+    let bytes = ctt.to_bytes();
+    with_retry(cfg, |attempt| {
+        let mut stream = Stream::connect(addr, cfg.io_timeout)?;
+        stream.set_io_timeout(cfg.io_timeout)?;
+        if hello_exchange(&mut stream, ctt.rank, ctt.nprocs, SubmitMode::Ctt, cst_text)? {
+            stream.shutdown();
+            return Ok(SubmitOutcome {
+                already_done: true,
+                events_sent: 0,
+                attempts: attempt,
+                ranks_done: 0,
+            });
+        }
+        write_frame(
+            &mut stream,
+            &Frame::RankCtt {
+                bytes: bytes.clone(),
+            },
+        )?;
+        let ranks_done = read_fin_ack(&mut stream)?;
+        stream.shutdown();
+        Ok(SubmitOutcome {
+            already_done: false,
+            events_sent: 0,
+            attempts: attempt,
+            ranks_done,
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connect_to_dead_endpoint_exhausts_retries() {
+        // Port 1 on localhost refuses immediately; keep backoff tiny.
+        let addr = Addr::parse("127.0.0.1:1").unwrap();
+        let cfg = ClientConfig {
+            attempts: 3,
+            backoff: Duration::from_millis(1),
+            backoff_max: Duration::from_millis(2),
+            io_timeout: Duration::from_millis(200),
+            ..ClientConfig::default()
+        };
+        let err = submit_stream(&addr, &cfg, 0, 1, "Root()", |_| Ok(0)).unwrap_err();
+        match err {
+            NetError::RetriesExhausted { attempts, .. } => assert_eq!(attempts, 3),
+            e => panic!("expected RetriesExhausted, got {e}"),
+        }
+    }
+
+    #[test]
+    fn producer_failure_does_not_retry() {
+        // No listener needed: the producer only runs after connect, so use
+        // a live listener that accepts and acks.
+        let l = crate::transport::Listener::bind(&Addr::parse("127.0.0.1:0").unwrap()).unwrap();
+        let addr = l.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let mut s = l.accept().unwrap();
+            let _ = read_frame(&mut s).unwrap();
+            write_frame(
+                &mut s,
+                &Frame::HelloAck {
+                    version: 1,
+                    already_done: false,
+                },
+            )
+            .unwrap();
+            // Keep the socket open until the client gives up.
+            let _ = read_frame(&mut s);
+        });
+        let cfg = ClientConfig {
+            attempts: 5,
+            backoff: Duration::from_millis(1),
+            ..ClientConfig::default()
+        };
+        let mut calls = 0;
+        let err = submit_stream(&addr, &cfg, 0, 1, "Root()", |_| {
+            calls += 1;
+            Err("interpreter exploded".into())
+        })
+        .unwrap_err();
+        assert!(matches!(err, NetError::Source(_)), "{err}");
+        assert_eq!(calls, 1, "source errors must not retry");
+        server.join().unwrap();
+    }
+}

@@ -1,0 +1,729 @@
+//! The collector daemon.
+//!
+//! One [`Collector`] gathers a whole job: it accepts many concurrent
+//! clients (TCP or Unix sockets), feeds each stream-mode client into its
+//! own [`CompressSession`] so raw events never accumulate server-side, and
+//! reduces finished rank CTTs through a [`BinomialMerger`] **as they
+//! arrive** — no barrier on the full rank set. Connections are handled by
+//! the `runtime` work-stealing pool; the accept loop is non-blocking and
+//! queues sockets for the workers, counting backpressure stalls when every
+//! worker is busy.
+//!
+//! Failure model: a client that disconnects (or corrupts a frame)
+//! mid-stream loses only its own partial session — the collector discards
+//! it and the retried client re-streams from scratch. A rank submitted
+//! twice (a retry whose first attempt actually landed) is acknowledged and
+//! discarded; [`BinomialMerger`] is first-completion-wins, so a
+//! killed-and-retried client can never corrupt the merged job.
+
+use crate::proto::{
+    codes, read_frame, send_error, write_frame, Frame, SubmitMode, PROTO_VERSION, PROTO_VERSION_MIN,
+};
+use crate::transport::{Addr, Listener, Stream};
+use crate::{obs, NetError};
+use cypress_core::{
+    BinomialMerger, CompressConfig, CompressSession, Ctt, MergedCtt, SessionConfig,
+};
+use cypress_cst::Cst;
+use cypress_deflate::crc32;
+use cypress_obs::{obs_log, Level};
+use cypress_runtime::run_ranks;
+use cypress_trace::codec::Codec;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Collector knobs.
+#[derive(Debug, Clone)]
+pub struct CollectorConfig {
+    /// Connection-handling workers (0 = one per core, capped at 8).
+    pub workers: usize,
+    /// Per-request read/write timeout on client sockets.
+    pub io_timeout: Duration,
+    /// Keep every rank's CTT (exact per-rank timing in queries and
+    /// `--per-rank` containers) in addition to the incremental merge.
+    pub keep_rank_ctts: bool,
+    /// Overall wall-clock budget; when it expires with ranks missing the
+    /// run fails listing them instead of hanging forever.
+    pub deadline: Option<Duration>,
+    /// Compression knobs for server-side sessions (stream mode).
+    pub compress: CompressConfig,
+    /// Session knobs for server-side sessions (stream mode).
+    pub session: SessionConfig,
+}
+
+impl Default for CollectorConfig {
+    fn default() -> Self {
+        CollectorConfig {
+            workers: 0,
+            io_timeout: Duration::from_secs(10),
+            keep_rank_ctts: true,
+            deadline: None,
+            compress: CompressConfig::default(),
+            session: SessionConfig::default(),
+        }
+    }
+}
+
+/// Everything a finished collection produced — the networked counterpart
+/// of the local pipeline's `CompressedJob`.
+#[derive(Debug)]
+pub struct CollectedJob {
+    pub nprocs: u32,
+    pub cst: Cst,
+    /// Canonical CST text as received in the first `Hello` (persisted
+    /// verbatim into containers).
+    pub cst_text: String,
+    /// The binomial-merged whole-job tree — byte-identical to a local
+    /// `merge_all` over the same rank CTTs.
+    pub merged: MergedCtt,
+    /// Per-rank CTTs in rank order (empty when
+    /// [`CollectorConfig::keep_rank_ctts`] is off).
+    pub rank_ctts: Vec<Ctt>,
+    /// Total MPI events across ranks (session accounting for stream mode,
+    /// record counts for ctt mode — identical values).
+    pub total_events: u64,
+    /// Raw serialized size of the MPI records before compression (stream
+    /// mode only; 0 for ctt-mode ranks).
+    pub raw_mpi_bytes: u64,
+    /// Largest live server-side CTT footprint any session reached.
+    pub peak_ctt_bytes: usize,
+}
+
+/// Job identity, fixed by the first client's `Hello`.
+struct JobInfo {
+    nprocs: u32,
+    cst_text: String,
+    cst_crc: u32,
+    cst: Cst,
+}
+
+struct Inner {
+    queue: VecDeque<Stream>,
+    merger: Option<BinomialMerger>,
+    rank_ctts: Vec<Ctt>,
+    total_events: u64,
+    raw_mpi_bytes: u64,
+    peak_ctt_bytes: usize,
+    done: bool,
+    fatal: Option<String>,
+}
+
+struct State {
+    job: OnceLock<JobInfo>,
+    inner: Mutex<Inner>,
+    cv: Condvar,
+}
+
+impl State {
+    fn stop_requested(&self) -> bool {
+        let g = self.inner.lock().unwrap();
+        g.done || g.fatal.is_some()
+    }
+}
+
+/// A bound collector. Binding is split from running so callers (tests, the
+/// bench, `cypress serve` with port 0) can learn the resolved address
+/// before clients start.
+pub struct Collector {
+    listener: Listener,
+}
+
+impl Collector {
+    pub fn bind(addr: &Addr) -> Result<Collector, NetError> {
+        Ok(Collector {
+            listener: Listener::bind(addr)?,
+        })
+    }
+
+    /// The resolved listen address (ephemeral TCP ports filled in).
+    pub fn local_addr(&self) -> Result<Addr, NetError> {
+        self.listener.local_addr()
+    }
+
+    /// Serve until every rank of the job (sized by the first `Hello`) is
+    /// merged, then return the collected job. Blocks the calling thread;
+    /// connection handling runs on the work-stealing pool.
+    pub fn run(self, cfg: &CollectorConfig) -> Result<CollectedJob, NetError> {
+        let workers = if cfg.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .min(8)
+        } else {
+            cfg.workers
+        };
+        let state = State {
+            job: OnceLock::new(),
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                merger: None,
+                rank_ctts: Vec::new(),
+                total_events: 0,
+                raw_mpi_bytes: 0,
+                peak_ctt_bytes: 0,
+                done: false,
+                fatal: None,
+            }),
+            cv: Condvar::new(),
+        };
+        self.listener.set_nonblocking(true)?;
+        obs_log!(
+            Level::Info,
+            "net",
+            "collector listening on {} with {workers} workers",
+            self.listener
+                .local_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_default()
+        );
+        std::thread::scope(|scope| {
+            let accept = scope.spawn(|| accept_loop(&self.listener, &state, cfg, workers));
+            run_ranks(workers as u32, workers, |_| worker_loop(&state, cfg));
+            accept.join().expect("accept loop panicked");
+        });
+
+        let inner = state.inner.into_inner().unwrap();
+        if let Some(f) = inner.fatal {
+            return Err(NetError::Collect(f));
+        }
+        let job = state
+            .job
+            .into_inner()
+            .ok_or_else(|| NetError::Collect("no client ever connected".into()))?;
+        let merger = inner
+            .merger
+            .ok_or_else(|| NetError::Collect("no rank completed".into()))?;
+        let merged = merger.finish();
+        let mut rank_ctts = inner.rank_ctts;
+        rank_ctts.sort_by_key(|c| c.rank);
+        Ok(CollectedJob {
+            nprocs: job.nprocs,
+            cst: job.cst,
+            cst_text: job.cst_text,
+            merged,
+            rank_ctts,
+            total_events: inner.total_events,
+            raw_mpi_bytes: inner.raw_mpi_bytes,
+            peak_ctt_bytes: inner.peak_ctt_bytes,
+        })
+    }
+}
+
+fn accept_loop(listener: &Listener, state: &State, cfg: &CollectorConfig, workers: usize) {
+    let started = Instant::now();
+    loop {
+        if state.stop_requested() {
+            return;
+        }
+        if let Some(deadline) = cfg.deadline {
+            if started.elapsed() > deadline {
+                let mut g = state.inner.lock().unwrap();
+                if !g.done {
+                    let missing = g
+                        .merger
+                        .as_ref()
+                        .map(|m| format!("{:?}", m.missing_ranks()))
+                        .unwrap_or_else(|| "all".into());
+                    g.fatal = Some(format!(
+                        "deadline {deadline:?} exceeded with ranks missing: {missing}"
+                    ));
+                }
+                state.cv.notify_all();
+                return;
+            }
+        }
+        match listener.accept() {
+            Ok(stream) => {
+                if cypress_obs::enabled() {
+                    obs().connections.inc();
+                }
+                let mut g = state.inner.lock().unwrap();
+                if g.queue.len() >= workers && cypress_obs::enabled() {
+                    obs().backpressure_stalls.inc();
+                }
+                g.queue.push_back(stream);
+                drop(g);
+                state.cv.notify_one();
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => {
+                let mut g = state.inner.lock().unwrap();
+                g.fatal = Some(format!("listener failed: {e}"));
+                drop(g);
+                state.cv.notify_all();
+                return;
+            }
+        }
+    }
+}
+
+fn worker_loop(state: &State, cfg: &CollectorConfig) {
+    loop {
+        let stream = {
+            let mut g = state.inner.lock().unwrap();
+            loop {
+                if g.done || g.fatal.is_some() {
+                    return;
+                }
+                if let Some(s) = g.queue.pop_front() {
+                    break s;
+                }
+                let (g2, _) = state.cv.wait_timeout(g, Duration::from_millis(50)).unwrap();
+                g = g2;
+            }
+        };
+        let mut stream = stream;
+        if let Err(e) = handle_connection(state, cfg, &mut stream) {
+            obs_log!(Level::Warn, "net", "connection dropped: {e}");
+        }
+    }
+}
+
+fn handle_connection(
+    state: &State,
+    cfg: &CollectorConfig,
+    stream: &mut Stream,
+) -> Result<(), NetError> {
+    stream.set_io_timeout(cfg.io_timeout)?;
+    let frame = read_frame(stream)?;
+    let Frame::Hello {
+        version,
+        rank,
+        nprocs,
+        mode,
+        cst_text,
+    } = frame
+    else {
+        send_error(stream, codes::PROTOCOL, "first frame must be Hello");
+        return Err(NetError::Protocol(format!(
+            "first frame was {}",
+            frame.name()
+        )));
+    };
+    if version < PROTO_VERSION_MIN {
+        send_error(
+            stream,
+            codes::VERSION,
+            format!("version {version} below minimum {PROTO_VERSION_MIN}"),
+        );
+        return Err(NetError::Version { theirs: version });
+    }
+    let negotiated = version.min(PROTO_VERSION);
+    if nprocs == 0 || rank >= nprocs {
+        send_error(
+            stream,
+            codes::BAD_RANK,
+            format!("rank {rank} out of range for {nprocs} procs"),
+        );
+        return Err(NetError::Protocol(format!("bad rank {rank}/{nprocs}")));
+    }
+
+    // First Hello fixes the job: CST, job size, and the merger. Later
+    // clients must match it exactly (CRC over the canonical CST text).
+    let client_crc = crc32(cst_text.as_bytes());
+    let job = match state.job.get() {
+        Some(j) => j,
+        None => {
+            match Cst::from_text(&cst_text) {
+                Ok(cst) => {
+                    let info = JobInfo {
+                        nprocs,
+                        cst_crc: client_crc,
+                        cst_text,
+                        cst,
+                    };
+                    // Another worker may have won the race; either way the
+                    // stored job is authoritative and validated below.
+                    let _ = state.job.set(info);
+                }
+                Err(e) => {
+                    send_error(stream, codes::INTERNAL, format!("unparseable CST: {e}"));
+                    return Err(NetError::Protocol(format!("unparseable CST: {e}")));
+                }
+            }
+            state.job.get().expect("just set")
+        }
+    };
+    if job.nprocs != nprocs {
+        send_error(
+            stream,
+            codes::BAD_RANK,
+            format!("job has {} procs, client claims {nprocs}", job.nprocs),
+        );
+        return Err(NetError::Protocol("job size mismatch".into()));
+    }
+    if job.cst_crc != client_crc {
+        send_error(
+            stream,
+            codes::CST_MISMATCH,
+            "client CST differs from the CST this job was opened with",
+        );
+        return Err(NetError::Protocol("cst mismatch".into()));
+    }
+
+    {
+        let mut g = state.inner.lock().unwrap();
+        if g.merger.is_none() {
+            g.merger = Some(BinomialMerger::new(job.nprocs));
+        }
+        if g.merger.as_ref().expect("just set").has_rank(rank) {
+            drop(g);
+            write_frame(
+                stream,
+                &Frame::HelloAck {
+                    version: negotiated,
+                    already_done: true,
+                },
+            )?;
+            stream.shutdown();
+            return Ok(());
+        }
+    }
+    write_frame(
+        stream,
+        &Frame::HelloAck {
+            version: negotiated,
+            already_done: false,
+        },
+    )?;
+
+    match mode {
+        SubmitMode::Stream => handle_stream(state, cfg, stream, job, rank),
+        SubmitMode::Ctt => handle_ctt(state, cfg, stream, rank),
+    }
+}
+
+fn handle_stream(
+    state: &State,
+    cfg: &CollectorConfig,
+    stream: &mut Stream,
+    job: &JobInfo,
+    rank: u32,
+) -> Result<(), NetError> {
+    if cypress_obs::enabled() {
+        obs().sessions_started.inc();
+    }
+    let mut session = CompressSession::new(
+        &job.cst,
+        rank,
+        job.nprocs,
+        cfg.compress.clone(),
+        cfg.session.clone(),
+    );
+    let mut count: u64 = 0;
+    let app_time = loop {
+        let frame = match read_frame(stream) {
+            Ok(f) => f,
+            Err(e) => {
+                // Disconnect or corruption mid-stream: drop the partial
+                // session; the client will retry from scratch.
+                if cypress_obs::enabled() {
+                    obs().sessions_aborted.inc();
+                }
+                return Err(e);
+            }
+        };
+        match frame {
+            Frame::Events { events } => {
+                count += events.len() as u64;
+                for ev in &events {
+                    session.push(ev);
+                }
+            }
+            Frame::Finish {
+                app_time,
+                event_count,
+            } => {
+                if event_count != count {
+                    if cypress_obs::enabled() {
+                        obs().sessions_aborted.inc();
+                    }
+                    send_error(
+                        stream,
+                        codes::PROTOCOL,
+                        format!("client sent {event_count} events, collector saw {count}"),
+                    );
+                    return Err(NetError::Protocol("event count mismatch".into()));
+                }
+                break app_time;
+            }
+            f => {
+                if cypress_obs::enabled() {
+                    obs().sessions_aborted.inc();
+                }
+                send_error(
+                    stream,
+                    codes::PROTOCOL,
+                    format!("unexpected {} during event stream", f.name()),
+                );
+                return Err(NetError::Protocol(format!("unexpected {}", f.name())));
+            }
+        }
+    };
+    let (ctt, stats) = session.finish(app_time);
+    let ranks_done = merge_in(state, ctt, Some(stats), cfg.keep_rank_ctts);
+    write_frame(stream, &Frame::FinAck { ranks_done })?;
+    stream.shutdown();
+    Ok(())
+}
+
+fn handle_ctt(
+    state: &State,
+    cfg: &CollectorConfig,
+    stream: &mut Stream,
+    rank: u32,
+) -> Result<(), NetError> {
+    let frame = read_frame(stream)?;
+    let Frame::RankCtt { bytes } = frame else {
+        send_error(
+            stream,
+            codes::PROTOCOL,
+            format!("expected RankCtt, got {}", frame.name()),
+        );
+        return Err(NetError::Protocol(format!("unexpected {}", frame.name())));
+    };
+    let ctt = match Ctt::from_bytes(&bytes) {
+        Ok(c) => c,
+        Err(e) => {
+            send_error(stream, codes::PROTOCOL, format!("undecodable CTT: {e}"));
+            return Err(NetError::Protocol(format!("undecodable CTT: {e}")));
+        }
+    };
+    if ctt.rank != rank {
+        send_error(
+            stream,
+            codes::BAD_RANK,
+            format!("Hello said rank {rank}, CTT says {}", ctt.rank),
+        );
+        return Err(NetError::Protocol("rank mismatch".into()));
+    }
+    let ranks_done = merge_in(state, ctt, None, cfg.keep_rank_ctts);
+    write_frame(stream, &Frame::FinAck { ranks_done })?;
+    stream.shutdown();
+    Ok(())
+}
+
+/// Fold one finished rank CTT into the incremental binomial merge.
+/// First-completion-wins: duplicates are acknowledged but discarded.
+fn merge_in(state: &State, ctt: Ctt, stats: Option<cypress_core::SessionStats>, keep: bool) -> u32 {
+    let mut g = state.inner.lock().unwrap();
+    let (newly_merged, received, complete) = {
+        let m = g.merger.as_mut().expect("merger installed at Hello");
+        let newly = m.add(&ctt);
+        (newly, m.received(), m.is_complete())
+    };
+    if newly_merged {
+        match stats {
+            Some(st) => {
+                g.total_events += st.mpi_events;
+                g.raw_mpi_bytes += st.raw_mpi_bytes;
+                g.peak_ctt_bytes = g.peak_ctt_bytes.max(st.peak_ctt_bytes);
+            }
+            None => g.total_events += ctt.op_count(),
+        }
+        if keep {
+            g.rank_ctts.push(ctt);
+        }
+        if cypress_obs::enabled() {
+            obs().sessions_completed.inc();
+            obs().ranks_merged.set_max(received as i64);
+        }
+    }
+    if complete {
+        g.done = true;
+        drop(g);
+        state.cv.notify_all();
+    }
+    received
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{submit_ctt, submit_stream, ClientConfig};
+    use cypress_core::{compress_trace, merge_all};
+    use cypress_cst::analyze_program;
+    use cypress_minilang::{check_program, parse};
+    use cypress_runtime::{trace_program, InterpConfig};
+    use cypress_trace::codec::Codec;
+    use cypress_trace::RawTrace;
+
+    const SRC: &str = r#"fn main() {
+        let r = rank(); let s = size();
+        for k in 0..8 {
+            if r < s - 1 { send(r + 1, 2048, 0); }
+            if r > 0 { recv(r - 1, 2048, 0); }
+            allreduce(16);
+        }
+    }"#;
+
+    fn traces(nprocs: u32) -> (cypress_cst::StaticInfo, Vec<RawTrace>) {
+        let p = parse(SRC).unwrap();
+        check_program(&p).unwrap();
+        let info = analyze_program(&p);
+        let traces = trace_program(&p, &info, nprocs, &InterpConfig::default()).unwrap();
+        (info, traces)
+    }
+
+    fn serve_in_background(
+        cfg: CollectorConfig,
+    ) -> (
+        Addr,
+        std::thread::JoinHandle<Result<CollectedJob, NetError>>,
+    ) {
+        let collector = Collector::bind(&Addr::parse("127.0.0.1:0").unwrap()).unwrap();
+        let addr = collector.local_addr().unwrap();
+        let handle = std::thread::spawn(move || collector.run(&cfg));
+        (addr, handle)
+    }
+
+    #[test]
+    fn loopback_stream_collection_matches_local_merge() {
+        let nprocs = 6;
+        let (info, traces) = traces(nprocs);
+        let cst_text = info.cst.to_text();
+        let local: Vec<_> = traces
+            .iter()
+            .map(|t| compress_trace(&info.cst, t, &CompressConfig::default()))
+            .collect();
+        let want = merge_all(&local).to_bytes();
+
+        let (addr, server) = serve_in_background(CollectorConfig {
+            workers: 3,
+            deadline: Some(Duration::from_secs(60)),
+            ..CollectorConfig::default()
+        });
+        let cfg = ClientConfig::default();
+        std::thread::scope(|scope| {
+            // Submit in reverse rank order: arrival order must not matter.
+            for t in traces.iter().rev() {
+                let (addr, cfg, cst_text) = (&addr, &cfg, &cst_text);
+                scope.spawn(move || {
+                    let out = submit_stream(addr, cfg, t.rank, t.nprocs, cst_text, |sink| {
+                        for ev in &t.events {
+                            sink.event(ev.clone());
+                        }
+                        Ok(t.app_time)
+                    })
+                    .unwrap();
+                    assert!(!out.already_done);
+                    assert_eq!(out.events_sent, t.events.len() as u64);
+                });
+            }
+        });
+        let job = server.join().unwrap().unwrap();
+        assert_eq!(job.nprocs, nprocs);
+        assert_eq!(job.merged.to_bytes(), want);
+        assert_eq!(job.rank_ctts.len(), nprocs as usize);
+        for (ctt, local) in job.rank_ctts.iter().zip(&local) {
+            assert_eq!(ctt, local, "rank {} ctt differs", ctt.rank);
+        }
+        assert_eq!(
+            job.total_events,
+            traces.iter().map(|t| t.mpi_count() as u64).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn loopback_ctt_submission_matches_local_merge() {
+        let nprocs = 4;
+        let (info, traces) = traces(nprocs);
+        let cst_text = info.cst.to_text();
+        let local: Vec<_> = traces
+            .iter()
+            .map(|t| compress_trace(&info.cst, t, &CompressConfig::default()))
+            .collect();
+        let want = merge_all(&local).to_bytes();
+
+        let (addr, server) = serve_in_background(CollectorConfig {
+            workers: 2,
+            deadline: Some(Duration::from_secs(60)),
+            ..CollectorConfig::default()
+        });
+        let cfg = ClientConfig::default();
+        for ctt in local.iter().rev() {
+            submit_ctt(&addr, &cfg, ctt, &cst_text).unwrap();
+        }
+        let job = server.join().unwrap().unwrap();
+        assert_eq!(job.merged.to_bytes(), want);
+        assert_eq!(job.raw_mpi_bytes, 0);
+    }
+
+    #[test]
+    fn deadline_reports_missing_ranks() {
+        let (info, traces) = traces(4);
+        let cst_text = info.cst.to_text();
+        let (addr, server) = serve_in_background(CollectorConfig {
+            workers: 2,
+            deadline: Some(Duration::from_millis(300)),
+            ..CollectorConfig::default()
+        });
+        // Submit only rank 2; the run must fail naming the other three.
+        let t = &traces[2];
+        submit_stream(
+            &addr,
+            &ClientConfig::default(),
+            t.rank,
+            t.nprocs,
+            &cst_text,
+            |sink| {
+                for ev in &t.events {
+                    sink.event(ev.clone());
+                }
+                Ok(t.app_time)
+            },
+        )
+        .unwrap();
+        let err = server.join().unwrap().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("deadline"), "{msg}");
+        for r in ["0", "1", "3"] {
+            assert!(msg.contains(r), "missing rank {r} not named: {msg}");
+        }
+    }
+
+    #[test]
+    fn cst_mismatch_is_rejected() {
+        let (info, traces) = traces(2);
+        let cst_text = info.cst.to_text();
+        let (addr, server) = serve_in_background(CollectorConfig {
+            workers: 2,
+            deadline: Some(Duration::from_secs(60)),
+            ..CollectorConfig::default()
+        });
+        let cfg = ClientConfig {
+            attempts: 1,
+            ..ClientConfig::default()
+        };
+        // First client opens the job with the real CST.
+        let t0 = &traces[0];
+        submit_stream(&addr, &cfg, 0, 2, &cst_text, |sink| {
+            for ev in &t0.events {
+                sink.event(ev.clone());
+            }
+            Ok(t0.app_time)
+        })
+        .unwrap();
+        // Second client lies about the CST and must be turned away.
+        let other = parse("fn main() { barrier(); }").unwrap();
+        let other_text = analyze_program(&other).cst.to_text();
+        let err = submit_stream(&addr, &cfg, 1, 2, &other_text, |_| Ok(0)).unwrap_err();
+        match err {
+            NetError::Remote { code, .. } => assert_eq!(code, codes::CST_MISMATCH),
+            e => panic!("expected CST_MISMATCH, got {e}"),
+        }
+        // Finish the job so the server thread exits cleanly.
+        let t1 = &traces[1];
+        submit_stream(&addr, &cfg, 1, 2, &cst_text, |sink| {
+            for ev in &t1.events {
+                sink.event(ev.clone());
+            }
+            Ok(t1.app_time)
+        })
+        .unwrap();
+        server.join().unwrap().unwrap();
+    }
+}

@@ -1,0 +1,178 @@
+//! # cypress-net — networked trace collection
+//!
+//! The paper's dynamic module merges per-process CTTs over a binomial
+//! reduction tree inside `MPI_Finalize`. This crate lifts that reduction
+//! onto real connections: ranks (or whole nodes) stream their trace to a
+//! **collector daemon** which compresses each stream online and reduces the
+//! finished CTTs through [`cypress_core::BinomialMerger`] *as they arrive*
+//! — the collector never barriers on the full rank set before starting to
+//! merge, and at most `⌈log2 P⌉ + 1` partial merges are ever resident.
+//!
+//! Three layers, std-only (no external dependencies, matching the repo's
+//! offline-build rule):
+//!
+//! - [`proto`] — the framed wire protocol: length-prefixed, versioned,
+//!   CRC-checked frames (gzip polynomial via `cypress-deflate`) carrying
+//!   per-rank event chunks or finalized CTT bytes.
+//! - [`transport`] — one [`transport::Addr`] / [`transport::Stream`]
+//!   abstraction over TCP and Unix-domain sockets.
+//! - [`client`] / [`collector`] — the submitting side (connect/send retry
+//!   with exponential backoff, per-request timeouts, drain-on-finish) and
+//!   the daemon side (concurrent sessions on the `runtime` work-stealing
+//!   pool, incremental binomial merge, duplicate-rank tolerance).
+//!
+//! Because the merge association is fixed by rank indices and `TimeStats`
+//! aggregation is exactly associative, a collected job's merged CTT is
+//! **byte-identical** to `merge_all` over the same ranks locally — pinned
+//! by `tests/net_collect.rs` under out-of-order submission and mid-stream
+//! client kills.
+
+pub mod client;
+pub mod collector;
+pub mod proto;
+pub mod transport;
+
+pub use client::{submit_ctt, submit_stream, ClientConfig, SubmitOutcome};
+pub use collector::{CollectedJob, Collector, CollectorConfig};
+pub use proto::{Frame, SubmitMode, MAX_FRAME_BODY, PROTO_VERSION, PROTO_VERSION_MIN};
+pub use transport::{Addr, Listener, Stream};
+
+use std::fmt;
+use std::sync::OnceLock;
+
+/// Network-layer errors.
+#[derive(Debug)]
+pub enum NetError {
+    Io(std::io::Error),
+    /// Malformed frame: bad length prefix, oversized body, codec failure,
+    /// or an unexpected end of stream.
+    Frame(String),
+    /// A frame body failed its CRC check.
+    Crc {
+        stored: u32,
+        computed: u32,
+    },
+    /// The peer speaks a protocol version outside our supported range.
+    Version {
+        theirs: u8,
+    },
+    /// The peer reported a protocol error (see [`proto::codes`]).
+    Remote {
+        code: u16,
+        message: String,
+    },
+    /// Unparseable listen/connect address.
+    Addr(String),
+    /// The peer sent a frame the protocol state machine does not allow
+    /// here.
+    Protocol(String),
+    /// Event production failed on the submitting side (not retryable).
+    Source(String),
+    /// Collection failed as a whole (deadline hit with ranks missing,
+    /// listener died).
+    Collect(String),
+    /// Every connect/submit attempt failed.
+    RetriesExhausted {
+        attempts: u32,
+        last: String,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "net io error: {e}"),
+            NetError::Frame(m) => write!(f, "bad frame: {m}"),
+            NetError::Crc { stored, computed } => write!(
+                f,
+                "frame crc mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            NetError::Version { theirs } => write!(
+                f,
+                "peer protocol version {theirs} unsupported (accept {PROTO_VERSION_MIN}..={PROTO_VERSION})",
+                PROTO_VERSION_MIN = proto::PROTO_VERSION_MIN,
+                PROTO_VERSION = proto::PROTO_VERSION,
+            ),
+            NetError::Remote { code, message } => {
+                write!(f, "peer error {code} ({}): {message}", proto::codes::name(*code))
+            }
+            NetError::Addr(m) => write!(f, "bad address: {m}"),
+            NetError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            NetError::Source(m) => write!(f, "event source failed: {m}"),
+            NetError::Collect(m) => write!(f, "collection failed: {m}"),
+            NetError::RetriesExhausted { attempts, last } => {
+                write!(f, "all {attempts} attempts failed; last error: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl NetError {
+    /// Whether a fresh attempt against the same collector could succeed:
+    /// transport-level failures are retryable, semantic rejections are not.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            NetError::Io(_) | NetError::Frame(_) | NetError::Crc { .. } => true,
+            NetError::Remote { code, .. } => *code == proto::codes::BUSY,
+            _ => false,
+        }
+    }
+}
+
+/// Network instrumentation handles (scope `net`).
+pub(crate) struct NetMetrics {
+    /// Frame bytes received (framing + body), both sides.
+    pub bytes_in: cypress_obs::Counter,
+    /// Frame bytes sent (framing + body), both sides.
+    pub bytes_out: cypress_obs::Counter,
+    pub frames_in: cypress_obs::Counter,
+    pub frames_out: cypress_obs::Counter,
+    /// Connections the collector accepted.
+    pub connections: cypress_obs::Counter,
+    /// Compression sessions the collector opened for stream-mode clients.
+    pub sessions_started: cypress_obs::Counter,
+    /// Sessions that reached Finish and merged.
+    pub sessions_completed: cypress_obs::Counter,
+    /// Sessions dropped mid-stream (disconnect, frame error); the partial
+    /// CTT is discarded and the client is expected to retry from scratch.
+    pub sessions_aborted: cypress_obs::Counter,
+    /// Accepted connections that had to queue because every worker was
+    /// busy with another client.
+    pub backpressure_stalls: cypress_obs::Counter,
+    /// Ranks merged into the collector's binomial tree so far.
+    pub ranks_merged: cypress_obs::Gauge,
+}
+
+pub(crate) fn obs() -> &'static NetMetrics {
+    static M: OnceLock<NetMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let s = cypress_obs::scope("net");
+        NetMetrics {
+            bytes_in: s.counter("bytes_in"),
+            bytes_out: s.counter("bytes_out"),
+            frames_in: s.counter("frames_in"),
+            frames_out: s.counter("frames_out"),
+            connections: s.counter("connections"),
+            sessions_started: s.counter("sessions_started"),
+            sessions_completed: s.counter("sessions_completed"),
+            sessions_aborted: s.counter("sessions_aborted"),
+            backpressure_stalls: s.counter("backpressure_stalls"),
+            ranks_merged: s.gauge("ranks_merged"),
+        }
+    })
+}

@@ -1,0 +1,473 @@
+//! The framed wire protocol.
+//!
+//! Every message is one frame:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     body length N (u32, little-endian; N ≤ MAX_FRAME_BODY)
+//! 4       N     body: u8 frame code, then the payload in the cypress
+//!               varint codec (same Encoder/Decoder as the .cytc container)
+//! 4+N     4     crc32(body) (u32 LE, gzip polynomial via cypress-deflate)
+//! ```
+//!
+//! The CRC covers the whole body, so a torn or bit-flipped frame is
+//! detected before any payload decoding runs. Versioning is negotiated in
+//! the first exchange: the client's `Hello` carries its protocol version;
+//! the collector answers `HelloAck` with `min(client, PROTO_VERSION)` if
+//! that is ≥ [`PROTO_VERSION_MIN`], and an `Error` frame with
+//! [`codes::VERSION`] otherwise.
+//!
+//! Frame sequences (client → collector unless noted):
+//!
+//! ```text
+//! stream mode:  Hello → (HelloAck ←) → Events* → Finish → (FinAck ←)
+//! ctt mode:     Hello → (HelloAck ←) → RankCtt → (FinAck ←)
+//! any point:    Error ← (collector rejects; see codes)
+//! ```
+//!
+//! The `Finish`/`FinAck` round trip is the graceful-shutdown drain: a
+//! client that received `FinAck` knows its rank is merged and may
+//! disconnect; a client killed before `FinAck` must assume nothing and
+//! retry from scratch (the collector discards partial sessions, and a
+//! duplicate of an already-merged rank is acknowledged and dropped).
+
+use crate::{obs, NetError};
+use cypress_deflate::crc32;
+use cypress_trace::codec::{Codec, Decoder, Encoder};
+use cypress_trace::event::Event;
+use std::io::{Read, Write};
+
+/// Newest protocol version this build speaks.
+pub const PROTO_VERSION: u8 = 1;
+
+/// Oldest protocol version this build accepts.
+pub const PROTO_VERSION_MIN: u8 = 1;
+
+/// Upper bound on a frame body; larger length prefixes are rejected before
+/// any allocation.
+pub const MAX_FRAME_BODY: usize = 64 << 20;
+
+/// Protocol error codes carried by [`Frame::Error`].
+pub mod codes {
+    /// Version outside the collector's supported range.
+    pub const VERSION: u16 = 1;
+    /// Rank out of range, or job size mismatch between clients.
+    pub const BAD_RANK: u16 = 2;
+    /// The client's CST does not match the one the job was opened with.
+    pub const CST_MISMATCH: u16 = 3;
+    /// Frame sequence violation (e.g. `Events` before `Hello`).
+    pub const PROTOCOL: u16 = 4;
+    /// The collector is shutting down and no longer accepts submissions.
+    pub const SHUTDOWN: u16 = 5;
+    /// Internal collector failure.
+    pub const INTERNAL: u16 = 6;
+    /// Transient overload; the client should back off and retry.
+    pub const BUSY: u16 = 7;
+
+    pub fn name(code: u16) -> &'static str {
+        match code {
+            VERSION => "version",
+            BAD_RANK => "bad-rank",
+            CST_MISMATCH => "cst-mismatch",
+            PROTOCOL => "protocol",
+            SHUTDOWN => "shutdown",
+            INTERNAL => "internal",
+            BUSY => "busy",
+            _ => "unknown",
+        }
+    }
+}
+
+/// How a client delivers its rank's trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitMode {
+    /// Raw events stream in `Events` chunks; the collector compresses
+    /// online in a `CompressSession`.
+    Stream,
+    /// The client compressed locally and ships the finished CTT bytes.
+    Ctt,
+}
+
+impl SubmitMode {
+    fn code(self) -> u8 {
+        match self {
+            SubmitMode::Stream => 0,
+            SubmitMode::Ctt => 1,
+        }
+    }
+
+    fn from_code(c: u8) -> Option<SubmitMode> {
+        match c {
+            0 => Some(SubmitMode::Stream),
+            1 => Some(SubmitMode::Ctt),
+            _ => None,
+        }
+    }
+}
+
+const FR_HELLO: u8 = 1;
+const FR_HELLO_ACK: u8 = 2;
+const FR_EVENTS: u8 = 3;
+const FR_FINISH: u8 = 4;
+const FR_FIN_ACK: u8 = 5;
+const FR_RANK_CTT: u8 = 6;
+const FR_ERROR: u8 = 7;
+
+/// One protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client identification: protocol version, rank, job size, delivery
+    /// mode, and the CST text the trace was recorded against. The first
+    /// client's CST defines the job; later clients must match it.
+    Hello {
+        version: u8,
+        rank: u32,
+        nprocs: u32,
+        mode: SubmitMode,
+        cst_text: String,
+    },
+    /// Collector acceptance: the negotiated version, and whether this rank
+    /// is already merged (a retried client can stop immediately).
+    HelloAck { version: u8, already_done: bool },
+    /// A chunk of raw trace events, in execution order.
+    Events { events: Vec<Event> },
+    /// End of stream: the rank's application time and the total number of
+    /// events sent (the collector cross-checks its own count).
+    Finish { app_time: u64, event_count: u64 },
+    /// The rank is merged; `ranks_done` of `nprocs` are in the tree.
+    FinAck { ranks_done: u32 },
+    /// A finished per-rank CTT in codec bytes (ctt mode).
+    RankCtt { bytes: Vec<u8> },
+    /// Rejection; `code` is one of [`codes`].
+    Error { code: u16, message: String },
+}
+
+impl Frame {
+    fn code(&self) -> u8 {
+        match self {
+            Frame::Hello { .. } => FR_HELLO,
+            Frame::HelloAck { .. } => FR_HELLO_ACK,
+            Frame::Events { .. } => FR_EVENTS,
+            Frame::Finish { .. } => FR_FINISH,
+            Frame::FinAck { .. } => FR_FIN_ACK,
+            Frame::RankCtt { .. } => FR_RANK_CTT,
+            Frame::Error { .. } => FR_ERROR,
+        }
+    }
+
+    /// Short name for logs and errors.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Frame::Hello { .. } => "Hello",
+            Frame::HelloAck { .. } => "HelloAck",
+            Frame::Events { .. } => "Events",
+            Frame::Finish { .. } => "Finish",
+            Frame::FinAck { .. } => "FinAck",
+            Frame::RankCtt { .. } => "RankCtt",
+            Frame::Error { .. } => "Error",
+        }
+    }
+
+    fn encode_body(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.put_u8(self.code());
+        match self {
+            Frame::Hello {
+                version,
+                rank,
+                nprocs,
+                mode,
+                cst_text,
+            } => {
+                enc.put_u8(*version);
+                enc.put_uvar(*rank as u64);
+                enc.put_uvar(*nprocs as u64);
+                enc.put_u8(mode.code());
+                enc.put_str(cst_text);
+            }
+            Frame::HelloAck {
+                version,
+                already_done,
+            } => {
+                enc.put_u8(*version);
+                enc.put_u8(*already_done as u8);
+            }
+            Frame::Events { events } => {
+                enc.put_uvar(events.len() as u64);
+                for ev in events {
+                    ev.encode(&mut enc);
+                }
+            }
+            Frame::Finish {
+                app_time,
+                event_count,
+            } => {
+                enc.put_uvar(*app_time);
+                enc.put_uvar(*event_count);
+            }
+            Frame::FinAck { ranks_done } => enc.put_uvar(*ranks_done as u64),
+            Frame::RankCtt { bytes } => enc.put_bytes(bytes),
+            Frame::Error { code, message } => {
+                enc.put_uvar(*code as u64);
+                enc.put_str(message);
+            }
+        }
+        enc.finish()
+    }
+
+    fn decode_body(body: &[u8]) -> Result<Frame, NetError> {
+        let bad = |m: String| NetError::Frame(m);
+        let mut dec = Decoder::new(body);
+        let code = dec.get_u8().map_err(|e| bad(e.to_string()))?;
+        let frame = match code {
+            FR_HELLO => {
+                let version = dec.get_u8().map_err(|e| bad(e.to_string()))?;
+                let rank = dec.get_uvar().map_err(|e| bad(e.to_string()))? as u32;
+                let nprocs = dec.get_uvar().map_err(|e| bad(e.to_string()))? as u32;
+                let mode_code = dec.get_u8().map_err(|e| bad(e.to_string()))?;
+                let mode = SubmitMode::from_code(mode_code)
+                    .ok_or_else(|| bad(format!("bad submit mode {mode_code}")))?;
+                let cst_text = dec.get_str().map_err(|e| bad(e.to_string()))?;
+                Frame::Hello {
+                    version,
+                    rank,
+                    nprocs,
+                    mode,
+                    cst_text,
+                }
+            }
+            FR_HELLO_ACK => Frame::HelloAck {
+                version: dec.get_u8().map_err(|e| bad(e.to_string()))?,
+                already_done: dec.get_u8().map_err(|e| bad(e.to_string()))? != 0,
+            },
+            FR_EVENTS => {
+                let n = dec.get_uvar().map_err(|e| bad(e.to_string()))? as usize;
+                if n > MAX_FRAME_BODY {
+                    return Err(bad(format!("absurd event count {n}")));
+                }
+                let mut events = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    events.push(Event::decode(&mut dec).map_err(|e| bad(e.to_string()))?);
+                }
+                Frame::Events { events }
+            }
+            FR_FINISH => Frame::Finish {
+                app_time: dec.get_uvar().map_err(|e| bad(e.to_string()))?,
+                event_count: dec.get_uvar().map_err(|e| bad(e.to_string()))?,
+            },
+            FR_FIN_ACK => Frame::FinAck {
+                ranks_done: dec.get_uvar().map_err(|e| bad(e.to_string()))? as u32,
+            },
+            FR_RANK_CTT => Frame::RankCtt {
+                bytes: dec.get_bytes().map_err(|e| bad(e.to_string()))?,
+            },
+            FR_ERROR => Frame::Error {
+                code: dec.get_uvar().map_err(|e| bad(e.to_string()))? as u16,
+                message: dec.get_str().map_err(|e| bad(e.to_string()))?,
+            },
+            c => return Err(bad(format!("unknown frame code {c}"))),
+        };
+        if !dec.is_done() {
+            return Err(bad(format!(
+                "{} trailing bytes after {} frame",
+                dec.remaining(),
+                frame.name()
+            )));
+        }
+        Ok(frame)
+    }
+}
+
+/// Serialize and send one frame.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), NetError> {
+    let body = frame.encode_body();
+    debug_assert!(body.len() <= MAX_FRAME_BODY, "oversized frame body");
+    let mut msg = Vec::with_capacity(body.len() + 8);
+    msg.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    msg.extend_from_slice(&body);
+    msg.extend_from_slice(&crc32(&body).to_le_bytes());
+    w.write_all(&msg)?;
+    w.flush()?;
+    if cypress_obs::enabled() {
+        let m = obs();
+        m.bytes_out.add(msg.len() as u64);
+        m.frames_out.inc();
+    }
+    Ok(())
+}
+
+/// Receive and verify one frame. `Err(Frame(...))` covers a clean EOF
+/// mid-frame; an EOF before any byte of the length prefix surfaces as
+/// `Io(UnexpectedEof)` from the reader.
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, NetError> {
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)?;
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len == 0 || len > MAX_FRAME_BODY {
+        return Err(NetError::Frame(format!("bad frame body length {len}")));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    let mut crc_buf = [0u8; 4];
+    r.read_exact(&mut crc_buf)?;
+    let stored = u32::from_le_bytes(crc_buf);
+    let computed = crc32(&body);
+    if stored != computed {
+        return Err(NetError::Crc { stored, computed });
+    }
+    if cypress_obs::enabled() {
+        let m = obs();
+        m.bytes_in.add(len as u64 + 8);
+        m.frames_in.inc();
+    }
+    Frame::decode_body(&body)
+}
+
+/// Convenience: send a [`Frame::Error`] and ignore delivery failures (the
+/// peer may already be gone).
+pub fn send_error(w: &mut impl Write, code: u16, message: impl Into<String>) {
+    let _ = write_frame(
+        w,
+        &Frame::Error {
+            code,
+            message: message.into(),
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cypress_trace::event::{MpiOp, MpiParams, MpiRecord};
+
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame::Hello {
+                version: PROTO_VERSION,
+                rank: 3,
+                nprocs: 8,
+                mode: SubmitMode::Stream,
+                cst_text: "Root()".into(),
+            },
+            Frame::HelloAck {
+                version: 1,
+                already_done: true,
+            },
+            Frame::Events {
+                events: vec![
+                    Event::Enter { gid: 1 },
+                    Event::Mpi(MpiRecord {
+                        gid: 2,
+                        op: MpiOp::Send,
+                        params: MpiParams::send(1, 4096, 7),
+                        t_start: 100,
+                        dur: 250,
+                    }),
+                    Event::Exit { gid: 1 },
+                ],
+            },
+            Frame::Finish {
+                app_time: 123_456,
+                event_count: 3,
+            },
+            Frame::FinAck { ranks_done: 8 },
+            Frame::RankCtt {
+                bytes: vec![1, 2, 3],
+            },
+            Frame::Error {
+                code: codes::CST_MISMATCH,
+                message: "structure differs".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn frames_round_trip_through_a_pipe() {
+        let frames = sample_frames();
+        let mut wire = Vec::new();
+        for f in &frames {
+            write_frame(&mut wire, f).unwrap();
+        }
+        let mut r = &wire[..];
+        for f in &frames {
+            assert_eq!(&read_frame(&mut r).unwrap(), f);
+        }
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn corrupted_body_fails_crc() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Frame::FinAck { ranks_done: 4 }).unwrap();
+        let mid = 4 + (wire.len() - 8) / 2;
+        wire[mid] ^= 0x40;
+        assert!(matches!(
+            read_frame(&mut &wire[..]),
+            Err(NetError::Crc { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected_without_allocation() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(u32::MAX).to_le_bytes());
+        wire.extend_from_slice(&[0; 16]);
+        assert!(matches!(
+            read_frame(&mut &wire[..]),
+            Err(NetError::Frame(_))
+        ));
+    }
+
+    #[test]
+    fn zero_length_body_rejected() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&0u32.to_le_bytes());
+        wire.extend_from_slice(&crc32(b"").to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut &wire[..]),
+            Err(NetError::Frame(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error_not_a_hang() {
+        let mut wire = Vec::new();
+        write_frame(
+            &mut wire,
+            &Frame::Finish {
+                app_time: 1,
+                event_count: 2,
+            },
+        )
+        .unwrap();
+        for cut in [2, 5, wire.len() - 1] {
+            assert!(read_frame(&mut &wire[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_in_body_rejected() {
+        let mut body = Frame::FinAck { ranks_done: 1 }.encode_body();
+        body.push(0xaa);
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        wire.extend_from_slice(&body);
+        wire.extend_from_slice(&crc32(&body).to_le_bytes());
+        let err = read_frame(&mut &wire[..]).unwrap_err();
+        assert!(matches!(err, NetError::Frame(_)), "{err}");
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn unknown_frame_code_rejected() {
+        let body = vec![0xeeu8, 1, 2];
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        wire.extend_from_slice(&body);
+        wire.extend_from_slice(&crc32(&body).to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut &wire[..]),
+            Err(NetError::Frame(_))
+        ));
+    }
+}

@@ -127,6 +127,14 @@ pub enum ContainerError {
     },
     /// A required section is absent.
     MissingSection(&'static str),
+    /// A section carries no payload bytes. Every defined kind has a
+    /// non-empty encoding, so an empty payload is always a producer bug or
+    /// corruption; rejecting it here gives a clear error instead of a
+    /// confusing downstream codec failure.
+    EmptySection {
+        index: usize,
+        kind: &'static str,
+    },
 }
 
 impl fmt::Display for ContainerError {
@@ -151,6 +159,9 @@ impl fmt::Display for ContainerError {
             ),
             ContainerError::MissingSection(kind) => {
                 write!(f, "container has no {kind} section")
+            }
+            ContainerError::EmptySection { index, kind } => {
+                write!(f, "section {index} ({kind}) has a zero-length payload")
             }
         }
     }
@@ -269,6 +280,12 @@ impl Container {
                 Some((rank_plus1 - 1) as u32)
             };
             let payload = dec.get_bytes()?;
+            if payload.is_empty() {
+                return Err(ContainerError::EmptySection {
+                    index,
+                    kind: kind.name(),
+                });
+            }
             let stored = dec.get_uvar()? as u32;
             let computed = crc32(&payload);
             if stored != computed {
@@ -296,8 +313,20 @@ impl Container {
         Ok(Container { nprocs, sections })
     }
 
-    /// Write atomically (temp sibling + rename).
+    /// Write atomically (temp sibling + rename). Refuses to persist a
+    /// container any reader would reject (zero-length sections).
     pub fn write_file(&self, path: impl AsRef<Path>) -> Result<(), ContainerError> {
+        if let Some((index, s)) = self
+            .sections
+            .iter()
+            .enumerate()
+            .find(|(_, s)| s.payload.is_empty())
+        {
+            return Err(ContainerError::EmptySection {
+                index,
+                kind: s.kind.name(),
+            });
+        }
         let bytes = self.to_bytes();
         cypress_obs::write_atomic(path.as_ref(), &bytes)?;
         if cypress_obs::enabled() {
@@ -415,6 +444,27 @@ mod tests {
             Container::from_bytes(&bytes),
             Err(ContainerError::Corrupt(_))
         ));
+    }
+
+    #[test]
+    fn zero_length_section_rejected_on_read_and_write() {
+        let mut c = Container::new(2);
+        c.push(SectionKind::Meta, None, b"m".to_vec());
+        c.push(SectionKind::RankCtt, Some(1), Vec::new());
+        let err = Container::from_bytes(&c.to_bytes()).unwrap_err();
+        assert!(
+            matches!(err, ContainerError::EmptySection { index: 1, kind } if kind == "rank-ctt"),
+            "{err}"
+        );
+        assert!(err.to_string().contains("zero-length"), "{err}");
+        // The writer refuses before touching the filesystem.
+        let path = std::env::temp_dir().join(format!("cypress-empty-{}.cytc", std::process::id()));
+        let werr = c.write_file(&path).unwrap_err();
+        assert!(
+            matches!(werr, ContainerError::EmptySection { .. }),
+            "{werr}"
+        );
+        assert!(!path.exists());
     }
 
     #[test]

@@ -324,6 +324,15 @@ impl EventSink for Vec<Event> {
     }
 }
 
+/// Forwarding impl so sink trait objects (`&mut dyn EventSink`, handed out
+/// by replayable producer callbacks) satisfy generic `S: EventSink`
+/// parameters like `run_rank_with_sink`'s.
+impl<S: EventSink + ?Sized> EventSink for &mut S {
+    fn event(&mut self, ev: Event) {
+        (**self).event(ev);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

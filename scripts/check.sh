@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Repo gate: formatting, lints, the full test suite, example builds, and a
-# quick streaming-benchmark smoke run with schema validation.
+# Repo gate: formatting, lints, the full test suite, example builds, quick
+# streaming/query/net benchmark smoke runs with schema validation, and
+# CLI smokes including a serve/submit loopback collection.
 # Usage: scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -10,8 +11,11 @@ cargo fmt --all -- --check
 
 echo "== cargo clippy (deny warnings + deprecated) =="
 # -D deprecated keeps the repo's own code off the cypress::compat shims;
-# the shim module itself and its tests opt out locally.
+# the shim module (feature-gated, checked below) opts out locally.
 cargo clippy --workspace --all-targets -- -D warnings -D deprecated
+
+echo "== compat feature still builds =="
+cargo clippy -q -p cypress --features compat -- -D warnings
 
 echo "== cargo test =="
 cargo test --workspace -q
@@ -74,5 +78,43 @@ echo "$query_out" | grep -q "Hot spots by GID" || { echo "query missing hot spot
 expand_out=$(cargo run -q --bin cypress -- query "$smoke/stencil.cytc" --strategy expand)
 echo "$expand_out" | grep -q "evaluated via partial-expansion" \
   || { echo "forced expansion failed"; exit 1; }
+echo "$inspect_out" | grep -q "crc32 checks verified" \
+  || { echo "inspect missing crc coverage note"; exit 1; }
+
+echo "== cypress serve/submit loopback smoke =="
+cypress_bin=$(ls target/debug/cypress target/release/cypress 2>/dev/null | head -1)
+test -n "$cypress_bin" || { cargo build -q --bin cypress; cypress_bin=target/debug/cypress; }
+sock="$smoke/collector.sock"
+"$cypress_bin" serve --listen "unix:$sock" --out "$smoke/net.cytc" --per-rank --timeout 60 &
+serve_pid=$!
+for _ in $(seq 1 50); do [ -S "$sock" ] && break; sleep 0.1; done
+test -S "$sock" || { echo "collector socket never appeared"; exit 1; }
+for r in 5 3 1 0 4 2; do
+  "$cypress_bin" submit "$smoke/stencil.mpi" --rank "$r" -n 6 --connect "unix:$sock" \
+    || { echo "submit rank $r failed"; kill "$serve_pid" 2>/dev/null; exit 1; }
+done
+wait "$serve_pid" || { echo "serve failed"; exit 1; }
+# Collected and locally-compressed containers must replay and query alike.
+diff <("$cypress_bin" decompress "$smoke/net.cytc" -r 3) \
+     <("$cypress_bin" decompress "$smoke/stencil.cytc" -r 3) \
+  || { echo "collected replay differs from local"; exit 1; }
+diff <("$cypress_bin" query "$smoke/net.cytc" | tail -n +2) \
+     <("$cypress_bin" query "$smoke/stencil.cytc" | tail -n +2) \
+  || { echo "collected query differs from local"; exit 1; }
+
+echo "== bench_net smoke (fast mode) =="
+CYPRESS_BENCH_FAST=1 cargo bench -q --bench bench_net -p cypress-bench
+
+echo "== BENCH_net.json schema =="
+json=results/BENCH_net.json
+test -s "$json" || { echo "missing $json"; exit 1; }
+for key in '"schema":"bench_net/v1"' '"sweeps":' '"clients":' '"net_ns":' \
+           '"local_ns":' '"net_vs_local":' '"events_per_sec":' '"identical_merged_bytes":'; do
+  grep -qF "$key" "$json" || { echo "missing $key in $json"; exit 1; }
+done
+if grep -qF '"identical_merged_bytes":false' "$json"; then
+  echo "networked/local merge divergence recorded in $json"
+  exit 1
+fi
 
 echo "all checks passed"

@@ -1,0 +1,136 @@
+//! Bridging networked collection into the local job model.
+//!
+//! A [`CollectedJob`](cypress_net::CollectedJob) produced by `cypress serve`
+//! carries exactly what a locally-run [`Pipeline`](crate::Pipeline) job
+//! does — CST, merged CTT, optional per-rank CTTs, event accounting — so
+//! this module makes the two interchangeable: write a collected job into
+//! the same `.cytc` container format ([`write_collected_container`]) and
+//! lift one into a [`LoadedJob`] ([`loaded_from_collected`]) so the
+//! query/inspect/decompress surface works on it unchanged. Byte-identity
+//! between the two paths is pinned by `tests/net_collect.rs`.
+
+use crate::error::Result;
+use crate::pipeline::{meta_payload, LoadedJob, MetaInfo};
+use cypress_net::CollectedJob;
+use cypress_trace::{Codec, Container, SectionKind};
+use std::path::Path;
+
+/// Persist a collected job as a versioned `.cytc` container with the same
+/// section layout [`CompressedJob::write_container`](crate::CompressedJob::write_container)
+/// uses: tool metadata, the CST text exactly as the clients submitted it,
+/// the binomially-merged CTT, and (when `per_rank` is set and the collector
+/// kept them) every rank's CTT as its own CRC-framed section.
+pub fn write_collected_container(
+    job: &CollectedJob,
+    path: impl AsRef<Path>,
+    per_rank: bool,
+) -> Result<()> {
+    let mut c = Container::new(job.nprocs);
+    c.push(
+        SectionKind::Meta,
+        None,
+        meta_payload(job.nprocs, job.total_events, job.raw_mpi_bytes),
+    );
+    c.push(
+        SectionKind::CstText,
+        None,
+        job.cst_text.clone().into_bytes(),
+    );
+    c.push(SectionKind::MergedCtt, None, job.merged.to_bytes());
+    if per_rank {
+        for ctt in &job.rank_ctts {
+            c.push(SectionKind::RankCtt, Some(ctt.rank), ctt.to_bytes());
+        }
+    }
+    c.write_file(path)?;
+    Ok(())
+}
+
+/// Lift a collected job into the [`LoadedJob`] surface without a disk
+/// round trip, so query/decompress work on it exactly as on a reloaded
+/// container.
+pub fn loaded_from_collected(job: CollectedJob) -> LoadedJob {
+    LoadedJob {
+        nprocs: job.nprocs,
+        meta: Some(MetaInfo {
+            tool: "cypress".into(),
+            version: env!("CARGO_PKG_VERSION").into(),
+            nprocs: job.nprocs,
+            events: job.total_events,
+            raw_bytes: job.raw_mpi_bytes,
+        }),
+        cst: job.cst,
+        merged: Some(job.merged),
+        rank_ctts: job.rank_ctts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::read_container;
+    use crate::Pipeline;
+    use cypress_core::merge_all;
+
+    const SRC: &str = r#"fn main() {
+        for it in 0..24 {
+            let up = isend((rank() + 1) % size(), 256, 7);
+            let dn = irecv((rank() + size() - 1) % size(), 256, 7);
+            waitall(up, dn);
+        }
+        allreduce(8);
+    }"#;
+
+    /// Build a CollectedJob out of a local pipeline run (the loopback
+    /// network path itself is pinned in crates/net and tests/net_collect.rs;
+    /// here we only exercise the container/LoadedJob bridge).
+    fn fake_collected(nprocs: u32) -> (CollectedJob, crate::CompressedJob) {
+        let job = Pipeline::new(SRC).ranks(nprocs).run().unwrap();
+        let merged = merge_all(&job.ctts);
+        let collected = CollectedJob {
+            nprocs,
+            cst: cypress_cst::Cst::from_text(&job.info.cst.to_text()).unwrap(),
+            cst_text: job.info.cst.to_text(),
+            merged,
+            rank_ctts: job.ctts.clone(),
+            total_events: job.total_events(),
+            raw_mpi_bytes: job.raw_mpi_bytes(),
+            peak_ctt_bytes: job.peak_ctt_bytes(),
+        };
+        (collected, job)
+    }
+
+    #[test]
+    fn collected_container_loads_like_a_local_one() {
+        let dir = std::env::temp_dir().join(format!("cypress-collect-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("collected.cytc");
+
+        let (collected, job) = fake_collected(4);
+        write_collected_container(&collected, &path, true).unwrap();
+
+        let loaded = read_container(&path).unwrap();
+        assert_eq!(loaded.nprocs, 4);
+        let meta = loaded.meta.as_ref().unwrap();
+        assert_eq!(meta.tool, "cypress");
+        assert_eq!(meta.events, job.total_events());
+        assert_eq!(loaded.rank_ctts.len(), 4);
+        for rank in 0..4 {
+            assert_eq!(
+                loaded.decompress(rank).unwrap(),
+                job.decompress(rank).unwrap(),
+                "rank {rank}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn loaded_from_collected_queries_like_local() {
+        let (collected, job) = fake_collected(3);
+        let loaded = loaded_from_collected(collected);
+        let a = loaded.query().unwrap();
+        let b = job.query().unwrap();
+        assert_eq!(a, b, "collected and local query results must match");
+    }
+}

@@ -27,6 +27,8 @@ pub enum Error {
     Container(ContainerError),
     /// Filesystem I/O.
     Io(std::io::Error),
+    /// Networked collection failure (wire protocol, transport, collector).
+    Net(cypress_net::NetError),
     /// Invalid request (bad rank, empty job, malformed CST text, …).
     Invalid(String),
 }
@@ -39,6 +41,7 @@ impl fmt::Display for Error {
             Error::Decode(e) => write!(f, "{e}"),
             Error::Container(e) => write!(f, "{e}"),
             Error::Io(e) => write!(f, "io error: {e}"),
+            Error::Net(e) => write!(f, "{e}"),
             Error::Invalid(msg) => write!(f, "{msg}"),
         }
     }
@@ -52,6 +55,7 @@ impl std::error::Error for Error {
             Error::Decode(e) => Some(e),
             Error::Container(e) => Some(e),
             Error::Io(e) => Some(e),
+            Error::Net(e) => Some(e),
             Error::Invalid(_) => None,
         }
     }
@@ -84,6 +88,12 @@ impl From<ContainerError> for Error {
 impl From<std::io::Error> for Error {
     fn from(e: std::io::Error) -> Self {
         Error::Io(e)
+    }
+}
+
+impl From<cypress_net::NetError> for Error {
+    fn from(e: cypress_net::NetError) -> Self {
+        Error::Net(e)
     }
 }
 

@@ -18,14 +18,20 @@
 //!
 //! The individual layers stay available as re-exported subcrates for code
 //! that needs one piece (e.g. just the CST builder). Errors from every
-//! layer unify into [`Error`]. The pre-`Pipeline` free functions live on as
-//! deprecated shims in [`compat`]. See `README.md` for the architecture and
-//! `DESIGN.md` for the per-experiment index.
+//! layer unify into [`Error`]. Networked collection (the `cypress serve` /
+//! `cypress submit` daemon pair) lives in [`collect`] atop the
+//! [`net`](cypress_net) subcrate. The pre-`Pipeline` free functions live on
+//! as deprecated shims behind the off-by-default `compat` feature. See
+//! `README.md` for the architecture and `DESIGN.md` for the per-experiment
+//! index.
 
+pub mod collect;
+#[cfg(feature = "compat")]
 pub mod compat;
 pub mod error;
 pub mod pipeline;
 
+pub use collect::{loaded_from_collected, write_collected_container};
 pub use error::{Error, Result};
 pub use pipeline::{read_container, CompressedJob, LoadedJob, MetaInfo, Pipeline};
 
@@ -34,6 +40,7 @@ pub use cypress_core as core;
 pub use cypress_cst as cst;
 pub use cypress_deflate as deflate;
 pub use cypress_minilang as minilang;
+pub use cypress_net as net;
 pub use cypress_obs as obs;
 pub use cypress_query as query;
 pub use cypress_runtime as runtime;

@@ -295,7 +295,7 @@ impl MetaInfo {
     }
 }
 
-fn meta_payload(nprocs: u32, events: u64, raw_bytes: u64) -> Vec<u8> {
+pub(crate) fn meta_payload(nprocs: u32, events: u64, raw_bytes: u64) -> Vec<u8> {
     let mut enc = Encoder::new();
     enc.put_str("cypress");
     enc.put_str(env!("CARGO_PKG_VERSION"));
