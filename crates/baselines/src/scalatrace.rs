@@ -47,7 +47,7 @@ impl Elem {
 
     fn approx_bytes(&self) -> usize {
         match self {
-            Elem::Ev { key, .. } => 48 + key.req_gids.capacity() * 4,
+            Elem::Ev { key, .. } => 48 + key.req_gids.len() * 4,
             Elem::Rsd { body, .. } => 16 + body.iter().map(|e| e.approx_bytes()).sum::<usize>(),
         }
     }

@@ -12,6 +12,25 @@ use crate::intseq::IntSeq;
 use crate::timestats::TimeStats;
 use cypress_trace::codec::{Codec, DecodeError, DecodeResult, Decoder, Encoder};
 use cypress_trace::event::{MpiOp, MpiParams, ANY_SOURCE, NONE};
+use std::sync::{Arc, OnceLock};
+
+/// The shared empty request-GID list. Almost every record has no request
+/// GIDs (only completion ops carry them), so the empty case must not
+/// allocate — every `EncParams` without requests shares this one slice.
+fn empty_gids() -> Arc<[u32]> {
+    static EMPTY: OnceLock<Arc<[u32]>> = OnceLock::new();
+    EMPTY.get_or_init(|| Arc::from(Vec::new())).clone()
+}
+
+/// Intern a request-GID list behind a refcounted slice: cloning the result
+/// (and any `EncParams` holding it) is a refcount bump, not a heap copy.
+pub fn intern_gids(gids: &[u32]) -> Arc<[u32]> {
+    if gids.is_empty() {
+        empty_gids()
+    } else {
+        Arc::from(gids)
+    }
+}
 
 /// A rank-valued parameter field, possibly encoded relative to the owning
 /// process's rank.
@@ -70,7 +89,9 @@ pub struct EncParams {
     pub tag: i64,
     pub rtag: i64,
     pub comm: i64,
-    pub req_gids: Vec<u32>,
+    /// Request GIDs for completion ops, interned behind a refcounted slice
+    /// so record cloning (merge, decode) never copies the list.
+    pub req_gids: Arc<[u32]>,
 }
 
 impl EncParams {
@@ -104,7 +125,7 @@ impl EncParams {
             tag: p.tag,
             rtag: p.rtag,
             comm: p.comm,
-            req_gids: p.req_gids.clone(),
+            req_gids: intern_gids(&p.req_gids),
         }
     }
 
@@ -133,7 +154,7 @@ impl EncParams {
             && self.dest == peer(p.dest)
             && self.src == peer(p.src)
             && self.root == RankEnc::encode_root(p.root)
-            && self.req_gids == p.req_gids
+            && self.req_gids[..] == p.req_gids[..]
     }
 
     /// Decode back to absolute parameters for process `rank`.
@@ -147,7 +168,7 @@ impl EncParams {
             rtag: self.rtag,
             root: self.root.resolve(rank),
             comm: self.comm,
-            req_gids: self.req_gids.clone(),
+            req_gids: self.req_gids.to_vec(),
         }
     }
 }
@@ -174,7 +195,7 @@ impl LeafRecord {
 
     pub fn approx_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
-            + self.params.req_gids.capacity() * 4
+            + self.params.req_gids.len() * 4
             + self.time.approx_bytes()
             + self.gap.approx_bytes()
     }
@@ -301,7 +322,7 @@ impl Codec for EncParams {
         enc.put_ivar(self.rtag);
         enc.put_ivar(self.comm);
         enc.put_uvar(self.req_gids.len() as u64);
-        for &g in &self.req_gids {
+        for &g in self.req_gids.iter() {
             enc.put_uvar(g as u64);
         }
     }
@@ -322,10 +343,11 @@ impl Codec for EncParams {
         if n > 1 << 24 {
             return Err(DecodeError(format!("absurd req_gids length {n}")));
         }
-        let mut req_gids = Vec::with_capacity(n);
+        let mut gids = Vec::with_capacity(n);
         for _ in 0..n {
-            req_gids.push(dec.get_uvar()? as u32);
+            gids.push(dec.get_uvar()? as u32);
         }
+        let req_gids = intern_gids(&gids);
         Ok(EncParams {
             op,
             dest,
@@ -480,6 +502,30 @@ mod tests {
         let e = EncParams::encode(2, MpiOp::Irecv, &p);
         assert_eq!(e.src, RankEnc::Any);
         assert_eq!(e.decode(2).src, ANY_SOURCE);
+    }
+
+    #[test]
+    fn req_gid_interning_preserves_async_semantics() {
+        // Completion records carry request GIDs; moving them behind a
+        // refcounted slice must not change encode/compare/decode semantics.
+        let p = MpiParams::completion(vec![4, 7]);
+        let e = EncParams::encode(3, MpiOp::Waitall, &p);
+        assert_eq!(e.req_gids[..], [4, 7]);
+        assert!(e.matches_raw(3, MpiOp::Waitall, &p, true));
+        assert_eq!(e.decode(3).req_gids, vec![4, 7]);
+        // A different GID list no longer matches.
+        let other = MpiParams::completion(vec![4, 8]);
+        assert!(!e.matches_raw(3, MpiOp::Waitall, &other, true));
+        // Cloning is a refcount bump, not a copy…
+        let c = e.clone();
+        assert!(Arc::ptr_eq(&e.req_gids, &c.req_gids));
+        // …and the (dominant) empty case shares one allocation everywhere.
+        let a = EncParams::encode(0, MpiOp::Send, &MpiParams::send(1, 8, 0));
+        let b = EncParams::encode(5, MpiOp::Recv, &MpiParams::recv(4, 8, 0));
+        assert!(Arc::ptr_eq(&a.req_gids, &b.req_gids));
+        // Codec round trip preserves the list.
+        let back = EncParams::from_bytes(&e.to_bytes()).unwrap();
+        assert_eq!(back, e);
     }
 
     #[test]

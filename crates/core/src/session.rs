@@ -165,6 +165,33 @@ impl<'a> CompressSession<'a> {
         }
     }
 
+    /// Feed a batch of events through the compressor's batched fast path.
+    /// Equivalent to pushing each event in order — the batch is split at
+    /// checkpoint boundaries so footprint sampling, budget accounting, and
+    /// stats land on exactly the same event indices as the per-event path.
+    pub fn push_batch(&mut self, evs: &[Event]) {
+        let every = self.cfg.checkpoint_every.max(1);
+        let mut rest = evs;
+        while !rest.is_empty() {
+            let until_checkpoint = (every - self.stats.events % every) as usize;
+            let (chunk, tail) = rest.split_at(until_checkpoint.min(rest.len()));
+            self.inner.push_batch(chunk);
+            self.stats.events += chunk.len() as u64;
+            for ev in chunk {
+                if let Event::Mpi(rec) = ev {
+                    self.stats.mpi_events += 1;
+                    self.raw_scratch.clear();
+                    rec.encode(&mut self.raw_scratch);
+                    self.stats.raw_mpi_bytes += self.raw_scratch.len() as u64;
+                }
+            }
+            if self.stats.events.is_multiple_of(every) {
+                self.checkpoint();
+            }
+            rest = tail;
+        }
+    }
+
     /// Sample the live CTT footprint now; returns the sampled byte count.
     pub fn checkpoint(&mut self) -> usize {
         let bytes = self.inner.approx_bytes();

@@ -1,16 +1,26 @@
 //! DEFLATE compression (RFC 1951): LZ77 tokens entropy-coded with canonical
 //! Huffman codes. Emits a single final block per call, choosing between
 //! stored, fixed-Huffman and dynamic-Huffman encodings by estimated size.
+//!
+//! The hot path is allocation-free in steady state: LZ77 tokens stream out
+//! of a reusable [`Lz77`] tokenizer straight into per-thread scratch
+//! (symbol frequencies + a packed `u32` token buffer), so compressing a
+//! block neither materializes a `Vec<Token>` nor reallocates the 256 KiB of
+//! hash-chain state.
 
 use crate::bitio::BitWriter;
 use crate::huffman::{canonical_codes, code_lengths};
-use crate::lz77::{tokenize, Token};
+use crate::lz77::{Lz77, Token};
 use crate::tables::*;
+use std::cell::RefCell;
 
-/// Compression effort: bounds the LZ77 hash-chain search.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Compression effort: bounds the LZ77 hash-chain search and sets the lazy
+/// matching policy (fast is greedy, default/best do one-step lazy
+/// evaluation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Level {
     Fast,
+    #[default]
     Default,
     Best,
 }
@@ -23,33 +33,138 @@ impl Level {
             Level::Best => 512,
         }
     }
+
+    fn lazy(self) -> bool {
+        !matches!(self, Level::Fast)
+    }
+
+    /// Stable lower-case name (CLI flag values, bench JSON keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Fast => "fast",
+            Level::Default => "default",
+            Level::Best => "best",
+        }
+    }
+
+    /// Parse a [`Level::name`] back; `None` for unknown names.
+    pub fn from_name(s: &str) -> Option<Level> {
+        match s {
+            "fast" => Some(Level::Fast),
+            "default" => Some(Level::Default),
+            "best" => Some(Level::Best),
+            _ => None,
+        }
+    }
+
+    /// All levels, in increasing effort order.
+    pub const ALL: [Level; 3] = [Level::Fast, Level::Default, Level::Best];
+}
+
+/// A token packed into 32 bits: bit 31 set ⇒ match with `len-3` in bits
+/// 16..24 and `dist-1` in bits 0..15; clear ⇒ literal byte in bits 0..8.
+const MATCH_FLAG: u32 = 1 << 31;
+
+#[inline]
+fn pack(t: Token) -> u32 {
+    match t {
+        Token::Literal(b) => b as u32,
+        Token::Match { len, dist } => MATCH_FLAG | (((len - 3) as u32) << 16) | ((dist - 1) as u32),
+    }
+}
+
+#[inline]
+fn unpack(p: u32) -> Token {
+    if p & MATCH_FLAG != 0 {
+        Token::Match {
+            len: ((p >> 16) & 0xFF) as u16 + 3,
+            dist: (p & 0xFFFF) as u16 + 1,
+        }
+    } else {
+        Token::Literal(p as u8)
+    }
+}
+
+/// Per-thread reusable compression state: the LZ77 hash tables, the packed
+/// token buffer (dynamic Huffman needs two passes over the tokens), and the
+/// symbol frequency accumulators.
+struct Scratch {
+    lz: Lz77,
+    tokens: Vec<u32>,
+    lit_freq: [u64; 286],
+    dist_freq: [u64; 30],
+    /// Total extra bits implied by the match length/distance codes seen —
+    /// level-independent part of every entropy-coded block cost.
+    extra_bits: u64,
+}
+
+impl Scratch {
+    fn new() -> Self {
+        Scratch {
+            lz: Lz77::new(),
+            tokens: Vec::new(),
+            lit_freq: [0; 286],
+            dist_freq: [0; 30],
+            extra_bits: 0,
+        }
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::new());
 }
 
 /// Compress `data` into a raw DEFLATE stream.
 pub fn deflate(data: &[u8], level: Level) -> Vec<u8> {
-    let tokens = tokenize(data, level.max_chain());
+    SCRATCH.with(|s| {
+        // A panic while the scratch is borrowed would poison nothing (no
+        // locks), and `deflate` never re-enters itself.
+        deflate_scratch(&mut s.borrow_mut(), data, level)
+    })
+}
 
-    // Symbol frequencies (literal/length alphabet + end-of-block, distances).
-    let mut lit_freq = vec![0u64; 286];
-    let mut dist_freq = vec![0u64; 30];
-    for t in &tokens {
-        match *t {
-            Token::Literal(b) => lit_freq[b as usize] += 1,
-            Token::Match { len, dist } => {
-                let (lc, _) = length_code(len);
-                lit_freq[257 + lc] += 1;
-                let (dc, _) = dist_code(dist);
-                dist_freq[dc] += 1;
+fn deflate_scratch(s: &mut Scratch, data: &[u8], level: Level) -> Vec<u8> {
+    s.tokens.clear();
+    s.lit_freq.fill(0);
+    s.dist_freq.fill(0);
+    s.extra_bits = 0;
+
+    // Single pass: the tokenizer streams into the frequency accumulators and
+    // the packed token buffer simultaneously.
+    {
+        let tokens = &mut s.tokens;
+        let lit_freq = &mut s.lit_freq;
+        let dist_freq = &mut s.dist_freq;
+        let extra_bits = &mut s.extra_bits;
+        s.lz.tokenize_with(data, level.max_chain(), level.lazy(), |t| {
+            match t {
+                Token::Literal(b) => lit_freq[b as usize] += 1,
+                Token::Match { len, dist } => {
+                    let (lc, _) = length_code(len);
+                    lit_freq[257 + lc] += 1;
+                    let (dc, _) = dist_code(dist);
+                    dist_freq[dc] += 1;
+                    *extra_bits += LEN_EXTRA[lc] as u64 + DIST_EXTRA[dc] as u64;
+                }
             }
-        }
+            tokens.push(pack(t));
+        });
     }
-    lit_freq[256] += 1; // end of block
+    s.lit_freq[256] += 1; // end of block
 
-    let dyn_lit_lens = code_lengths(&lit_freq, 15);
-    let dyn_dist_lens = code_lengths(&dist_freq, 15);
+    let dyn_lit_lens = code_lengths(&s.lit_freq, 15);
+    let dyn_dist_lens = code_lengths(&s.dist_freq, 15);
 
-    let fixed_cost = block_cost(&tokens, &fixed_litlen_lens(), &fixed_dist_lens());
-    let dyn_cost = block_cost(&tokens, &dyn_lit_lens, &dyn_dist_lens)
+    // Costs follow from the frequency tables alone — O(alphabet), not
+    // O(tokens).
+    let fixed_cost = freq_cost(
+        &s.lit_freq,
+        &s.dist_freq,
+        &fixed_litlen_lens(),
+        &fixed_dist_lens(),
+    ) + s.extra_bits;
+    let dyn_cost = freq_cost(&s.lit_freq, &s.dist_freq, &dyn_lit_lens, &dyn_dist_lens)
+        + s.extra_bits
         + header_cost_estimate(&dyn_lit_lens, &dyn_dist_lens);
     let stored_cost = 8 * (data.len() as u64 + 5) + 8;
 
@@ -59,12 +174,12 @@ pub fn deflate(data: &[u8], level: Level) -> Vec<u8> {
     } else if fixed_cost <= dyn_cost {
         w.write_bits(1, 1); // BFINAL
         w.write_bits(1, 2); // BTYPE = fixed
-        write_tokens(&mut w, &tokens, &fixed_litlen_lens(), &fixed_dist_lens());
+        write_tokens(&mut w, &s.tokens, &fixed_litlen_lens(), &fixed_dist_lens());
     } else {
         w.write_bits(1, 1); // BFINAL
         w.write_bits(2, 2); // BTYPE = dynamic
         write_dynamic_header(&mut w, &dyn_lit_lens, &dyn_dist_lens);
-        write_tokens(&mut w, &tokens, &dyn_lit_lens, &dyn_dist_lens);
+        write_tokens(&mut w, &s.tokens, &dyn_lit_lens, &dyn_dist_lens);
     }
     w.finish()
 }
@@ -91,21 +206,20 @@ fn write_stored(w: &mut BitWriter, data: &[u8]) {
     }
 }
 
-/// Exact payload cost in bits of coding `tokens` with the given code lengths.
-fn block_cost(tokens: &[Token], lit_lens: &[u8], dist_lens: &[u8]) -> u64 {
-    let mut bits = 0u64;
-    for t in tokens {
-        match *t {
-            Token::Literal(b) => bits += lit_lens[b as usize] as u64,
-            Token::Match { len, dist } => {
-                let (lc, _) = length_code(len);
-                bits += lit_lens[257 + lc] as u64 + LEN_EXTRA[lc] as u64;
-                let (dc, _) = dist_code(dist);
-                bits += dist_lens[dc] as u64 + DIST_EXTRA[dc] as u64;
-            }
-        }
-    }
-    bits + lit_lens[256] as u64
+/// Payload cost in bits (excluding match extra bits) of coding the given
+/// symbol frequencies with the given code lengths.
+fn freq_cost(lit_freq: &[u64], dist_freq: &[u64], lit_lens: &[u8], dist_lens: &[u8]) -> u64 {
+    let lits: u64 = lit_freq
+        .iter()
+        .zip(lit_lens)
+        .map(|(&f, &l)| f * l as u64)
+        .sum();
+    let dists: u64 = dist_freq
+        .iter()
+        .zip(dist_lens)
+        .map(|(&f, &l)| f * l as u64)
+        .sum();
+    lits + dists
 }
 
 fn header_cost_estimate(lit_lens: &[u8], dist_lens: &[u8]) -> u64 {
@@ -113,11 +227,11 @@ fn header_cost_estimate(lit_lens: &[u8], dist_lens: &[u8]) -> u64 {
     14 + 7 * (lit_lens.len() as u64 + dist_lens.len() as u64) / 2
 }
 
-fn write_tokens(w: &mut BitWriter, tokens: &[Token], lit_lens: &[u8], dist_lens: &[u8]) {
+fn write_tokens(w: &mut BitWriter, tokens: &[u32], lit_lens: &[u8], dist_lens: &[u8]) {
     let lit_codes = canonical_codes(lit_lens);
     let dist_codes = canonical_codes(dist_lens);
-    for t in tokens {
-        match *t {
+    for &p in tokens {
+        match unpack(p) {
             Token::Literal(b) => {
                 w.write_code(lit_codes[b as usize], lit_lens[b as usize] as u32);
             }
@@ -258,9 +372,20 @@ mod tests {
     }
 
     #[test]
+    fn token_packing_round_trips() {
+        for b in 0..=255u8 {
+            assert_eq!(unpack(pack(Token::Literal(b))), Token::Literal(b));
+        }
+        for (len, dist) in [(3u16, 1u16), (258, 32768), (100, 1234), (3, 32768)] {
+            let t = Token::Match { len, dist };
+            assert_eq!(unpack(pack(t)), t);
+        }
+    }
+
+    #[test]
     fn deflate_then_inflate_text() {
         let data = b"It was the best of times, it was the worst of times, it was the age of wisdom, it was the age of foolishness".repeat(20);
-        for level in [Level::Fast, Level::Default, Level::Best] {
+        for level in Level::ALL {
             let c = deflate(&data, level);
             assert!(c.len() < data.len() / 2, "should compress text well");
             assert_eq!(inflate(&c).unwrap(), data);
@@ -289,5 +414,22 @@ mod tests {
     fn empty_input() {
         let c = deflate(&[], Level::Default);
         assert_eq!(inflate(&c).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn deflate_is_deterministic_per_level() {
+        let data = b"deterministic deterministic deterministic!".repeat(50);
+        for level in Level::ALL {
+            assert_eq!(deflate(&data, level), deflate(&data, level));
+        }
+    }
+
+    #[test]
+    fn level_names_round_trip() {
+        for level in Level::ALL {
+            assert_eq!(Level::from_name(level.name()), Some(level));
+        }
+        assert_eq!(Level::from_name("bogus"), None);
+        assert_eq!(Level::default(), Level::Default);
     }
 }

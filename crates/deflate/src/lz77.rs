@@ -1,5 +1,11 @@
 //! LZ77 matching with hash chains (32 KiB window, matches 3..=258), the
 //! front end of DEFLATE compression.
+//!
+//! The tokenizer is a reusable object ([`Lz77`]): the 32 K-entry hash head
+//! and chain tables persist across calls (a `memset` instead of a fresh
+//! allocation per block), tokens stream out through a caller-supplied sink
+//! instead of materializing a `Vec<Token>`, and match extension compares
+//! eight bytes at a time.
 
 pub const WINDOW_SIZE: usize = 32 * 1024;
 pub const MIN_MATCH: usize = 3;
@@ -18,100 +24,168 @@ pub enum Token {
 
 const HASH_BITS: u32 = 15;
 const HASH_SIZE: usize = 1 << HASH_BITS;
+/// Empty-slot sentinel in the hash tables (positions are stored as `u32`).
+const NIL: u32 = u32::MAX;
 
+#[inline]
 fn hash3(data: &[u8], i: usize) -> usize {
     let v = (data[i] as u32) | ((data[i + 1] as u32) << 8) | ((data[i + 2] as u32) << 16);
     (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
 }
 
-/// Greedy hash-chain tokenizer with one-step lazy matching (as in zlib's
-/// default strategy, simplified).
-pub fn tokenize(data: &[u8], max_chain: usize) -> Vec<Token> {
-    let n = data.len();
-    let mut tokens = Vec::with_capacity(n / 2 + 16);
-    if n < MIN_MATCH {
-        tokens.extend(data.iter().map(|&b| Token::Literal(b)));
-        return tokens;
+/// Length of the common prefix of `data[a..]` and `data[b..]`, capped at
+/// `max_len`, compared a word at a time. Requires `b + max_len <= data.len()`
+/// and `a < b`.
+#[inline]
+fn match_len(data: &[u8], a: usize, b: usize, max_len: usize) -> usize {
+    let mut l = 0usize;
+    while l + 8 <= max_len {
+        let x = u64::from_le_bytes(data[a + l..a + l + 8].try_into().unwrap());
+        let y = u64::from_le_bytes(data[b + l..b + l + 8].try_into().unwrap());
+        let diff = x ^ y;
+        if diff != 0 {
+            return l + (diff.trailing_zeros() >> 3) as usize;
+        }
+        l += 8;
     }
-    // head[h] = most recent position with hash h; prev[i % W] = previous
-    // position in the chain.
-    let mut head = vec![usize::MAX; HASH_SIZE];
-    let mut prev = vec![usize::MAX; WINDOW_SIZE];
-    let mut i = 0usize;
+    while l < max_len && data[a + l] == data[b + l] {
+        l += 1;
+    }
+    l
+}
 
-    let insert = |head: &mut [usize], prev: &mut [usize], data: &[u8], i: usize| {
+/// Reusable hash-chain tokenizer state. Construct once (two 128 KiB tables)
+/// and call [`Lz77::tokenize_with`] per block; the tables are wiped with a
+/// fill, not reallocated.
+pub struct Lz77 {
+    /// `head[h]` = most recent position with hash `h`.
+    head: Vec<u32>,
+    /// `prev[i % W]` = previous position in `i`'s chain.
+    prev: Vec<u32>,
+}
+
+impl Default for Lz77 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Lz77 {
+    pub fn new() -> Self {
+        Lz77 {
+            head: vec![NIL; HASH_SIZE],
+            prev: vec![NIL; WINDOW_SIZE],
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, data: &[u8], i: usize) {
         if i + MIN_MATCH <= data.len() {
             let h = hash3(data, i);
-            prev[i % WINDOW_SIZE] = head[h];
-            head[h] = i;
+            self.prev[i % WINDOW_SIZE] = self.head[h];
+            self.head[h] = i as u32;
         }
-    };
+    }
 
-    let best_match = |head: &[usize], prev: &[usize], data: &[u8], i: usize| -> (usize, usize) {
+    fn best_match(&self, data: &[u8], i: usize, max_chain: usize) -> (usize, usize) {
         if i + MIN_MATCH > data.len() {
             return (0, 0);
         }
         let h = hash3(data, i);
-        let mut cand = head[h];
+        let mut cand = self.head[h];
         let max_len = MAX_MATCH.min(data.len() - i);
         let mut best_len = 0usize;
         let mut best_dist = 0usize;
         let mut chains = 0usize;
-        while cand != usize::MAX && chains < max_chain {
+        while cand != NIL && chains < max_chain {
             chains += 1;
-            let dist = i - cand;
+            let c = cand as usize;
+            let dist = i - c;
             if dist == 0 || dist > WINDOW_SIZE {
                 break;
             }
-            let mut l = 0usize;
-            while l < max_len && data[cand + l] == data[i + l] {
-                l += 1;
-            }
-            if l > best_len {
-                best_len = l;
-                best_dist = dist;
-                if l >= max_len {
-                    break;
+            // Cheap reject: a longer match must improve on the byte one past
+            // the current best before a full extension is worth doing.
+            if best_len == 0 || data[c + best_len] == data[i + best_len] {
+                let l = match_len(data, c, i, max_len);
+                if l > best_len {
+                    best_len = l;
+                    best_dist = dist;
+                    if l >= max_len {
+                        break;
+                    }
                 }
             }
-            cand = prev[cand % WINDOW_SIZE];
+            cand = self.prev[c % WINDOW_SIZE];
             // Chains referencing positions outside the window are stale.
-            if cand != usize::MAX && cand + WINDOW_SIZE < i {
+            if cand != NIL && (cand as usize) + WINDOW_SIZE < i {
                 break;
             }
         }
         (best_len, best_dist)
-    };
+    }
 
-    while i < n {
-        let (len, dist) = best_match(&head, &prev, data, i);
-        if len >= MIN_MATCH {
-            // One-step lazy evaluation: prefer a longer match at i+1.
-            let (len2, _) = if i + 1 < n {
-                best_match(&head, &prev, data, i + 1)
+    /// Tokenize `data`, streaming each token into `emit`. `max_chain` bounds
+    /// the hash-chain search; `lazy` enables one-step lazy matching (as in
+    /// zlib's default strategy — the fast level turns it off and takes the
+    /// first acceptable match).
+    ///
+    /// The hash state is wiped at entry, so repeated calls on one `Lz77` are
+    /// independent; only the allocations are reused.
+    pub fn tokenize_with<F: FnMut(Token)>(
+        &mut self,
+        data: &[u8],
+        max_chain: usize,
+        lazy: bool,
+        mut emit: F,
+    ) {
+        let n = data.len();
+        assert!(n < NIL as usize, "block too large for u32 positions");
+        if n < MIN_MATCH {
+            for &b in data {
+                emit(Token::Literal(b));
+            }
+            return;
+        }
+        self.head.fill(NIL);
+        self.prev.fill(NIL);
+
+        let mut i = 0usize;
+        while i < n {
+            let (len, dist) = self.best_match(data, i, max_chain);
+            if len >= MIN_MATCH {
+                if lazy && i + 1 < n {
+                    // One-step lazy evaluation: prefer a longer match at i+1.
+                    let (len2, _) = self.best_match(data, i + 1, max_chain);
+                    if len2 > len + 1 {
+                        self.insert(data, i);
+                        emit(Token::Literal(data[i]));
+                        i += 1;
+                        continue;
+                    }
+                }
+                emit(Token::Match {
+                    len: len as u16,
+                    dist: dist as u16,
+                });
+                for k in 0..len {
+                    self.insert(data, i + k);
+                }
+                i += len;
             } else {
-                (0, 0)
-            };
-            if len2 > len + 1 {
-                insert(&mut head, &mut prev, data, i);
-                tokens.push(Token::Literal(data[i]));
+                self.insert(data, i);
+                emit(Token::Literal(data[i]));
                 i += 1;
-                continue;
             }
-            tokens.push(Token::Match {
-                len: len as u16,
-                dist: dist as u16,
-            });
-            for k in 0..len {
-                insert(&mut head, &mut prev, data, i + k);
-            }
-            i += len;
-        } else {
-            insert(&mut head, &mut prev, data, i);
-            tokens.push(Token::Literal(data[i]));
-            i += 1;
         }
     }
+}
+
+/// Tokenize into a materialized vector (test/bench convenience; the
+/// compressor proper streams through [`Lz77::tokenize_with`]).
+pub fn tokenize(data: &[u8], max_chain: usize) -> Vec<Token> {
+    let mut tokens = Vec::with_capacity(data.len() / 2 + 16);
+    Lz77::new().tokenize_with(data, max_chain, true, |t| tokens.push(t));
     tokens
 }
 
@@ -205,6 +279,51 @@ mod tests {
             if data.len() > 200 {
                 assert!(toks.len() < data.len());
             }
+        }
+    }
+
+    #[test]
+    fn reused_state_matches_fresh_state() {
+        // One Lz77 across many blocks must tokenize each block exactly as a
+        // fresh tokenizer would.
+        let mut rng = Rng::new(0xba7c);
+        let mut shared = Lz77::new();
+        for _ in 0..32 {
+            let n = rng.range_usize(0..3000);
+            let data: Vec<u8> = (0..n).map(|_| rng.range_u64(0..7) as u8).collect();
+            let mut reused = Vec::new();
+            shared.tokenize_with(&data, 16, true, |t| reused.push(t));
+            assert_eq!(reused, tokenize(&data, 16));
+        }
+    }
+
+    #[test]
+    fn greedy_mode_round_trips() {
+        let mut rng = Rng::new(0x95ee);
+        for _ in 0..32 {
+            let n = rng.range_usize(0..4000);
+            let data: Vec<u8> = (0..n).map(|_| rng.range_u64(0..5) as u8).collect();
+            let mut toks = Vec::new();
+            Lz77::new().tokenize_with(&data, 8, false, |t| toks.push(t));
+            assert_eq!(expand(&toks), data);
+        }
+    }
+
+    #[test]
+    fn word_at_a_time_match_len_agrees_with_bytewise() {
+        let mut rng = Rng::new(0x77aa);
+        for _ in 0..256 {
+            let n = rng.range_usize(16..600);
+            let data: Vec<u8> = (0..n).map(|_| rng.range_u64(0..3) as u8).collect();
+            let a = rng.range_usize(0..n / 2);
+            let b = rng.range_usize(n / 2..n);
+            let max_len = (n - b).min(MAX_MATCH);
+            let fast = match_len(&data, a, b, max_len);
+            let mut slow = 0usize;
+            while slow < max_len && data[a + slow] == data[b + slow] {
+                slow += 1;
+            }
+            assert_eq!(fast, slow);
         }
     }
 }

@@ -14,6 +14,7 @@ use crate::proto::{read_frame, write_frame, Frame, SubmitMode, PROTO_VERSION};
 use crate::transport::{Addr, Stream};
 use crate::NetError;
 use cypress_core::Ctt;
+use cypress_deflate::{deflate, Level};
 use cypress_trace::codec::Codec;
 use cypress_trace::event::{Event, EventSink};
 use std::time::Duration;
@@ -31,6 +32,10 @@ pub struct ClientConfig {
     pub io_timeout: Duration,
     /// Events per `Events` frame in streaming mode.
     pub chunk_events: usize,
+    /// DEFLATE level for ctt-mode submissions. Only used when the
+    /// collector negotiates protocol ≥ 2, and only kept when compression
+    /// actually shrinks the payload; `None` always sends raw `RankCtt`.
+    pub ctt_level: Option<Level>,
 }
 
 impl Default for ClientConfig {
@@ -41,6 +46,7 @@ impl Default for ClientConfig {
             backoff_max: Duration::from_secs(2),
             io_timeout: Duration::from_secs(10),
             chunk_events: 512,
+            ctt_level: Some(Level::Default),
         }
     }
 }
@@ -97,13 +103,14 @@ impl EventSink for ChunkSink<'_> {
     }
 }
 
+/// Returns `(negotiated_version, already_done)`.
 fn hello_exchange(
     stream: &mut Stream,
     rank: u32,
     nprocs: u32,
     mode: SubmitMode,
     cst_text: &str,
-) -> Result<bool, NetError> {
+) -> Result<(u8, bool), NetError> {
     write_frame(
         stream,
         &Frame::Hello {
@@ -115,7 +122,10 @@ fn hello_exchange(
         },
     )?;
     match read_frame(stream)? {
-        Frame::HelloAck { already_done, .. } => Ok(already_done),
+        Frame::HelloAck {
+            version,
+            already_done,
+        } => Ok((version, already_done)),
         Frame::Error { code, message } => Err(NetError::Remote { code, message }),
         f => Err(NetError::Protocol(format!(
             "expected HelloAck, got {}",
@@ -183,7 +193,7 @@ pub fn submit_stream(
     with_retry(cfg, |attempt| {
         let mut stream = Stream::connect(addr, cfg.io_timeout)?;
         stream.set_io_timeout(cfg.io_timeout)?;
-        if hello_exchange(&mut stream, rank, nprocs, SubmitMode::Stream, cst_text)? {
+        if hello_exchange(&mut stream, rank, nprocs, SubmitMode::Stream, cst_text)?.1 {
             stream.shutdown();
             return Ok(SubmitOutcome {
                 already_done: true,
@@ -232,10 +242,18 @@ pub fn submit_ctt(
     cst_text: &str,
 ) -> Result<SubmitOutcome, NetError> {
     let bytes = ctt.to_bytes();
+    // Compress once up front; retried attempts reuse it. Kept only when it
+    // actually wins, and only sent to collectors that negotiated v2.
+    let compressed = cfg
+        .ctt_level
+        .map(|lvl| deflate(&bytes, lvl))
+        .filter(|z| z.len() < bytes.len());
     with_retry(cfg, |attempt| {
         let mut stream = Stream::connect(addr, cfg.io_timeout)?;
         stream.set_io_timeout(cfg.io_timeout)?;
-        if hello_exchange(&mut stream, ctt.rank, ctt.nprocs, SubmitMode::Ctt, cst_text)? {
+        let (version, already_done) =
+            hello_exchange(&mut stream, ctt.rank, ctt.nprocs, SubmitMode::Ctt, cst_text)?;
+        if already_done {
             stream.shutdown();
             return Ok(SubmitOutcome {
                 already_done: true,
@@ -244,12 +262,16 @@ pub fn submit_ctt(
                 ranks_done: 0,
             });
         }
-        write_frame(
-            &mut stream,
-            &Frame::RankCtt {
+        let frame = match &compressed {
+            Some(z) if version >= 2 => Frame::RankCttZ {
+                raw_len: bytes.len() as u64,
+                bytes: z.clone(),
+            },
+            _ => Frame::RankCtt {
                 bytes: bytes.clone(),
             },
-        )?;
+        };
+        write_frame(&mut stream, &frame)?;
         let ranks_done = read_fin_ack(&mut stream)?;
         stream.shutdown();
         Ok(SubmitOutcome {

@@ -429,9 +429,7 @@ fn handle_stream(
         match frame {
             Frame::Events { events } => {
                 count += events.len() as u64;
-                for ev in &events {
-                    session.push(ev);
-                }
+                session.push_batch(&events);
             }
             Frame::Finish {
                 app_time,
@@ -477,13 +475,31 @@ fn handle_ctt(
     rank: u32,
 ) -> Result<(), NetError> {
     let frame = read_frame(stream)?;
-    let Frame::RankCtt { bytes } = frame else {
-        send_error(
-            stream,
-            codes::PROTOCOL,
-            format!("expected RankCtt, got {}", frame.name()),
-        );
-        return Err(NetError::Protocol(format!("unexpected {}", frame.name())));
+    let bytes = match frame {
+        Frame::RankCtt { bytes } => bytes,
+        Frame::RankCttZ { raw_len, bytes } => match cypress_deflate::inflate(&bytes) {
+            Ok(raw) if raw.len() as u64 == raw_len => raw,
+            Ok(raw) => {
+                send_error(
+                    stream,
+                    codes::PROTOCOL,
+                    format!("compressed CTT declared {raw_len} bytes, got {}", raw.len()),
+                );
+                return Err(NetError::Protocol("compressed CTT length mismatch".into()));
+            }
+            Err(e) => {
+                send_error(stream, codes::PROTOCOL, format!("undecodable deflate: {e}"));
+                return Err(NetError::Protocol(format!("undecodable deflate: {e}")));
+            }
+        },
+        f => {
+            send_error(
+                stream,
+                codes::PROTOCOL,
+                format!("expected RankCtt, got {}", f.name()),
+            );
+            return Err(NetError::Protocol(format!("unexpected {}", f.name())));
+        }
     };
     let ctt = match Ctt::from_bytes(&bytes) {
         Ok(c) => c,
@@ -650,6 +666,127 @@ mod tests {
         let job = server.join().unwrap().unwrap();
         assert_eq!(job.merged.to_bytes(), want);
         assert_eq!(job.raw_mpi_bytes, 0);
+    }
+
+    #[test]
+    fn ctt_submission_levels_and_raw_agree() {
+        let nprocs = 3;
+        let (info, traces) = traces(nprocs);
+        let cst_text = info.cst.to_text();
+        let local: Vec<_> = traces
+            .iter()
+            .map(|t| compress_trace(&info.cst, t, &CompressConfig::default()))
+            .collect();
+        let want = merge_all(&local).to_bytes();
+
+        for level in [
+            None,
+            Some(cypress_deflate::Level::Fast),
+            Some(cypress_deflate::Level::Best),
+        ] {
+            let (addr, server) = serve_in_background(CollectorConfig {
+                workers: 2,
+                deadline: Some(Duration::from_secs(60)),
+                ..CollectorConfig::default()
+            });
+            let cfg = ClientConfig {
+                ctt_level: level,
+                ..ClientConfig::default()
+            };
+            for ctt in &local {
+                submit_ctt(&addr, &cfg, ctt, &cst_text).unwrap();
+            }
+            let job = server.join().unwrap().unwrap();
+            assert_eq!(job.merged.to_bytes(), want, "level {level:?}");
+        }
+    }
+
+    #[test]
+    fn v1_client_negotiates_down_and_submits_raw() {
+        let (info, traces) = traces(1);
+        let cst_text = info.cst.to_text();
+        let ctt = compress_trace(&info.cst, &traces[0], &CompressConfig::default());
+
+        let (addr, server) = serve_in_background(CollectorConfig {
+            workers: 1,
+            deadline: Some(Duration::from_secs(60)),
+            ..CollectorConfig::default()
+        });
+        // Hand-rolled v1 client: the collector must answer with version 1
+        // and accept the raw RankCtt frame.
+        let mut stream = crate::transport::Stream::connect(&addr, Duration::from_secs(5)).unwrap();
+        write_frame(
+            &mut stream,
+            &Frame::Hello {
+                version: 1,
+                rank: 0,
+                nprocs: 1,
+                mode: SubmitMode::Ctt,
+                cst_text: cst_text.clone(),
+            },
+        )
+        .unwrap();
+        match read_frame(&mut stream).unwrap() {
+            Frame::HelloAck { version, .. } => assert_eq!(version, 1),
+            f => panic!("expected HelloAck, got {}", f.name()),
+        }
+        write_frame(
+            &mut stream,
+            &Frame::RankCtt {
+                bytes: ctt.to_bytes(),
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            read_frame(&mut stream).unwrap(),
+            Frame::FinAck { ranks_done: 1 }
+        ));
+        let job = server.join().unwrap().unwrap();
+        assert_eq!(job.merged.to_bytes(), merge_all(&[ctt]).to_bytes());
+    }
+
+    #[test]
+    fn corrupt_compressed_ctt_is_rejected() {
+        let (info, traces) = traces(1);
+        let cst_text = info.cst.to_text();
+        let ctt = compress_trace(&info.cst, &traces[0], &CompressConfig::default());
+        let raw = ctt.to_bytes();
+
+        let (addr, server) = serve_in_background(CollectorConfig {
+            workers: 1,
+            deadline: Some(Duration::from_secs(60)),
+            ..CollectorConfig::default()
+        });
+        let mut stream = crate::transport::Stream::connect(&addr, Duration::from_secs(5)).unwrap();
+        write_frame(
+            &mut stream,
+            &Frame::Hello {
+                version: 2,
+                rank: 0,
+                nprocs: 1,
+                mode: SubmitMode::Ctt,
+                cst_text: cst_text.clone(),
+            },
+        )
+        .unwrap();
+        let _ack = read_frame(&mut stream).unwrap();
+        // Declare the wrong raw length; the collector must reject before
+        // decoding the CTT.
+        write_frame(
+            &mut stream,
+            &Frame::RankCttZ {
+                raw_len: raw.len() as u64 + 1,
+                bytes: cypress_deflate::deflate(&raw, cypress_deflate::Level::Fast),
+            },
+        )
+        .unwrap();
+        match read_frame(&mut stream).unwrap() {
+            Frame::Error { code, .. } => assert_eq!(code, codes::PROTOCOL),
+            f => panic!("expected Error, got {}", f.name()),
+        }
+        // Finish the job properly so the server exits.
+        submit_ctt(&addr, &ClientConfig::default(), &ctt, &cst_text).unwrap();
+        server.join().unwrap().unwrap();
     }
 
     #[test]

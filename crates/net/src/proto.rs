@@ -21,9 +21,14 @@
 //!
 //! ```text
 //! stream mode:  Hello → (HelloAck ←) → Events* → Finish → (FinAck ←)
-//! ctt mode:     Hello → (HelloAck ←) → RankCtt → (FinAck ←)
+//! ctt mode:     Hello → (HelloAck ←) → RankCtt | RankCttZ → (FinAck ←)
 //! any point:    Error ← (collector rejects; see codes)
 //! ```
+//!
+//! Protocol version 2 adds `RankCttZ`: a DEFLATE-compressed rank CTT with
+//! the raw length up front so the collector can bound decompression. A
+//! client only sends it when the negotiated version is ≥ 2; against a v1
+//! collector it falls back to the raw `RankCtt` frame.
 //!
 //! The `Finish`/`FinAck` round trip is the graceful-shutdown drain: a
 //! client that received `FinAck` knows its rank is merged and may
@@ -38,7 +43,7 @@ use cypress_trace::event::Event;
 use std::io::{Read, Write};
 
 /// Newest protocol version this build speaks.
-pub const PROTO_VERSION: u8 = 1;
+pub const PROTO_VERSION: u8 = 2;
 
 /// Oldest protocol version this build accepts.
 pub const PROTO_VERSION_MIN: u8 = 1;
@@ -112,6 +117,7 @@ const FR_FINISH: u8 = 4;
 const FR_FIN_ACK: u8 = 5;
 const FR_RANK_CTT: u8 = 6;
 const FR_ERROR: u8 = 7;
+const FR_RANK_CTT_Z: u8 = 8;
 
 /// One protocol message.
 #[derive(Debug, Clone, PartialEq)]
@@ -138,6 +144,10 @@ pub enum Frame {
     FinAck { ranks_done: u32 },
     /// A finished per-rank CTT in codec bytes (ctt mode).
     RankCtt { bytes: Vec<u8> },
+    /// A finished per-rank CTT, DEFLATE-compressed (ctt mode, protocol ≥ 2).
+    /// `raw_len` is the decompressed size, checked by the collector before
+    /// and after inflation.
+    RankCttZ { raw_len: u64, bytes: Vec<u8> },
     /// Rejection; `code` is one of [`codes`].
     Error { code: u16, message: String },
 }
@@ -151,6 +161,7 @@ impl Frame {
             Frame::Finish { .. } => FR_FINISH,
             Frame::FinAck { .. } => FR_FIN_ACK,
             Frame::RankCtt { .. } => FR_RANK_CTT,
+            Frame::RankCttZ { .. } => FR_RANK_CTT_Z,
             Frame::Error { .. } => FR_ERROR,
         }
     }
@@ -164,6 +175,7 @@ impl Frame {
             Frame::Finish { .. } => "Finish",
             Frame::FinAck { .. } => "FinAck",
             Frame::RankCtt { .. } => "RankCtt",
+            Frame::RankCttZ { .. } => "RankCttZ",
             Frame::Error { .. } => "Error",
         }
     }
@@ -207,6 +219,10 @@ impl Frame {
             }
             Frame::FinAck { ranks_done } => enc.put_uvar(*ranks_done as u64),
             Frame::RankCtt { bytes } => enc.put_bytes(bytes),
+            Frame::RankCttZ { raw_len, bytes } => {
+                enc.put_uvar(*raw_len);
+                enc.put_bytes(bytes);
+            }
             Frame::Error { code, message } => {
                 enc.put_uvar(*code as u64);
                 enc.put_str(message);
@@ -261,6 +277,16 @@ impl Frame {
             FR_RANK_CTT => Frame::RankCtt {
                 bytes: dec.get_bytes().map_err(|e| bad(e.to_string()))?,
             },
+            FR_RANK_CTT_Z => {
+                let raw_len = dec.get_uvar().map_err(|e| bad(e.to_string()))?;
+                if raw_len > MAX_FRAME_BODY as u64 {
+                    return Err(bad(format!("absurd compressed-ctt raw length {raw_len}")));
+                }
+                Frame::RankCttZ {
+                    raw_len,
+                    bytes: dec.get_bytes().map_err(|e| bad(e.to_string()))?,
+                }
+            }
             FR_ERROR => Frame::Error {
                 code: dec.get_uvar().map_err(|e| bad(e.to_string()))? as u16,
                 message: dec.get_str().map_err(|e| bad(e.to_string()))?,
@@ -374,6 +400,10 @@ mod tests {
             Frame::RankCtt {
                 bytes: vec![1, 2, 3],
             },
+            Frame::RankCttZ {
+                raw_len: 4096,
+                bytes: vec![9, 8, 7, 6],
+            },
             Frame::Error {
                 code: codes::CST_MISMATCH,
                 message: "structure differs".into(),
@@ -456,6 +486,17 @@ mod tests {
         let err = read_frame(&mut &wire[..]).unwrap_err();
         assert!(matches!(err, NetError::Frame(_)), "{err}");
         assert!(err.to_string().contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn absurd_compressed_ctt_raw_length_rejected() {
+        let mut enc = Encoder::new();
+        enc.put_u8(FR_RANK_CTT_Z);
+        enc.put_uvar(MAX_FRAME_BODY as u64 + 1);
+        enc.put_bytes(&[1, 2, 3]);
+        let body = enc.finish();
+        let err = Frame::decode_body(&body).unwrap_err();
+        assert!(err.to_string().contains("raw length"), "{err}");
     }
 
     #[test]

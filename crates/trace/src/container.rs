@@ -10,24 +10,35 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic "CYTC"
-//! 4       1     format version (currently 1)
+//! 4       1     format version (1 = raw sections, 2 = per-section encoding)
 //! 5       …     body (cypress varint codec):
 //!               uvar nprocs
 //!               uvar section_count
 //!               section × section_count:
 //!                 u8   kind        (Meta | CstText | MergedCtt | RankCtt)
 //!                 uvar rank + 1    (0 = not rank-scoped)
-//!                 uvar payload_len, payload bytes
-//!                 uvar crc32(payload)   (gzip polynomial, cypress-deflate)
+//!                 u8   encoding    (v2 only: 0 = raw, 1 = deflate)
+//!                 uvar raw_len     (v2 only, deflate encoding only)
+//!                 uvar stored_len, stored bytes
+//!                 uvar crc32(stored)    (gzip polynomial, cypress-deflate)
 //! ```
 //!
 //! Each section is independently framed and CRC-protected, so a reader can
 //! skip kinds it does not understand and detect torn or corrupted writes
 //! per-section. Writers go through [`Container::write_file`], which is
 //! atomic (temp + rename).
+//!
+//! Version 2 adds per-section DEFLATE: [`Container::to_bytes_with`]
+//! compresses eligible payloads at a chosen [`Level`]. A writer that
+//! compresses nothing emits a byte-identical version-1 image, so readers of
+//! either version interoperate whenever the features in the file allow it.
+//! Sections can also be encoded independently ([`encode_section`]) and
+//! assembled later ([`assemble`]) — that split is what lets the umbrella
+//! crate compress sections on a worker pool without this crate depending on
+//! a scheduler.
 
 use crate::codec::{DecodeError, Decoder, Encoder};
-use cypress_deflate::crc32;
+use cypress_deflate::{crc32, deflate, inflate, Level};
 use std::fmt;
 use std::path::Path;
 use std::sync::OnceLock;
@@ -36,13 +47,30 @@ use std::sync::OnceLock;
 pub const CONTAINER_MAGIC: [u8; 4] = *b"CYTC";
 
 /// Current format version.
-pub const CONTAINER_VERSION: u8 = 1;
+pub const CONTAINER_VERSION: u8 = 2;
+
+/// Section stored exactly as its payload bytes.
+const ENC_RAW: u8 = 0;
+/// Section stored as a raw DEFLATE stream of the payload.
+const ENC_DEFLATE: u8 = 1;
+
+/// Payloads below this size skip compression: framing overhead dominates and
+/// the extra encoding byte already costs one.
+const MIN_COMPRESS_LEN: usize = 64;
 
 /// Container instrumentation handles (scope `container`).
 struct ContainerMetrics {
     bytes_written: cypress_obs::Counter,
     bytes_read: cypress_obs::Counter,
     crc_failures: cypress_obs::Counter,
+    /// Sections actually stored deflated (compression won).
+    sections_deflated: cypress_obs::Counter,
+    /// Raw payload bytes that went into section deflate.
+    deflate_in_bytes: cypress_obs::Counter,
+    /// Stored bytes that came out.
+    deflate_out_bytes: cypress_obs::Counter,
+    /// Wall time of per-section encode (deflate + fallback decision).
+    section_encode_ns: cypress_obs::Histogram,
 }
 
 fn obs() -> &'static ContainerMetrics {
@@ -53,6 +81,10 @@ fn obs() -> &'static ContainerMetrics {
             bytes_written: s.counter("bytes_written"),
             bytes_read: s.counter("bytes_read"),
             crc_failures: s.counter("crc_failures"),
+            sections_deflated: s.counter("sections_deflated"),
+            deflate_in_bytes: s.counter("deflate_in_bytes"),
+            deflate_out_bytes: s.counter("deflate_out_bytes"),
+            section_encode_ns: s.histogram("section_encode_ns", &cypress_obs::TIME_BOUNDS_NS),
         }
     })
 }
@@ -225,28 +257,24 @@ impl Container {
             .filter(|s| s.kind == SectionKind::RankCtt)
     }
 
-    /// Serialize: magic, version byte, then the varint-framed body.
+    /// Serialize with raw (uncompressed) sections: magic, version byte, then
+    /// the varint-framed body. Equivalent to `to_bytes_with(None)`.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut enc = Encoder::with_capacity(
-            8 + self
-                .sections
-                .iter()
-                .map(|s| s.payload.len() + 16)
-                .sum::<usize>(),
-        );
-        enc.put_uvar(self.nprocs as u64);
-        enc.put_uvar(self.sections.len() as u64);
-        for s in &self.sections {
-            enc.put_u8(s.kind.code());
-            enc.put_uvar(s.rank.map(|r| r as u64 + 1).unwrap_or(0));
-            enc.put_bytes(&s.payload);
-            enc.put_uvar(crc32(&s.payload) as u64);
-        }
-        let mut out = Vec::with_capacity(5 + enc.len());
-        out.extend_from_slice(&CONTAINER_MAGIC);
-        out.push(CONTAINER_VERSION);
-        out.extend_from_slice(&enc.finish());
-        out
+        self.to_bytes_with(None)
+    }
+
+    /// Serialize, deflating eligible section payloads at `level`. `None`
+    /// stores everything raw and emits a version-1 image; `Some` emits
+    /// version 2. Deterministic: the same container and level always produce
+    /// the same bytes (a parallel encoder assembling [`encode_section`]
+    /// results via [`assemble`] is byte-identical).
+    pub fn to_bytes_with(&self, level: Option<Level>) -> Vec<u8> {
+        let encoded: Vec<EncodedSection> = self
+            .sections
+            .iter()
+            .map(|s| encode_section(s, level))
+            .collect();
+        assemble(self.nprocs, &encoded)
     }
 
     /// Parse and verify a container image (magic, version, framing, and
@@ -279,15 +307,36 @@ impl Container {
             } else {
                 Some((rank_plus1 - 1) as u32)
             };
-            let payload = dec.get_bytes()?;
-            if payload.is_empty() {
-                return Err(ContainerError::EmptySection {
-                    index,
-                    kind: kind.name(),
-                });
-            }
+            // Version 1 sections are always raw; version 2 carries an
+            // explicit encoding byte (and the decompressed length for
+            // deflated payloads, bounding decompression up front).
+            let (encoding, raw_len) = if version >= 2 {
+                let e = dec.get_u8()?;
+                if e > ENC_DEFLATE {
+                    return Err(ContainerError::Corrupt(DecodeError(format!(
+                        "bad section encoding {e}"
+                    ))));
+                }
+                let raw_len = if e == ENC_DEFLATE {
+                    let n = dec.get_uvar()?;
+                    if n > 1 << 32 {
+                        return Err(ContainerError::Corrupt(DecodeError(format!(
+                            "absurd section raw length {n}"
+                        ))));
+                    }
+                    Some(n as usize)
+                } else {
+                    None
+                };
+                (e, raw_len)
+            } else {
+                (ENC_RAW, None)
+            };
+            let stored_bytes = dec.get_bytes()?;
             let stored = dec.get_uvar()? as u32;
-            let computed = crc32(&payload);
+            // The CRC covers the stored bytes (what is actually in the
+            // file), so corruption is caught before any decompression.
+            let computed = crc32(&stored_bytes);
             if stored != computed {
                 if cypress_obs::enabled() {
                     obs().crc_failures.inc();
@@ -296,6 +345,29 @@ impl Container {
                     index,
                     stored,
                     computed,
+                });
+            }
+            let payload = if encoding == ENC_DEFLATE {
+                let raw = inflate(&stored_bytes).map_err(|e| {
+                    ContainerError::Corrupt(DecodeError(format!(
+                        "section {index} inflate failed: {e:?}"
+                    )))
+                })?;
+                if Some(raw.len()) != raw_len {
+                    return Err(ContainerError::Corrupt(DecodeError(format!(
+                        "section {index} inflated to {} bytes, header said {:?}",
+                        raw.len(),
+                        raw_len
+                    ))));
+                }
+                raw
+            } else {
+                stored_bytes
+            };
+            if payload.is_empty() {
+                return Err(ContainerError::EmptySection {
+                    index,
+                    kind: kind.name(),
                 });
             }
             sections.push(Section {
@@ -316,6 +388,37 @@ impl Container {
     /// Write atomically (temp sibling + rename). Refuses to persist a
     /// container any reader would reject (zero-length sections).
     pub fn write_file(&self, path: impl AsRef<Path>) -> Result<(), ContainerError> {
+        self.write_file_with(path, None)
+    }
+
+    /// Write atomically, deflating eligible sections at `level` (see
+    /// [`Container::to_bytes_with`]).
+    pub fn write_file_with(
+        &self,
+        path: impl AsRef<Path>,
+        level: Option<Level>,
+    ) -> Result<(), ContainerError> {
+        self.check_no_empty_sections()?;
+        let bytes = self.to_bytes_with(level);
+        cypress_obs::write_atomic(path.as_ref(), &bytes)?;
+        if cypress_obs::enabled() {
+            obs().bytes_written.add(bytes.len() as u64);
+        }
+        Ok(())
+    }
+
+    /// Write an already-assembled image (from [`assemble`]) atomically.
+    pub fn write_image(path: impl AsRef<Path>, image: &[u8]) -> Result<(), ContainerError> {
+        cypress_obs::write_atomic(path.as_ref(), image)?;
+        if cypress_obs::enabled() {
+            obs().bytes_written.add(image.len() as u64);
+        }
+        Ok(())
+    }
+
+    /// Reject containers any reader would reject (zero-length sections) —
+    /// called by every write path before touching the filesystem.
+    pub fn check_no_empty_sections(&self) -> Result<(), ContainerError> {
         if let Some((index, s)) = self
             .sections
             .iter()
@@ -326,11 +429,6 @@ impl Container {
                 index,
                 kind: s.kind.name(),
             });
-        }
-        let bytes = self.to_bytes();
-        cypress_obs::write_atomic(path.as_ref(), &bytes)?;
-        if cypress_obs::enabled() {
-            obs().bytes_written.add(bytes.len() as u64);
         }
         Ok(())
     }
@@ -348,6 +446,94 @@ impl Container {
     pub fn payload_bytes(&self) -> usize {
         self.sections.iter().map(|s| s.payload.len()).sum()
     }
+}
+
+/// One section's serialized form: the stored bytes plus the framing fields
+/// needed to emit it. Produced by [`encode_section`] (safe to run on any
+/// thread — this is the unit of parallelism for container compression) and
+/// consumed in order by [`assemble`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncodedSection {
+    kind: SectionKind,
+    rank: Option<u32>,
+    encoding: u8,
+    /// Decompressed payload length (deflate encoding only).
+    raw_len: usize,
+    stored: Vec<u8>,
+}
+
+impl EncodedSection {
+    /// Bytes as stored in the file (compressed for deflated sections).
+    pub fn stored_len(&self) -> usize {
+        self.stored.len()
+    }
+}
+
+/// Encode one section for storage: deflate the payload at `level` when that
+/// is enabled, the payload is large enough, and compression actually wins;
+/// store raw otherwise. Pure function of `(section, level)` — parallel and
+/// sequential encodes are byte-identical.
+pub fn encode_section(s: &Section, level: Option<Level>) -> EncodedSection {
+    let _span = cypress_obs::enabled().then(|| obs().section_encode_ns.start_span());
+    if let Some(level) = level {
+        if s.payload.len() >= MIN_COMPRESS_LEN {
+            let z = deflate(&s.payload, level);
+            if z.len() < s.payload.len() {
+                if cypress_obs::enabled() {
+                    let m = obs();
+                    m.sections_deflated.inc();
+                    m.deflate_in_bytes.add(s.payload.len() as u64);
+                    m.deflate_out_bytes.add(z.len() as u64);
+                }
+                return EncodedSection {
+                    kind: s.kind,
+                    rank: s.rank,
+                    encoding: ENC_DEFLATE,
+                    raw_len: s.payload.len(),
+                    stored: z,
+                };
+            }
+        }
+    }
+    EncodedSection {
+        kind: s.kind,
+        rank: s.rank,
+        encoding: ENC_RAW,
+        raw_len: s.payload.len(),
+        stored: s.payload.clone(),
+    }
+}
+
+/// Assemble encoded sections into a container image. Emits version 1 when
+/// every section is raw (bit-compatible with pre-compression readers) and
+/// version 2 otherwise.
+pub fn assemble(nprocs: u32, encoded: &[EncodedSection]) -> Vec<u8> {
+    let version = if encoded.iter().any(|e| e.encoding != ENC_RAW) {
+        CONTAINER_VERSION
+    } else {
+        1
+    };
+    let mut enc =
+        Encoder::with_capacity(8 + encoded.iter().map(|e| e.stored.len() + 20).sum::<usize>());
+    enc.put_uvar(nprocs as u64);
+    enc.put_uvar(encoded.len() as u64);
+    for e in encoded {
+        enc.put_u8(e.kind.code());
+        enc.put_uvar(e.rank.map(|r| r as u64 + 1).unwrap_or(0));
+        if version >= 2 {
+            enc.put_u8(e.encoding);
+            if e.encoding == ENC_DEFLATE {
+                enc.put_uvar(e.raw_len as u64);
+            }
+        }
+        enc.put_bytes(&e.stored);
+        enc.put_uvar(crc32(&e.stored) as u64);
+    }
+    let mut out = Vec::with_capacity(5 + enc.len());
+    out.extend_from_slice(&CONTAINER_MAGIC);
+    out.push(version);
+    out.extend_from_slice(&enc.finish());
+    out
 }
 
 /// Does this byte prefix look like a container file?
@@ -465,6 +651,114 @@ mod tests {
             "{werr}"
         );
         assert!(!path.exists());
+    }
+
+    fn compressible_sample() -> Container {
+        let mut c = Container::new(4);
+        c.push(SectionKind::Meta, None, b"meta-payload".to_vec());
+        c.push(
+            SectionKind::CstText,
+            None,
+            b"Root() Loop() Mpi()".repeat(40).to_vec(),
+        );
+        c.push(SectionKind::MergedCtt, None, vec![42; 4096]);
+        for rank in 0..4u32 {
+            c.push(
+                SectionKind::RankCtt,
+                Some(rank),
+                (0..2000u32).map(|i| (i % 17) as u8).collect(),
+            );
+        }
+        c
+    }
+
+    #[test]
+    fn compressed_round_trip_preserves_sections_at_every_level() {
+        let c = compressible_sample();
+        for level in [
+            None,
+            Some(Level::Fast),
+            Some(Level::Default),
+            Some(Level::Best),
+        ] {
+            let bytes = c.to_bytes_with(level);
+            let back =
+                Container::from_bytes(&bytes).unwrap_or_else(|e| panic!("level {level:?}: {e}"));
+            assert_eq!(back, c, "level {level:?}");
+        }
+    }
+
+    #[test]
+    fn raw_serialization_is_version_1_and_stable() {
+        let c = compressible_sample();
+        let raw = c.to_bytes_with(None);
+        assert_eq!(raw[4], 1, "all-raw image keeps the v1 format");
+        assert_eq!(raw, c.to_bytes());
+    }
+
+    #[test]
+    fn compressed_image_is_version_2_and_smaller() {
+        let c = compressible_sample();
+        let raw = c.to_bytes();
+        let z = c.to_bytes_with(Some(Level::Default));
+        assert_eq!(z[4], CONTAINER_VERSION);
+        assert!(
+            z.len() < raw.len() / 2,
+            "compressible sections should shrink: {} vs {}",
+            z.len(),
+            raw.len()
+        );
+    }
+
+    #[test]
+    fn incompressible_sections_stay_raw_in_v2() {
+        // A container whose only large section is incompressible: deflate
+        // loses, every section stays raw, and the image remains version 1.
+        let mut x = 0x2468_ace1u32;
+        let noise: Vec<u8> = (0..4096)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                (x & 0xFF) as u8
+            })
+            .collect();
+        let mut c = Container::new(1);
+        c.push(SectionKind::MergedCtt, None, noise);
+        let z = c.to_bytes_with(Some(Level::Best));
+        assert_eq!(z[4], 1, "nothing compressed ⇒ v1 image");
+        assert_eq!(Container::from_bytes(&z).unwrap(), c);
+    }
+
+    #[test]
+    fn per_section_encode_plus_assemble_matches_sequential() {
+        // The parallel encode path: encode sections independently, assemble
+        // in order — must be byte-identical to the sequential writer.
+        let c = compressible_sample();
+        for level in [None, Some(Level::Fast), Some(Level::Default)] {
+            // Encode in reverse order to prove order independence, then
+            // restore file order for assembly.
+            let mut encoded: Vec<EncodedSection> = c
+                .sections
+                .iter()
+                .rev()
+                .map(|s| encode_section(s, level))
+                .collect();
+            encoded.reverse();
+            assert_eq!(assemble(c.nprocs, &encoded), c.to_bytes_with(level));
+        }
+    }
+
+    #[test]
+    fn corrupt_compressed_section_fails_crc_before_inflate() {
+        let c = compressible_sample();
+        let mut bytes = c.to_bytes_with(Some(Level::Default));
+        let n = bytes.len();
+        bytes[n / 2] ^= 0xff;
+        assert!(matches!(
+            Container::from_bytes(&bytes),
+            Err(ContainerError::CrcMismatch { .. }) | Err(ContainerError::Corrupt(_))
+        ));
     }
 
     #[test]

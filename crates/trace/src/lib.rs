@@ -18,8 +18,8 @@ pub mod textfmt;
 pub use codec::{Codec, DecodeError, DecodeResult, Decoder, Encoder};
 pub use commmatrix::CommMatrix;
 pub use container::{
-    is_container, Container, ContainerError, Section, SectionKind, CONTAINER_MAGIC,
-    CONTAINER_VERSION,
+    assemble, encode_section, is_container, Container, ContainerError, EncodedSection, Section,
+    SectionKind, CONTAINER_MAGIC, CONTAINER_VERSION,
 };
 pub use event::{Event, EventSink, MpiOp, MpiParams, MpiRecord, ANY_SOURCE, NONE};
 pub use profile::{size_bucket, OpStats, Profile};

@@ -6,6 +6,8 @@
 //! cypress compress <prog.mpi> -n P -o FILE    trace + compress + merge to FILE
 //!   --stream                                  compress online into a .cytc container
 //!   --per-rank                                also store each rank's CTT section
+//!   --level fast|default|best                 DEFLATE container sections (v2 layout)
+//!   --threads N                               parallel section encoding workers
 //! cypress decompress FILE [-r R]              replay rank R (default 0); containers
 //!   [--cst CST]                               are self-describing, legacy dumps need --cst
 //! cypress inspect FILE                        container header, sections, CRCs,
@@ -30,6 +32,7 @@ use cypress::core::{
     SessionConfig,
 };
 use cypress::cst::{analyze_program, Cst, StaticInfo};
+use cypress::deflate::Level as ZLevel;
 use cypress::minilang::{check_program, parse, Program};
 use cypress::net::{submit_ctt, submit_stream, Addr, ClientConfig, Collector, CollectorConfig};
 use cypress::query::{query_container_path, QueryOptions, Strategy};
@@ -39,7 +42,7 @@ use cypress::trace::codec::Codec;
 use cypress::trace::commmatrix::CommMatrix;
 use cypress::trace::raw::{raw_mpi_size, RawTrace};
 use cypress::trace::{is_container, Container, SectionKind};
-use cypress::{read_container, write_collected_container, Error, Pipeline};
+use cypress::{read_container, write_collected_container_with, Error, Pipeline};
 use std::fs;
 use std::path::Path;
 use std::process::exit;
@@ -113,20 +116,25 @@ USAGE:
   cypress trace <prog.mpi> -n <procs> -o <dir>
   cypress dump <prog.mpi> -n <procs> [-r <rank>]
   cypress compress <prog.mpi> -n <procs> -o <file> [--stream] [--per-rank]
+               [--level fast|default|best] [--threads <n>]
   cypress decompress <file> [-r <rank>] [--cst <cst.txt>]
   cypress inspect <file>
   cypress query <file> [--hotspots <n>] [--strategy auto|symbolic|expand]
   cypress stats <prog.mpi> -n <procs>
   cypress simulate <prog.mpi> -n <procs>
   cypress serve --listen <addr> --out <file> [--per-rank] [--timeout <secs>]
-               [--workers <n>]
+               [--workers <n>] [--level fast|default|best] [--threads <n>]
   cypress submit <prog.mpi> --rank <r> -n <procs> --connect <addr>
-               [--mode stream|ctt] [--attempts <n>]
+               [--mode stream|ctt] [--attempts <n>] [--level <l>|none]
 
 OPTIONS:
   --stream     compress online (streaming sessions) into a versioned
                .cytc container instead of a bare merged dump
   --per-rank   with --stream: add one CRC-framed CTT section per rank
+  --level      compress/serve: DEFLATE container sections at this effort
+               (fast, default, best; omitted = raw v1 layout);
+               submit --mode ctt: wire compression level, or `none`
+  --threads    compress/serve: workers for parallel section encoding
   --hotspots   number of GID hot spots to print (default 10)
   --strategy   query evaluation: auto (default), symbolic (always fold the
                CTT in O(|CTT|)), expand (always stream-decompress)
@@ -160,6 +168,30 @@ fn nprocs_of(args: &[String]) -> cypress::Result<u32> {
         .ok_or_else(|| Error::Invalid("missing -n <procs>".into()))?
         .parse()
         .map_err(|e| Error::Invalid(format!("bad -n value: {e}")))
+}
+
+/// Parse `--level` into a section/wire compression level. `none` is
+/// accepted so `submit` (which compresses by default) can opt out.
+fn level_of(args: &[String]) -> cypress::Result<Option<Option<ZLevel>>> {
+    match flag(args, "--level").as_deref() {
+        None => Ok(None),
+        Some("none") => Ok(Some(None)),
+        Some(s) => ZLevel::from_name(s).map(|l| Some(Some(l))).ok_or_else(|| {
+            Error::Invalid(format!(
+                "unknown --level `{s}` (expected fast, default, best, or none)"
+            ))
+        }),
+    }
+}
+
+fn threads_of(args: &[String]) -> cypress::Result<Option<usize>> {
+    match flag(args, "--threads") {
+        None => Ok(None),
+        Some(s) => s
+            .parse()
+            .map(Some)
+            .map_err(|e| Error::Invalid(format!("bad --threads value: {e}"))),
+    }
 }
 
 fn rank_of(args: &[String]) -> cypress::Result<u32> {
@@ -279,7 +311,13 @@ fn cmd_compress(args: &[String]) -> CliResult {
 fn cmd_compress_stream(args: &[String], out: &str) -> CliResult {
     let (_, src) = read_source(args)?;
     let n = nprocs_of(args)?;
-    let mut job = Pipeline::new(src).ranks(n).run()?;
+    let mut pipe = Pipeline::new(src)
+        .ranks(n)
+        .level(level_of(args)?.unwrap_or(None));
+    if let Some(t) = threads_of(args)? {
+        pipe = pipe.threads(t);
+    }
+    let mut job = pipe.run()?;
     let events: u64 = job.stats.iter().map(|s| s.events).sum();
     let peak = job.peak_ctt_bytes();
     job.write_container(out, has_flag(args, "--per-rank"))?;
@@ -353,8 +391,14 @@ fn cmd_decompress(args: &[String]) -> CliResult {
 fn cmd_inspect(args: &[String]) -> CliResult {
     let file = file_arg(args, "container file")?;
     let file_bytes = fs::metadata(&file).map(|m| m.len()).unwrap_or(0);
+    // The parsed Container normalizes sections to raw payloads; report the
+    // on-disk format version from the header byte instead of assuming v1.
+    let version = fs::read(&file)
+        .ok()
+        .and_then(|b| b.get(4).copied())
+        .unwrap_or(1);
     let c = Container::read_file(&file)?;
-    println!("{file}: cypress container v1, {} ranks", c.nprocs);
+    println!("{file}: cypress container v{version}, {} ranks", c.nprocs);
     let mut raw_bytes = 0u64;
     if let Some(meta) = c.find(SectionKind::Meta) {
         // Meta payload: tool, version, nprocs, then (newer containers)
@@ -495,6 +539,14 @@ fn cmd_serve(args: &[String]) -> CliResult {
             .map_err(|e| Error::Invalid(format!("bad --workers value: {e}")))?;
     }
 
+    let level = level_of(args)?.unwrap_or(None);
+    let threads = threads_of(args)?.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(8)
+    });
+
     let collector = Collector::bind(&addr)?;
     eprintln!(
         "cypress collector listening on {} (job size set by the first client)",
@@ -502,7 +554,7 @@ fn cmd_serve(args: &[String]) -> CliResult {
     );
     let job = collector.run(&cfg)?;
     let merged_bytes = job.merged.to_bytes().len();
-    write_collected_container(&job, &out, per_rank)?;
+    write_collected_container_with(&job, &out, per_rank, level, threads)?;
     println!(
         "collected {} ranks, {} MPI events; merged CTT {} B ({} rank groups)",
         job.nprocs,
@@ -535,6 +587,9 @@ fn cmd_submit(args: &[String]) -> CliResult {
         cfg.attempts = a
             .parse()
             .map_err(|e| Error::Invalid(format!("bad --attempts value: {e}")))?;
+    }
+    if let Some(level) = level_of(args)? {
+        cfg.ctt_level = level;
     }
     let cst_text = info.cst.to_text();
     let interp = InterpConfig::default();

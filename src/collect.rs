@@ -10,7 +10,8 @@
 //! between the two paths is pinned by `tests/net_collect.rs`.
 
 use crate::error::Result;
-use crate::pipeline::{meta_payload, LoadedJob, MetaInfo};
+use crate::pipeline::{meta_payload, write_container_parallel, LoadedJob, MetaInfo};
+use cypress_deflate::Level;
 use cypress_net::CollectedJob;
 use cypress_trace::{Codec, Container, SectionKind};
 use std::path::Path;
@@ -24,6 +25,18 @@ pub fn write_collected_container(
     job: &CollectedJob,
     path: impl AsRef<Path>,
     per_rank: bool,
+) -> Result<()> {
+    write_collected_container_with(job, path, per_rank, None, 1)
+}
+
+/// [`write_collected_container`] with a section compression level and a
+/// worker count for parallel per-section (and per-rank CTT) encoding.
+pub fn write_collected_container_with(
+    job: &CollectedJob,
+    path: impl AsRef<Path>,
+    per_rank: bool,
+    level: Option<Level>,
+    threads: usize,
 ) -> Result<()> {
     let mut c = Container::new(job.nprocs);
     c.push(
@@ -42,7 +55,7 @@ pub fn write_collected_container(
             c.push(SectionKind::RankCtt, Some(ctt.rank), ctt.to_bytes());
         }
     }
-    c.write_file(path)?;
+    write_container_parallel(&c, path.as_ref(), level, threads)?;
     Ok(())
 }
 

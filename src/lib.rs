@@ -31,7 +31,9 @@ pub mod compat;
 pub mod error;
 pub mod pipeline;
 
-pub use collect::{loaded_from_collected, write_collected_container};
+pub use collect::{
+    loaded_from_collected, write_collected_container, write_collected_container_with,
+};
 pub use error::{Error, Result};
 pub use pipeline::{read_container, CompressedJob, LoadedJob, MetaInfo, Pipeline};
 

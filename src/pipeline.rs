@@ -31,16 +31,82 @@ use cypress_core::{
     MergedCtt, ReplayOp, SessionConfig, SessionStats,
 };
 use cypress_cst::{analyze_program, Cst, StaticInfo};
+use cypress_deflate::Level;
 use cypress_minilang::{check_program, parse};
 use cypress_query::{query_ctts, query_merged, QueryOptions, QueryResult};
 use cypress_runtime::{run_rank_with_sink, run_ranks, trace_program_parallel, InterpConfig};
-use cypress_trace::{Codec, Container, ContainerError, Decoder, Encoder, SectionKind};
+use cypress_trace::{
+    assemble, encode_section, Codec, Container, ContainerError, Decoder, EncodedSection, Encoder,
+    SectionKind,
+};
 use std::path::Path;
+use std::sync::OnceLock;
 
 fn default_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
+}
+
+/// Pipeline stage timing (scope `pipeline`): with `--metrics` the report
+/// attributes wall time to ingest (rank execution + compression) vs merge vs
+/// encode (section serialization/deflate) vs I/O (atomic file write).
+struct PipelineMetrics {
+    ingest_ns: cypress_obs::Histogram,
+    merge_ns: cypress_obs::Histogram,
+    encode_ns: cypress_obs::Histogram,
+    io_ns: cypress_obs::Histogram,
+}
+
+fn obs() -> &'static PipelineMetrics {
+    static M: OnceLock<PipelineMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let s = cypress_obs::scope("pipeline");
+        PipelineMetrics {
+            ingest_ns: s.histogram("ingest_ns", &cypress_obs::TIME_BOUNDS_NS),
+            merge_ns: s.histogram("merge_ns", &cypress_obs::TIME_BOUNDS_NS),
+            encode_ns: s.histogram("encode_ns", &cypress_obs::TIME_BOUNDS_NS),
+            io_ns: s.histogram("io_ns", &cypress_obs::TIME_BOUNDS_NS),
+        }
+    })
+}
+
+/// Serialize a container image, deflating sections at `level` — on the
+/// work-stealing pool when `threads > 1` and compression is on (sections are
+/// independent, so per-section deflate parallelizes embarrassingly).
+/// Byte-identical to the sequential [`Container::to_bytes_with`] at every
+/// level and thread count.
+pub(crate) fn encode_container_parallel(
+    c: &Container,
+    level: Option<Level>,
+    threads: usize,
+) -> std::result::Result<Vec<u8>, ContainerError> {
+    c.check_no_empty_sections()?;
+    let _span = obs().encode_ns.start_span();
+    let encoded: Vec<EncodedSection> = if level.is_some() && threads > 1 && c.sections.len() > 1 {
+        run_ranks(c.sections.len() as u32, threads, |i| {
+            encode_section(&c.sections[i as usize], level)
+        })
+    } else {
+        c.sections
+            .iter()
+            .map(|s| encode_section(s, level))
+            .collect()
+    };
+    Ok(assemble(c.nprocs, &encoded))
+}
+
+/// Write a container atomically with parallel section encoding plus I/O span
+/// accounting.
+pub(crate) fn write_container_parallel(
+    c: &Container,
+    path: &Path,
+    level: Option<Level>,
+    threads: usize,
+) -> std::result::Result<(), ContainerError> {
+    let image = encode_container_parallel(c, level, threads)?;
+    let _span = obs().io_ns.start_span();
+    Container::write_image(path, &image)
 }
 
 /// Builder for a full compression run over a MiniMPI program.
@@ -53,6 +119,7 @@ pub struct Pipeline {
     session: SessionConfig,
     threads: usize,
     streaming: bool,
+    level: Option<Level>,
 }
 
 impl Pipeline {
@@ -68,6 +135,7 @@ impl Pipeline {
             session: SessionConfig::default(),
             threads: default_threads(),
             streaming: true,
+            level: None,
         }
     }
 
@@ -109,6 +177,14 @@ impl Pipeline {
         self
     }
 
+    /// DEFLATE container sections at this level when persisting
+    /// ([`CompressedJob::write_container`]). `None` (default) stores raw
+    /// sections in the version-1 layout.
+    pub fn level(mut self, level: Option<Level>) -> Self {
+        self.level = level;
+        self
+    }
+
     /// Parse, analyze, execute every rank, and compress. Rank execution runs
     /// on a work-stealing pool of `threads` workers.
     pub fn run(self) -> Result<CompressedJob> {
@@ -119,6 +195,7 @@ impl Pipeline {
         check_program(&prog)?;
         let info = analyze_program(&prog);
 
+        let _ingest = obs().ingest_ns.start_span();
         let (ctts, stats) = if self.streaming {
             let per_rank = run_ranks(self.nprocs, self.threads, |rank| {
                 let mut session = CompressSession::new(
@@ -156,6 +233,8 @@ impl Pipeline {
             (ctts, Vec::new())
         };
 
+        drop(_ingest);
+
         Ok(CompressedJob {
             info,
             nprocs: self.nprocs,
@@ -163,6 +242,7 @@ impl Pipeline {
             stats,
             merged: None,
             threads: self.threads,
+            level: self.level,
         })
     }
 }
@@ -180,6 +260,8 @@ pub struct CompressedJob {
     /// Cached merge result; populated by [`CompressedJob::merge`].
     pub merged: Option<MergedCtt>,
     threads: usize,
+    /// Section compression level for [`CompressedJob::write_container`].
+    level: Option<Level>,
 }
 
 impl CompressedJob {
@@ -187,6 +269,7 @@ impl CompressedJob {
     /// cached tree.
     pub fn merge(&mut self) -> &MergedCtt {
         if self.merged.is_none() {
+            let _span = obs().merge_ns.start_span();
             self.merged = Some(merge_all_parallel(&self.ctts, self.threads));
         }
         self.merged.as_ref().expect("just populated")
@@ -264,7 +347,7 @@ impl CompressedJob {
                 c.push(SectionKind::RankCtt, Some(ctt.rank), ctt.to_bytes());
             }
         }
-        c.write_file(path)?;
+        write_container_parallel(&c, path.as_ref(), self.level, self.threads)?;
         Ok(())
     }
 }

@@ -169,6 +169,173 @@ fn parallel_merge_handles_odd_rank_counts() {
     }
 }
 
+/// Batched ingestion acceptance criterion: `push_batch` must produce CTTs
+/// (and therefore containers) byte-identical to per-event `push` on every
+/// bundled workload, at several batch granularities including the wire
+/// chunk size the collector sees.
+#[test]
+fn push_batch_byte_identical_to_push_on_all_workloads() {
+    use cypress::core::{CompressConfig, CompressSession, SessionConfig};
+    for name in all_workload_names() {
+        let w = by_name(name, quick_procs(name), Scale::Quick).unwrap();
+        let (_, info) = w.compile();
+        let traces = w.trace().unwrap();
+        for t in &traces {
+            let mut one = CompressSession::new(
+                &info.cst,
+                t.rank,
+                w.nprocs,
+                CompressConfig::default(),
+                SessionConfig::default(),
+            );
+            for ev in &t.events {
+                one.push(ev);
+            }
+            let (want_ctt, want_stats) = one.finish(t.app_time);
+            let want = want_ctt.to_bytes();
+
+            for chunk in [t.events.len().max(1), 512, 7] {
+                let mut batched = CompressSession::new(
+                    &info.cst,
+                    t.rank,
+                    w.nprocs,
+                    CompressConfig::default(),
+                    SessionConfig::default(),
+                );
+                for c in t.events.chunks(chunk) {
+                    batched.push_batch(c);
+                }
+                let (ctt, stats) = batched.finish(t.app_time);
+                assert_eq!(
+                    ctt.to_bytes(),
+                    want,
+                    "{name}: rank {} chunk {chunk} diverged from per-event push",
+                    t.rank
+                );
+                assert_eq!(stats.events, want_stats.events, "{name} rank {}", t.rank);
+                assert_eq!(
+                    stats.mpi_events, want_stats.mpi_events,
+                    "{name} rank {}",
+                    t.rank
+                );
+                assert_eq!(
+                    stats.raw_mpi_bytes, want_stats.raw_mpi_bytes,
+                    "{name} rank {}",
+                    t.rank
+                );
+            }
+        }
+    }
+}
+
+/// `push_batch` under the checkpoint/backpressure path: checkpoints must
+/// land on the same event indices as per-event push (same count, same
+/// budget-violation accounting), and the CTT must stay byte-identical even
+/// when batch boundaries straddle checkpoint boundaries.
+#[test]
+fn push_batch_checkpoint_and_backpressure_match_push() {
+    use cypress::core::{CompressConfig, CompressSession, SessionConfig};
+    let w = by_name("cg", 8, Scale::Quick).unwrap();
+    let (_, info) = w.compile();
+    let traces = w.trace().unwrap();
+    for t in &traces {
+        // Checkpoint several times over the trace, on an awkward stride.
+        let scfg = SessionConfig {
+            checkpoint_every: (t.events.len() as u64 / 4).max(1) | 1,
+            soft_budget_bytes: Some(1),
+        };
+        let mut one = CompressSession::new(
+            &info.cst,
+            t.rank,
+            8,
+            CompressConfig::default(),
+            scfg.clone(),
+        );
+        for ev in &t.events {
+            one.push(ev);
+        }
+        let (want_ctt, want_stats) = one.finish(t.app_time);
+        assert!(
+            want_stats.checkpoints > 1,
+            "config must actually checkpoint"
+        );
+        assert!(
+            want_stats.budget_violations > 0,
+            "budget must actually trip"
+        );
+
+        for chunk in [
+            13usize,
+            scfg.checkpoint_every as usize,
+            scfg.checkpoint_every as usize + 3,
+            4096,
+        ] {
+            let mut batched = CompressSession::new(
+                &info.cst,
+                t.rank,
+                8,
+                CompressConfig::default(),
+                scfg.clone(),
+            );
+            for c in t.events.chunks(chunk) {
+                batched.push_batch(c);
+            }
+            let (ctt, stats) = batched.finish(t.app_time);
+            assert_eq!(ctt.to_bytes(), want_ctt.to_bytes(), "chunk {chunk}");
+            assert_eq!(stats.checkpoints, want_stats.checkpoints, "chunk {chunk}");
+            assert_eq!(
+                stats.budget_violations, want_stats.budget_violations,
+                "chunk {chunk}"
+            );
+        }
+    }
+}
+
+/// Parallel per-section encoding acceptance criterion: a container written
+/// with many encode workers is byte-identical to the sequential one, at the
+/// pinned default level and with per-rank sections in play.
+#[test]
+fn parallel_container_encoding_identical_to_sequential() {
+    use cypress::deflate::Level;
+    let dir = tmpdir("parallel-encode");
+    for name in ["cg", "jacobi"] {
+        let w = by_name(name, quick_procs(name), Scale::Quick).unwrap();
+        let mut seq = Pipeline::new(w.source.clone())
+            .ranks(w.nprocs)
+            .threads(1)
+            .level(Some(Level::Default))
+            .run()
+            .unwrap();
+        let mut par = Pipeline::new(w.source.clone())
+            .ranks(w.nprocs)
+            .threads(8)
+            .level(Some(Level::Default))
+            .run()
+            .unwrap();
+        let p_seq = dir.join(format!("{name}-seq.cytc"));
+        let p_par = dir.join(format!("{name}-par.cytc"));
+        seq.write_container(&p_seq, true).unwrap();
+        par.write_container(&p_par, true).unwrap();
+        let a = std::fs::read(&p_seq).unwrap();
+        let b = std::fs::read(&p_par).unwrap();
+        assert_eq!(a, b, "{name}: parallel encoding changed container bytes");
+
+        // And the compressed container still round-trips.
+        let loaded = cypress::read_container(&p_par).unwrap();
+        let traces = w.trace().unwrap();
+        for t in &traces {
+            let replay = loaded.decompress(t.rank).unwrap();
+            assert_eq!(
+                strip_replay(&replay),
+                strip_raw(t),
+                "{name} rank {}",
+                t.rank
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Session accounting sanity on a real workload: the event counts match the
 /// recorded trace, and the resident footprint stays far below the raw trace.
 #[test]
