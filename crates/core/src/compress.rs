@@ -489,6 +489,8 @@ impl EventSink for IntraCompressor<'_> {
 /// work performed is identical to the online path).
 pub fn compress_trace(cst: &Cst, trace: &RawTrace, cfg: &CompressConfig) -> Ctt {
     let _span = obs().compress_ns.start_span();
+    let mut t = cypress_obs::trace_span("session", "compress_trace");
+    t.set_arg(trace.events.len() as u64);
     let mut c = IntraCompressor::new(cst, trace.rank, trace.nprocs, cfg.clone());
     c.push_batch(&trace.events);
     c.finish(trace.app_time)

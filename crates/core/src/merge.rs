@@ -387,6 +387,8 @@ impl MergedCtt {
 pub fn merge_all(ctts: &[Ctt]) -> MergedCtt {
     assert!(!ctts.is_empty(), "merge_all needs at least one CTT");
     let _span = obs().merge_ns.start_span();
+    let mut t = cypress_obs::trace_span("merge", "merge_all");
+    t.set_arg(ctts.len() as u64);
     let mut acc = MergedCtt::from_ctt(&ctts[0]);
     for c in &ctts[1..] {
         acc.absorb(MergedCtt::from_ctt(c));
@@ -516,6 +518,8 @@ impl BinomialMerger {
         self.seen[w] |= bit;
         self.received += 1;
 
+        let mut t = cypress_obs::trace_span("merge", "binomial_add");
+        t.set_arg(ctt.rank as u64);
         let mut start = ctt.rank;
         let mut len: u32 = 1;
         let mut cur = MergedCtt::from_ctt(ctt);
@@ -571,6 +575,16 @@ impl BinomialMerger {
     /// Partial blocks currently resident (≤ ⌈log2 P⌉ + 1 once complete).
     pub fn pending_blocks(&self) -> usize {
         self.blocks.len()
+    }
+
+    /// Depth of the largest merged buddy block: log2 of its rank count
+    /// (0 when nothing has merged yet).
+    pub fn max_depth(&self) -> u32 {
+        self.blocks
+            .values()
+            .map(|(len, _)| len.trailing_zeros())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Ranks not yet submitted, in ascending order.

@@ -125,6 +125,14 @@ pub struct CompressSession<'a> {
     cfg: SessionConfig,
     stats: SessionStats,
     raw_scratch: Encoder,
+    /// Timeline-trace accumulator: first push timestamp and total ns spent
+    /// inside the session (push/push_batch/checkpoint). The session's work
+    /// interleaves with the interpreter on the same thread, so at finish we
+    /// emit one synthetic `Complete` span of the *accumulated* duration
+    /// anchored at the first push — it nests inside the enclosing rank span
+    /// and splits interpreter-vs-session time exactly.
+    trace_first_ns: Option<u64>,
+    trace_accum_ns: u64,
 }
 
 impl<'a> CompressSession<'a> {
@@ -143,11 +151,34 @@ impl<'a> CompressSession<'a> {
             cfg,
             stats: SessionStats::default(),
             raw_scratch: Encoder::new(),
+            trace_first_ns: None,
+            trace_accum_ns: 0,
+        }
+    }
+
+    #[inline]
+    fn trace_start(&mut self) -> Option<u64> {
+        if cypress_obs::trace_enabled() {
+            let now = cypress_obs::trace_now_ns();
+            if self.trace_first_ns.is_none() {
+                self.trace_first_ns = Some(now);
+            }
+            Some(now)
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn trace_stop(&mut self, t0: Option<u64>) {
+        if let Some(t0) = t0 {
+            self.trace_accum_ns += cypress_obs::trace_now_ns().saturating_sub(t0);
         }
     }
 
     /// Feed one event; periodically samples the live footprint.
     pub fn push(&mut self, ev: &Event) {
+        let t0 = self.trace_start();
         self.inner.push(ev);
         self.stats.events += 1;
         if let Event::Mpi(rec) = ev {
@@ -163,6 +194,7 @@ impl<'a> CompressSession<'a> {
         {
             self.checkpoint();
         }
+        self.trace_stop(t0);
     }
 
     /// Feed a batch of events through the compressor's batched fast path.
@@ -170,6 +202,7 @@ impl<'a> CompressSession<'a> {
     /// checkpoint boundaries so footprint sampling, budget accounting, and
     /// stats land on exactly the same event indices as the per-event path.
     pub fn push_batch(&mut self, evs: &[Event]) {
+        let t0 = self.trace_start();
         let every = self.cfg.checkpoint_every.max(1);
         let mut rest = evs;
         while !rest.is_empty() {
@@ -190,6 +223,7 @@ impl<'a> CompressSession<'a> {
             }
             rest = tail;
         }
+        self.trace_stop(t0);
     }
 
     /// Sample the live CTT footprint now; returns the sampled byte count.
@@ -210,6 +244,7 @@ impl<'a> CompressSession<'a> {
             m.checkpoints.inc();
             m.peak_ctt_bytes.set_max(bytes as i64);
         }
+        cypress_obs::trace_instant("session", "checkpoint", bytes as u64);
         bytes
     }
 
@@ -226,6 +261,7 @@ impl<'a> CompressSession<'a> {
     /// Close the session: flush deferred wildcard receives, close open
     /// structures, and return the per-process CTT plus final stats.
     pub fn finish(mut self, app_time: u64) -> (Ctt, SessionStats) {
+        let t0 = self.trace_start();
         let bytes = self.checkpoint();
         self.stats.final_ctt_bytes = bytes;
         if cypress_obs::enabled() {
@@ -233,7 +269,22 @@ impl<'a> CompressSession<'a> {
             m.finished.inc();
             m.events.add(self.stats.events);
         }
-        (self.inner.finish(app_time), self.stats)
+        let ctt = self.inner.finish(app_time);
+        if let Some(t0) = t0 {
+            self.trace_accum_ns += cypress_obs::trace_now_ns().saturating_sub(t0);
+        }
+        if let Some(first) = self.trace_first_ns {
+            // One synthetic span for the whole session: accumulated active
+            // time anchored at the first push (see the field docs).
+            cypress_obs::trace_complete(
+                "session",
+                "compress",
+                first,
+                self.trace_accum_ns,
+                self.stats.events,
+            );
+        }
+        (ctt, self.stats)
     }
 }
 

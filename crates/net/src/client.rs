@@ -192,6 +192,7 @@ pub fn submit_stream(
 ) -> Result<SubmitOutcome, NetError> {
     with_retry(cfg, |attempt| {
         let mut stream = Stream::connect(addr, cfg.io_timeout)?;
+        cypress_obs::trace_instant("net", "connect", rank as u64);
         stream.set_io_timeout(cfg.io_timeout)?;
         if hello_exchange(&mut stream, rank, nprocs, SubmitMode::Stream, cst_text)?.1 {
             stream.shutdown();
@@ -250,6 +251,7 @@ pub fn submit_ctt(
         .filter(|z| z.len() < bytes.len());
     with_retry(cfg, |attempt| {
         let mut stream = Stream::connect(addr, cfg.io_timeout)?;
+        cypress_obs::trace_instant("net", "connect", ctt.rank as u64);
         stream.set_io_timeout(cfg.io_timeout)?;
         let (version, already_done) =
             hello_exchange(&mut stream, ctt.rank, ctt.nprocs, SubmitMode::Ctt, cst_text)?;

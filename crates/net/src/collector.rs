@@ -19,6 +19,7 @@
 use crate::proto::{
     codes, read_frame, send_error, write_frame, Frame, SubmitMode, PROTO_VERSION, PROTO_VERSION_MIN,
 };
+use crate::stats::{ClientStat, ClientState, QuantileStat, Stats, STATS_VERSION};
 use crate::transport::{Addr, Listener, Stream};
 use crate::{obs, NetError};
 use cypress_core::{
@@ -29,7 +30,7 @@ use cypress_deflate::crc32;
 use cypress_obs::{obs_log, Level};
 use cypress_runtime::run_ranks;
 use cypress_trace::codec::Codec;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -50,6 +51,11 @@ pub struct CollectorConfig {
     pub compress: CompressConfig,
     /// Session knobs for server-side sessions (stream mode).
     pub session: SessionConfig,
+    /// Serve live [`Stats`] snapshots on a second endpoint
+    /// (`cypress serve --stats-addr`). `None` disables telemetry.
+    /// Ephemeral-port callers (tests) should prefer
+    /// [`Collector::bind_stats`], which reports the resolved address.
+    pub stats_addr: Option<Addr>,
 }
 
 impl Default for CollectorConfig {
@@ -61,6 +67,7 @@ impl Default for CollectorConfig {
             deadline: None,
             compress: CompressConfig::default(),
             session: SessionConfig::default(),
+            stats_addr: None,
         }
     }
 }
@@ -107,12 +114,17 @@ struct Inner {
     peak_ctt_bytes: usize,
     done: bool,
     fatal: Option<String>,
+    /// Per-rank submission state and received-event counts, feeding the
+    /// live [`Stats`] snapshot. Rank-keyed: a retry of a merged rank never
+    /// regresses its state.
+    clients: BTreeMap<u32, (ClientState, u64)>,
 }
 
 struct State {
     job: OnceLock<JobInfo>,
     inner: Mutex<Inner>,
     cv: Condvar,
+    started: Instant,
 }
 
 impl State {
@@ -120,6 +132,38 @@ impl State {
         let g = self.inner.lock().unwrap();
         g.done || g.fatal.is_some()
     }
+
+    /// Mark a rank's submission state, never downgrading `Merged` (a late
+    /// duplicate or abort of a rank that already landed changes nothing).
+    fn mark_client(&self, rank: u32, st: ClientState) {
+        let mut g = self.inner.lock().unwrap();
+        let e = g.clients.entry(rank).or_insert((st, 0));
+        if e.0 != ClientState::Merged {
+            e.0 = st;
+        }
+    }
+}
+
+/// Collector-side measurements feeding the `Stats` quantile rows. These use
+/// the ungated [`cypress_obs::Histogram::record`] path so the stats
+/// endpoint reports real numbers whether or not the daemon runs with
+/// metrics enabled.
+struct CollectorHists {
+    /// Events per `Events` frame (client batch sizes as received).
+    batch_events: cypress_obs::Histogram,
+    /// Wall time of one binomial merge step (`BinomialMerger::add`).
+    merge_step_ns: cypress_obs::Histogram,
+}
+
+fn hists() -> &'static CollectorHists {
+    static H: OnceLock<CollectorHists> = OnceLock::new();
+    H.get_or_init(|| {
+        let s = cypress_obs::scope("collector");
+        CollectorHists {
+            batch_events: s.histogram("batch_events", &[1, 8, 64, 512, 4096, 32768]),
+            merge_step_ns: s.histogram("merge_step_ns", &cypress_obs::TIME_BOUNDS_NS),
+        }
+    })
 }
 
 /// A bound collector. Binding is split from running so callers (tests, the
@@ -127,12 +171,14 @@ impl State {
 /// before clients start.
 pub struct Collector {
     listener: Listener,
+    stats_listener: Option<Listener>,
 }
 
 impl Collector {
     pub fn bind(addr: &Addr) -> Result<Collector, NetError> {
         Ok(Collector {
             listener: Listener::bind(addr)?,
+            stats_listener: None,
         })
     }
 
@@ -141,10 +187,21 @@ impl Collector {
         self.listener.local_addr()
     }
 
+    /// Bind the live-telemetry endpoint up front and return its resolved
+    /// address. Takes precedence over [`CollectorConfig::stats_addr`];
+    /// callers using ephemeral ports (tests, `--stats-addr 127.0.0.1:0`)
+    /// need the resolved address before `run` blocks.
+    pub fn bind_stats(&mut self, addr: &Addr) -> Result<Addr, NetError> {
+        let l = Listener::bind(addr)?;
+        let resolved = l.local_addr()?;
+        self.stats_listener = Some(l);
+        Ok(resolved)
+    }
+
     /// Serve until every rank of the job (sized by the first `Hello`) is
     /// merged, then return the collected job. Blocks the calling thread;
     /// connection handling runs on the work-stealing pool.
-    pub fn run(self, cfg: &CollectorConfig) -> Result<CollectedJob, NetError> {
+    pub fn run(mut self, cfg: &CollectorConfig) -> Result<CollectedJob, NetError> {
         let workers = if cfg.workers == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -153,6 +210,11 @@ impl Collector {
         } else {
             cfg.workers
         };
+        if self.stats_listener.is_none() {
+            if let Some(addr) = &cfg.stats_addr {
+                self.bind_stats(addr)?;
+            }
+        }
         let state = State {
             job: OnceLock::new(),
             inner: Mutex::new(Inner {
@@ -164,10 +226,21 @@ impl Collector {
                 peak_ctt_bytes: 0,
                 done: false,
                 fatal: None,
+                clients: BTreeMap::new(),
             }),
             cv: Condvar::new(),
+            started: Instant::now(),
         };
         self.listener.set_nonblocking(true)?;
+        if let Some(sl) = &self.stats_listener {
+            sl.set_nonblocking(true)?;
+            obs_log!(
+                Level::Info,
+                "net",
+                "collector stats endpoint on {}",
+                sl.local_addr().map(|a| a.to_string()).unwrap_or_default()
+            );
+        }
         obs_log!(
             Level::Info,
             "net",
@@ -179,6 +252,9 @@ impl Collector {
         );
         std::thread::scope(|scope| {
             let accept = scope.spawn(|| accept_loop(&self.listener, &state, cfg, workers));
+            if let Some(sl) = &self.stats_listener {
+                scope.spawn(|| stats_loop(sl, &state, cfg));
+            }
             run_ranks(workers as u32, workers, |_| worker_loop(&state, cfg));
             accept.join().expect("accept loop panicked");
         });
@@ -257,6 +333,112 @@ fn accept_loop(listener: &Listener, state: &State, cfg: &CollectorConfig, worker
                 return;
             }
         }
+    }
+}
+
+/// Serve live telemetry: one `StatsRequest` in, one `Stats` out, per
+/// connection. Runs on its own listener so a monitoring poll can never
+/// perturb the job protocol; exits when the collection does.
+fn stats_loop(listener: &Listener, state: &State, cfg: &CollectorConfig) {
+    loop {
+        if state.stop_requested() {
+            return;
+        }
+        match listener.accept() {
+            Ok(mut stream) => {
+                if let Err(e) = serve_stats_once(state, cfg, &mut stream) {
+                    obs_log!(Level::Debug, "net", "stats request failed: {e}");
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => {
+                obs_log!(Level::Warn, "net", "stats listener failed: {e}");
+                return;
+            }
+        }
+    }
+}
+
+fn serve_stats_once(
+    state: &State,
+    cfg: &CollectorConfig,
+    stream: &mut Stream,
+) -> Result<(), NetError> {
+    stream.set_io_timeout(cfg.io_timeout)?;
+    let frame = read_frame(stream)?;
+    match frame {
+        Frame::StatsRequest => {
+            let stats = build_stats(state);
+            write_frame(stream, &Frame::Stats { stats })?;
+            stream.shutdown();
+            Ok(())
+        }
+        f => {
+            send_error(
+                stream,
+                codes::PROTOCOL,
+                format!("stats endpoint expects StatsRequest, got {}", f.name()),
+            );
+            Err(NetError::Protocol(format!("unexpected {}", f.name())))
+        }
+    }
+}
+
+/// Snapshot the running collection into a wire-ready [`Stats`].
+fn build_stats(state: &State) -> Stats {
+    let g = state.inner.lock().unwrap();
+    let uptime_ns = state.started.elapsed().as_nanos() as u64;
+    let (ranks_done, merge_depth, resident_blocks) = match &g.merger {
+        Some(m) => (m.received(), m.max_depth(), m.pending_blocks() as u32),
+        None => (0, 0, 0),
+    };
+    let events_total = g.total_events.max(
+        // Mid-stream events are not yet in total_events; count them so the
+        // rate reflects live receive progress, not just merged ranks.
+        g.clients.values().map(|&(_, ev)| ev).sum(),
+    );
+    let events_per_sec_x1000 = if uptime_ns == 0 {
+        0
+    } else {
+        ((events_total as u128 * 1_000_000_000_000u128) / uptime_ns as u128) as u64
+    };
+    let clients = g
+        .clients
+        .iter()
+        .map(|(&rank, &(st, events))| ClientStat {
+            rank,
+            state: st,
+            events,
+        })
+        .collect();
+    let h = hists();
+    let quantiles = [
+        ("batch_events", &h.batch_events),
+        ("merge_step_ns", &h.merge_step_ns),
+    ]
+    .into_iter()
+    .filter(|(_, h)| h.count() > 0)
+    .map(|(name, h)| QuantileStat {
+        name: name.to_string(),
+        count: h.count(),
+        p50: h.quantile(0.50),
+        p90: h.quantile(0.90),
+        p99: h.quantile(0.99),
+    })
+    .collect();
+    Stats {
+        version: STATS_VERSION,
+        uptime_ns,
+        nprocs: state.job.get().map(|j| j.nprocs).unwrap_or(0),
+        ranks_done,
+        events_total,
+        events_per_sec_x1000,
+        merge_depth,
+        resident_blocks,
+        clients,
+        quantiles,
     }
 }
 
@@ -389,11 +571,19 @@ fn handle_connection(
             already_done: false,
         },
     )?;
+    state.mark_client(rank, ClientState::Streaming);
+    cypress_obs::trace_instant("net", "client_accepted", rank as u64);
 
-    match mode {
+    let res = match mode {
         SubmitMode::Stream => handle_stream(state, cfg, stream, job, rank),
         SubmitMode::Ctt => handle_ctt(state, cfg, stream, rank),
+    };
+    if res.is_err() {
+        // Any failure past the accepted Hello counts as an aborted
+        // submission (no-op if the rank merged before the error).
+        state.mark_client(rank, ClientState::Aborted);
     }
+    res
 }
 
 fn handle_stream(
@@ -429,6 +619,12 @@ fn handle_stream(
         match frame {
             Frame::Events { events } => {
                 count += events.len() as u64;
+                hists().batch_events.record(events.len() as u64);
+                {
+                    let mut g = state.inner.lock().unwrap();
+                    let e = g.clients.entry(rank).or_insert((ClientState::Streaming, 0));
+                    e.1 += events.len() as u64;
+                }
                 session.push_batch(&events);
             }
             Frame::Finish {
@@ -528,10 +724,25 @@ fn merge_in(state: &State, ctt: Ctt, stats: Option<cypress_core::SessionStats>, 
     let mut g = state.inner.lock().unwrap();
     let (newly_merged, received, complete) = {
         let m = g.merger.as_mut().expect("merger installed at Hello");
+        let t0 = Instant::now();
         let newly = m.add(&ctt);
+        hists().merge_step_ns.record(t0.elapsed().as_nanos() as u64);
         (newly, m.received(), m.is_complete())
     };
     if newly_merged {
+        let entry = g
+            .clients
+            .entry(ctt.rank)
+            .or_insert((ClientState::Merged, 0));
+        entry.0 = ClientState::Merged;
+        if entry.1 == 0 {
+            // Ctt-mode ranks stream no Events frames; credit the record
+            // count so per-client telemetry is nonzero either way.
+            entry.1 = match &stats {
+                Some(st) => st.mpi_events,
+                None => ctt.op_count(),
+            };
+        }
         match stats {
             Some(st) => {
                 g.total_events += st.mpi_events;
@@ -820,6 +1031,79 @@ mod tests {
         for r in ["0", "1", "3"] {
             assert!(msg.contains(r), "missing rank {r} not named: {msg}");
         }
+    }
+
+    #[test]
+    fn stats_endpoint_reports_live_collection() {
+        let nprocs = 4u32;
+        let (info, traces) = traces(nprocs);
+        let cst_text = info.cst.to_text();
+
+        let mut collector = Collector::bind(&Addr::parse("127.0.0.1:0").unwrap()).unwrap();
+        let addr = collector.local_addr().unwrap();
+        let stats_addr = collector
+            .bind_stats(&Addr::parse("127.0.0.1:0").unwrap())
+            .unwrap();
+        let cfg = CollectorConfig {
+            workers: 2,
+            deadline: Some(Duration::from_secs(60)),
+            ..CollectorConfig::default()
+        };
+        let server = std::thread::spawn(move || collector.run(&cfg));
+
+        // Before any client: an empty but well-formed snapshot.
+        let s0 = crate::stats::fetch_stats(&stats_addr, Duration::from_secs(5)).unwrap();
+        assert_eq!(s0.version, STATS_VERSION);
+        assert_eq!(s0.nprocs, 0);
+        assert_eq!(s0.ranks_done, 0);
+        assert!(s0.clients.is_empty());
+
+        let ccfg = ClientConfig::default();
+        let submit = |t: &cypress_trace::RawTrace| {
+            submit_stream(&addr, &ccfg, t.rank, t.nprocs, &cst_text, |sink| {
+                for ev in &t.events {
+                    sink.event(ev.clone());
+                }
+                Ok(t.app_time)
+            })
+            .unwrap();
+        };
+        // Submit ranks 0..2 in order; FinAck means each is merged, so the
+        // next snapshot is deterministic.
+        for t in traces.iter().take(nprocs as usize - 1) {
+            submit(t);
+        }
+        let s1 = crate::stats::fetch_stats(&stats_addr, Duration::from_secs(5)).unwrap();
+        assert_eq!(s1.nprocs, nprocs);
+        assert_eq!(s1.ranks_done, nprocs - 1);
+        assert_eq!(s1.clients.len(), nprocs as usize - 1);
+        for (c, t) in s1.clients.iter().zip(&traces) {
+            assert_eq!(c.rank, t.rank);
+            assert_eq!(c.state, ClientState::Merged);
+            assert_eq!(c.events, t.events.len() as u64, "rank {}", c.rank);
+        }
+        assert!(s1.events_total > 0);
+        assert!(s1.uptime_ns > 0);
+        // Ranks {0,1,2} of 4: buddy block [0,1] plus singleton [2].
+        assert_eq!(s1.merge_depth, 1);
+        assert_eq!(s1.resident_blocks, 2);
+        for name in ["batch_events", "merge_step_ns"] {
+            let q = s1
+                .quantiles
+                .iter()
+                .find(|q| q.name == name)
+                .unwrap_or_else(|| panic!("missing quantile row {name}"));
+            assert!(q.count > 0);
+        }
+
+        // Completing the job shuts the stats loop down with the collector.
+        submit(&traces[nprocs as usize - 1]);
+        let job = server.join().unwrap().unwrap();
+        assert_eq!(job.nprocs, nprocs);
+        assert!(
+            crate::stats::fetch_stats(&stats_addr, Duration::from_millis(500)).is_err(),
+            "stats endpoint must die with the collection"
+        );
     }
 
     #[test]

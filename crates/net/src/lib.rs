@@ -30,11 +30,13 @@
 pub mod client;
 pub mod collector;
 pub mod proto;
+pub mod stats;
 pub mod transport;
 
 pub use client::{submit_ctt, submit_stream, ClientConfig, SubmitOutcome};
 pub use collector::{CollectedJob, Collector, CollectorConfig};
 pub use proto::{Frame, SubmitMode, MAX_FRAME_BODY, PROTO_VERSION, PROTO_VERSION_MIN};
+pub use stats::{fetch_stats, ClientStat, ClientState, QuantileStat, Stats, STATS_VERSION};
 pub use transport::{Addr, Listener, Stream};
 
 use std::fmt;

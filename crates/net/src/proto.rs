@@ -118,6 +118,8 @@ const FR_FIN_ACK: u8 = 5;
 const FR_RANK_CTT: u8 = 6;
 const FR_ERROR: u8 = 7;
 const FR_RANK_CTT_Z: u8 = 8;
+const FR_STATS_REQ: u8 = 9;
+const FR_STATS: u8 = 10;
 
 /// One protocol message.
 #[derive(Debug, Clone, PartialEq)]
@@ -148,6 +150,13 @@ pub enum Frame {
     /// `raw_len` is the decompressed size, checked by the collector before
     /// and after inflation.
     RankCttZ { raw_len: u64, bytes: Vec<u8> },
+    /// Ask a collector's stats endpoint for a live snapshot.
+    StatsRequest,
+    /// The snapshot. The payload is a self-versioned blob (see
+    /// [`crate::stats::STATS_VERSION`]) nested as length-prefixed bytes, so
+    /// fields appended by newer collectors never trip the frame-level
+    /// trailing-bytes check.
+    Stats { stats: crate::stats::Stats },
     /// Rejection; `code` is one of [`codes`].
     Error { code: u16, message: String },
 }
@@ -162,6 +171,8 @@ impl Frame {
             Frame::FinAck { .. } => FR_FIN_ACK,
             Frame::RankCtt { .. } => FR_RANK_CTT,
             Frame::RankCttZ { .. } => FR_RANK_CTT_Z,
+            Frame::StatsRequest => FR_STATS_REQ,
+            Frame::Stats { .. } => FR_STATS,
             Frame::Error { .. } => FR_ERROR,
         }
     }
@@ -176,6 +187,8 @@ impl Frame {
             Frame::FinAck { .. } => "FinAck",
             Frame::RankCtt { .. } => "RankCtt",
             Frame::RankCttZ { .. } => "RankCttZ",
+            Frame::StatsRequest => "StatsRequest",
+            Frame::Stats { .. } => "Stats",
             Frame::Error { .. } => "Error",
         }
     }
@@ -223,6 +236,8 @@ impl Frame {
                 enc.put_uvar(*raw_len);
                 enc.put_bytes(bytes);
             }
+            Frame::StatsRequest => {}
+            Frame::Stats { stats } => enc.put_bytes(&stats.encode()),
             Frame::Error { code, message } => {
                 enc.put_uvar(*code as u64);
                 enc.put_str(message);
@@ -287,6 +302,13 @@ impl Frame {
                     bytes: dec.get_bytes().map_err(|e| bad(e.to_string()))?,
                 }
             }
+            FR_STATS_REQ => Frame::StatsRequest,
+            FR_STATS => {
+                let blob = dec.get_bytes().map_err(|e| bad(e.to_string()))?;
+                let stats = crate::stats::Stats::decode(&mut Decoder::new(&blob))
+                    .map_err(|e| bad(e.to_string()))?;
+                Frame::Stats { stats }
+            }
             FR_ERROR => Frame::Error {
                 code: dec.get_uvar().map_err(|e| bad(e.to_string()))? as u16,
                 message: dec.get_str().map_err(|e| bad(e.to_string()))?,
@@ -319,6 +341,7 @@ pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), NetError> {
         m.bytes_out.add(msg.len() as u64);
         m.frames_out.inc();
     }
+    cypress_obs::trace_instant("net", "frame_tx", msg.len() as u64);
     Ok(())
 }
 
@@ -346,6 +369,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<Frame, NetError> {
         m.bytes_in.add(len as u64 + 8);
         m.frames_in.inc();
     }
+    cypress_obs::trace_instant("net", "frame_rx", len as u64 + 8);
     Frame::decode_body(&body)
 }
 
@@ -403,6 +427,25 @@ mod tests {
             Frame::RankCttZ {
                 raw_len: 4096,
                 bytes: vec![9, 8, 7, 6],
+            },
+            Frame::StatsRequest,
+            Frame::Stats {
+                stats: crate::stats::Stats {
+                    version: crate::stats::STATS_VERSION,
+                    uptime_ns: 5_000_000,
+                    nprocs: 4,
+                    ranks_done: 2,
+                    events_total: 1000,
+                    events_per_sec_x1000: 200_000,
+                    merge_depth: 1,
+                    resident_blocks: 1,
+                    clients: vec![crate::stats::ClientStat {
+                        rank: 0,
+                        state: crate::stats::ClientState::Merged,
+                        events: 500,
+                    }],
+                    quantiles: vec![],
+                },
             },
             Frame::Error {
                 code: codes::CST_MISMATCH,

@@ -1,0 +1,396 @@
+//! Live collector telemetry: the versioned `Stats` payload and the client
+//! side that fetches it.
+//!
+//! A running collector (`cypress serve --stats-addr`) listens on a second
+//! endpoint speaking the same framed transport as the job protocol, but a
+//! trivial state machine: one `StatsRequest` in, one `Stats` out, done.
+//! Keeping telemetry off the job listener means a monitoring poll can never
+//! perturb the Hello/Events/Finish sequence, and the job protocol version
+//! stays untouched.
+//!
+//! The payload is **self-versioned**: [`STATS_VERSION`] is the first byte of
+//! the body and new fields only ever append, so an old `cypress stats` can
+//! read a newer collector's leading fields and a new client rejects only
+//! versions older than it knows. Collector-side measurements feeding the
+//! quantiles use the ungated [`cypress_obs::Histogram::record`] path, so
+//! `stats` works whether or not the daemon runs with `--metrics`.
+
+use crate::proto::{read_frame, write_frame, Frame};
+use crate::transport::{Addr, Stream};
+use crate::NetError;
+use cypress_trace::codec::{DecodeError, Decoder, Encoder};
+use std::time::Duration;
+
+/// Version of the `Stats` payload this build writes.
+pub const STATS_VERSION: u8 = 1;
+
+/// Upper bound on collection sizes inside a `Stats` payload (clients,
+/// quantile rows); rejects absurd length prefixes before allocation.
+const MAX_STATS_ITEMS: u64 = 1 << 20;
+
+/// Where one client's submission stands, as the collector saw it last.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientState {
+    /// Mid-stream: events are arriving (or a CTT upload is in flight).
+    Streaming,
+    /// The rank is merged into the binomial tree.
+    Merged,
+    /// The connection died mid-submission; the partial session was
+    /// discarded and a retry is expected.
+    Aborted,
+    /// A retry of an already-merged rank was acknowledged and dropped.
+    Duplicate,
+}
+
+impl ClientState {
+    pub fn code(self) -> u8 {
+        match self {
+            ClientState::Streaming => 0,
+            ClientState::Merged => 1,
+            ClientState::Aborted => 2,
+            ClientState::Duplicate => 3,
+        }
+    }
+
+    pub fn from_code(c: u8) -> Option<ClientState> {
+        Some(match c {
+            0 => ClientState::Streaming,
+            1 => ClientState::Merged,
+            2 => ClientState::Aborted,
+            3 => ClientState::Duplicate,
+            _ => return None,
+        })
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            ClientState::Streaming => "streaming",
+            ClientState::Merged => "merged",
+            ClientState::Aborted => "aborted",
+            ClientState::Duplicate => "duplicate",
+        }
+    }
+}
+
+/// One client (rank) the collector has heard from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientStat {
+    pub rank: u32,
+    pub state: ClientState,
+    /// Events the collector received from this rank so far.
+    pub events: u64,
+}
+
+/// Quantile summary of one collector-side histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantileStat {
+    pub name: String,
+    pub count: u64,
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
+}
+
+/// A live snapshot of a running collector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stats {
+    /// Payload version the collector wrote ([`STATS_VERSION`] here).
+    pub version: u8,
+    /// Nanoseconds since the collector started serving.
+    pub uptime_ns: u64,
+    /// Job size fixed by the first `Hello` (0 before any client connected).
+    pub nprocs: u32,
+    /// Ranks merged into the binomial tree.
+    pub ranks_done: u32,
+    /// Events received across all clients.
+    pub events_total: u64,
+    /// Receive rate over the whole uptime, milli-events/second
+    /// (fixed-point ×1000 — the wire stays integer-only).
+    pub events_per_sec_x1000: u64,
+    /// Largest merged buddy block, as log2 of its rank count.
+    pub merge_depth: u32,
+    /// Partial merge blocks currently resident (≤ ⌈log2 P⌉ + 1).
+    pub resident_blocks: u32,
+    /// Per-client state, rank-sorted.
+    pub clients: Vec<ClientStat>,
+    /// Histogram quantile rows (batch sizes, merge step latency).
+    pub quantiles: Vec<QuantileStat>,
+}
+
+impl Stats {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.put_u8(self.version);
+        enc.put_uvar(self.uptime_ns);
+        enc.put_uvar(self.nprocs as u64);
+        enc.put_uvar(self.ranks_done as u64);
+        enc.put_uvar(self.events_total);
+        enc.put_uvar(self.events_per_sec_x1000);
+        enc.put_uvar(self.merge_depth as u64);
+        enc.put_uvar(self.resident_blocks as u64);
+        enc.put_uvar(self.clients.len() as u64);
+        for c in &self.clients {
+            enc.put_uvar(c.rank as u64);
+            enc.put_u8(c.state.code());
+            enc.put_uvar(c.events);
+        }
+        enc.put_uvar(self.quantiles.len() as u64);
+        for q in &self.quantiles {
+            enc.put_str(&q.name);
+            enc.put_uvar(q.count);
+            enc.put_uvar(q.p50);
+            enc.put_uvar(q.p90);
+            enc.put_uvar(q.p99);
+        }
+        enc.finish()
+    }
+
+    /// Decode a payload. Accepts any version ≥ 1 (newer collectors only
+    /// append fields, which a v1 reader leaves unread); rejects version 0.
+    pub fn decode(dec: &mut Decoder<'_>) -> Result<Stats, DecodeError> {
+        let bad = |m: &str| DecodeError(m.to_string());
+        let version = dec.get_u8()?;
+        if version == 0 {
+            return Err(bad("stats payload version 0"));
+        }
+        let uptime_ns = dec.get_uvar()?;
+        let nprocs = dec.get_uvar()? as u32;
+        let ranks_done = dec.get_uvar()? as u32;
+        let events_total = dec.get_uvar()?;
+        let events_per_sec_x1000 = dec.get_uvar()?;
+        let merge_depth = dec.get_uvar()? as u32;
+        let resident_blocks = dec.get_uvar()? as u32;
+        let nclients = dec.get_uvar()?;
+        if nclients > MAX_STATS_ITEMS {
+            return Err(bad("absurd stats client count"));
+        }
+        let mut clients = Vec::with_capacity(nclients as usize);
+        for _ in 0..nclients {
+            let rank = dec.get_uvar()? as u32;
+            let code = dec.get_u8()?;
+            let state =
+                ClientState::from_code(code).ok_or_else(|| bad("bad stats client state"))?;
+            let events = dec.get_uvar()?;
+            clients.push(ClientStat {
+                rank,
+                state,
+                events,
+            });
+        }
+        let nq = dec.get_uvar()?;
+        if nq > MAX_STATS_ITEMS {
+            return Err(bad("absurd stats quantile count"));
+        }
+        let mut quantiles = Vec::with_capacity(nq as usize);
+        for _ in 0..nq {
+            quantiles.push(QuantileStat {
+                name: dec.get_str()?,
+                count: dec.get_uvar()?,
+                p50: dec.get_uvar()?,
+                p90: dec.get_uvar()?,
+                p99: dec.get_uvar()?,
+            });
+        }
+        // Version > STATS_VERSION may have appended fields; leave them
+        // unread (the frame layer tolerates them via this path only).
+        Ok(Stats {
+            version,
+            uptime_ns,
+            nprocs,
+            ranks_done,
+            events_total,
+            events_per_sec_x1000,
+            merge_depth,
+            resident_blocks,
+            clients,
+            quantiles,
+        })
+    }
+
+    /// Human-readable rendering for `cypress stats`.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "collector stats (v{}) — up {:.3}s\n",
+            self.version,
+            self.uptime_ns as f64 / 1e9
+        ));
+        out.push_str(&format!(
+            "job: {}/{} ranks merged, {} events, {:.1} events/s\n",
+            self.ranks_done,
+            self.nprocs,
+            self.events_total,
+            self.events_per_sec_x1000 as f64 / 1000.0
+        ));
+        out.push_str(&format!(
+            "merge: depth {} ({} ranks in largest block), {} resident block(s)\n",
+            self.merge_depth,
+            1u64 << self.merge_depth.min(63),
+            self.resident_blocks
+        ));
+        if !self.clients.is_empty() {
+            out.push_str("clients:\n");
+            for c in &self.clients {
+                out.push_str(&format!(
+                    "  rank {:<5} {:<10} {:>10} events\n",
+                    c.rank,
+                    c.state.name(),
+                    c.events
+                ));
+            }
+        }
+        for q in &self.quantiles {
+            out.push_str(&format!(
+                "{}: n={} p50={} p90={} p99={}\n",
+                q.name, q.count, q.p50, q.p90, q.p99
+            ));
+        }
+        out
+    }
+
+    /// One JSON object (hand-rolled — offline build, no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"version\":{},\"uptime_ns\":{},\"nprocs\":{},\"ranks_done\":{},\
+             \"events_total\":{},\"events_per_sec_x1000\":{},\"merge_depth\":{},\
+             \"resident_blocks\":{},\"clients\":[",
+            self.version,
+            self.uptime_ns,
+            self.nprocs,
+            self.ranks_done,
+            self.events_total,
+            self.events_per_sec_x1000,
+            self.merge_depth,
+            self.resident_blocks,
+        ));
+        for (i, c) in self.clients.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"rank\":{},\"state\":\"{}\",\"events\":{}}}",
+                c.rank,
+                c.state.name(),
+                c.events
+            ));
+        }
+        out.push_str("],\"quantiles\":[");
+        for (i, q) in self.quantiles.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            // Names are collector-chosen identifiers (no escaping needed).
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"count\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                q.name, q.count, q.p50, q.p90, q.p99
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Fetch a live snapshot from a collector's stats endpoint.
+pub fn fetch_stats(addr: &Addr, timeout: Duration) -> Result<Stats, NetError> {
+    let mut stream = Stream::connect(addr, timeout)?;
+    stream.set_io_timeout(timeout)?;
+    cypress_obs::trace_instant("net", "stats_fetch", 0);
+    write_frame(&mut stream, &Frame::StatsRequest)?;
+    match read_frame(&mut stream)? {
+        Frame::Stats { stats } => Ok(stats),
+        Frame::Error { code, message } => Err(NetError::Remote { code, message }),
+        f => Err(NetError::Protocol(format!(
+            "expected Stats, got {}",
+            f.name()
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Stats {
+        Stats {
+            version: STATS_VERSION,
+            uptime_ns: 1_234_567_890,
+            nprocs: 8,
+            ranks_done: 5,
+            events_total: 40_000,
+            events_per_sec_x1000: 32_400_500,
+            merge_depth: 2,
+            resident_blocks: 2,
+            clients: vec![
+                ClientStat {
+                    rank: 0,
+                    state: ClientState::Merged,
+                    events: 8_000,
+                },
+                ClientStat {
+                    rank: 1,
+                    state: ClientState::Streaming,
+                    events: 1_500,
+                },
+                ClientStat {
+                    rank: 7,
+                    state: ClientState::Aborted,
+                    events: 12,
+                },
+            ],
+            quantiles: vec![QuantileStat {
+                name: "batch_events".into(),
+                count: 79,
+                p50: 512,
+                p90: 512,
+                p99: 512,
+            }],
+        }
+    }
+
+    #[test]
+    fn stats_round_trip() {
+        let s = sample();
+        let bytes = s.encode();
+        let mut dec = Decoder::new(&bytes);
+        let got = Stats::decode(&mut dec).unwrap();
+        assert!(dec.is_done());
+        assert_eq!(got, s);
+    }
+
+    #[test]
+    fn version_zero_rejected() {
+        let mut s = sample();
+        s.version = 0;
+        let bytes = s.encode();
+        assert!(Stats::decode(&mut Decoder::new(&bytes)).is_err());
+    }
+
+    #[test]
+    fn newer_version_with_appended_fields_still_reads() {
+        let mut s = sample();
+        s.version = STATS_VERSION + 1;
+        let mut bytes = s.encode();
+        // A future collector appends a field we do not know about.
+        bytes.extend_from_slice(&[0x2a]);
+        let mut dec = Decoder::new(&bytes);
+        let got = Stats::decode(&mut dec).unwrap();
+        assert_eq!(got.nprocs, 8);
+        assert_eq!(got.clients.len(), 3);
+        assert!(!dec.is_done(), "appended field left unread");
+    }
+
+    #[test]
+    fn text_and_json_render() {
+        let s = sample();
+        let text = s.to_text();
+        assert!(text.contains("5/8 ranks merged"));
+        assert!(text.contains("rank 1"));
+        assert!(text.contains("streaming"));
+        let json = s.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"ranks_done\":5"));
+        assert!(json.contains("\"state\":\"aborted\""));
+        assert!(json.contains("\"p99\":512"));
+    }
+}

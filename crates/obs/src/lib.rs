@@ -41,12 +41,19 @@ pub mod metrics;
 pub mod report;
 pub mod rng;
 pub mod span;
+pub mod tracing;
 
 pub use fsio::{append_atomic, write_atomic};
 pub use log::{log_emit, log_enabled, log_level, set_log_level, Level};
 pub use metrics::{scope, Counter, Gauge, Histogram, Scope, TIME_BOUNDS_NS};
 pub use report::{report, MetricKind, MetricSnapshot, Report};
 pub use span::{Span, Stopwatch};
+pub use tracing::{
+    clear_thread_rank, set_thread_rank, set_trace_enabled, trace_begin, trace_complete,
+    trace_drain, trace_enabled, trace_end, trace_instant, trace_now_ns, trace_reset,
+    trace_snapshot, trace_span, RankRow, StageProfile, StageRow, TraceDump, TraceEvent, TracePhase,
+    TraceSpan, NO_RANK,
+};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 

@@ -44,14 +44,18 @@ const LEVEL_OFF: u8 = 0;
 
 static MAX_LEVEL: AtomicU8 = AtomicU8::new(LEVEL_UNSET);
 
-fn parse_level(s: &str) -> u8 {
+/// Case-insensitive level parse. `Ok(LEVEL_OFF)` for the explicit "off"
+/// spellings; `Err(())` for anything unrecognized so the caller can warn
+/// instead of silently disabling logging.
+fn parse_level(s: &str) -> Result<u8, ()> {
     match s.trim().to_ascii_lowercase().as_str() {
-        "error" => Level::Error as u8,
-        "warn" | "warning" => Level::Warn as u8,
-        "info" => Level::Info as u8,
-        "debug" => Level::Debug as u8,
-        "trace" => Level::Trace as u8,
-        _ => LEVEL_OFF,
+        "error" => Ok(Level::Error as u8),
+        "warn" | "warning" => Ok(Level::Warn as u8),
+        "info" => Ok(Level::Info as u8),
+        "debug" => Ok(Level::Debug as u8),
+        "trace" => Ok(Level::Trace as u8),
+        "off" | "none" | "" => Ok(LEVEL_OFF),
+        _ => Err(()),
     }
 }
 
@@ -60,9 +64,20 @@ fn max_level() -> u8 {
     if v != LEVEL_UNSET {
         return v;
     }
-    let parsed = std::env::var("CYPRESS_LOG")
-        .map(|s| parse_level(&s))
-        .unwrap_or(LEVEL_OFF);
+    let parsed = match std::env::var("CYPRESS_LOG") {
+        Ok(s) => parse_level(&s).unwrap_or_else(|()| {
+            // Warn exactly once per process, then fall back to off.
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| {
+                eprintln!(
+                    "cypress: unrecognized CYPRESS_LOG level {s:?} \
+                     (expected error|warn|info|debug|trace|off); logging disabled"
+                );
+            });
+            LEVEL_OFF
+        }),
+        Err(_) => LEVEL_OFF,
+    };
     MAX_LEVEL.store(parsed, Ordering::Relaxed);
     parsed
 }
@@ -135,9 +150,13 @@ mod tests {
 
     #[test]
     fn parse_accepts_known_names_only() {
-        assert_eq!(parse_level("TRACE"), Level::Trace as u8);
-        assert_eq!(parse_level(" warn "), Level::Warn as u8);
-        assert_eq!(parse_level("bogus"), LEVEL_OFF);
-        assert_eq!(parse_level(""), LEVEL_OFF);
+        assert_eq!(parse_level("TRACE"), Ok(Level::Trace as u8));
+        assert_eq!(parse_level(" warn "), Ok(Level::Warn as u8));
+        assert_eq!(parse_level("Info"), Ok(Level::Info as u8));
+        assert_eq!(parse_level("OFF"), Ok(LEVEL_OFF));
+        assert_eq!(parse_level("none"), Ok(LEVEL_OFF));
+        assert_eq!(parse_level(""), Ok(LEVEL_OFF));
+        assert_eq!(parse_level("bogus"), Err(()));
+        assert_eq!(parse_level("infoo"), Err(()));
     }
 }

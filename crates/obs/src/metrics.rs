@@ -137,6 +137,56 @@ impl Histogram {
         }
     }
 
+    /// Estimate the `q`-quantile (`0.0..=1.0`) by linear interpolation
+    /// inside the fixed buckets, clamped to the observed min/max so the
+    /// estimate never leaves the data range. Returns 0 for an empty
+    /// histogram. Accuracy is bounded by bucket width: with the decade
+    /// [`TIME_BOUNDS_NS`] buckets the estimate lands in the right decade
+    /// and interpolates within it.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let min = self.0.min.load(Ordering::Relaxed);
+        let max = self.0.max.load(Ordering::Relaxed);
+        if q <= 0.0 {
+            return min;
+        }
+        if q >= 1.0 {
+            return max;
+        }
+        // Rank of the target observation, 1-based: ceil(q * n), at least 1.
+        let target = ((q * n as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, b) in self.0.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c == 0 {
+                cum += c;
+                continue;
+            }
+            if cum + c >= target {
+                // Interpolate within this bucket's value range.
+                let lo = if i == 0 {
+                    min
+                } else {
+                    self.0.bounds[i - 1].saturating_add(1)
+                };
+                let hi = if i < self.0.bounds.len() {
+                    self.0.bounds[i]
+                } else {
+                    max
+                };
+                let (lo, hi) = (lo.clamp(min, max), hi.clamp(min, max));
+                let frac = (target - cum) as f64 / c as f64;
+                let est = lo as f64 + frac * (hi.saturating_sub(lo)) as f64;
+                return (est.round() as u64).clamp(min, max);
+            }
+            cum += c;
+        }
+        max
+    }
+
     /// Per-bucket counts (overflow bucket last).
     pub fn bucket_counts(&self) -> Vec<u64> {
         self.0
@@ -294,6 +344,72 @@ mod tests {
         g.set_max(3);
         g.set_max(9);
         assert_eq!(g.get(), 9);
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn quantiles_on_uniform_distribution() {
+        let _guard = crate::test_mutex().lock().unwrap();
+        crate::set_enabled(true);
+        crate::reset();
+        // 1..=1000 uniform into decade buckets: true p50=500, p90=900,
+        // p99=990. Interpolation within the 101–1000 bucket is exact for
+        // uniform data up to bucket-edge rounding.
+        let h = scope("t-metrics").histogram("uniform", &[10, 100, 1_000, 10_000]);
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        let p50 = h.quantile(0.50);
+        let p90 = h.quantile(0.90);
+        let p99 = h.quantile(0.99);
+        assert!((490..=510).contains(&p50), "p50={p50}");
+        assert!((890..=910).contains(&p90), "p90={p90}");
+        assert!((980..=1000).contains(&p99), "p99={p99}");
+        // Extremes clamp to observed min/max.
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.quantile(1.0), 1000);
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn quantiles_on_point_mass_and_empty() {
+        let _guard = crate::test_mutex().lock().unwrap();
+        crate::set_enabled(true);
+        crate::reset();
+        let h = scope("t-metrics").histogram("point", &TIME_BOUNDS_NS);
+        assert_eq!(h.quantile(0.5), 0, "empty histogram");
+        for _ in 0..100 {
+            h.observe(5_000);
+        }
+        // All mass at one value: every quantile is that value (min==max
+        // clamping defeats within-bucket interpolation error).
+        assert_eq!(h.quantile(0.5), 5_000);
+        assert_eq!(h.quantile(0.99), 5_000);
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn quantiles_on_bimodal_distribution() {
+        let _guard = crate::test_mutex().lock().unwrap();
+        crate::set_enabled(true);
+        crate::reset();
+        // 90 fast observations (~2µs) + 10 slow (~2s): p50/p90 must stay in
+        // the fast decade, p99 in the slow one — the exact shape that
+        // motivates quantiles over means for span histograms.
+        let h = scope("t-metrics").histogram("bimodal", &TIME_BOUNDS_NS);
+        for _ in 0..90 {
+            h.observe(2_000);
+        }
+        for _ in 0..10 {
+            h.observe(2_000_000_000);
+        }
+        assert!(h.quantile(0.50) <= 10_000, "p50={}", h.quantile(0.50));
+        assert!(h.quantile(0.90) <= 10_000, "p90={}", h.quantile(0.90));
+        assert!(
+            h.quantile(0.99) >= 1_000_000_000,
+            "p99={}",
+            h.quantile(0.99)
+        );
         crate::set_enabled(false);
     }
 

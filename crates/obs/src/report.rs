@@ -39,6 +39,10 @@ pub struct MetricSnapshot {
     pub sum: u64,
     pub min: u64,
     pub max: u64,
+    /// Interpolated quantile estimates (see [`crate::Histogram::quantile`]).
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
     pub bounds: Vec<u64>,
     pub buckets: Vec<u64>,
 }
@@ -74,6 +78,9 @@ pub fn report() -> Report {
                 sum: 0,
                 min: 0,
                 max: 0,
+                p50: 0,
+                p90: 0,
+                p99: 0,
                 bounds: Vec::new(),
                 buckets: Vec::new(),
             };
@@ -93,6 +100,9 @@ pub fn report() -> Report {
                     let min = h.0.min.load(Ordering::Relaxed);
                     snap.min = if min == u64::MAX { 0 } else { min };
                     snap.max = h.0.max.load(Ordering::Relaxed);
+                    snap.p50 = h.quantile(0.50);
+                    snap.p90 = h.quantile(0.90);
+                    snap.p99 = h.quantile(0.99);
                     snap.bounds = h.bounds().to_vec();
                     snap.buckets = h.bucket_counts();
                 }
@@ -134,18 +144,24 @@ impl Report {
                     // Span histograms are named *_ns; show humane durations.
                     if m.name.ends_with("_ns") {
                         format!(
-                            "n={} sum={} mean={} max={}",
+                            "n={} sum={} mean={} p50={} p90={} p99={} max={}",
                             m.count,
                             fmt_ns(m.sum),
                             fmt_ns(m.mean() as u64),
+                            fmt_ns(m.p50),
+                            fmt_ns(m.p90),
+                            fmt_ns(m.p99),
                             fmt_ns(m.max),
                         )
                     } else {
                         format!(
-                            "n={} sum={} mean={:.1} max={}",
+                            "n={} sum={} mean={:.1} p50={} p90={} p99={} max={}",
                             m.count,
                             m.sum,
                             m.mean(),
+                            m.p50,
+                            m.p90,
+                            m.p99,
                             m.max
                         )
                     }
@@ -212,11 +228,14 @@ impl Report {
                 }
                 MetricKind::Histogram => {
                     out.push_str(&format!(
-                        ",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"bounds\":{},\"buckets\":{}",
+                        ",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"bounds\":{},\"buckets\":{}",
                         m.count,
                         m.sum,
                         m.min,
                         m.max,
+                        m.p50,
+                        m.p90,
+                        m.p99,
                         json_u64_array(&m.bounds),
                         json_u64_array(&m.buckets),
                     ));
@@ -277,6 +296,7 @@ mod tests {
             "{\"subsystem\":\"golden\",\"name\":\"events\",\"kind\":\"counter\",\"value\":7}\n",
             "{\"subsystem\":\"golden\",\"name\":\"lat\",\"kind\":\"histogram\",",
             "\"count\":3,\"sum\":5055,\"min\":5,\"max\":5000,",
+            "\"p50\":100,\"p90\":5000,\"p99\":5000,",
             "\"bounds\":[10,100],\"buckets\":[1,1,1]}\n",
             "{\"subsystem\":\"golden\",\"name\":\"live_bytes\",\"kind\":\"gauge\",\"value\":-3}\n",
         );

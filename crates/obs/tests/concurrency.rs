@@ -73,6 +73,43 @@ fn histogram_bucket_boundaries_are_inclusive_upper_bounds() {
 }
 
 #[test]
+fn eight_thread_combined_stress_keeps_exact_totals() {
+    let _guard = cypress_obs::test_mutex().lock().unwrap();
+    cypress_obs::reset();
+    cypress_obs::set_enabled(true);
+    const THREADS: u64 = 8;
+    const ITERS: u64 = 5_000;
+    thread::scope(|scope| {
+        for t in 0..THREADS {
+            // All three instrument kinds contend on the same registry
+            // entries, resolved fresh per thread.
+            scope.spawn(move || {
+                let s = cypress_obs::scope("stress");
+                let c = s.counter("ops");
+                let g = s.gauge("depth");
+                let h = s.histogram("sizes", &[8, 64, 512]);
+                for i in 0..ITERS {
+                    c.inc();
+                    g.set_max((t * ITERS + i) as i64);
+                    h.observe(i % 1000);
+                }
+            });
+        }
+    });
+    let s = cypress_obs::scope("stress");
+    assert_eq!(s.counter("ops").get(), THREADS * ITERS);
+    assert_eq!(s.gauge("depth").get(), (THREADS * ITERS - 1) as i64);
+    let h = s.histogram("sizes", &[8, 64, 512]);
+    assert_eq!(h.count(), THREADS * ITERS);
+    // Each thread records 0..1000 five times over: sum is closed-form.
+    assert_eq!(h.sum(), THREADS * (ITERS / 1000) * (999 * 1000 / 2));
+    assert_eq!(h.bucket_counts().iter().sum::<u64>(), h.count());
+    assert!(h.quantile(0.5) >= h.quantile(0.1));
+    cypress_obs::set_enabled(false);
+    cypress_obs::reset();
+}
+
+#[test]
 fn concurrent_histogram_observes_sum_consistently() {
     let _guard = cypress_obs::test_mutex().lock().unwrap();
     cypress_obs::reset();

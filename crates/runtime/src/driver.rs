@@ -36,6 +36,8 @@ pub fn trace_rank(
         let handle = std::thread::Builder::new()
             .stack_size(64 * 1024 * 1024)
             .spawn_scoped(scope, || {
+                cypress_obs::set_thread_rank(rank);
+                let _t = cypress_obs::trace_span("interp", "rank");
                 let mut events: Vec<Event> = Vec::new();
                 let mut interp = Interp::new(prog, info, rank, nprocs, cfg.clone(), &mut events);
                 let app_time = interp.run()?;
@@ -71,6 +73,7 @@ pub fn trace_program_parallel(
         "tracing {nprocs} ranks on {threads} worker(s)"
     );
     crate::sched::run_ranks(nprocs, threads, |rank| {
+        let _t = cypress_obs::trace_span("interp", "rank");
         let mut events: Vec<Event> = Vec::new();
         let mut interp = Interp::new(prog, info, rank, nprocs, cfg.clone(), &mut events);
         let app_time = interp.run()?;

@@ -105,15 +105,19 @@ where
                                 if cypress_obs::enabled() {
                                     obs().steals.inc();
                                 }
+                                cypress_obs::trace_instant("sched", "steal", r as u64);
                                 next = Some(r);
                                 break;
                             }
                         }
                     }
                     let Some(rank) = next else {
+                        cypress_obs::trace_instant("sched", "drain", 0);
                         return; // every deque drained — no new work arrives
                     };
+                    cypress_obs::set_thread_rank(rank);
                     let out = f(rank);
+                    cypress_obs::clear_thread_rank();
                     if cypress_obs::enabled() {
                         obs().tasks_run.inc();
                     }

@@ -100,6 +100,10 @@ pub enum SectionKind {
     MergedCtt,
     /// One rank's `Ctt` in codec bytes (rank-scoped).
     RankCtt,
+    /// Compact telemetry summary of how the job was produced (free-form
+    /// codec payload; see the umbrella crate). Optional trailing section —
+    /// readers that don't understand it skip it by frame.
+    Telemetry,
 }
 
 impl SectionKind {
@@ -109,6 +113,7 @@ impl SectionKind {
             SectionKind::CstText => 1,
             SectionKind::MergedCtt => 2,
             SectionKind::RankCtt => 3,
+            SectionKind::Telemetry => 4,
         }
     }
 
@@ -118,6 +123,7 @@ impl SectionKind {
             1 => SectionKind::CstText,
             2 => SectionKind::MergedCtt,
             3 => SectionKind::RankCtt,
+            4 => SectionKind::Telemetry,
             _ => return None,
         })
     }
@@ -128,6 +134,7 @@ impl SectionKind {
             SectionKind::CstText => "cst-text",
             SectionKind::MergedCtt => "merged-ctt",
             SectionKind::RankCtt => "rank-ctt",
+            SectionKind::Telemetry => "telemetry",
         }
     }
 }
@@ -475,6 +482,8 @@ impl EncodedSection {
 /// sequential encodes are byte-identical.
 pub fn encode_section(s: &Section, level: Option<Level>) -> EncodedSection {
     let _span = cypress_obs::enabled().then(|| obs().section_encode_ns.start_span());
+    let mut t = cypress_obs::trace_span("encode", "section");
+    t.set_arg(s.payload.len() as u64);
     if let Some(level) = level {
         if s.payload.len() >= MIN_COMPRESS_LEN {
             let z = deflate(&s.payload, level);

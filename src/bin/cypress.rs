@@ -15,10 +15,12 @@
 //! cypress query FILE                          compressed-domain analysis of a .cytc
 //!   [--hotspots N] [--strategy auto|symbolic|expand]
 //! cypress stats <prog.mpi> -n P               op histogram + communication matrix
+//! cypress stats --connect ADDR [--json]       poll a collector's live telemetry
 //! cypress simulate <prog.mpi> -n P            measured vs predicted LogGP times
 //! cypress serve --listen ADDR --out FILE      collector daemon: accept rank
 //!   [--per-rank] [--timeout S]                submissions, merge incrementally,
-//!                                             write a .cytc container
+//!   [--stats-addr ADDR]                       write a .cytc container; optionally
+//!                                             serve live stats on a second endpoint
 //! cypress submit <prog.mpi> --rank R -n P     run one rank and stream its trace
 //!   --connect ADDR [--mode stream|ctt]        to a collector (with retry/backoff)
 //! ```
@@ -34,7 +36,9 @@ use cypress::core::{
 use cypress::cst::{analyze_program, Cst, StaticInfo};
 use cypress::deflate::Level as ZLevel;
 use cypress::minilang::{check_program, parse, Program};
-use cypress::net::{submit_ctt, submit_stream, Addr, ClientConfig, Collector, CollectorConfig};
+use cypress::net::{
+    fetch_stats, submit_ctt, submit_stream, Addr, ClientConfig, Collector, CollectorConfig,
+};
 use cypress::query::{query_container_path, QueryOptions, Strategy};
 use cypress::runtime::{run_rank_with_sink, trace_program_parallel, InterpConfig};
 use cypress::simmpi::{from_raw_traces, simulate, LogGp, SimOp};
@@ -56,11 +60,36 @@ fn main() {
     } else {
         false
     };
+    let trace_out = match args.iter().position(|a| a == "--trace-out") {
+        Some(i) if i + 1 < args.len() => {
+            let path = args.remove(i + 1);
+            args.remove(i);
+            Some(path)
+        }
+        Some(_) => {
+            eprintln!("--trace-out needs a file argument");
+            exit(2);
+        }
+        None => None,
+    };
+    let profile = if let Some(i) = args.iter().position(|a| a == "--profile") {
+        args.remove(i);
+        true
+    } else {
+        false
+    };
+    if trace_out.is_some() || profile {
+        cypress::obs::set_trace_enabled(true);
+    }
     let Some(cmd) = args.first() else {
         usage();
         exit(2);
     };
     let rest = &args[1..];
+    // Root span for the whole command; the stage profiler attributes its
+    // wall time across parse/ingest/merge/encode/io (inert when tracing
+    // is off).
+    let root = cypress::obs::trace_span("cli", "total");
     let result = match cmd.as_str() {
         "cst" => cmd_cst(rest),
         "trace" => cmd_trace(rest),
@@ -83,6 +112,27 @@ fn main() {
             exit(2);
         }
     };
+    drop(root);
+    if trace_out.is_some() || profile {
+        let dump = cypress::obs::trace_drain();
+        if let Some(path) = &trace_out {
+            match fs::write(path, dump.to_chrome_json()) {
+                Ok(()) => eprintln!(
+                    "trace written to {path} ({} events{}) — load in Perfetto or chrome://tracing",
+                    dump.events.len(),
+                    if dump.dropped > 0 {
+                        format!(", {} dropped", dump.dropped)
+                    } else {
+                        String::new()
+                    }
+                ),
+                Err(e) => eprintln!("warning: could not write {path}: {e}"),
+            }
+        }
+        if profile {
+            println!("\n== profile ==\n{}", dump.profile("total").to_text());
+        }
+    }
     if metrics {
         emit_metrics();
     }
@@ -121,9 +171,11 @@ USAGE:
   cypress inspect <file>
   cypress query <file> [--hotspots <n>] [--strategy auto|symbolic|expand]
   cypress stats <prog.mpi> -n <procs>
+  cypress stats --connect <addr> [--json]
   cypress simulate <prog.mpi> -n <procs>
   cypress serve --listen <addr> --out <file> [--per-rank] [--timeout <secs>]
                [--workers <n>] [--level fast|default|best] [--threads <n>]
+               [--stats-addr <addr>]
   cypress submit <prog.mpi> --rank <r> -n <procs> --connect <addr>
                [--mode stream|ctt] [--attempts <n>] [--level <l>|none]
 
@@ -140,6 +192,15 @@ OPTIONS:
                CTT in O(|CTT|)), expand (always stream-decompress)
   --metrics    collect pipeline metrics; print a report and append
                results/metrics.jsonl on exit
+  --trace-out  record a structured timeline and write Chrome trace-event
+               JSON (Perfetto / chrome://tracing) to this file on exit;
+               compress --stream also embeds a telemetry section
+  --profile    print a per-stage wall-time attribution table on exit
+               (implies tracing; combine with --trace-out to keep the
+               timeline too)
+  --stats-addr serve: answer `cypress stats --connect` on this second
+               endpoint with live per-client collection telemetry
+  --json       stats --connect: machine-readable output
   --listen     collector address: host:port (host:0 = ephemeral) or unix:<path>
   --connect    collector address to submit to (same syntax as --listen)
   --timeout    serve: fail listing missing ranks after this many seconds
@@ -309,18 +370,42 @@ fn cmd_compress(args: &[String]) -> CliResult {
 /// Streaming compression: every rank feeds a session online (the raw trace
 /// never materializes) and the result persists as a versioned container.
 fn cmd_compress_stream(args: &[String], out: &str) -> CliResult {
+    let t0 = cypress::obs::trace_now_ns();
     let (_, src) = read_source(args)?;
     let n = nprocs_of(args)?;
+    let threads = threads_of(args)?;
     let mut pipe = Pipeline::new(src)
         .ranks(n)
         .level(level_of(args)?.unwrap_or(None));
-    if let Some(t) = threads_of(args)? {
+    if let Some(t) = threads {
         pipe = pipe.threads(t);
     }
     let mut job = pipe.run()?;
     let events: u64 = job.stats.iter().map(|s| s.events).sum();
     let peak = job.peak_ctt_bytes();
-    job.write_container(out, has_flag(args, "--per-rank"))?;
+    job.merge();
+    // When the run traces itself, roll the compute phases (parse → merge)
+    // into a compact summary and persist it as a trailing section; the
+    // final encode/io spans still land in the full --trace-out timeline.
+    let telemetry = if cypress::obs::trace_enabled() {
+        let wall = cypress::obs::trace_now_ns().saturating_sub(t0);
+        cypress::obs::trace_complete("cli", "compress", t0, wall, events);
+        let p = cypress::obs::trace_snapshot().profile("compress");
+        let threads = threads.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|t| t.get())
+                .unwrap_or(4)
+        });
+        Some(cypress::TelemetrySummary::from_profile(
+            &p,
+            n,
+            threads as u32,
+            job.total_events(),
+        ))
+    } else {
+        None
+    };
+    job.write_container_with(out, has_flag(args, "--per-rank"), telemetry.as_ref())?;
     let written = fs::metadata(out).map(|m| m.len()).unwrap_or(0);
     println!("streamed {events} events across {n} ranks; peak resident CTT {peak} B/rank");
     println!(
@@ -446,6 +531,12 @@ fn cmd_inspect(args: &[String]) -> CliResult {
             merged.group_count()
         );
     }
+    if let Some(s) = c.find(SectionKind::Telemetry) {
+        match cypress::TelemetrySummary::from_bytes(&s.payload) {
+            Ok(t) => print!("{}", t.to_text()),
+            Err(e) => println!("telemetry section unreadable: {e}"),
+        }
+    }
     if raw_bytes > 0 && file_bytes > 0 {
         println!(
             "compression ratio: {:.1}x (raw {} B / container {} B)",
@@ -495,6 +586,18 @@ fn cmd_query(args: &[String]) -> CliResult {
 }
 
 fn cmd_stats(args: &[String]) -> CliResult {
+    // `stats --connect ADDR` polls a running collector's live telemetry
+    // endpoint instead of profiling a local program.
+    if let Some(connect) = flag(args, "--connect") {
+        let addr = Addr::parse(&connect)?;
+        let stats = fetch_stats(&addr, std::time::Duration::from_secs(5))?;
+        if has_flag(args, "--json") {
+            println!("{}", stats.to_json());
+        } else {
+            print!("{}", stats.to_text());
+        }
+        return Ok(());
+    }
     let (_, _, traces) = run_traces(args)?;
     print!("{}", cypress::trace::Profile::from_traces(&traces).report());
     let m = CommMatrix::from_traces(&traces);
@@ -547,7 +650,11 @@ fn cmd_serve(args: &[String]) -> CliResult {
             .min(8)
     });
 
-    let collector = Collector::bind(&addr)?;
+    let mut collector = Collector::bind(&addr)?;
+    if let Some(sa) = flag(args, "--stats-addr") {
+        let resolved = collector.bind_stats(&Addr::parse(&sa)?)?;
+        eprintln!("cypress collector stats endpoint on {resolved} (poll with `cypress stats --connect {resolved}`)");
+    }
     eprintln!(
         "cypress collector listening on {} (job size set by the first client)",
         collector.local_addr()?

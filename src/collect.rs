@@ -75,6 +75,7 @@ pub fn loaded_from_collected(job: CollectedJob) -> LoadedJob {
         cst: job.cst,
         merged: Some(job.merged),
         rank_ctts: job.rank_ctts,
+        telemetry: None,
     }
 }
 

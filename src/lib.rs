@@ -30,12 +30,14 @@ pub mod collect;
 pub mod compat;
 pub mod error;
 pub mod pipeline;
+pub mod telemetry;
 
 pub use collect::{
     loaded_from_collected, write_collected_container, write_collected_container_with,
 };
 pub use error::{Error, Result};
 pub use pipeline::{read_container, CompressedJob, LoadedJob, MetaInfo, Pipeline};
+pub use telemetry::{StageSummary, TelemetrySummary, TELEMETRY_VERSION};
 
 pub use cypress_baselines as baselines;
 pub use cypress_core as core;

@@ -83,6 +83,8 @@ pub(crate) fn encode_container_parallel(
 ) -> std::result::Result<Vec<u8>, ContainerError> {
     c.check_no_empty_sections()?;
     let _span = obs().encode_ns.start_span();
+    let mut _t = cypress_obs::trace_span("encode", "container");
+    _t.set_arg(c.sections.len() as u64);
     let encoded: Vec<EncodedSection> = if level.is_some() && threads > 1 && c.sections.len() > 1 {
         run_ranks(c.sections.len() as u32, threads, |i| {
             encode_section(&c.sections[i as usize], level)
@@ -106,6 +108,8 @@ pub(crate) fn write_container_parallel(
 ) -> std::result::Result<(), ContainerError> {
     let image = encode_container_parallel(c, level, threads)?;
     let _span = obs().io_ns.start_span();
+    let mut _t = cypress_obs::trace_span("io", "write_container");
+    _t.set_arg(image.len() as u64);
     Container::write_image(path, &image)
 }
 
@@ -191,13 +195,23 @@ impl Pipeline {
         if self.nprocs == 0 {
             return Err(Error::Invalid("pipeline needs at least 1 rank".into()));
         }
-        let prog = parse(&self.source)?;
-        check_program(&prog)?;
-        let info = analyze_program(&prog);
+        let (prog, info) = {
+            let _t = cypress_obs::trace_span("parse", "analyze");
+            let prog = parse(&self.source)?;
+            check_program(&prog)?;
+            let info = analyze_program(&prog);
+            (prog, info)
+        };
 
         let _ingest = obs().ingest_ns.start_span();
+        let mut _ingest_t = cypress_obs::trace_span("ingest", "run_ranks");
+        _ingest_t.set_arg(self.nprocs as u64);
         let (ctts, stats) = if self.streaming {
             let per_rank = run_ranks(self.nprocs, self.threads, |rank| {
+                // Rank span on the worker thread: the session's synthetic
+                // complete event nests inside it, splitting interpreter
+                // time from compression time in the profile.
+                let _t = cypress_obs::trace_span("interp", "rank");
                 let mut session = CompressSession::new(
                     &info.cst,
                     rank,
@@ -233,6 +247,7 @@ impl Pipeline {
             (ctts, Vec::new())
         };
 
+        drop(_ingest_t);
         drop(_ingest);
 
         Ok(CompressedJob {
@@ -270,6 +285,8 @@ impl CompressedJob {
     pub fn merge(&mut self) -> &MergedCtt {
         if self.merged.is_none() {
             let _span = obs().merge_ns.start_span();
+            let mut _t = cypress_obs::trace_span("merge", "merge_parallel");
+            _t.set_arg(self.ctts.len() as u64);
             self.merged = Some(merge_all_parallel(&self.ctts, self.threads));
         }
         self.merged.as_ref().expect("just populated")
@@ -325,6 +342,19 @@ impl CompressedJob {
     /// the merged CTT, and (when `per_rank` is set) every rank's CTT as its
     /// own CRC-framed section. Merges first if not already merged.
     pub fn write_container(&mut self, path: impl AsRef<Path>, per_rank: bool) -> Result<()> {
+        self.write_container_with(path, per_rank, None)
+    }
+
+    /// [`CompressedJob::write_container`] with an optional telemetry
+    /// summary persisted as a trailing [`SectionKind::Telemetry`] section
+    /// (see [`crate::telemetry`]), so `cypress inspect` can report how the
+    /// job was produced.
+    pub fn write_container_with(
+        &mut self,
+        path: impl AsRef<Path>,
+        per_rank: bool,
+        telemetry: Option<&crate::telemetry::TelemetrySummary>,
+    ) -> Result<()> {
         self.merge();
         let mut c = Container::new(self.nprocs);
         c.push(
@@ -346,6 +376,9 @@ impl CompressedJob {
             for ctt in &self.ctts {
                 c.push(SectionKind::RankCtt, Some(ctt.rank), ctt.to_bytes());
             }
+        }
+        if let Some(t) = telemetry {
+            c.push(SectionKind::Telemetry, None, t.to_bytes());
         }
         write_container_parallel(&c, path.as_ref(), self.level, self.threads)?;
         Ok(())
@@ -414,6 +447,9 @@ pub struct LoadedJob {
     pub merged: Option<MergedCtt>,
     /// Rank-scoped CTT sections, in file order.
     pub rank_ctts: Vec<Ctt>,
+    /// How the job was produced, when the writer traced itself
+    /// (`cypress compress --trace-out`); absent otherwise.
+    pub telemetry: Option<crate::telemetry::TelemetrySummary>,
 }
 
 impl LoadedJob {
@@ -484,6 +520,10 @@ pub fn read_container(path: impl AsRef<Path>) -> Result<LoadedJob> {
         .rank_sections()
         .map(|s| Ctt::from_bytes(&s.payload))
         .collect::<std::result::Result<Vec<_>, _>>()?;
+    let telemetry = match c.find(SectionKind::Telemetry) {
+        Some(s) => Some(crate::telemetry::TelemetrySummary::from_bytes(&s.payload)?),
+        None => None,
+    };
 
     Ok(LoadedJob {
         nprocs: c.nprocs,
@@ -491,6 +531,7 @@ pub fn read_container(path: impl AsRef<Path>) -> Result<LoadedJob> {
         cst,
         merged,
         rank_ctts,
+        telemetry,
     })
 }
 

@@ -1,0 +1,244 @@
+//! Compact per-job telemetry persisted inside a `.cytc` container.
+//!
+//! A traced compression run (`cypress compress --trace-out …`) rolls its
+//! [`StageProfile`](cypress_obs::StageProfile) up into a
+//! [`TelemetrySummary`] and stores it as a trailing
+//! [`SectionKind::Telemetry`](cypress_trace::SectionKind) section, so
+//! `cypress inspect` can report *how the job was produced* — wall time,
+//! stage attribution, dropped trace events — long after the run, without
+//! the full timeline JSON. The section is optional: untraced runs write
+//! containers without it, and readers ignore its absence.
+//!
+//! The payload is self-versioned like the net-layer `Stats` frame: the
+//! first byte is [`TELEMETRY_VERSION`], and future fields only append, so
+//! older readers keep working on newer containers.
+
+use crate::error::{Error, Result};
+use cypress_obs::StageProfile;
+use cypress_trace::{Decoder, Encoder};
+
+/// Version of the telemetry payload this build writes.
+pub const TELEMETRY_VERSION: u8 = 1;
+
+/// Upper bound on the stage-row count in a decoded payload; rejects absurd
+/// length prefixes before allocation.
+const MAX_STAGES: u64 = 4096;
+
+/// Exclusive time attributed to one pipeline stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageSummary {
+    /// Stage label (`"ingest"`, `"merge"`, `"interp"`, `"(untraced)"`, …).
+    pub name: String,
+    /// Exclusive wall ns on the driving thread (0 for worker-only stages).
+    pub wall_ns: u64,
+    /// Exclusive ns summed across all threads.
+    pub cpu_ns: u64,
+    /// Complete spans contributing.
+    pub spans: u64,
+}
+
+/// How a compression job was produced: wall time, parallelism, and the
+/// stage attribution table, compact enough to ride inside the container.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetrySummary {
+    /// Payload version ([`TELEMETRY_VERSION`] here).
+    pub version: u8,
+    /// End-to-end wall time of the traced region (parse → merge), ns.
+    pub wall_ns: u64,
+    /// MPI events the job traced.
+    pub events: u64,
+    pub nprocs: u32,
+    /// Worker-pool width the job ran with.
+    pub threads: u32,
+    /// Timeline events lost to ring overflow (attribution is partial if
+    /// nonzero).
+    pub dropped_events: u64,
+    /// Per-stage exclusive attribution, descending by wall time.
+    pub stages: Vec<StageSummary>,
+}
+
+impl TelemetrySummary {
+    /// Roll a stage profile up into the persistable summary.
+    pub fn from_profile(
+        profile: &StageProfile,
+        nprocs: u32,
+        threads: u32,
+        events: u64,
+    ) -> TelemetrySummary {
+        TelemetrySummary {
+            version: TELEMETRY_VERSION,
+            wall_ns: profile.total_ns,
+            events,
+            nprocs,
+            threads,
+            dropped_events: profile.dropped,
+            stages: profile
+                .stages
+                .iter()
+                .map(|s| StageSummary {
+                    name: s.stage.clone(),
+                    wall_ns: s.wall_ns,
+                    cpu_ns: s.cpu_ns,
+                    spans: s.spans,
+                })
+                .collect(),
+        }
+    }
+
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.put_u8(self.version);
+        enc.put_uvar(self.wall_ns);
+        enc.put_uvar(self.events);
+        enc.put_uvar(self.nprocs as u64);
+        enc.put_uvar(self.threads as u64);
+        enc.put_uvar(self.dropped_events);
+        enc.put_uvar(self.stages.len() as u64);
+        for s in &self.stages {
+            enc.put_str(&s.name);
+            enc.put_uvar(s.wall_ns);
+            enc.put_uvar(s.cpu_ns);
+            enc.put_uvar(s.spans);
+        }
+        enc.finish()
+    }
+
+    /// Decode a payload. Accepts any version ≥ 1 (newer writers only append
+    /// fields, which are left unread); rejects version 0.
+    pub fn from_bytes(bytes: &[u8]) -> Result<TelemetrySummary> {
+        let mut dec = Decoder::new(bytes);
+        let version = dec.get_u8()?;
+        if version == 0 {
+            return Err(Error::Invalid("telemetry payload version 0".into()));
+        }
+        let wall_ns = dec.get_uvar()?;
+        let events = dec.get_uvar()?;
+        let nprocs = dec.get_uvar()? as u32;
+        let threads = dec.get_uvar()? as u32;
+        let dropped_events = dec.get_uvar()?;
+        let nstages = dec.get_uvar()?;
+        if nstages > MAX_STAGES {
+            return Err(Error::Invalid(format!(
+                "telemetry claims {nstages} stage rows"
+            )));
+        }
+        let mut stages = Vec::with_capacity(nstages as usize);
+        for _ in 0..nstages {
+            stages.push(StageSummary {
+                name: dec.get_str()?,
+                wall_ns: dec.get_uvar()?,
+                cpu_ns: dec.get_uvar()?,
+                spans: dec.get_uvar()?,
+            });
+        }
+        Ok(TelemetrySummary {
+            version,
+            wall_ns,
+            events,
+            nprocs,
+            threads,
+            dropped_events,
+            stages,
+        })
+    }
+
+    /// Human-readable rendering for `cypress inspect`.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "telemetry (v{}): {} events across {} ranks in {:.3} ms wall, {} thread(s)\n",
+            self.version,
+            self.events,
+            self.nprocs,
+            self.wall_ns as f64 / 1e6,
+            self.threads
+        ));
+        if self.dropped_events > 0 {
+            out.push_str(&format!(
+                "  {} trace events dropped (attribution is partial)\n",
+                self.dropped_events
+            ));
+        }
+        for s in &self.stages {
+            let pct = if self.wall_ns == 0 {
+                0.0
+            } else {
+                s.wall_ns as f64 / self.wall_ns as f64 * 100.0
+            };
+            out.push_str(&format!(
+                "  {:<12} wall {:>10.3} ms ({:>5.1}%)  cpu {:>10.3} ms  {} span(s)\n",
+                s.name,
+                s.wall_ns as f64 / 1e6,
+                pct,
+                s.cpu_ns as f64 / 1e6,
+                s.spans
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TelemetrySummary {
+        TelemetrySummary {
+            version: TELEMETRY_VERSION,
+            wall_ns: 12_345_678,
+            events: 40_000,
+            nprocs: 8,
+            threads: 4,
+            dropped_events: 0,
+            stages: vec![
+                StageSummary {
+                    name: "ingest".into(),
+                    wall_ns: 9_000_000,
+                    cpu_ns: 30_000_000,
+                    spans: 1,
+                },
+                StageSummary {
+                    name: "merge".into(),
+                    wall_ns: 2_000_000,
+                    cpu_ns: 2_000_000,
+                    spans: 1,
+                },
+                StageSummary {
+                    name: "(untraced)".into(),
+                    wall_ns: 1_345_678,
+                    cpu_ns: 1_345_678,
+                    spans: 1,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn telemetry_round_trip() {
+        let t = sample();
+        let got = TelemetrySummary::from_bytes(&t.to_bytes()).unwrap();
+        assert_eq!(got, t);
+    }
+
+    #[test]
+    fn version_zero_rejected_and_appended_fields_tolerated() {
+        let mut t = sample();
+        t.version = 0;
+        assert!(TelemetrySummary::from_bytes(&t.to_bytes()).is_err());
+
+        t.version = TELEMETRY_VERSION + 1;
+        let mut bytes = t.to_bytes();
+        bytes.push(0x2a); // a field from the future
+        let got = TelemetrySummary::from_bytes(&bytes).unwrap();
+        assert_eq!(got.stages.len(), 3);
+        assert_eq!(got.events, 40_000);
+    }
+
+    #[test]
+    fn text_render_names_stages() {
+        let text = sample().to_text();
+        assert!(text.contains("40000 events across 8 ranks"));
+        assert!(text.contains("ingest"));
+        assert!(text.contains("(untraced)"));
+    }
+}

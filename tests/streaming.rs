@@ -129,6 +129,7 @@ fn per_rank_sections_agree_with_merged_extraction() {
             cst: loaded.cst.clone(),
             merged: loaded.merged.clone(),
             rank_ctts: Vec::new(),
+            telemetry: None,
         };
         let via_merged = merged_only.decompress(rank).unwrap();
         assert_eq!(strip_replay(&via_section), strip_replay(&via_merged));

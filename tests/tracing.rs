@@ -1,0 +1,337 @@
+//! Golden test for the structured-tracing export: a traced compression run
+//! must produce Chrome trace-event JSON that actually parses, contains
+//! `Complete` spans, and keeps per-thread timestamps monotonic — the three
+//! properties Perfetto / `chrome://tracing` rely on to render a timeline.
+//!
+//! The repo is std-only, so the test carries its own minimal recursive-
+//! descent JSON parser rather than depending on serde.
+
+use cypress::Pipeline;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value + parser (objects, arrays, strings, f64 numbers,
+// booleans, null). Strict enough to reject the usual export bugs: trailing
+// commas, unterminated strings, bare words.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, PartialEq)]
+enum Json {
+    Obj(Vec<(String, Json)>),
+    Arr(Vec<Json>),
+    Str(String),
+    Num(f64),
+    Bool(bool),
+    Null,
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn parse(text: &'a str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at offset {}, found {:?}",
+                c as char,
+                self.pos,
+                self.peek().map(|b| b as char)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {:?} at offset {}", other, self.pos)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at offset {}", self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                other => return Err(format!("bad object separator {other:?}")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("bad array separator {other:?}")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while self.peek().is_some_and(|c| c != b'"' && c != b'\\') {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|e| e.to_string())?,
+                    );
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self.peek().is_some_and(|c| {
+            c.is_ascii_digit() || c == b'.' || c == b'e' || c == b'E' || c == b'+' || c == b'-'
+        }) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| e.to_string())?
+            .parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number at offset {start}: {e}"))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The golden test proper.
+// ---------------------------------------------------------------------------
+
+const SRC: &str = r#"fn main() {
+    for it in 0..64 {
+        let up = isend((rank() + 1) % size(), 128, 3);
+        let dn = irecv((rank() + size() - 1) % size(), 128, 3);
+        waitall(up, dn);
+        allreduce(32);
+    }
+}"#;
+
+#[test]
+fn traced_compress_run_exports_valid_chrome_trace() {
+    let _guard = cypress::obs::test_mutex().lock().unwrap();
+    cypress::obs::trace_reset();
+    cypress::obs::set_trace_enabled(true);
+
+    let mut job = {
+        let _root = cypress::obs::trace_span("cli", "total");
+        Pipeline::new(SRC).ranks(4).run().unwrap()
+    };
+    job.merge();
+
+    cypress::obs::set_trace_enabled(false);
+    let dump = cypress::obs::trace_drain();
+    assert_eq!(dump.dropped, 0, "ring overflow in a 64-iteration run");
+    let text = dump.to_chrome_json();
+
+    let doc = Parser::parse(&text).expect("trace export must be valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    // Every event carries the Chrome-required fields; Complete spans also
+    // carry a duration.
+    let mut complete = 0usize;
+    let mut by_tid: Vec<(f64, f64)> = Vec::new(); // (tid, ts) in arrival order
+    for e in events {
+        let ph = e.get("ph").and_then(Json::as_str).expect("ph");
+        let ts = e.get("ts").and_then(Json::as_num).expect("ts");
+        let tid = e.get("tid").and_then(Json::as_num).expect("tid");
+        assert!(e.get("name").and_then(Json::as_str).is_some());
+        assert!(e.get("cat").and_then(Json::as_str).is_some());
+        if ph == "X" {
+            complete += 1;
+            assert!(e.get("dur").and_then(Json::as_num).is_some(), "X needs dur");
+        }
+        by_tid.push((tid, ts));
+    }
+    assert!(complete > 0, "a traced run must emit Complete spans");
+
+    // Per-thread timestamps must be non-decreasing in export order — the
+    // drain sorts by (tid, ts), and viewers assume it.
+    let mut tids: Vec<u64> = by_tid.iter().map(|(t, _)| *t as u64).collect();
+    tids.dedup();
+    let mut sorted = tids.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(tids.len(), sorted.len(), "events not grouped by tid");
+    for w in by_tid.windows(2) {
+        if w[0].0 == w[1].0 {
+            assert!(w[0].1 <= w[1].1, "timestamps regress within tid {}", w[0].0);
+        }
+    }
+
+    // The ingest work shows up attributed: the profile sees the pipeline's
+    // stage spans under the root.
+    let profile = dump.profile("total");
+    assert!(profile.total_ns > 0);
+    assert!(profile.wall_of("ingest") > 0, "ingest stage missing");
+
+    // droppedEvents metadata survives the round trip.
+    let dropped = doc
+        .get("otherData")
+        .and_then(|o| o.get("droppedEvents"))
+        .and_then(Json::as_num)
+        .expect("otherData.droppedEvents");
+    assert_eq!(dropped, 0.0);
+    cypress::obs::trace_reset();
+}
+
+#[test]
+fn parser_rejects_malformed_json() {
+    for bad in [
+        "{\"a\":1,}",
+        "[1 2]",
+        "{\"a\" 1}",
+        "\"unterminated",
+        "{\"a\":tru}",
+        "",
+    ] {
+        assert!(Parser::parse(bad).is_err(), "accepted {bad:?}");
+    }
+    let ok = Parser::parse("{\"a\":[1,2.5,-3e2],\"b\":null,\"c\":true}").unwrap();
+    assert_eq!(ok.get("a").and_then(Json::as_arr).unwrap().len(), 3);
+}
