@@ -11,16 +11,22 @@
 //!   realistic corpus (a container image), plus the achieved ratio.
 //! * **end_to_end** — wall time of the whole streaming pipeline (run +
 //!   merge + leveled parallel container write) per workload.
+//! * **e2e_ingest** — generation + compression events/sec, sequential
+//!   (interpreter and session in lockstep) vs pipelined (SPSC rings +
+//!   consumer thread) at 8 workers, with CTT byte-identity asserted. The
+//!   pipelined win is concurrency between generation and compression, so it
+//!   scales with physical cores; on a single-core host the two series are
+//!   expected to tie (the ring only adds hand-off cost it then wins back).
 //!
 //! Throughput figures (`*_events_per_sec`, `mb_per_sec`, `batch_speedup`)
 //! are min-over-samples — the repo-wide convention for noise-resistant
 //! comparisons — while the `*_ns` fields report the mean. The perf gate in
 //! `scripts/check.sh` diffs the min-derived series.
 //!
-//! JSON schema (`bench_hotpath/v1`):
+//! JSON schema (`bench_hotpath/v2`):
 //!
 //! ```json
-//! { "schema": "bench_hotpath/v1",
+//! { "schema": "bench_hotpath/v2",
 //!   "ingest": [ { "name": "...", "nprocs": 8, "events": 123,
 //!     "push_ns": 1.0, "batch_ns": 1.0,
 //!     "push_events_per_sec": 1.0e6, "batch_events_per_sec": 1.5e6,
@@ -29,7 +35,11 @@
 //!     "mb_per_sec": 100.0, "ratio": 3.0 } ],
 //!   "fast_vs_default_mbps": 2.5,
 //!   "end_to_end": [ { "name": "...", "nprocs": 8, "wall_ns": 1.0,
-//!     "events_per_sec": 1.0e6 } ] }
+//!     "events_per_sec": 1.0e6 } ],
+//!   "e2e_ingest": [ { "name": "...", "nprocs": 8, "events": 123,
+//!     "seq_ns": 1.0, "pipe_ns": 1.0,
+//!     "seq_events_per_sec": 1.0e6, "pipe_events_per_sec": 1.0e6,
+//!     "pipe_speedup": 1.0, "identical_ctt_bytes": true } ] }
 //! ```
 
 use cypress_bench::harness;
@@ -37,7 +47,10 @@ use cypress_core::{
     compress_trace, merge_all, merge_all_parallel, CompressConfig, CompressSession, SessionConfig,
 };
 use cypress_deflate::{deflate, Level};
-use cypress_runtime::{run_rank_with_sink, run_ranks, InterpConfig};
+use cypress_runtime::{
+    run_rank_with_sink, run_ranks, run_ranks_pipelined, InterpConfig, DEFAULT_BATCH_EVENTS,
+    DEFAULT_RING_CAPACITY,
+};
 use cypress_trace::codec::Codec;
 use cypress_trace::{assemble, encode_section, Container, SectionKind};
 use cypress_workloads::{by_name, quick_procs, Scale};
@@ -238,6 +251,86 @@ fn bench_end_to_end(name: &str, dir: &std::path::Path) -> EndToEndRow {
     }
 }
 
+struct E2eIngestRow {
+    name: String,
+    nprocs: u32,
+    events: u64,
+    seq_ns: f64,
+    pipe_ns: f64,
+    seq_min_ns: f64,
+    pipe_min_ns: f64,
+    identical: bool,
+}
+
+/// Generation + compression, sequential vs pipelined, both at 8 workers —
+/// the interpreter→session boundary is the only difference between the two
+/// runs, so the ratio isolates what the SPSC rings buy (or cost).
+fn bench_e2e_ingest(name: &str) -> E2eIngestRow {
+    let nprocs = quick_procs(name);
+    let w = by_name(name, nprocs, Scale::Quick).unwrap();
+    let (prog, info) = w.compile();
+    let icfg = InterpConfig::default();
+    let ccfg = CompressConfig::default();
+    let pool = 8;
+    let events = std::cell::Cell::new(0u64);
+
+    let run_seq = || {
+        let per_rank = run_ranks(nprocs, pool, |rank| {
+            let mut s = CompressSession::new(
+                &info.cst,
+                rank,
+                nprocs,
+                ccfg.clone(),
+                SessionConfig::default(),
+            );
+            let app_time = run_rank_with_sink(&prog, &info, rank, nprocs, &icfg, &mut s)
+                .expect("workload rank failed");
+            s.finish(app_time)
+        });
+        events.set(per_rank.iter().map(|(_, st)| st.events).sum());
+        per_rank.into_iter().map(|(ctt, _)| ctt).collect::<Vec<_>>()
+    };
+    let run_pipe = || {
+        run_ranks_pipelined(
+            nprocs,
+            pool,
+            DEFAULT_RING_CAPACITY,
+            DEFAULT_BATCH_EVENTS,
+            |rank, sink| run_rank_with_sink(&prog, &info, rank, nprocs, &icfg, sink),
+            |rank| {
+                CompressSession::new(
+                    &info.cst,
+                    rank,
+                    nprocs,
+                    ccfg.clone(),
+                    SessionConfig::default(),
+                )
+            },
+            |s, batch| s.push_batch(batch),
+            |s, app_time| s.finish(app_time).0,
+        )
+        .expect("pipelined run failed")
+    };
+
+    let a = run_seq();
+    let b = run_pipe();
+    let identical =
+        a.len() == b.len() && a.iter().zip(&b).all(|(x, y)| x.to_bytes() == y.to_bytes());
+
+    let seq = harness::run(&format!("hotpath/e2e_ingest/{name}/sequential"), run_seq);
+    let pipe = harness::run(&format!("hotpath/e2e_ingest/{name}/pipelined"), run_pipe);
+    E2eIngestRow {
+        name: name.to_owned(),
+        nprocs,
+        events: events.get(),
+        seq_ns: seq.mean_ns,
+        pipe_ns: pipe.mean_ns,
+        seq_min_ns: seq.min_ns,
+        pipe_min_ns: pipe.min_ns,
+        identical,
+    }
+}
+
 fn main() {
     let names: &[&str] = if fast_mode() {
         &["jacobi", "cg", "mg"]
@@ -252,6 +345,7 @@ fn main() {
     std::fs::create_dir_all(&dir).expect("mkdir");
     let e2e: Vec<EndToEndRow> = names.iter().map(|n| bench_end_to_end(n, &dir)).collect();
     let _ = std::fs::remove_dir_all(&dir);
+    let e2e_ingest: Vec<E2eIngestRow> = names.iter().map(|n| bench_e2e_ingest(n)).collect();
 
     let mbps = |lvl: &str| {
         deflate_rows
@@ -262,7 +356,7 @@ fn main() {
     };
     let fast_vs_default = mbps("fast") / mbps("default").max(1e-9);
 
-    let mut json = String::from("{\"schema\":\"bench_hotpath/v1\",\"ingest\":[");
+    let mut json = String::from("{\"schema\":\"bench_hotpath/v2\",\"ingest\":[");
     for (i, r) in ingest.iter().enumerate() {
         if i > 0 {
             json.push(',');
@@ -311,6 +405,27 @@ fn main() {
             r.events as f64 / (r.min_ns / 1e9),
         ));
     }
+    json.push_str("],\"e2e_ingest\":[");
+    for (i, r) in e2e_ingest.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"name\":\"{}\",\"nprocs\":{},\"events\":{},\
+             \"seq_ns\":{:.1},\"pipe_ns\":{:.1},\
+             \"seq_events_per_sec\":{:.1},\"pipe_events_per_sec\":{:.1},\
+             \"pipe_speedup\":{:.4},\"identical_ctt_bytes\":{}}}",
+            r.name,
+            r.nprocs,
+            r.events,
+            r.seq_ns,
+            r.pipe_ns,
+            r.events as f64 / (r.seq_min_ns / 1e9),
+            r.events as f64 / (r.pipe_min_ns / 1e9),
+            r.seq_min_ns / r.pipe_min_ns.max(1.0),
+            r.identical,
+        ));
+    }
     json.push_str("]}\n");
 
     let results = std::env::var("CYPRESS_RESULTS_DIR")
@@ -327,5 +442,14 @@ fn main() {
     assert!(
         broken.is_empty(),
         "push and push_batch CTT encodings diverged for: {broken:?}"
+    );
+    let broken: Vec<_> = e2e_ingest
+        .iter()
+        .filter(|r| !r.identical)
+        .map(|r| r.name.as_str())
+        .collect();
+    assert!(
+        broken.is_empty(),
+        "pipelined and sequential CTT encodings diverged for: {broken:?}"
     );
 }

@@ -67,7 +67,7 @@ fn obs() -> &'static CompressorMetrics {
 }
 
 /// Compression knobs.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CompressConfig {
     /// How many trailing records per leaf to consider for merging. The paper
     /// compares with the last record only (window = 1); larger windows trade
@@ -116,7 +116,19 @@ pub struct IntraCompressor<'a> {
     pending_wild: Vec<PendingWild>,
     /// End timestamp of the previous traced operation (for compute gaps).
     prev_end: u64,
+    /// Adaptive fold-run credit for [`IntraCompressor::push_batch`]. Runs of
+    /// length ≥ 2 earn credit, length-1 runs spend it; at zero the batch path
+    /// stops scanning ahead (the scan is pure overhead on alternating-gid
+    /// streams like sp) and dispatches per event for a probe period before
+    /// trying runs again. Negative values count down the probe skip.
+    run_credit: i32,
 }
+
+/// Initial and ceiling values for the fold-run credit, and how many events
+/// the degraded mode dispatches per-event before re-probing for runs.
+const RUN_CREDIT_START: i32 = 16;
+const RUN_CREDIT_MAX: i32 = 64;
+const RUN_PROBE_SKIP: i32 = 64;
 
 struct PendingWild {
     vertex: usize,
@@ -159,6 +171,7 @@ impl<'a> IntraCompressor<'a> {
             stale_exits: vec![0; n],
             pending_wild: Vec::new(),
             prev_end: 0,
+            run_credit: RUN_CREDIT_START,
         }
     }
 
@@ -181,6 +194,18 @@ impl<'a> IntraCompressor<'a> {
         while i < evs.len() {
             match &evs[i] {
                 Event::Mpi(rec) if self.cfg.window <= 1 && Self::run_eligible(rec) => {
+                    if self.run_credit < 0 {
+                        // Degraded mode: the stream hasn't been forming runs,
+                        // so skip the look-ahead entirely and dispatch like
+                        // the per-event path until the probe counter expires.
+                        self.run_credit += 1;
+                        if self.run_credit == 0 {
+                            self.run_credit = RUN_CREDIT_START;
+                        }
+                        self.mpi(rec);
+                        i += 1;
+                        continue;
+                    }
                     let gid = rec.gid;
                     let mut j = i + 1;
                     while j < evs.len() {
@@ -189,7 +214,19 @@ impl<'a> IntraCompressor<'a> {
                             _ => break,
                         }
                     }
-                    self.mpi_run(&evs[i..j]);
+                    if j - i >= 2 {
+                        self.run_credit = (self.run_credit + 2).min(RUN_CREDIT_MAX);
+                        self.mpi_run(&evs[i..j]);
+                    } else {
+                        // A length-1 "run": the scan bought nothing. Spend
+                        // credit; on exhaustion switch to degraded mode for
+                        // the next RUN_PROBE_SKIP eligible records.
+                        self.run_credit -= 1;
+                        if self.run_credit == 0 {
+                            self.run_credit = -RUN_PROBE_SKIP;
+                        }
+                        self.mpi(rec);
+                    }
                     i = j;
                 }
                 ev => {

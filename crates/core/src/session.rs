@@ -25,7 +25,6 @@ use crate::compress::{CompressConfig, IntraCompressor};
 use crate::ctt::Ctt;
 use cypress_cst::Cst;
 use cypress_obs::{Counter, Gauge};
-use cypress_trace::codec::{Codec, Encoder};
 use cypress_trace::event::{Event, EventSink};
 use std::sync::OnceLock;
 
@@ -63,7 +62,7 @@ fn obs() -> &'static SessionMetrics {
 
 /// Streaming-session knobs (orthogonal to [`CompressConfig`], which shapes
 /// the compression itself).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SessionConfig {
     /// Sample the live CTT footprint every this many events. Sampling walks
     /// the vertex data (O(vertices)), so it is periodic rather than
@@ -124,7 +123,6 @@ pub struct CompressSession<'a> {
     inner: IntraCompressor<'a>,
     cfg: SessionConfig,
     stats: SessionStats,
-    raw_scratch: Encoder,
     /// Timeline-trace accumulator: first push timestamp and total ns spent
     /// inside the session (push/push_batch/checkpoint). The session's work
     /// interleaves with the interpreter on the same thread, so at finish we
@@ -150,7 +148,6 @@ impl<'a> CompressSession<'a> {
             inner: IntraCompressor::new(cst, rank, nprocs, compress),
             cfg,
             stats: SessionStats::default(),
-            raw_scratch: Encoder::new(),
             trace_first_ns: None,
             trace_accum_ns: 0,
         }
@@ -183,9 +180,9 @@ impl<'a> CompressSession<'a> {
         self.stats.events += 1;
         if let Event::Mpi(rec) = ev {
             self.stats.mpi_events += 1;
-            self.raw_scratch.clear();
-            rec.encode(&mut self.raw_scratch);
-            self.stats.raw_mpi_bytes += self.raw_scratch.len() as u64;
+            // Arithmetic varint sizing — the raw-trace numerator without
+            // serializing each record into a scratch buffer.
+            self.stats.raw_mpi_bytes += rec.encoded_len() as u64;
         }
         if self
             .stats
@@ -213,9 +210,7 @@ impl<'a> CompressSession<'a> {
             for ev in chunk {
                 if let Event::Mpi(rec) = ev {
                     self.stats.mpi_events += 1;
-                    self.raw_scratch.clear();
-                    rec.encode(&mut self.raw_scratch);
-                    self.stats.raw_mpi_bytes += self.raw_scratch.len() as u64;
+                    self.stats.raw_mpi_bytes += rec.encoded_len() as u64;
                 }
             }
             if self.stats.events.is_multiple_of(every) {
@@ -291,6 +286,10 @@ impl<'a> CompressSession<'a> {
 impl EventSink for CompressSession<'_> {
     fn event(&mut self, ev: Event) {
         self.push(&ev);
+    }
+
+    fn events(&mut self, evs: &[Event]) {
+        self.push_batch(evs);
     }
 }
 

@@ -57,7 +57,7 @@ pub type RunResult<T> = Result<T, RuntimeError>;
 pub use cypress_trace::event::EventSink;
 
 /// Interpreter configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InterpConfig {
     /// Hard budget on executed statements+expressions, to bound runaway
     /// `while` loops (important for randomly generated programs).

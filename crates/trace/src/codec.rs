@@ -92,6 +92,21 @@ impl Encoder {
     }
 }
 
+/// Encoded length in bytes of [`Encoder::put_uvar`]`(v)`, without encoding.
+/// Lets accounting paths (e.g. raw-size stats in sessions) compute sizes
+/// arithmetically instead of serializing into a scratch buffer.
+#[inline]
+pub fn uvar_len(v: u64) -> usize {
+    // ceil(bits/7); 1 byte minimum for v == 0.
+    (64 - (v | 1).leading_zeros() as usize).div_ceil(7)
+}
+
+/// Encoded length in bytes of [`Encoder::put_ivar`]`(v)`.
+#[inline]
+pub fn ivar_len(v: i64) -> usize {
+    uvar_len(zigzag(v))
+}
+
 /// Zigzag map i64 -> u64 (small magnitudes become small codes).
 pub fn zigzag(v: i64) -> u64 {
     ((v << 1) ^ (v >> 63)) as u64

@@ -316,11 +316,25 @@ impl Event {
 /// this directly so compression happens on-the-fly during execution.
 pub trait EventSink {
     fn event(&mut self, ev: Event);
+
+    /// Accept a batch at once. The default forwards event-by-event; sinks
+    /// with a cheaper bulk path (compression sessions, accumulating buffers)
+    /// override it. Must be observably identical to `n` calls of
+    /// [`EventSink::event`] in order.
+    fn events(&mut self, evs: &[Event]) {
+        for ev in evs {
+            self.event(ev.clone());
+        }
+    }
 }
 
 impl EventSink for Vec<Event> {
     fn event(&mut self, ev: Event) {
         self.push(ev);
+    }
+
+    fn events(&mut self, evs: &[Event]) {
+        self.extend_from_slice(evs);
     }
 }
 
@@ -330,6 +344,10 @@ impl EventSink for Vec<Event> {
 impl<S: EventSink + ?Sized> EventSink for &mut S {
     fn event(&mut self, ev: Event) {
         (**self).event(ev);
+    }
+
+    fn events(&mut self, evs: &[Event]) {
+        (**self).events(evs);
     }
 }
 

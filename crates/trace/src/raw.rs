@@ -5,8 +5,41 @@
 //! Fig. 15's "Gzip" series compresses, and the reference against which
 //! compression ratios are computed.
 
-use crate::codec::{Codec, DecodeError, DecodeResult, Decoder, Encoder};
+use crate::codec::{ivar_len, uvar_len, Codec, DecodeError, DecodeResult, Decoder, Encoder};
 use crate::event::{Event, MpiOp, MpiParams, MpiRecord};
+
+impl MpiParams {
+    /// Byte length of [`Codec::encode`] for these params, computed without
+    /// serializing — the hot-path replacement for encoding into a scratch
+    /// buffer just to measure raw trace size.
+    pub fn encoded_len(&self) -> usize {
+        ivar_len(self.dest)
+            + ivar_len(self.src)
+            + ivar_len(self.count)
+            + ivar_len(self.rcount)
+            + ivar_len(self.tag)
+            + ivar_len(self.rtag)
+            + ivar_len(self.root)
+            + ivar_len(self.comm)
+            + uvar_len(self.req_gids.len() as u64)
+            + self
+                .req_gids
+                .iter()
+                .map(|&g| uvar_len(g as u64))
+                .sum::<usize>()
+    }
+}
+
+impl MpiRecord {
+    /// Byte length of [`Codec::encode`] for this record, without serializing.
+    pub fn encoded_len(&self) -> usize {
+        uvar_len(self.gid as u64)
+            + 1
+            + self.params.encoded_len()
+            + uvar_len(self.t_start)
+            + uvar_len(self.dur)
+    }
+}
 
 /// The full raw trace of one process.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -269,6 +302,47 @@ mod tests {
         let mpi = raw_mpi_size(&t);
         assert!(mpi < full);
         assert!(mpi > 0);
+    }
+
+    /// `encoded_len` must agree exactly with the bytes `encode` produces,
+    /// including multi-byte varints and req_gid lists.
+    #[test]
+    fn encoded_len_matches_encode() {
+        let recs = [
+            MpiRecord {
+                gid: 0,
+                op: MpiOp::Barrier,
+                params: MpiParams::collective(0),
+                t_start: 0,
+                dur: 0,
+            },
+            MpiRecord {
+                gid: 300,
+                op: MpiOp::Send,
+                params: MpiParams::send(127, 1 << 20, 65),
+                t_start: u64::MAX,
+                dur: 1 << 40,
+            },
+            MpiRecord {
+                gid: 7,
+                op: MpiOp::Waitall,
+                params: MpiParams::completion(vec![1, 128, 16384, u32::MAX]),
+                t_start: 123_456_789,
+                dur: 42,
+            },
+            MpiRecord {
+                gid: 9,
+                op: MpiOp::Sendrecv,
+                params: MpiParams::sendrecv(3, 8, 1, crate::event::ANY_SOURCE, 8, 2),
+                t_start: 1,
+                dur: 1,
+            },
+        ];
+        for r in &recs {
+            let mut enc = Encoder::new();
+            r.encode(&mut enc);
+            assert_eq!(r.encoded_len(), enc.len(), "{r:?}");
+        }
     }
 
     #[test]

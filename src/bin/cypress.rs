@@ -167,6 +167,7 @@ USAGE:
   cypress dump <prog.mpi> -n <procs> [-r <rank>]
   cypress compress <prog.mpi> -n <procs> -o <file> [--stream] [--per-rank]
                [--level fast|default|best] [--threads <n>]
+               [--pipelined [--ring-capacity <batches>]]
   cypress decompress <file> [-r <rank>] [--cst <cst.txt>]
   cypress inspect <file>
   cypress query <file> [--hotspots <n>] [--strategy auto|symbolic|expand]
@@ -183,6 +184,9 @@ OPTIONS:
   --stream     compress online (streaming sessions) into a versioned
                .cytc container instead of a bare merged dump
   --per-rank   with --stream: add one CRC-framed CTT section per rank
+  --pipelined  with --stream: decouple trace generation from compression
+               with one bounded SPSC ring per rank (byte-identical output)
+  --ring-capacity  with --pipelined: ring capacity in batches (default 8)
   --level      compress/serve: DEFLATE container sections at this effort
                (fast, default, best; omitted = raw v1 layout);
                submit --mode ctt: wire compression level, or `none`
@@ -242,6 +246,29 @@ fn level_of(args: &[String]) -> cypress::Result<Option<Option<ZLevel>>> {
                 "unknown --level `{s}` (expected fast, default, best, or none)"
             ))
         }),
+    }
+}
+
+/// Parse `--pipelined` / `--ring-capacity` into an ingest mode.
+fn ingest_of(args: &[String]) -> cypress::Result<cypress::Ingest> {
+    let capacity = match flag(args, "--ring-capacity") {
+        None => None,
+        Some(s) => Some(
+            s.parse::<usize>()
+                .map_err(|e| Error::Invalid(format!("bad --ring-capacity value: {e}")))?,
+        ),
+    };
+    if has_flag(args, "--pipelined") {
+        Ok(match capacity {
+            Some(capacity) => cypress::Ingest::Pipelined { capacity },
+            None => cypress::Ingest::pipelined(),
+        })
+    } else if capacity.is_some() {
+        Err(Error::Invalid(
+            "--ring-capacity requires --pipelined".into(),
+        ))
+    } else {
+        Ok(cypress::Ingest::Sequential)
     }
 }
 
@@ -343,6 +370,11 @@ fn cmd_compress(args: &[String]) -> CliResult {
     if has_flag(args, "--stream") {
         return cmd_compress_stream(args, &out);
     }
+    if has_flag(args, "--pipelined") || flag(args, "--ring-capacity").is_some() {
+        return Err(Error::Invalid(
+            "--pipelined/--ring-capacity require --stream".into(),
+        ));
+    }
     // Legacy batch path: bare merged-CTT dump + CST text sidecar.
     let (_, info, traces) = run_traces(args)?;
     let raw: usize = traces.iter().map(raw_mpi_size).sum();
@@ -374,13 +406,15 @@ fn cmd_compress_stream(args: &[String], out: &str) -> CliResult {
     let (_, src) = read_source(args)?;
     let n = nprocs_of(args)?;
     let threads = threads_of(args)?;
-    let mut pipe = Pipeline::new(src)
-        .ranks(n)
-        .level(level_of(args)?.unwrap_or(None));
+    let mut cfg = cypress::PipelineConfig {
+        level: level_of(args)?.unwrap_or(None),
+        mode: ingest_of(args)?,
+        ..cypress::PipelineConfig::default()
+    };
     if let Some(t) = threads {
-        pipe = pipe.threads(t);
+        cfg.threads = t.max(1);
     }
-    let mut job = pipe.run()?;
+    let mut job = Pipeline::new(src).ranks(n).configure(cfg).run()?;
     let events: u64 = job.stats.iter().map(|s| s.events).sum();
     let peak = job.peak_ctt_bytes();
     job.merge();

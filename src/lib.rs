@@ -17,17 +17,15 @@
 //! ```
 //!
 //! The individual layers stay available as re-exported subcrates for code
-//! that needs one piece (e.g. just the CST builder). Errors from every
-//! layer unify into [`Error`]. Networked collection (the `cypress serve` /
-//! `cypress submit` daemon pair) lives in [`collect`] atop the
-//! [`net`](cypress_net) subcrate. The pre-`Pipeline` free functions live on
-//! as deprecated shims behind the off-by-default `compat` feature. See
-//! `README.md` for the architecture and `DESIGN.md` for the per-experiment
-//! index.
+//! that needs one piece (e.g. just the CST builder), and the types a typical
+//! caller touches ([`PipelineConfig`], [`Ingest`], [`QueryOptions`],
+//! [`Level`]) are re-exported at the root so examples never reach into
+//! subcrates. Errors from every layer unify into [`Error`]. Networked
+//! collection (the `cypress serve` / `cypress submit` daemon pair) lives in
+//! [`collect`] atop the [`net`](cypress_net) subcrate. See `README.md` for
+//! the architecture and `DESIGN.md` for the per-experiment index.
 
 pub mod collect;
-#[cfg(feature = "compat")]
-pub mod compat;
 pub mod error;
 pub mod pipeline;
 pub mod telemetry;
@@ -36,8 +34,13 @@ pub use collect::{
     loaded_from_collected, write_collected_container, write_collected_container_with,
 };
 pub use error::{Error, Result};
-pub use pipeline::{read_container, CompressedJob, LoadedJob, MetaInfo, Pipeline};
+pub use pipeline::{
+    read_container, CompressedJob, Ingest, LoadedJob, MetaInfo, Pipeline, PipelineConfig,
+};
 pub use telemetry::{StageSummary, TelemetrySummary, TELEMETRY_VERSION};
+
+pub use cypress_deflate::Level;
+pub use cypress_query::QueryOptions;
 
 pub use cypress_baselines as baselines;
 pub use cypress_core as core;

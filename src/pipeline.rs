@@ -19,11 +19,21 @@
 //! assert_eq!(job.decompress(3).unwrap().len(), 64);
 //! ```
 //!
-//! By default the pipeline runs **streaming**: each rank's interpreter feeds
-//! a [`CompressSession`] event-by-event on a work-stealing worker pool, so
-//! the raw trace never materializes — the paper's online PMPI deployment.
-//! `.streaming(false)` selects the classic record-then-compress batch path;
-//! both produce byte-identical CTTs (pinned by `tests/streaming.rs`).
+//! How events flow from interpreters to compressors is one typed knob,
+//! [`PipelineConfig::mode`]:
+//!
+//! * [`Ingest::Sequential`] (default) — each rank's interpreter feeds a
+//!   [`CompressSession`] event-by-event on a work-stealing worker pool, so
+//!   the raw trace never materializes — the paper's online PMPI deployment.
+//! * [`Ingest::Pipelined`] — same online compression, but generation and
+//!   compression are decoupled by a bounded SPSC ring per rank
+//!   ([`cypress_runtime::ring`]): interpreters produce event batches while a
+//!   consumer thread drains every rank's ring into its session.
+//! * [`Ingest::Batch`] — record raw traces first, then compress; linearly
+//!   growing memory, kept as the offline baseline.
+//!
+//! All three produce byte-identical CTTs (pinned by `tests/streaming.rs`
+//! and `tests/pipelined.rs`).
 
 use crate::error::{Error, Result};
 use cypress_core::{
@@ -34,7 +44,10 @@ use cypress_cst::{analyze_program, Cst, StaticInfo};
 use cypress_deflate::Level;
 use cypress_minilang::{check_program, parse};
 use cypress_query::{query_ctts, query_merged, QueryOptions, QueryResult};
-use cypress_runtime::{run_rank_with_sink, run_ranks, trace_program_parallel, InterpConfig};
+use cypress_runtime::{
+    run_rank_with_sink, run_ranks, run_ranks_pipelined, trace_program_parallel, InterpConfig,
+    DEFAULT_BATCH_EVENTS, DEFAULT_RING_CAPACITY,
+};
 use cypress_trace::{
     assemble, encode_section, Codec, Container, ContainerError, Decoder, EncodedSection, Encoder,
     SectionKind,
@@ -113,33 +126,103 @@ pub(crate) fn write_container_parallel(
     Container::write_image(path, &image)
 }
 
+/// How rank event streams reach their compressors.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Ingest {
+    /// Record each rank's full raw trace, then compress — the offline
+    /// baseline. Memory grows linearly with trace length; no session stats.
+    Batch,
+    /// Compress online: interpreter and [`CompressSession`] in lockstep on
+    /// the same worker thread (the paper's PMPI deployment). Default.
+    #[default]
+    Sequential,
+    /// Compress online with generation and compression decoupled: each
+    /// rank's interpreter pushes event batches into a bounded SPSC ring
+    /// (`capacity` batches of up to
+    /// [`DEFAULT_BATCH_EVENTS`](cypress_runtime::DEFAULT_BATCH_EVENTS)
+    /// events) and a consumer thread drains every ring into its rank's
+    /// session. Backpressure blocks the producer when the consumer falls
+    /// behind, so memory stays bounded.
+    Pipelined {
+        /// Ring capacity in batches (clamped to ≥ 1).
+        capacity: usize,
+    },
+}
+
+impl Ingest {
+    /// [`Ingest::Pipelined`] with the default ring capacity.
+    pub fn pipelined() -> Self {
+        Ingest::Pipelined {
+            capacity: DEFAULT_RING_CAPACITY,
+        }
+    }
+}
+
+/// Everything a [`Pipeline`] run needs beyond the program and rank count —
+/// the typed replacement for the builder's accreted per-knob methods.
+///
+/// ```
+/// use cypress::{Ingest, Pipeline, PipelineConfig};
+///
+/// let cfg = PipelineConfig {
+///     threads: 2,
+///     mode: Ingest::pipelined(),
+///     ..PipelineConfig::default()
+/// };
+/// let job = Pipeline::new("fn main() { barrier(); }")
+///     .ranks(2)
+///     .configure(cfg)
+///     .run()
+///     .unwrap();
+/// assert_eq!(job.nprocs, 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineConfig {
+    /// Compression knobs (window, time mode, relative ranks).
+    pub compress: CompressConfig,
+    /// Interpreter knobs (step budget, virtual time model).
+    pub interp: InterpConfig,
+    /// Streaming-session knobs (checkpoint cadence, soft byte budget).
+    pub session: SessionConfig,
+    /// Worker-pool width for rank execution, merging, and section encoding.
+    pub threads: usize,
+    /// How events travel from interpreters to compressors.
+    pub mode: Ingest,
+    /// DEFLATE container sections at this level when persisting
+    /// ([`CompressedJob::write_container`]); `None` stores raw sections.
+    pub level: Option<Level>,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            compress: CompressConfig::default(),
+            interp: InterpConfig::default(),
+            session: SessionConfig::default(),
+            threads: default_threads(),
+            mode: Ingest::Sequential,
+            level: None,
+        }
+    }
+}
+
 /// Builder for a full compression run over a MiniMPI program.
 #[derive(Debug, Clone)]
 pub struct Pipeline {
     source: String,
     nprocs: u32,
-    compress: CompressConfig,
-    interp: InterpConfig,
-    session: SessionConfig,
-    threads: usize,
-    streaming: bool,
-    level: Option<Level>,
+    cfg: PipelineConfig,
 }
 
 impl Pipeline {
-    /// Start a pipeline over MiniMPI source text. Defaults: 4 ranks,
-    /// streaming compression, default compress/interp/session configs, one
-    /// worker per available core.
+    /// Start a pipeline over MiniMPI source text. Defaults: 4 ranks and
+    /// [`PipelineConfig::default`] (sequential streaming compression, one
+    /// worker per available core).
     pub fn new(source: impl Into<String>) -> Self {
         Pipeline {
             source: source.into(),
             nprocs: 4,
-            compress: CompressConfig::default(),
-            interp: InterpConfig::default(),
-            session: SessionConfig::default(),
-            threads: default_threads(),
-            streaming: true,
-            level: None,
+            cfg: PipelineConfig::default(),
         }
     }
 
@@ -149,55 +232,94 @@ impl Pipeline {
         self
     }
 
+    /// Replace the whole run configuration.
+    pub fn configure(mut self, cfg: PipelineConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// The current run configuration (what [`Pipeline::run`] will use).
+    pub fn config_ref(&self) -> &PipelineConfig {
+        &self.cfg
+    }
+
     /// Compression knobs (window, time mode, relative ranks).
+    #[deprecated(
+        since = "0.2.0",
+        note = "set `PipelineConfig::compress` via `configure`"
+    )]
     pub fn config(mut self, cfg: CompressConfig) -> Self {
-        self.compress = cfg;
+        self.cfg.compress = cfg;
         self
     }
 
     /// Interpreter knobs (step budget, virtual time model).
+    #[deprecated(since = "0.2.0", note = "set `PipelineConfig::interp` via `configure`")]
     pub fn interp_config(mut self, cfg: InterpConfig) -> Self {
-        self.interp = cfg;
+        self.cfg.interp = cfg;
         self
     }
 
     /// Streaming-session knobs (checkpoint cadence, soft byte budget).
+    #[deprecated(
+        since = "0.2.0",
+        note = "set `PipelineConfig::session` via `configure`"
+    )]
     pub fn session_config(mut self, cfg: SessionConfig) -> Self {
-        self.session = cfg;
+        self.cfg.session = cfg;
         self
     }
 
     /// Worker-pool width for rank execution and merging.
+    #[deprecated(
+        since = "0.2.0",
+        note = "set `PipelineConfig::threads` via `configure`"
+    )]
     pub fn threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
+        self.cfg.threads = threads.max(1);
         self
     }
 
-    /// `true` (default): compress online while each rank executes.
-    /// `false`: record raw traces first, then compress — same CTT bytes,
-    /// linearly growing memory.
+    /// `true`: compress online while each rank executes. `false`: record
+    /// raw traces first, then compress — same CTT bytes, linearly growing
+    /// memory.
+    #[deprecated(
+        since = "0.2.0",
+        note = "set `PipelineConfig::mode` to `Ingest::Sequential` / `Ingest::Batch` via `configure`"
+    )]
     pub fn streaming(mut self, on: bool) -> Self {
-        self.streaming = on;
+        self.cfg.mode = if on {
+            Ingest::Sequential
+        } else {
+            Ingest::Batch
+        };
         self
     }
 
     /// DEFLATE container sections at this level when persisting
     /// ([`CompressedJob::write_container`]). `None` (default) stores raw
     /// sections in the version-1 layout.
+    #[deprecated(since = "0.2.0", note = "set `PipelineConfig::level` via `configure`")]
     pub fn level(mut self, level: Option<Level>) -> Self {
-        self.level = level;
+        self.cfg.level = level;
         self
     }
 
     /// Parse, analyze, execute every rank, and compress. Rank execution runs
-    /// on a work-stealing pool of `threads` workers.
+    /// on a work-stealing pool of [`PipelineConfig::threads`] workers; how
+    /// events reach the compressors is [`PipelineConfig::mode`].
     pub fn run(self) -> Result<CompressedJob> {
         if self.nprocs == 0 {
             return Err(Error::Invalid("pipeline needs at least 1 rank".into()));
         }
+        let Pipeline {
+            source,
+            nprocs,
+            cfg,
+        } = self;
         let (prog, info) = {
             let _t = cypress_obs::trace_span("parse", "analyze");
-            let prog = parse(&self.source)?;
+            let prog = parse(&source)?;
             check_program(&prog)?;
             let info = analyze_program(&prog);
             (prog, info)
@@ -205,46 +327,74 @@ impl Pipeline {
 
         let _ingest = obs().ingest_ns.start_span();
         let mut _ingest_t = cypress_obs::trace_span("ingest", "run_ranks");
-        _ingest_t.set_arg(self.nprocs as u64);
-        let (ctts, stats) = if self.streaming {
-            let per_rank = run_ranks(self.nprocs, self.threads, |rank| {
-                // Rank span on the worker thread: the session's synthetic
-                // complete event nests inside it, splitting interpreter
-                // time from compression time in the profile.
-                let _t = cypress_obs::trace_span("interp", "rank");
-                let mut session = CompressSession::new(
-                    &info.cst,
-                    rank,
-                    self.nprocs,
-                    self.compress.clone(),
-                    self.session.clone(),
-                );
-                let app_time = run_rank_with_sink(
-                    &prog,
-                    &info,
-                    rank,
-                    self.nprocs,
-                    &self.interp,
-                    &mut session,
-                )?;
-                Ok(session.finish(app_time))
-            });
-            let mut ctts = Vec::with_capacity(per_rank.len());
-            let mut stats = Vec::with_capacity(per_rank.len());
-            for r in per_rank {
-                let (ctt, st) = r.map_err(Error::Runtime)?;
-                ctts.push(ctt);
-                stats.push(st);
+        _ingest_t.set_arg(nprocs as u64);
+        let (ctts, stats) = match cfg.mode {
+            Ingest::Sequential => {
+                let per_rank = run_ranks(nprocs, cfg.threads, |rank| {
+                    // Rank span on the worker thread: the session's synthetic
+                    // complete event nests inside it, splitting interpreter
+                    // time from compression time in the profile.
+                    let _t = cypress_obs::trace_span("interp", "rank");
+                    let mut session = CompressSession::new(
+                        &info.cst,
+                        rank,
+                        nprocs,
+                        cfg.compress.clone(),
+                        cfg.session.clone(),
+                    );
+                    let app_time =
+                        run_rank_with_sink(&prog, &info, rank, nprocs, &cfg.interp, &mut session)?;
+                    Ok(session.finish(app_time))
+                });
+                let mut ctts = Vec::with_capacity(per_rank.len());
+                let mut stats = Vec::with_capacity(per_rank.len());
+                for r in per_rank {
+                    let (ctt, st) = r.map_err(Error::Runtime)?;
+                    ctts.push(ctt);
+                    stats.push(st);
+                }
+                (ctts, stats)
             }
-            (ctts, stats)
-        } else {
-            let traces =
-                trace_program_parallel(&prog, &info, self.nprocs, &self.interp, self.threads)?;
-            let ctts = traces
-                .iter()
-                .map(|t| compress_trace(&info.cst, t, &self.compress))
-                .collect();
-            (ctts, Vec::new())
+            Ingest::Pipelined { capacity } => {
+                let per_rank = run_ranks_pipelined(
+                    nprocs,
+                    cfg.threads,
+                    capacity,
+                    DEFAULT_BATCH_EVENTS,
+                    |rank, sink| {
+                        let _t = cypress_obs::trace_span("interp", "rank");
+                        run_rank_with_sink(&prog, &info, rank, nprocs, &cfg.interp, sink)
+                    },
+                    |rank| {
+                        CompressSession::new(
+                            &info.cst,
+                            rank,
+                            nprocs,
+                            cfg.compress.clone(),
+                            cfg.session.clone(),
+                        )
+                    },
+                    |session, batch| session.push_batch(batch),
+                    |session, app_time| session.finish(app_time),
+                )
+                .map_err(Error::Runtime)?;
+                let mut ctts = Vec::with_capacity(per_rank.len());
+                let mut stats = Vec::with_capacity(per_rank.len());
+                for (ctt, st) in per_rank {
+                    ctts.push(ctt);
+                    stats.push(st);
+                }
+                (ctts, stats)
+            }
+            Ingest::Batch => {
+                let traces =
+                    trace_program_parallel(&prog, &info, nprocs, &cfg.interp, cfg.threads)?;
+                let ctts = traces
+                    .iter()
+                    .map(|t| compress_trace(&info.cst, t, &cfg.compress))
+                    .collect();
+                (ctts, Vec::new())
+            }
         };
 
         drop(_ingest_t);
@@ -252,12 +402,12 @@ impl Pipeline {
 
         Ok(CompressedJob {
             info,
-            nprocs: self.nprocs,
+            nprocs,
             ctts,
             stats,
             merged: None,
-            threads: self.threads,
-            level: self.level,
+            threads: cfg.threads,
+            level: cfg.level,
         })
     }
 }
@@ -551,11 +701,21 @@ mod tests {
 
     #[test]
     fn streaming_and_batch_produce_identical_ctts() {
-        let a = Pipeline::new(STENCIL).ranks(6).threads(3).run().unwrap();
+        let cfg = PipelineConfig {
+            threads: 3,
+            ..PipelineConfig::default()
+        };
+        let a = Pipeline::new(STENCIL)
+            .ranks(6)
+            .configure(cfg.clone())
+            .run()
+            .unwrap();
         let b = Pipeline::new(STENCIL)
             .ranks(6)
-            .threads(3)
-            .streaming(false)
+            .configure(PipelineConfig {
+                mode: Ingest::Batch,
+                ..cfg
+            })
             .run()
             .unwrap();
         assert_eq!(a.ctts, b.ctts);

@@ -1,0 +1,77 @@
+//! The deprecated per-knob builder methods must keep compiling and keep
+//! behaving exactly like the [`PipelineConfig`] they forward to, until the
+//! next breaking release removes them. `scripts/check.sh` builds this file
+//! in a deprecated-exempt pass, so a forward that stops compiling fails CI
+//! even though the rest of the workspace builds with `-D deprecated`.
+#![allow(deprecated)]
+
+use cypress::core::{CompressConfig, SessionConfig};
+use cypress::deflate::Level;
+use cypress::runtime::InterpConfig;
+use cypress::trace::codec::Codec;
+use cypress::{Ingest, Pipeline, PipelineConfig};
+
+const SRC: &str = "fn main() { for i in 0..32 { allreduce(16); } barrier(); }";
+
+/// Every deprecated forward lands on the same `PipelineConfig` field that
+/// `configure` would set.
+#[test]
+fn deprecated_forwards_set_the_config_they_document() {
+    let compress = CompressConfig::default();
+    let interp = InterpConfig {
+        max_steps: 12_345,
+        ..InterpConfig::default()
+    };
+    let session = SessionConfig {
+        checkpoint_every: 777,
+        ..SessionConfig::default()
+    };
+
+    let p = Pipeline::new(SRC)
+        .ranks(4)
+        .config(compress.clone())
+        .interp_config(interp.clone())
+        .session_config(session.clone())
+        .threads(3)
+        .streaming(true)
+        .level(Some(Level::Best));
+
+    let want = PipelineConfig {
+        compress,
+        interp,
+        session,
+        threads: 3,
+        mode: Ingest::Sequential,
+        level: Some(Level::Best),
+    };
+    assert_eq!(*p.config_ref(), want);
+
+    // `streaming(false)` maps to the batch mode, and `threads` clamps to 1.
+    let p = Pipeline::new(SRC).streaming(false).threads(0);
+    assert_eq!(p.config_ref().mode, Ingest::Batch);
+    assert_eq!(p.config_ref().threads, 1);
+}
+
+/// A run driven entirely through the deprecated methods produces the same
+/// bytes as the same run driven through `configure`.
+#[test]
+fn deprecated_builder_run_matches_configure_run() {
+    let old = Pipeline::new(SRC)
+        .ranks(6)
+        .threads(2)
+        .streaming(true)
+        .run()
+        .unwrap();
+    let new = Pipeline::new(SRC)
+        .ranks(6)
+        .configure(PipelineConfig {
+            threads: 2,
+            ..PipelineConfig::default()
+        })
+        .run()
+        .unwrap();
+    assert_eq!(old.ctts.len(), new.ctts.len());
+    for (a, b) in old.ctts.iter().zip(&new.ctts) {
+        assert_eq!(a.to_bytes(), b.to_bytes(), "rank {}", a.rank);
+    }
+}

@@ -1,0 +1,228 @@
+//! Pipelined-ingest acceptance tests: generation and compression decoupled
+//! by per-rank SPSC rings must be *byte-identical* to the sequential
+//! streaming path — per-rank CTTs, merged tree, session accounting, and the
+//! on-disk container — at every thread count and awkward ring capacity, and
+//! the drain protocol must never deadlock when a producer dies mid-stream.
+
+use cypress::deflate::Level;
+use cypress::runtime::{run_ranks_pipelined, InterpConfig};
+use cypress::trace::codec::Codec;
+use cypress::workloads::{by_name, quick_procs, Scale, NPB_NAMES};
+use cypress::{Ingest, Pipeline, PipelineConfig};
+
+fn all_workload_names() -> impl Iterator<Item = &'static str> {
+    NPB_NAMES.iter().copied().chain(["jacobi", "leslie3d"])
+}
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("cypress-pipelined-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+/// The headline criterion: for every bundled workload, at producer-pool
+/// widths 1, 2, and 8, the pipelined run's per-rank CTT encodings, merged
+/// encoding, and session accounting all match the sequential streaming run.
+#[test]
+fn pipelined_byte_identical_to_sequential_on_all_workloads() {
+    for name in all_workload_names() {
+        let w = by_name(name, quick_procs(name), Scale::Quick).unwrap();
+        let mut reference = Pipeline::new(w.source.clone())
+            .ranks(w.nprocs)
+            .configure(PipelineConfig {
+                threads: 4,
+                ..PipelineConfig::default()
+            })
+            .run()
+            .unwrap_or_else(|e| panic!("{name}: sequential run failed: {e}"));
+        let want_merged = reference.merge().to_bytes();
+
+        for threads in [1usize, 2, 8] {
+            let mut piped = Pipeline::new(w.source.clone())
+                .ranks(w.nprocs)
+                .configure(PipelineConfig {
+                    threads,
+                    mode: Ingest::pipelined(),
+                    ..PipelineConfig::default()
+                })
+                .run()
+                .unwrap_or_else(|e| panic!("{name}: pipelined run failed: {e}"));
+
+            assert_eq!(
+                piped.ctts.len(),
+                reference.ctts.len(),
+                "{name} threads={threads}"
+            );
+            for (a, b) in piped.ctts.iter().zip(&reference.ctts) {
+                assert_eq!(
+                    a.to_bytes(),
+                    b.to_bytes(),
+                    "{name} threads={threads}: rank {} CTT encodings diverged",
+                    a.rank
+                );
+            }
+            assert_eq!(
+                piped.merge().to_bytes(),
+                want_merged,
+                "{name} threads={threads}: merged CTT encodings diverged"
+            );
+            // The pipelined path is still a streaming path: full session
+            // accounting, identical to the sequential sessions'.
+            assert_eq!(piped.stats.len(), w.nprocs as usize, "{name}");
+            for (a, b) in piped.stats.iter().zip(&reference.stats) {
+                assert_eq!(a.events, b.events, "{name} threads={threads}");
+                assert_eq!(a.mpi_events, b.mpi_events, "{name} threads={threads}");
+                assert_eq!(a.raw_mpi_bytes, b.raw_mpi_bytes, "{name} threads={threads}");
+                assert_eq!(a.checkpoints, b.checkpoints, "{name} threads={threads}");
+            }
+        }
+    }
+}
+
+/// Awkward ring capacities — 1 (every batch blocks on the consumer), 2, and
+/// an odd 3 — must not change a single byte. Capacity only affects *when*
+/// producers block, never what the consumer sees.
+#[test]
+fn pipelined_awkward_ring_capacities_identical() {
+    let w = by_name("cg", 8, Scale::Quick).unwrap();
+    let reference = Pipeline::new(w.source.clone())
+        .ranks(8)
+        .configure(PipelineConfig {
+            threads: 2,
+            ..PipelineConfig::default()
+        })
+        .run()
+        .unwrap();
+    for capacity in [1usize, 2, 3] {
+        let piped = Pipeline::new(w.source.clone())
+            .ranks(8)
+            .configure(PipelineConfig {
+                threads: 2,
+                mode: Ingest::Pipelined { capacity },
+                ..PipelineConfig::default()
+            })
+            .run()
+            .unwrap_or_else(|e| panic!("capacity {capacity}: {e}"));
+        for (a, b) in piped.ctts.iter().zip(&reference.ctts) {
+            assert_eq!(
+                a.to_bytes(),
+                b.to_bytes(),
+                "capacity {capacity}: rank {} diverged",
+                a.rank
+            );
+        }
+    }
+}
+
+/// Container criterion: a `.cytc` written from a pipelined job (per-rank
+/// sections, pinned DEFLATE level) is byte-for-byte the sequential one.
+#[test]
+fn pipelined_container_bytes_identical_to_sequential() {
+    let dir = tmpdir("container");
+    for name in ["cg", "jacobi"] {
+        let w = by_name(name, quick_procs(name), Scale::Quick).unwrap();
+        let cfg = PipelineConfig {
+            threads: 2,
+            level: Some(Level::Default),
+            ..PipelineConfig::default()
+        };
+        let mut seq = Pipeline::new(w.source.clone())
+            .ranks(w.nprocs)
+            .configure(cfg.clone())
+            .run()
+            .unwrap();
+        let mut piped = Pipeline::new(w.source.clone())
+            .ranks(w.nprocs)
+            .configure(PipelineConfig {
+                mode: Ingest::pipelined(),
+                ..cfg
+            })
+            .run()
+            .unwrap();
+        let p_seq = dir.join(format!("{name}-seq.cytc"));
+        let p_pipe = dir.join(format!("{name}-pipe.cytc"));
+        seq.write_container(&p_seq, true).unwrap();
+        piped.write_container(&p_pipe, true).unwrap();
+        assert_eq!(
+            std::fs::read(&p_seq).unwrap(),
+            std::fs::read(&p_pipe).unwrap(),
+            "{name}: pipelined ingest changed container bytes"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Drain protocol under producer death: a rank that hits its step budget
+/// mid-stream closes its ring *without* the `Finish` marker; the consumer
+/// must drain and discard, and the run must surface the error without
+/// deadlocking — even at capacity 1 with more ranks than workers.
+#[test]
+fn producer_error_mid_stream_surfaces_without_deadlock() {
+    let src = "fn main() { for i in 0..100000 { allreduce(8); } }";
+    let r = Pipeline::new(src)
+        .ranks(8)
+        .configure(PipelineConfig {
+            threads: 2,
+            mode: Ingest::Pipelined { capacity: 1 },
+            interp: InterpConfig {
+                max_steps: 5_000,
+                ..InterpConfig::default()
+            },
+            ..PipelineConfig::default()
+        })
+        .run();
+    match r {
+        Err(cypress::Error::Runtime(e)) => {
+            assert!(e.to_string().contains("budget"), "unexpected error: {e}")
+        }
+        other => panic!("expected runtime error, got {:?}", other.map(|j| j.nprocs)),
+    }
+}
+
+/// Interleaving stress on the raw runner: many more ranks than workers, so
+/// producer completion order is effectively shuffled against ring index
+/// order, with rank-dependent stream lengths and tiny batches. Every event
+/// must arrive in order with its rank's `app_time`.
+#[test]
+fn run_ranks_pipelined_shuffled_completion_order() {
+    use cypress::trace::event::Event;
+    for (threads, capacity, batch) in [(1usize, 1usize, 1usize), (2, 2, 3), (8, 3, 7)] {
+        let nprocs = 17u32;
+        let out = run_ranks_pipelined(
+            nprocs,
+            threads,
+            capacity,
+            batch,
+            |rank, sink| {
+                // Rank r emits 3*r+1 events: later ranks run longer, so the
+                // pool retires rings out of index order.
+                for i in 0..(3 * rank + 1) {
+                    cypress::trace::event::EventSink::event(
+                        sink,
+                        Event::Enter {
+                            gid: rank * 1000 + i,
+                        },
+                    );
+                }
+                Ok(rank as u64 * 10 + 7)
+            },
+            |rank| (rank, Vec::<Event>::new()),
+            |state, evs| state.1.extend_from_slice(evs),
+            |state, app_time| (state.0, state.1, app_time),
+        )
+        .unwrap();
+        assert_eq!(out.len(), nprocs as usize);
+        for (rank, evs, app_time) in out {
+            assert_eq!(app_time, rank as u64 * 10 + 7, "threads={threads}");
+            let want: Vec<Event> = (0..(3 * rank + 1))
+                .map(|i| Event::Enter {
+                    gid: rank * 1000 + i,
+                })
+                .collect();
+            assert_eq!(
+                evs, want,
+                "rank {rank} threads={threads} capacity={capacity}"
+            );
+        }
+    }
+}

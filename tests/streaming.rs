@@ -6,7 +6,7 @@ use cypress::core::{merge_all, merge_all_parallel};
 use cypress::trace::codec::Codec;
 use cypress::trace::event::{MpiOp, MpiParams};
 use cypress::workloads::{by_name, quick_procs, Scale, NPB_NAMES};
-use cypress::Pipeline;
+use cypress::{Ingest, Pipeline, PipelineConfig};
 
 type OpSeq = Vec<(u32, MpiOp, MpiParams)>;
 
@@ -40,15 +40,21 @@ fn tmpdir(name: &str) -> std::path::PathBuf {
 fn streaming_merged_bytes_equal_batch_on_all_workloads() {
     for name in all_workload_names() {
         let w = by_name(name, quick_procs(name), Scale::Quick).unwrap();
+        let cfg = PipelineConfig {
+            threads: 4,
+            ..PipelineConfig::default()
+        };
         let mut stream = Pipeline::new(w.source.clone())
             .ranks(w.nprocs)
-            .threads(4)
+            .configure(cfg.clone())
             .run()
             .unwrap_or_else(|e| panic!("{name}: streaming run failed: {e}"));
         let mut batch = Pipeline::new(w.source.clone())
             .ranks(w.nprocs)
-            .threads(4)
-            .streaming(false)
+            .configure(PipelineConfig {
+                mode: Ingest::Batch,
+                ..cfg
+            })
             .run()
             .unwrap_or_else(|e| panic!("{name}: batch run failed: {e}"));
 
@@ -303,14 +309,20 @@ fn parallel_container_encoding_identical_to_sequential() {
         let w = by_name(name, quick_procs(name), Scale::Quick).unwrap();
         let mut seq = Pipeline::new(w.source.clone())
             .ranks(w.nprocs)
-            .threads(1)
-            .level(Some(Level::Default))
+            .configure(PipelineConfig {
+                threads: 1,
+                level: Some(Level::Default),
+                ..PipelineConfig::default()
+            })
             .run()
             .unwrap();
         let mut par = Pipeline::new(w.source.clone())
             .ranks(w.nprocs)
-            .threads(8)
-            .level(Some(Level::Default))
+            .configure(PipelineConfig {
+                threads: 8,
+                level: Some(Level::Default),
+                ..PipelineConfig::default()
+            })
             .run()
             .unwrap();
         let p_seq = dir.join(format!("{name}-seq.cytc"));
@@ -351,30 +363,51 @@ fn session_stats_match_trace_reality() {
     }
 }
 
-/// The batch path through the deprecated shims and the new facade agree —
-/// the shims really are thin. Runs only when the off-by-default `compat`
-/// feature is enabled (`cargo test --features compat`, exercised by
-/// `scripts/check.sh`).
-#[cfg(feature = "compat")]
+/// The adaptive-batcher pin (fold-run credit): on every bundled workload,
+/// feeding a session with `push_batch` must not be slower than per-event
+/// `push`. Before the credit heuristic, alternating-gid streams (sp) paid
+/// for a run scan that never found runs and regressed to 0.64×. Timing
+/// tests flake, so compare best-of-N interleaved samples with a generous
+/// tolerance — the pre-fix regression (≈1.56× slower) still fails it.
 #[test]
-#[allow(deprecated)]
-fn compat_shims_reproduce_pipeline_results() {
-    let w = by_name("ft", 8, Scale::Quick).unwrap();
-    let (prog, info) = w.compile();
-    let traces = cypress::compat::trace_program(&prog, &info, 8, &Default::default()).unwrap();
-    let ctts: Vec<_> = traces
-        .iter()
-        .map(|t| {
-            cypress::compat::compress_trace(&info.cst, t, &cypress::core::CompressConfig::default())
-        })
-        .collect();
-    let merged = cypress::compat::merge_all_parallel(&ctts, 3);
+fn push_batch_not_slower_than_push_on_any_workload() {
+    use cypress::core::{CompressConfig, CompressSession, SessionConfig};
+    use std::time::Instant;
+    for name in all_workload_names() {
+        let w = by_name(name, quick_procs(name), Scale::Quick).unwrap();
+        let (_, info) = w.compile();
+        let traces = w.trace().unwrap();
+        let t = &traces[0];
+        let session = || {
+            CompressSession::new(
+                &info.cst,
+                t.rank,
+                w.nprocs,
+                CompressConfig::default(),
+                SessionConfig::default(),
+            )
+        };
+        let (mut best_push, mut best_batch) = (u128::MAX, u128::MAX);
+        for _ in 0..9 {
+            let mut s = session();
+            let t0 = Instant::now();
+            for ev in &t.events {
+                s.push(ev);
+            }
+            best_push = best_push.min(t0.elapsed().as_nanos());
+            std::hint::black_box(s.finish(t.app_time));
 
-    let mut job = Pipeline::new(w.source.clone())
-        .ranks(8)
-        .threads(3)
-        .run()
-        .unwrap();
-    assert_eq!(job.ctts, ctts);
-    assert_eq!(job.merge().to_bytes(), merged.to_bytes());
+            let mut s = session();
+            let t0 = Instant::now();
+            for c in t.events.chunks(512) {
+                s.push_batch(c);
+            }
+            best_batch = best_batch.min(t0.elapsed().as_nanos());
+            std::hint::black_box(s.finish(t.app_time));
+        }
+        assert!(
+            best_batch as f64 <= best_push as f64 * 1.4,
+            "{name}: push_batch {best_batch} ns vs push {best_push} ns — batched ingest regressed"
+        );
+    }
 }
