@@ -164,13 +164,31 @@ where
                 let mut done = vec![false; n];
                 let mut open = n;
                 let mut idle = 0u32;
+                // Fairness bound: cap how many batches one ring may yield per
+                // round-robin pass, so a producer that refills as fast as we
+                // drain cannot starve the other ranks' full rings.
+                const MAX_POPS_PER_PASS: usize = 64;
                 while open > 0 {
                     let mut progressed = false;
                     for r in 0..n {
                         if done[r] {
                             continue;
                         }
-                        while let Some(msg) = rings[r].try_pop() {
+                        // Observe closed *before* draining. The producer
+                        // publishes its final push before the closed flag, so
+                        // if closed was already set here and the drain below
+                        // then runs the ring empty, nothing can arrive after
+                        // it — the rank is done. (Checking closed after the
+                        // drain instead would race: a last push + close
+                        // landing between drain and check could be popped and
+                        // discarded by the emptiness probe.)
+                        let closed = rings[r].is_closed();
+                        let mut emptied = false;
+                        for _ in 0..MAX_POPS_PER_PASS {
+                            let Some(msg) = rings[r].try_pop() else {
+                                emptied = true;
+                                break;
+                            };
                             progressed = true;
                             match msg {
                                 IngestMsg::Batch(batch) => {
@@ -185,9 +203,7 @@ where
                                 }
                             }
                         }
-                        // Closed is published after the final push, so a
-                        // post-closed drain pass above saw everything.
-                        if rings[r].is_closed() && rings[r].try_pop().is_none() {
+                        if closed && emptied {
                             done[r] = true;
                             open -= 1;
                             progressed = true;
@@ -310,6 +326,37 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.0.contains("rank 2 died"), "{err}");
+    }
+
+    /// Regression for the done-detection race: a producer's final
+    /// `Batch`/`Finish` push racing its close must never be discarded by the
+    /// consumer's emptiness probe. Many short runs over capacity-1 rings with
+    /// single-event batches put the final push squarely in that window.
+    #[test]
+    fn finish_never_lost_under_close_race() {
+        for iter in 0..200u64 {
+            let events = iter % 7;
+            let got = run_ranks_pipelined(
+                4,
+                4,
+                1,
+                1,
+                |rank, sink| {
+                    for i in 0..events {
+                        sink.event(mpi(rank, i));
+                    }
+                    Ok(rank as u64)
+                },
+                |_| 0usize,
+                |n, batch| *n += batch.len(),
+                |n, app_time| (n, app_time),
+            )
+            .unwrap();
+            for (rank, (n, app_time)) in got.iter().enumerate() {
+                assert_eq!(*app_time, rank as u64, "iter {iter}");
+                assert_eq!(*n as u64, events, "iter {iter} rank {rank}");
+            }
+        }
     }
 
     #[test]

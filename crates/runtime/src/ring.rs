@@ -157,9 +157,14 @@ pub struct Producer<T: Send> {
 
 impl<T: Send> Producer<T> {
     /// Push one item, blocking while the ring is full (backpressure).
-    /// Returns `false` if the consumer is gone and the item was dropped.
+    /// Returns `false` if the item was dropped: the consumer is gone, or
+    /// this producer already closed (a closed ring's consumer may have
+    /// observed closed+empty and exited, so a late push would vanish).
     pub fn push(&mut self, item: T) -> bool {
         debug_assert!(!self.closed, "push after close");
+        if self.closed {
+            return false;
+        }
         if self.shared.abandoned.load(Ordering::Relaxed) {
             return false; // consumer gone; drop the item instead of queueing
         }
