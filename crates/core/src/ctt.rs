@@ -381,10 +381,10 @@ impl Codec for LeafRecord {
     }
 }
 
-const VD_ROOT: u8 = 0;
-const VD_LOOP: u8 = 1;
-const VD_BRANCH: u8 = 2;
-const VD_LEAF: u8 = 3;
+pub(crate) const VD_ROOT: u8 = 0;
+pub(crate) const VD_LOOP: u8 = 1;
+pub(crate) const VD_BRANCH: u8 = 2;
+pub(crate) const VD_LEAF: u8 = 3;
 
 impl Codec for VertexData {
     fn encode(&self, enc: &mut Encoder) {

@@ -147,12 +147,7 @@ impl IntSeq {
 
     /// Sequential reader over the values.
     pub fn reader(&self) -> IntSeqReader<'_> {
-        IntSeqReader {
-            seq: self,
-            seg: 0,
-            rep: 0,
-            idx: 0,
-        }
+        self.view().reader()
     }
 
     /// Approximate in-memory footprint in bytes.
@@ -166,8 +161,58 @@ impl IntSeq {
     /// without expanding the sequence). Wraps on overflow, matching
     /// [`Seg::value_at`]'s wrapping semantics.
     pub fn sum(&self) -> i64 {
+        self.view().sum()
+    }
+
+    /// A borrowed [`SeqRef`] view of this sequence.
+    pub fn view(&self) -> SeqRef<'_> {
+        SeqRef {
+            segs: &self.segs,
+            total: self.total,
+        }
+    }
+}
+
+/// A borrowed view of a compressed integer sequence: the shape shared by
+/// [`IntSeq`] (which owns its segments) and pooled storage like
+/// `CttSlab` (where every sequence's segments live in one contiguous
+/// arena vector). `Copy`, so it passes by value; this is what
+/// [`CttFold`](crate::visit::CttFold) callbacks receive.
+#[derive(Debug, Clone, Copy)]
+pub struct SeqRef<'a> {
+    segs: &'a [Seg],
+    total: u64,
+}
+
+impl<'a> SeqRef<'a> {
+    /// View over raw parts. `total` must equal the sum of `seg.total()`s.
+    pub fn from_parts(segs: &'a [Seg], total: u64) -> SeqRef<'a> {
+        debug_assert_eq!(total, segs.iter().map(Seg::total).sum::<u64>());
+        SeqRef { segs, total }
+    }
+
+    /// Number of values in the (logical) sequence.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Number of physical segments (the compressed size driver).
+    pub fn seg_count(&self) -> usize {
+        self.segs.len()
+    }
+
+    pub fn segments(&self) -> &'a [Seg] {
+        self.segs
+    }
+
+    /// Closed-form sum in O(segments); see [`IntSeq::sum`].
+    pub fn sum(&self) -> i64 {
         let mut total = 0i64;
-        for s in &self.segs {
+        for s in self.segs {
             let n = s.len as i64;
             let one = s
                 .start
@@ -177,13 +222,32 @@ impl IntSeq {
         }
         total
     }
+
+    /// Sequential reader over the values.
+    pub fn reader(&self) -> IntSeqReader<'a> {
+        IntSeqReader {
+            segs: self.segs,
+            seg: 0,
+            rep: 0,
+            idx: 0,
+        }
+    }
+
+    /// Materialize an owning [`IntSeq`] with the same contents.
+    pub fn to_int_seq(&self) -> IntSeq {
+        IntSeq {
+            segs: self.segs.to_vec(),
+            total: self.total,
+        }
+    }
 }
 
-/// Sequential consumer of an [`IntSeq`] (supports peek, used by branch
-/// outcome matching during decompression).
+/// Sequential consumer of a compressed sequence (supports peek, used by
+/// branch outcome matching during decompression). Works over any segment
+/// slice, so it serves both [`IntSeq`] and [`SeqRef`].
 #[derive(Debug, Clone)]
 pub struct IntSeqReader<'a> {
-    seq: &'a IntSeq,
+    segs: &'a [Seg],
     seg: usize,
     rep: u32,
     idx: u32,
@@ -193,13 +257,13 @@ pub struct IntSeqReader<'a> {
 impl IntSeqReader<'_> {
     /// Look at the next value without consuming it.
     pub fn peek(&self) -> Option<i64> {
-        let s = self.seq.segs.get(self.seg)?;
+        let s = self.segs.get(self.seg)?;
         Some(s.value_at(self.idx))
     }
 
     /// Consume and return the next value.
     pub fn next(&mut self) -> Option<i64> {
-        let s = self.seq.segs.get(self.seg)?;
+        let s = self.segs.get(self.seg)?;
         let v = s.value_at(self.idx);
         self.idx += 1;
         if self.idx == s.len {
@@ -216,7 +280,7 @@ impl IntSeqReader<'_> {
     /// How many values remain.
     pub fn remaining(&self) -> u64 {
         let mut rem = 0u64;
-        for (i, s) in self.seq.segs.iter().enumerate().skip(self.seg) {
+        for (i, s) in self.segs.iter().enumerate().skip(self.seg) {
             if i == self.seg {
                 let done = self.rep as u64 * s.len as u64 + self.idx as u64;
                 rem += s.total() - done;
@@ -240,30 +304,39 @@ impl Codec for IntSeq {
     }
 
     fn decode(dec: &mut Decoder<'_>) -> DecodeResult<Self> {
-        let n = dec.get_uvar()? as usize;
-        if n > 1 << 28 {
-            return Err(DecodeError(format!("absurd segment count {n}")));
-        }
-        let mut segs = Vec::with_capacity(n.min(1 << 16));
-        let mut total = 0u64;
-        for _ in 0..n {
-            let start = dec.get_ivar()?;
-            let stride = dec.get_ivar()?;
-            let len = dec.get_uvar()? as u32;
-            let reps = dec.get_uvar()? as u32;
-            if len == 0 || reps == 0 {
-                return Err(DecodeError("zero-length segment".into()));
-            }
-            total += len as u64 * reps as u64;
-            segs.push(Seg {
-                start,
-                stride,
-                len,
-                reps,
-            });
-        }
+        let mut segs = Vec::new();
+        let total = decode_segs_into(dec, &mut segs)?;
         Ok(IntSeq { segs, total })
     }
+}
+
+/// Decode the wire form of an [`IntSeq`], appending its segments to `out`
+/// instead of allocating a fresh vector — the primitive pooled (slab) CTT
+/// decoding is built on. Returns the logical length of the sequence.
+pub(crate) fn decode_segs_into(dec: &mut Decoder<'_>, out: &mut Vec<Seg>) -> DecodeResult<u64> {
+    let n = dec.get_uvar()? as usize;
+    if n > 1 << 28 {
+        return Err(DecodeError(format!("absurd segment count {n}")));
+    }
+    out.reserve(n.min(1 << 16));
+    let mut total = 0u64;
+    for _ in 0..n {
+        let start = dec.get_ivar()?;
+        let stride = dec.get_ivar()?;
+        let len = dec.get_uvar()? as u32;
+        let reps = dec.get_uvar()? as u32;
+        if len == 0 || reps == 0 {
+            return Err(DecodeError("zero-length segment".into()));
+        }
+        total += len as u64 * reps as u64;
+        out.push(Seg {
+            start,
+            stride,
+            len,
+            reps,
+        });
+    }
+    Ok(total)
 }
 
 #[cfg(test)]

@@ -14,8 +14,9 @@
 //! member rank) without materializing per-rank trees.
 
 use crate::ctt::{Ctt, LeafRecord, VertexData};
-use crate::intseq::IntSeq;
+use crate::intseq::SeqRef;
 use crate::merge::{MergedCtt, MergedVertex, RankSet};
+use std::borrow::Cow;
 
 /// The set of ranks a folded datum applies to: a single process's rank when
 /// folding a per-rank [`Ctt`], or a merged group's [`RankSet`].
@@ -53,9 +54,9 @@ impl RankScope<'_> {
 /// hot-spot provenance implements `on_loop` to recover trip counts.
 pub trait CttFold {
     /// A loop vertex's per-visit iteration-count sequence.
-    fn on_loop(&mut self, _gid: u32, _ranks: RankScope, _counts: &IntSeq) {}
+    fn on_loop(&mut self, _gid: u32, _ranks: RankScope, _counts: SeqRef<'_>) {}
     /// A branch vertex's taken-visit-index sequence.
-    fn on_branch(&mut self, _gid: u32, _ranks: RankScope, _taken: &IntSeq) {}
+    fn on_branch(&mut self, _gid: u32, _ranks: RankScope, _taken: SeqRef<'_>) {}
     /// One merged leaf record. `slot` is the record's first-occurrence index
     /// within its leaf; `rec.count` is the total occurrence count for *each*
     /// rank in scope (merging requires equal counts, so the group total is
@@ -70,14 +71,54 @@ pub fn fold_ctt<F: CttFold>(ctt: &Ctt, f: &mut F) {
         let gid = gid as u32;
         match vd {
             VertexData::Root => {}
-            VertexData::Loop { counts } => f.on_loop(gid, scope, counts),
-            VertexData::Branch { taken } => f.on_branch(gid, scope, taken),
+            VertexData::Loop { counts } => f.on_loop(gid, scope, counts.view()),
+            VertexData::Branch { taken } => f.on_branch(gid, scope, taken.view()),
             VertexData::Leaf { records } => {
                 for (slot, rec) in records.iter().enumerate() {
                     f.on_record(gid, slot, scope, rec);
                 }
             }
         }
+    }
+}
+
+/// Anything a fold (and the query engine) can treat as one process's
+/// compressed trace tree: an owned [`Ctt`], or a pooled
+/// [`CttSlab`](crate::slab::CttSlab) whose vertices live in shared arena
+/// vectors. Keeping the engine generic over this trait is what lets the
+/// trace store query slab-decoded jobs through exactly the same fold code
+/// paths as owned CTTs — identical callback order, identical results.
+pub trait CttSource {
+    fn rank(&self) -> u32;
+    fn nprocs(&self) -> u32;
+    fn app_time(&self) -> u64;
+    /// Number of CTT vertices (must mirror the CST shape).
+    fn vertex_count(&self) -> usize;
+    /// Walk the tree, invoking `f` exactly as [`fold_ctt`] would.
+    fn fold<F: CttFold>(&self, f: &mut F);
+    /// An owned (or borrowed) [`Ctt`] with identical contents — the
+    /// partial-expansion fallback decompresses through this.
+    fn as_ctt(&self) -> Cow<'_, Ctt>;
+}
+
+impl CttSource for Ctt {
+    fn rank(&self) -> u32 {
+        self.rank
+    }
+    fn nprocs(&self) -> u32 {
+        self.nprocs
+    }
+    fn app_time(&self) -> u64 {
+        self.app_time
+    }
+    fn vertex_count(&self) -> usize {
+        self.data.len()
+    }
+    fn fold<F: CttFold>(&self, f: &mut F) {
+        fold_ctt(self, f);
+    }
+    fn as_ctt(&self) -> Cow<'_, Ctt> {
+        Cow::Borrowed(self)
     }
 }
 
@@ -91,8 +132,12 @@ pub fn fold_merged<F: CttFold>(m: &MergedCtt, f: &mut F) {
             MergedVertex::Control(groups) => {
                 for (rs, vd) in groups {
                     match vd {
-                        VertexData::Loop { counts } => f.on_loop(gid, RankScope::Set(rs), counts),
-                        VertexData::Branch { taken } => f.on_branch(gid, RankScope::Set(rs), taken),
+                        VertexData::Loop { counts } => {
+                            f.on_loop(gid, RankScope::Set(rs), counts.view())
+                        }
+                        VertexData::Branch { taken } => {
+                            f.on_branch(gid, RankScope::Set(rs), taken.view())
+                        }
                         _ => {}
                     }
                 }
@@ -124,7 +169,7 @@ mod tests {
     }
 
     impl CttFold for CountFold {
-        fn on_loop(&mut self, _gid: u32, _ranks: RankScope, _counts: &IntSeq) {
+        fn on_loop(&mut self, _gid: u32, _ranks: RankScope, _counts: SeqRef<'_>) {
             self.loops += 1;
         }
         fn on_record(&mut self, _gid: u32, _slot: usize, ranks: RankScope, rec: &LeafRecord) {

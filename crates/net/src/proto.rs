@@ -22,6 +22,7 @@
 //! ```text
 //! stream mode:  Hello → (HelloAck ←) → Events* → Finish → (FinAck ←)
 //! ctt mode:     Hello → (HelloAck ←) → RankCtt | RankCttZ → (FinAck ←)
+//! query mode:   QueryRequest → (QueryResponse ←), repeated per connection
 //! any point:    Error ← (collector rejects; see codes)
 //! ```
 //!
@@ -68,6 +69,8 @@ pub mod codes {
     pub const INTERNAL: u16 = 6;
     /// Transient overload; the client should back off and retry.
     pub const BUSY: u16 = 7;
+    /// The requested job does not exist in the served store.
+    pub const NOT_FOUND: u16 = 8;
 
     pub fn name(code: u16) -> &'static str {
         match code {
@@ -78,6 +81,7 @@ pub mod codes {
             SHUTDOWN => "shutdown",
             INTERNAL => "internal",
             BUSY => "busy",
+            NOT_FOUND => "not-found",
             _ => "unknown",
         }
     }
@@ -120,6 +124,8 @@ const FR_ERROR: u8 = 7;
 const FR_RANK_CTT_Z: u8 = 8;
 const FR_STATS_REQ: u8 = 9;
 const FR_STATS: u8 = 10;
+const FR_QUERY_REQ: u8 = 11;
+const FR_QUERY_RESP: u8 = 12;
 
 /// One protocol message.
 #[derive(Debug, Clone, PartialEq)]
@@ -157,6 +163,14 @@ pub enum Frame {
     /// fields appended by newer collectors never trip the frame-level
     /// trailing-bytes check.
     Stats { stats: crate::stats::Stats },
+    /// Ask a resident query daemon to evaluate a query against one job in
+    /// its store. `options` is an opaque, self-versioned blob (the query
+    /// crate's canonical `QueryOptions` encoding) so the frame layer stays
+    /// independent of the query engine.
+    QueryRequest { job: String, options: Vec<u8> },
+    /// The answer: an opaque, self-versioned `QueryResult` blob, nested as
+    /// length-prefixed bytes like [`Frame::Stats`].
+    QueryResponse { result: Vec<u8> },
     /// Rejection; `code` is one of [`codes`].
     Error { code: u16, message: String },
 }
@@ -173,6 +187,8 @@ impl Frame {
             Frame::RankCttZ { .. } => FR_RANK_CTT_Z,
             Frame::StatsRequest => FR_STATS_REQ,
             Frame::Stats { .. } => FR_STATS,
+            Frame::QueryRequest { .. } => FR_QUERY_REQ,
+            Frame::QueryResponse { .. } => FR_QUERY_RESP,
             Frame::Error { .. } => FR_ERROR,
         }
     }
@@ -189,6 +205,8 @@ impl Frame {
             Frame::RankCttZ { .. } => "RankCttZ",
             Frame::StatsRequest => "StatsRequest",
             Frame::Stats { .. } => "Stats",
+            Frame::QueryRequest { .. } => "QueryRequest",
+            Frame::QueryResponse { .. } => "QueryResponse",
             Frame::Error { .. } => "Error",
         }
     }
@@ -238,6 +256,11 @@ impl Frame {
             }
             Frame::StatsRequest => {}
             Frame::Stats { stats } => enc.put_bytes(&stats.encode()),
+            Frame::QueryRequest { job, options } => {
+                enc.put_str(job);
+                enc.put_bytes(options);
+            }
+            Frame::QueryResponse { result } => enc.put_bytes(result),
             Frame::Error { code, message } => {
                 enc.put_uvar(*code as u64);
                 enc.put_str(message);
@@ -309,6 +332,13 @@ impl Frame {
                     .map_err(|e| bad(e.to_string()))?;
                 Frame::Stats { stats }
             }
+            FR_QUERY_REQ => Frame::QueryRequest {
+                job: dec.get_str().map_err(|e| bad(e.to_string()))?,
+                options: dec.get_bytes().map_err(|e| bad(e.to_string()))?,
+            },
+            FR_QUERY_RESP => Frame::QueryResponse {
+                result: dec.get_bytes().map_err(|e| bad(e.to_string()))?,
+            },
             FR_ERROR => Frame::Error {
                 code: dec.get_uvar().map_err(|e| bad(e.to_string()))? as u16,
                 message: dec.get_str().map_err(|e| bad(e.to_string()))?,
@@ -446,6 +476,13 @@ mod tests {
                     }],
                     quantiles: vec![],
                 },
+            },
+            Frame::QueryRequest {
+                job: "jacobi-0042".into(),
+                options: vec![1, 0, 10],
+            },
+            Frame::QueryResponse {
+                result: vec![1, 4, 0],
             },
             Frame::Error {
                 code: codes::CST_MISMATCH,

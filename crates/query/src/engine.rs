@@ -4,8 +4,8 @@
 use crate::accum::Accum;
 use crate::{QueryError, QueryOptions, QueryResult, Strategy, StrategyUsed};
 use cypress_core::{
-    decompress, decompress_into, fold_ctt, fold_merged, replay_to_records, Ctt, CttFold, IntSeq,
-    LeafRecord, MergedCtt, RankScope,
+    decompress, decompress_into, fold_ctt, fold_merged, replay_to_records, Ctt, CttFold, CttSource,
+    LeafRecord, MergedCtt, RankScope, SeqRef,
 };
 use cypress_cst::tree::VertexKind;
 use cypress_cst::Cst;
@@ -70,19 +70,21 @@ fn resolve_strategy(requested: Strategy, cst: &Cst) -> StrategyUsed {
 }
 
 /// World size of a per-rank CTT set (must agree across ranks).
-fn world_size(ctts: &[Ctt]) -> Result<u32, QueryError> {
+fn world_size<S: CttSource>(ctts: &[S]) -> Result<u32, QueryError> {
     let first = ctts
         .first()
-        .ok_or_else(|| QueryError::Invalid("no CTTs to query".into()))?;
+        .ok_or_else(|| QueryError::Invalid("no CTTs to query".into()))?
+        .nprocs();
     for c in ctts {
-        if c.nprocs != first.nprocs {
+        if c.nprocs() != first {
             return Err(QueryError::Invalid(format!(
                 "CTTs disagree on world size: {} vs {}",
-                first.nprocs, c.nprocs
+                first,
+                c.nprocs()
             )));
         }
     }
-    Ok(first.nprocs)
+    Ok(first)
 }
 
 fn check_shape(cst: &Cst, data_len: usize) -> Result<(), QueryError> {
@@ -122,25 +124,33 @@ struct TripsFold {
 }
 
 impl CttFold for TripsFold {
-    fn on_loop(&mut self, _gid: u32, ranks: RankScope, counts: &IntSeq) {
+    fn on_loop(&mut self, _gid: u32, ranks: RankScope, counts: SeqRef<'_>) {
         self.trips += counts.sum().max(0) as u64 * ranks.len();
     }
     fn on_record(&mut self, _gid: u32, _slot: usize, _ranks: RankScope, _rec: &LeafRecord) {}
 }
 
 /// Query a set of per-rank CTTs directly in the compressed domain.
-pub fn query_ctts(cst: &Cst, ctts: &[Ctt], opts: &QueryOptions) -> Result<QueryResult, QueryError> {
+///
+/// Generic over [`CttSource`], so owned [`Ctt`]s and the trace store's
+/// pooled `CttSlab`s evaluate through exactly the same folds in the same
+/// order — results are identical (bit for bit) for identical tree contents.
+pub fn query_ctts<S: CttSource>(
+    cst: &Cst,
+    ctts: &[S],
+    opts: &QueryOptions,
+) -> Result<QueryResult, QueryError> {
     let _span = cypress_obs::enabled().then(|| obs().query_ns.start_span());
     let nprocs = world_size(ctts)?;
     for c in ctts {
-        check_shape(cst, c.data.len())?;
+        check_shape(cst, c.vertex_count())?;
     }
     let used = resolve_strategy(opts.strategy, cst);
     let mut acc = Accum::new(nprocs, cst.len());
     let mut trips = TripsFold { trips: 0 };
     for ctt in ctts {
-        acc.set_app_time(ctt.rank, ctt.app_time);
-        fold_ctt(ctt, &mut trips);
+        acc.set_app_time(ctt.rank(), ctt.app_time());
+        ctt.fold(&mut trips);
     }
     match used {
         StrategyUsed::Symbolic => {
@@ -149,15 +159,16 @@ pub fn query_ctts(cst: &Cst, ctts: &[Ctt], opts: &QueryOptions) -> Result<QueryR
                 records: 0,
             };
             for ctt in ctts {
-                fold_ctt(ctt, &mut f);
+                ctt.fold(&mut f);
             }
             note_run(f.records, 0);
         }
         _ => {
             let mut events = 0u64;
             for ctt in ctts {
-                let rank = ctt.rank;
-                decompress_into(cst, ctt, |op| {
+                let rank = ctt.rank();
+                let owned = ctt.as_ctt();
+                decompress_into(cst, &owned, |op| {
                     acc.add_replay(rank, &op);
                     events += 1;
                 });
@@ -428,7 +439,7 @@ mod tests {
     fn empty_input_is_an_error() {
         let (cst, _) = compile("fn main() { barrier(); }", 1);
         assert!(matches!(
-            query_ctts(&cst, &[], &QueryOptions::default()),
+            query_ctts::<Ctt>(&cst, &[], &QueryOptions::default()),
             Err(QueryError::Invalid(_))
         ));
     }

@@ -47,10 +47,12 @@ mod accum;
 mod container;
 mod engine;
 mod hotspot;
+mod wire;
 
 pub use container::{query_container, query_container_bytes, query_container_path};
 pub use engine::{needs_expansion, query_by_decompression, query_ctts, query_merged};
 pub use hotspot::HotSpot;
+pub use wire::QUERY_WIRE_VERSION;
 
 use cypress_trace::{CommMatrix, MpiOp, Profile};
 use std::fmt;

@@ -1,0 +1,140 @@
+//! One opened container, held zero-copy and query-ready.
+
+use crate::StoreError;
+use cypress_core::{CttSlab, CttSource, MergedCtt};
+use cypress_cst::Cst;
+use cypress_query::{query_ctts, query_merged, QueryOptions, QueryResult};
+use cypress_trace::{Codec, ContainerError, PayloadArena, SectionKind, SectionTable};
+use std::path::Path;
+
+/// A `.cytc` job opened by the store: the raw image in one backing buffer,
+/// the parsed section table over it, the inflation arena, and the decoded
+/// query inputs (CST + pooled per-rank CTT slabs, or the merged tree).
+///
+/// Raw sections are never copied out of the image; deflated sections are
+/// inflated exactly once into the arena, shared by every reader of this
+/// handle. Per-rank CTTs decode into [`CttSlab`]s — index-based vertices
+/// over two shared pools — so opening a job costs a handful of allocations
+/// regardless of tree size.
+///
+/// The merged tree is only decoded when the per-rank set is incomplete:
+/// a complete set answers every query with exact per-rank timing, and
+/// skipping the merged section keeps its (often large) payload un-inflated.
+pub struct StoreJob {
+    name: String,
+    image: Box<[u8]>,
+    table: SectionTable,
+    arena: PayloadArena,
+    cst: Cst,
+    slabs: Vec<CttSlab>,
+    merged: Option<MergedCtt>,
+    complete: bool,
+}
+
+impl StoreJob {
+    /// Open and fully verify one container file. All per-section CRCs are
+    /// checked by the table parse; only the sections a query needs are
+    /// inflated/decoded.
+    pub fn open(path: &Path, name: &str) -> Result<StoreJob, StoreError> {
+        let image = std::fs::read(path)?.into_boxed_slice();
+        let table = SectionTable::parse(&image)?;
+        let arena = PayloadArena::new(table.len());
+        let nprocs = table.nprocs;
+
+        let cst_idx = table
+            .find(SectionKind::CstText)
+            .ok_or(ContainerError::MissingSection("cst-text"))?;
+        let cst_bytes = arena.payload(&image, &table.sections()[cst_idx], cst_idx)?;
+        let cst_text = std::str::from_utf8(cst_bytes)
+            .map_err(|e| StoreError::Invalid(format!("cst section is not utf-8: {e}")))?;
+        let cst = Cst::from_text(cst_text).map_err(StoreError::Invalid)?;
+
+        let mut slabs = Vec::new();
+        for idx in table.rank_indices() {
+            let payload = arena.payload(&image, &table.sections()[idx], idx)?;
+            slabs.push(CttSlab::from_bytes(payload)?);
+        }
+        let complete = slabs.len() as u32 == nprocs
+            && nprocs > 0
+            && (0..nprocs).all(|r| slabs.iter().any(|s| s.rank() == r));
+
+        let merged = if complete {
+            None
+        } else {
+            match table.find(SectionKind::MergedCtt) {
+                Some(idx) => {
+                    let payload = arena.payload(&image, &table.sections()[idx], idx)?;
+                    Some(MergedCtt::from_bytes(payload)?)
+                }
+                None => None,
+            }
+        };
+
+        Ok(StoreJob {
+            name: name.to_string(),
+            image,
+            table,
+            arena,
+            cst,
+            slabs,
+            merged,
+            complete,
+        })
+    }
+
+    /// Evaluate the compressed-domain query suite. Selection matches the
+    /// umbrella `LoadedJob::query_with` exactly — a complete per-rank set
+    /// is preferred, then the merged tree — and slab evaluation is pinned
+    /// byte-identical to owned-CTT evaluation, so daemon answers equal
+    /// local ones bit for bit.
+    pub fn query(&self, opts: &QueryOptions) -> Result<QueryResult, StoreError> {
+        if self.complete {
+            return Ok(query_ctts(&self.cst, &self.slabs, opts)?);
+        }
+        if let Some(merged) = &self.merged {
+            return Ok(query_merged(&self.cst, merged, opts)?);
+        }
+        Err(StoreError::Container(ContainerError::MissingSection(
+            "merged-ctt or complete rank-ctt set",
+        )))
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn nprocs(&self) -> u32 {
+        self.table.nprocs
+    }
+
+    /// Number of per-rank CTT sections decoded.
+    pub fn rank_count(&self) -> usize {
+        self.slabs.len()
+    }
+
+    /// Whether queries run on the complete per-rank set (vs. merged tree).
+    pub fn has_complete_rank_set(&self) -> bool {
+        self.complete
+    }
+
+    /// The parsed CST.
+    pub fn cst(&self) -> &Cst {
+        &self.cst
+    }
+
+    /// Inflations performed for this job so far (0 for all-raw images).
+    pub fn inflations(&self) -> u64 {
+        self.arena.inflations()
+    }
+
+    /// Approximate bytes this handle keeps resident: the backing image,
+    /// inflated arena payloads, decoded slab pools, and the merged tree.
+    /// This is the figure the store charges against its byte budget.
+    pub fn resident_bytes(&self) -> usize {
+        self.image.len()
+            + self.arena.resident_bytes()
+            + self.slabs.iter().map(|s| s.approx_bytes()).sum::<usize>()
+            + self.merged.as_ref().map_or(0, |m| m.approx_bytes())
+            + self.name.len()
+    }
+}

@@ -1,0 +1,120 @@
+//! # cypress-store — zero-copy trace store and resident query daemon
+//!
+//! A `.cytc` container is a directly servable analysis artifact; this crate
+//! makes serving *directories* of them cheap:
+//!
+//! * [`StoreJob`] — one opened container held zero-copy: the backing image
+//!   stays in one buffer, raw sections are served as slices of it, deflated
+//!   sections inflate exactly once into a [`cypress_trace::PayloadArena`]
+//!   owned by the handle, and per-rank CTTs decode into pooled
+//!   [`cypress_core::CttSlab`]s instead of per-node heap allocations.
+//!   [`StoreJob::query`] replicates the umbrella `LoadedJob::query`
+//!   selection exactly, so answers are byte-identical.
+//! * [`JobStore`] — a directory of jobs behind an LRU of hot handles with
+//!   byte- and entry-count budgets ([`StoreConfig`]), duplicate-open
+//!   coalescing, and hit/miss/eviction metrics ([`StoreStats`], mirrored
+//!   into the `store` observability scope).
+//! * [`serve`]/[`spawn`] + [`QueryClient`] — `cypress queryd`: the store
+//!   served over the net transport's versioned frames
+//!   (`QueryRequest`/`QueryResponse` with self-versioned option/result
+//!   blobs), persistent connections, clean protocol errors.
+//!
+//! Evicted jobs are only *unpinned*: readers holding an `Arc<StoreJob>`
+//! keep a valid handle; memory is reclaimed when the last clone drops.
+
+mod client;
+mod job;
+mod serve;
+mod store;
+
+pub use client::{query_remote, QueryClient};
+pub use job::StoreJob;
+pub use serve::{spawn, ServerHandle};
+pub use store::{JobStore, StoreConfig, StoreStats};
+
+use cypress_query::QueryError;
+use cypress_trace::{ContainerError, DecodeError};
+use std::fmt;
+
+/// Store failures, layered like the rest of the workspace.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem I/O (reading images, scanning the store directory).
+    Io(std::io::Error),
+    /// Container framing/CRC/section problems.
+    Container(ContainerError),
+    /// Malformed codec bytes inside a section or a wire blob.
+    Decode(DecodeError),
+    /// Compressed-domain query failure.
+    Query(QueryError),
+    /// Transport or frame-level failure talking to a daemon.
+    Net(cypress_net::NetError),
+    /// The named job has no `.cytc` file in the store directory.
+    NotFound(String),
+    /// The daemon rejected the request with a protocol error frame.
+    Remote { code: u16, message: String },
+    /// Bad input: invalid job name, malformed CST text, config misuse.
+    Invalid(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store io error: {e}"),
+            StoreError::Container(e) => write!(f, "store container error: {e}"),
+            StoreError::Decode(e) => write!(f, "store decode error: {e}"),
+            StoreError::Query(e) => write!(f, "store query error: {e}"),
+            StoreError::Net(e) => write!(f, "store net error: {e}"),
+            StoreError::NotFound(name) => write!(f, "job {name:?} not found in store"),
+            StoreError::Remote { code, message } => write!(
+                f,
+                "daemon rejected request ({}): {message}",
+                cypress_net::proto::codes::name(*code)
+            ),
+            StoreError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Container(e) => Some(e),
+            StoreError::Decode(e) => Some(e),
+            StoreError::Query(e) => Some(e),
+            StoreError::Net(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<ContainerError> for StoreError {
+    fn from(e: ContainerError) -> Self {
+        StoreError::Container(e)
+    }
+}
+
+impl From<DecodeError> for StoreError {
+    fn from(e: DecodeError) -> Self {
+        StoreError::Decode(e)
+    }
+}
+
+impl From<QueryError> for StoreError {
+    fn from(e: QueryError) -> Self {
+        StoreError::Query(e)
+    }
+}
+
+impl From<cypress_net::NetError> for StoreError {
+    fn from(e: cypress_net::NetError) -> Self {
+        StoreError::Net(e)
+    }
+}

@@ -193,6 +193,12 @@ impl<'a> Decoder<'a> {
     }
 
     pub fn get_bytes(&mut self) -> DecodeResult<Vec<u8>> {
+        Ok(self.get_bytes_ref()?.to_vec())
+    }
+
+    /// Like [`Decoder::get_bytes`] but borrows the bytes from the input
+    /// buffer instead of copying them — the basis of zero-copy section views.
+    pub fn get_bytes_ref(&mut self) -> DecodeResult<&'a [u8]> {
         let n = self.get_uvar()? as usize;
         if self.buf.len() < n {
             return Err(DecodeError(format!(
@@ -200,7 +206,7 @@ impl<'a> Decoder<'a> {
                 self.buf.len()
             )));
         }
-        let out = self.buf[..n].to_vec();
+        let out = &self.buf[..n];
         self.buf = &self.buf[n..];
         Ok(out)
     }

@@ -5,6 +5,7 @@
 //! heatmaps to characterise MG/SP (Fig. 17) and LESlie3d (Fig. 20); the
 //! harness here emits CSV plus a coarse ASCII heatmap.
 
+use crate::codec::{Codec, DecodeError, DecodeResult, Decoder, Encoder};
 use crate::event::{MpiOp, MpiRecord, ANY_SOURCE};
 use crate::raw::RawTrace;
 
@@ -142,6 +143,35 @@ impl CommMatrix {
     }
 }
 
+impl Codec for CommMatrix {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_uvar(self.nprocs as u64);
+        for cell in &self.data {
+            enc.put_uvar(*cell);
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> DecodeResult<Self> {
+        let nprocs = dec.get_uvar()? as usize;
+        let cells = nprocs
+            .checked_mul(nprocs)
+            .ok_or_else(|| DecodeError(format!("comm matrix dimension {nprocs} overflows")))?;
+        // Every cell costs at least one encoded byte, so a huge claimed
+        // dimension over a short buffer is rejected before allocation.
+        if cells > dec.remaining() {
+            return Err(DecodeError(format!(
+                "comm matrix claims {cells} cells but only {} bytes remain",
+                dec.remaining()
+            )));
+        }
+        let mut m = CommMatrix::new(nprocs);
+        for cell in &mut m.data {
+            *cell = dec.get_uvar()?;
+        }
+        Ok(m)
+    }
+}
+
 /// Count wildcard receives in a set of traces (used by tests and stats).
 pub fn wildcard_recv_count(traces: &[RawTrace]) -> usize {
     traces
@@ -221,6 +251,23 @@ mod tests {
         let art = m.to_ascii();
         assert_eq!(art.lines().count(), 4);
         assert!(art.lines().all(|l| l.len() == 4));
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let mut m = CommMatrix::new(3);
+        m.add(0, 1, 150);
+        m.add(2, 0, 7);
+        let bytes = m.to_bytes();
+        assert_eq!(CommMatrix::from_bytes(&bytes).unwrap(), m);
+    }
+
+    #[test]
+    fn codec_rejects_oversized_dimension() {
+        let mut enc = crate::codec::Encoder::new();
+        enc.put_uvar(1 << 20); // claims a 2^40-cell matrix over no data
+        let err = CommMatrix::from_bytes(&enc.finish());
+        assert!(err.is_err());
     }
 
     #[test]

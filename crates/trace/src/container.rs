@@ -10,17 +10,19 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic "CYTC"
-//! 4       1     format version (1 = raw sections, 2 = per-section encoding)
+//! 4       1     format version (1 = raw sections, 2 = per-section encoding,
+//!               3 = v2 body + whole-image crc trailer)
 //! 5       …     body (cypress varint codec):
 //!               uvar nprocs
 //!               uvar section_count
 //!               section × section_count:
 //!                 u8   kind        (Meta | CstText | MergedCtt | RankCtt)
 //!                 uvar rank + 1    (0 = not rank-scoped)
-//!                 u8   encoding    (v2 only: 0 = raw, 1 = deflate)
-//!                 uvar raw_len     (v2 only, deflate encoding only)
+//!                 u8   encoding    (v2+ only: 0 = raw, 1 = deflate)
+//!                 uvar raw_len     (v2+ only, deflate encoding only)
 //!                 uvar stored_len, stored bytes
 //!                 uvar crc32(stored)    (gzip polynomial, cypress-deflate)
+//! end     4     u32 LE crc32 of every preceding byte (v3 only)
 //! ```
 //!
 //! Each section is independently framed and CRC-protected, so a reader can
@@ -28,17 +30,24 @@
 //! per-section. Writers go through [`Container::write_file`], which is
 //! atomic (temp + rename).
 //!
-//! Version 2 adds per-section DEFLATE: [`Container::to_bytes_with`]
-//! compresses eligible payloads at a chosen [`Level`]. A writer that
-//! compresses nothing emits a byte-identical version-1 image, so readers of
-//! either version interoperate whenever the features in the file allow it.
-//! Sections can also be encoded independently ([`encode_section`]) and
-//! assembled later ([`assemble`]) — that split is what lets the umbrella
-//! crate compress sections on a worker pool without this crate depending on
-//! a scheduler.
+//! Version 2 added per-section DEFLATE: [`Container::to_bytes_with`]
+//! compresses eligible payloads at a chosen [`Level`]. Sections can also be
+//! encoded independently ([`encode_section`]) and assembled later
+//! ([`assemble`]) — that split is what lets the umbrella crate compress
+//! sections on a worker pool without this crate depending on a scheduler.
+//!
+//! Version 3 (current) appends a crc32 of the whole preceding image.
+//! Per-section CRCs protect payload bytes, but the *framing* varints
+//! (section counts, lengths) were previously unprotected: a single flipped
+//! length byte could send a reader off to allocate gigabytes or
+//! misinterpret the rest of the file. The image CRC is verified over the
+//! full prefix **before any body byte is parsed** (see
+//! [`SectionTable::parse`](crate::view::SectionTable::parse)), so every
+//! single-byte corruption of a v3 file is rejected up front with a clean
+//! error. Writers always emit v3; readers accept all of v1/v2/v3.
 
-use crate::codec::{DecodeError, Decoder, Encoder};
-use cypress_deflate::{crc32, deflate, inflate, Level};
+use crate::codec::{DecodeError, Encoder};
+use cypress_deflate::{crc32, deflate, Level};
 use std::fmt;
 use std::path::Path;
 use std::sync::OnceLock;
@@ -47,12 +56,12 @@ use std::sync::OnceLock;
 pub const CONTAINER_MAGIC: [u8; 4] = *b"CYTC";
 
 /// Current format version.
-pub const CONTAINER_VERSION: u8 = 2;
+pub const CONTAINER_VERSION: u8 = 3;
 
 /// Section stored exactly as its payload bytes.
-const ENC_RAW: u8 = 0;
+pub(crate) const ENC_RAW: u8 = 0;
 /// Section stored as a raw DEFLATE stream of the payload.
-const ENC_DEFLATE: u8 = 1;
+pub(crate) const ENC_DEFLATE: u8 = 1;
 
 /// Payloads below this size skip compression: framing overhead dominates and
 /// the extra encoding byte already costs one.
@@ -87,6 +96,14 @@ fn obs() -> &'static ContainerMetrics {
             section_encode_ns: s.histogram("section_encode_ns", &cypress_obs::TIME_BOUNDS_NS),
         }
     })
+}
+
+/// Record a CRC failure in the `container` metrics scope (shared with the
+/// lazy parser in [`crate::view`]).
+pub(crate) fn note_crc_failure() {
+    if cypress_obs::enabled() {
+        obs().crc_failures.inc();
+    }
 }
 
 /// What a section's payload contains.
@@ -164,6 +181,12 @@ pub enum ContainerError {
         stored: u32,
         computed: u32,
     },
+    /// The whole-image CRC trailer (v3) does not match — some byte of the
+    /// file, payload or framing, was corrupted.
+    ImageCrcMismatch {
+        stored: u32,
+        computed: u32,
+    },
     /// A required section is absent.
     MissingSection(&'static str),
     /// A section carries no payload bytes. Every defined kind has a
@@ -195,6 +218,10 @@ impl fmt::Display for ContainerError {
             } => write!(
                 f,
                 "section {index} crc mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            ContainerError::ImageCrcMismatch { stored, computed } => write!(
+                f,
+                "image crc mismatch: stored {stored:#010x}, computed {computed:#010x}"
             ),
             ContainerError::MissingSection(kind) => {
                 write!(f, "container has no {kind} section")
@@ -284,112 +311,26 @@ impl Container {
         assemble(self.nprocs, &encoded)
     }
 
-    /// Parse and verify a container image (magic, version, framing, and
-    /// every section CRC).
+    /// Parse and verify a container image (magic, version, image CRC for
+    /// v3, framing, and every section CRC), materializing every payload
+    /// eagerly. Shares its parser with the lazy
+    /// [`ContainerView`](crate::view::ContainerView), so both paths accept
+    /// and reject exactly the same images.
     pub fn from_bytes(buf: &[u8]) -> Result<Self, ContainerError> {
-        if buf.len() < 5 || buf[..4] != CONTAINER_MAGIC {
-            return Err(ContainerError::BadMagic);
-        }
-        let version = buf[4];
-        if version == 0 || version > CONTAINER_VERSION {
-            return Err(ContainerError::UnsupportedVersion(version));
-        }
-        let mut dec = Decoder::new(&buf[5..]);
-        let nprocs = dec.get_uvar()? as u32;
-        let nsections = dec.get_uvar()? as usize;
-        if nsections > 1 << 24 {
-            return Err(ContainerError::Corrupt(DecodeError(format!(
-                "absurd section count {nsections}"
-            ))));
-        }
-        let mut sections = Vec::with_capacity(nsections.min(1 << 12));
-        for index in 0..nsections {
-            let code = dec.get_u8()?;
-            let kind = SectionKind::from_code(code).ok_or_else(|| {
-                ContainerError::Corrupt(DecodeError(format!("bad section kind {code}")))
-            })?;
-            let rank_plus1 = dec.get_uvar()?;
-            let rank = if rank_plus1 == 0 {
-                None
-            } else {
-                Some((rank_plus1 - 1) as u32)
-            };
-            // Version 1 sections are always raw; version 2 carries an
-            // explicit encoding byte (and the decompressed length for
-            // deflated payloads, bounding decompression up front).
-            let (encoding, raw_len) = if version >= 2 {
-                let e = dec.get_u8()?;
-                if e > ENC_DEFLATE {
-                    return Err(ContainerError::Corrupt(DecodeError(format!(
-                        "bad section encoding {e}"
-                    ))));
-                }
-                let raw_len = if e == ENC_DEFLATE {
-                    let n = dec.get_uvar()?;
-                    if n > 1 << 32 {
-                        return Err(ContainerError::Corrupt(DecodeError(format!(
-                            "absurd section raw length {n}"
-                        ))));
-                    }
-                    Some(n as usize)
-                } else {
-                    None
-                };
-                (e, raw_len)
-            } else {
-                (ENC_RAW, None)
-            };
-            let stored_bytes = dec.get_bytes()?;
-            let stored = dec.get_uvar()? as u32;
-            // The CRC covers the stored bytes (what is actually in the
-            // file), so corruption is caught before any decompression.
-            let computed = crc32(&stored_bytes);
-            if stored != computed {
-                if cypress_obs::enabled() {
-                    obs().crc_failures.inc();
-                }
-                return Err(ContainerError::CrcMismatch {
-                    index,
-                    stored,
-                    computed,
-                });
-            }
-            let payload = if encoding == ENC_DEFLATE {
-                let raw = inflate(&stored_bytes).map_err(|e| {
-                    ContainerError::Corrupt(DecodeError(format!(
-                        "section {index} inflate failed: {e:?}"
-                    )))
-                })?;
-                if Some(raw.len()) != raw_len {
-                    return Err(ContainerError::Corrupt(DecodeError(format!(
-                        "section {index} inflated to {} bytes, header said {:?}",
-                        raw.len(),
-                        raw_len
-                    ))));
-                }
-                raw
-            } else {
-                stored_bytes
-            };
-            if payload.is_empty() {
-                return Err(ContainerError::EmptySection {
-                    index,
-                    kind: kind.name(),
-                });
-            }
+        let view = crate::view::ContainerView::parse(buf)?;
+        let table = view.table();
+        let mut sections = Vec::with_capacity(table.len());
+        for (index, info) in table.sections().iter().enumerate() {
             sections.push(Section {
-                kind,
-                rank,
-                payload,
+                kind: info.kind,
+                rank: info.rank,
+                payload: view.payload(index)?.to_vec(),
             });
         }
-        if !dec.is_done() {
-            return Err(ContainerError::Corrupt(DecodeError(format!(
-                "{} trailing bytes after container body",
-                dec.remaining()
-            ))));
-        }
-        Ok(Container { nprocs, sections })
+        Ok(Container {
+            nprocs: table.nprocs,
+            sections,
+        })
     }
 
     /// Write atomically (temp sibling + rename). Refuses to persist a
@@ -513,15 +454,12 @@ pub fn encode_section(s: &Section, level: Option<Level>) -> EncodedSection {
     }
 }
 
-/// Assemble encoded sections into a container image. Emits version 1 when
-/// every section is raw (bit-compatible with pre-compression readers) and
-/// version 2 otherwise.
+/// Assemble encoded sections into a container image. Always emits the
+/// current version (3): a v2-style body followed by a whole-image crc32
+/// trailer that lets readers reject any corruption — framing included —
+/// before parsing a single body byte.
 pub fn assemble(nprocs: u32, encoded: &[EncodedSection]) -> Vec<u8> {
-    let version = if encoded.iter().any(|e| e.encoding != ENC_RAW) {
-        CONTAINER_VERSION
-    } else {
-        1
-    };
+    let version = CONTAINER_VERSION;
     let mut enc =
         Encoder::with_capacity(8 + encoded.iter().map(|e| e.stored.len() + 20).sum::<usize>());
     enc.put_uvar(nprocs as u64);
@@ -529,19 +467,19 @@ pub fn assemble(nprocs: u32, encoded: &[EncodedSection]) -> Vec<u8> {
     for e in encoded {
         enc.put_u8(e.kind.code());
         enc.put_uvar(e.rank.map(|r| r as u64 + 1).unwrap_or(0));
-        if version >= 2 {
-            enc.put_u8(e.encoding);
-            if e.encoding == ENC_DEFLATE {
-                enc.put_uvar(e.raw_len as u64);
-            }
+        enc.put_u8(e.encoding);
+        if e.encoding == ENC_DEFLATE {
+            enc.put_uvar(e.raw_len as u64);
         }
         enc.put_bytes(&e.stored);
         enc.put_uvar(crc32(&e.stored) as u64);
     }
-    let mut out = Vec::with_capacity(5 + enc.len());
+    let mut out = Vec::with_capacity(5 + enc.len() + 4);
     out.extend_from_slice(&CONTAINER_MAGIC);
     out.push(version);
     out.extend_from_slice(&enc.finish());
+    let image_crc = crc32(&out);
+    out.extend_from_slice(&image_crc.to_le_bytes());
     out
 }
 
@@ -603,10 +541,11 @@ mod tests {
     }
 
     #[test]
-    fn payload_corruption_fails_crc() {
+    fn payload_corruption_fails_image_crc() {
         let c = sample();
         let clean = c.to_bytes();
         // Flip one byte inside the merged-ctt payload (find it by value).
+        // In v3 the whole-image CRC catches this before body parsing.
         let pos = clean
             .windows(5)
             .position(|w| w == [1, 2, 3, 4, 5])
@@ -615,7 +554,7 @@ mod tests {
         bytes[pos + 2] ^= 0xff;
         assert!(matches!(
             Container::from_bytes(&bytes),
-            Err(ContainerError::CrcMismatch { .. })
+            Err(ContainerError::ImageCrcMismatch { .. })
         ));
     }
 
@@ -625,7 +564,10 @@ mod tests {
         for cut in [5, 8, bytes.len() - 1] {
             let err = Container::from_bytes(&bytes[..cut]).unwrap_err();
             assert!(
-                matches!(err, ContainerError::Corrupt(_)),
+                matches!(
+                    err,
+                    ContainerError::Corrupt(_) | ContainerError::ImageCrcMismatch { .. }
+                ),
                 "cut {cut}: {err}"
             );
         }
@@ -637,7 +579,7 @@ mod tests {
         bytes.push(0);
         assert!(matches!(
             Container::from_bytes(&bytes),
-            Err(ContainerError::Corrupt(_))
+            Err(ContainerError::ImageCrcMismatch { .. })
         ));
     }
 
@@ -698,15 +640,15 @@ mod tests {
     }
 
     #[test]
-    fn raw_serialization_is_version_1_and_stable() {
+    fn raw_serialization_is_version_3_and_stable() {
         let c = compressible_sample();
         let raw = c.to_bytes_with(None);
-        assert_eq!(raw[4], 1, "all-raw image keeps the v1 format");
+        assert_eq!(raw[4], CONTAINER_VERSION);
         assert_eq!(raw, c.to_bytes());
     }
 
     #[test]
-    fn compressed_image_is_version_2_and_smaller() {
+    fn compressed_image_is_version_3_and_smaller() {
         let c = compressible_sample();
         let raw = c.to_bytes();
         let z = c.to_bytes_with(Some(Level::Default));
@@ -720,9 +662,10 @@ mod tests {
     }
 
     #[test]
-    fn incompressible_sections_stay_raw_in_v2() {
+    fn incompressible_sections_stay_raw() {
         // A container whose only large section is incompressible: deflate
-        // loses, every section stays raw, and the image remains version 1.
+        // loses, every section stays raw, and the stored image is the same
+        // size as the unleveled one.
         let mut x = 0x2468_ace1u32;
         let noise: Vec<u8> = (0..4096)
             .map(|_| {
@@ -735,8 +678,78 @@ mod tests {
         let mut c = Container::new(1);
         c.push(SectionKind::MergedCtt, None, noise);
         let z = c.to_bytes_with(Some(Level::Best));
-        assert_eq!(z[4], 1, "nothing compressed ⇒ v1 image");
+        assert_eq!(z, c.to_bytes(), "nothing compressed ⇒ same image as raw");
         assert_eq!(Container::from_bytes(&z).unwrap(), c);
+    }
+
+    /// Emit a legacy image the way pre-v3 writers did: no image-CRC
+    /// trailer, and v1 additionally drops the per-section encoding byte
+    /// (all sections raw).
+    fn legacy_image(version: u8, c: &Container) -> Vec<u8> {
+        assert!(version == 1 || version == 2);
+        let mut enc = Encoder::with_capacity(64);
+        enc.put_uvar(c.nprocs as u64);
+        enc.put_uvar(c.sections.len() as u64);
+        for s in &c.sections {
+            enc.put_u8(s.kind.code());
+            enc.put_uvar(s.rank.map(|r| r as u64 + 1).unwrap_or(0));
+            if version >= 2 {
+                enc.put_u8(ENC_RAW);
+            }
+            enc.put_bytes(&s.payload);
+            enc.put_uvar(crc32(&s.payload) as u64);
+        }
+        let mut out = Vec::new();
+        out.extend_from_slice(&CONTAINER_MAGIC);
+        out.push(version);
+        out.extend_from_slice(&enc.finish());
+        out
+    }
+
+    #[test]
+    fn legacy_v1_and_v2_images_still_read() {
+        let c = sample();
+        for v in [1u8, 2] {
+            let img = legacy_image(v, &c);
+            assert_eq!(img[4], v);
+            let back = Container::from_bytes(&img).unwrap_or_else(|e| panic!("v{v}: {e}"));
+            assert_eq!(back, c, "version {v}");
+        }
+    }
+
+    #[test]
+    fn legacy_v2_deflated_image_still_reads() {
+        // The v3 body is bit-identical to the v2 body; only the version
+        // byte and trailer differ. Strip them and we have exactly what the
+        // old v2 writer produced.
+        let c = compressible_sample();
+        let encoded: Vec<EncodedSection> = c
+            .sections
+            .iter()
+            .map(|s| encode_section(s, Some(Level::Default)))
+            .collect();
+        let v3 = assemble(c.nprocs, &encoded);
+        let mut v2 = v3[..v3.len() - 4].to_vec();
+        v2[4] = 2;
+        assert_eq!(Container::from_bytes(&v2).unwrap(), c);
+    }
+
+    #[test]
+    fn legacy_payload_corruption_fails_section_crc() {
+        // Pre-v3 images have no whole-image trailer, so the per-section
+        // CRCs are the line of defense — make sure they still are.
+        let c = sample();
+        let img = legacy_image(2, &c);
+        let pos = img
+            .windows(5)
+            .position(|w| w == [1, 2, 3, 4, 5])
+            .expect("payload present");
+        let mut bytes = img.clone();
+        bytes[pos + 2] ^= 0xff;
+        assert!(matches!(
+            Container::from_bytes(&bytes),
+            Err(ContainerError::CrcMismatch { .. })
+        ));
     }
 
     #[test]
@@ -766,7 +779,9 @@ mod tests {
         bytes[n / 2] ^= 0xff;
         assert!(matches!(
             Container::from_bytes(&bytes),
-            Err(ContainerError::CrcMismatch { .. }) | Err(ContainerError::Corrupt(_))
+            Err(ContainerError::CrcMismatch { .. })
+                | Err(ContainerError::Corrupt(_))
+                | Err(ContainerError::ImageCrcMismatch { .. })
         ));
     }
 

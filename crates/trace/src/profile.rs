@@ -7,6 +7,7 @@
 //! can be recovered from a compressed trace, subsuming what a profiler
 //! would have collected.
 
+use crate::codec::{Codec, DecodeError, DecodeResult, Decoder, Encoder};
 use crate::event::{MpiOp, MpiRecord};
 use crate::raw::RawTrace;
 use std::collections::BTreeMap;
@@ -201,6 +202,82 @@ impl Profile {
     }
 }
 
+impl Codec for OpStats {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_uvar(self.calls);
+        enc.put_uvar(self.total_bytes);
+        enc.put_uvar(self.total_time_ns);
+        enc.put_uvar(self.min_time_ns);
+        enc.put_uvar(self.max_time_ns);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> DecodeResult<Self> {
+        Ok(OpStats {
+            calls: dec.get_uvar()?,
+            total_bytes: dec.get_uvar()?,
+            total_time_ns: dec.get_uvar()?,
+            min_time_ns: dec.get_uvar()?,
+            max_time_ns: dec.get_uvar()?,
+        })
+    }
+}
+
+/// Decode a `uvar`-counted vector of `uvar` values, rejecting counts that
+/// could not possibly fit the remaining buffer (each value costs ≥ 1 byte).
+fn decode_uvar_vec(dec: &mut Decoder<'_>, what: &str) -> DecodeResult<Vec<u64>> {
+    let n = dec.get_uvar()? as usize;
+    if n > dec.remaining() {
+        return Err(DecodeError(format!(
+            "{what} claims {n} entries but only {} bytes remain",
+            dec.remaining()
+        )));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(dec.get_uvar()?);
+    }
+    Ok(out)
+}
+
+impl Codec for Profile {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_uvar(self.by_op.len() as u64);
+        for (op, s) in &self.by_op {
+            enc.put_u8(op.code());
+            s.encode(enc);
+        }
+        for v in [&self.rank_mpi_time, &self.rank_app_time, &self.size_buckets] {
+            enc.put_uvar(v.len() as u64);
+            for x in v {
+                enc.put_uvar(*x);
+            }
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> DecodeResult<Self> {
+        let nops = dec.get_uvar()? as usize;
+        if nops > dec.remaining() {
+            return Err(DecodeError(format!(
+                "profile claims {nops} op entries but only {} bytes remain",
+                dec.remaining()
+            )));
+        }
+        let mut by_op = BTreeMap::new();
+        for _ in 0..nops {
+            let code = dec.get_u8()?;
+            let op = MpiOp::from_code(code)
+                .ok_or_else(|| DecodeError(format!("unknown MPI op code {code} in profile")))?;
+            by_op.insert(op, OpStats::decode(dec)?);
+        }
+        Ok(Profile {
+            by_op,
+            rank_mpi_time: decode_uvar_vec(dec, "rank_mpi_time")?,
+            rank_app_time: decode_uvar_vec(dec, "rank_app_time")?,
+            size_buckets: decode_uvar_vec(dec, "size_buckets")?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -273,6 +350,20 @@ mod tests {
         let r = Profile::from_traces(&traces).report();
         assert!(r.contains("MPI_Barrier"));
         assert!(r.contains("imbalance"));
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let traces = vec![
+            trace_with(0, vec![(MpiOp::Send, 100, 10), (MpiOp::Send, 200, 30)]),
+            trace_with(1, vec![(MpiOp::Recv, 100, 20)]),
+        ];
+        let p = Profile::from_traces(&traces);
+        let bytes = p.to_bytes();
+        assert_eq!(Profile::from_bytes(&bytes).unwrap(), p);
+
+        let empty = Profile::from_traces(&[]);
+        assert_eq!(Profile::from_bytes(&empty.to_bytes()).unwrap(), empty);
     }
 
     #[test]

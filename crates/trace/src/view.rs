@@ -1,0 +1,489 @@
+//! Lazy, zero-copy views over a container image.
+//!
+//! [`Container::from_bytes`](crate::container::Container::from_bytes) is the
+//! eager path: every section payload is copied (and inflated) into an owned
+//! `Vec` up front. That is the wrong shape for a resident trace store that
+//! keeps thousands of `.cytc` images open — most opens touch two or three
+//! sections, and raw payloads never need to leave the backing buffer at all.
+//!
+//! This module splits the read path into three pieces:
+//!
+//! - [`SectionTable::parse`] validates all framing *without inflating
+//!   anything*: magic, version, the whole-image CRC (v3), body varints, and
+//!   every per-section CRC. It yields index-based [`SectionInfo`] records
+//!   (byte ranges into the image, not borrowed slices), so the table can be
+//!   stored next to the buffer it describes without self-reference.
+//! - [`PayloadArena`] owns lazily-inflated payloads: raw sections are served
+//!   zero-copy as `&image[range]`, deflated sections are inflated **exactly
+//!   once** into an arena slot (failures are cached too, so a corrupt
+//!   section reports the same error on every access).
+//! - [`ContainerView`] bundles an image borrow with its table and arena —
+//!   the convenient form for one-shot readers like `cypress inspect`.
+//!
+//! The eager `Container::from_bytes` is reimplemented on top of
+//! [`SectionTable::parse`], so both paths share one parser and reject
+//! malformed images identically.
+
+use crate::codec::{DecodeError, Decoder};
+use crate::container::{
+    note_crc_failure, ContainerError, SectionKind, CONTAINER_MAGIC, CONTAINER_VERSION, ENC_DEFLATE,
+    ENC_RAW,
+};
+use cypress_deflate::{crc32, inflate};
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Framing metadata for one section: where its stored bytes live in the
+/// backing image and how to decode them. Holds byte *ranges* rather than
+/// borrowed slices so the table is `'static` relative to the image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SectionInfo {
+    pub kind: SectionKind,
+    /// Present for rank-scoped kinds (`RankCtt`).
+    pub rank: Option<u32>,
+    pub(crate) encoding: u8,
+    /// Decoded payload length (equals the stored length for raw sections).
+    pub raw_len: usize,
+    pub(crate) stored: Range<usize>,
+}
+
+impl SectionInfo {
+    /// Is the stored form a DEFLATE stream (as opposed to the payload bytes
+    /// themselves)?
+    pub fn is_deflated(&self) -> bool {
+        self.encoding == ENC_DEFLATE
+    }
+
+    /// Bytes occupied in the file (compressed size for deflated sections).
+    pub fn stored_len(&self) -> usize {
+        self.stored.len()
+    }
+
+    /// Byte range of the stored bytes within the image.
+    pub fn stored_range(&self) -> Range<usize> {
+        self.stored.clone()
+    }
+}
+
+/// Parsed container framing: version, world size, and one [`SectionInfo`]
+/// per section, in file order. Produced by [`SectionTable::parse`], which
+/// verifies every integrity check that does not require inflation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SectionTable {
+    pub version: u8,
+    pub nprocs: u32,
+    sections: Vec<SectionInfo>,
+}
+
+impl SectionTable {
+    /// Parse and verify container framing over `image`.
+    ///
+    /// Checks, in order: magic, version, the whole-image CRC trailer (v3+ —
+    /// verified over the full prefix *before* any body varint is trusted, so
+    /// a corrupted length field can never demand an absurd allocation), body
+    /// framing, and each section's stored-byte CRC. No payload is inflated.
+    pub fn parse(image: &[u8]) -> Result<SectionTable, ContainerError> {
+        if image.len() < 5 || image[..4] != CONTAINER_MAGIC {
+            return Err(ContainerError::BadMagic);
+        }
+        let version = image[4];
+        if version == 0 || version > CONTAINER_VERSION {
+            return Err(ContainerError::UnsupportedVersion(version));
+        }
+        let body_end = if version >= 3 {
+            if image.len() < 9 {
+                return Err(ContainerError::Corrupt(DecodeError(
+                    "image too short for v3 crc trailer".into(),
+                )));
+            }
+            let split = image.len() - 4;
+            let stored = u32::from_le_bytes(image[split..].try_into().unwrap());
+            let computed = crc32(&image[..split]);
+            if stored != computed {
+                note_crc_failure();
+                return Err(ContainerError::ImageCrcMismatch { stored, computed });
+            }
+            split
+        } else {
+            image.len()
+        };
+        const BODY_START: usize = 5;
+        let body = &image[BODY_START..body_end];
+        let mut dec = Decoder::new(body);
+        let nprocs = dec.get_uvar()? as u32;
+        let nsections = dec.get_uvar()? as usize;
+        if nsections > 1 << 24 {
+            return Err(ContainerError::Corrupt(DecodeError(format!(
+                "absurd section count {nsections}"
+            ))));
+        }
+        let mut sections = Vec::with_capacity(nsections.min(1 << 12));
+        for index in 0..nsections {
+            let code = dec.get_u8()?;
+            let kind = SectionKind::from_code(code).ok_or_else(|| {
+                ContainerError::Corrupt(DecodeError(format!("bad section kind {code}")))
+            })?;
+            let rank_plus1 = dec.get_uvar()?;
+            let rank = if rank_plus1 == 0 {
+                None
+            } else {
+                Some((rank_plus1 - 1) as u32)
+            };
+            // Version 1 sections are always raw; versions 2+ carry an
+            // explicit encoding byte (and the decompressed length for
+            // deflated payloads, bounding decompression up front).
+            let (encoding, deflated_len) = if version >= 2 {
+                let e = dec.get_u8()?;
+                if e > ENC_DEFLATE {
+                    return Err(ContainerError::Corrupt(DecodeError(format!(
+                        "bad section encoding {e}"
+                    ))));
+                }
+                let raw_len = if e == ENC_DEFLATE {
+                    let n = dec.get_uvar()?;
+                    if n > 1 << 32 {
+                        return Err(ContainerError::Corrupt(DecodeError(format!(
+                            "absurd section raw length {n}"
+                        ))));
+                    }
+                    Some(n as usize)
+                } else {
+                    None
+                };
+                (e, raw_len)
+            } else {
+                (ENC_RAW, None)
+            };
+            let stored_bytes = dec.get_bytes_ref()?;
+            let end = BODY_START + (body.len() - dec.remaining());
+            let stored = end - stored_bytes.len()..end;
+            let crc_stored = dec.get_uvar()? as u32;
+            // The CRC covers the stored bytes (what is actually in the
+            // file), so corruption is caught before any decompression.
+            let computed = crc32(stored_bytes);
+            if crc_stored != computed {
+                note_crc_failure();
+                return Err(ContainerError::CrcMismatch {
+                    index,
+                    stored: crc_stored,
+                    computed,
+                });
+            }
+            let raw_len = deflated_len.unwrap_or(stored_bytes.len());
+            if raw_len == 0 {
+                return Err(ContainerError::EmptySection {
+                    index,
+                    kind: kind.name(),
+                });
+            }
+            sections.push(SectionInfo {
+                kind,
+                rank,
+                encoding,
+                raw_len,
+                stored,
+            });
+        }
+        if !dec.is_done() {
+            return Err(ContainerError::Corrupt(DecodeError(format!(
+                "{} trailing bytes after container body",
+                dec.remaining()
+            ))));
+        }
+        Ok(SectionTable {
+            version,
+            nprocs,
+            sections,
+        })
+    }
+
+    pub fn sections(&self) -> &[SectionInfo] {
+        &self.sections
+    }
+
+    pub fn len(&self) -> usize {
+        self.sections.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.sections.is_empty()
+    }
+
+    /// Index of the first section of `kind`, if any.
+    pub fn find(&self, kind: SectionKind) -> Option<usize> {
+        self.sections.iter().position(|s| s.kind == kind)
+    }
+
+    /// Indices of all rank-scoped CTT sections, in file order.
+    pub fn rank_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.sections
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.kind == SectionKind::RankCtt)
+            .map(|(i, _)| i)
+    }
+
+    /// Total decoded payload bytes across sections (excludes framing).
+    pub fn payload_bytes(&self) -> usize {
+        self.sections.iter().map(|s| s.raw_len).sum()
+    }
+}
+
+/// Exactly-once inflation arena for deflated section payloads.
+///
+/// One slot per section; raw sections never claim a slot. The first access
+/// to a deflated section inflates it into its slot, every later access
+/// (including from other threads) returns the same bytes. Inflation
+/// *failures* are cached too: a corrupt section reports the same
+/// [`ContainerError`] forever instead of re-running DEFLATE.
+pub struct PayloadArena {
+    slots: Vec<OnceLock<Result<Box<[u8]>, String>>>,
+    inflations: AtomicU64,
+}
+
+impl PayloadArena {
+    /// An empty arena with one slot per section.
+    pub fn new(sections: usize) -> PayloadArena {
+        PayloadArena {
+            slots: (0..sections).map(|_| OnceLock::new()).collect(),
+            inflations: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of inflations performed so far — at most one per deflated
+    /// section, and exactly zero for an all-raw image however much of it is
+    /// read.
+    pub fn inflations(&self) -> u64 {
+        self.inflations.load(Ordering::Relaxed)
+    }
+
+    /// Bytes currently resident in the arena (inflated payloads only; raw
+    /// payloads live in the image and cost nothing here).
+    pub fn resident_bytes(&self) -> usize {
+        self.slots
+            .iter()
+            .filter_map(|s| s.get())
+            .filter_map(|r| r.as_ref().ok())
+            .map(|b| b.len())
+            .sum()
+    }
+
+    /// The decoded payload of section `index`: zero-copy out of `image` for
+    /// raw sections, inflated exactly once into the arena for deflated ones.
+    ///
+    /// `image` and `info` must be the buffer and table entry this arena was
+    /// sized for.
+    pub fn payload<'s>(
+        &'s self,
+        image: &'s [u8],
+        info: &SectionInfo,
+        index: usize,
+    ) -> Result<&'s [u8], ContainerError> {
+        if info.encoding != ENC_DEFLATE {
+            return Ok(&image[info.stored.clone()]);
+        }
+        let res = self.slots[index].get_or_init(|| {
+            self.inflations.fetch_add(1, Ordering::Relaxed);
+            inflate_payload(image, info, index).map(Vec::into_boxed_slice)
+        });
+        match res {
+            Ok(b) => Ok(b),
+            Err(msg) => Err(ContainerError::Corrupt(DecodeError(msg.clone()))),
+        }
+    }
+}
+
+fn inflate_payload(image: &[u8], info: &SectionInfo, index: usize) -> Result<Vec<u8>, String> {
+    let raw = inflate(&image[info.stored.clone()])
+        .map_err(|e| format!("section {index} inflate failed: {e:?}"))?;
+    if raw.len() != info.raw_len {
+        return Err(format!(
+            "section {index} inflated to {} bytes, header said {}",
+            raw.len(),
+            info.raw_len
+        ));
+    }
+    Ok(raw)
+}
+
+/// A lazily-decoded container borrowing its backing image: the parsed
+/// [`SectionTable`] plus a [`PayloadArena`]. Convenient for one-shot readers
+/// (`cypress inspect`, the eager `Container::from_bytes`). Long-lived owners
+/// like the trace store hold the image, table, and arena as separate fields
+/// instead, to avoid a self-referential struct.
+pub struct ContainerView<'a> {
+    image: &'a [u8],
+    table: SectionTable,
+    arena: PayloadArena,
+}
+
+impl<'a> ContainerView<'a> {
+    /// Parse and verify framing over `image` (see [`SectionTable::parse`]).
+    /// No payload is inflated.
+    pub fn parse(image: &'a [u8]) -> Result<ContainerView<'a>, ContainerError> {
+        let table = SectionTable::parse(image)?;
+        let arena = PayloadArena::new(table.len());
+        Ok(ContainerView {
+            image,
+            table,
+            arena,
+        })
+    }
+
+    pub fn image(&self) -> &'a [u8] {
+        self.image
+    }
+
+    pub fn table(&self) -> &SectionTable {
+        &self.table
+    }
+
+    pub fn version(&self) -> u8 {
+        self.table.version
+    }
+
+    pub fn nprocs(&self) -> u32 {
+        self.table.nprocs
+    }
+
+    /// The decoded payload of section `index` (zero-copy when raw).
+    pub fn payload(&self, index: usize) -> Result<&[u8], ContainerError> {
+        self.arena
+            .payload(self.image, &self.table.sections()[index], index)
+    }
+
+    /// Decoded payload of the first section of `kind`.
+    pub fn find_payload(&self, kind: SectionKind) -> Option<Result<&[u8], ContainerError>> {
+        self.table.find(kind).map(|i| self.payload(i))
+    }
+
+    /// Inflations performed through this view so far.
+    pub fn inflations(&self) -> u64 {
+        self.arena.inflations()
+    }
+
+    pub fn arena(&self) -> &PayloadArena {
+        &self.arena
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::container::{Container, Section};
+    use cypress_deflate::Level;
+
+    fn sample() -> Container {
+        let mut c = Container::new(4);
+        c.push(SectionKind::Meta, None, b"meta-payload".to_vec());
+        c.push(
+            SectionKind::CstText,
+            None,
+            b"Root() Loop()".repeat(50).to_vec(),
+        );
+        c.push(SectionKind::MergedCtt, None, vec![42; 4096]);
+        c.push(
+            SectionKind::RankCtt,
+            Some(3),
+            (0..500u32).map(|i| i as u8).collect(),
+        );
+        c
+    }
+
+    #[test]
+    fn raw_image_is_served_zero_copy_with_no_inflation() {
+        let c = sample();
+        let image = c.to_bytes();
+        let view = ContainerView::parse(&image).unwrap();
+        assert_eq!(view.nprocs(), 4);
+        for (i, s) in c.sections.iter().enumerate() {
+            let p = view.payload(i).unwrap();
+            assert_eq!(p, &s.payload[..], "section {i}");
+            // Zero-copy: the returned slice points into the image itself.
+            let image_range = image.as_ptr() as usize..image.as_ptr() as usize + image.len();
+            assert!(image_range.contains(&(p.as_ptr() as usize)), "section {i}");
+        }
+        assert_eq!(view.inflations(), 0, "raw sections must never inflate");
+        assert_eq!(view.arena().resident_bytes(), 0);
+    }
+
+    #[test]
+    fn deflated_sections_inflate_exactly_once() {
+        let c = sample();
+        let image = c.to_bytes_with(Some(Level::Default));
+        let view = ContainerView::parse(&image).unwrap();
+        assert_eq!(view.inflations(), 0, "parse alone must not inflate");
+        let deflated = view
+            .table()
+            .sections()
+            .iter()
+            .filter(|s| s.is_deflated())
+            .count();
+        assert!(deflated > 0, "sample should compress");
+        for _ in 0..3 {
+            for (i, s) in c.sections.iter().enumerate() {
+                assert_eq!(view.payload(i).unwrap(), &s.payload[..]);
+            }
+        }
+        assert_eq!(view.inflations(), deflated as u64);
+        assert!(view.arena().resident_bytes() > 0);
+    }
+
+    #[test]
+    fn table_metadata_matches_eager_reader() {
+        let c = sample();
+        let image = c.to_bytes_with(Some(Level::Fast));
+        let table = SectionTable::parse(&image).unwrap();
+        assert_eq!(table.len(), c.sections.len());
+        assert_eq!(table.payload_bytes(), c.payload_bytes());
+        assert_eq!(table.find(SectionKind::MergedCtt), Some(2));
+        assert_eq!(table.rank_indices().collect::<Vec<_>>(), vec![3]);
+        let back = Container::from_bytes(&image).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn lazy_and_eager_reject_the_same_images() {
+        let image = sample().to_bytes_with(Some(Level::Default));
+        for cut in 0..image.len() {
+            let lazy = SectionTable::parse(&image[..cut]);
+            let eager = Container::from_bytes(&image[..cut]);
+            assert!(lazy.is_err() && eager.is_err(), "cut {cut}");
+            assert_eq!(
+                lazy.unwrap_err().to_string(),
+                eager.unwrap_err().to_string(),
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn failed_inflation_is_cached_and_counted_once() {
+        // A deflated section whose header raw_len disagrees with the stream
+        // fails at payload() time — identically on every access, with the
+        // inflation attempted only once.
+        let section = Section {
+            kind: SectionKind::MergedCtt,
+            rank: None,
+            payload: vec![7; 1024],
+        };
+        let encoded = crate::container::encode_section(&section, Some(Level::Default));
+        assert!(encoded.stored_len() < 1024, "sample should compress");
+        let image = crate::container::assemble(4, &[encoded]);
+        let mut table = SectionTable::parse(&image).unwrap();
+        table.sections[0].raw_len += 1;
+        let arena = PayloadArena::new(table.len());
+        let e1 = arena
+            .payload(&image, &table.sections[0], 0)
+            .unwrap_err()
+            .to_string();
+        let e2 = arena
+            .payload(&image, &table.sections[0], 0)
+            .unwrap_err()
+            .to_string();
+        assert_eq!(e1, e2);
+        assert!(e1.contains("header said"), "{e1}");
+        assert_eq!(arena.inflations(), 1, "failed inflation still counts once");
+    }
+}

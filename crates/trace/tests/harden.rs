@@ -1,0 +1,93 @@
+//! Error-path hardening for the container readers.
+//!
+//! Property: every truncated prefix and every single-byte corruption of a
+//! valid `.cytc` image is rejected with a clean [`ContainerError`] — never a
+//! panic and never an attacker-sized allocation. The v3 layout makes this
+//! cheap to guarantee: the whole-image crc32 trailer is verified before any
+//! body varint is trusted, so a corrupted length field can never demand
+//! memory, and the eager and lazy readers share one parser, so they must
+//! reject an image with the *same* error.
+
+use cypress_deflate::Level;
+use cypress_trace::{Container, SectionKind, SectionTable};
+
+/// A container with every section kind the pipeline writes, sized so the
+/// exhaustive sweeps below stay fast.
+fn sample(level: Option<Level>) -> Vec<u8> {
+    let mut c = Container::new(4);
+    c.push(SectionKind::Meta, None, b"meta payload bytes".to_vec());
+    c.push(
+        SectionKind::CstText,
+        None,
+        b"Root() Loop(12) Leaf(3)".repeat(20).to_vec(),
+    );
+    c.push(
+        SectionKind::MergedCtt,
+        None,
+        (0..800u32).map(|i| (i % 251) as u8).collect(),
+    );
+    c.push(SectionKind::RankCtt, Some(0), vec![9; 300]);
+    c.push(SectionKind::RankCtt, Some(1), vec![11; 300]);
+    c.to_bytes_with(level)
+}
+
+/// Both readers must reject `bytes`, and with the same error — the lazy
+/// parser runs every integrity check the eager one does.
+fn assert_rejected(bytes: &[u8], what: &str) {
+    let eager = Container::from_bytes(bytes);
+    let lazy = SectionTable::parse(bytes);
+    let eager = match eager {
+        Ok(_) => panic!("{what}: eager reader accepted a corrupt image"),
+        Err(e) => e,
+    };
+    let lazy = match lazy {
+        Ok(_) => panic!("{what}: lazy parser accepted a corrupt image"),
+        Err(e) => e,
+    };
+    assert_eq!(
+        eager.to_string(),
+        lazy.to_string(),
+        "{what}: eager and lazy readers disagree"
+    );
+}
+
+#[test]
+fn every_truncated_prefix_is_rejected_cleanly() {
+    for level in [None, Some(Level::Default)] {
+        let image = sample(level);
+        for cut in 0..image.len() {
+            assert_rejected(&image[..cut], &format!("level {level:?} cut {cut}"));
+        }
+    }
+}
+
+#[test]
+fn every_single_byte_corruption_is_rejected_cleanly() {
+    // Masks chosen to cover the interesting bit positions: low bit (varint
+    // value), high bit (varint continuation), and full inversion.
+    for level in [None, Some(Level::Default)] {
+        let image = sample(level);
+        let mut work = image.clone();
+        for pos in 0..image.len() {
+            for mask in [0x01u8, 0x80, 0xff] {
+                work[pos] ^= mask;
+                assert_rejected(
+                    &work,
+                    &format!("level {level:?} pos {pos} mask {mask:#04x}"),
+                );
+                work[pos] = image[pos];
+            }
+        }
+    }
+}
+
+#[test]
+fn valid_images_still_parse_after_the_sweeps() {
+    // Guard against the property tests passing vacuously on a bad sample.
+    for level in [None, Some(Level::Default)] {
+        let image = sample(level);
+        let c = Container::from_bytes(&image).expect("sample must be valid");
+        assert_eq!(c.sections.len(), 5);
+        assert!(SectionTable::parse(&image).is_ok());
+    }
+}

@@ -10,10 +10,17 @@
 //!   --threads N                               parallel section encoding workers
 //! cypress decompress FILE [-r R]              replay rank R (default 0); containers
 //!   [--cst CST]                               are self-describing, legacy dumps need --cst
-//! cypress inspect FILE                        container header, sections, CRCs,
+//! cypress inspect FILE [--json]               container header, sections, CRCs,
 //!                                             per-section sizes + compression ratio
+//!                                             (lazy view: raw sections are never
+//!                                             copied, nothing is inflated up front)
 //! cypress query FILE                          compressed-domain analysis of a .cytc
-//!   [--hotspots N] [--strategy auto|symbolic|expand]
+//!   [--hotspots N] [--strategy auto|symbolic|expand] [--json]
+//! cypress query --connect ADDR JOB            same analysis served by a queryd
+//!                                             daemon (byte-identical to local)
+//! cypress queryd --listen ADDR --store DIR    resident query daemon: LRU cache of
+//!   [--max-jobs N] [--max-bytes B]            open containers, serves QueryRequest
+//!                                             frames until killed
 //! cypress stats <prog.mpi> -n P               op histogram + communication matrix
 //! cypress stats --connect ADDR [--json]       poll a collector's live telemetry
 //! cypress simulate <prog.mpi> -n P            measured vs predicted LogGP times
@@ -39,17 +46,20 @@ use cypress::minilang::{check_program, parse, Program};
 use cypress::net::{
     fetch_stats, submit_ctt, submit_stream, Addr, ClientConfig, Collector, CollectorConfig,
 };
-use cypress::query::{query_container_path, QueryOptions, Strategy};
+use cypress::query::{query_container_path, QueryOptions, QueryResult, Strategy};
 use cypress::runtime::{run_rank_with_sink, trace_program_parallel, InterpConfig};
 use cypress::simmpi::{from_raw_traces, simulate, LogGp, SimOp};
+use cypress::store::{query_remote, JobStore, StoreConfig};
 use cypress::trace::codec::Codec;
 use cypress::trace::commmatrix::CommMatrix;
 use cypress::trace::raw::{raw_mpi_size, RawTrace};
-use cypress::trace::{is_container, Container, SectionKind};
+use cypress::trace::{is_container, ContainerView, SectionKind};
 use cypress::{read_container, write_collected_container_with, Error, Pipeline};
 use std::fs;
 use std::path::Path;
 use std::process::exit;
+use std::sync::Arc;
+use std::time::Duration;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -98,6 +108,7 @@ fn main() {
         "decompress" => cmd_decompress(rest),
         "inspect" => cmd_inspect(rest),
         "query" => cmd_query(rest),
+        "queryd" => cmd_queryd(rest),
         "stats" => cmd_stats(rest),
         "simulate" => cmd_simulate(rest),
         "serve" => cmd_serve(rest),
@@ -169,8 +180,10 @@ USAGE:
                [--level fast|default|best] [--threads <n>]
                [--pipelined [--ring-capacity <batches>]]
   cypress decompress <file> [-r <rank>] [--cst <cst.txt>]
-  cypress inspect <file>
-  cypress query <file> [--hotspots <n>] [--strategy auto|symbolic|expand]
+  cypress inspect <file> [--json]
+  cypress query <file> [--hotspots <n>] [--strategy auto|symbolic|expand] [--json]
+  cypress query --connect <addr> <job> [--hotspots <n>] [--strategy ...] [--json]
+  cypress queryd --listen <addr> --store <dir> [--max-jobs <n>] [--max-bytes <b>]
   cypress stats <prog.mpi> -n <procs>
   cypress stats --connect <addr> [--json]
   cypress simulate <prog.mpi> -n <procs>
@@ -204,9 +217,15 @@ OPTIONS:
                timeline too)
   --stats-addr serve: answer `cypress stats --connect` on this second
                endpoint with live per-client collection telemetry
-  --json       stats --connect: machine-readable output
-  --listen     collector address: host:port (host:0 = ephemeral) or unix:<path>
-  --connect    collector address to submit to (same syntax as --listen)
+  --json       inspect, query, stats --connect: machine-readable output
+  --store      queryd: directory of `<job>.cytc` containers to serve
+  --max-jobs   queryd: LRU entry budget for resident containers (default
+               unbounded)
+  --max-bytes  queryd: LRU byte budget for resident containers (default
+               unbounded)
+  --listen     collector/queryd address: host:port (host:0 = ephemeral)
+               or unix:<path>
+  --connect    collector or queryd address (same syntax as --listen)
   --timeout    serve: fail listing missing ranks after this many seconds
   --mode       submit: stream events for server-side compression (default)
                or compress locally and send the finished ctt
@@ -296,6 +315,64 @@ fn file_arg(args: &[String], what: &str) -> cypress::Result<String> {
         .find(|a| !a.starts_with('-'))
         .cloned()
         .ok_or_else(|| Error::Invalid(format!("missing {what}")))
+}
+
+/// First positional argument, skipping flags *and their values* — needed by
+/// commands where a value-taking flag (e.g. `--connect addr`) may precede
+/// the positional.
+fn positional(args: &[String], what: &str) -> cypress::Result<String> {
+    const TAKES_VALUE: &[&str] = &[
+        "--connect",
+        "--hotspots",
+        "--strategy",
+        "--listen",
+        "--store",
+        "--max-jobs",
+        "--max-bytes",
+        "--level",
+        "--threads",
+        "--cst",
+        "--timeout",
+        "--workers",
+        "--stats-addr",
+        "--rank",
+        "--mode",
+        "--attempts",
+        "--ring-capacity",
+        "-n",
+        "-r",
+        "-o",
+    ];
+    let mut i = 0;
+    while let Some(a) = args.get(i) {
+        if TAKES_VALUE.contains(&a.as_str()) {
+            i += 2;
+        } else if a.starts_with('-') {
+            i += 1;
+        } else {
+            return Ok(a.clone());
+        }
+    }
+    Err(Error::Invalid(format!("missing {what}")))
+}
+
+/// Minimal JSON string escaping for CLI-emitted values (paths, names).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 fn read_source(args: &[String]) -> cypress::Result<(String, String)> {
@@ -504,44 +581,114 @@ fn cmd_decompress(args: &[String]) -> CliResult {
     Ok(())
 }
 
-/// Print a container's header and section table without decompressing:
-/// per-section compressed sizes with their share of the payload, plus the
-/// overall compression ratio when the header records the raw trace size.
+/// Print a container's header and section table through the lazy
+/// [`ContainerView`]: framing and every CRC are verified by the parse, raw
+/// section payloads are served zero-copy out of the mapped image, and only
+/// the deflated sections the report actually reads (meta, merged CTT,
+/// telemetry) are inflated. For an all-raw container the command asserts
+/// that **no inflation happened at all**.
 fn cmd_inspect(args: &[String]) -> CliResult {
-    let file = file_arg(args, "container file")?;
-    let file_bytes = fs::metadata(&file).map(|m| m.len()).unwrap_or(0);
-    // The parsed Container normalizes sections to raw payloads; report the
-    // on-disk format version from the header byte instead of assuming v1.
-    let version = fs::read(&file)
-        .ok()
-        .and_then(|b| b.get(4).copied())
-        .unwrap_or(1);
-    let c = Container::read_file(&file)?;
-    println!("{file}: cypress container v{version}, {} ranks", c.nprocs);
+    let file = positional(args, "container file")?;
+    let image = fs::read(&file)?;
+    let file_bytes = image.len() as u64;
+    let view = ContainerView::parse(&image)?;
+    let table = view.table();
+    let json = has_flag(args, "--json");
+
+    // Meta payload: tool, version, nprocs, then (newer containers) traced
+    // event count and raw MPI byte size (see cypress::pipeline).
+    let mut written_by: Option<(String, String)> = None;
+    let mut events: Option<u64> = None;
     let mut raw_bytes = 0u64;
-    if let Some(meta) = c.find(SectionKind::Meta) {
-        // Meta payload: tool, version, nprocs, then (newer containers)
-        // traced event count and raw MPI byte size (see cypress::pipeline).
-        let mut dec = cypress::trace::Decoder::new(&meta.payload);
-        if let (Ok(tool), Ok(version), Ok(_nprocs)) = (dec.get_str(), dec.get_str(), dec.get_uvar())
+    if let Some(meta) = view.find_payload(SectionKind::Meta) {
+        let mut dec = cypress::trace::Decoder::new(meta?);
+        if let (Ok(tool), Ok(tool_version), Ok(_nprocs)) =
+            (dec.get_str(), dec.get_str(), dec.get_uvar())
         {
-            println!("written by {tool} {version}");
-            if let (Ok(events), Ok(raw)) = (dec.get_uvar(), dec.get_uvar()) {
+            written_by = Some((tool, tool_version));
+            if let (Ok(ev), Ok(raw)) = (dec.get_uvar(), dec.get_uvar()) {
+                events = Some(ev);
                 raw_bytes = raw;
-                println!("traced {events} MPI events, raw record size {raw} B");
             }
         }
     }
-    let payload = c.payload_bytes();
-    println!("{} sections, {payload} payload bytes:", c.sections.len());
-    // Every section frame carries its own crc32 over the payload, verified
-    // on load (read_file fails before we get here if any check misses), so
-    // "crc ok" below is a statement, not a hope.
+    let merged_stats = match table.find(SectionKind::MergedCtt) {
+        Some(i) => {
+            let merged = MergedCtt::from_bytes(view.payload(i)?)?;
+            Some((merged.vertices.len(), merged.group_count()))
+        }
+        None => None,
+    };
+
+    if json {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"file\":{},", json_str(&file)));
+        out.push_str(&format!("\"version\":{},", view.version()));
+        out.push_str(&format!("\"nprocs\":{},", view.nprocs()));
+        if let Some((tool, v)) = &written_by {
+            out.push_str(&format!(
+                "\"written_by\":{{\"tool\":{},\"version\":{}}},",
+                json_str(tool),
+                json_str(v)
+            ));
+        }
+        if let Some(ev) = events {
+            out.push_str(&format!("\"events\":{ev},\"raw_bytes\":{raw_bytes},"));
+        }
+        out.push_str("\"sections\":[");
+        for (i, s) in table.sections().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let rank = match s.rank {
+                Some(r) => r.to_string(),
+                None => "null".into(),
+            };
+            out.push_str(&format!(
+                "{{\"kind\":{},\"rank\":{rank},\"payload_bytes\":{},\"stored_bytes\":{},\"deflated\":{}}}",
+                json_str(s.kind.name()),
+                s.raw_len,
+                s.stored_len(),
+                s.is_deflated()
+            ));
+        }
+        out.push_str("],");
+        if let Some((vertices, groups)) = merged_stats {
+            out.push_str(&format!(
+                "\"merged_ctt\":{{\"vertices\":{vertices},\"rank_groups\":{groups}}},"
+            ));
+        }
+        out.push_str(&format!(
+            "\"payload_bytes\":{},\"file_bytes\":{file_bytes},\"crc_checks\":{},\"inflations\":{}}}",
+            table.payload_bytes(),
+            table.len(),
+            view.inflations()
+        ));
+        println!("{out}");
+        return Ok(());
+    }
+
+    println!(
+        "{file}: cypress container v{}, {} ranks",
+        view.version(),
+        view.nprocs()
+    );
+    if let Some((tool, v)) = &written_by {
+        println!("written by {tool} {v}");
+    }
+    if let Some(ev) = events {
+        println!("traced {ev} MPI events, raw record size {raw_bytes} B");
+    }
+    let payload = table.payload_bytes();
+    println!("{} sections, {payload} payload bytes:", table.len());
+    // Every section frame carries its own crc32 over the stored bytes,
+    // verified by the table parse (which fails before we get here if any
+    // check misses), so "crc ok" below is a statement, not a hope.
     println!(
         "integrity: {} per-section crc32 checks verified on load (coverage: every payload byte)",
-        c.sections.len()
+        table.len()
     );
-    for (i, s) in c.sections.iter().enumerate() {
+    for (i, s) in table.sections().iter().enumerate() {
         let scope = match s.rank {
             Some(r) => format!(" rank {r}"),
             None => String::new(),
@@ -549,24 +696,24 @@ fn cmd_inspect(args: &[String]) -> CliResult {
         let share = if payload == 0 {
             0.0
         } else {
-            s.payload.len() as f64 / payload as f64 * 100.0
+            s.raw_len as f64 / payload as f64 * 100.0
+        };
+        let stored = if s.is_deflated() {
+            format!("  (deflate {} B)", s.stored_len())
+        } else {
+            String::new()
         };
         println!(
-            "  [{i}] {:<10}{scope:<9} {:>8} B {share:>5.1}%  crc ok",
+            "  [{i}] {:<10}{scope:<9} {:>8} B {share:>5.1}%  crc ok{stored}",
             s.kind.name(),
-            s.payload.len()
+            s.raw_len
         );
     }
-    if let Some(s) = c.find(SectionKind::MergedCtt) {
-        let merged = MergedCtt::from_bytes(&s.payload)?;
-        println!(
-            "merged CTT: {} vertices, {} rank groups",
-            merged.vertices.len(),
-            merged.group_count()
-        );
+    if let Some((vertices, groups)) = merged_stats {
+        println!("merged CTT: {vertices} vertices, {groups} rank groups");
     }
-    if let Some(s) = c.find(SectionKind::Telemetry) {
-        match cypress::TelemetrySummary::from_bytes(&s.payload) {
+    if let Some(s) = view.find_payload(SectionKind::Telemetry) {
+        match cypress::TelemetrySummary::from_bytes(s?) {
             Ok(t) => print!("{}", t.to_text()),
             Err(e) => println!("telemetry section unreadable: {e}"),
         }
@@ -579,12 +726,24 @@ fn cmd_inspect(args: &[String]) -> CliResult {
             file_bytes
         );
     }
+    // The lazy-view contract, pinned where it is most visible: inspecting a
+    // raw-layout container must not inflate anything, ever.
+    if table.sections().iter().any(|s| s.is_deflated()) {
+        println!(
+            "lazy view: {} deflated sections inflated on demand, raw sections served zero-copy",
+            view.inflations()
+        );
+    } else {
+        assert_eq!(view.inflations(), 0, "raw-only inspect must not inflate");
+        println!("lazy view: no inflation performed (all sections served zero-copy)");
+    }
     Ok(())
 }
 
 /// Analyze a container directly in the compressed domain — no decompression.
+/// `--connect ADDR JOB` asks a resident `cypress queryd` daemon instead of
+/// reading a local file; the answer is byte-identical either way.
 fn cmd_query(args: &[String]) -> CliResult {
-    let file = file_arg(args, "container file")?;
     let limit: usize = match flag(args, "--hotspots") {
         None => 10,
         Some(s) => s
@@ -605,9 +764,27 @@ fn cmd_query(args: &[String]) -> CliResult {
         strategy,
         hotspot_limit: limit,
     };
-    let q = query_container_path(&file, &opts).map_err(Error::from)?;
+    let (label, q) = if let Some(connect) = flag(args, "--connect") {
+        let addr = Addr::parse(&connect)?;
+        let job = positional(args, "job name")?;
+        let q = query_remote(&addr, &job, &opts, Duration::from_secs(10))?;
+        (format!("{job} @ {addr}"), q)
+    } else {
+        let file = positional(args, "container file")?;
+        let q = query_container_path(&file, &opts).map_err(Error::from)?;
+        (file, q)
+    };
+    render_query(&label, &q, limit, has_flag(args, "--json"));
+    Ok(())
+}
+
+fn render_query(label: &str, q: &QueryResult, limit: usize, json: bool) {
+    if json {
+        println!("{}", q.render_json());
+        return;
+    }
     println!(
-        "{file}: {} ranks, evaluated via {}\n",
+        "{label}: {} ranks, evaluated via {}\n",
         q.nprocs,
         q.strategy.name()
     );
@@ -616,7 +793,41 @@ fn cmd_query(args: &[String]) -> CliResult {
         println!("\nvolume heatmap (row = sender):");
         print!("{}", q.matrix.to_ascii());
     }
-    Ok(())
+}
+
+/// Resident query daemon: an LRU [`JobStore`] over a directory of `.cytc`
+/// containers, served on the framed net transport until the process is
+/// killed. Opened jobs stay hot across queries and connections.
+fn cmd_queryd(args: &[String]) -> CliResult {
+    let listen = flag(args, "--listen").ok_or_else(|| {
+        Error::Invalid("missing --listen <addr> (host:port or unix:<path>)".into())
+    })?;
+    let dir = flag(args, "--store")
+        .ok_or_else(|| Error::Invalid("missing --store <dir> of .cytc containers".into()))?;
+    let mut cfg = StoreConfig::default();
+    if let Some(n) = flag(args, "--max-jobs") {
+        cfg.max_jobs = n
+            .parse()
+            .map_err(|e| Error::Invalid(format!("bad --max-jobs value: {e}")))?;
+    }
+    if let Some(b) = flag(args, "--max-bytes") {
+        cfg.max_bytes = b
+            .parse()
+            .map_err(|e| Error::Invalid(format!("bad --max-bytes value: {e}")))?;
+    }
+    let addr = Addr::parse(&listen)?;
+    let store = Arc::new(JobStore::new(&dir, cfg)?);
+    let jobs = store.list()?.len();
+    let server = cypress::store::spawn(store, &addr)?;
+    eprintln!(
+        "cypress queryd serving {jobs} jobs from {dir} on {} (query with `cypress query --connect {} <job>`)",
+        server.addr(),
+        server.addr()
+    );
+    // The daemon runs until killed; the server threads do all the work.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
 }
 
 fn cmd_stats(args: &[String]) -> CliResult {

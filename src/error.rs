@@ -117,6 +117,25 @@ impl From<cypress_query::QueryError> for Error {
     }
 }
 
+/// Trace-store failures map onto the layer they came from; store-specific
+/// conditions (missing job, daemon rejection) become `Invalid` with the
+/// store's own message.
+impl From<cypress_store::StoreError> for Error {
+    fn from(e: cypress_store::StoreError) -> Self {
+        use cypress_store::StoreError as S;
+        match e {
+            S::Io(e) => Error::Io(e),
+            S::Container(c) => Error::Container(c),
+            S::Decode(d) => Error::Decode(d),
+            S::Query(q) => q.into(),
+            S::Net(n) => Error::Net(n),
+            e @ (S::NotFound(_) | S::Remote { .. } | S::Invalid(_)) => {
+                Error::Invalid(e.to_string())
+            }
+        }
+    }
+}
+
 /// Convenience alias used across the umbrella crate and the CLI.
 pub type Result<T> = std::result::Result<T, Error>;
 

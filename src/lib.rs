@@ -53,5 +53,6 @@ pub use cypress_query as query;
 pub use cypress_runtime as runtime;
 pub use cypress_simmpi as simmpi;
 pub use cypress_staticir as staticir;
+pub use cypress_store as store;
 pub use cypress_trace as trace;
 pub use cypress_workloads as workloads;

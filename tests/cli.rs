@@ -125,7 +125,7 @@ fn stream_compress_inspect_decompress_round_trip() {
         String::from_utf8_lossy(&out.stderr)
     );
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("cypress container v1, 8 ranks"), "{stdout}");
+    assert!(stdout.contains("cypress container v3, 8 ranks"), "{stdout}");
     for kind in ["meta", "cst-text", "merged-ctt", "rank-ctt"] {
         assert!(stdout.contains(kind), "missing {kind} in:\n{stdout}");
     }

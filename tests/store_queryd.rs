@@ -1,0 +1,86 @@
+//! End-to-end identity across the three query paths: for bundled
+//! workloads, the eager local load ([`cypress::LoadedJob`]), the zero-copy
+//! store ([`cypress::store::JobStore`]), and the resident daemon must
+//! produce byte-identical answers — same canonical wire bytes, same JSON.
+
+use cypress::store::{query_remote, JobStore, StoreConfig};
+use cypress::trace::Codec;
+use cypress::workloads::{by_name, quick_procs, Scale};
+use cypress::{Pipeline, QueryOptions};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(name: &str) -> TempDir {
+        let dir = std::env::temp_dir().join(format!(
+            "cypress-store-queryd-{name}-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn all_three_query_paths_agree_on_bundled_workloads() {
+    let tmp = TempDir::new("identity");
+    let names = ["jacobi", "cg", "dt", "mg"];
+    for name in names {
+        let w = by_name(name, quick_procs(name), Scale::Quick).unwrap();
+        let mut job = Pipeline::new(w.source)
+            .ranks(w.nprocs)
+            .run()
+            .unwrap_or_else(|e| panic!("{name}: pipeline failed: {e}"));
+        job.merge();
+        job.write_container_with(tmp.0.join(format!("{name}.cytc")), true, None)
+            .unwrap();
+    }
+
+    let store = Arc::new(JobStore::new(&tmp.0, StoreConfig::default()).unwrap());
+    let addr = cypress::net::Addr::parse("127.0.0.1:0").unwrap();
+    let server = cypress::store::spawn(store.clone(), &addr).unwrap();
+
+    let opts = [
+        QueryOptions::default(),
+        QueryOptions {
+            strategy: cypress::query::Strategy::PartialExpansion,
+            hotspot_limit: 5,
+        },
+    ];
+    for name in names {
+        let local = cypress::read_container(tmp.0.join(format!("{name}.cytc"))).unwrap();
+        for opt in &opts {
+            let reference = local.query_with(opt).unwrap();
+            let via_store = store.open(name).unwrap().query(opt).unwrap();
+            assert_eq!(via_store, reference, "{name}: store != local");
+            assert_eq!(
+                via_store.to_bytes(),
+                reference.to_bytes(),
+                "{name}: store wire bytes differ"
+            );
+            let via_daemon =
+                query_remote(server.addr(), name, opt, Duration::from_secs(20)).unwrap();
+            assert_eq!(via_daemon, reference, "{name}: remote != local");
+            assert_eq!(
+                via_daemon.to_bytes(),
+                reference.to_bytes(),
+                "{name}: remote wire bytes differ"
+            );
+            assert_eq!(
+                via_daemon.render_json(),
+                reference.render_json(),
+                "{name}: remote JSON differs"
+            );
+        }
+    }
+    server.stop();
+}
