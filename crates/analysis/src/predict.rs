@@ -1,0 +1,420 @@
+//! Analysis evaluation: schedule-driven prediction, windowed replay, and
+//! the decompress-then-analyze oracle.
+
+use crate::lower::{lower_schedule, replay_to_simop};
+use crate::{AnalysisError, AnalysisStats, AnalyzeOptions, AnalyzeReport};
+use cypress_core::{decompress, Ctt, CttSource};
+use cypress_cst::Cst;
+use cypress_obs::{Counter, Histogram};
+use cypress_query::Window;
+use cypress_simmpi::{simulate_schedule, simulate_traced, LogGp, SimOp};
+use cypress_trace::event::MpiOp;
+use std::sync::OnceLock;
+
+/// Analysis instrumentation handles (scope `analysis`).
+struct AnalysisMetrics {
+    runs: Counter,
+    symbolic_loops: Counter,
+    extrapolated_trips: Counter,
+    fed_ops: Counter,
+    analyze_ns: Histogram,
+}
+
+fn obs() -> &'static AnalysisMetrics {
+    static M: OnceLock<AnalysisMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let s = cypress_obs::scope("analysis");
+        AnalysisMetrics {
+            runs: s.counter("runs"),
+            symbolic_loops: s.counter("symbolic_loops"),
+            extrapolated_trips: s.counter("extrapolated_trips"),
+            fed_ops: s.counter("fed_ops"),
+            analyze_ns: s.histogram("analyze_ns", &cypress_obs::TIME_BOUNDS_NS),
+        }
+    })
+}
+
+fn validate<S: CttSource>(cst: &Cst, sources: &[S]) -> Result<u32, AnalysisError> {
+    let first = sources
+        .first()
+        .ok_or_else(|| AnalysisError::Invalid("no CTTs to analyze".into()))?
+        .nprocs();
+    if sources.len() as u32 != first {
+        return Err(AnalysisError::Invalid(format!(
+            "analysis needs every rank: got {} CTTs for world size {first}",
+            sources.len()
+        )));
+    }
+    for (i, s) in sources.iter().enumerate() {
+        if s.nprocs() != first {
+            return Err(AnalysisError::Invalid(format!(
+                "CTTs disagree on world size: {} vs {}",
+                first,
+                s.nprocs()
+            )));
+        }
+        if s.rank() as usize != i {
+            return Err(AnalysisError::Invalid(format!(
+                "CTTs must be ordered by rank: position {i} holds rank {}",
+                s.rank()
+            )));
+        }
+        if s.vertex_count() != cst.len() {
+            return Err(AnalysisError::Invalid(format!(
+                "CTT has {} vertices but CST has {}",
+                s.vertex_count(),
+                cst.len()
+            )));
+        }
+    }
+    Ok(first)
+}
+
+/// Replay one rank restricted to a time window: ops are decompressed, the
+/// replay clock reconstructed exactly as `replay_to_records` does, and only
+/// ops starting within the window survive. Completion ops (`Wait*`) have
+/// severed request handles pruned so a window never leaves a wait on a
+/// request that was cut out of existence.
+pub fn windowed_ops(cst: &Cst, ctt: &Ctt, w: Window) -> Vec<SimOp> {
+    let mut t = 0u64;
+    let mut out = Vec::new();
+    // Posted-vs-consumed occurrence counts per GID, restricted to kept ops;
+    // the simulator resolves request GIDs in FIFO posting order, so pruning
+    // by running count matches its matching rule.
+    let mut posted = std::collections::HashMap::<u32, u64>::new();
+    let mut consumed = std::collections::HashMap::<u32, u64>::new();
+    for o in decompress(cst, ctt) {
+        t += o.mean_gap;
+        let t_start = t;
+        t += o.mean_dur;
+        if !w.contains(t_start) {
+            continue;
+        }
+        let mut op = replay_to_simop(o.gid, o.op, o.params, o.mean_gap);
+        match op.op {
+            MpiOp::Isend | MpiOp::Irecv => {
+                *posted.entry(op.gid).or_insert(0) += 1;
+            }
+            MpiOp::Wait | MpiOp::Waitall | MpiOp::Waitany => {
+                op.params.req_gids.retain(|g| {
+                    let have = posted.get(g).copied().unwrap_or(0);
+                    let used = consumed.entry(*g).or_insert(0);
+                    if *used < have {
+                        *used += 1;
+                        true
+                    } else {
+                        false
+                    }
+                });
+                if op.params.req_gids.is_empty() {
+                    continue;
+                }
+            }
+            _ => {}
+        }
+        out.push(op);
+    }
+    out
+}
+
+/// Analyze a job directly in the compressed domain: CTT-native LogGP replay
+/// prediction plus late-sender wait states, exactly equal to the
+/// decompress-then-analyze oracle ([`analyze_by_decompression`]).
+///
+/// `sources` must hold every rank of the job, ordered by rank.
+pub fn analyze_ctts<S: CttSource>(
+    cst: &Cst,
+    sources: &[S],
+    model: &LogGp,
+    opts: &AnalyzeOptions,
+) -> Result<AnalyzeReport, AnalysisError> {
+    let _span = cypress_obs::enabled().then(|| obs().analyze_ns.start_span());
+    let nprocs = validate(cst, sources)?;
+    let measured_app_ns = sources.iter().map(|s| s.app_time()).max().unwrap_or(0);
+
+    let (predicted, waits, stats) = if let Some(w) = opts.window {
+        let ops: Vec<Vec<SimOp>> = sources
+            .iter()
+            .map(|s| windowed_ops(cst, &s.as_ctt(), w))
+            .collect();
+        let fed: u64 = ops.iter().map(|o| o.len() as u64).sum();
+        let (predicted, waits) = simulate_traced(&ops, model)?;
+        (
+            predicted,
+            waits,
+            AnalysisStats {
+                windowed: true,
+                fed_ops: fed,
+                logical_ops: fed,
+                ..AnalysisStats::default()
+            },
+        )
+    } else {
+        let (sched, lstats) = lower_schedule(cst, sources);
+        let (predicted, waits, sstats) = simulate_schedule(&sched, model)?;
+        (
+            predicted,
+            waits,
+            AnalysisStats {
+                symbolic_loops: lstats.symbolic_loops,
+                unrolled_loops: lstats.unrolled_loops,
+                flattened: lstats.flattened || sstats.flattened,
+                windowed: false,
+                fed_ops: sstats.fed_ops,
+                logical_ops: sstats.logical_ops,
+                extrapolated_trips: sstats.extrapolated_trips,
+            },
+        )
+    };
+    if cypress_obs::enabled() {
+        let m = obs();
+        m.runs.inc();
+        m.symbolic_loops.add(stats.symbolic_loops as u64);
+        m.extrapolated_trips.add(stats.extrapolated_trips);
+        m.fed_ops.add(stats.fed_ops);
+    }
+    Ok(AnalyzeReport {
+        nprocs,
+        measured_app_ns,
+        predicted,
+        waits,
+        stats,
+    })
+}
+
+/// The reference oracle: fully decompress every rank, convert to simulator
+/// input (gap statistics as compute time), and run the flat simulation.
+pub fn analyze_by_decompression(
+    cst: &Cst,
+    ctts: &[Ctt],
+    model: &LogGp,
+    opts: &AnalyzeOptions,
+) -> Result<AnalyzeReport, AnalysisError> {
+    let nprocs = validate(cst, ctts)?;
+    let measured_app_ns = ctts.iter().map(|c| c.app_time).max().unwrap_or(0);
+    let ops: Vec<Vec<SimOp>> = ctts
+        .iter()
+        .map(|c| match opts.window {
+            Some(w) => windowed_ops(cst, c, w),
+            None => decompress(cst, c)
+                .into_iter()
+                .map(|o| replay_to_simop(o.gid, o.op, o.params, o.mean_gap))
+                .collect(),
+        })
+        .collect();
+    let fed: u64 = ops.iter().map(|o| o.len() as u64).sum();
+    let (predicted, waits) = simulate_traced(&ops, model)?;
+    Ok(AnalyzeReport {
+        nprocs,
+        measured_app_ns,
+        predicted,
+        waits,
+        stats: AnalysisStats {
+            windowed: opts.window.is_some(),
+            flattened: true,
+            fed_ops: fed,
+            logical_ops: fed,
+            ..AnalysisStats::default()
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cypress_core::{compress_trace, CompressConfig};
+    use cypress_cst::analyze_program;
+    use cypress_minilang::{check_program, parse};
+    use cypress_runtime::{trace_program, InterpConfig};
+
+    fn compile(src: &str, nprocs: u32) -> (Cst, Vec<Ctt>) {
+        let p = parse(src).unwrap();
+        check_program(&p).unwrap();
+        let info = analyze_program(&p);
+        let traces = trace_program(&p, &info, nprocs, &InterpConfig::default()).unwrap();
+        let ctts = traces
+            .iter()
+            .map(|t| compress_trace(&info.cst, t, &CompressConfig::default()))
+            .collect();
+        (info.cst, ctts)
+    }
+
+    fn assert_native_equals_oracle(src: &str, nprocs: u32, opts: &AnalyzeOptions) -> AnalyzeReport {
+        let (cst, ctts) = compile(src, nprocs);
+        let model = LogGp::default();
+        let native = analyze_ctts(&cst, &ctts, &model, opts).unwrap();
+        let oracle = analyze_by_decompression(&cst, &ctts, &model, opts).unwrap();
+        assert_eq!(native.predicted, oracle.predicted);
+        assert_eq!(native.waits, oracle.waits);
+        assert_eq!(native.measured_app_ns, oracle.measured_app_ns);
+        assert_eq!(native.nprocs, oracle.nprocs);
+        native
+    }
+
+    const STENCIL: &str = r#"fn main() {
+        for it in 0..40 {
+            compute(500);
+            if rank() > 0 { send(rank() - 1, 2048, 0); }
+            if rank() < size() - 1 { recv(rank() + 1, 2048, 0); }
+            allreduce(16);
+        }
+        barrier();
+    }"#;
+
+    #[test]
+    fn stencil_prediction_matches_oracle_exactly() {
+        let r = assert_native_equals_oracle(STENCIL, 5, &AnalyzeOptions::default());
+        assert!(r.stats.symbolic_loops > 0);
+        assert!(r.predicted.total > 0);
+    }
+
+    #[test]
+    fn late_senders_detected_and_match_oracle() {
+        // Rank 0 computes long before sending: every recv on rank 1 waits.
+        let r = assert_native_equals_oracle(
+            r#"fn main() {
+                for i in 0..25 {
+                    if rank() == 0 { compute(50000); send(1, 256, 0); }
+                    if rank() == 1 { recv(0, 256, 0); }
+                }
+            }"#,
+            2,
+            &AnalyzeOptions::default(),
+        );
+        assert!(r.waits.total_wait_ns() > 0, "expected late-sender waits");
+        assert!(r.waits.per_rank[1] > 0);
+        assert_eq!(r.waits.per_rank[0], 0);
+        assert!(!r.waits.sites.is_empty());
+    }
+
+    #[test]
+    fn recursion_falls_back_to_flatten_and_matches() {
+        let r = assert_native_equals_oracle(
+            r#"
+            fn updown(n) {
+                if n > 0 {
+                    send((rank() + 1) % size(), 128, 0);
+                    updown(n - 1);
+                    recv((rank() + size() - 1) % size(), 128, 0);
+                }
+            }
+            fn main() { updown(6); }
+            "#,
+            3,
+            &AnalyzeOptions::default(),
+        );
+        assert!(r.stats.flattened);
+    }
+
+    #[test]
+    fn full_span_window_equals_unwindowed() {
+        let (cst, ctts) = compile(STENCIL, 4);
+        let model = LogGp::default();
+        let plain = analyze_ctts(&cst, &ctts, &model, &AnalyzeOptions::default()).unwrap();
+        let windowed = analyze_ctts(
+            &cst,
+            &ctts,
+            &model,
+            &AnalyzeOptions {
+                window: Some(Window {
+                    start_ns: 0,
+                    end_ns: u64::MAX,
+                }),
+            },
+        )
+        .unwrap();
+        assert_eq!(windowed.predicted, plain.predicted);
+        assert_eq!(windowed.waits, plain.waits);
+        assert!(windowed.stats.windowed);
+    }
+
+    #[test]
+    fn empty_window_predicts_nothing() {
+        let (cst, ctts) = compile(STENCIL, 3);
+        let r = analyze_ctts(
+            &cst,
+            &ctts,
+            &LogGp::default(),
+            &AnalyzeOptions {
+                window: Some(Window {
+                    start_ns: 0,
+                    end_ns: 0,
+                }),
+            },
+        )
+        .unwrap();
+        assert_eq!(r.predicted.total, 0);
+        assert_eq!(r.waits.total_wait_ns(), 0);
+        assert_eq!(r.stats.fed_ops, 0);
+    }
+
+    #[test]
+    fn prefix_window_cuts_iterations_and_matches_oracle() {
+        // Symmetric ring: replay clocks agree across ranks, so a boundary
+        // between iterations cuts whole iterations cleanly.
+        let src = r#"fn main() {
+            for i in 0..20 {
+                compute(1000);
+                sendrecv((rank() + 1) % size(), 512, 0, (rank() + size() - 1) % size(), 512, 0);
+            }
+        }"#;
+        let (cst, ctts) = compile(src, 4);
+        let model = LogGp::default();
+        let full = analyze_ctts(&cst, &ctts, &model, &AnalyzeOptions::default()).unwrap();
+        let mid = full.measured_app_ns / 2;
+        let opts = AnalyzeOptions {
+            window: Some(Window {
+                start_ns: 0,
+                end_ns: mid,
+            }),
+        };
+        let native = analyze_ctts(&cst, &ctts, &model, &opts).unwrap();
+        let oracle = analyze_by_decompression(&cst, &ctts, &model, &opts).unwrap();
+        assert_eq!(native.predicted, oracle.predicted);
+        assert!(native.stats.fed_ops > 0);
+        assert!(native.stats.fed_ops < full.stats.logical_ops);
+        assert!(native.predicted.total < full.predicted.total);
+    }
+
+    #[test]
+    fn windowed_wait_pruning_keeps_nonblocking_programs_runnable() {
+        let src = r#"fn main() {
+            for i in 0..12 {
+                compute(2000);
+                let a = isend((rank() + 1) % size(), 256, 1);
+                let b = irecv((rank() + size() - 1) % size(), 256, 1);
+                waitall(a, b);
+            }
+        }"#;
+        let (cst, ctts) = compile(src, 3);
+        let model = LogGp::default();
+        let full = analyze_ctts(&cst, &ctts, &model, &AnalyzeOptions::default()).unwrap();
+        let opts = AnalyzeOptions {
+            window: Some(Window {
+                start_ns: 0,
+                end_ns: full.measured_app_ns / 2,
+            }),
+        };
+        let native = analyze_ctts(&cst, &ctts, &model, &opts).unwrap();
+        let oracle = analyze_by_decompression(&cst, &ctts, &model, &opts).unwrap();
+        assert_eq!(native.predicted, oracle.predicted);
+    }
+
+    #[test]
+    fn unordered_ranks_are_rejected() {
+        let (cst, mut ctts) = compile(STENCIL, 3);
+        ctts.swap(0, 2);
+        let err =
+            analyze_ctts(&cst, &ctts, &LogGp::default(), &AnalyzeOptions::default()).unwrap_err();
+        assert!(matches!(err, AnalysisError::Invalid(_)));
+    }
+
+    #[test]
+    fn missing_ranks_are_rejected() {
+        let (cst, mut ctts) = compile(STENCIL, 3);
+        ctts.pop();
+        let err =
+            analyze_ctts(&cst, &ctts, &LogGp::default(), &AnalyzeOptions::default()).unwrap_err();
+        assert!(matches!(err, AnalysisError::Invalid(_)));
+    }
+}

@@ -1,0 +1,231 @@
+//! CTT-native analysis cost vs the decompress-then-simulate oracle,
+//! emitted as `results/BENCH_analysis.json`.
+//!
+//! Two measurements:
+//!
+//! * `workloads` — bundled benchmark skeletons: the full analysis suite
+//!   (LogGP replay prediction + late-sender wait states) evaluated on the
+//!   CTT via symbolic lowering vs the oracle that decompresses every rank
+//!   first and simulates the flat op streams. Every row asserts the two
+//!   reports agree exactly (prediction, per-rank waits, wait sites).
+//! * `scaling` — one stencil program with the outer loop trip count swept
+//!   over decades at fixed rank count. The CTT is the same size at every
+//!   point, the loop lowers symbolically, and the simulator extrapolates
+//!   steady-state trips arithmetically — so CTT-native analysis time stays
+//!   flat while the oracle grows linearly with the event count. The run
+//!   asserts the ≥100× gap at the 10 000-trip point.
+//!
+//! JSON schema (`bench_analysis/v1`):
+//!
+//! ```json
+//! { "schema": "bench_analysis/v1",
+//!   "workloads": [ { "name": "...", "nprocs": 8, "events": 123,
+//!     "analyze_ns": 1.0, "oracle_ns": 9.0, "speedup": 9.0,
+//!     "equal": true } ],
+//!   "scaling": [ { "trips": 1000, "nprocs": 4, "events": 123,
+//!     "fed_ops": 12, "extrapolated_trips": 990, "analyze_ns": 1.0,
+//!     "oracle_ns": 9.0, "speedup": 9.0, "equal": true } ] }
+//! ```
+
+use cypress_analysis::{analyze_by_decompression, analyze_ctts, AnalyzeOptions, AnalyzeReport};
+use cypress_bench::harness;
+use cypress_core::{compress_trace, CompressConfig, Ctt};
+use cypress_cst::{analyze_program, Cst, StaticInfo};
+use cypress_minilang::{check_program, parse, Program};
+use cypress_runtime::{trace_program_parallel, InterpConfig};
+use cypress_simmpi::LogGp;
+use cypress_workloads::{by_name, quick_procs, Scale};
+
+fn workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+fn compress_all(prog: &Program, info: &StaticInfo, nprocs: u32) -> Vec<Ctt> {
+    let traces = trace_program_parallel(prog, info, nprocs, &InterpConfig::default(), workers())
+        .expect("bench program runs");
+    let cfg = CompressConfig::default();
+    traces
+        .iter()
+        .map(|t| compress_trace(&info.cst, t, &cfg))
+        .collect()
+}
+
+/// The analyses must agree exactly; effort stats legitimately differ.
+fn reports_equal(a: &AnalyzeReport, b: &AnalyzeReport) -> bool {
+    a.nprocs == b.nprocs
+        && a.measured_app_ns == b.measured_app_ns
+        && a.predicted == b.predicted
+        && a.waits == b.waits
+}
+
+struct Row {
+    label: String,
+    nprocs: u32,
+    events: u64,
+    fed_ops: u64,
+    extrapolated_trips: u64,
+    analyze_ns: f64,
+    oracle_ns: f64,
+    equal: bool,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.oracle_ns / self.analyze_ns.max(1.0)
+    }
+}
+
+fn measure(label: &str, cst: &Cst, ctts: &[Ctt]) -> Row {
+    let model = LogGp::default();
+    let opts = AnalyzeOptions::default();
+    let native = analyze_ctts(cst, ctts, &model, &opts).expect("analysis succeeds");
+    let oracle = analyze_by_decompression(cst, ctts, &model, &opts).expect("oracle succeeds");
+    let equal = reports_equal(&native, &oracle);
+
+    let nprocs = ctts.first().map(|c| c.nprocs).unwrap_or(0);
+    let events: u64 = ctts.iter().map(|c| c.op_count()).sum();
+
+    let analyze = harness::run(&format!("analysis/{label}/ctt-native"), || {
+        analyze_ctts(cst, ctts, &model, &opts).expect("analysis succeeds")
+    });
+    let reference = harness::run(&format!("analysis/{label}/oracle"), || {
+        analyze_by_decompression(cst, ctts, &model, &opts).expect("oracle succeeds")
+    });
+
+    Row {
+        label: label.to_owned(),
+        nprocs,
+        events,
+        fed_ops: native.stats.fed_ops,
+        extrapolated_trips: native.stats.extrapolated_trips,
+        analyze_ns: analyze.mean_ns,
+        oracle_ns: reference.mean_ns,
+        equal,
+    }
+}
+
+fn bench_workload(name: &str) -> Row {
+    let nprocs = quick_procs(name);
+    let w = by_name(name, nprocs, Scale::Quick).unwrap();
+    let (prog, info) = w.compile();
+    let ctts = compress_all(&prog, &info, nprocs);
+    measure(&format!("{name}/{nprocs}p"), &info.cst, &ctts)
+}
+
+/// Steady-state ring stencil: every rank does the same work each trip, so
+/// the loop lowers symbolically and the replay reaches a uniform-delta
+/// quiescent cycle the simulator can extrapolate. Event count scales with
+/// `trips`; the CTT does not.
+fn scaling_src(trips: u32) -> String {
+    format!(
+        r#"fn main() {{
+    let r = rank();
+    let s = size();
+    for it in 0..{trips} {{
+        if r > 0 {{ send(r - 1, 8192, 0); }}
+        if r < s - 1 {{ recv(r + 1, 8192, 0); }}
+        if r < s - 1 {{ send(r + 1, 8192, 1); }}
+        if r > 0 {{ recv(r - 1, 8192, 1); }}
+        allreduce(64);
+    }}
+}}"#
+    )
+}
+
+fn bench_scaling(trips: u32) -> Row {
+    let nprocs = 4;
+    let src = scaling_src(trips);
+    let prog = parse(&src).unwrap();
+    check_program(&prog).unwrap();
+    let info = analyze_program(&prog);
+    let ctts = compress_all(&prog, &info, nprocs);
+    measure(&format!("scale/{trips}tr"), &info.cst, &ctts)
+}
+
+fn row_json(r: &Row, key: &str, key_val: &str) -> String {
+    format!(
+        "{{{key}:{key_val},\"nprocs\":{},\"events\":{},\"fed_ops\":{},\
+         \"extrapolated_trips\":{},\"analyze_ns\":{:.1},\"oracle_ns\":{:.1},\
+         \"speedup\":{:.3},\"equal\":{}}}",
+        r.nprocs,
+        r.events,
+        r.fed_ops,
+        r.extrapolated_trips,
+        r.analyze_ns,
+        r.oracle_ns,
+        r.speedup(),
+        r.equal,
+    )
+}
+
+fn main() {
+    let fast = std::env::var("CYPRESS_BENCH_FAST").is_ok();
+    let names: &[&str] = if fast {
+        &["jacobi", "cg"]
+    } else {
+        &["jacobi", "cg", "mg", "lu", "leslie3d"]
+    };
+    // The 10k point carries the headline flat-vs-linear assertion, so the
+    // sweep keeps it even in fast mode.
+    let trip_sweep: &[u32] = &[10, 100, 1000, 10_000];
+
+    let workload_rows: Vec<Row> = names.iter().map(|n| bench_workload(n)).collect();
+    let scaling_rows: Vec<Row> = trip_sweep.iter().map(|&t| bench_scaling(t)).collect();
+
+    let mut json = String::from("{\"schema\":\"bench_analysis/v1\",\"workloads\":[");
+    for (i, r) in workload_rows.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let name = r.label.split('/').next().unwrap_or(&r.label);
+        json.push_str(&row_json(r, "\"name\"", &format!("\"{name}\"")));
+    }
+    json.push_str("],\"scaling\":[");
+    for (i, (r, trips)) in scaling_rows.iter().zip(trip_sweep).enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&row_json(r, "\"trips\"", &trips.to_string()));
+    }
+    json.push_str("]}\n");
+
+    let results = std::env::var("CYPRESS_RESULTS_DIR")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../results").to_owned());
+    let path = std::path::Path::new(&results).join("BENCH_analysis.json");
+    cypress_obs::write_atomic(&path, json.as_bytes()).expect("write BENCH_analysis.json");
+    println!("wrote {}", path.display());
+
+    let unequal: Vec<&str> = workload_rows
+        .iter()
+        .chain(&scaling_rows)
+        .filter(|r| !r.equal)
+        .map(|r| r.label.as_str())
+        .collect();
+    assert!(
+        unequal.is_empty(),
+        "CTT-native and oracle analysis reports diverged for: {unequal:?}"
+    );
+    // Flat vs linear: at 10k trips the CTT-native prediction must beat the
+    // decompress-then-simulate oracle by at least 100×.
+    let largest = scaling_rows.last().expect("sweep is non-empty");
+    assert!(
+        largest.speedup() >= 100.0,
+        "expected ≥100× speedup on {} (got {:.2}×)",
+        largest.label,
+        largest.speedup()
+    );
+    // And the native cost must actually be flat: the 10k point may cost at
+    // most 3× the 10-trip point (same CTT, same lowering, same steady
+    // cycle).
+    let smallest = scaling_rows.first().expect("sweep is non-empty");
+    assert!(
+        largest.analyze_ns <= 3.0 * smallest.analyze_ns.max(1.0),
+        "CTT-native cost not flat in trips: {:.0} ns at {} vs {:.0} ns at {}",
+        largest.analyze_ns,
+        largest.label,
+        smallest.analyze_ns,
+        smallest.label
+    );
+}

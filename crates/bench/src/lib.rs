@@ -416,4 +416,31 @@ mod tests {
         assert!(p.error_pct() < 20.0, "error {}", p.error_pct());
         assert!(p.comm_pct > 0.0 && p.comm_pct < 100.0);
     }
+
+    #[test]
+    fn fig21_average_error_within_documented_bound() {
+        // The Fig. 21 replay-prediction experiment (leslie3d across process
+        // counts): EXPERIMENTS.md §Fig. 21 records a 3.50 % average error at
+        // paper scale (1.14–5.00 % per point; the paper reports 5.9 %). The
+        // quick-scale sweep regenerated by `scripts/figures.sh fig21` must
+        // stay inside the same average bound — the pipeline is fully
+        // deterministic, so this is a regression pin, not a noisy check.
+        let procs = [16u32, 32, 64];
+        let mut sum = 0.0;
+        for &p in &procs {
+            let t = trace_workload("leslie3d", p, Scale::Quick);
+            let pred = predict(&t).unwrap();
+            assert!(
+                pred.error_pct() <= 5.0,
+                "{p} procs: per-point error {:.2}% above the documented range",
+                pred.error_pct()
+            );
+            sum += pred.error_pct();
+        }
+        let avg = sum / procs.len() as f64;
+        assert!(
+            avg <= 3.5,
+            "average prediction error {avg:.2}% above the EXPERIMENTS.md §Fig. 21 bound (3.50%)"
+        );
+    }
 }

@@ -290,6 +290,81 @@ impl IntSeqReader<'_> {
         }
         rem
     }
+
+    /// Unconditionally consume `n` values in O(segments), never O(n).
+    /// Returns false (leaving the reader exhausted) if fewer than `n`
+    /// values remain.
+    pub fn skip(&mut self, mut n: u64) -> bool {
+        while n > 0 {
+            let Some(s) = self.segs.get(self.seg) else {
+                return false;
+            };
+            let done = self.rep as u64 * s.len as u64 + self.idx as u64;
+            let left_in_seg = s.total() - done;
+            if n >= left_in_seg {
+                n -= left_in_seg;
+                self.seg += 1;
+                self.rep = 0;
+                self.idx = 0;
+            } else {
+                let pos = done + n;
+                self.rep = (pos / s.len as u64) as u32;
+                self.idx = (pos % s.len as u64) as u32;
+                return true;
+            }
+        }
+        true
+    }
+
+    /// Consume the next `m` values iff they form the arithmetic progression
+    /// `first, first+stride, first+2·stride, …` (a constant run when
+    /// `stride == 0`). On success the values are consumed and `true` is
+    /// returned; on failure the reader is left untouched. Cost is
+    /// O(segments touched), never O(m) — this is the bulk-verification
+    /// primitive the compressed-domain schedule lowering uses to check loop
+    /// bodies repeat without expanding trip counts.
+    pub fn take_arith(&mut self, m: u64, first: i64, stride: i64) -> bool {
+        if m == 0 {
+            return true;
+        }
+        let mut probe = self.clone();
+        let mut expect = first;
+        let mut left = m;
+        while left > 0 {
+            let Some(s) = probe.segs.get(probe.seg) else {
+                return false;
+            };
+            // The current chunk of equal-stride values: the rest of the whole
+            // segment when it is constant (stride 0 or single-term runs),
+            // else the rest of the current repetition (values reset at rep
+            // boundaries, breaking any progression unless constant).
+            let constant = s.stride == 0 || s.len == 1;
+            let (chunk_first, chunk_stride, chunk_len) = if constant {
+                let done = probe.rep as u64 * s.len as u64 + probe.idx as u64;
+                (s.start, 0i64, s.total() - done)
+            } else {
+                (s.value_at(probe.idx), s.stride, (s.len - probe.idx) as u64)
+            };
+            if chunk_first != expect {
+                return false;
+            }
+            let take = if chunk_stride == stride {
+                chunk_len.min(left)
+            } else {
+                1
+            };
+            if take < left && take < chunk_len {
+                // Stride mismatch with more values needed from this chunk:
+                // the next chunk value cannot continue the progression.
+                return false;
+            }
+            probe.skip(take);
+            expect = expect.wrapping_add(stride.wrapping_mul(take as i64));
+            left -= take;
+        }
+        *self = probe;
+        true
+    }
 }
 
 impl Codec for IntSeq {
@@ -419,6 +494,87 @@ mod tests {
         assert_eq!(got, vec![5, 5, 5, 1, 2, 3]);
         assert_eq!(r.peek(), None);
         assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn take_arith_constant_and_strided() {
+        let s = IntSeq::from_slice(&[3, 3, 3, 3, 0, 2, 4, 6, 7]);
+        let mut r = s.reader();
+        assert!(r.take_arith(4, 3, 0));
+        assert!(!r.take_arith(4, 0, 1), "stride mismatch must not consume");
+        assert_eq!(r.peek(), Some(0));
+        assert!(r.take_arith(4, 0, 2));
+        assert_eq!(r.next(), Some(7));
+        assert!(r.take_arith(0, 99, 99), "empty take always succeeds");
+        assert!(!r.take_arith(1, 7, 0), "exhausted reader fails");
+    }
+
+    #[test]
+    fn take_arith_spans_segments_and_reps() {
+        // 5 repeated 100× then 8 repeated 50×: constant runs across the
+        // internal rep/segment structure.
+        let mut xs = vec![5i64; 100];
+        xs.extend(vec![8i64; 50]);
+        let s = IntSeq::from_slice(&xs);
+        let mut r = s.reader();
+        assert!(r.take_arith(100, 5, 0));
+        assert!(r.take_arith(50, 8, 0));
+        assert_eq!(r.peek(), None);
+    }
+
+    #[test]
+    fn take_arith_matches_scalar_consume_random() {
+        let mut rng = Rng::new(0xa717);
+        for _ in 0..256 {
+            let xs = random_vec(&mut rng, -4, 4, 120);
+            let s = IntSeq::from_slice(&xs);
+            let m = rng.range_usize(0..xs.len() + 2) as u64;
+            let first = rng.range_i64(-4..5);
+            let stride = rng.range_i64(-2..3);
+            let mut bulk = s.reader();
+            let ok = bulk.take_arith(m, first, stride);
+            // Scalar oracle: peek-and-next one value at a time.
+            let mut scalar = s.reader();
+            let mut scalar_ok = true;
+            for i in 0..m {
+                let want = first.wrapping_add(stride.wrapping_mul(i as i64));
+                if scalar.next() != Some(want) {
+                    scalar_ok = false;
+                    break;
+                }
+            }
+            assert_eq!(
+                ok, scalar_ok,
+                "xs={xs:?} m={m} first={first} stride={stride}"
+            );
+            if ok {
+                assert_eq!(bulk.remaining(), s.len() - m);
+                let mut a = Vec::new();
+                while let Some(v) = bulk.next() {
+                    a.push(v);
+                }
+                assert_eq!(a, xs[m as usize..].to_vec());
+            }
+        }
+    }
+
+    #[test]
+    fn skip_matches_scalar_random() {
+        let mut rng = Rng::new(0x5517);
+        for _ in 0..256 {
+            let xs = random_vec(&mut rng, -6, 6, 150);
+            let s = IntSeq::from_slice(&xs);
+            let n = rng.range_usize(0..xs.len() + 3) as u64;
+            let mut r = s.reader();
+            let ok = r.skip(n);
+            assert_eq!(ok, n <= xs.len() as u64);
+            if ok {
+                assert_eq!(r.remaining(), xs.len() as u64 - n);
+                assert_eq!(r.peek(), xs.get(n as usize).copied());
+            } else {
+                assert_eq!(r.peek(), None);
+            }
+        }
     }
 
     #[test]

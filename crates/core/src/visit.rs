@@ -101,6 +101,29 @@ pub trait CttSource {
     fn as_ctt(&self) -> Cow<'_, Ctt>;
 }
 
+/// A shared reference to a source is itself a source, so callers can build
+/// reordered views (`Vec<&CttSlab>` sorted by rank) without cloning trees.
+impl<S: CttSource> CttSource for &S {
+    fn rank(&self) -> u32 {
+        (**self).rank()
+    }
+    fn nprocs(&self) -> u32 {
+        (**self).nprocs()
+    }
+    fn app_time(&self) -> u64 {
+        (**self).app_time()
+    }
+    fn vertex_count(&self) -> usize {
+        (**self).vertex_count()
+    }
+    fn fold<F: CttFold>(&self, f: &mut F) {
+        (**self).fold(f);
+    }
+    fn as_ctt(&self) -> Cow<'_, Ctt> {
+        (**self).as_ctt()
+    }
+}
+
 impl CttSource for Ctt {
     fn rank(&self) -> u32 {
         self.rank

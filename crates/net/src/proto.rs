@@ -31,6 +31,14 @@
 //! client only sends it when the negotiated version is ≥ 2; against a v1
 //! collector it falls back to the raw `RankCtt` frame.
 //!
+//! Protocol version 3 adds the analysis frames (`AnalyzeRequest` /
+//! `AnalyzeResponse`) and tolerant decoding of frame codes from the
+//! *future*: an unrecognized code decodes to [`Frame::Unknown`] instead of
+//! a hard frame error, so a resident daemon can answer it with a `protocol`
+//! error frame and keep the connection usable — the negotiation story for
+//! old-server/new-client pairs on the query port, which exchanges no
+//! `Hello`.
+//!
 //! The `Finish`/`FinAck` round trip is the graceful-shutdown drain: a
 //! client that received `FinAck` knows its rank is merged and may
 //! disconnect; a client killed before `FinAck` must assume nothing and
@@ -44,7 +52,7 @@ use cypress_trace::event::Event;
 use std::io::{Read, Write};
 
 /// Newest protocol version this build speaks.
-pub const PROTO_VERSION: u8 = 2;
+pub const PROTO_VERSION: u8 = 3;
 
 /// Oldest protocol version this build accepts.
 pub const PROTO_VERSION_MIN: u8 = 1;
@@ -126,6 +134,8 @@ const FR_STATS_REQ: u8 = 9;
 const FR_STATS: u8 = 10;
 const FR_QUERY_REQ: u8 = 11;
 const FR_QUERY_RESP: u8 = 12;
+const FR_ANALYZE_REQ: u8 = 13;
+const FR_ANALYZE_RESP: u8 = 14;
 
 /// One protocol message.
 #[derive(Debug, Clone, PartialEq)]
@@ -171,8 +181,21 @@ pub enum Frame {
     /// The answer: an opaque, self-versioned `QueryResult` blob, nested as
     /// length-prefixed bytes like [`Frame::Stats`].
     QueryResponse { result: Vec<u8> },
+    /// Ask a resident query daemon to run the compressed-domain analysis
+    /// suite (replay prediction + wait-state detection) against one job.
+    /// `options` is an opaque, self-versioned blob (the analysis crate's
+    /// canonical `AnalyzeOptions` encoding), mirroring
+    /// [`Frame::QueryRequest`].
+    AnalyzeRequest { job: String, options: Vec<u8> },
+    /// The answer: an opaque, self-versioned `AnalyzeReport` blob.
+    AnalyzeResponse { result: Vec<u8> },
     /// Rejection; `code` is one of [`codes`].
     Error { code: u16, message: String },
+    /// A frame code this build does not know (sent by a newer peer). Never
+    /// encoded; produced by the decoder — with the payload discarded — so a
+    /// server can answer with a `protocol` error frame instead of tearing
+    /// the connection down.
+    Unknown { code: u8 },
 }
 
 impl Frame {
@@ -189,7 +212,10 @@ impl Frame {
             Frame::Stats { .. } => FR_STATS,
             Frame::QueryRequest { .. } => FR_QUERY_REQ,
             Frame::QueryResponse { .. } => FR_QUERY_RESP,
+            Frame::AnalyzeRequest { .. } => FR_ANALYZE_REQ,
+            Frame::AnalyzeResponse { .. } => FR_ANALYZE_RESP,
             Frame::Error { .. } => FR_ERROR,
+            Frame::Unknown { code } => *code,
         }
     }
 
@@ -207,7 +233,10 @@ impl Frame {
             Frame::Stats { .. } => "Stats",
             Frame::QueryRequest { .. } => "QueryRequest",
             Frame::QueryResponse { .. } => "QueryResponse",
+            Frame::AnalyzeRequest { .. } => "AnalyzeRequest",
+            Frame::AnalyzeResponse { .. } => "AnalyzeResponse",
             Frame::Error { .. } => "Error",
+            Frame::Unknown { .. } => "Unknown",
         }
     }
 
@@ -261,10 +290,16 @@ impl Frame {
                 enc.put_bytes(options);
             }
             Frame::QueryResponse { result } => enc.put_bytes(result),
+            Frame::AnalyzeRequest { job, options } => {
+                enc.put_str(job);
+                enc.put_bytes(options);
+            }
+            Frame::AnalyzeResponse { result } => enc.put_bytes(result),
             Frame::Error { code, message } => {
                 enc.put_uvar(*code as u64);
                 enc.put_str(message);
             }
+            Frame::Unknown { .. } => unreachable!("Unknown frames are never sent"),
         }
         enc.finish()
     }
@@ -339,11 +374,26 @@ impl Frame {
             FR_QUERY_RESP => Frame::QueryResponse {
                 result: dec.get_bytes().map_err(|e| bad(e.to_string()))?,
             },
+            FR_ANALYZE_REQ => Frame::AnalyzeRequest {
+                job: dec.get_str().map_err(|e| bad(e.to_string()))?,
+                options: dec.get_bytes().map_err(|e| bad(e.to_string()))?,
+            },
+            FR_ANALYZE_RESP => Frame::AnalyzeResponse {
+                result: dec.get_bytes().map_err(|e| bad(e.to_string()))?,
+            },
             FR_ERROR => Frame::Error {
                 code: dec.get_uvar().map_err(|e| bad(e.to_string()))? as u16,
                 message: dec.get_str().map_err(|e| bad(e.to_string()))?,
             },
-            c => return Err(bad(format!("unknown frame code {c}"))),
+            // The CRC already vouched for the body; an unknown code means a
+            // newer peer, not corruption. Discard the payload (we cannot
+            // parse it) and surface the code so the server can reply with a
+            // protocol error instead of dropping the connection.
+            c => {
+                let n = dec.remaining();
+                dec.skip(n).map_err(|e| bad(e.to_string()))?;
+                Frame::Unknown { code: c }
+            }
         };
         if !dec.is_done() {
             return Err(bad(format!(
@@ -484,6 +534,13 @@ mod tests {
             Frame::QueryResponse {
                 result: vec![1, 4, 0],
             },
+            Frame::AnalyzeRequest {
+                job: "jacobi-0042".into(),
+                options: vec![1, 1, 5, 9],
+            },
+            Frame::AnalyzeResponse {
+                result: vec![1, 2, 0, 0],
+            },
             Frame::Error {
                 code: codes::CST_MISMATCH,
                 message: "structure differs".into(),
@@ -580,15 +637,20 @@ mod tests {
     }
 
     #[test]
-    fn unknown_frame_code_rejected() {
+    fn unknown_frame_code_decodes_tolerantly() {
+        // A future frame code with an arbitrary payload must decode to
+        // Frame::Unknown (payload discarded) rather than a frame error, so
+        // a server can answer it and keep the connection; the stream must
+        // stay aligned for the next frame.
         let body = vec![0xeeu8, 1, 2];
         let mut wire = Vec::new();
         wire.extend_from_slice(&(body.len() as u32).to_le_bytes());
         wire.extend_from_slice(&body);
         wire.extend_from_slice(&crc32(&body).to_le_bytes());
-        assert!(matches!(
-            read_frame(&mut &wire[..]),
-            Err(NetError::Frame(_))
-        ));
+        write_frame(&mut wire, &Frame::FinAck { ranks_done: 2 }).unwrap();
+        let mut r = &wire[..];
+        assert_eq!(read_frame(&mut r).unwrap(), Frame::Unknown { code: 0xee });
+        assert_eq!(read_frame(&mut r).unwrap(), Frame::FinAck { ranks_done: 2 });
+        assert!(r.is_empty());
     }
 }

@@ -2,7 +2,7 @@
 //! decompress-then-analyze reference oracle.
 
 use crate::accum::Accum;
-use crate::{QueryError, QueryOptions, QueryResult, Strategy, StrategyUsed};
+use crate::{QueryError, QueryOptions, QueryResult, Strategy, StrategyUsed, Window};
 use cypress_core::{
     decompress, decompress_into, fold_ctt, fold_merged, replay_to_records, Ctt, CttFold, CttSource,
     LeafRecord, MergedCtt, RankScope, SeqRef,
@@ -52,7 +52,12 @@ pub fn needs_expansion(cst: &Cst) -> bool {
         .any(|v| matches!(v.kind, VertexKind::Loop { pseudo: true, .. }))
 }
 
-fn resolve_strategy(requested: Strategy, cst: &Cst) -> StrategyUsed {
+fn resolve_strategy(requested: Strategy, cst: &Cst, window: Option<Window>) -> StrategyUsed {
+    if window.is_some() {
+        // Timestamps only exist on the replay clock; a window can never be
+        // evaluated symbolically.
+        return StrategyUsed::PartialExpansion;
+    }
     match requested {
         Strategy::Symbolic => StrategyUsed::Symbolic,
         Strategy::PartialExpansion => StrategyUsed::PartialExpansion,
@@ -145,7 +150,7 @@ pub fn query_ctts<S: CttSource>(
     for c in ctts {
         check_shape(cst, c.vertex_count())?;
     }
-    let used = resolve_strategy(opts.strategy, cst);
+    let used = resolve_strategy(opts.strategy, cst, opts.window);
     let mut acc = Accum::new(nprocs, cst.len());
     let mut trips = TripsFold { trips: 0 };
     for ctt in ctts {
@@ -168,8 +173,8 @@ pub fn query_ctts<S: CttSource>(
             for ctt in ctts {
                 let rank = ctt.rank();
                 let owned = ctt.as_ctt();
-                decompress_into(cst, &owned, |op| {
-                    acc.add_replay(rank, &op);
+                expand_into(cst, &owned, opts.window, |op| {
+                    acc.add_replay(rank, op);
                     events += 1;
                 });
             }
@@ -191,7 +196,7 @@ pub fn query_merged(
     let _span = cypress_obs::enabled().then(|| obs().query_ns.start_span());
     check_shape(cst, merged.vertices.len())?;
     let nprocs = merged.nprocs;
-    let used = resolve_strategy(opts.strategy, cst);
+    let used = resolve_strategy(opts.strategy, cst, opts.window);
     let mut acc = Accum::new(nprocs, cst.len());
     let app_times = merged.app_times.to_vec();
     for r in 0..nprocs {
@@ -213,8 +218,8 @@ pub fn query_merged(
             let mut events = 0u64;
             for rank in 0..nprocs {
                 let ctt = merged.extract_rank(rank, cst);
-                decompress_into(cst, &ctt, |op| {
-                    acc.add_replay(rank, &op);
+                expand_into(cst, &ctt, opts.window, |op| {
+                    acc.add_replay(rank, op);
                     events += 1;
                 });
             }
@@ -222,6 +227,26 @@ pub fn query_merged(
         }
     }
     Ok(acc.finish(cst, used, trips.trips))
+}
+
+/// Stream-decompress one rank into `sink`, optionally restricted to ops
+/// whose reconstructed start time (the `replay_to_records` clock: gap, then
+/// op) falls inside `window`.
+fn expand_into(
+    cst: &Cst,
+    ctt: &Ctt,
+    window: Option<Window>,
+    mut sink: impl FnMut(&cypress_core::ReplayOp),
+) {
+    let mut t = 0u64;
+    decompress_into(cst, ctt, |op| {
+        t += op.mean_gap;
+        let t_start = t;
+        t += op.mean_dur;
+        if window.is_none_or(|w| w.contains(t_start)) {
+            sink(&op);
+        }
+    });
 }
 
 fn note_run(symbolic_records: u64, expanded_events: u64) {
@@ -239,6 +264,17 @@ fn note_run(symbolic_records: u64, expanded_events: u64) {
 /// totals and GID attribution are recomputed here from the replayed ops so
 /// the oracle's arithmetic is independent of [`Accum`].
 pub fn query_by_decompression(cst: &Cst, ctts: &[Ctt]) -> Result<QueryResult, QueryError> {
+    query_by_decompression_windowed(cst, ctts, None)
+}
+
+/// The windowed reference oracle: decompress, reconstruct the replay clock,
+/// drop every op starting outside `window`, then run the classic analyses
+/// over what remains.
+pub fn query_by_decompression_windowed(
+    cst: &Cst,
+    ctts: &[Ctt],
+    window: Option<Window>,
+) -> Result<QueryResult, QueryError> {
     let nprocs = world_size(ctts)?;
     for c in ctts {
         check_shape(cst, c.data.len())?;
@@ -252,13 +288,18 @@ pub fn query_by_decompression(cst: &Cst, ctts: &[Ctt]) -> Result<QueryResult, Qu
     for ctt in ctts {
         fold_ctt(ctt, &mut trips);
         let rank = ctt.rank as usize;
-        let ops = decompress(cst, ctt);
+        let mut ops = decompress(cst, ctt);
+        let mut records = replay_to_records(&ops);
+        if let Some(w) = window {
+            let keep: Vec<bool> = records.iter().map(|r| w.contains(r.t_start)).collect();
+            let mut it = keep.iter();
+            ops.retain(|_| *it.next().unwrap());
+            let mut it = keep.iter();
+            records.retain(|_| *it.next().unwrap());
+        }
         let mut raw = RawTrace::new(ctt.rank, nprocs);
         raw.app_time = ctt.app_time;
-        raw.events = replay_to_records(&ops)
-            .into_iter()
-            .map(Event::Mpi)
-            .collect();
+        raw.events = records.into_iter().map(Event::Mpi).collect();
         matrix.add_rank_events(rank, raw.mpi_records());
         profile.set_app_time(rank, raw.app_time);
         profile.add_rank_events(rank, raw.mpi_records());
@@ -433,6 +474,47 @@ mod tests {
         assert!(text.contains("Per-rank totals"));
         assert!(text.contains("MPI_Send"));
         assert!(text.contains("Loop#"));
+    }
+
+    #[test]
+    fn windowed_query_matches_windowed_oracle_and_restricts() {
+        let (cst, ctts) = compile(STENCIL, 4);
+        let full = query_ctts(&cst, &ctts, &QueryOptions::default()).unwrap();
+        // Find a midpoint that actually splits the op stream.
+        let span: u64 = ctts.iter().map(|c| c.app_time).max().unwrap();
+        let w = Window {
+            start_ns: 0,
+            end_ns: span / 2,
+        };
+        let opts = QueryOptions {
+            window: Some(w),
+            ..Default::default()
+        };
+        let got = query_ctts(&cst, &ctts, &opts).unwrap();
+        assert_eq!(got.strategy, StrategyUsed::PartialExpansion);
+        let oracle = query_by_decompression_windowed(&cst, &ctts, Some(w)).unwrap();
+        assert_eq!(got.matrix, oracle.matrix);
+        assert_eq!(got.profile, oracle.profile);
+        assert_eq!(got.totals, oracle.totals);
+        assert_eq!(got.hotspots, oracle.hotspots);
+        assert!(got.total_calls() < full.total_calls());
+        assert!(got.total_calls() > 0);
+        // Full-span window equals the unwindowed expansion result.
+        let all = query_ctts(
+            &cst,
+            &ctts,
+            &QueryOptions {
+                window: Some(Window {
+                    start_ns: 0,
+                    end_ns: u64::MAX,
+                }),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(all.matrix, full.matrix);
+        assert_eq!(all.profile, full.profile);
+        assert_eq!(all.totals, full.totals);
     }
 
     #[test]

@@ -50,9 +50,12 @@ mod hotspot;
 mod wire;
 
 pub use container::{query_container, query_container_bytes, query_container_path};
-pub use engine::{needs_expansion, query_by_decompression, query_ctts, query_merged};
+pub use engine::{
+    needs_expansion, query_by_decompression, query_by_decompression_windowed, query_ctts,
+    query_merged,
+};
 pub use hotspot::HotSpot;
-pub use wire::QUERY_WIRE_VERSION;
+pub use wire::{json_escape, QUERY_WIRE_VERSION, QUERY_WIRE_VERSION_WINDOWED};
 
 use cypress_trace::{CommMatrix, MpiOp, Profile};
 use std::fmt;
@@ -96,6 +99,24 @@ impl StrategyUsed {
     }
 }
 
+/// A half-open time interval `[start_ns, end_ns)` over reconstructed replay
+/// timestamps (the clock `cypress_core::replay_to_records` rebuilds from
+/// the compressed gap/duration statistics). Windowed queries restrict which
+/// *operations* are aggregated — an op counts iff its start time falls in
+/// the window; whole-trace quantities that are not per-op (per-rank app
+/// time, total loop trips) are reported unrestricted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Window {
+    pub start_ns: u64,
+    pub end_ns: u64,
+}
+
+impl Window {
+    pub fn contains(&self, t_ns: u64) -> bool {
+        t_ns >= self.start_ns && t_ns < self.end_ns
+    }
+}
+
 /// Query knobs.
 #[derive(Debug, Clone)]
 pub struct QueryOptions {
@@ -103,6 +124,10 @@ pub struct QueryOptions {
     /// Maximum hot spots retained in [`QueryResult::hotspots`] *rendering*;
     /// the result always accumulates every GID so volumes sum exactly.
     pub hotspot_limit: usize,
+    /// Restrict aggregation to ops starting within this window. Timestamps
+    /// require the replay clock, so a window always evaluates via partial
+    /// expansion (O(events)), whatever strategy was requested.
+    pub window: Option<Window>,
 }
 
 impl Default for QueryOptions {
@@ -110,6 +135,7 @@ impl Default for QueryOptions {
         QueryOptions {
             strategy: Strategy::Auto,
             hotspot_limit: 10,
+            window: None,
         }
     }
 }

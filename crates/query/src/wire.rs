@@ -14,13 +14,19 @@
 //! `cypress query --json` / `cypress inspect --json` so the queryd smoke
 //! test can diff local and remote answers structurally.
 
-use crate::{HotSpot, QueryOptions, QueryResult, RankTotals, Strategy, StrategyUsed};
+use crate::{HotSpot, QueryOptions, QueryResult, RankTotals, Strategy, StrategyUsed, Window};
 use cypress_trace::{
     Codec, CommMatrix, DecodeError, DecodeResult, Decoder, Encoder, MpiOp, Profile,
 };
 
 /// Version byte leading every [`QueryOptions`] / [`QueryResult`] blob.
 pub const QUERY_WIRE_VERSION: u8 = 1;
+
+/// Options version used only when a [`Window`] is present. Windowless
+/// options still encode as version 1 byte-for-byte, so new clients talk to
+/// old daemons unchanged; an old daemon receiving version-2 options rejects
+/// them with a clean version error instead of a mis-parse.
+pub const QUERY_WIRE_VERSION_WINDOWED: u8 = 2;
 
 fn check_version(dec: &mut Decoder<'_>, what: &str) -> DecodeResult<()> {
     let v = dec.get_u8()?;
@@ -112,19 +118,42 @@ impl Strategy {
 
 impl Codec for QueryOptions {
     fn encode(&self, enc: &mut Encoder) {
-        enc.put_u8(QUERY_WIRE_VERSION);
+        enc.put_u8(if self.window.is_some() {
+            QUERY_WIRE_VERSION_WINDOWED
+        } else {
+            QUERY_WIRE_VERSION
+        });
         enc.put_u8(self.strategy.code());
         enc.put_uvar(self.hotspot_limit as u64);
+        if let Some(w) = self.window {
+            enc.put_uvar(w.start_ns);
+            enc.put_uvar(w.end_ns);
+        }
     }
 
     fn decode(dec: &mut Decoder<'_>) -> DecodeResult<Self> {
-        check_version(dec, "query options")?;
+        let v = dec.get_u8()?;
+        if v != QUERY_WIRE_VERSION && v != QUERY_WIRE_VERSION_WINDOWED {
+            return Err(DecodeError(format!(
+                "query options wire version {v} unsupported (expected {QUERY_WIRE_VERSION} or {QUERY_WIRE_VERSION_WINDOWED})"
+            )));
+        }
         let code = dec.get_u8()?;
         let strategy = Strategy::from_code(code)
             .ok_or_else(|| DecodeError(format!("unknown strategy code {code}")))?;
+        let hotspot_limit = dec.get_uvar()? as usize;
+        let window = if v == QUERY_WIRE_VERSION_WINDOWED {
+            Some(Window {
+                start_ns: dec.get_uvar()?,
+                end_ns: dec.get_uvar()?,
+            })
+        } else {
+            None
+        };
         Ok(QueryOptions {
             strategy,
-            hotspot_limit: dec.get_uvar()? as usize,
+            hotspot_limit,
+            window,
         })
     }
 }
@@ -190,7 +219,7 @@ impl Codec for QueryResult {
 }
 
 /// Escape a string for embedding in a JSON string literal.
-pub(crate) fn json_escape(s: &str) -> String {
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -318,17 +347,44 @@ mod tests {
         let opts = QueryOptions {
             strategy: Strategy::Symbolic,
             hotspot_limit: 25,
+            window: None,
         };
         let bytes = opts.to_bytes();
         assert_eq!(bytes[0], QUERY_WIRE_VERSION);
         let back = QueryOptions::from_bytes(&bytes).unwrap();
         assert_eq!(back.strategy, Strategy::Symbolic);
         assert_eq!(back.hotspot_limit, 25);
+        assert_eq!(back.window, None);
 
         let mut bad = bytes.clone();
         bad[0] = 99;
         let err = QueryOptions::from_bytes(&bad).unwrap_err();
         assert!(err.0.contains("wire version 99"), "{}", err.0);
+    }
+
+    #[test]
+    fn windowed_options_use_v2_and_roundtrip() {
+        let opts = QueryOptions {
+            strategy: Strategy::Auto,
+            hotspot_limit: 10,
+            window: Some(Window {
+                start_ns: 1_000,
+                end_ns: 9_999,
+            }),
+        };
+        let bytes = opts.to_bytes();
+        assert_eq!(bytes[0], QUERY_WIRE_VERSION_WINDOWED);
+        let back = QueryOptions::from_bytes(&bytes).unwrap();
+        assert_eq!(
+            back.window,
+            Some(Window {
+                start_ns: 1_000,
+                end_ns: 9_999
+            })
+        );
+        // Windowless encoding is still plain v1 — byte-compatible with old
+        // daemons.
+        assert_eq!(QueryOptions::default().to_bytes()[0], QUERY_WIRE_VERSION);
     }
 
     #[test]

@@ -14,9 +14,16 @@
 
 pub mod engine;
 pub mod model;
+pub mod report;
+pub mod schedule;
 
-pub use engine::{from_raw_traces, simulate, SimError, SimOp, SimResult};
+pub use engine::{
+    from_raw_traces, simulate, simulate_traced, RunOutcome, Sim, SimError, SimOp, SimResult,
+    SimSnapshot, WaitReport, WaitSite,
+};
 pub use model::LogGp;
+pub use report::SIM_WIRE_VERSION;
+pub use schedule::{simulate_schedule, Schedule, ScheduleStats, Segment};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,278 @@
+//! Canonical wire and JSON serializations of simulation results.
+//!
+//! Mirrors the conventions of `cypress_query::wire`: blobs are
+//! self-versioned (first byte is [`SIM_WIRE_VERSION`]), encodings are
+//! canonical (equal values → identical bytes), and the JSON renders are
+//! deterministic with stable key order and **no floats** — comm fraction is
+//! emitted as integer permille so `analyze predict --json` output can be
+//! diffed byte-for-byte between local and queryd evaluation.
+
+use crate::engine::{SimResult, WaitReport, WaitSite};
+use cypress_trace::{Codec, DecodeError, DecodeResult, Decoder, Encoder};
+
+/// Version byte leading every [`SimResult`] / [`WaitReport`] blob.
+pub const SIM_WIRE_VERSION: u8 = 1;
+
+fn check_version(dec: &mut Decoder<'_>, what: &str) -> DecodeResult<()> {
+    let v = dec.get_u8()?;
+    if v != SIM_WIRE_VERSION {
+        return Err(DecodeError(format!(
+            "{what} wire version {v} unsupported (expected {SIM_WIRE_VERSION})"
+        )));
+    }
+    Ok(())
+}
+
+fn put_u64_vec(enc: &mut Encoder, vals: &[u64]) {
+    enc.put_uvar(vals.len() as u64);
+    for v in vals {
+        enc.put_uvar(*v);
+    }
+}
+
+fn get_u64_vec(dec: &mut Decoder<'_>, what: &str) -> DecodeResult<Vec<u64>> {
+    let n = dec.get_uvar()? as usize;
+    if n > dec.remaining() {
+        return Err(DecodeError(format!(
+            "{what} claims {n} entries but only {} bytes remain",
+            dec.remaining()
+        )));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(dec.get_uvar()?);
+    }
+    Ok(out)
+}
+
+impl Codec for SimResult {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(SIM_WIRE_VERSION);
+        put_u64_vec(enc, &self.finish);
+        enc.put_uvar(self.total);
+        put_u64_vec(enc, &self.comm_time);
+        enc.put_uvar(self.wildcard_sources.len() as u64);
+        for srcs in &self.wildcard_sources {
+            enc.put_uvar(srcs.len() as u64);
+            for s in srcs {
+                enc.put_uvar(*s as u64);
+            }
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> DecodeResult<Self> {
+        check_version(dec, "sim result")?;
+        let finish = get_u64_vec(dec, "sim result finish")?;
+        let total = dec.get_uvar()?;
+        let comm_time = get_u64_vec(dec, "sim result comm_time")?;
+        let nranks = dec.get_uvar()? as usize;
+        if nranks > dec.remaining() {
+            return Err(DecodeError(format!(
+                "sim result claims {nranks} wildcard lists but only {} bytes remain",
+                dec.remaining()
+            )));
+        }
+        let mut wildcard_sources = Vec::with_capacity(nranks);
+        for _ in 0..nranks {
+            let srcs = get_u64_vec(dec, "sim result wildcard sources")?;
+            wildcard_sources.push(srcs.into_iter().map(|s| s as u32).collect());
+        }
+        Ok(SimResult {
+            finish,
+            total,
+            comm_time,
+            wildcard_sources,
+        })
+    }
+}
+
+impl Codec for WaitSite {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_uvar(self.gid as u64);
+        enc.put_uvar(self.wait_ns);
+        enc.put_uvar(self.count);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> DecodeResult<Self> {
+        Ok(WaitSite {
+            gid: dec.get_uvar()? as u32,
+            wait_ns: dec.get_uvar()?,
+            count: dec.get_uvar()?,
+        })
+    }
+}
+
+impl Codec for WaitReport {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(SIM_WIRE_VERSION);
+        put_u64_vec(enc, &self.per_rank);
+        enc.put_uvar(self.sites.len() as u64);
+        for s in &self.sites {
+            s.encode(enc);
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> DecodeResult<Self> {
+        check_version(dec, "wait report")?;
+        let per_rank = get_u64_vec(dec, "wait report per_rank")?;
+        let n = dec.get_uvar()? as usize;
+        if n > dec.remaining() {
+            return Err(DecodeError(format!(
+                "wait report claims {n} sites but only {} bytes remain",
+                dec.remaining()
+            )));
+        }
+        let mut sites = Vec::with_capacity(n);
+        for _ in 0..n {
+            sites.push(WaitSite::decode(dec)?);
+        }
+        Ok(WaitReport { per_rank, sites })
+    }
+}
+
+fn push_u64_array(out: &mut String, vals: impl Iterator<Item = u64>) {
+    use std::fmt::Write;
+    out.push('[');
+    for (i, v) in vals.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write!(out, "{v}").unwrap();
+    }
+    out.push(']');
+}
+
+impl SimResult {
+    /// Communication share of aggregate rank time, in integer permille —
+    /// the float-free twin of [`SimResult::comm_fraction`].
+    pub fn comm_permille(&self) -> u64 {
+        let total: u64 = self.finish.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let comm: u64 = self.comm_time.iter().sum();
+        // u128 keeps the product exact for any realistic trace length.
+        ((comm as u128 * 1000) / total as u128) as u64
+    }
+
+    /// Deterministic JSON rendering with stable key order and no floats,
+    /// shared by `cypress analyze predict --json` and the bench output.
+    pub fn render_json(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        write!(
+            out,
+            "{{\"total_ns\":{},\"comm_permille\":{}",
+            self.total,
+            self.comm_permille()
+        )
+        .unwrap();
+        out.push_str(",\"finish_ns\":");
+        push_u64_array(&mut out, self.finish.iter().copied());
+        out.push_str(",\"comm_time_ns\":");
+        push_u64_array(&mut out, self.comm_time.iter().copied());
+        out.push_str(",\"wildcard_sources\":[");
+        for (i, srcs) in self.wildcard_sources.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_u64_array(&mut out, srcs.iter().map(|s| *s as u64));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl WaitReport {
+    /// Deterministic JSON rendering with stable key order and no floats,
+    /// consumed by `cypress analyze latesender --json`.
+    pub fn render_json(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        write!(out, "{{\"total_wait_ns\":{}", self.total_wait_ns()).unwrap();
+        out.push_str(",\"per_rank_ns\":");
+        push_u64_array(&mut out, self.per_rank.iter().copied());
+        out.push_str(",\"sites\":[");
+        for (i, s) in self.sites.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write!(
+                out,
+                "{{\"gid\":{},\"wait_ns\":{},\"count\":{}}}",
+                s.gid, s.wait_ns, s.count
+            )
+            .unwrap();
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_result() -> SimResult {
+        SimResult {
+            finish: vec![100, 250, 175],
+            total: 250,
+            comm_time: vec![40, 90, 0],
+            wildcard_sources: vec![vec![], vec![2, 0], vec![]],
+        }
+    }
+
+    fn sample_waits() -> WaitReport {
+        WaitReport {
+            per_rank: vec![0, 130, 20],
+            sites: vec![
+                WaitSite {
+                    gid: 7,
+                    wait_ns: 130,
+                    count: 2,
+                },
+                WaitSite {
+                    gid: 3,
+                    wait_ns: 20,
+                    count: 1,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn result_roundtrip_and_version_gate() {
+        let r = sample_result();
+        let bytes = r.to_bytes();
+        assert_eq!(bytes[0], SIM_WIRE_VERSION);
+        assert_eq!(SimResult::from_bytes(&bytes).unwrap(), r);
+
+        let mut bad = bytes.clone();
+        bad[0] = 77;
+        let err = SimResult::from_bytes(&bad).unwrap_err();
+        assert!(err.0.contains("wire version 77"), "{}", err.0);
+    }
+
+    #[test]
+    fn wait_report_roundtrip() {
+        let w = sample_waits();
+        let bytes = w.to_bytes();
+        assert_eq!(WaitReport::from_bytes(&bytes).unwrap(), w);
+    }
+
+    #[test]
+    fn json_renders_are_stable() {
+        assert_eq!(
+            sample_result().render_json(),
+            "{\"total_ns\":250,\"comm_permille\":247,\
+             \"finish_ns\":[100,250,175],\"comm_time_ns\":[40,90,0],\
+             \"wildcard_sources\":[[],[2,0],[]]}"
+        );
+        assert_eq!(
+            sample_waits().render_json(),
+            "{\"total_wait_ns\":150,\"per_rank_ns\":[0,130,20],\
+             \"sites\":[{\"gid\":7,\"wait_ns\":130,\"count\":2},\
+             {\"gid\":3,\"wait_ns\":20,\"count\":1}]}"
+        );
+    }
+}

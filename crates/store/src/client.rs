@@ -1,6 +1,7 @@
 //! Client side of the query daemon protocol.
 
 use crate::StoreError;
+use cypress_analysis::{AnalyzeOptions, AnalyzeReport};
 use cypress_net::proto::{read_frame, write_frame};
 use cypress_net::{Addr, Frame, Stream};
 use cypress_query::{QueryOptions, QueryResult};
@@ -49,6 +50,37 @@ impl QueryClient {
         let blob = self.query_raw(job, opts)?;
         Ok(QueryResult::from_bytes(&blob)?)
     }
+
+    /// Run the compressed-domain analysis suite on one job, returning the
+    /// raw self-versioned report blob — exactly the bytes the daemon
+    /// computed, for byte-identity checks against local evaluation.
+    pub fn analyze_raw(&mut self, job: &str, opts: &AnalyzeOptions) -> Result<Vec<u8>, StoreError> {
+        write_frame(
+            &mut self.stream,
+            &Frame::AnalyzeRequest {
+                job: job.to_string(),
+                options: opts.to_bytes(),
+            },
+        )?;
+        match read_frame(&mut self.stream)? {
+            Frame::AnalyzeResponse { result } => Ok(result),
+            Frame::Error { code, message } => Err(StoreError::Remote { code, message }),
+            f => Err(StoreError::Invalid(format!(
+                "unexpected {} frame from daemon",
+                f.name()
+            ))),
+        }
+    }
+
+    /// Analyze one job and decode the report.
+    pub fn analyze(
+        &mut self,
+        job: &str,
+        opts: &AnalyzeOptions,
+    ) -> Result<AnalyzeReport, StoreError> {
+        let blob = self.analyze_raw(job, opts)?;
+        Ok(AnalyzeReport::from_bytes(&blob)?)
+    }
 }
 
 /// One-shot convenience: connect, query once, disconnect.
@@ -59,4 +91,14 @@ pub fn query_remote(
     timeout: Duration,
 ) -> Result<QueryResult, StoreError> {
     QueryClient::connect(addr, timeout)?.query(job, opts)
+}
+
+/// One-shot convenience: connect, analyze once, disconnect.
+pub fn analyze_remote(
+    addr: &Addr,
+    job: &str,
+    opts: &AnalyzeOptions,
+    timeout: Duration,
+) -> Result<AnalyzeReport, StoreError> {
+    QueryClient::connect(addr, timeout)?.analyze(job, opts)
 }

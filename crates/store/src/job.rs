@@ -1,9 +1,11 @@
 //! One opened container, held zero-copy and query-ready.
 
 use crate::StoreError;
+use cypress_analysis::{analyze_ctts, AnalyzeOptions, AnalyzeReport};
 use cypress_core::{CttSlab, CttSource, MergedCtt};
 use cypress_cst::Cst;
 use cypress_query::{query_ctts, query_merged, QueryOptions, QueryResult};
+use cypress_simmpi::LogGp;
 use cypress_trace::{Codec, ContainerError, PayloadArena, SectionKind, SectionTable};
 use std::path::Path;
 
@@ -97,6 +99,30 @@ impl StoreJob {
         Err(StoreError::Container(ContainerError::MissingSection(
             "merged-ctt or complete rank-ctt set",
         )))
+    }
+
+    /// Run the compressed-domain analysis suite (CTT-native LogGP replay
+    /// prediction + late-sender wait states) on this job. Analysis needs
+    /// per-rank timing, so it requires the complete per-rank CTT set — the
+    /// merged tree cannot drive the simulator. The model is the canonical
+    /// [`LogGp::default`], the same one local evaluation uses, so daemon
+    /// answers equal local ones bit for bit.
+    pub fn analyze(&self, opts: &AnalyzeOptions) -> Result<AnalyzeReport, StoreError> {
+        if !self.complete {
+            return Err(StoreError::Invalid(format!(
+                "job {:?} lacks a complete per-rank CTT set ({} of {} ranks); \
+                 analysis needs per-rank timing",
+                self.name,
+                self.slabs.len(),
+                self.table.nprocs
+            )));
+        }
+        // Sections may be stored in any order; analysis wants rank-indexed
+        // sources.
+        let mut ordered: Vec<&CttSlab> = self.slabs.iter().collect();
+        ordered.sort_by_key(|s| s.rank());
+        analyze_ctts(&self.cst, &ordered, &LogGp::default(), opts)
+            .map_err(|e| StoreError::Invalid(e.to_string()))
     }
 
     pub fn name(&self) -> &str {

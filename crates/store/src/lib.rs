@@ -27,7 +27,7 @@ mod job;
 mod serve;
 mod store;
 
-pub use client::{query_remote, QueryClient};
+pub use client::{analyze_remote, query_remote, QueryClient};
 pub use job::StoreJob;
 pub use serve::{spawn, ServerHandle};
 pub use store::{JobStore, StoreConfig, StoreStats};

@@ -1,14 +1,19 @@
 //! The resident query daemon: a [`JobStore`] served over the net
 //! transport's framed protocol.
 //!
-//! One connection handles any number of `QueryRequest` frames until the
-//! client disconnects — the handle stays hot in the store across requests,
-//! which is the whole point of a resident daemon. Failures map onto
-//! protocol error frames: unknown job → `not-found`, malformed options →
-//! `protocol`, anything else → `internal`; the connection stays open after
-//! an error reply, so a scripted client can probe jobs cheaply.
+//! One connection handles any number of `QueryRequest` and
+//! `AnalyzeRequest` frames until the client disconnects — the handle stays
+//! hot in the store across requests, which is the whole point of a
+//! resident daemon. Failures map onto protocol error frames: unknown job →
+//! `not-found`, malformed options → `protocol`, anything else →
+//! `internal`; the connection stays open after an error reply, so a
+//! scripted client can probe jobs cheaply. Frame codes from a newer client
+//! (decoded as `Frame::Unknown`) also get a `protocol` error reply with
+//! the connection kept alive — that is the whole version-negotiation story
+//! on this port, which exchanges no `Hello`.
 
 use crate::{JobStore, StoreError};
+use cypress_analysis::{AnalyzeOptions, AnalyzeReport};
 use cypress_net::proto::{codes, read_frame, send_error, write_frame};
 use cypress_net::{Addr, Frame, Listener, NetError, Stream};
 use cypress_query::{QueryOptions, QueryResult};
@@ -133,17 +138,36 @@ fn handle_conn(mut stream: Stream, store: Arc<JobStore>, stop: Arc<AtomicBool>) 
                             return;
                         }
                     }
-                    Err(StoreError::NotFound(name)) => {
-                        send_error(
-                            &mut stream,
-                            codes::NOT_FOUND,
-                            format!("job {name:?} not found"),
-                        );
-                    }
-                    Err(e) => {
-                        send_error(&mut stream, codes::INTERNAL, e.to_string());
-                    }
+                    Err(e) => reply_store_error(&mut stream, e),
                 }
+            }
+            Frame::AnalyzeRequest { job, options } => {
+                let opts = match AnalyzeOptions::from_bytes(&options) {
+                    Ok(o) => o,
+                    Err(e) => {
+                        send_error(&mut stream, codes::PROTOCOL, format!("bad options: {e}"));
+                        continue;
+                    }
+                };
+                match run_analyze(&store, &job, &opts) {
+                    Ok(result) => {
+                        if write_frame(&mut stream, &Frame::AnalyzeResponse { result }).is_err() {
+                            return;
+                        }
+                    }
+                    Err(e) => reply_store_error(&mut stream, e),
+                }
+            }
+            // A frame code from a newer client (e.g. an analysis kind this
+            // build predates): answer with the ordinary protocol error frame
+            // and keep serving — the client learns the capability is missing
+            // without losing the connection.
+            Frame::Unknown { code } => {
+                send_error(
+                    &mut stream,
+                    codes::PROTOCOL,
+                    format!("unsupported frame code {code}"),
+                );
             }
             f => {
                 send_error(
@@ -157,8 +181,23 @@ fn handle_conn(mut stream: Stream, store: Arc<JobStore>, stop: Arc<AtomicBool>) 
     }
 }
 
+fn reply_store_error(stream: &mut Stream, e: StoreError) {
+    match e {
+        StoreError::NotFound(name) => {
+            send_error(stream, codes::NOT_FOUND, format!("job {name:?} not found"));
+        }
+        e => send_error(stream, codes::INTERNAL, e.to_string()),
+    }
+}
+
 fn run_query(store: &JobStore, job: &str, opts: &QueryOptions) -> Result<Vec<u8>, StoreError> {
     let handle = store.open(job)?;
     let result: QueryResult = handle.query(opts)?;
+    Ok(result.to_bytes())
+}
+
+fn run_analyze(store: &JobStore, job: &str, opts: &AnalyzeOptions) -> Result<Vec<u8>, StoreError> {
+    let handle = store.open(job)?;
+    let result: AnalyzeReport = handle.analyze(opts)?;
     Ok(result.to_bytes())
 }

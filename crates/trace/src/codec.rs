@@ -149,6 +149,19 @@ impl<'a> Decoder<'a> {
         self.buf.is_empty()
     }
 
+    /// Discard the next `n` bytes (e.g. an unparseable payload from a newer
+    /// peer that has already passed integrity checks).
+    pub fn skip(&mut self, n: usize) -> DecodeResult<()> {
+        if self.buf.len() < n {
+            return Err(DecodeError(format!(
+                "unexpected end of input (skip {n}, have {})",
+                self.buf.len()
+            )));
+        }
+        self.buf = &self.buf[n..];
+        Ok(())
+    }
+
     pub fn get_u8(&mut self) -> DecodeResult<u8> {
         if self.buf.is_empty() {
             return Err(DecodeError("unexpected end of input (u8)".into()));

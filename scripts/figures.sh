@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Regenerate the paper's figures/tables into results/.
+#
+#   scripts/figures.sh               # quick scale, every experiment
+#   scripts/figures.sh fig21         # one experiment
+#   scripts/figures.sh fig21 --paper # paper-scale process counts (slow)
+#
+# Thin wrapper so CI and docs have one entry point; all logic lives in
+# crates/bench/src/bin/figures.rs, which writes results/<experiment>.csv
+# relative to the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+exec cargo run --release -q -p cypress-bench --bin figures -- "$@"

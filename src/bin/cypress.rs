@@ -15,9 +15,16 @@
 //!                                             (lazy view: raw sections are never
 //!                                             copied, nothing is inflated up front)
 //! cypress query FILE                          compressed-domain analysis of a .cytc
-//!   [--hotspots N] [--strategy auto|symbolic|expand] [--json]
+//!   [--hotspots N] [--strategy auto|symbolic|expand] [--window S:E] [--json]
 //! cypress query --connect ADDR JOB            same analysis served by a queryd
 //!                                             daemon (byte-identical to local)
+//! cypress analyze predict FILE                CTT-native LogGP replay prediction
+//!   [--window S:E] [--json]                   (no decompression of steady loops)
+//! cypress analyze latesender FILE             wait-state detection: per-rank wait
+//!   [--limit N] [--window S:E] [--json]       time + top offending call paths
+//! cypress analyze diff FILE_A FILE_B          cross-job comparison: comm matrix,
+//!   [--window S:E] [--json]                   profile and prediction deltas
+//! cypress analyze ... --connect ADDR JOB...   any of the above served by queryd
 //! cypress queryd --listen ADDR --store DIR    resident query daemon: LRU cache of
 //!   [--max-jobs N] [--max-bytes B]            open containers, serves QueryRequest
 //!                                             frames until killed
@@ -36,6 +43,7 @@
 //! commands report failures through [`cypress::Error`] — no panics on bad
 //! input files.
 
+use cypress::analysis::{AnalyzeOptions, DiffReport, JobSummary};
 use cypress::core::{
     compress_trace, decompress, merge_all_parallel, CompressConfig, CompressSession, MergedCtt,
     SessionConfig,
@@ -46,10 +54,10 @@ use cypress::minilang::{check_program, parse, Program};
 use cypress::net::{
     fetch_stats, submit_ctt, submit_stream, Addr, ClientConfig, Collector, CollectorConfig,
 };
-use cypress::query::{query_container_path, QueryOptions, QueryResult, Strategy};
+use cypress::query::{query_container_path, QueryOptions, QueryResult, Strategy, Window};
 use cypress::runtime::{run_rank_with_sink, trace_program_parallel, InterpConfig};
 use cypress::simmpi::{from_raw_traces, simulate, LogGp, SimOp};
-use cypress::store::{query_remote, JobStore, StoreConfig};
+use cypress::store::{analyze_remote, query_remote, JobStore, QueryClient, StoreConfig, StoreJob};
 use cypress::trace::codec::Codec;
 use cypress::trace::commmatrix::CommMatrix;
 use cypress::trace::raw::{raw_mpi_size, RawTrace};
@@ -108,6 +116,7 @@ fn main() {
         "decompress" => cmd_decompress(rest),
         "inspect" => cmd_inspect(rest),
         "query" => cmd_query(rest),
+        "analyze" => cmd_analyze(rest),
         "queryd" => cmd_queryd(rest),
         "stats" => cmd_stats(rest),
         "simulate" => cmd_simulate(rest),
@@ -181,8 +190,13 @@ USAGE:
                [--pipelined [--ring-capacity <batches>]]
   cypress decompress <file> [-r <rank>] [--cst <cst.txt>]
   cypress inspect <file> [--json]
-  cypress query <file> [--hotspots <n>] [--strategy auto|symbolic|expand] [--json]
+  cypress query <file> [--hotspots <n>] [--strategy auto|symbolic|expand]
+               [--window <start>:<end>] [--json]
   cypress query --connect <addr> <job> [--hotspots <n>] [--strategy ...] [--json]
+  cypress analyze predict <file> [--window <start>:<end>] [--json]
+  cypress analyze latesender <file> [--limit <n>] [--window <start>:<end>] [--json]
+  cypress analyze diff <fileA> <fileB> [--window <start>:<end>] [--json]
+  cypress analyze <sub> --connect <addr> <job>... [same options]
   cypress queryd --listen <addr> --store <dir> [--max-jobs <n>] [--max-bytes <b>]
   cypress stats <prog.mpi> -n <procs>
   cypress stats --connect <addr> [--json]
@@ -207,6 +221,9 @@ OPTIONS:
   --hotspots   number of GID hot spots to print (default 10)
   --strategy   query evaluation: auto (default), symbolic (always fold the
                CTT in O(|CTT|)), expand (always stream-decompress)
+  --window     query/analyze: restrict to ops whose reconstructed start time
+               falls in [start, end) nanoseconds (forces O(events) replay)
+  --limit      analyze latesender: wait sites to print (default 10)
   --metrics    collect pipeline metrics; print a report and append
                results/metrics.jsonl on exit
   --trace-out  record a structured timeline and write Chrome trace-event
@@ -317,32 +334,36 @@ fn file_arg(args: &[String], what: &str) -> cypress::Result<String> {
         .ok_or_else(|| Error::Invalid(format!("missing {what}")))
 }
 
-/// First positional argument, skipping flags *and their values* — needed by
-/// commands where a value-taking flag (e.g. `--connect addr`) may precede
-/// the positional.
-fn positional(args: &[String], what: &str) -> cypress::Result<String> {
-    const TAKES_VALUE: &[&str] = &[
-        "--connect",
-        "--hotspots",
-        "--strategy",
-        "--listen",
-        "--store",
-        "--max-jobs",
-        "--max-bytes",
-        "--level",
-        "--threads",
-        "--cst",
-        "--timeout",
-        "--workers",
-        "--stats-addr",
-        "--rank",
-        "--mode",
-        "--attempts",
-        "--ring-capacity",
-        "-n",
-        "-r",
-        "-o",
-    ];
+/// Flags that consume the following argument, so positional scans can skip
+/// flag *values* too (e.g. `--connect addr` before a positional).
+const TAKES_VALUE: &[&str] = &[
+    "--connect",
+    "--hotspots",
+    "--strategy",
+    "--window",
+    "--limit",
+    "--listen",
+    "--store",
+    "--max-jobs",
+    "--max-bytes",
+    "--level",
+    "--threads",
+    "--cst",
+    "--timeout",
+    "--workers",
+    "--stats-addr",
+    "--rank",
+    "--mode",
+    "--attempts",
+    "--ring-capacity",
+    "-n",
+    "-r",
+    "-o",
+];
+
+/// All positional arguments, in order, skipping flags and their values.
+fn positionals(args: &[String]) -> Vec<String> {
+    let mut out = Vec::new();
     let mut i = 0;
     while let Some(a) = args.get(i) {
         if TAKES_VALUE.contains(&a.as_str()) {
@@ -350,10 +371,38 @@ fn positional(args: &[String], what: &str) -> cypress::Result<String> {
         } else if a.starts_with('-') {
             i += 1;
         } else {
-            return Ok(a.clone());
+            out.push(a.clone());
+            i += 1;
         }
     }
-    Err(Error::Invalid(format!("missing {what}")))
+    out
+}
+
+/// First positional argument.
+fn positional(args: &[String], what: &str) -> cypress::Result<String> {
+    positionals(args)
+        .into_iter()
+        .next()
+        .ok_or_else(|| Error::Invalid(format!("missing {what}")))
+}
+
+/// Parse `--window start:end` (nanoseconds, half-open).
+fn window_of(args: &[String]) -> cypress::Result<Option<Window>> {
+    let Some(s) = flag(args, "--window") else {
+        return Ok(None);
+    };
+    let parsed = s.split_once(':').and_then(|(a, b)| {
+        Some(Window {
+            start_ns: a.parse().ok()?,
+            end_ns: b.parse().ok()?,
+        })
+    });
+    match parsed {
+        Some(w) if w.start_ns <= w.end_ns => Ok(Some(w)),
+        _ => Err(Error::Invalid(format!(
+            "bad --window `{s}` (expected <start>:<end> in ns, start <= end)"
+        ))),
+    }
 }
 
 /// Minimal JSON string escaping for CLI-emitted values (paths, names).
@@ -763,6 +812,7 @@ fn cmd_query(args: &[String]) -> CliResult {
     let opts = QueryOptions {
         strategy,
         hotspot_limit: limit,
+        window: window_of(args)?,
     };
     let (label, q) = if let Some(connect) = flag(args, "--connect") {
         let addr = Addr::parse(&connect)?;
@@ -792,6 +842,107 @@ fn render_query(label: &str, q: &QueryResult, limit: usize, json: bool) {
     if q.nprocs <= 64 && q.total_volume() > 0 {
         println!("\nvolume heatmap (row = sender):");
         print!("{}", q.matrix.to_ascii());
+    }
+}
+
+/// Compressed-domain analysis: CTT-native LogGP replay prediction,
+/// late-sender wait-state detection, and cross-job diffing — evaluated
+/// without decompressing steady loops (symbolic lowering + trip
+/// extrapolation), locally or against a resident queryd daemon. Remote
+/// answers are byte-identical to local ones: the daemon runs the same
+/// engine with the same canonical `LogGp::default()` model.
+fn cmd_analyze(args: &[String]) -> CliResult {
+    let pos = positionals(args);
+    let sub = pos.first().map(String::as_str).ok_or_else(|| {
+        Error::Invalid("missing analyze subcommand (predict, latesender, or diff)".into())
+    })?;
+    let json = has_flag(args, "--json");
+    let window = window_of(args)?;
+    let opts = AnalyzeOptions { window };
+    let limit: usize = match flag(args, "--limit") {
+        None => 10,
+        Some(s) => s
+            .parse()
+            .map_err(|e| Error::Invalid(format!("bad --limit value: {e}")))?,
+    };
+    let connect = match flag(args, "--connect") {
+        Some(c) => Some(Addr::parse(&c)?),
+        None => None,
+    };
+    let operand = |i: usize, what: &str| -> cypress::Result<String> {
+        pos.get(i)
+            .cloned()
+            .ok_or_else(|| Error::Invalid(format!("missing {what}")))
+    };
+    match sub {
+        "predict" | "latesender" => {
+            let target = operand(1, "container file (or job name with --connect)")?;
+            // Keep the opened job alive so latesender can render call paths
+            // from its CST; remote reports carry GIDs only.
+            let (label, report, local_job) = match &connect {
+                Some(addr) => {
+                    let r = analyze_remote(addr, &target, &opts, Duration::from_secs(10))?;
+                    (format!("{target} @ {addr}"), r, None)
+                }
+                None => {
+                    let job = StoreJob::open(Path::new(&target), &target)?;
+                    let r = job.analyze(&opts)?;
+                    (target.clone(), r, Some(job))
+                }
+            };
+            if json {
+                println!("{}", report.render_json());
+            } else if sub == "predict" {
+                println!("{label}:");
+                print!("{}", report.render_predict());
+            } else {
+                println!("{label}:");
+                print!(
+                    "{}",
+                    report.render_latesender(limit, local_job.as_ref().map(|j| j.cst()))
+                );
+            }
+            Ok(())
+        }
+        "diff" => {
+            let a = operand(1, "first container/job")?;
+            let b = operand(2, "second container/job")?;
+            let qopts = QueryOptions {
+                strategy: Strategy::Auto,
+                hotspot_limit: limit,
+                window,
+            };
+            let summarize = |name: &str| -> cypress::Result<JobSummary> {
+                let (query, analyze) = match &connect {
+                    Some(addr) => {
+                        let mut c = QueryClient::connect(addr, Duration::from_secs(10))?;
+                        (c.query(name, &qopts)?, c.analyze(name, &opts)?)
+                    }
+                    None => {
+                        let job = StoreJob::open(Path::new(name), name)?;
+                        (job.query(&qopts)?, job.analyze(&opts)?)
+                    }
+                };
+                Ok(JobSummary {
+                    label: name.to_string(),
+                    query,
+                    analyze,
+                })
+            };
+            let d = DiffReport {
+                a: summarize(&a)?,
+                b: summarize(&b)?,
+            };
+            if json {
+                println!("{}", d.render_json());
+            } else {
+                print!("{}", d.render());
+            }
+            Ok(())
+        }
+        other => Err(Error::Invalid(format!(
+            "unknown analyze subcommand `{other}` (expected predict, latesender, or diff)"
+        ))),
     }
 }
 

@@ -42,6 +42,7 @@ pub use telemetry::{StageSummary, TelemetrySummary, TELEMETRY_VERSION};
 pub use cypress_deflate::Level;
 pub use cypress_query::QueryOptions;
 
+pub use cypress_analysis as analysis;
 pub use cypress_baselines as baselines;
 pub use cypress_core as core;
 pub use cypress_cst as cst;

@@ -2,11 +2,18 @@
 //! workloads, the eager local load ([`cypress::LoadedJob`]), the zero-copy
 //! store ([`cypress::store::JobStore`]), and the resident daemon must
 //! produce byte-identical answers — same canonical wire bytes, same JSON.
+//! Also pins the analysis frames (protocol v3) and both directions of
+//! version negotiation on the query port.
 
-use cypress::store::{query_remote, JobStore, StoreConfig};
+use cypress::analysis::AnalyzeOptions;
+use cypress::net::proto::{codes, read_frame, write_frame, Frame};
+use cypress::net::{Addr, Listener, Stream};
+use cypress::query::Window;
+use cypress::store::{analyze_remote, query_remote, JobStore, StoreConfig, StoreError};
 use cypress::trace::Codec;
 use cypress::workloads::{by_name, quick_procs, Scale};
 use cypress::{Pipeline, QueryOptions};
+use std::io::Write as _;
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
@@ -54,6 +61,7 @@ fn all_three_query_paths_agree_on_bundled_workloads() {
         QueryOptions {
             strategy: cypress::query::Strategy::PartialExpansion,
             hotspot_limit: 5,
+            window: None,
         },
     ];
     for name in names {
@@ -81,6 +89,165 @@ fn all_three_query_paths_agree_on_bundled_workloads() {
                 "{name}: remote JSON differs"
             );
         }
+    }
+    server.stop();
+}
+
+/// One workload container in a fresh store, served by a daemon.
+fn serve_one(tag: &str, name: &str) -> (TempDir, Arc<JobStore>, cypress::store::ServerHandle) {
+    let tmp = TempDir::new(tag);
+    let w = by_name(name, quick_procs(name), Scale::Quick).unwrap();
+    let mut job = Pipeline::new(w.source)
+        .ranks(w.nprocs)
+        .run()
+        .unwrap_or_else(|e| panic!("{name}: pipeline failed: {e}"));
+    job.merge();
+    job.write_container_with(tmp.0.join(format!("{name}.cytc")), true, None)
+        .unwrap();
+    let store = Arc::new(JobStore::new(&tmp.0, StoreConfig::default()).unwrap());
+    let addr = Addr::parse("127.0.0.1:0").unwrap();
+    let server = cypress::store::spawn(store.clone(), &addr).unwrap();
+    (tmp, store, server)
+}
+
+#[test]
+fn analyze_remote_equals_local_including_windowed() {
+    let (_tmp, store, server) = serve_one("analyze", "jacobi");
+    let opts_list = [
+        AnalyzeOptions::default(),
+        AnalyzeOptions {
+            window: Some(Window {
+                start_ns: 0,
+                end_ns: u64::MAX,
+            }),
+        },
+    ];
+    let handle = store.open("jacobi").unwrap();
+    for opts in &opts_list {
+        let local = handle.analyze(opts).unwrap();
+        let remote =
+            analyze_remote(server.addr(), "jacobi", opts, Duration::from_secs(20)).unwrap();
+        assert_eq!(remote, local, "remote analysis != local");
+        assert_eq!(
+            remote.to_bytes(),
+            local.to_bytes(),
+            "analysis wire bytes differ"
+        );
+        assert_eq!(
+            remote.render_json(),
+            local.render_json(),
+            "analysis JSON differs"
+        );
+    }
+    server.stop();
+}
+
+/// New-client/old-server direction: a peer that answers a frame it does not
+/// understand with a protocol `Error` frame (exactly what this server does
+/// for unknown codes) must surface as `StoreError::Remote` in the client,
+/// not as a transport failure.
+#[test]
+fn client_surfaces_protocol_error_from_older_server() {
+    let listener = Listener::bind(&Addr::parse("127.0.0.1:0").unwrap()).unwrap();
+    let addr = listener.local_addr().unwrap();
+    let t = std::thread::spawn(move || {
+        let mut s = listener.accept().unwrap();
+        // An old server fails to decode the analysis frame and answers with
+        // the stock protocol error, keeping the connection open.
+        let _ = read_frame(&mut s);
+        write_frame(
+            &mut s,
+            &Frame::Error {
+                code: codes::PROTOCOL,
+                message: "unsupported frame code 13".into(),
+            },
+        )
+        .unwrap();
+    });
+    let err = analyze_remote(
+        &addr,
+        "jacobi",
+        &AnalyzeOptions::default(),
+        Duration::from_secs(20),
+    )
+    .unwrap_err();
+    t.join().unwrap();
+    match err {
+        StoreError::Remote { code, .. } => assert_eq!(code, codes::PROTOCOL),
+        other => panic!("expected Remote protocol error, got {other:?}"),
+    }
+}
+
+/// Old-client/new-server direction: the server answers frame codes from the
+/// future with a protocol error frame *without dropping the connection*, so
+/// an interleaved v2-style query on the same stream still succeeds.
+#[test]
+fn unknown_frame_gets_error_reply_and_connection_survives() {
+    let (_tmp, store, server) = serve_one("unknown-frame", "jacobi");
+    let mut s = Stream::connect(server.addr(), Duration::from_secs(5)).unwrap();
+    s.set_io_timeout(Duration::from_secs(20)).unwrap();
+
+    // Hand-craft a frame with a code this server has never heard of:
+    // [len u32][body = code + payload][crc32(body)].
+    let body: &[u8] = &[0xEE, 7, 7, 7];
+    let mut wire = Vec::new();
+    wire.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    wire.extend_from_slice(body);
+    wire.extend_from_slice(&cypress::deflate::crc32(body).to_le_bytes());
+    s.write_all(&wire).unwrap();
+    s.flush().unwrap();
+
+    match read_frame(&mut s).unwrap() {
+        Frame::Error { code, message } => {
+            assert_eq!(code, codes::PROTOCOL);
+            assert!(
+                message.contains("238"),
+                "error should name the offending code: {message}"
+            );
+        }
+        other => panic!("expected protocol error frame, got {}", other.name()),
+    }
+
+    // The same connection must still answer a plain (v2-era) query...
+    write_frame(
+        &mut s,
+        &Frame::QueryRequest {
+            job: "jacobi".into(),
+            options: QueryOptions::default().to_bytes(),
+        },
+    )
+    .unwrap();
+    let reference = store
+        .open("jacobi")
+        .unwrap()
+        .query(&QueryOptions::default())
+        .unwrap();
+    match read_frame(&mut s).unwrap() {
+        Frame::QueryResponse { result } => {
+            assert_eq!(result, reference.to_bytes(), "query after unknown frame");
+        }
+        other => panic!("expected query response, got {}", other.name()),
+    }
+
+    // ...and an analysis request (v3) on the very same stream.
+    write_frame(
+        &mut s,
+        &Frame::AnalyzeRequest {
+            job: "jacobi".into(),
+            options: AnalyzeOptions::default().to_bytes(),
+        },
+    )
+    .unwrap();
+    let want = store
+        .open("jacobi")
+        .unwrap()
+        .analyze(&AnalyzeOptions::default())
+        .unwrap();
+    match read_frame(&mut s).unwrap() {
+        Frame::AnalyzeResponse { result } => {
+            assert_eq!(result, want.to_bytes(), "analysis after unknown frame");
+        }
+        other => panic!("expected analyze response, got {}", other.name()),
     }
     server.stop();
 }
