@@ -1,34 +1,44 @@
-//! Networked collection vs the local pipeline, sweeping client counts,
-//! emitted as `results/BENCH_net.json`.
+//! Networked collection vs the local pipeline, sweeping client counts and
+//! topologies, emitted as `results/BENCH_net.json`.
 //!
 //! Each sweep point runs the same stencil program two ways: the **local**
 //! path (work-stealing pool, sessions, `merge_all_parallel`) and the
-//! **loopback** path (a collector on an ephemeral TCP port, one submitting
-//! client thread per rank streaming events over the framed wire protocol,
-//! incremental binomial merge server-side). The merged encodings must be
-//! byte-identical (`identical_merged_bytes` — the run fails otherwise), so
-//! the sweep isolates pure networking + framing overhead.
+//! **loopback** path over the framed wire protocol — either **flat** (every
+//! client straight into one collector's event loops) or **tree** (clients
+//! through a tier of relay collectors that forward merged buddy blocks to
+//! the root). The merged encodings must be byte-identical
+//! (`identical_merged_bytes` — the run fails otherwise), so the sweep
+//! isolates pure networking + framing overhead at fleet-ish client counts.
 //!
-//! JSON schema (`bench_net/v1`), one object per client count under
-//! `sweeps`:
+//! JSON schema (`bench_net/v2`), one object per point under `sweeps`:
 //!
 //! ```json
-//! { "schema": "bench_net/v1",
-//!   "sweeps": [ { "clients": 4, "events": 123, "merged_bytes": 456,
-//!     "net_ns": 1.0, "local_ns": 1.0, "net_vs_local": 1.2,
-//!     "events_per_sec": 1.0e6, "identical_merged_bytes": true } ] }
+//! { "schema": "bench_net/v2",
+//!   "sweeps": [ { "topology": "flat", "clients": 64, "relays": 0,
+//!     "events": 123, "merged_bytes": 456, "net_ns": 1.0, "local_ns": 1.0,
+//!     "net_vs_local": 1.2, "events_per_sec": 1.0e6,
+//!     "identical_merged_bytes": true } ] }
 //! ```
+//!
+//! v1 measured 2–32 clients on the thread-per-client collector, whose
+//! per-FinAck round-trips under Nagle + delayed-ACK put a ~45 ms floor on
+//! every point. v2 sweeps 64–256 clients against the multiplexed event-loop
+//! collector (pipelined frames, single end-of-stream round-trip), flat and
+//! through a relay tree.
 
 use cypress_bench::harness;
 use cypress_core::{merge_all_parallel, CompressConfig, CompressSession, SessionConfig};
 use cypress_cst::analyze_program;
 use cypress_minilang::{check_program, parse, Program};
-use cypress_net::{submit_stream, Addr, ClientConfig, Collector, CollectorConfig};
+use cypress_net::{
+    spawn_tree, submit_stream, Addr, ClientConfig, Collector, CollectorConfig, TreeConfig,
+};
 use cypress_runtime::{run_rank_with_sink, run_ranks, InterpConfig};
 use cypress_trace::codec::Codec;
 use std::time::Duration;
 
 const MERGE_THREADS: usize = 4;
+const TREE_RELAYS: u32 = 8;
 
 const STENCIL: &str = r#"fn main() {
     for it in 0..60 {
@@ -41,7 +51,9 @@ const STENCIL: &str = r#"fn main() {
 }"#;
 
 struct Row {
+    topology: &'static str,
     clients: u32,
+    relays: u32,
     events: u64,
     merged_bytes: usize,
     net_ns: f64,
@@ -78,26 +90,19 @@ fn local_once(
     (merge_all_parallel(&ctts, MERGE_THREADS), events)
 }
 
-fn net_once(
+fn submit_all<'a>(
+    leaf_of: impl Fn(u32) -> &'a Addr + Sync,
     prog: &Program,
     info: &cypress_cst::StaticInfo,
     nprocs: u32,
-) -> cypress_core::MergedCtt {
+) {
     let cst_text = info.cst.to_text();
-    let collector = Collector::bind(&Addr::parse("127.0.0.1:0").unwrap()).unwrap();
-    let addr = collector.local_addr().unwrap();
-    let cfg = CollectorConfig {
-        keep_rank_ctts: false,
-        deadline: Some(Duration::from_secs(120)),
-        ..CollectorConfig::default()
-    };
-    let server = std::thread::spawn(move || collector.run(&cfg).unwrap());
     std::thread::scope(|s| {
         for rank in 0..nprocs {
-            let (addr, cst_text) = (&addr, &cst_text);
+            let (leaf_of, prog, info, cst_text) = (&leaf_of, prog, info, &cst_text);
             s.spawn(move || {
                 submit_stream(
-                    addr,
+                    leaf_of(rank),
                     &ClientConfig::default(),
                     rank,
                     nprocs,
@@ -113,27 +118,72 @@ fn net_once(
             });
         }
     });
+}
+
+fn net_once_flat(
+    prog: &Program,
+    info: &cypress_cst::StaticInfo,
+    nprocs: u32,
+) -> cypress_core::MergedCtt {
+    let collector = Collector::bind(&Addr::parse("127.0.0.1:0").unwrap()).unwrap();
+    let addr = collector.local_addr().unwrap();
+    let cfg = CollectorConfig {
+        keep_rank_ctts: false,
+        deadline: Some(Duration::from_secs(120)),
+        ..CollectorConfig::default()
+    };
+    let server = std::thread::spawn(move || collector.run(&cfg).unwrap());
+    submit_all(|_| &addr, prog, info, nprocs);
     server.join().unwrap().merged
 }
 
-fn bench_point(nprocs: u32) -> Row {
+fn net_once_tree(
+    prog: &Program,
+    info: &cypress_cst::StaticInfo,
+    nprocs: u32,
+) -> cypress_core::MergedCtt {
+    let tree = spawn_tree(
+        &Addr::parse("127.0.0.1:0").unwrap(),
+        &TreeConfig {
+            relays: TREE_RELAYS,
+            nprocs,
+            collector: CollectorConfig {
+                keep_rank_ctts: false,
+                deadline: Some(Duration::from_secs(120)),
+                ..CollectorConfig::default()
+            },
+            client: ClientConfig::default(),
+        },
+    )
+    .unwrap();
+    submit_all(|rank| tree.leaf_for_rank(rank), prog, info, nprocs);
+    tree.join().unwrap().merged
+}
+
+fn bench_point(topology: &'static str, nprocs: u32) -> Row {
     let prog = parse(STENCIL).unwrap();
     check_program(&prog).unwrap();
     let info = analyze_program(&prog);
+    let net_once = |prog: &Program, info: &cypress_cst::StaticInfo, n: u32| match topology {
+        "flat" => net_once_flat(prog, info, n),
+        _ => net_once_tree(prog, info, n),
+    };
 
     let (local_merged, events) = local_once(&prog, &info, nprocs);
     let net_merged = net_once(&prog, &info, nprocs);
     let identical = local_merged.to_bytes() == net_merged.to_bytes();
 
-    let local = harness::run(&format!("net/{nprocs}clients/local"), || {
+    let local = harness::run(&format!("net/{topology}/{nprocs}clients/local"), || {
         local_once(&prog, &info, nprocs)
     });
-    let net = harness::run(&format!("net/{nprocs}clients/loopback"), || {
+    let net = harness::run(&format!("net/{topology}/{nprocs}clients/loopback"), || {
         net_once(&prog, &info, nprocs)
     });
 
     Row {
+        topology,
         clients: nprocs,
+        relays: if topology == "tree" { TREE_RELAYS } else { 0 },
         events,
         merged_bytes: local_merged.to_bytes().len(),
         net_ns: net.mean_ns,
@@ -143,23 +193,29 @@ fn bench_point(nprocs: u32) -> Row {
 }
 
 fn main() {
-    let counts: &[u32] = if std::env::var("CYPRESS_BENCH_FAST").is_ok() {
-        &[2, 4]
+    let fast = std::env::var("CYPRESS_BENCH_FAST").is_ok();
+    let flat: &[u32] = if fast {
+        &[2, 64]
     } else {
-        &[2, 4, 8, 16, 32]
+        &[2, 8, 64, 128, 256]
     };
-    let rows: Vec<Row> = counts.iter().map(|&n| bench_point(n)).collect();
+    let tree: &[u32] = if fast { &[64] } else { &[64, 128, 256] };
+    let mut rows: Vec<Row> = flat.iter().map(|&n| bench_point("flat", n)).collect();
+    rows.extend(tree.iter().map(|&n| bench_point("tree", n)));
 
-    let mut json = String::from("{\"schema\":\"bench_net/v1\",\"sweeps\":[");
+    let mut json = String::from("{\"schema\":\"bench_net/v2\",\"sweeps\":[");
     for (i, r) in rows.iter().enumerate() {
         if i > 0 {
             json.push(',');
         }
         json.push_str(&format!(
-            "{{\"clients\":{},\"events\":{},\"merged_bytes\":{},\
-             \"net_ns\":{:.1},\"local_ns\":{:.1},\"net_vs_local\":{:.4},\
-             \"events_per_sec\":{:.1},\"identical_merged_bytes\":{}}}",
+            "{{\"topology\":\"{}\",\"clients\":{},\"relays\":{},\"events\":{},\
+             \"merged_bytes\":{},\"net_ns\":{:.1},\"local_ns\":{:.1},\
+             \"net_vs_local\":{:.4},\"events_per_sec\":{:.1},\
+             \"identical_merged_bytes\":{}}}",
+            r.topology,
             r.clients,
+            r.relays,
             r.events,
             r.merged_bytes,
             r.net_ns,
@@ -177,13 +233,13 @@ fn main() {
     cypress_obs::write_atomic(&path, json.as_bytes()).expect("write BENCH_net.json");
     println!("wrote {}", path.display());
 
-    let broken: Vec<u32> = rows
+    let broken: Vec<String> = rows
         .iter()
         .filter(|r| !r.identical_merged_bytes)
-        .map(|r| r.clients)
+        .map(|r| format!("{}/{}", r.topology, r.clients))
         .collect();
     assert!(
         broken.is_empty(),
-        "networked and local merged encodings diverged at client counts: {broken:?}"
+        "networked and local merged encodings diverged at: {broken:?}"
     );
 }

@@ -520,12 +520,16 @@ impl BinomialMerger {
 
         let mut t = cypress_obs::trace_span("merge", "binomial_add");
         t.set_arg(ctt.rank as u64);
-        let mut start = ctt.rank;
-        let mut len: u32 = 1;
-        let mut cur = MergedCtt::from_ctt(ctt);
-        // Climb the buddy tree: blocks are always power-of-two sized and
-        // len-aligned, so `start % (2·len)` is 0 (we are the lower sibling)
-        // or `len` (we are the upper sibling).
+        self.fold_block(ctt.rank, 1, MergedCtt::from_ctt(ctt));
+        true
+    }
+
+    /// Climb the buddy tree from an aligned block `[start, start+len)`:
+    /// blocks are always power-of-two sized and len-aligned, so
+    /// `start % (2·len)` is 0 (we are the lower sibling) or `len` (we are
+    /// the upper sibling). Shared by [`add`](Self::add) (len 1) and
+    /// [`add_block`](Self::add_block) (relay-forwarded partial merges).
+    fn fold_block(&mut self, mut start: u32, mut len: u32, mut cur: MergedCtt) {
         loop {
             if start.is_multiple_of(2 * len) {
                 let buddy = start + len;
@@ -554,7 +558,70 @@ impl BinomialMerger {
             m.binomial_depth.set_max(len.trailing_zeros() as i64);
             m.binomial_blocks.set_max(self.blocks.len() as i64);
         }
-        true
+    }
+
+    /// Offer an already-merged aligned buddy block covering ranks
+    /// `[first, first+count)` — what a relay collector forwards upstream.
+    ///
+    /// A block a *global-sized* merger produced for any subset of ranks is
+    /// necessarily aligned on the global buddy tree (power-of-two `count`,
+    /// `first % count == 0`), so absorbing it here continues the exact same
+    /// association as if the ranks had arrived individually — the
+    /// byte-identity invariant survives relaying.
+    ///
+    /// Returns `Ok(false)` when every covered rank was already merged (a
+    /// relay retry; no-op like a duplicate rank in [`add`](Self::add)),
+    /// `Err` on a misaligned/out-of-range block or one that partially
+    /// overlaps merged ranks (protocol corruption, not a benign retry).
+    pub fn add_block(&mut self, first: u32, count: u32, block: MergedCtt) -> Result<bool, String> {
+        if count == 0 || !count.is_power_of_two() {
+            return Err(format!("block rank count {count} is not a power of two"));
+        }
+        if !first.is_multiple_of(count) {
+            return Err(format!(
+                "block [{first}, {}) is not aligned on the buddy tree",
+                first + count
+            ));
+        }
+        if first + count > self.nprocs {
+            return Err(format!(
+                "block [{first}, {}) exceeds job size {}",
+                first + count,
+                self.nprocs
+            ));
+        }
+        let seen: u32 = (first..first + count)
+            .map(|r| self.has_rank(r) as u32)
+            .sum();
+        if seen == count {
+            return Ok(false);
+        }
+        if seen != 0 {
+            return Err(format!(
+                "block [{first}, {}) partially overlaps {seen} already-merged ranks",
+                first + count
+            ));
+        }
+        for r in first..first + count {
+            self.seen[r as usize / 64] |= 1u64 << (r % 64);
+        }
+        self.received += count;
+        let mut t = cypress_obs::trace_span("merge", "binomial_add_block");
+        t.set_arg(first as u64);
+        self.fold_block(first, count, block);
+        Ok(true)
+    }
+
+    /// Consume the merger, yielding its resident blocks in ascending start
+    /// order as `(first_rank, rank_count, partial)` — the payload a relay
+    /// forwards upstream. Unlike [`finish`](Self::finish) this does not
+    /// require completeness: a relay's rank range is an arbitrary contiguous
+    /// slice of the job, which folds into ≤ 2·log2(P) aligned blocks.
+    pub fn into_blocks(self) -> Vec<(u32, u32, MergedCtt)> {
+        self.blocks
+            .into_iter()
+            .map(|(start, (len, part))| (start, len, part))
+            .collect()
     }
 
     /// Ranks accepted so far.
@@ -977,6 +1044,91 @@ mod tests {
         bm.add(&ctts[0]);
         bm.add(&ctts[3]);
         let _ = bm.finish();
+    }
+
+    #[test]
+    fn relayed_blocks_reproduce_merge_all_bytes() {
+        // The collector-tree invariant: relays run global-sized mergers
+        // over contiguous rank shards, forward their resident blocks, and
+        // the root absorbing those blocks is byte-identical to merge_all —
+        // including ragged (non-power-of-two, unevenly split) shards.
+        for (nprocs, cuts) in [
+            (16u32, vec![0u32, 8, 16]),
+            (16, vec![0, 5, 16]),
+            (13, vec![0, 4, 9, 13]),
+            (6, vec![0, 3, 6]),
+            (7, vec![0, 2, 5, 7]),
+        ] {
+            let (_, ctts) = pipeline(JACOBI, nprocs);
+            let want = merge_all(&ctts).to_bytes();
+            let mut root = BinomialMerger::new(nprocs);
+            for shard in cuts.windows(2) {
+                let (a, b) = (shard[0], shard[1]);
+                let mut relay = BinomialMerger::new(nprocs);
+                for r in a..b {
+                    assert!(relay.add(&ctts[r as usize]));
+                }
+                for (first, count, part) in relay.into_blocks() {
+                    assert!(count.is_power_of_two(), "{nprocs}p shard [{a},{b})");
+                    assert!(first.is_multiple_of(count));
+                    assert!(root.add_block(first, count, part).unwrap());
+                }
+            }
+            assert!(root.is_complete(), "{nprocs}p cuts {cuts:?}");
+            assert_eq!(root.finish().to_bytes(), want, "{nprocs}p cuts {cuts:?}");
+        }
+    }
+
+    #[test]
+    fn relayed_blocks_arrival_order_independent() {
+        let (_, ctts) = pipeline(JACOBI, 11);
+        let want = merge_all(&ctts).to_bytes();
+        // Gather every shard's blocks, then feed them to the root in
+        // scrambled orders.
+        let mut blocks = Vec::new();
+        for shard in [0u32..4, 4..9, 9..11] {
+            let mut relay = BinomialMerger::new(11);
+            for r in shard {
+                relay.add(&ctts[r as usize]);
+            }
+            blocks.extend(relay.into_blocks());
+        }
+        let mut rng = cypress_obs::rng::Rng::new(0xbeef);
+        for _ in 0..8 {
+            let mut order: Vec<usize> = (0..blocks.len()).collect();
+            for i in (1..order.len()).rev() {
+                order.swap(i, rng.range_usize(0..i + 1));
+            }
+            let mut root = BinomialMerger::new(11);
+            for &i in &order {
+                let (first, count, part) = blocks[i].clone();
+                assert!(root.add_block(first, count, part).unwrap());
+            }
+            assert_eq!(root.finish().to_bytes(), want, "order {order:?}");
+        }
+    }
+
+    #[test]
+    fn add_block_rejects_bad_and_duplicate_blocks() {
+        let (_, ctts) = pipeline(JACOBI, 8);
+        let one = MergedCtt::from_ctt(&ctts[0]);
+        let mut bm = BinomialMerger::new(8);
+        // Misaligned, non-power-of-two, and out-of-range blocks are errors.
+        assert!(bm.add_block(1, 2, one.clone()).is_err());
+        assert!(bm.add_block(0, 3, one.clone()).is_err());
+        assert!(bm.add_block(8, 1, one.clone()).is_err());
+        assert!(bm.add_block(4, 8, one.clone()).is_err());
+        assert_eq!(bm.received(), 0);
+        // A fully-duplicate block is a benign no-op; partial overlap is not.
+        let mut relay = BinomialMerger::new(8);
+        for ctt in &ctts[..4] {
+            relay.add(ctt);
+        }
+        let (first, count, part) = relay.into_blocks().remove(0);
+        assert!(bm.add_block(first, count, part.clone()).unwrap());
+        assert!(!bm.add_block(first, count, part.clone()).unwrap());
+        assert_eq!(bm.received(), 4);
+        assert!(bm.add_block(0, 8, part).is_err());
     }
 
     #[test]

@@ -10,13 +10,14 @@
 //! sources in this repo (the deterministic interpreter, recorded raw
 //! traces) replay exactly, so a retry submits identical bytes.
 
-use crate::proto::{read_frame, write_frame, Frame, SubmitMode, PROTO_VERSION};
+use crate::proto::{encode_frame_into, read_frame, write_frame, Frame, SubmitMode, PROTO_VERSION};
 use crate::transport::{Addr, Stream};
 use crate::NetError;
 use cypress_core::Ctt;
 use cypress_deflate::{deflate, Level};
 use cypress_trace::codec::Codec;
 use cypress_trace::event::{Event, EventSink};
+use std::io::Write;
 use std::time::Duration;
 
 /// Client knobs.
@@ -66,28 +67,59 @@ pub struct SubmitOutcome {
     pub ranks_done: u32,
 }
 
-/// Buffers events into `Events` frames. A send failure is latched: later
-/// events are dropped cheaply, and the producer finishes its (wasted)
-/// replay so the attempt can report the error and retry.
+/// Flush the pipelined wire buffer to the socket once it holds this much.
+const WIRE_FLUSH: usize = 64 * 1024;
+
+/// Buffers events into `Events` frames, and frames into a coalesced wire
+/// buffer: the protocol needs no per-frame ack, so many chunks pipeline
+/// into one large socket write instead of a syscall per chunk. A send
+/// failure is latched: later events are dropped cheaply, and the producer
+/// finishes its (wasted) replay so the attempt can report the error and
+/// retry.
 struct ChunkSink<'a> {
     stream: &'a mut Stream,
     buf: Vec<Event>,
+    wire: Vec<u8>,
     chunk: usize,
     sent: u64,
     err: Option<NetError>,
 }
 
 impl ChunkSink<'_> {
-    fn flush(&mut self) {
+    /// Encode the pending chunk into the wire buffer (no socket write
+    /// unless the buffer is full).
+    fn flush_events(&mut self) {
         if self.err.is_some() || self.buf.is_empty() {
             return;
         }
         let events = std::mem::take(&mut self.buf);
         let n = events.len() as u64;
-        match write_frame(self.stream, &Frame::Events { events }) {
-            Ok(()) => self.sent += n,
-            Err(e) => self.err = Some(e),
+        let frame = Frame::Events { events };
+        encode_frame_into(&frame, &mut self.wire);
+        self.sent += n;
+        // Recover the chunk allocation for the next batch.
+        let Frame::Events { mut events } = frame else {
+            unreachable!()
+        };
+        events.clear();
+        self.buf = events;
+        if self.wire.len() >= WIRE_FLUSH {
+            self.flush_wire();
         }
+    }
+
+    fn flush_wire(&mut self) {
+        if self.err.is_some() || self.wire.is_empty() {
+            return;
+        }
+        let res = self
+            .stream
+            .write_all(&self.wire)
+            .and_then(|()| self.stream.flush());
+        if let Err(e) = res {
+            self.err = Some(NetError::Io(e));
+        }
+        self.wire.clear();
     }
 }
 
@@ -98,7 +130,7 @@ impl EventSink for ChunkSink<'_> {
         }
         self.buf.push(ev);
         if self.buf.len() >= self.chunk {
-            self.flush();
+            self.flush_events();
         }
     }
 }
@@ -203,26 +235,33 @@ pub fn submit_stream(
                 ranks_done: 0,
             });
         }
-        let mut sink = ChunkSink {
-            stream: &mut stream,
-            buf: Vec::new(),
-            chunk: cfg.chunk_events.max(1),
-            sent: 0,
-            err: None,
+        let sent = {
+            let mut sink = ChunkSink {
+                stream: &mut stream,
+                buf: Vec::new(),
+                wire: Vec::new(),
+                chunk: cfg.chunk_events.max(1),
+                sent: 0,
+                err: None,
+            };
+            let app_time = produce(&mut sink).map_err(NetError::Source)?;
+            sink.flush_events();
+            // The Finish rides the same write as the stream's tail — the
+            // whole submission is one pipelined burst with a single
+            // round-trip at the end.
+            encode_frame_into(
+                &Frame::Finish {
+                    app_time,
+                    event_count: sink.sent,
+                },
+                &mut sink.wire,
+            );
+            sink.flush_wire();
+            if let Some(e) = sink.err.take() {
+                return Err(e);
+            }
+            sink.sent
         };
-        let app_time = produce(&mut sink).map_err(NetError::Source)?;
-        sink.flush();
-        let (sent, err) = (sink.sent, sink.err.take());
-        if let Some(e) = err {
-            return Err(e);
-        }
-        write_frame(
-            &mut stream,
-            &Frame::Finish {
-                app_time,
-                event_count: sent,
-            },
-        )?;
         let ranks_done = read_fin_ack(&mut stream)?;
         stream.shutdown();
         Ok(SubmitOutcome {
@@ -274,6 +313,84 @@ pub fn submit_ctt(
             },
         };
         write_frame(&mut stream, &frame)?;
+        let ranks_done = read_fin_ack(&mut stream)?;
+        stream.shutdown();
+        Ok(SubmitOutcome {
+            already_done: false,
+            events_sent: 0,
+            attempts: attempt,
+            ranks_done,
+        })
+    })
+}
+
+/// One aligned buddy block a relay forwards upstream: ranks
+/// `[first, first + count)` of the global job, deflated `MergedCtt` bytes.
+#[derive(Debug, Clone)]
+pub struct BlockUpload {
+    pub first: u32,
+    pub count: u32,
+    /// Event total this block carries upstream (a relay puts its shard's
+    /// whole total on the first block and 0 on the rest).
+    pub events: u64,
+    pub raw_mpi_bytes: u64,
+    /// Serialized `MergedCtt` length before deflate.
+    pub raw_len: u64,
+    /// Deflated `MergedCtt` bytes.
+    pub z: Vec<u8>,
+}
+
+/// Forward a relay's merged buddy blocks to its upstream collector. All
+/// blocks plus the `Finish` pipeline in one write with a single
+/// round-trip; duplicates are upstream no-ops, so a retry that re-sends
+/// blocks which already landed is harmless. Requires the upstream to
+/// negotiate protocol ≥ 4.
+pub fn submit_merged_blocks(
+    addr: &Addr,
+    cfg: &ClientConfig,
+    nprocs: u32,
+    cst_text: &str,
+    blocks: &[BlockUpload],
+) -> Result<SubmitOutcome, NetError> {
+    // The Hello rank only identifies the shard for validation.
+    let hello_rank = blocks.first().map(|b| b.first).unwrap_or(0);
+    with_retry(cfg, |attempt| {
+        let mut stream = Stream::connect(addr, cfg.io_timeout)?;
+        cypress_obs::trace_instant("net", "connect", hello_rank as u64);
+        stream.set_io_timeout(cfg.io_timeout)?;
+        let (version, _) = hello_exchange(
+            &mut stream,
+            hello_rank,
+            nprocs,
+            SubmitMode::Blocks,
+            cst_text,
+        )?;
+        if version < 4 {
+            return Err(NetError::Version { theirs: version });
+        }
+        let mut wire = Vec::new();
+        for b in blocks {
+            encode_frame_into(
+                &Frame::MergedBlockZ {
+                    first_rank: b.first,
+                    nranks: b.count,
+                    events: b.events,
+                    raw_mpi_bytes: b.raw_mpi_bytes,
+                    raw_len: b.raw_len,
+                    bytes: b.z.clone(),
+                },
+                &mut wire,
+            );
+        }
+        encode_frame_into(
+            &Frame::Finish {
+                app_time: 0,
+                event_count: blocks.len() as u64,
+            },
+            &mut wire,
+        );
+        stream.write_all(&wire)?;
+        stream.flush()?;
         let ranks_done = read_fin_ack(&mut stream)?;
         stream.shutdown();
         Ok(SubmitOutcome {

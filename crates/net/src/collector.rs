@@ -4,20 +4,45 @@
 //! clients (TCP or Unix sockets), feeds each stream-mode client into its
 //! own [`CompressSession`] so raw events never accumulate server-side, and
 //! reduces finished rank CTTs through a [`BinomialMerger`] **as they
-//! arrive** — no barrier on the full rank set. Connections are handled by
-//! the `runtime` work-stealing pool; the accept loop is non-blocking and
-//! queues sockets for the workers, counting backpressure stalls when every
-//! worker is busy.
+//! arrive** — no barrier on the full rank set.
+//!
+//! Connection handling is a small pool of **event loops** (see
+//! [`crate::poll`]), each multiplexing many non-blocking sockets: every
+//! connection owns a reusable [`FrameBuf`] rx buffer and a pending-tx
+//! buffer, and a per-connection state machine ([`ConnState`]) advances on
+//! whatever frames arrived. Loop 0 additionally owns the job and stats
+//! listeners; accepted sockets are dealt round-robin to the loops through
+//! waker-signalled mailboxes. Nothing in this crate sleeps on a timer: the
+//! loops block in `poll(2)` until a socket, a peer loop, a deadline, or
+//! completion wakes them.
+//!
+//! Two roles share the same machinery:
+//!
+//! - **Root** (plain `serve`): completes when all `nprocs` ranks are
+//!   merged, yields the [`CollectedJob`].
+//! - **Relay** ([`Collector::run_relay`], `serve --tree`): accepts only a
+//!   contiguous rank shard, merges it with a *global-sized*
+//!   [`BinomialMerger`], then forwards its resident buddy blocks upstream
+//!   as `MergedBlockZ` frames. Because a global-sized merger's blocks are
+//!   aligned on the global association tree, the root absorbing them is
+//!   byte-identical to a local `merge_all` — relaying never perturbs the
+//!   merge.
 //!
 //! Failure model: a client that disconnects (or corrupts a frame)
 //! mid-stream loses only its own partial session — the collector discards
 //! it and the retried client re-streams from scratch. A rank submitted
 //! twice (a retry whose first attempt actually landed) is acknowledged and
 //! discarded; [`BinomialMerger`] is first-completion-wins, so a
-//! killed-and-retried client can never corrupt the merged job.
+//! killed-and-retried client can never corrupt the merged job. A relay
+//! retry re-forwarding blocks that already landed is absorbed the same way
+//! (duplicate blocks are no-ops). A dead relay surfaces as a deadline
+//! failure at the root naming the shard's missing ranks — loud, never a
+//! hang.
 
+use crate::client::ClientConfig;
+use crate::poll::{PollSet, Waker};
 use crate::proto::{
-    codes, read_frame, send_error, write_frame, Frame, SubmitMode, PROTO_VERSION, PROTO_VERSION_MIN,
+    codes, encode_frame_into, Frame, FrameBuf, SubmitMode, PROTO_VERSION, PROTO_VERSION_MIN,
 };
 use crate::stats::{ClientStat, ClientState, QuantileStat, Stats, STATS_VERSION};
 use crate::transport::{Addr, Listener, Stream};
@@ -28,18 +53,21 @@ use cypress_core::{
 use cypress_cst::Cst;
 use cypress_deflate::crc32;
 use cypress_obs::{obs_log, Level};
-use cypress_runtime::run_ranks;
 use cypress_trace::codec::Codec;
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::{Condvar, Mutex, OnceLock};
+use std::io::Write;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Collector knobs.
 #[derive(Debug, Clone)]
 pub struct CollectorConfig {
-    /// Connection-handling workers (0 = one per core, capped at 8).
+    /// Event-loop workers (0 = one per core, capped at 8). Each loop
+    /// multiplexes many connections; this is parallelism for per-client
+    /// compression work, not a connection limit.
     pub workers: usize,
-    /// Per-request read/write timeout on client sockets.
+    /// Idle timeout: a connection silent this long mid-protocol is dropped
+    /// (its client retries from scratch).
     pub io_timeout: Duration,
     /// Keep every rank's CTT (exact per-rank timing in queries and
     /// `--per-rank` containers) in addition to the incremental merge.
@@ -72,6 +100,36 @@ impl Default for CollectorConfig {
     }
 }
 
+/// A mid-tier collector's configuration: accept ranks
+/// `[first_rank, last_rank)` of an `nprocs`-rank job, then forward the
+/// merged blocks to `upstream` with the given client retry policy.
+#[derive(Debug, Clone)]
+pub struct RelayConfig {
+    pub first_rank: u32,
+    /// Exclusive upper bound of the shard.
+    pub last_rank: u32,
+    /// Global job size (the merger is global-sized so its blocks stay
+    /// aligned on the whole job's buddy tree).
+    pub nprocs: u32,
+    /// The parent collector (root or another relay).
+    pub upstream: Addr,
+    /// Retry/backoff/compression policy for the upstream submission.
+    pub client: ClientConfig,
+    pub collector: CollectorConfig,
+}
+
+/// What a finished relay did.
+#[derive(Debug, Clone, Copy)]
+pub struct RelaySummary {
+    /// Ranks in this relay's shard.
+    pub ranks: u32,
+    /// Aligned buddy blocks forwarded upstream (≤ 2·log2 P for any
+    /// contiguous shard).
+    pub blocks_forwarded: u32,
+    /// Total MPI events the shard's clients submitted.
+    pub events: u64,
+}
+
 /// Everything a finished collection produced — the networked counterpart
 /// of the local pipeline's `CompressedJob`.
 #[derive(Debug)]
@@ -85,10 +143,11 @@ pub struct CollectedJob {
     /// `merge_all` over the same rank CTTs.
     pub merged: MergedCtt,
     /// Per-rank CTTs in rank order (empty when
-    /// [`CollectorConfig::keep_rank_ctts`] is off).
+    /// [`CollectorConfig::keep_rank_ctts`] is off, and always empty for
+    /// ranks that arrived as relay blocks).
     pub rank_ctts: Vec<Ctt>,
     /// Total MPI events across ranks (session accounting for stream mode,
-    /// record counts for ctt mode — identical values).
+    /// record counts for ctt mode, relay-reported totals for blocks mode).
     pub total_events: u64,
     /// Raw serialized size of the MPI records before compression (stream
     /// mode only; 0 for ctt-mode ranks).
@@ -106,7 +165,6 @@ struct JobInfo {
 }
 
 struct Inner {
-    queue: VecDeque<Stream>,
     merger: Option<BinomialMerger>,
     rank_ctts: Vec<Ctt>,
     total_events: u64,
@@ -123,16 +181,10 @@ struct Inner {
 struct State {
     job: OnceLock<JobInfo>,
     inner: Mutex<Inner>,
-    cv: Condvar,
     started: Instant,
 }
 
 impl State {
-    fn stop_requested(&self) -> bool {
-        let g = self.inner.lock().unwrap();
-        g.done || g.fatal.is_some()
-    }
-
     /// Mark a rank's submission state, never downgrading `Merged` (a late
     /// duplicate or abort of a rank that already landed changes nothing).
     fn mark_client(&self, rank: u32, st: ClientState) {
@@ -140,6 +192,24 @@ impl State {
         let e = g.clients.entry(rank).or_insert((st, 0));
         if e.0 != ClientState::Merged {
             e.0 = st;
+        }
+    }
+}
+
+/// Which slice of the job this collector is responsible for.
+#[derive(Debug, Clone, Copy)]
+enum Role {
+    /// The whole job.
+    Root,
+    /// Ranks `[first, last)` of an `nprocs`-rank job.
+    Relay { first: u32, last: u32, nprocs: u32 },
+}
+
+impl Role {
+    fn expected(&self, job_nprocs: u32) -> u32 {
+        match self {
+            Role::Root => job_nprocs,
+            Role::Relay { first, last, .. } => last - first,
         }
     }
 }
@@ -164,6 +234,162 @@ fn hists() -> &'static CollectorHists {
             merge_step_ns: s.histogram("merge_step_ns", &cypress_obs::TIME_BOUNDS_NS),
         }
     })
+}
+
+/// Per-event-loop handoff slot: loop 0 deals accepted sockets here and
+/// rings the waker so the owning loop adopts them without polling.
+struct LoopShared {
+    mailbox: Mutex<VecDeque<Stream>>,
+    waker: Waker,
+}
+
+/// Everything an event loop needs, cheap to copy into its thread.
+#[derive(Clone, Copy)]
+struct Shared<'a> {
+    state: &'a State,
+    cfg: &'a CollectorConfig,
+    role: Role,
+    loops: &'a [LoopShared],
+}
+
+fn wake_all(loops: &[LoopShared]) {
+    for l in loops {
+        l.waker.wake();
+    }
+}
+
+/// Record a collection-wide failure (first one wins) and wake every loop
+/// so they drain and exit.
+fn fail_collection(sh: Shared<'_>, msg: String) {
+    let mut g = sh.state.inner.lock().unwrap();
+    if !g.done && g.fatal.is_none() {
+        g.fatal = Some(msg);
+    }
+    drop(g);
+    wake_all(sh.loops);
+}
+
+/// Protocol position of one multiplexed connection.
+enum ConnState<'a> {
+    AwaitHello,
+    Streaming {
+        session: Box<CompressSession<'a>>,
+        count: u64,
+    },
+    AwaitCtt,
+    Blocks {
+        nblocks: u64,
+    },
+    AwaitStatsReq,
+    /// Terminal: everything left to do is flush `tx` and close.
+    Done,
+}
+
+struct Conn<'a> {
+    stream: Stream,
+    rx: FrameBuf,
+    tx: Vec<u8>,
+    tx_pos: usize,
+    state: ConnState<'a>,
+    rank: Option<u32>,
+    last_activity: Instant,
+    /// Close (after flushing `tx`) instead of reading further frames.
+    closing: bool,
+}
+
+impl<'a> Conn<'a> {
+    fn new(stream: Stream, state: ConnState<'a>) -> Conn<'a> {
+        let _ = stream.set_nonblocking(true);
+        Conn {
+            stream,
+            rx: FrameBuf::new(),
+            tx: Vec::new(),
+            tx_pos: 0,
+            state,
+            rank: None,
+            last_activity: Instant::now(),
+            closing: false,
+        }
+    }
+
+    fn queue(&mut self, frame: &Frame) {
+        encode_frame_into(frame, &mut self.tx);
+    }
+
+    fn tx_pending(&self) -> bool {
+        self.tx_pos < self.tx.len()
+    }
+
+    /// Nonblocking write of pending tx bytes; `Ok(())` on progress or
+    /// `WouldBlock`, `Err` only on a real transport failure.
+    fn try_flush(&mut self) -> std::io::Result<()> {
+        while self.tx_pending() {
+            match self.stream.write(&self.tx[self.tx_pos..]) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::WriteZero,
+                        "peer stopped reading",
+                    ))
+                }
+                Ok(n) => {
+                    self.tx_pos += n;
+                    self.last_activity = Instant::now();
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if !self.tx_pending() && !self.tx.is_empty() {
+            self.tx.clear();
+            self.tx_pos = 0;
+        }
+        Ok(())
+    }
+
+    /// Exit-time drain: switch back to blocking I/O and push out whatever
+    /// acks are still queued, bounded by the io timeout.
+    fn flush_blocking(mut self, io_timeout: Duration) {
+        if self.tx_pending() {
+            let _ = self.stream.set_nonblocking(false);
+            let _ = self.stream.set_io_timeout(io_timeout);
+            let _ = self.stream.write_all(&self.tx[self.tx_pos..]);
+            let _ = self.stream.flush();
+        }
+        self.stream.shutdown();
+    }
+
+    /// Abort bookkeeping for a connection dropped mid-protocol.
+    fn abort(&self, sh: Shared<'_>, why: &str) {
+        if matches!(self.state, ConnState::Streaming { .. }) && cypress_obs::enabled() {
+            obs().sessions_aborted.inc();
+        }
+        if let Some(rank) = self.rank {
+            if !matches!(self.state, ConnState::Done) {
+                sh.state.mark_client(rank, ClientState::Aborted);
+            }
+        }
+        obs_log!(Level::Warn, "net", "connection dropped: {why}");
+    }
+
+    /// Reject with an `Error` frame and enter the flush-and-close path.
+    fn fail(&mut self, sh: Shared<'_>, code: u16, message: String) {
+        if matches!(self.state, ConnState::Streaming { .. }) && cypress_obs::enabled() {
+            obs().sessions_aborted.inc();
+        }
+        if let Some(rank) = self.rank {
+            sh.state.mark_client(rank, ClientState::Aborted);
+        }
+        obs_log!(
+            Level::Warn,
+            "net",
+            "rejecting client ({}): {message}",
+            codes::name(code)
+        );
+        self.queue(&Frame::Error { code, message });
+        self.state = ConnState::Done;
+        self.closing = true;
+    }
 }
 
 /// A bound collector. Binding is split from running so callers (tests, the
@@ -199,74 +425,21 @@ impl Collector {
     }
 
     /// Serve until every rank of the job (sized by the first `Hello`) is
-    /// merged, then return the collected job. Blocks the calling thread;
-    /// connection handling runs on the work-stealing pool.
+    /// merged, then return the collected job. Blocks the calling thread
+    /// (which runs event loop 0).
     pub fn run(mut self, cfg: &CollectorConfig) -> Result<CollectedJob, NetError> {
-        let workers = if cfg.workers == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4)
-                .min(8)
-        } else {
-            cfg.workers
-        };
         if self.stats_listener.is_none() {
             if let Some(addr) = &cfg.stats_addr {
                 self.bind_stats(addr)?;
             }
         }
-        let state = State {
-            job: OnceLock::new(),
-            inner: Mutex::new(Inner {
-                queue: VecDeque::new(),
-                merger: None,
-                rank_ctts: Vec::new(),
-                total_events: 0,
-                raw_mpi_bytes: 0,
-                peak_ctt_bytes: 0,
-                done: false,
-                fatal: None,
-                clients: BTreeMap::new(),
-            }),
-            cv: Condvar::new(),
-            started: Instant::now(),
-        };
-        self.listener.set_nonblocking(true)?;
-        if let Some(sl) = &self.stats_listener {
-            sl.set_nonblocking(true)?;
-            obs_log!(
-                Level::Info,
-                "net",
-                "collector stats endpoint on {}",
-                sl.local_addr().map(|a| a.to_string()).unwrap_or_default()
-            );
-        }
-        obs_log!(
-            Level::Info,
-            "net",
-            "collector listening on {} with {workers} workers",
-            self.listener
-                .local_addr()
-                .map(|a| a.to_string())
-                .unwrap_or_default()
-        );
-        std::thread::scope(|scope| {
-            let accept = scope.spawn(|| accept_loop(&self.listener, &state, cfg, workers));
-            if let Some(sl) = &self.stats_listener {
-                scope.spawn(|| stats_loop(sl, &state, cfg));
-            }
-            run_ranks(workers as u32, workers, |_| worker_loop(&state, cfg));
-            accept.join().expect("accept loop panicked");
-        });
-
-        let inner = state.inner.into_inner().unwrap();
-        if let Some(f) = inner.fatal {
-            return Err(NetError::Collect(f));
-        }
-        let job = state
-            .job
-            .into_inner()
-            .ok_or_else(|| NetError::Collect("no client ever connected".into()))?;
+        let (job, inner) = run_core(
+            &self.listener,
+            self.stats_listener.as_ref(),
+            cfg,
+            Role::Root,
+        )?;
+        let job = job.ok_or_else(|| NetError::Collect("no client ever connected".into()))?;
         let merger = inner
             .merger
             .ok_or_else(|| NetError::Collect("no rank completed".into()))?;
@@ -284,106 +457,819 @@ impl Collector {
             peak_ctt_bytes: inner.peak_ctt_bytes,
         })
     }
-}
 
-fn accept_loop(listener: &Listener, state: &State, cfg: &CollectorConfig, workers: usize) {
-    let started = Instant::now();
-    loop {
-        if state.stop_requested() {
-            return;
+    /// Serve as a mid-tier relay: collect ranks
+    /// `[cfg.first_rank, cfg.last_rank)`, then forward the shard's merged
+    /// buddy blocks to `cfg.upstream` and return a summary. Per-rank CTT
+    /// retention and the stats endpoint are root-only concerns and are
+    /// disabled here regardless of `cfg.collector`.
+    pub fn run_relay(self, cfg: &RelayConfig) -> Result<RelaySummary, NetError> {
+        if cfg.first_rank >= cfg.last_rank || cfg.last_rank > cfg.nprocs {
+            return Err(NetError::Collect(format!(
+                "bad relay shard [{}, {}) for {} procs",
+                cfg.first_rank, cfg.last_rank, cfg.nprocs
+            )));
         }
-        if let Some(deadline) = cfg.deadline {
-            if started.elapsed() > deadline {
-                let mut g = state.inner.lock().unwrap();
-                if !g.done {
-                    let missing = g
-                        .merger
-                        .as_ref()
-                        .map(|m| format!("{:?}", m.missing_ranks()))
-                        .unwrap_or_else(|| "all".into());
-                    g.fatal = Some(format!(
-                        "deadline {deadline:?} exceeded with ranks missing: {missing}"
-                    ));
-                }
-                state.cv.notify_all();
-                return;
-            }
+        let mut ccfg = cfg.collector.clone();
+        ccfg.keep_rank_ctts = false;
+        ccfg.stats_addr = None;
+        let role = Role::Relay {
+            first: cfg.first_rank,
+            last: cfg.last_rank,
+            nprocs: cfg.nprocs,
+        };
+        let Collector { listener, .. } = self;
+        let (job, inner) = run_core(&listener, None, &ccfg, role)?;
+        // Free the shard's endpoint before the (possibly retried) upstream
+        // submission; nothing else will connect here.
+        drop(listener);
+        let job =
+            job.ok_or_else(|| NetError::Collect("no client ever connected to this relay".into()))?;
+        let merger = inner
+            .merger
+            .ok_or_else(|| NetError::Collect("no rank completed at this relay".into()))?;
+        let level = cfg.client.ctt_level.unwrap_or_default();
+        let blocks = merger.into_blocks();
+        let mut uploads = Vec::with_capacity(blocks.len());
+        for (i, (first, count, part)) in blocks.into_iter().enumerate() {
+            let raw = part.to_bytes();
+            let z = cypress_deflate::deflate(&raw, level);
+            uploads.push(crate::client::BlockUpload {
+                first,
+                count,
+                // The shard's accounting totals ride on the first block;
+                // the root sums per-frame, so totals stay exact even though
+                // per-rank attribution is lost above the relay.
+                events: if i == 0 { inner.total_events } else { 0 },
+                raw_mpi_bytes: if i == 0 { inner.raw_mpi_bytes } else { 0 },
+                raw_len: raw.len() as u64,
+                z,
+            });
         }
-        match listener.accept() {
-            Ok(stream) => {
-                if cypress_obs::enabled() {
-                    obs().connections.inc();
-                }
-                let mut g = state.inner.lock().unwrap();
-                if g.queue.len() >= workers && cypress_obs::enabled() {
-                    obs().backpressure_stalls.inc();
-                }
-                g.queue.push_back(stream);
-                drop(g);
-                state.cv.notify_one();
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(5));
-            }
-            Err(e) => {
-                let mut g = state.inner.lock().unwrap();
-                g.fatal = Some(format!("listener failed: {e}"));
-                drop(g);
-                state.cv.notify_all();
-                return;
-            }
-        }
+        let blocks_forwarded = uploads.len() as u32;
+        crate::client::submit_merged_blocks(
+            &cfg.upstream,
+            &cfg.client,
+            cfg.nprocs,
+            &job.cst_text,
+            &uploads,
+        )?;
+        obs_log!(
+            Level::Info,
+            "net",
+            "relay for ranks [{}, {}) forwarded {blocks_forwarded} blocks upstream",
+            cfg.first_rank,
+            cfg.last_rank
+        );
+        Ok(RelaySummary {
+            ranks: cfg.last_rank - cfg.first_rank,
+            blocks_forwarded,
+            events: inner.total_events,
+        })
     }
 }
 
-/// Serve live telemetry: one `StatsRequest` in, one `Stats` out, per
-/// connection. Runs on its own listener so a monitoring poll can never
-/// perturb the job protocol; exits when the collection does.
-fn stats_loop(listener: &Listener, state: &State, cfg: &CollectorConfig) {
-    loop {
-        if state.stop_requested() {
-            return;
-        }
-        match listener.accept() {
-            Ok(mut stream) => {
-                if let Err(e) = serve_stats_once(state, cfg, &mut stream) {
-                    obs_log!(Level::Debug, "net", "stats request failed: {e}");
-                }
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(5));
-            }
-            Err(e) => {
-                obs_log!(Level::Warn, "net", "stats listener failed: {e}");
-                return;
-            }
-        }
-    }
-}
-
-fn serve_stats_once(
-    state: &State,
+/// Run the event loops until completion or failure; returns the fixed job
+/// identity (if any client connected) and the accumulated state.
+fn run_core(
+    listener: &Listener,
+    stats_listener: Option<&Listener>,
     cfg: &CollectorConfig,
-    stream: &mut Stream,
-) -> Result<(), NetError> {
-    stream.set_io_timeout(cfg.io_timeout)?;
-    let frame = read_frame(stream)?;
-    match frame {
-        Frame::StatsRequest => {
-            let stats = build_stats(state);
-            write_frame(stream, &Frame::Stats { stats })?;
-            stream.shutdown();
-            Ok(())
+    role: Role,
+) -> Result<(Option<JobInfo>, Inner), NetError> {
+    let nloops = if cfg.workers == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(8)
+    } else {
+        cfg.workers
+    };
+    let state = State {
+        job: OnceLock::new(),
+        inner: Mutex::new(Inner {
+            merger: None,
+            rank_ctts: Vec::new(),
+            total_events: 0,
+            raw_mpi_bytes: 0,
+            peak_ctt_bytes: 0,
+            done: false,
+            fatal: None,
+            clients: BTreeMap::new(),
+        }),
+        started: Instant::now(),
+    };
+    listener.set_nonblocking(true)?;
+    if let Some(sl) = stats_listener {
+        sl.set_nonblocking(true)?;
+        obs_log!(
+            Level::Info,
+            "net",
+            "collector stats endpoint on {}",
+            sl.local_addr().map(|a| a.to_string()).unwrap_or_default()
+        );
+    }
+    let loops: Vec<LoopShared> = (0..nloops)
+        .map(|_| {
+            Ok(LoopShared {
+                mailbox: Mutex::new(VecDeque::new()),
+                waker: Waker::new()?,
+            })
+        })
+        .collect::<std::io::Result<_>>()?;
+    obs_log!(
+        Level::Info,
+        "net",
+        "collector listening on {} with {nloops} event loops",
+        listener
+            .local_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_default()
+    );
+    let sh = Shared {
+        state: &state,
+        cfg,
+        role,
+        loops: &loops,
+    };
+    std::thread::scope(|scope| {
+        for i in 1..nloops {
+            scope.spawn(move || event_loop(i, sh, None));
         }
-        f => {
-            send_error(
-                stream,
-                codes::PROTOCOL,
-                format!("stats endpoint expects StatsRequest, got {}", f.name()),
-            );
-            Err(NetError::Protocol(format!("unexpected {}", f.name())))
+        event_loop(0, sh, Some((listener, stats_listener)));
+    });
+    let inner = state.inner.into_inner().unwrap();
+    if let Some(f) = inner.fatal {
+        return Err(NetError::Collect(f));
+    }
+    Ok((state.job.into_inner(), inner))
+}
+
+/// One multiplexing event loop. Loop 0 additionally owns the listeners.
+fn event_loop(idx: usize, sh: Shared<'_>, listeners: Option<(&Listener, Option<&Listener>)>) {
+    let me = &sh.loops[idx];
+    let mut conns: Vec<Conn<'_>> = Vec::new();
+    let mut poll = PollSet::new();
+    // Round-robin dispatch cursor (loop 0 only).
+    let mut next_loop = 0usize;
+    loop {
+        // Adopt connections handed over by the accepting loop.
+        {
+            let mut mb = me.mailbox.lock().unwrap();
+            while let Some(s) = mb.pop_front() {
+                conns.push(Conn::new(s, ConnState::AwaitHello));
+            }
+        }
+        // Finished (completed or fatal)? Drain queued acks and exit.
+        {
+            let g = sh.state.inner.lock().unwrap();
+            if g.done || g.fatal.is_some() {
+                drop(g);
+                for c in conns.drain(..) {
+                    c.flush_blocking(sh.cfg.io_timeout);
+                }
+                return;
+            }
+        }
+        if let Some(deadline) = sh.cfg.deadline {
+            if sh.state.started.elapsed() > deadline {
+                let missing = {
+                    let g = sh.state.inner.lock().unwrap();
+                    match (&g.merger, sh.role) {
+                        (Some(m), _) => {
+                            let mut v = m.missing_ranks();
+                            if let Role::Relay { first, last, .. } = sh.role {
+                                v.retain(|r| *r >= first && *r < last);
+                            }
+                            format!("{v:?}")
+                        }
+                        // No client ever connected, but a relay still
+                        // knows exactly which ranks it was waiting for.
+                        (None, Role::Relay { first, last, .. }) => {
+                            format!("{:?}", (first..last).collect::<Vec<u32>>())
+                        }
+                        (None, Role::Root) => "all".into(),
+                    }
+                };
+                fail_collection(
+                    sh,
+                    format!("deadline {deadline:?} exceeded with ranks missing: {missing}"),
+                );
+                continue;
+            }
+        }
+
+        // Rebuild the poll set: waker, listeners (loop 0), then every
+        // connection (write interest only while acks are pending).
+        poll.clear();
+        poll.push(me.waker.fd(), true, false);
+        let mut job_slot = None;
+        let mut stats_slot = None;
+        if let Some((l, sl)) = listeners {
+            job_slot = Some(poll.push(l.raw_fd(), true, false));
+            if let Some(sl) = sl {
+                stats_slot = Some(poll.push(sl.raw_fd(), true, false));
+            }
+        }
+        for c in &conns {
+            poll.push(c.stream.raw_fd(), true, c.tx_pending());
+        }
+        let mut timeout = sh
+            .cfg
+            .deadline
+            .map(|d| d.saturating_sub(sh.state.started.elapsed()));
+        if !conns.is_empty() {
+            // Bound the wait so idle connections are reaped on time.
+            timeout = Some(timeout.map_or(sh.cfg.io_timeout, |t| t.min(sh.cfg.io_timeout)));
+        }
+        if poll.wait(timeout).is_err() {
+            // A transient poll failure: loop and rebuild.
+            continue;
+        }
+        me.waker.drain();
+
+        // Accept everything pending, dealing job sockets round-robin.
+        if let Some((l, sl)) = listeners {
+            if job_slot.is_some_and(|i| poll.readable(i)) {
+                loop {
+                    match l.accept() {
+                        Ok(s) => {
+                            if cypress_obs::enabled() {
+                                obs().connections.inc();
+                            }
+                            let target = next_loop % sh.loops.len();
+                            next_loop += 1;
+                            if target == idx {
+                                conns.push(Conn::new(s, ConnState::AwaitHello));
+                            } else {
+                                let tl = &sh.loops[target];
+                                let mut mb = tl.mailbox.lock().unwrap();
+                                if !mb.is_empty() && cypress_obs::enabled() {
+                                    obs().backpressure_stalls.inc();
+                                }
+                                mb.push_back(s);
+                                drop(mb);
+                                tl.waker.wake();
+                            }
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(e) => {
+                            fail_collection(sh, format!("listener failed: {e}"));
+                            break;
+                        }
+                    }
+                }
+            }
+            if let Some(sl) = sl {
+                if stats_slot.is_some_and(|i| poll.readable(i)) {
+                    loop {
+                        match sl.accept() {
+                            Ok(s) => conns.push(Conn::new(s, ConnState::AwaitStatsReq)),
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                            Err(e) => {
+                                obs_log!(Level::Warn, "net", "stats listener failed: {e}");
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Drive every connection (reads and writes are nonblocking, so an
+        // unready socket costs one WouldBlock).
+        let mut i = 0;
+        while i < conns.len() {
+            if drive_conn(sh, &mut conns[i]) {
+                i += 1;
+            } else {
+                conns.swap_remove(i).stream.shutdown();
+            }
         }
     }
+}
+
+/// How many socket reads one connection may take per loop tick — bounds a
+/// firehose client so it cannot starve its loop's other connections.
+const MAX_FILLS_PER_TICK: usize = 4;
+
+/// Advance one connection. Returns false when it should be removed.
+fn drive_conn<'a>(sh: Shared<'a>, c: &mut Conn<'a>) -> bool {
+    // Flush first: pending acks unblock pipelining clients.
+    if let Err(e) = c.try_flush() {
+        c.abort(sh, &format!("{e}"));
+        return false;
+    }
+    if !c.closing {
+        for _ in 0..MAX_FILLS_PER_TICK {
+            match c.rx.fill(&mut c.stream) {
+                Ok(0) => {
+                    // EOF. Clean iff the protocol finished.
+                    if !matches!(c.state, ConnState::Done) {
+                        c.abort(sh, "peer disconnected mid-protocol");
+                    }
+                    return false;
+                }
+                Ok(_) => {
+                    c.last_activity = Instant::now();
+                    loop {
+                        match c.rx.try_frame() {
+                            Ok(Some(frame)) => handle_frame(sh, c, frame),
+                            Ok(None) => break,
+                            Err(e) => {
+                                c.abort(sh, &format!("{e}"));
+                                return false;
+                            }
+                        }
+                        if c.closing {
+                            break;
+                        }
+                    }
+                    if c.closing {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    c.abort(sh, &format!("{e}"));
+                    return false;
+                }
+            }
+        }
+    }
+    if let Err(e) = c.try_flush() {
+        c.abort(sh, &format!("{e}"));
+        return false;
+    }
+    if c.closing && !c.tx_pending() {
+        return false;
+    }
+    if c.last_activity.elapsed() > sh.cfg.io_timeout {
+        c.abort(sh, "idle timeout");
+        return false;
+    }
+    true
+}
+
+/// The per-connection protocol state machine.
+fn handle_frame<'a>(sh: Shared<'a>, c: &mut Conn<'a>, frame: Frame) {
+    let st = std::mem::replace(&mut c.state, ConnState::Done);
+    match (st, frame) {
+        (
+            ConnState::AwaitHello,
+            Frame::Hello {
+                version,
+                rank,
+                nprocs,
+                mode,
+                cst_text,
+            },
+        ) => on_hello(sh, c, version, rank, nprocs, mode, cst_text),
+        (
+            ConnState::Streaming {
+                mut session,
+                mut count,
+            },
+            Frame::Events { events },
+        ) => {
+            count += events.len() as u64;
+            hists().batch_events.record(events.len() as u64);
+            {
+                let mut g = sh.state.inner.lock().unwrap();
+                let rank = c.rank.expect("streaming conn has a rank");
+                let e = g.clients.entry(rank).or_insert((ClientState::Streaming, 0));
+                e.1 += events.len() as u64;
+            }
+            session.push_batch(&events);
+            c.state = ConnState::Streaming { session, count };
+        }
+        (
+            ConnState::Streaming { session, count },
+            Frame::Finish {
+                app_time,
+                event_count,
+            },
+        ) => {
+            if event_count != count {
+                c.state = ConnState::Streaming { session, count };
+                c.fail(
+                    sh,
+                    codes::PROTOCOL,
+                    format!("client sent {event_count} events, collector saw {count}"),
+                );
+                return;
+            }
+            let (ctt, stats) = session.finish(app_time);
+            let ranks_done = merge_in(sh, ctt, Some(stats), sh.cfg.keep_rank_ctts);
+            c.queue(&Frame::FinAck { ranks_done });
+            c.closing = true;
+        }
+        (ConnState::AwaitCtt, Frame::RankCtt { bytes }) => on_ctt_bytes(sh, c, bytes),
+        (ConnState::AwaitCtt, Frame::RankCttZ { raw_len, bytes }) => {
+            match cypress_deflate::inflate(&bytes) {
+                Ok(raw) if raw.len() as u64 == raw_len => on_ctt_bytes(sh, c, raw),
+                Ok(raw) => c.fail(
+                    sh,
+                    codes::PROTOCOL,
+                    format!("compressed CTT declared {raw_len} bytes, got {}", raw.len()),
+                ),
+                Err(e) => c.fail(sh, codes::PROTOCOL, format!("undecodable deflate: {e}")),
+            }
+        }
+        (
+            ConnState::Blocks { nblocks },
+            Frame::MergedBlockZ {
+                first_rank,
+                nranks,
+                events,
+                raw_mpi_bytes,
+                raw_len,
+                bytes,
+            },
+        ) => {
+            c.state = ConnState::Blocks { nblocks };
+            on_merged_block(
+                sh,
+                c,
+                first_rank,
+                nranks,
+                events,
+                raw_mpi_bytes,
+                raw_len,
+                bytes,
+            );
+        }
+        (ConnState::Blocks { nblocks }, Frame::Finish { event_count, .. }) => {
+            // In blocks mode the Finish cross-check counts blocks.
+            if event_count != nblocks {
+                c.fail(
+                    sh,
+                    codes::PROTOCOL,
+                    format!("relay sent {event_count} blocks, collector saw {nblocks}"),
+                );
+                return;
+            }
+            let ranks_done = {
+                let g = sh.state.inner.lock().unwrap();
+                g.merger.as_ref().map(|m| m.received()).unwrap_or(0)
+            };
+            c.queue(&Frame::FinAck { ranks_done });
+            c.closing = true;
+        }
+        (ConnState::AwaitStatsReq, Frame::StatsRequest) => {
+            let stats = build_stats(sh.state);
+            c.queue(&Frame::Stats { stats });
+            c.closing = true;
+        }
+        (ConnState::AwaitStatsReq, f) => c.fail(
+            sh,
+            codes::PROTOCOL,
+            format!("stats endpoint expects StatsRequest, got {}", f.name()),
+        ),
+        (ConnState::AwaitHello, f) => c.fail(
+            sh,
+            codes::PROTOCOL,
+            format!("first frame must be Hello, got {}", f.name()),
+        ),
+        (st, f) => {
+            c.state = st;
+            let msg = format!("unexpected {} frame here", f.name());
+            c.fail(sh, codes::PROTOCOL, msg);
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn on_hello<'a>(
+    sh: Shared<'a>,
+    c: &mut Conn<'a>,
+    version: u8,
+    rank: u32,
+    nprocs: u32,
+    mode: SubmitMode,
+    cst_text: String,
+) {
+    if version < PROTO_VERSION_MIN {
+        c.fail(
+            sh,
+            codes::VERSION,
+            format!("version {version} below minimum {PROTO_VERSION_MIN}"),
+        );
+        return;
+    }
+    let negotiated = version.min(PROTO_VERSION);
+    if nprocs == 0 || rank >= nprocs {
+        c.fail(
+            sh,
+            codes::BAD_RANK,
+            format!("rank {rank} out of range for {nprocs} procs"),
+        );
+        return;
+    }
+    if mode == SubmitMode::Blocks && negotiated < 4 {
+        c.fail(
+            sh,
+            codes::VERSION,
+            format!("blocks mode requires protocol >= 4, negotiated {negotiated}"),
+        );
+        return;
+    }
+    if let Role::Relay {
+        first,
+        last,
+        nprocs: shard_nprocs,
+    } = sh.role
+    {
+        if nprocs != shard_nprocs {
+            c.fail(
+                sh,
+                codes::BAD_RANK,
+                format!("relay serves a {shard_nprocs}-rank job, client claims {nprocs}"),
+            );
+            return;
+        }
+        if rank < first || rank >= last {
+            c.fail(
+                sh,
+                codes::BAD_RANK,
+                format!("rank {rank} outside this relay's shard [{first}, {last})"),
+            );
+            return;
+        }
+    }
+
+    // First Hello fixes the job: CST, job size, and the merger. Later
+    // clients must match it exactly (CRC over the canonical CST text).
+    let client_crc = crc32(cst_text.as_bytes());
+    let job = match sh.state.job.get() {
+        Some(j) => j,
+        None => {
+            match Cst::from_text(&cst_text) {
+                Ok(cst) => {
+                    let info = JobInfo {
+                        nprocs,
+                        cst_crc: client_crc,
+                        cst_text,
+                        cst,
+                    };
+                    // Another loop may have won the race; either way the
+                    // stored job is authoritative and validated below.
+                    let _ = sh.state.job.set(info);
+                }
+                Err(e) => {
+                    c.fail(sh, codes::INTERNAL, format!("unparseable CST: {e}"));
+                    return;
+                }
+            }
+            sh.state.job.get().expect("just set")
+        }
+    };
+    if job.nprocs != nprocs {
+        c.fail(
+            sh,
+            codes::BAD_RANK,
+            format!("job has {} procs, client claims {nprocs}", job.nprocs),
+        );
+        return;
+    }
+    if job.cst_crc != client_crc {
+        c.fail(
+            sh,
+            codes::CST_MISMATCH,
+            "client CST differs from the CST this job was opened with".into(),
+        );
+        return;
+    }
+
+    let already_done = {
+        let mut g = sh.state.inner.lock().unwrap();
+        if g.merger.is_none() {
+            g.merger = Some(BinomialMerger::new(job.nprocs));
+        }
+        match mode {
+            // A relay's Hello rank only identifies the shard; duplicate
+            // blocks are per-frame no-ops, so there is no whole-session
+            // short-circuit.
+            SubmitMode::Blocks => false,
+            _ => g.merger.as_ref().expect("just set").has_rank(rank),
+        }
+    };
+    c.queue(&Frame::HelloAck {
+        version: negotiated,
+        already_done,
+    });
+    if already_done {
+        c.closing = true;
+        return;
+    }
+    c.rank = Some(rank);
+    cypress_obs::trace_instant("net", "client_accepted", rank as u64);
+    match mode {
+        SubmitMode::Stream => {
+            if cypress_obs::enabled() {
+                obs().sessions_started.inc();
+            }
+            sh.state.mark_client(rank, ClientState::Streaming);
+            c.state = ConnState::Streaming {
+                session: Box::new(CompressSession::new(
+                    &job.cst,
+                    rank,
+                    nprocs,
+                    sh.cfg.compress.clone(),
+                    sh.cfg.session.clone(),
+                )),
+                count: 0,
+            };
+        }
+        SubmitMode::Ctt => {
+            sh.state.mark_client(rank, ClientState::Streaming);
+            c.state = ConnState::AwaitCtt;
+        }
+        SubmitMode::Blocks => c.state = ConnState::Blocks { nblocks: 0 },
+    }
+}
+
+/// Finish a ctt-mode submission from decoded CTT bytes.
+fn on_ctt_bytes(sh: Shared<'_>, c: &mut Conn<'_>, bytes: Vec<u8>) {
+    let rank = c.rank.expect("ctt conn has a rank");
+    let ctt = match Ctt::from_bytes(&bytes) {
+        Ok(ctt) => ctt,
+        Err(e) => {
+            c.fail(sh, codes::PROTOCOL, format!("undecodable CTT: {e}"));
+            return;
+        }
+    };
+    if ctt.rank != rank {
+        c.fail(
+            sh,
+            codes::BAD_RANK,
+            format!("Hello said rank {rank}, CTT says {}", ctt.rank),
+        );
+        return;
+    }
+    let ranks_done = merge_in(sh, ctt, None, sh.cfg.keep_rank_ctts);
+    c.queue(&Frame::FinAck { ranks_done });
+    c.state = ConnState::Done;
+    c.closing = true;
+}
+
+/// Absorb one relay-forwarded buddy block into the merge.
+#[allow(clippy::too_many_arguments)]
+fn on_merged_block(
+    sh: Shared<'_>,
+    c: &mut Conn<'_>,
+    first_rank: u32,
+    nranks: u32,
+    events: u64,
+    raw_mpi_bytes: u64,
+    raw_len: u64,
+    bytes: Vec<u8>,
+) {
+    let raw = match cypress_deflate::inflate(&bytes) {
+        Ok(raw) if raw.len() as u64 == raw_len => raw,
+        Ok(raw) => {
+            c.fail(
+                sh,
+                codes::PROTOCOL,
+                format!("merged block declared {raw_len} bytes, got {}", raw.len()),
+            );
+            return;
+        }
+        Err(e) => {
+            c.fail(sh, codes::PROTOCOL, format!("undecodable deflate: {e}"));
+            return;
+        }
+    };
+    let block = match MergedCtt::from_bytes(&raw) {
+        Ok(b) => b,
+        Err(e) => {
+            c.fail(
+                sh,
+                codes::PROTOCOL,
+                format!("undecodable merged block: {e}"),
+            );
+            return;
+        }
+    };
+    if let Role::Relay { first, last, .. } = sh.role {
+        if first_rank < first || first_rank + nranks > last {
+            c.fail(
+                sh,
+                codes::BAD_RANK,
+                format!(
+                    "block [{first_rank}, {}) outside this relay's shard [{first}, {last})",
+                    first_rank + nranks
+                ),
+            );
+            return;
+        }
+    }
+    let complete = {
+        let mut g = sh.state.inner.lock().unwrap();
+        let Some(m) = g.merger.as_mut() else {
+            drop(g);
+            c.fail(sh, codes::INTERNAL, "merger missing at block time".into());
+            return;
+        };
+        let t0 = Instant::now();
+        let res = m.add_block(first_rank, nranks, block);
+        hists().merge_step_ns.record(t0.elapsed().as_nanos() as u64);
+        match res {
+            Ok(true) => {
+                let received = g.merger.as_ref().expect("still set").received();
+                g.total_events += events;
+                g.raw_mpi_bytes += raw_mpi_bytes;
+                for r in first_rank..first_rank + nranks {
+                    let e = g.clients.entry(r).or_insert((ClientState::Merged, 0));
+                    e.0 = ClientState::Merged;
+                }
+                if events > 0 {
+                    g.clients
+                        .entry(first_rank)
+                        .or_insert((ClientState::Merged, 0))
+                        .1 += events;
+                }
+                if cypress_obs::enabled() {
+                    obs().ranks_merged.set_max(received as i64);
+                }
+                let job_nprocs = sh.state.job.get().expect("job fixed").nprocs;
+                received == sh.role.expected(job_nprocs)
+            }
+            // A relay retry re-sending blocks its first attempt landed.
+            Ok(false) => false,
+            Err(e) => {
+                drop(g);
+                c.fail(sh, codes::PROTOCOL, format!("bad merged block: {e}"));
+                return;
+            }
+        }
+    };
+    let ConnState::Blocks { nblocks } = &mut c.state else {
+        unreachable!("on_merged_block called outside blocks mode")
+    };
+    *nblocks += 1;
+    if complete {
+        let mut g = sh.state.inner.lock().unwrap();
+        g.done = true;
+        drop(g);
+        wake_all(sh.loops);
+    }
+}
+
+/// Fold one finished rank CTT into the incremental binomial merge.
+/// First-completion-wins: duplicates are acknowledged but discarded.
+fn merge_in(
+    sh: Shared<'_>,
+    ctt: Ctt,
+    stats: Option<cypress_core::SessionStats>,
+    keep: bool,
+) -> u32 {
+    let mut g = sh.state.inner.lock().unwrap();
+    let (newly_merged, received) = {
+        let m = g.merger.as_mut().expect("merger installed at Hello");
+        let t0 = Instant::now();
+        let newly = m.add(&ctt);
+        hists().merge_step_ns.record(t0.elapsed().as_nanos() as u64);
+        (newly, m.received())
+    };
+    if newly_merged {
+        let entry = g
+            .clients
+            .entry(ctt.rank)
+            .or_insert((ClientState::Merged, 0));
+        entry.0 = ClientState::Merged;
+        if entry.1 == 0 {
+            // Ctt-mode ranks stream no Events frames; credit the record
+            // count so per-client telemetry is nonzero either way.
+            entry.1 = match &stats {
+                Some(st) => st.mpi_events,
+                None => ctt.op_count(),
+            };
+        }
+        match stats {
+            Some(st) => {
+                g.total_events += st.mpi_events;
+                g.raw_mpi_bytes += st.raw_mpi_bytes;
+                g.peak_ctt_bytes = g.peak_ctt_bytes.max(st.peak_ctt_bytes);
+            }
+            None => g.total_events += ctt.op_count(),
+        }
+        if keep {
+            g.rank_ctts.push(ctt);
+        }
+        if cypress_obs::enabled() {
+            obs().sessions_completed.inc();
+            obs().ranks_merged.set_max(received as i64);
+        }
+    }
+    let job_nprocs = sh.state.job.get().expect("job fixed").nprocs;
+    if received == sh.role.expected(job_nprocs) {
+        g.done = true;
+        drop(g);
+        wake_all(sh.loops);
+    }
+    received
 }
 
 /// Snapshot the running collection into a wire-ready [`Stats`].
@@ -442,335 +1328,11 @@ fn build_stats(state: &State) -> Stats {
     }
 }
 
-fn worker_loop(state: &State, cfg: &CollectorConfig) {
-    loop {
-        let stream = {
-            let mut g = state.inner.lock().unwrap();
-            loop {
-                if g.done || g.fatal.is_some() {
-                    return;
-                }
-                if let Some(s) = g.queue.pop_front() {
-                    break s;
-                }
-                let (g2, _) = state.cv.wait_timeout(g, Duration::from_millis(50)).unwrap();
-                g = g2;
-            }
-        };
-        let mut stream = stream;
-        if let Err(e) = handle_connection(state, cfg, &mut stream) {
-            obs_log!(Level::Warn, "net", "connection dropped: {e}");
-        }
-    }
-}
-
-fn handle_connection(
-    state: &State,
-    cfg: &CollectorConfig,
-    stream: &mut Stream,
-) -> Result<(), NetError> {
-    stream.set_io_timeout(cfg.io_timeout)?;
-    let frame = read_frame(stream)?;
-    let Frame::Hello {
-        version,
-        rank,
-        nprocs,
-        mode,
-        cst_text,
-    } = frame
-    else {
-        send_error(stream, codes::PROTOCOL, "first frame must be Hello");
-        return Err(NetError::Protocol(format!(
-            "first frame was {}",
-            frame.name()
-        )));
-    };
-    if version < PROTO_VERSION_MIN {
-        send_error(
-            stream,
-            codes::VERSION,
-            format!("version {version} below minimum {PROTO_VERSION_MIN}"),
-        );
-        return Err(NetError::Version { theirs: version });
-    }
-    let negotiated = version.min(PROTO_VERSION);
-    if nprocs == 0 || rank >= nprocs {
-        send_error(
-            stream,
-            codes::BAD_RANK,
-            format!("rank {rank} out of range for {nprocs} procs"),
-        );
-        return Err(NetError::Protocol(format!("bad rank {rank}/{nprocs}")));
-    }
-
-    // First Hello fixes the job: CST, job size, and the merger. Later
-    // clients must match it exactly (CRC over the canonical CST text).
-    let client_crc = crc32(cst_text.as_bytes());
-    let job = match state.job.get() {
-        Some(j) => j,
-        None => {
-            match Cst::from_text(&cst_text) {
-                Ok(cst) => {
-                    let info = JobInfo {
-                        nprocs,
-                        cst_crc: client_crc,
-                        cst_text,
-                        cst,
-                    };
-                    // Another worker may have won the race; either way the
-                    // stored job is authoritative and validated below.
-                    let _ = state.job.set(info);
-                }
-                Err(e) => {
-                    send_error(stream, codes::INTERNAL, format!("unparseable CST: {e}"));
-                    return Err(NetError::Protocol(format!("unparseable CST: {e}")));
-                }
-            }
-            state.job.get().expect("just set")
-        }
-    };
-    if job.nprocs != nprocs {
-        send_error(
-            stream,
-            codes::BAD_RANK,
-            format!("job has {} procs, client claims {nprocs}", job.nprocs),
-        );
-        return Err(NetError::Protocol("job size mismatch".into()));
-    }
-    if job.cst_crc != client_crc {
-        send_error(
-            stream,
-            codes::CST_MISMATCH,
-            "client CST differs from the CST this job was opened with",
-        );
-        return Err(NetError::Protocol("cst mismatch".into()));
-    }
-
-    {
-        let mut g = state.inner.lock().unwrap();
-        if g.merger.is_none() {
-            g.merger = Some(BinomialMerger::new(job.nprocs));
-        }
-        if g.merger.as_ref().expect("just set").has_rank(rank) {
-            drop(g);
-            write_frame(
-                stream,
-                &Frame::HelloAck {
-                    version: negotiated,
-                    already_done: true,
-                },
-            )?;
-            stream.shutdown();
-            return Ok(());
-        }
-    }
-    write_frame(
-        stream,
-        &Frame::HelloAck {
-            version: negotiated,
-            already_done: false,
-        },
-    )?;
-    state.mark_client(rank, ClientState::Streaming);
-    cypress_obs::trace_instant("net", "client_accepted", rank as u64);
-
-    let res = match mode {
-        SubmitMode::Stream => handle_stream(state, cfg, stream, job, rank),
-        SubmitMode::Ctt => handle_ctt(state, cfg, stream, rank),
-    };
-    if res.is_err() {
-        // Any failure past the accepted Hello counts as an aborted
-        // submission (no-op if the rank merged before the error).
-        state.mark_client(rank, ClientState::Aborted);
-    }
-    res
-}
-
-fn handle_stream(
-    state: &State,
-    cfg: &CollectorConfig,
-    stream: &mut Stream,
-    job: &JobInfo,
-    rank: u32,
-) -> Result<(), NetError> {
-    if cypress_obs::enabled() {
-        obs().sessions_started.inc();
-    }
-    let mut session = CompressSession::new(
-        &job.cst,
-        rank,
-        job.nprocs,
-        cfg.compress.clone(),
-        cfg.session.clone(),
-    );
-    let mut count: u64 = 0;
-    let app_time = loop {
-        let frame = match read_frame(stream) {
-            Ok(f) => f,
-            Err(e) => {
-                // Disconnect or corruption mid-stream: drop the partial
-                // session; the client will retry from scratch.
-                if cypress_obs::enabled() {
-                    obs().sessions_aborted.inc();
-                }
-                return Err(e);
-            }
-        };
-        match frame {
-            Frame::Events { events } => {
-                count += events.len() as u64;
-                hists().batch_events.record(events.len() as u64);
-                {
-                    let mut g = state.inner.lock().unwrap();
-                    let e = g.clients.entry(rank).or_insert((ClientState::Streaming, 0));
-                    e.1 += events.len() as u64;
-                }
-                session.push_batch(&events);
-            }
-            Frame::Finish {
-                app_time,
-                event_count,
-            } => {
-                if event_count != count {
-                    if cypress_obs::enabled() {
-                        obs().sessions_aborted.inc();
-                    }
-                    send_error(
-                        stream,
-                        codes::PROTOCOL,
-                        format!("client sent {event_count} events, collector saw {count}"),
-                    );
-                    return Err(NetError::Protocol("event count mismatch".into()));
-                }
-                break app_time;
-            }
-            f => {
-                if cypress_obs::enabled() {
-                    obs().sessions_aborted.inc();
-                }
-                send_error(
-                    stream,
-                    codes::PROTOCOL,
-                    format!("unexpected {} during event stream", f.name()),
-                );
-                return Err(NetError::Protocol(format!("unexpected {}", f.name())));
-            }
-        }
-    };
-    let (ctt, stats) = session.finish(app_time);
-    let ranks_done = merge_in(state, ctt, Some(stats), cfg.keep_rank_ctts);
-    write_frame(stream, &Frame::FinAck { ranks_done })?;
-    stream.shutdown();
-    Ok(())
-}
-
-fn handle_ctt(
-    state: &State,
-    cfg: &CollectorConfig,
-    stream: &mut Stream,
-    rank: u32,
-) -> Result<(), NetError> {
-    let frame = read_frame(stream)?;
-    let bytes = match frame {
-        Frame::RankCtt { bytes } => bytes,
-        Frame::RankCttZ { raw_len, bytes } => match cypress_deflate::inflate(&bytes) {
-            Ok(raw) if raw.len() as u64 == raw_len => raw,
-            Ok(raw) => {
-                send_error(
-                    stream,
-                    codes::PROTOCOL,
-                    format!("compressed CTT declared {raw_len} bytes, got {}", raw.len()),
-                );
-                return Err(NetError::Protocol("compressed CTT length mismatch".into()));
-            }
-            Err(e) => {
-                send_error(stream, codes::PROTOCOL, format!("undecodable deflate: {e}"));
-                return Err(NetError::Protocol(format!("undecodable deflate: {e}")));
-            }
-        },
-        f => {
-            send_error(
-                stream,
-                codes::PROTOCOL,
-                format!("expected RankCtt, got {}", f.name()),
-            );
-            return Err(NetError::Protocol(format!("unexpected {}", f.name())));
-        }
-    };
-    let ctt = match Ctt::from_bytes(&bytes) {
-        Ok(c) => c,
-        Err(e) => {
-            send_error(stream, codes::PROTOCOL, format!("undecodable CTT: {e}"));
-            return Err(NetError::Protocol(format!("undecodable CTT: {e}")));
-        }
-    };
-    if ctt.rank != rank {
-        send_error(
-            stream,
-            codes::BAD_RANK,
-            format!("Hello said rank {rank}, CTT says {}", ctt.rank),
-        );
-        return Err(NetError::Protocol("rank mismatch".into()));
-    }
-    let ranks_done = merge_in(state, ctt, None, cfg.keep_rank_ctts);
-    write_frame(stream, &Frame::FinAck { ranks_done })?;
-    stream.shutdown();
-    Ok(())
-}
-
-/// Fold one finished rank CTT into the incremental binomial merge.
-/// First-completion-wins: duplicates are acknowledged but discarded.
-fn merge_in(state: &State, ctt: Ctt, stats: Option<cypress_core::SessionStats>, keep: bool) -> u32 {
-    let mut g = state.inner.lock().unwrap();
-    let (newly_merged, received, complete) = {
-        let m = g.merger.as_mut().expect("merger installed at Hello");
-        let t0 = Instant::now();
-        let newly = m.add(&ctt);
-        hists().merge_step_ns.record(t0.elapsed().as_nanos() as u64);
-        (newly, m.received(), m.is_complete())
-    };
-    if newly_merged {
-        let entry = g
-            .clients
-            .entry(ctt.rank)
-            .or_insert((ClientState::Merged, 0));
-        entry.0 = ClientState::Merged;
-        if entry.1 == 0 {
-            // Ctt-mode ranks stream no Events frames; credit the record
-            // count so per-client telemetry is nonzero either way.
-            entry.1 = match &stats {
-                Some(st) => st.mpi_events,
-                None => ctt.op_count(),
-            };
-        }
-        match stats {
-            Some(st) => {
-                g.total_events += st.mpi_events;
-                g.raw_mpi_bytes += st.raw_mpi_bytes;
-                g.peak_ctt_bytes = g.peak_ctt_bytes.max(st.peak_ctt_bytes);
-            }
-            None => g.total_events += ctt.op_count(),
-        }
-        if keep {
-            g.rank_ctts.push(ctt);
-        }
-        if cypress_obs::enabled() {
-            obs().sessions_completed.inc();
-            obs().ranks_merged.set_max(received as i64);
-        }
-    }
-    if complete {
-        g.done = true;
-        drop(g);
-        state.cv.notify_all();
-    }
-    received
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::client::{submit_ctt, submit_stream, ClientConfig};
+    use crate::proto::{read_frame, write_frame};
     use cypress_core::{compress_trace, merge_all};
     use cypress_cst::analyze_program;
     use cypress_minilang::{check_program, parse};
@@ -954,6 +1516,44 @@ mod tests {
         ));
         let job = server.join().unwrap().unwrap();
         assert_eq!(job.merged.to_bytes(), merge_all(&[ctt]).to_bytes());
+    }
+
+    #[test]
+    fn blocks_mode_requires_protocol_v4() {
+        let (info, traces) = traces(2);
+        let cst_text = info.cst.to_text();
+        let local: Vec<_> = traces
+            .iter()
+            .map(|t| compress_trace(&info.cst, t, &CompressConfig::default()))
+            .collect();
+        let (addr, server) = serve_in_background(CollectorConfig {
+            workers: 1,
+            deadline: Some(Duration::from_secs(60)),
+            ..CollectorConfig::default()
+        });
+        // A v3 peer claiming blocks mode must be rejected loudly.
+        let mut stream = crate::transport::Stream::connect(&addr, Duration::from_secs(5)).unwrap();
+        write_frame(
+            &mut stream,
+            &Frame::Hello {
+                version: 3,
+                rank: 0,
+                nprocs: 2,
+                mode: SubmitMode::Blocks,
+                cst_text: cst_text.clone(),
+            },
+        )
+        .unwrap();
+        match read_frame(&mut stream).unwrap() {
+            Frame::Error { code, .. } => assert_eq!(code, codes::VERSION),
+            f => panic!("expected Error, got {}", f.name()),
+        }
+        // Finish the job so the server exits.
+        let cfg = ClientConfig::default();
+        for ctt in &local {
+            submit_ctt(&addr, &cfg, ctt, &cst_text).unwrap();
+        }
+        server.join().unwrap().unwrap();
     }
 
     #[test]

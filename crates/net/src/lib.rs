@@ -8,36 +8,52 @@
 //! — the collector never barriers on the full rank set before starting to
 //! merge, and at most `⌈log2 P⌉ + 1` partial merges are ever resident.
 //!
-//! Three layers, std-only (no external dependencies, matching the repo's
+//! Layers, std-only (no external dependencies, matching the repo's
 //! offline-build rule):
 //!
 //! - [`proto`] — the framed wire protocol: length-prefixed, versioned,
 //!   CRC-checked frames (gzip polynomial via `cypress-deflate`) carrying
-//!   per-rank event chunks or finalized CTT bytes.
+//!   per-rank event chunks, finalized CTT bytes, or relay-merged buddy
+//!   blocks, plus the reusable [`proto::FrameBuf`] decode buffer.
 //! - [`transport`] — one [`transport::Addr`] / [`transport::Stream`]
-//!   abstraction over TCP and Unix-domain sockets.
+//!   abstraction over TCP and Unix-domain sockets (`TCP_NODELAY`
+//!   everywhere; small acks must not eat Nagle + delayed-ACK floors).
+//! - [`poll`] — readiness polling in pure std (`poll(2)` via `extern "C"`
+//!   plus a self-pipe waker); the collector blocks here, never in a sleep
+//!   loop.
 //! - [`client`] / [`collector`] — the submitting side (connect/send retry
-//!   with exponential backoff, per-request timeouts, drain-on-finish) and
-//!   the daemon side (concurrent sessions on the `runtime` work-stealing
-//!   pool, incremental binomial merge, duplicate-rank tolerance).
+//!   with exponential backoff, frame pipelining in coalesced writes,
+//!   per-request timeouts, drain-on-finish) and the daemon side (a small
+//!   pool of event loops multiplexing thousands of nonblocking
+//!   connections, incremental binomial merge, duplicate-rank tolerance).
+//! - [`tree`] — sharded collection: mid-tier **relay** collectors each own
+//!   a contiguous rank shard and forward merged buddy blocks upstream, so
+//!   the root handles `FANOUT` relay connections instead of `P` clients.
 //!
 //! Because the merge association is fixed by rank indices and `TimeStats`
 //! aggregation is exactly associative, a collected job's merged CTT is
-//! **byte-identical** to `merge_all` over the same ranks locally — pinned
-//! by `tests/net_collect.rs` under out-of-order submission and mid-stream
-//! client kills.
+//! **byte-identical** to `merge_all` over the same ranks locally — whether
+//! clients hit the root directly or a relay tree sits in between. Pinned by
+//! `tests/net_collect.rs` (out-of-order submission, mid-stream client
+//! kills) and `tests/net_tree.rs` (shuffled arrival through relays, relay
+//! death).
 
 pub mod client;
 pub mod collector;
+pub mod poll;
 pub mod proto;
 pub mod stats;
 pub mod transport;
+pub mod tree;
 
-pub use client::{submit_ctt, submit_stream, ClientConfig, SubmitOutcome};
-pub use collector::{CollectedJob, Collector, CollectorConfig};
+pub use client::{
+    submit_ctt, submit_merged_blocks, submit_stream, BlockUpload, ClientConfig, SubmitOutcome,
+};
+pub use collector::{CollectedJob, Collector, CollectorConfig, RelayConfig, RelaySummary};
 pub use proto::{Frame, SubmitMode, MAX_FRAME_BODY, PROTO_VERSION, PROTO_VERSION_MIN};
 pub use stats::{fetch_stats, ClientStat, ClientState, QuantileStat, Stats, STATS_VERSION};
 pub use transport::{Addr, Listener, Stream};
+pub use tree::{spawn_tree, Tree, TreeConfig};
 
 use std::fmt;
 use std::sync::OnceLock;
@@ -153,8 +169,8 @@ pub(crate) struct NetMetrics {
     /// Sessions dropped mid-stream (disconnect, frame error); the partial
     /// CTT is discarded and the client is expected to retry from scratch.
     pub sessions_aborted: cypress_obs::Counter,
-    /// Accepted connections that had to queue because every worker was
-    /// busy with another client.
+    /// Accepted connections dealt to an event loop whose mailbox already
+    /// held sockets it had not yet adopted.
     pub backpressure_stalls: cypress_obs::Counter,
     /// Ranks merged into the collector's binomial tree so far.
     pub ranks_merged: cypress_obs::Gauge,

@@ -39,6 +39,21 @@
 //! old-server/new-client pairs on the query port, which exchanges no
 //! `Hello`.
 //!
+//! Protocol version 4 adds the collector-tree frames: `Hello` mode 2
+//! (`SubmitMode::Blocks`) opens an inter-collector session, and each
+//! `MergedBlockZ` frame carries one DEFLATE-compressed *aligned buddy
+//! block* of the global binomial merge — a relay's resident partial merges,
+//! forwarded upstream without re-expanding to per-rank CTTs:
+//!
+//! ```text
+//! blocks mode:  Hello → (HelloAck ←) → MergedBlockZ* → Finish → (FinAck ←)
+//! ```
+//!
+//! `Finish.event_count` in blocks mode counts *blocks* (the cross-check the
+//! stream mode applies to events), and a duplicate block — a relay retry
+//! whose first attempt partially landed — is absorbed as a no-op exactly
+//! like a duplicate rank.
+//!
 //! The `Finish`/`FinAck` round trip is the graceful-shutdown drain: a
 //! client that received `FinAck` knows its rank is merged and may
 //! disconnect; a client killed before `FinAck` must assume nothing and
@@ -52,7 +67,7 @@ use cypress_trace::event::Event;
 use std::io::{Read, Write};
 
 /// Newest protocol version this build speaks.
-pub const PROTO_VERSION: u8 = 3;
+pub const PROTO_VERSION: u8 = 4;
 
 /// Oldest protocol version this build accepts.
 pub const PROTO_VERSION_MIN: u8 = 1;
@@ -103,6 +118,9 @@ pub enum SubmitMode {
     Stream,
     /// The client compressed locally and ships the finished CTT bytes.
     Ctt,
+    /// The peer is a mid-tier relay collector forwarding already-merged
+    /// buddy blocks of the global binomial tree (protocol ≥ 4).
+    Blocks,
 }
 
 impl SubmitMode {
@@ -110,6 +128,7 @@ impl SubmitMode {
         match self {
             SubmitMode::Stream => 0,
             SubmitMode::Ctt => 1,
+            SubmitMode::Blocks => 2,
         }
     }
 
@@ -117,6 +136,7 @@ impl SubmitMode {
         match c {
             0 => Some(SubmitMode::Stream),
             1 => Some(SubmitMode::Ctt),
+            2 => Some(SubmitMode::Blocks),
             _ => None,
         }
     }
@@ -136,6 +156,7 @@ const FR_QUERY_REQ: u8 = 11;
 const FR_QUERY_RESP: u8 = 12;
 const FR_ANALYZE_REQ: u8 = 13;
 const FR_ANALYZE_RESP: u8 = 14;
+const FR_MERGED_BLOCK_Z: u8 = 15;
 
 /// One protocol message.
 #[derive(Debug, Clone, PartialEq)]
@@ -189,6 +210,21 @@ pub enum Frame {
     AnalyzeRequest { job: String, options: Vec<u8> },
     /// The answer: an opaque, self-versioned `AnalyzeReport` blob.
     AnalyzeResponse { result: Vec<u8> },
+    /// One aligned buddy block of the global binomial merge, forwarded by a
+    /// relay collector (blocks mode, protocol ≥ 4). `bytes` is a
+    /// DEFLATE-compressed `MergedCtt` covering ranks
+    /// `[first_rank, first_rank + nranks)`; `raw_len` bounds inflation like
+    /// `RankCttZ`. `events`/`raw_mpi_bytes` carry the relay's accounting
+    /// totals for the ranks in this frame (a relay puts its whole subtree's
+    /// totals on the first block it forwards).
+    MergedBlockZ {
+        first_rank: u32,
+        nranks: u32,
+        events: u64,
+        raw_mpi_bytes: u64,
+        raw_len: u64,
+        bytes: Vec<u8>,
+    },
     /// Rejection; `code` is one of [`codes`].
     Error { code: u16, message: String },
     /// A frame code this build does not know (sent by a newer peer). Never
@@ -214,6 +250,7 @@ impl Frame {
             Frame::QueryResponse { .. } => FR_QUERY_RESP,
             Frame::AnalyzeRequest { .. } => FR_ANALYZE_REQ,
             Frame::AnalyzeResponse { .. } => FR_ANALYZE_RESP,
+            Frame::MergedBlockZ { .. } => FR_MERGED_BLOCK_Z,
             Frame::Error { .. } => FR_ERROR,
             Frame::Unknown { code } => *code,
         }
@@ -235,6 +272,7 @@ impl Frame {
             Frame::QueryResponse { .. } => "QueryResponse",
             Frame::AnalyzeRequest { .. } => "AnalyzeRequest",
             Frame::AnalyzeResponse { .. } => "AnalyzeResponse",
+            Frame::MergedBlockZ { .. } => "MergedBlockZ",
             Frame::Error { .. } => "Error",
             Frame::Unknown { .. } => "Unknown",
         }
@@ -295,6 +333,21 @@ impl Frame {
                 enc.put_bytes(options);
             }
             Frame::AnalyzeResponse { result } => enc.put_bytes(result),
+            Frame::MergedBlockZ {
+                first_rank,
+                nranks,
+                events,
+                raw_mpi_bytes,
+                raw_len,
+                bytes,
+            } => {
+                enc.put_uvar(*first_rank as u64);
+                enc.put_uvar(*nranks as u64);
+                enc.put_uvar(*events);
+                enc.put_uvar(*raw_mpi_bytes);
+                enc.put_uvar(*raw_len);
+                enc.put_bytes(bytes);
+            }
             Frame::Error { code, message } => {
                 enc.put_uvar(*code as u64);
                 enc.put_str(message);
@@ -381,6 +434,24 @@ impl Frame {
             FR_ANALYZE_RESP => Frame::AnalyzeResponse {
                 result: dec.get_bytes().map_err(|e| bad(e.to_string()))?,
             },
+            FR_MERGED_BLOCK_Z => {
+                let first_rank = dec.get_uvar().map_err(|e| bad(e.to_string()))? as u32;
+                let nranks = dec.get_uvar().map_err(|e| bad(e.to_string()))? as u32;
+                let events = dec.get_uvar().map_err(|e| bad(e.to_string()))?;
+                let raw_mpi_bytes = dec.get_uvar().map_err(|e| bad(e.to_string()))?;
+                let raw_len = dec.get_uvar().map_err(|e| bad(e.to_string()))?;
+                if raw_len > MAX_FRAME_BODY as u64 {
+                    return Err(bad(format!("absurd merged-block raw length {raw_len}")));
+                }
+                Frame::MergedBlockZ {
+                    first_rank,
+                    nranks,
+                    events,
+                    raw_mpi_bytes,
+                    raw_len,
+                    bytes: dec.get_bytes().map_err(|e| bad(e.to_string()))?,
+                }
+            }
             FR_ERROR => Frame::Error {
                 code: dec.get_uvar().map_err(|e| bad(e.to_string()))? as u16,
                 message: dec.get_str().map_err(|e| bad(e.to_string()))?,
@@ -406,22 +477,34 @@ impl Frame {
     }
 }
 
-/// Serialize and send one frame.
-pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), NetError> {
+/// Serialize one frame onto the end of `out` (length prefix + body + CRC).
+///
+/// This is the pipelining primitive: callers append many frames to one
+/// buffer and issue a single `write_all`, so a burst of `Events` chunks or
+/// relay blocks crosses the socket without per-frame syscalls or acks. The
+/// per-frame tx accounting lives here so [`write_frame`] (which delegates)
+/// never double-counts.
+pub fn encode_frame_into(frame: &Frame, out: &mut Vec<u8>) {
     let body = frame.encode_body();
     debug_assert!(body.len() <= MAX_FRAME_BODY, "oversized frame body");
-    let mut msg = Vec::with_capacity(body.len() + 8);
-    msg.extend_from_slice(&(body.len() as u32).to_le_bytes());
-    msg.extend_from_slice(&body);
-    msg.extend_from_slice(&crc32(&body).to_le_bytes());
-    w.write_all(&msg)?;
-    w.flush()?;
+    out.reserve(body.len() + 8);
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&body);
+    out.extend_from_slice(&crc32(&body).to_le_bytes());
     if cypress_obs::enabled() {
         let m = obs();
-        m.bytes_out.add(msg.len() as u64);
+        m.bytes_out.add(body.len() as u64 + 8);
         m.frames_out.inc();
     }
-    cypress_obs::trace_instant("net", "frame_tx", msg.len() as u64);
+    cypress_obs::trace_instant("net", "frame_tx", body.len() as u64 + 8);
+}
+
+/// Serialize and send one frame.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), NetError> {
+    let mut msg = Vec::new();
+    encode_frame_into(frame, &mut msg);
+    w.write_all(&msg)?;
+    w.flush()?;
     Ok(())
 }
 
@@ -451,6 +534,130 @@ pub fn read_frame(r: &mut impl Read) -> Result<Frame, NetError> {
     }
     cypress_obs::trace_instant("net", "frame_rx", len as u64 + 8);
     Frame::decode_body(&body)
+}
+
+/// A reusable per-connection receive buffer for nonblocking frame decode.
+///
+/// [`read_frame`] allocates a fresh body `Vec` per frame and blocks until
+/// the frame is complete — fine for clients, wrong for an event loop
+/// multiplexing thousands of connections. `FrameBuf` instead accumulates
+/// whatever bytes the socket has (`fill`), then peels off as many complete
+/// frames as arrived (`try_frame`), all inside one buffer whose capacity
+/// stabilizes after warmup: steady-state traffic reallocates nothing.
+///
+/// Layout: `buf[start .. start + len]` holds unconsumed bytes. Consumed
+/// frames advance `start`; `fill` compacts (a `copy_within`, not a realloc)
+/// only when the tail runs out of spare room, and growth is bounded by the
+/// largest pending frame (≤ [`MAX_FRAME_BODY`] + 8, enforced before any
+/// allocation just like [`read_frame`]).
+pub struct FrameBuf {
+    buf: Vec<u8>,
+    start: usize,
+    len: usize,
+}
+
+impl FrameBuf {
+    pub fn new() -> FrameBuf {
+        FrameBuf {
+            buf: Vec::new(),
+            start: 0,
+            len: 0,
+        }
+    }
+
+    /// Current backing capacity (the no-realloc tests pin this).
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Read once from `r` into the spare tail. Returns the byte count (0 =
+    /// EOF); `WouldBlock` bubbles up for the event loop to interpret.
+    /// Callers should drain [`Self::try_frame`] between fills.
+    pub fn fill(&mut self, r: &mut impl Read) -> std::io::Result<usize> {
+        const CHUNK: usize = 16 * 1024;
+        // Capacity target: the frame currently being assembled plus one
+        // chunk of lookahead. The target is monotone over a connection's
+        // life, so the buffer settles at (largest frame + CHUNK) and never
+        // reallocates again — the no-realloc guarantee the tests pin.
+        let pending = self.pending_total_len().unwrap_or(0);
+        let want = (self.len.max(pending) + CHUNK).min(MAX_FRAME_BODY + 8 + CHUNK);
+        if self.buf.len() < want {
+            let target = want.max(2 * self.buf.len()).min(MAX_FRAME_BODY + 8 + CHUNK);
+            self.buf.resize(target, 0);
+        }
+        // Reclaim consumed head room (a copy_within, not a realloc) when
+        // the tail cannot take a full read.
+        if self.start > 0 && self.start + self.len + CHUNK > self.buf.len() {
+            self.buf.copy_within(self.start..self.start + self.len, 0);
+            self.start = 0;
+        }
+        let spare = &mut self.buf[self.start + self.len..];
+        let n = r.read(spare)?;
+        self.len += n;
+        Ok(n)
+    }
+
+    /// The full wire length (prefix + body + crc) of the frame at `start`,
+    /// if enough of the prefix has arrived to know it.
+    fn pending_total_len(&self) -> Option<usize> {
+        if self.len < 4 {
+            return None;
+        }
+        let p = &self.buf[self.start..self.start + 4];
+        let body_len = u32::from_le_bytes([p[0], p[1], p[2], p[3]]) as usize;
+        Some(body_len + 8)
+    }
+
+    /// Decode one complete frame if buffered; `Ok(None)` means more bytes
+    /// are needed. Validation order matches [`read_frame`]: length bound
+    /// before anything else, CRC before body decode.
+    pub fn try_frame(&mut self) -> Result<Option<Frame>, NetError> {
+        if self.len < 4 {
+            return Ok(None);
+        }
+        let body_len = {
+            let p = &self.buf[self.start..self.start + 4];
+            u32::from_le_bytes([p[0], p[1], p[2], p[3]]) as usize
+        };
+        if body_len == 0 || body_len > MAX_FRAME_BODY {
+            return Err(NetError::Frame(format!("bad frame body length {body_len}")));
+        }
+        let total = body_len + 8;
+        if self.len < total {
+            return Ok(None);
+        }
+        let body = &self.buf[self.start + 4..self.start + 4 + body_len];
+        let crc_at = self.start + 4 + body_len;
+        let stored = u32::from_le_bytes([
+            self.buf[crc_at],
+            self.buf[crc_at + 1],
+            self.buf[crc_at + 2],
+            self.buf[crc_at + 3],
+        ]);
+        let computed = crc32(body);
+        if stored != computed {
+            return Err(NetError::Crc { stored, computed });
+        }
+        if cypress_obs::enabled() {
+            let m = obs();
+            m.bytes_in.add(total as u64);
+            m.frames_in.inc();
+        }
+        cypress_obs::trace_instant("net", "frame_rx", total as u64);
+        let frame = Frame::decode_body(body)?;
+        self.start += total;
+        self.len -= total;
+        if self.len == 0 {
+            self.start = 0;
+        }
+        Ok(Some(frame))
+    }
+}
+
+impl Default for FrameBuf {
+    fn default() -> Self {
+        FrameBuf::new()
+    }
 }
 
 /// Convenience: send a [`Frame::Error`] and ignore delivery failures (the
@@ -540,6 +747,14 @@ mod tests {
             },
             Frame::AnalyzeResponse {
                 result: vec![1, 2, 0, 0],
+            },
+            Frame::MergedBlockZ {
+                first_rank: 4,
+                nranks: 4,
+                events: 2048,
+                raw_mpi_bytes: 1 << 20,
+                raw_len: 512,
+                bytes: vec![5, 4, 3, 2, 1],
             },
             Frame::Error {
                 code: codes::CST_MISMATCH,
@@ -634,6 +849,107 @@ mod tests {
         let body = enc.finish();
         let err = Frame::decode_body(&body).unwrap_err();
         assert!(err.to_string().contains("raw length"), "{err}");
+    }
+
+    #[test]
+    fn absurd_merged_block_raw_length_rejected() {
+        let mut enc = Encoder::new();
+        enc.put_u8(FR_MERGED_BLOCK_Z);
+        enc.put_uvar(0);
+        enc.put_uvar(4);
+        enc.put_uvar(10);
+        enc.put_uvar(10);
+        enc.put_uvar(MAX_FRAME_BODY as u64 + 1);
+        enc.put_bytes(&[1, 2, 3]);
+        let body = enc.finish();
+        let err = Frame::decode_body(&body).unwrap_err();
+        assert!(err.to_string().contains("raw length"), "{err}");
+    }
+
+    #[test]
+    fn framebuf_decodes_a_split_delivery_burst() {
+        // Frames arriving in arbitrary fragments (worst case: one byte at a
+        // time) must come out whole and in order.
+        let frames = sample_frames();
+        let mut wire = Vec::new();
+        for f in &frames {
+            encode_frame_into(f, &mut wire);
+        }
+        let mut fb = FrameBuf::new();
+        let mut decoded = Vec::new();
+        for chunk in wire.chunks(7) {
+            let mut r = chunk;
+            while !r.is_empty() {
+                fb.fill(&mut r).unwrap();
+            }
+            while let Some(f) = fb.try_frame().unwrap() {
+                decoded.push(f);
+            }
+        }
+        assert_eq!(decoded, frames);
+    }
+
+    #[test]
+    fn framebuf_capacity_is_stable_across_a_multi_frame_burst() {
+        // Satellite requirement: the per-connection read buffer is reused —
+        // after a warmup burst, thousands more frames of the same shape
+        // must not grow (reallocate) the backing buffer.
+        let make_burst = |n: usize| {
+            let mut wire = Vec::new();
+            for i in 0..n {
+                encode_frame_into(
+                    &Frame::Events {
+                        events: vec![
+                            Event::Enter { gid: i as u32 },
+                            Event::Exit { gid: i as u32 },
+                        ],
+                    },
+                    &mut wire,
+                );
+            }
+            wire
+        };
+        let mut fb = FrameBuf::new();
+        let warmup = make_burst(256);
+        let mut r = &warmup[..];
+        while fb.fill(&mut r).unwrap() > 0 {
+            while let Some(_f) = fb.try_frame().unwrap() {}
+        }
+        let settled = fb.capacity();
+        assert!(settled > 0);
+        let burst = make_burst(4096);
+        let mut r = &burst[..];
+        loop {
+            let n = fb.fill(&mut r).unwrap();
+            while let Some(_f) = fb.try_frame().unwrap() {}
+            if n == 0 {
+                break;
+            }
+        }
+        assert_eq!(
+            fb.capacity(),
+            settled,
+            "read buffer reallocated during steady-state burst"
+        );
+    }
+
+    #[test]
+    fn framebuf_rejects_bad_length_and_crc() {
+        let mut fb = FrameBuf::new();
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut r = &wire[..];
+        fb.fill(&mut r).unwrap();
+        assert!(matches!(fb.try_frame(), Err(NetError::Frame(_))));
+
+        let mut fb = FrameBuf::new();
+        let mut wire = Vec::new();
+        encode_frame_into(&Frame::FinAck { ranks_done: 4 }, &mut wire);
+        let mid = 4 + (wire.len() - 8) / 2;
+        wire[mid] ^= 0x40;
+        let mut r = &wire[..];
+        while fb.fill(&mut r).unwrap() > 0 {}
+        assert!(matches!(fb.try_frame(), Err(NetError::Crc { .. })));
     }
 
     #[test]

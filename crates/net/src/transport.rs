@@ -103,6 +103,10 @@ impl Listener {
         match self {
             Listener::Tcp(l) => {
                 let (s, _) = l.accept()?;
+                // Nagle + delayed-ACK interact badly with the protocol's
+                // small ack frames (a ~40 ms floor per FinAck on Linux);
+                // every accepted TCP stream runs with TCP_NODELAY.
+                let _ = s.set_nodelay(true);
                 Ok(Stream::Tcp(s))
             }
             #[cfg(unix)]
@@ -111,6 +115,21 @@ impl Listener {
                 Ok(Stream::Unix(s))
             }
         }
+    }
+
+    /// The raw fd for readiness polling (see [`crate::poll`]).
+    #[cfg(unix)]
+    pub fn raw_fd(&self) -> crate::poll::RawFd {
+        use std::os::unix::io::AsRawFd;
+        match self {
+            Listener::Tcp(l) => l.as_raw_fd(),
+            Listener::Unix(l, _) => l.as_raw_fd(),
+        }
+    }
+
+    #[cfg(not(unix))]
+    pub fn raw_fd(&self) -> crate::poll::RawFd {
+        -1
     }
 }
 
@@ -139,7 +158,14 @@ impl Stream {
                 let mut last = None;
                 for sa in hp.to_socket_addrs()? {
                     match TcpStream::connect_timeout(&sa, timeout) {
-                        Ok(s) => return Ok(Stream::Tcp(s)),
+                        Ok(s) => {
+                            // Same rationale as in `Listener::accept`: the
+                            // client's Finish frame is small and latency-
+                            // critical, so Nagle is disabled on every
+                            // outbound TCP stream too.
+                            let _ = s.set_nodelay(true);
+                            return Ok(Stream::Tcp(s));
+                        }
                         Err(e) => last = Some(e),
                     }
                 }
@@ -172,6 +198,31 @@ impl Stream {
             }
         }
         Ok(())
+    }
+
+    /// Switch between blocking and nonblocking I/O (the collector's event
+    /// loops run every accepted stream nonblocking).
+    pub fn set_nonblocking(&self, nb: bool) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_nonblocking(nb),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.set_nonblocking(nb),
+        }
+    }
+
+    /// The raw fd for readiness polling (see [`crate::poll`]).
+    #[cfg(unix)]
+    pub fn raw_fd(&self) -> crate::poll::RawFd {
+        use std::os::unix::io::AsRawFd;
+        match self {
+            Stream::Tcp(s) => s.as_raw_fd(),
+            Stream::Unix(s) => s.as_raw_fd(),
+        }
+    }
+
+    #[cfg(not(unix))]
+    pub fn raw_fd(&self) -> crate::poll::RawFd {
+        -1
     }
 
     /// Best-effort full shutdown (used after the drain handshake).

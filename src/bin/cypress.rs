@@ -52,7 +52,8 @@ use cypress::cst::{analyze_program, Cst, StaticInfo};
 use cypress::deflate::Level as ZLevel;
 use cypress::minilang::{check_program, parse, Program};
 use cypress::net::{
-    fetch_stats, submit_ctt, submit_stream, Addr, ClientConfig, Collector, CollectorConfig,
+    fetch_stats, spawn_tree, submit_ctt, submit_stream, Addr, ClientConfig, Collector,
+    CollectorConfig, TreeConfig,
 };
 use cypress::query::{query_container_path, QueryOptions, QueryResult, Strategy, Window};
 use cypress::runtime::{run_rank_with_sink, trace_program_parallel, InterpConfig};
@@ -203,7 +204,7 @@ USAGE:
   cypress simulate <prog.mpi> -n <procs>
   cypress serve --listen <addr> --out <file> [--per-rank] [--timeout <secs>]
                [--workers <n>] [--level fast|default|best] [--threads <n>]
-               [--stats-addr <addr>]
+               [--stats-addr <addr>] [--tree <relays> -n <procs>]
   cypress submit <prog.mpi> --rank <r> -n <procs> --connect <addr>
                [--mode stream|ctt] [--attempts <n>] [--level <l>|none]
 
@@ -234,6 +235,10 @@ OPTIONS:
                timeline too)
   --stats-addr serve: answer `cypress stats --connect` on this second
                endpoint with live per-client collection telemetry
+  --tree       serve: spawn this many relay collectors in front of the
+               root (requires -n; clients submit to the printed per-shard
+               leaf endpoints; unix root at unix:P puts relay k at
+               unix:P.rk)
   --json       inspect, query, stats --connect: machine-readable output
   --store      queryd: directory of `<job>.cytc` containers to serve
   --max-jobs   queryd: LRU entry budget for resident containers (default
@@ -352,6 +357,7 @@ const TAKES_VALUE: &[&str] = &[
     "--timeout",
     "--workers",
     "--stats-addr",
+    "--tree",
     "--rank",
     "--mode",
     "--attempts",
@@ -1045,6 +1051,59 @@ fn cmd_serve(args: &[String]) -> CliResult {
             .unwrap_or(4)
             .min(8)
     });
+
+    if let Some(relays) = flag(args, "--tree") {
+        let relays: u32 = relays
+            .parse()
+            .map_err(|e| Error::Invalid(format!("bad --tree value: {e}")))?;
+        if relays == 0 {
+            return Err(Error::Invalid("--tree needs at least 1 relay".into()));
+        }
+        // The topology is sized up front: relays must know their shard
+        // before the first client connects, so -n is mandatory here.
+        let n = nprocs_of(args).map_err(|_| {
+            Error::Invalid("serve --tree requires -n <procs> (shards are fixed up front)".into())
+        })?;
+        let mut cfg = cfg;
+        if per_rank {
+            eprintln!(
+                "warning: --per-rank is unavailable with --tree (relays forward merged \
+                 blocks, not rank CTTs); writing the merged container only"
+            );
+            cfg.keep_rank_ctts = false;
+        }
+        if let Some(sa) = flag(args, "--stats-addr") {
+            cfg.stats_addr = Some(Addr::parse(&sa)?);
+        }
+        let tree = spawn_tree(
+            &addr,
+            &TreeConfig {
+                relays,
+                nprocs: n,
+                collector: cfg,
+                client: ClientConfig::default(),
+            },
+        )?;
+        if let Some(sa) = tree.stats_addr() {
+            eprintln!("cypress collector stats endpoint on {sa} (poll with `cypress stats --connect {sa}`)");
+        }
+        for (leaf, &(first, last)) in tree.leaves().iter().zip(tree.ranges()) {
+            eprintln!("cypress relay for ranks {first}..{last} listening on {leaf}");
+        }
+        eprintln!("cypress collector tree root on {addr} ({relays} relays, {n} ranks)");
+        let job = tree.join()?;
+        let merged_bytes = job.merged.to_bytes().len();
+        write_collected_container_with(&job, &out, false, level, threads)?;
+        println!(
+            "collected {} ranks, {} MPI events; merged CTT {} B ({} rank groups)",
+            job.nprocs,
+            job.total_events,
+            merged_bytes,
+            job.merged.group_count()
+        );
+        println!("wrote {out}");
+        return Ok(());
+    }
 
     let mut collector = Collector::bind(&addr)?;
     if let Some(sa) = flag(args, "--stats-addr") {

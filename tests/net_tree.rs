@@ -1,0 +1,189 @@
+//! Sharded collector trees must be invisible in the output: clients
+//! submitting through relay collectors (in scrambled arrival order, with
+//! ragged shard sizes) produce a root job whose merged CTT is
+//! **byte-identical** to `merge_all` over locally-compressed ranks, and a
+//! dead relay fails loudly — naming its shard's missing ranks — instead of
+//! hanging.
+
+use cypress::core::merge_all;
+use cypress::cst::analyze_program;
+use cypress::minilang::{check_program, parse};
+use cypress::net::{
+    spawn_tree, submit_stream, Addr, ClientConfig, CollectedJob, CollectorConfig, NetError, Tree,
+    TreeConfig,
+};
+use cypress::runtime::{run_rank_with_sink, InterpConfig};
+use cypress::trace::Codec;
+use cypress::Pipeline;
+use std::time::Duration;
+
+const STENCIL: &str = r#"fn main() {
+    for it in 0..40 {
+        let up = isend((rank() + 1) % size(), 512, 1);
+        let dn = irecv((rank() + size() - 1) % size(), 512, 1);
+        waitall(up, dn);
+        if it % 10 == 0 { allreduce(8); }
+    }
+    barrier();
+}"#;
+
+fn client_cfg() -> ClientConfig {
+    ClientConfig {
+        attempts: 5,
+        backoff: Duration::from_millis(5),
+        backoff_max: Duration::from_millis(50),
+        io_timeout: Duration::from_secs(10),
+        chunk_events: 64,
+        ..ClientConfig::default()
+    }
+}
+
+fn tree_cfg(relays: u32, nprocs: u32) -> TreeConfig {
+    TreeConfig {
+        relays,
+        nprocs,
+        collector: CollectorConfig {
+            deadline: Some(Duration::from_secs(60)),
+            ..CollectorConfig::default()
+        },
+        client: client_cfg(),
+    }
+}
+
+/// Stand up a tree on loopback TCP and submit every rank through its
+/// relay's leaf endpoint, in the given order with a small stagger so
+/// arrival order actually follows `order`.
+fn collect_tree(source: &str, nprocs: u32, relays: u32, order: &[u32]) -> CollectedJob {
+    let prog = parse(source).unwrap();
+    check_program(&prog).unwrap();
+    let info = analyze_program(&prog);
+    let cst_text = info.cst.to_text();
+
+    let tree = spawn_tree(
+        &Addr::parse("127.0.0.1:0").unwrap(),
+        &tree_cfg(relays, nprocs),
+    )
+    .unwrap();
+    // Ceil-division sharding may need fewer relays than requested (6
+    // ranks over 4 relays → three shards of 2).
+    let nleaves = tree.leaves().len() as u32;
+    assert!(nleaves >= 1 && nleaves <= relays.min(nprocs), "{nleaves}");
+
+    std::thread::scope(|s| {
+        for (i, &rank) in order.iter().enumerate() {
+            let (tree, cst_text, prog, info) = (&tree, &cst_text, &prog, &info);
+            s.spawn(move || {
+                std::thread::sleep(Duration::from_millis(5 * i as u64));
+                let leaf = tree.leaf_for_rank(rank);
+                submit_stream(leaf, &client_cfg(), rank, nprocs, cst_text, |sink| {
+                    run_rank_with_sink(prog, info, rank, nprocs, &InterpConfig::default(), {
+                        #[allow(clippy::needless_borrow)]
+                        &mut &mut *sink
+                    })
+                    .map_err(|e| e.to_string())
+                })
+                .unwrap();
+            });
+        }
+    });
+    tree.join().unwrap()
+}
+
+fn assert_matches_local(job: &CollectedJob, source: &str, nprocs: u32) {
+    let ctts = Pipeline::new(source).ranks(nprocs).run().unwrap().ctts;
+    let local = merge_all(&ctts);
+    assert_eq!(
+        job.merged.to_bytes(),
+        local.to_bytes(),
+        "tree-collected merge must be byte-identical to local merge_all"
+    );
+    assert_eq!(
+        job.total_events,
+        ctts.iter().map(|c| c.op_count()).sum::<u64>()
+    );
+}
+
+#[test]
+fn two_relays_scrambled_arrival_is_byte_identical_to_local_merge() {
+    let nprocs = 16u32;
+    // Scrambled across shard boundaries: ranks of both shards interleave.
+    let order = [9u32, 2, 14, 0, 11, 5, 8, 15, 3, 12, 1, 10, 6, 13, 4, 7];
+    let job = collect_tree(STENCIL, nprocs, 2, &order);
+    assert_eq!(job.nprocs, nprocs);
+    // Relay blocks carry no rank CTTs; the merged tree is the product.
+    assert!(job.rank_ctts.is_empty());
+    assert_matches_local(&job, STENCIL, nprocs);
+}
+
+#[test]
+fn ragged_topologies_match_local_merge() {
+    // Shards of uneven size (7 ranks over 3 relays → 3+3+1; 6 over 4 →
+    // 2+2+2) exercise non-power-of-two block forwarding.
+    for (nprocs, relays) in [(7u32, 3u32), (6, 4)] {
+        let order: Vec<u32> = (0..nprocs).rev().collect();
+        let job = collect_tree(STENCIL, nprocs, relays, &order);
+        assert_matches_local(&job, STENCIL, nprocs);
+    }
+}
+
+#[test]
+fn dead_relay_fails_loudly_with_missing_ranks() {
+    let nprocs = 8u32;
+    let prog = parse(STENCIL).unwrap();
+    check_program(&prog).unwrap();
+    let info = analyze_program(&prog);
+    let cst_text = info.cst.to_text();
+
+    // A client aimed at an endpoint nobody serves gives up loudly.
+    let dead = Addr::parse("127.0.0.1:1").unwrap();
+    let quick = ClientConfig {
+        attempts: 2,
+        backoff: Duration::from_millis(1),
+        backoff_max: Duration::from_millis(2),
+        io_timeout: Duration::from_millis(200),
+        ..ClientConfig::default()
+    };
+    let err = submit_stream(&dead, &quick, 0, nprocs, &cst_text, |_| Ok(0)).unwrap_err();
+    assert!(
+        matches!(err, NetError::RetriesExhausted { attempts: 2, .. }),
+        "{err}"
+    );
+
+    // A tree whose second shard never submits (its relay is "dead" from
+    // the clients' perspective) must hit the deadline naming ranks 4..8.
+    let tree: Tree = spawn_tree(
+        &Addr::parse("127.0.0.1:0").unwrap(),
+        &TreeConfig {
+            relays: 2,
+            nprocs,
+            collector: CollectorConfig {
+                deadline: Some(Duration::from_millis(800)),
+                ..CollectorConfig::default()
+            },
+            client: client_cfg(),
+        },
+    )
+    .unwrap();
+    std::thread::scope(|s| {
+        for rank in 0..4u32 {
+            let (tree, cst_text, prog, info) = (&tree, &cst_text, &prog, &info);
+            s.spawn(move || {
+                let leaf = tree.leaf_for_rank(rank);
+                submit_stream(leaf, &client_cfg(), rank, nprocs, cst_text, |sink| {
+                    run_rank_with_sink(prog, info, rank, nprocs, &InterpConfig::default(), {
+                        #[allow(clippy::needless_borrow)]
+                        &mut &mut *sink
+                    })
+                    .map_err(|e| e.to_string())
+                })
+                .unwrap();
+            });
+        }
+    });
+    let err = tree.join().unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("deadline"), "{msg}");
+    for r in ["4", "5", "6", "7"] {
+        assert!(msg.contains(r), "missing rank {r} not named: {msg}");
+    }
+}
